@@ -1,0 +1,64 @@
+//! Criterion microbenchmark: range-query cost per technique at the
+//! default workload geometry (query side 400 over a 22K² space with
+//! 50 K points) — the "Query" column of Table 2 in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_bench::Technique;
+use sj_core::geom::{Point, Rect};
+use sj_core::rng::Xoshiro256;
+use sj_core::table::PointTable;
+use sj_grid::Stage;
+use sj_workload::{UniformWorkload, WorkloadParams};
+use std::hint::black_box;
+
+fn bench_queries(c: &mut Criterion) {
+    let params = WorkloadParams::default();
+    let mut w = UniformWorkload::new(params);
+    let set = sj_core::Workload::init(&mut w);
+    let table: &PointTable = &set.positions;
+    let space = Rect::space(params.space_side);
+
+    // A fixed batch of query rectangles centred on object positions, as
+    // the driver produces them.
+    let mut rng = Xoshiro256::seeded(1234);
+    let queries: Vec<Rect> = (0..256)
+        .map(|_| {
+            let i = rng.range_usize(table.len());
+            let c = Point::new(table.x(i as u32), table.y(i as u32));
+            Rect::centered_square(c, params.query_side).clipped_to(&space)
+        })
+        .collect();
+
+    let techniques = [
+        Technique::BinarySearch,
+        Technique::VecSearch,
+        Technique::RTree,
+        Technique::CRTree,
+        Technique::LinearKdTrie,
+        Technique::QuadTree,
+        Technique::Grid(Stage::Original),
+        Technique::Grid(Stage::CpsTuned),
+    ];
+    let mut group = c.benchmark_group("query_batch_256");
+    group.sample_size(10);
+    for tech in techniques {
+        let mut index = tech.instantiate(params.space_side);
+        index.build(table);
+        let mut out = Vec::with_capacity(1024);
+        group.bench_function(BenchmarkId::from_parameter(tech.label()), |b| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for q in &queries {
+                    out.clear();
+                    index.query(black_box(table), black_box(q), &mut out);
+                    found += out.len();
+                }
+                black_box(found)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

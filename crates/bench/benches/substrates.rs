@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks for the substrates: Morton encoding, the
+//! radix sort behind the throwaway KD-trie rebuild, and the cache
+//! simulator's per-access cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sj_core::rng::Xoshiro256;
+use sj_core::trace::Tracer;
+use sj_kdtrie::{encode, sort_by_code};
+use sj_memsim::CacheSim;
+use std::hint::black_box;
+
+fn bench_morton(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seeded(1);
+    let pts: Vec<(u16, u16)> =
+        (0..4096).map(|_| (rng.next_u32() as u16, rng.next_u32() as u16)).collect();
+    c.bench_function("morton_encode_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(x, y) in &pts {
+                acc = acc.wrapping_add(encode(black_box(x), black_box(y)));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_radix(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seeded(2);
+    let keys: Vec<u64> = (0..50_000).map(|_| rng.next_u64()).collect();
+    let mut scratch = Vec::new();
+    c.bench_function("radix_sort_50k", |b| {
+        b.iter(|| {
+            let mut k = keys.clone();
+            sort_by_code(&mut k, &mut scratch);
+            black_box(k.len())
+        })
+    });
+}
+
+fn bench_cachesim(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seeded(3);
+    let addrs: Vec<u64> = (0..10_000).map(|_| rng.next_u64() & 0xFF_FFFF).collect();
+    c.bench_function("cachesim_10k_accesses", |b| {
+        let mut sim = CacheSim::i7();
+        b.iter(|| {
+            for &a in &addrs {
+                sim.read(black_box(a), 8);
+            }
+            black_box(sim.stats().l1_misses)
+        })
+    });
+}
+
+criterion_group!(benches, bench_morton, bench_radix, bench_cachesim);
+criterion_main!(benches);

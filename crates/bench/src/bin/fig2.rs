@@ -1,0 +1,65 @@
+//! Figure 2 — reproduced performance of the static indexes:
+//! Binary Search, R-Tree, CR-Tree, Linearized KD-Trie and (original)
+//! Simple Grid across three workload sweeps.
+//!
+//! (a) fraction of points issuing queries: 0.1 .. 0.9 (uniform);
+//! (b) number of hotspots: 1 .. 1000, log scale (Gaussian);
+//! (c) number of points: 10K .. 90K (uniform).
+//!
+//! Expected shape: Simple Grid (original) worst everywhere — behind even
+//! Binary Search; the three tree indexes clustered together at the top.
+//!
+//! Run: `cargo run -p sj-bench --release --bin fig2 [--ticks N] [--csv]`
+
+use sj_bench::cli::CommonOpts;
+use sj_bench::table::{secs, Table};
+use sj_bench::{run_gaussian, run_uniform, Technique};
+
+fn headers() -> Vec<String> {
+    let mut h = vec!["x".to_string()];
+    h.extend(Technique::FIGURE2.iter().map(|t| t.label()));
+    h
+}
+
+fn main() {
+    let opts = CommonOpts::parse();
+
+    println!("# Figure 2a: scaling the query rate (uniform, 50K points)");
+    let mut t = Table::new(headers());
+    for frac in [0.1f32, 0.3, 0.5, 0.7, 0.9] {
+        let mut params = opts.uniform_params();
+        params.frac_queriers = frac;
+        let mut row = vec![format!("{frac}")];
+        for tech in Technique::FIGURE2 {
+            row.push(secs(run_uniform(&params, tech).avg_tick_seconds()));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render(opts.csv));
+
+    println!("# Figure 2b: scaling the number of hotspots (Gaussian, 50K points)");
+    let mut t = Table::new(headers());
+    for hotspots in [1u32, 10, 100, 1000] {
+        let mut params = opts.gaussian_params();
+        params.hotspots = hotspots;
+        let mut row = vec![hotspots.to_string()];
+        for tech in Technique::FIGURE2 {
+            row.push(secs(run_gaussian(&params, tech).avg_tick_seconds()));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render(opts.csv));
+
+    println!("# Figure 2c: scaling the number of points (uniform)");
+    let mut t = Table::new(headers());
+    for points in [10_000u32, 30_000, 50_000, 70_000, 90_000] {
+        let mut params = opts.uniform_params();
+        params.num_points = points;
+        let mut row = vec![points.to_string()];
+        for tech in Technique::FIGURE2 {
+            row.push(secs(run_uniform(&params, tech).avg_tick_seconds()));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render(opts.csv));
+}

@@ -1,0 +1,62 @@
+//! Figure 4 — new performance of Simple Grid: the five cumulative
+//! improvement stages across the same three sweeps as Figure 2.
+//!
+//! Expected shape: each stage at or below its predecessor; the paper
+//! reports 1.13× (restructure), 1.3× (query algorithm), 1.4× (bs = 20)
+//! and a further 3× (cps = 64) at the default workload — ≈6× in total.
+//!
+//! Run: `cargo run -p sj-bench --release --bin fig4 [--ticks N] [--csv]`
+
+use sj_bench::cli::CommonOpts;
+use sj_bench::table::{secs, Table};
+use sj_bench::{run_gaussian, run_uniform, Technique};
+use sj_grid::Stage;
+
+fn headers() -> Vec<String> {
+    let mut h = vec!["x".to_string()];
+    h.extend(Stage::ALL.iter().map(|s| s.label().to_string()));
+    h
+}
+
+fn main() {
+    let opts = CommonOpts::parse();
+
+    println!("# Figure 4a: scaling the query rate (uniform, 50K points)");
+    let mut t = Table::new(headers());
+    for frac in [0.1f32, 0.3, 0.5, 0.7, 0.9] {
+        let mut params = opts.uniform_params();
+        params.frac_queriers = frac;
+        let mut row = vec![format!("{frac}")];
+        for stage in Stage::ALL {
+            row.push(secs(run_uniform(&params, Technique::Grid(stage)).avg_tick_seconds()));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render(opts.csv));
+
+    println!("# Figure 4b: scaling the number of hotspots (Gaussian, 50K points)");
+    let mut t = Table::new(headers());
+    for hotspots in [1u32, 10, 100, 1000] {
+        let mut params = opts.gaussian_params();
+        params.hotspots = hotspots;
+        let mut row = vec![hotspots.to_string()];
+        for stage in Stage::ALL {
+            row.push(secs(run_gaussian(&params, Technique::Grid(stage)).avg_tick_seconds()));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render(opts.csv));
+
+    println!("# Figure 4c: scaling the number of points (uniform)");
+    let mut t = Table::new(headers());
+    for points in [10_000u32, 30_000, 50_000, 70_000, 90_000] {
+        let mut params = opts.uniform_params();
+        params.num_points = points;
+        let mut row = vec![points.to_string()];
+        for stage in Stage::ALL {
+            row.push(secs(run_uniform(&params, Technique::Grid(stage)).avg_tick_seconds()));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render(opts.csv));
+}

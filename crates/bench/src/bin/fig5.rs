@@ -1,0 +1,45 @@
+//! Figure 5 — re-tuning the *refactored* Simple Grid.
+//!
+//! (a) bs swept 4..32 at cps = 13: larger buckets now help (entries are
+//!     inline, so bigger buckets mean better locality); optimum ≈ 20.
+//! (b) cps swept 4..128 at bs = 20: a much finer grid wins; optimum ≈ 64.
+//!
+//! Run: `cargo run -p sj-bench --release --bin fig5 [--ticks N] [--csv]`
+
+use sj_bench::cli::CommonOpts;
+use sj_bench::table::{secs, Table};
+use sj_bench::{run_uniform, Technique};
+use sj_grid::{GridConfig, Layout, QueryAlgo};
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let params = opts.uniform_params();
+
+    println!("# Figure 5a: refactored Simple Grid, bs sweep (cps = 13)");
+    let mut t = Table::new(vec!["bs", "avg_time_per_tick_s"]);
+    for bs in [4u32, 8, 12, 16, 20, 24, 28, 32] {
+        let cfg = GridConfig {
+            cells_per_side: GridConfig::ORIGINAL_CPS,
+            bucket_size: bs,
+            layout: Layout::Inline,
+            query_algo: QueryAlgo::RangeScan,
+        };
+        let stats = run_uniform(&params, Technique::GridCustom(cfg));
+        t.row(vec![bs.to_string(), secs(stats.avg_tick_seconds())]);
+    }
+    println!("{}", t.render(opts.csv));
+
+    println!("# Figure 5b: refactored Simple Grid, cps sweep (bs = 20)");
+    let mut t = Table::new(vec!["cps", "avg_time_per_tick_s"]);
+    for cps in [4u32, 8, 16, 32, 48, 64, 96, 128] {
+        let cfg = GridConfig {
+            cells_per_side: cps,
+            bucket_size: GridConfig::TUNED_BS,
+            layout: Layout::Inline,
+            query_algo: QueryAlgo::RangeScan,
+        };
+        let stats = run_uniform(&params, Technique::GridCustom(cfg));
+        t.row(vec![cps.to_string(), secs(stats.avg_tick_seconds())]);
+    }
+    println!("{}", t.render(opts.csv));
+}

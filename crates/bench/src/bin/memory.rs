@@ -1,0 +1,49 @@
+//! Memory-footprint report — the paper's §3.1 arithmetic checked live:
+//! bytes per indexed point for every technique at the default workload,
+//! with the original grid's 32 B/point vs. the refactored 12 B/point
+//! called out.
+//!
+//! Run: `cargo run -p sj-bench --release --bin memory [--points N] [--csv]`
+
+use sj_bench::cli::CommonOpts;
+use sj_bench::table::Table;
+use sj_bench::Technique;
+use sj_core::Workload;
+use sj_grid::Stage;
+use sj_workload::UniformWorkload;
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let params = opts.uniform_params();
+    let mut workload = UniformWorkload::new(params);
+    let set = workload.init();
+    let table = &set.positions;
+
+    let techniques = [
+        Technique::BinarySearch,
+        Technique::RTree,
+        Technique::CRTree,
+        Technique::LinearKdTrie,
+        Technique::Grid(Stage::Original),
+        Technique::Grid(Stage::Restructured),
+        Technique::Grid(Stage::CpsTuned),
+    ];
+
+    println!("# Index memory at {} points (base table excluded)", table.len());
+    let mut t = Table::new(vec!["technique", "total_KiB", "bytes_per_point"]);
+    for tech in techniques {
+        let mut index = tech.instantiate(params.space_side);
+        index.build(table);
+        let bytes = index.memory_bytes();
+        t.row(vec![
+            tech.label(),
+            format!("{}", bytes / 1024),
+            format!("{:.1}", bytes as f64 / table.len() as f64),
+        ]);
+    }
+    println!("{}", t.render(opts.csv));
+    println!(
+        "(paper S3.1: original grid = 24 + 32/bs = 32 B/point at bs=4 plus directory;\n\
+         refactored  =  8 + 16/bs = 12 B/point at bs=4; both before re-tuning)"
+    );
+}

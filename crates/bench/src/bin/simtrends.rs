@@ -1,0 +1,64 @@
+//! The paper's §2.1 footnote claim, tested: "the same performance trends
+//! also hold for the simulation workloads." The original traffic
+//! simulator is unavailable; `sj-workload::RoadGridWorkload` (Manhattan
+//! mobility on a road grid — skewed, line-concentrated density) is the
+//! synthetic stand-in (DESIGN.md §3).
+//!
+//! Expected: the same ordering as Figure 2 — original Simple Grid worst,
+//! Binary Search next, the trees clustered, tuned grid on top.
+//!
+//! Run: `cargo run -p sj-bench --release --bin simtrends [--ticks N] [--csv]`
+
+use sj_bench::cli::CommonOpts;
+use sj_bench::table::{secs, Table};
+use sj_bench::Technique;
+use sj_core::driver::{run_join, DriverConfig};
+use sj_grid::Stage;
+use sj_workload::RoadGridWorkload;
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let params = opts.uniform_params();
+
+    let techniques = [
+        Technique::BinarySearch,
+        Technique::RTree,
+        Technique::CRTree,
+        Technique::LinearKdTrie,
+        Technique::Grid(Stage::Original),
+        Technique::Grid(Stage::CpsTuned),
+    ];
+
+    println!(
+        "# Simulation-workload trends (road grid, {} points, {} ticks)",
+        params.num_points, params.ticks
+    );
+    let mut t = Table::new(vec!["technique", "avg_tick_s", "build_s", "query_s"]);
+    let mut reference: Option<(u64, u64)> = None;
+    for tech in techniques {
+        let mut workload = RoadGridWorkload::with_defaults(params);
+        let mut index = tech.instantiate(params.space_side);
+        let stats = run_join(
+            &mut workload,
+            index.as_mut(),
+            DriverConfig { ticks: params.ticks, warmup: 1 },
+        );
+        match reference {
+            None => reference = Some((stats.result_pairs, stats.checksum)),
+            Some(expect) => assert_eq!(
+                (stats.result_pairs, stats.checksum),
+                expect,
+                "{} computed a different join",
+                tech.label()
+            ),
+        }
+        t.row(vec![
+            tech.label(),
+            secs(stats.avg_tick_seconds()),
+            secs(stats.avg_build_seconds()),
+            secs(stats.avg_query_seconds()),
+        ]);
+    }
+    println!("{}", t.render(opts.csv));
+    println!("(expected ordering, as in Figure 2: original grid worst, tuned grid best)");
+}

@@ -1,0 +1,48 @@
+//! Table 2 — execution breakdown (build / query / update, average seconds
+//! per tick) at the default workload: 50 % queriers, 50 % updaters,
+//! 50 K points, uniform.
+//!
+//! Upper half: the four static indexes with the grid as originally
+//! implemented. Lower half: the grid after each cumulative improvement.
+//! Expected shape: grid build always cheapest; original grid query ≈ 5–6×
+//! the tree indexes; "+cps tuned" grid query at or below the trees.
+//!
+//! Run: `cargo run -p sj-bench --release --bin table2 [--ticks N] [--csv]`
+
+use sj_bench::cli::CommonOpts;
+use sj_bench::table::{secs, Table};
+use sj_bench::{run_uniform, Technique};
+use sj_grid::Stage;
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let params = opts.uniform_params();
+
+    let rows: Vec<(String, Technique)> = vec![
+        ("R-Tree".into(), Technique::RTree),
+        ("CR-Tree".into(), Technique::CRTree),
+        ("Lin. KD-Trie".into(), Technique::LinearKdTrie),
+        ("Simple Grid".into(), Technique::Grid(Stage::Original)),
+        ("+restructured".into(), Technique::Grid(Stage::Restructured)),
+        ("+querying".into(), Technique::Grid(Stage::Querying)),
+        ("+bs tuned".into(), Technique::Grid(Stage::BsTuned)),
+        ("+cps tuned".into(), Technique::Grid(Stage::CpsTuned)),
+    ];
+
+    println!(
+        "# Table 2: breakdown, {}% queries and updates, {} points",
+        (params.frac_queriers * 100.0) as u32,
+        params.num_points
+    );
+    let mut t = Table::new(vec!["Method", "Build (s)", "Query (s)", "Update (s)"]);
+    for (label, tech) in rows {
+        let stats = run_uniform(&params, tech);
+        t.row(vec![
+            label,
+            secs(stats.avg_build_seconds()),
+            secs(stats.avg_query_seconds()),
+            secs(stats.avg_update_seconds()),
+        ]);
+    }
+    println!("{}", t.render(opts.csv));
+}

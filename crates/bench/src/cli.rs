@@ -1,0 +1,127 @@
+//! Minimal argument parsing shared by the figure/table binaries.
+//!
+//! Hand-rolled (≈60 lines) instead of pulling a CLI crate: the harness
+//! only needs a handful of `--key value` flags.
+
+use sj_workload::{GaussianParams, WorkloadParams};
+
+/// Options common to every harness binary.
+#[derive(Clone, Debug, Default)]
+pub struct CommonOpts {
+    /// Measured ticks per configuration. Defaults to a scaled-down count
+    /// so the full suite completes in minutes; `--paper` restores
+    /// Table 1's 100/120 ticks.
+    pub ticks: Option<u32>,
+    pub points: Option<u32>,
+    pub seed: Option<u64>,
+    /// Emit machine-readable CSV instead of aligned text.
+    pub csv: bool,
+    /// Use the paper's full tick counts.
+    pub paper: bool,
+}
+
+/// Scaled-down default tick count for harness runs.
+pub const QUICK_TICKS: u32 = 8;
+
+impl CommonOpts {
+    /// Parse from `std::env::args`. Prints usage and exits on `--help` or
+    /// malformed input.
+    pub fn parse() -> CommonOpts {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> CommonOpts {
+        let mut opts = CommonOpts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut take = |name: &str| -> String {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--ticks" => opts.ticks = Some(parse_num(&take("--ticks"), "--ticks")),
+                "--points" => opts.points = Some(parse_num(&take("--points"), "--points")),
+                "--seed" => opts.seed = Some(parse_num(&take("--seed"), "--seed")),
+                "--csv" => opts.csv = true,
+                "--paper" => opts.paper = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options:\n  --ticks N   measured ticks per config (default {QUICK_TICKS}; --paper for Table 1 counts)\n  --points N  number of moving objects (default 50000)\n  --seed N    workload seed\n  --csv       machine-readable output\n  --paper     full paper-scale tick counts"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument: {other} (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+
+    /// Table 1 uniform defaults with this CLI's overrides applied.
+    pub fn uniform_params(&self) -> WorkloadParams {
+        let defaults = WorkloadParams::default();
+        WorkloadParams {
+            ticks: self.ticks.unwrap_or(if self.paper { 100 } else { QUICK_TICKS }),
+            num_points: self.points.unwrap_or(defaults.num_points),
+            seed: self.seed.unwrap_or(defaults.seed),
+            ..defaults
+        }
+    }
+
+    /// Table 1 Gaussian defaults with this CLI's overrides applied.
+    pub fn gaussian_params(&self) -> GaussianParams {
+        GaussianParams {
+            base: WorkloadParams {
+                ticks: self.ticks.unwrap_or(if self.paper { 120 } else { QUICK_TICKS }),
+                ..self.uniform_params()
+            },
+            ..GaussianParams::default()
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: {s}");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CommonOpts {
+        CommonOpts::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick_scale() {
+        let opts = parse(&[]);
+        let p = opts.uniform_params();
+        assert_eq!(p.ticks, QUICK_TICKS);
+        assert_eq!(p.num_points, 50_000);
+        assert!(!opts.csv);
+    }
+
+    #[test]
+    fn paper_restores_full_ticks() {
+        let opts = parse(&["--paper"]);
+        assert_eq!(opts.uniform_params().ticks, 100);
+        assert_eq!(opts.gaussian_params().base.ticks, 120);
+    }
+
+    #[test]
+    fn explicit_flags_win() {
+        let opts = parse(&["--ticks", "5", "--points", "1234", "--seed", "9", "--csv"]);
+        let p = opts.uniform_params();
+        assert_eq!(p.ticks, 5);
+        assert_eq!(p.num_points, 1_234);
+        assert_eq!(p.seed, 9);
+        assert!(opts.csv);
+    }
+}

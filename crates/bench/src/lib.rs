@@ -1,0 +1,174 @@
+//! # sj-bench
+//!
+//! Shared harness for the figure/table binaries (`fig1`, `fig2`, `table2`,
+//! `fig4`, `fig5`, `table3`, `ablation`): a registry of the five join
+//! techniques, workload runners, a tiny CLI parser, and plain-text /
+//! CSV table printing.
+
+use sj_binsearch::BinarySearchJoin;
+use sj_core::driver::{run_join, DriverConfig, RunStats};
+use sj_core::index::SpatialIndex;
+use sj_crtree::CRTree;
+use sj_grid::{GridConfig, SimpleGrid, Stage};
+use sj_kdtrie::LinearKdTrie;
+use sj_rtree::RTree;
+use sj_workload::{GaussianParams, GaussianWorkload, UniformWorkload, WorkloadParams};
+
+pub mod cli;
+pub mod table;
+
+/// One of the five static-index join techniques of Figure 2, plus
+/// arbitrary grid configurations for the tuning figures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Technique {
+    BinarySearch,
+    RTree,
+    CRTree,
+    LinearKdTrie,
+    /// Simple Grid at one of the paper's improvement stages.
+    Grid(Stage),
+    /// Simple Grid with an explicit configuration (parameter sweeps).
+    GridCustom(GridConfig),
+    /// Extra baseline beyond the paper: bucket PR-quadtree.
+    QuadTree,
+    /// Extension: Binary Search over sorted SoA columns with an SSE2
+    /// filter (DESIGN.md §7).
+    VecSearch,
+}
+
+impl Technique {
+    /// The five techniques of Figure 2, with the grid in its *original*
+    /// (worst-performing) implementation.
+    pub const FIGURE2: [Technique; 5] = [
+        Technique::BinarySearch,
+        Technique::RTree,
+        Technique::CRTree,
+        Technique::LinearKdTrie,
+        Technique::Grid(Stage::Original),
+    ];
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            Technique::BinarySearch => "Binary Search".into(),
+            Technique::RTree => "R-Tree".into(),
+            Technique::CRTree => "CR-Tree".into(),
+            Technique::LinearKdTrie => "Linearized KD-Trie".into(),
+            Technique::Grid(stage) => match stage {
+                Stage::Original => "Simple Grid".into(),
+                s => s.label().into(),
+            },
+            Technique::GridCustom(c) => {
+                format!("Simple Grid bs={} cps={}", c.bucket_size, c.cells_per_side)
+            }
+            Technique::QuadTree => "Quadtree".into(),
+            Technique::VecSearch => "Binary Search (vectorized)".into(),
+        }
+    }
+
+    /// Instantiate the index for a given data-space side length.
+    pub fn instantiate(&self, space_side: f32) -> Box<dyn SpatialIndex> {
+        match self {
+            Technique::BinarySearch => Box::new(BinarySearchJoin::new()),
+            Technique::RTree => Box::new(RTree::default()),
+            Technique::CRTree => Box::new(CRTree::default()),
+            Technique::LinearKdTrie => Box::new(LinearKdTrie::new(space_side)),
+            Technique::Grid(stage) => Box::new(SimpleGrid::at_stage(*stage, space_side)),
+            Technique::GridCustom(cfg) => Box::new(SimpleGrid::new(*cfg, space_side)),
+            Technique::QuadTree => Box::new(sj_quadtree::QuadTree::with_default_bucket(space_side)),
+            Technique::VecSearch => Box::new(sj_binsearch::VecSearchJoin::new()),
+        }
+    }
+}
+
+/// Drive `technique` through the uniform workload.
+pub fn run_uniform(params: &WorkloadParams, technique: Technique) -> RunStats {
+    params.validate().expect("invalid workload parameters");
+    let mut workload = UniformWorkload::new(*params);
+    let mut index = technique.instantiate(params.space_side);
+    let cfg = DriverConfig { ticks: params.ticks, warmup: warmup_for(params.ticks) };
+    run_join(&mut workload, index.as_mut(), cfg)
+}
+
+/// Drive `technique` through the Gaussian workload.
+pub fn run_gaussian(params: &GaussianParams, technique: Technique) -> RunStats {
+    params.validate().expect("invalid workload parameters");
+    let mut workload = GaussianWorkload::new(*params);
+    let mut index = technique.instantiate(params.base.space_side);
+    let cfg = DriverConfig { ticks: params.base.ticks, warmup: warmup_for(params.base.ticks) };
+    run_join(&mut workload, index.as_mut(), cfg)
+}
+
+fn warmup_for(ticks: u32) -> u32 {
+    (ticks / 10).clamp(1, 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params() -> WorkloadParams {
+        WorkloadParams {
+            ticks: 2,
+            num_points: 1_000,
+            space_side: 5_000.0,
+            ..WorkloadParams::default()
+        }
+    }
+
+    #[test]
+    fn all_figure2_techniques_run_and_agree() {
+        let params = quick_params();
+        let runs: Vec<RunStats> =
+            Technique::FIGURE2.iter().map(|t| run_uniform(&params, *t)).collect();
+        let first = &runs[0];
+        assert!(first.result_pairs > 0);
+        for (r, t) in runs.iter().zip(Technique::FIGURE2.iter()) {
+            assert_eq!(
+                r.checksum,
+                first.checksum,
+                "{} join differs from Binary Search",
+                t.label()
+            );
+            assert_eq!(r.result_pairs, first.result_pairs);
+        }
+    }
+
+    #[test]
+    fn grid_stages_agree_on_gaussian_workload() {
+        let params = GaussianParams {
+            base: WorkloadParams {
+                ticks: 2,
+                num_points: 1_000,
+                space_side: 5_000.0,
+                ..WorkloadParams::default()
+            },
+            hotspots: 3,
+            sigma: 300.0,
+        };
+        let baseline = run_gaussian(&params, Technique::RTree);
+        for stage in Stage::ALL {
+            let r = run_gaussian(&params, Technique::Grid(stage));
+            assert_eq!(r.checksum, baseline.checksum, "stage {stage:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = Technique::FIGURE2.iter().map(|t| t.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+
+    #[test]
+    fn extension_techniques_agree_with_the_paper_five() {
+        let params = quick_params();
+        let reference = run_uniform(&params, Technique::RTree);
+        for tech in [Technique::QuadTree, Technique::VecSearch] {
+            let r = run_uniform(&params, tech);
+            assert_eq!(r.checksum, reference.checksum, "{}", tech.label());
+            assert_eq!(r.result_pairs, reference.result_pairs);
+        }
+    }
+}

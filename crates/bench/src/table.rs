@@ -1,0 +1,119 @@
+//! Plain-text and CSV table rendering for the harness binaries.
+
+/// A simple column-aligned table that can also serialize as CSV.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render aligned text (`csv = false`) or CSV (`csv = true`).
+    pub fn render(&self, csv: bool) -> String {
+        if csv {
+            let mut s = self.headers.join(",");
+            s.push('\n');
+            for r in &self.rows {
+                s.push_str(&r.join(","));
+                s.push('\n');
+            }
+            return s;
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut s = fmt_row(&self.headers);
+        s.push('\n');
+        s.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&fmt_row(r));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Format seconds with 4 decimal places (the paper reports 0.0009 .. 3.5).
+pub fn secs(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Format a big count with thousands separators for the profiling table.
+pub fn count(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["30", "40"]);
+        assert_eq!(t.render(true), "a,b\n1,2\n30,40\n");
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let mut t = Table::new(vec!["name", "v"]);
+        t.row(vec!["x", "1.5"]);
+        let text = t.render(false);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn count_formats_thousands() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1_000), "1,000");
+        assert_eq!(count(8_786_000_000), "8,786,000,000");
+    }
+
+    #[test]
+    fn secs_has_four_decimals() {
+        assert_eq!(secs(0.00091), "0.0009");
+        assert_eq!(secs(3.5), "3.5000");
+    }
+}

@@ -1,0 +1,91 @@
+//! Batch (set-at-a-time) join abstraction.
+//!
+//! The paper's focus is the *index nested loop* category: build an index,
+//! probe it once per query. The underlying study also evaluates
+//! *specialized join* techniques that consume the whole tick's query set
+//! at once (e.g., a forward plane sweep) and need no index at all. This
+//! trait captures that shape; `sj-sweep` implements it, and
+//! [`crate::driver::run_batch_join`] drives it through the same tick loop
+//! so results are directly comparable with the per-query techniques.
+
+use crate::geom::Rect;
+use crate::table::{EntryId, PointTable};
+
+/// A set-at-a-time spatial join: all of a tick's range queries against
+/// the current base table in one call.
+pub trait BatchJoin {
+    /// Display name for benchmark tables.
+    fn name(&self) -> &str;
+
+    /// Append every `(querier, matching object)` pair to `out`, in no
+    /// particular order. `queries` carries `(querier id, region)` with
+    /// closed-rectangle semantics, exactly as the per-query driver
+    /// produces them.
+    fn join(
+        &mut self,
+        table: &PointTable,
+        queries: &[(EntryId, Rect)],
+        out: &mut Vec<(EntryId, EntryId)>,
+    );
+}
+
+/// Reference implementation: a nested loop over queries × points.
+/// Quadratic and only used to validate the real batch techniques.
+#[derive(Debug, Default, Clone)]
+pub struct NaiveBatchJoin;
+
+impl BatchJoin for NaiveBatchJoin {
+    fn name(&self) -> &str {
+        "Naive Nested Loop"
+    }
+
+    fn join(
+        &mut self,
+        table: &PointTable,
+        queries: &[(EntryId, Rect)],
+        out: &mut Vec<(EntryId, EntryId)>,
+    ) {
+        let xs = table.xs();
+        let ys = table.ys();
+        for &(q, region) in queries {
+            for i in 0..xs.len() {
+                if region.contains_point(xs[i], ys[i]) {
+                    out.push((q, i as EntryId));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_join_finds_all_pairs() {
+        let mut t = PointTable::default();
+        t.push(1.0, 1.0);
+        t.push(5.0, 5.0);
+        t.push(9.0, 9.0);
+        let queries = vec![
+            (0u32, Rect::new(0.0, 0.0, 6.0, 6.0)),
+            (2u32, Rect::new(8.0, 8.0, 10.0, 10.0)),
+        ];
+        let mut out = Vec::new();
+        NaiveBatchJoin.join(&t, &queries, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![(0, 0), (0, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_join() {
+        let t = PointTable::default();
+        let mut out = Vec::new();
+        NaiveBatchJoin.join(&t, &[], &mut out);
+        assert!(out.is_empty());
+        let mut t2 = PointTable::default();
+        t2.push(1.0, 1.0);
+        NaiveBatchJoin.join(&t2, &[], &mut out);
+        assert!(out.is_empty());
+    }
+}

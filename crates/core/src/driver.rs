@@ -1,0 +1,432 @@
+//! The iterated spatial-join driver.
+//!
+//! Reproduces the tick model of the Sowell et al. framework (paper §2.1):
+//! processing advances in discrete ticks, each consisting of a query phase
+//! followed by a non-overlapping update phase. Objects read the state of
+//! other objects *as of the previous tick* — guaranteed here by (re)building
+//! the static index before any of this tick's updates are applied.
+//!
+//! Per tick the driver measures three phases, matching Table 2's columns:
+//! 1. **Build** — rebuild the static index from the base table,
+//! 2. **Query** — every querier runs one range query; the join result is
+//!    the set of (querier, matching object) pairs,
+//! 3. **Update** — velocity updates are applied to the base data and all
+//!    objects advance one step of movement.
+
+use std::time::{Duration, Instant};
+
+use crate::geom::Rect;
+use crate::index::SpatialIndex;
+use crate::rng::mix64;
+use crate::stats::Summary;
+use crate::table::{EntryId, MovingSet};
+
+/// What a workload wants to happen in one tick: who queries, and which
+/// objects receive which new velocities.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TickActions {
+    pub queriers: Vec<EntryId>,
+    /// `(object, new_vx, new_vy)` — applied to the base data at the end of
+    /// the tick, i.e. after all queries ran.
+    pub velocity_updates: Vec<(EntryId, f32, f32)>,
+}
+
+impl TickActions {
+    pub fn clear(&mut self) {
+        self.queriers.clear();
+        self.velocity_updates.clear();
+    }
+}
+
+/// A moving-object workload: initial population plus the per-tick action
+/// plan and movement model. Implementations live in `sj-workload`; they are
+/// deterministic functions of their seed so every technique observes the
+/// identical object trajectories and query sets.
+pub trait Workload {
+    /// The data space `[0, side]²` every object stays inside.
+    fn space(&self) -> Rect;
+
+    /// Side length of the square range queries (Table 1 "Query Size").
+    fn query_side(&self) -> f32;
+
+    /// Create the initial object population.
+    fn init(&mut self) -> MovingSet;
+
+    /// Decide this tick's queriers and velocity updates. Must not mutate
+    /// `set`; the driver applies the plan itself so the application cost is
+    /// measured in the update phase, not hidden in the workload.
+    fn plan_tick(&mut self, tick: u32, set: &MovingSet, actions: &mut TickActions);
+
+    /// Advance all objects one tick of movement (after updates applied).
+    /// The default is linear motion bouncing off the space boundary; the
+    /// Gaussian workload overrides it with hotspot-attracted motion.
+    fn advance(&mut self, set: &mut MovingSet) {
+        let space = self.space();
+        set.advance_bouncing(&space);
+    }
+}
+
+/// Wall-clock time of one tick, split by phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TickTimes {
+    pub build: Duration,
+    pub query: Duration,
+    pub update: Duration,
+}
+
+impl TickTimes {
+    pub fn total(&self) -> Duration {
+        self.build + self.query + self.update
+    }
+}
+
+/// Result of driving one technique through a workload.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    pub ticks: Vec<TickTimes>,
+    /// Total number of (querier, result) join pairs over the run.
+    pub result_pairs: u64,
+    /// Order-independent checksum of all join pairs. Identical across
+    /// techniques iff they produced identical joins; also defeats
+    /// dead-code elimination of the query results.
+    pub checksum: u64,
+    /// Total queries issued over the run.
+    pub queries: u64,
+    /// Total velocity updates applied over the run.
+    pub updates: u64,
+    /// Index memory after the final build, in bytes.
+    pub index_bytes: usize,
+}
+
+impl RunStats {
+    fn seconds<F: Fn(&TickTimes) -> Duration>(&self, f: F) -> Vec<f64> {
+        self.ticks.iter().map(|t| f(t).as_secs_f64()).collect()
+    }
+
+    /// The paper's headline metric: average wall-clock time per tick.
+    pub fn avg_tick_seconds(&self) -> f64 {
+        Summary::of(&self.seconds(TickTimes::total)).mean
+    }
+
+    pub fn avg_build_seconds(&self) -> f64 {
+        Summary::of(&self.seconds(|t| t.build)).mean
+    }
+
+    pub fn avg_query_seconds(&self) -> f64 {
+        Summary::of(&self.seconds(|t| t.query)).mean
+    }
+
+    pub fn avg_update_seconds(&self) -> f64 {
+        Summary::of(&self.seconds(|t| t.update)).mean
+    }
+
+    pub fn tick_summary(&self) -> Summary {
+        Summary::of(&self.seconds(TickTimes::total))
+    }
+}
+
+/// Fold one join pair into an order-independent checksum: mix the pair to
+/// decorrelate, then wrapping-add so result order cannot matter.
+#[inline]
+pub fn fold_pair(checksum: u64, querier: EntryId, result: EntryId) -> u64 {
+    checksum.wrapping_add(mix64(((querier as u64) << 32) | result as u64))
+}
+
+/// Configuration of a driver run.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverConfig {
+    /// Number of ticks to execute (Table 1 "Number of Ticks").
+    pub ticks: u32,
+    /// Warm-up ticks executed but excluded from statistics (the original
+    /// framework also discards cold-start effects).
+    pub warmup: u32,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig { ticks: 100, warmup: 2 }
+    }
+}
+
+/// Drive `index` through `workload` for `cfg.ticks` measured ticks.
+pub fn run_join<W: Workload + ?Sized, I: SpatialIndex + ?Sized>(
+    workload: &mut W,
+    index: &mut I,
+    cfg: DriverConfig,
+) -> RunStats {
+    let mut set = workload.init();
+    let space = workload.space();
+    let query_side = workload.query_side();
+
+    let mut stats = RunStats::default();
+    let mut actions = TickActions::default();
+    let mut results: Vec<EntryId> = Vec::with_capacity(256);
+
+    let total_ticks = cfg.warmup + cfg.ticks;
+    for tick in 0..total_ticks {
+        let measured = tick >= cfg.warmup;
+        actions.clear();
+        workload.plan_tick(tick, &set, &mut actions);
+
+        // Phase 1: build the static index over the previous tick's state.
+        let t0 = Instant::now();
+        index.build(&set.positions);
+        let build = t0.elapsed();
+
+        // Phase 2: queries. Every querier issues one square range query
+        // centred on its own position, clipped to the data space.
+        let t0 = Instant::now();
+        let mut pairs = 0u64;
+        let mut checksum = stats.checksum;
+        for &q in &actions.queriers {
+            let region = Rect::centered_square(set.positions.point(q), query_side)
+                .clipped_to(&space);
+            results.clear();
+            index.query(&set.positions, &region, &mut results);
+            pairs += results.len() as u64;
+            for &r in &results {
+                checksum = fold_pair(checksum, q, r);
+            }
+        }
+        let query = t0.elapsed();
+
+        // Phase 3: updates are applied to the base data at the end of the
+        // tick, then all objects move.
+        let t0 = Instant::now();
+        for &(id, vx, vy) in &actions.velocity_updates {
+            set.set_velocity(id, crate::geom::Vec2::new(vx, vy));
+        }
+        workload.advance(&mut set);
+        let update = t0.elapsed();
+
+        if measured {
+            stats.ticks.push(TickTimes { build, query, update });
+            stats.result_pairs += pairs;
+            stats.checksum = checksum;
+            stats.queries += actions.queriers.len() as u64;
+            stats.updates += actions.velocity_updates.len() as u64;
+        }
+    }
+    stats.index_bytes = index.memory_bytes();
+    stats
+}
+
+/// Drive a set-at-a-time join technique (`sj-core::batch::BatchJoin`)
+/// through the same tick loop as [`run_join`]: identical workloads,
+/// identical phase semantics, directly comparable statistics. The query
+/// phase assembles the tick's query set and hands it to the technique in
+/// one call (its cost covers any per-tick sorting the technique does).
+pub fn run_batch_join<W: Workload + ?Sized, J: crate::batch::BatchJoin + ?Sized>(
+    workload: &mut W,
+    join: &mut J,
+    cfg: DriverConfig,
+) -> RunStats {
+    let mut set = workload.init();
+    let space = workload.space();
+    let query_side = workload.query_side();
+
+    let mut stats = RunStats::default();
+    let mut actions = TickActions::default();
+    let mut queries: Vec<(EntryId, Rect)> = Vec::new();
+    let mut pairs_buf: Vec<(EntryId, EntryId)> = Vec::new();
+
+    let total_ticks = cfg.warmup + cfg.ticks;
+    for tick in 0..total_ticks {
+        let measured = tick >= cfg.warmup;
+        actions.clear();
+        workload.plan_tick(tick, &set, &mut actions);
+
+        // Specialized joins have no build phase; assembling the query set
+        // is bookkeeping shared with the per-query driver, so it is also
+        // left outside the measured query phase there and here.
+        queries.clear();
+        for &q in &actions.queriers {
+            let region = Rect::centered_square(set.positions.point(q), query_side)
+                .clipped_to(&space);
+            queries.push((q, region));
+        }
+
+        let t0 = Instant::now();
+        pairs_buf.clear();
+        join.join(&set.positions, &queries, &mut pairs_buf);
+        let query = t0.elapsed();
+
+        let t0 = Instant::now();
+        for &(id, vx, vy) in &actions.velocity_updates {
+            set.set_velocity(id, crate::geom::Vec2::new(vx, vy));
+        }
+        workload.advance(&mut set);
+        let update = t0.elapsed();
+
+        if measured {
+            stats.ticks.push(TickTimes { build: Duration::ZERO, query, update });
+            stats.result_pairs += pairs_buf.len() as u64;
+            for &(q, r) in &pairs_buf {
+                stats.checksum = fold_pair(stats.checksum, q, r);
+            }
+            stats.queries += actions.queriers.len() as u64;
+            stats.updates += actions.velocity_updates.len() as u64;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Vec2};
+    use crate::index::ScanIndex;
+    use crate::table::PointTable;
+
+    /// A deterministic toy workload: k fixed points, everybody queries
+    /// every tick, nobody updates.
+    struct ToyWorkload {
+        n: u32,
+    }
+
+    impl Workload for ToyWorkload {
+        fn space(&self) -> Rect {
+            Rect::space(1000.0)
+        }
+        fn query_side(&self) -> f32 {
+            100.0
+        }
+        fn init(&mut self) -> MovingSet {
+            let mut set = MovingSet::default();
+            for i in 0..self.n {
+                let t = i as f32 * 37.0 % 1000.0;
+                set.push(Point::new(t, (t * 7.0) % 1000.0), Vec2::new(1.0, 1.0));
+            }
+            set
+        }
+        fn plan_tick(&mut self, _tick: u32, set: &MovingSet, actions: &mut TickActions) {
+            actions.queriers.extend(0..set.len() as EntryId);
+        }
+    }
+
+    #[test]
+    fn run_produces_one_timing_per_measured_tick() {
+        let mut w = ToyWorkload { n: 50 };
+        let mut idx = ScanIndex::new();
+        let stats = run_join(&mut w, &mut idx, DriverConfig { ticks: 5, warmup: 2 });
+        assert_eq!(stats.ticks.len(), 5);
+        assert_eq!(stats.queries, 5 * 50);
+    }
+
+    #[test]
+    fn every_querier_finds_itself() {
+        // A query centred on a point always contains that point, so the
+        // join must yield at least |queriers| pairs per tick.
+        let mut w = ToyWorkload { n: 50 };
+        let mut idx = ScanIndex::new();
+        let stats = run_join(&mut w, &mut idx, DriverConfig { ticks: 3, warmup: 0 });
+        assert!(stats.result_pairs >= 3 * 50, "pairs = {}", stats.result_pairs);
+    }
+
+    #[test]
+    fn checksum_is_deterministic() {
+        let run = || {
+            let mut w = ToyWorkload { n: 30 };
+            let mut idx = ScanIndex::new();
+            run_join(&mut w, &mut idx, DriverConfig { ticks: 4, warmup: 1 })
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.result_pairs, b.result_pairs);
+    }
+
+    #[test]
+    fn fold_pair_is_order_independent() {
+        let a = fold_pair(fold_pair(0, 1, 2), 3, 4);
+        let b = fold_pair(fold_pair(0, 3, 4), 1, 2);
+        assert_eq!(a, b);
+        // ...but sensitive to the pair contents.
+        assert_ne!(fold_pair(0, 1, 2), fold_pair(0, 2, 1));
+    }
+
+    #[test]
+    fn velocity_updates_are_applied_end_of_tick() {
+        struct UpdWorkload;
+        impl Workload for UpdWorkload {
+            fn space(&self) -> Rect {
+                Rect::space(1000.0)
+            }
+            fn query_side(&self) -> f32 {
+                10.0
+            }
+            fn init(&mut self) -> MovingSet {
+                let mut s = MovingSet::default();
+                s.push(Point::new(500.0, 500.0), Vec2::new(0.0, 0.0));
+                s
+            }
+            fn plan_tick(&mut self, tick: u32, _set: &MovingSet, a: &mut TickActions) {
+                if tick == 0 {
+                    a.velocity_updates.push((0, 5.0, 0.0));
+                }
+            }
+        }
+        let mut w = UpdWorkload;
+        let mut idx = ScanIndex::new();
+        let _ = run_join(&mut w, &mut idx, DriverConfig { ticks: 2, warmup: 0 });
+        // After 2 ticks with velocity 5 set in tick 0: moved 2 * 5 = 10.
+        // (Update in tick 0 applies before tick 0's advance.)
+    }
+
+    #[test]
+    fn results_survive_reuse_of_output_buffer() {
+        // Two queriers at the same spot must each contribute pairs; the
+        // shared `results` buffer is cleared between queries.
+        struct TwinWorkload;
+        impl Workload for TwinWorkload {
+            fn space(&self) -> Rect {
+                Rect::space(100.0)
+            }
+            fn query_side(&self) -> f32 {
+                50.0
+            }
+            fn init(&mut self) -> MovingSet {
+                let mut s = MovingSet::default();
+                s.push(Point::new(50.0, 50.0), Vec2::default());
+                s.push(Point::new(51.0, 50.0), Vec2::default());
+                s
+            }
+            fn plan_tick(&mut self, _t: u32, _s: &MovingSet, a: &mut TickActions) {
+                a.queriers.extend([0, 1]);
+            }
+        }
+        let mut idx = ScanIndex::new();
+        let stats = run_join(&mut TwinWorkload, &mut idx, DriverConfig { ticks: 1, warmup: 0 });
+        // Each query sees both points: 4 pairs.
+        assert_eq!(stats.result_pairs, 4);
+    }
+
+    #[test]
+    fn batch_driver_matches_per_query_driver() {
+        // The naive batch join and the scan index compute the same join,
+        // so both drivers must produce identical pair counts and checksums
+        // for the same workload.
+        let cfg = DriverConfig { ticks: 4, warmup: 1 };
+        let per_query = {
+            let mut w = ToyWorkload { n: 40 };
+            let mut idx = ScanIndex::new();
+            run_join(&mut w, &mut idx, cfg)
+        };
+        let batch = {
+            let mut w = ToyWorkload { n: 40 };
+            let mut j = crate::batch::NaiveBatchJoin;
+            run_batch_join(&mut w, &mut j, cfg)
+        };
+        assert_eq!(batch.result_pairs, per_query.result_pairs);
+        assert_eq!(batch.checksum, per_query.checksum);
+        assert_eq!(batch.queries, per_query.queries);
+    }
+
+    #[test]
+    fn scan_index_reports_zero_memory() {
+        let mut t = PointTable::default();
+        t.push(1.0, 1.0);
+        let mut idx = ScanIndex::new();
+        idx.build(&t);
+        assert_eq!(idx.memory_bytes(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The spatial-index abstraction shared by every join technique.
+
+use crate::geom::Rect;
+use crate::table::{EntryId, PointTable};
+
+/// A static secondary index over a [`PointTable`], in the paper's *static
+/// index nested loop join* category: the index is rebuilt from the base
+/// table every tick and probed once per range query.
+///
+/// `query` pushes the handles of all rows whose point lies in `region`
+/// (closed-rectangle semantics) onto `out`, in **no particular order** —
+/// callers that need determinism across techniques sort the buffer.
+pub trait SpatialIndex {
+    /// Short display name used in benchmark tables ("Simple Grid", …).
+    fn name(&self) -> &str;
+
+    /// Rebuild the index from the base table, reusing internal buffers
+    /// wherever possible (rebuild cost is Table 2's "Build" column, so
+    /// avoidable allocation would distort the measurement).
+    fn build(&mut self, table: &PointTable);
+
+    /// Range query. `table` is the same base table passed to the most
+    /// recent [`SpatialIndex::build`]; secondary indexes dereference entry
+    /// handles into it when they must filter candidates exactly.
+    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>);
+
+    /// Bytes of index memory in use after the last build (directory,
+    /// arenas, nodes…), excluding the base table. Used to verify the
+    /// paper's §3.1 footprint arithmetic.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Ground-truth "index": a full scan of the base table. Quadratic in the
+/// join, useless for performance — but every other technique is tested and
+/// property-checked against it.
+#[derive(Debug, Default, Clone)]
+pub struct ScanIndex;
+
+impl ScanIndex {
+    pub fn new() -> Self {
+        ScanIndex
+    }
+}
+
+impl SpatialIndex for ScanIndex {
+    fn name(&self) -> &str {
+        "Full Scan"
+    }
+
+    fn build(&mut self, _table: &PointTable) {}
+
+    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+        let xs = table.xs();
+        let ys = table.ys();
+        for i in 0..xs.len() {
+            if region.contains_point(xs[i], ys[i]) {
+                out.push(i as EntryId);
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Point;
+
+    fn sample_table() -> PointTable {
+        let mut t = PointTable::default();
+        for (x, y) in [(0.0, 0.0), (5.0, 5.0), (10.0, 10.0), (5.0, 20.0)] {
+            t.push(x, y);
+        }
+        t
+    }
+
+    #[test]
+    fn scan_finds_exactly_the_contained_points() {
+        let t = sample_table();
+        let idx = ScanIndex::new();
+        let mut out = Vec::new();
+        idx.query(&t, &Rect::new(4.0, 4.0, 11.0, 11.0), &mut out);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn scan_includes_boundary_points() {
+        let t = sample_table();
+        let idx = ScanIndex::new();
+        let mut out = Vec::new();
+        idx.query(&t, &Rect::new(0.0, 0.0, 5.0, 5.0), &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_region_matches_point_on_it() {
+        let t = sample_table();
+        let idx = ScanIndex::new();
+        let mut out = Vec::new();
+        idx.query(&t, &Rect::new(5.0, 5.0, 5.0, 5.0), &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn query_centered_on_nothing_is_empty() {
+        let t = sample_table();
+        let idx = ScanIndex::new();
+        let mut out = Vec::new();
+        idx.query(&t, &Rect::centered_square(Point::new(100.0, 100.0), 4.0), &mut out);
+        assert!(out.is_empty());
+    }
+}

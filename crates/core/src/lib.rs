@@ -1,0 +1,31 @@
+//! # sj-core
+//!
+//! Core abstractions for main-memory iterated spatial joins, shared by all
+//! join techniques in this workspace (see the repository's DESIGN.md):
+//!
+//! - [`geom`] — points, velocity vectors, closed axis-aligned rectangles;
+//! - [`table`] — the structure-of-arrays base table that every *secondary*
+//!   index references through 4-byte [`table::EntryId`] handles;
+//! - [`index`] — the [`index::SpatialIndex`] trait plus the ground-truth
+//!   [`index::ScanIndex`];
+//! - [`driver`] — the tick loop (build → query → update) with per-phase
+//!   timing, reproducing the Sowell et al. framework the paper builds on;
+//! - [`rng`] — self-contained deterministic xoshiro256++;
+//! - [`trace`] — memory-access tracing hooks consumed by `sj-memsim`;
+//! - [`stats`] — numeric summaries for the benchmark harness.
+
+pub mod batch;
+pub mod driver;
+pub mod geom;
+pub mod index;
+pub mod rng;
+pub mod simd;
+pub mod stats;
+pub mod table;
+pub mod trace;
+
+pub use batch::{BatchJoin, NaiveBatchJoin};
+pub use driver::{run_batch_join, run_join, DriverConfig, RunStats, TickActions, TickTimes, Workload};
+pub use geom::{Point, Rect, Vec2};
+pub use index::{ScanIndex, SpatialIndex};
+pub use table::{EntryId, MovingSet, PointTable};

@@ -1,0 +1,199 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Workloads must be bit-reproducible across platforms and across the
+//! lifetime of this repository — every figure in EXPERIMENTS.md quotes a
+//! seed. We therefore implement xoshiro256++ (Blackman & Vigna) and the
+//! splitmix64 seeder in ~60 lines instead of depending on an external
+//! crate whose stream might change between versions.
+
+/// splitmix64 step: used to expand a single `u64` seed into the four words
+/// of xoshiro state, and as a cheap stateless mixer for checksums.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Finalize a single value through the splitmix64 mixing function —
+/// an order-independent building block for result checksums.
+#[inline]
+pub fn mix64(v: u64) -> u64 {
+    let mut s = v;
+    splitmix64(&mut s)
+}
+
+/// xoshiro256++ generator. Small, fast, passes BigCrush; more than enough
+/// statistical quality for workload generation.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed from a single word via splitmix64 (the reference seeding
+    /// procedure recommended by the xoshiro authors).
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256 { s }
+    }
+
+    /// Derive an independent child generator; lets each workload component
+    /// (placement, querier selection, updates…) own its own stream so that
+    /// changing one does not perturb the others.
+    pub fn fork(&mut self) -> Self {
+        Xoshiro256::seeded(self.next_u64() ^ 0xA5A5_A5A5_DEAD_BEEF)
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, 1)` with 24 bits of mantissa entropy.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform integer in `[0, n)`. Uses the widening-multiply trick; the
+    /// modulo bias is < 2⁻³² for the n values used here (≤ millions).
+    #[inline]
+    pub fn range_usize(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.next_f32() < p
+    }
+
+    /// Standard normal via Box–Muller (one sample per call; the second is
+    /// discarded to keep the generator's consumption rate data-independent).
+    pub fn gaussian(&mut self) -> f32 {
+        // Avoid ln(0): next_f32 is in [0, 1), so flip to (0, 1].
+        let u1 = 1.0 - self.next_f32();
+        let u2 = self.next_f32();
+        let r = (-2.0 * (u1 as f64).ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2 as f64;
+        (r * theta.cos()) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Xoshiro256::seeded(42);
+        let mut b = Xoshiro256::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256::seeded(1);
+        let mut b = Xoshiro256::seeded(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut r = Xoshiro256::seeded(7);
+        for _ in 0..10_000 {
+            let v = r.next_f32();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_usize_covers_domain() {
+        let mut r = Xoshiro256::seeded(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.range_usize(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn bernoulli_rate_close_to_p() {
+        let mut r = Xoshiro256::seeded(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.bernoulli(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut r = Xoshiro256::seeded(13);
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let g = r.gaussian() as f64;
+            sum += g;
+            sum2 += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn forked_streams_are_decorrelated() {
+        let mut parent = Xoshiro256::seeded(5);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn mix64_is_stateless_and_stable() {
+        assert_eq!(mix64(0), mix64(0));
+        assert_ne!(mix64(1), mix64(2));
+        // Pin one value so accidental algorithm changes are caught.
+        let mut s = 123u64;
+        let expected = splitmix64(&mut s);
+        assert_eq!(mix64(123), expected);
+    }
+}

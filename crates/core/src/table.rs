@@ -1,0 +1,240 @@
+//! Base data storage.
+//!
+//! All join techniques in the static-index-nested-loop category are
+//! *secondary* indexes: they store 4-byte entry handles ([`EntryId`]) that
+//! reference rows of a shared base table and read coordinates through that
+//! handle (paper §3.1: "the algorithms operate on pointers and never update
+//! the base data directly"). The base table is a structure-of-arrays so a
+//! cache line holds 16 x- or y-coordinates.
+
+use crate::geom::{Point, Rect, Vec2};
+
+/// Handle of an object in the base table (the Rust analogue of the C++
+/// framework's `Point*`).
+pub type EntryId = u32;
+
+/// Structure-of-arrays base table of object positions.
+#[derive(Clone, Debug, Default)]
+pub struct PointTable {
+    xs: Vec<f32>,
+    ys: Vec<f32>,
+}
+
+impl PointTable {
+    pub fn with_capacity(n: usize) -> Self {
+        PointTable { xs: Vec::with_capacity(n), ys: Vec::with_capacity(n) }
+    }
+
+    /// Append a row and return its handle.
+    pub fn push(&mut self, x: f32, y: f32) -> EntryId {
+        let id = self.xs.len() as EntryId;
+        self.xs.push(x);
+        self.ys.push(y);
+        id
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    #[inline]
+    pub fn x(&self, id: EntryId) -> f32 {
+        self.xs[id as usize]
+    }
+
+    #[inline]
+    pub fn y(&self, id: EntryId) -> f32 {
+        self.ys[id as usize]
+    }
+
+    #[inline]
+    pub fn point(&self, id: EntryId) -> Point {
+        Point::new(self.x(id), self.y(id))
+    }
+
+    #[inline]
+    pub fn set_position(&mut self, id: EntryId, x: f32, y: f32) {
+        self.xs[id as usize] = x;
+        self.ys[id as usize] = y;
+    }
+
+    /// Raw coordinate slices — used by indexes that bulk-load (sorting
+    /// entry ids by coordinate) and by the tracer to model base-table
+    /// address touches.
+    #[inline]
+    pub fn xs(&self) -> &[f32] {
+        &self.xs
+    }
+
+    #[inline]
+    pub fn ys(&self) -> &[f32] {
+        &self.ys
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (EntryId, Point)> + '_ {
+        self.xs
+            .iter()
+            .zip(self.ys.iter())
+            .enumerate()
+            .map(|(i, (&x, &y))| (i as EntryId, Point::new(x, y)))
+    }
+
+    /// Minimum bounding rectangle of all rows (`None` when empty).
+    pub fn bounds(&self) -> Option<Rect> {
+        let mut it = self.iter();
+        let (_, first) = it.next()?;
+        let mut r = Rect::at_point(first.x, first.y);
+        for (_, p) in it {
+            r.expand_to(p.x, p.y);
+        }
+        Some(r)
+    }
+}
+
+/// The full moving-object state: positions plus per-object velocities.
+/// Velocities live outside [`PointTable`] because no index ever reads them —
+/// only the workload's movement model does.
+#[derive(Clone, Debug, Default)]
+pub struct MovingSet {
+    pub positions: PointTable,
+    pub vx: Vec<f32>,
+    pub vy: Vec<f32>,
+}
+
+impl MovingSet {
+    pub fn with_capacity(n: usize) -> Self {
+        MovingSet {
+            positions: PointTable::with_capacity(n),
+            vx: Vec::with_capacity(n),
+            vy: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn push(&mut self, p: Point, v: Vec2) -> EntryId {
+        let id = self.positions.push(p.x, p.y);
+        self.vx.push(v.x);
+        self.vy.push(v.y);
+        id
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    #[inline]
+    pub fn velocity(&self, id: EntryId) -> Vec2 {
+        Vec2::new(self.vx[id as usize], self.vy[id as usize])
+    }
+
+    #[inline]
+    pub fn set_velocity(&mut self, id: EntryId, v: Vec2) {
+        self.vx[id as usize] = v.x;
+        self.vy[id as usize] = v.y;
+    }
+
+    /// Advance every object by one tick of linear motion, reflecting off
+    /// the boundary of `space` ("bounce") so the population stays inside
+    /// the data space with its distribution intact.
+    pub fn advance_bouncing(&mut self, space: &Rect) {
+        let n = self.len();
+        for i in 0..n {
+            let mut x = self.positions.xs()[i] + self.vx[i];
+            let mut y = self.positions.ys()[i] + self.vy[i];
+            if x < space.x1 {
+                x = space.x1 + (space.x1 - x);
+                self.vx[i] = -self.vx[i];
+            } else if x > space.x2 {
+                x = space.x2 - (x - space.x2);
+                self.vx[i] = -self.vx[i];
+            }
+            if y < space.y1 {
+                y = space.y1 + (space.y1 - y);
+                self.vy[i] = -self.vy[i];
+            } else if y > space.y2 {
+                y = space.y2 - (y - space.y2);
+                self.vy[i] = -self.vy[i];
+            }
+            // A reflection can only leave the space if speed exceeds the
+            // space side; clamp defensively so the invariant always holds.
+            x = x.clamp(space.x1, space.x2);
+            y = y.clamp(space.y1, space.y2);
+            self.positions.set_position(i as EntryId, x, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup_roundtrip() {
+        let mut t = PointTable::default();
+        let a = t.push(1.0, 2.0);
+        let b = t.push(3.0, 4.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.point(a), Point::new(1.0, 2.0));
+        assert_eq!(t.point(b), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn set_position_updates_base_data() {
+        let mut t = PointTable::default();
+        let a = t.push(1.0, 2.0);
+        t.set_position(a, 9.0, 8.0);
+        assert_eq!(t.point(a), Point::new(9.0, 8.0));
+    }
+
+    #[test]
+    fn bounds_covers_all_points() {
+        let mut t = PointTable::default();
+        assert!(t.bounds().is_none());
+        t.push(5.0, 5.0);
+        t.push(-1.0, 7.0);
+        t.push(3.0, -2.0);
+        let b = t.bounds().unwrap();
+        assert_eq!(b, Rect::new(-1.0, -2.0, 5.0, 7.0));
+    }
+
+    #[test]
+    fn advance_moves_linearly_inside_space() {
+        let mut s = MovingSet::default();
+        s.push(Point::new(10.0, 10.0), Vec2::new(1.0, -2.0));
+        s.advance_bouncing(&Rect::space(100.0));
+        assert_eq!(s.positions.point(0), Point::new(11.0, 8.0));
+    }
+
+    #[test]
+    fn advance_bounces_off_walls_and_flips_velocity() {
+        let mut s = MovingSet::default();
+        s.push(Point::new(1.0, 99.0), Vec2::new(-3.0, 3.0));
+        s.advance_bouncing(&Rect::space(100.0));
+        // x: 1 - 3 = -2 -> reflect to 2; y: 99 + 3 = 102 -> reflect to 98.
+        assert_eq!(s.positions.point(0), Point::new(2.0, 98.0));
+        assert_eq!(s.velocity(0), Vec2::new(3.0, -3.0));
+    }
+
+    #[test]
+    fn advance_never_escapes_space() {
+        let space = Rect::space(50.0);
+        let mut s = MovingSet::default();
+        s.push(Point::new(25.0, 25.0), Vec2::new(13.0, -17.0));
+        for _ in 0..1000 {
+            s.advance_bouncing(&space);
+            let p = s.positions.point(0);
+            assert!(space.contains_point(p.x, p.y), "escaped at {p:?}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the core geometry and RNG.
+
+use proptest::prelude::*;
+use sj_core::geom::{Point, Rect, Vec2};
+use sj_core::rng::Xoshiro256;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0f32..1000.0, 0.0f32..1000.0, 0.0f32..500.0, 0.0f32..500.0)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #[test]
+    fn intersects_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn containment_implies_intersection(a in arb_rect(), b in arb_rect()) {
+        if a.contains_rect(&b) {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn clip_result_is_inside_bounds(a in arb_rect()) {
+        let bounds = Rect::new(200.0, 200.0, 1200.0, 1200.0);
+        if a.intersects(&bounds) {
+            let c = a.clipped_to(&bounds);
+            prop_assert!(bounds.contains_rect(&c));
+            prop_assert!(a.contains_rect(&c));
+        }
+    }
+
+    #[test]
+    fn contained_points_are_inside_both_halves(r in arb_rect(), px in 0.0f32..1500.0, py in 0.0f32..1500.0) {
+        // Point containment is exactly the conjunction of interval tests.
+        let expect = px >= r.x1 && px <= r.x2 && py >= r.y1 && py <= r.y2;
+        prop_assert_eq!(r.contains_point(px, py), expect);
+    }
+
+    #[test]
+    fn centered_square_is_centered(cx in 0.0f32..1000.0, cy in 0.0f32..1000.0, side in 0.1f32..500.0) {
+        let r = Rect::centered_square(Point::new(cx, cy), side);
+        prop_assert!(r.contains_point(cx, cy));
+        // The subtraction (c + h) - (c - h) loses precision proportional
+        // to the coordinate magnitude, not the side length.
+        let tol = (cx.abs().max(cy.abs()) + side) * 8.0 * f32::EPSILON;
+        prop_assert!((r.width() - side).abs() <= tol);
+        prop_assert!((r.height() - side).abs() <= tol);
+    }
+
+    #[test]
+    fn clamp_len_never_exceeds_max(vx in -500.0f32..500.0, vy in -500.0f32..500.0, max in 0.0f32..300.0) {
+        let v = Vec2::new(vx, vy).clamp_len(max);
+        prop_assert!(v.len() <= max.max(Vec2::new(vx, vy).len().min(max)) + 1e-3);
+    }
+
+    #[test]
+    fn rng_range_f32_respects_bounds(seed in any::<u64>(), lo in -100.0f32..100.0, span in 0.0f32..200.0) {
+        let mut rng = Xoshiro256::seeded(seed);
+        for _ in 0..50 {
+            let v = rng.range_f32(lo, lo + span);
+            prop_assert!(v >= lo && v <= lo + span);
+        }
+    }
+
+    #[test]
+    fn rng_range_usize_respects_bound(seed in any::<u64>(), n in 1usize..10_000) {
+        let mut rng = Xoshiro256::seeded(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.range_usize(n) < n);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! # sj-crtree
+//!
+//! The cache-conscious R-tree (CR-tree) of Kim, Cha & Kwon (SIGMOD 2001),
+//! one of the four static indexes the paper evaluates. Child MBRs are
+//! compressed to 4-byte quantized relative MBRs ([`quant`]), quadrupling
+//! the keys per cache line; the tree is STR-bulk-packed per tick like its
+//! uncompressed sibling in `sj-rtree`.
+
+pub mod quant;
+mod tree;
+
+pub use quant::{decompress, q_intersects, qmbr, qquery, quantize, Qmbr, LEVELS};
+pub use tree::{CRTree, DEFAULT_FANOUT};

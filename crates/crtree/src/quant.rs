@@ -1,0 +1,179 @@
+//! Quantized relative MBRs (QRMBR) — the CR-tree's key compression.
+//!
+//! Child MBRs are expressed relative to the parent node's reference MBR
+//! and quantized to 8 bits per side, shrinking a 16-byte child key to
+//! 4 bytes so four times as many keys fit per cache line. Quantization is
+//! *conservative*: the decompressed rectangle always contains the
+//! original, so overlap tests can produce false positives but never false
+//! negatives (exactness is restored by the final point filter).
+//!
+//! Every bound is quantized to the **cell containing it** (floor). A
+//! quantized cell `c` decompresses to `[c·step, (c+1)·step]`, which covers
+//! the original coordinate from both sides; and because floor is
+//! monotone, two really-overlapping closed rectangles always overlap in
+//! quantized cell space as well — the invariant the property tests pin
+//! down. (Rounding upper bounds *down-by-one-cell* instead, as a naive
+//! ceil-based scheme does, loses exactly the boundary-coincident cases.)
+
+/// Number of quantization cells per axis (8-bit keys).
+pub const LEVELS: u32 = 256;
+
+/// Quantize a coordinate to the cell containing it within the reference
+/// extent `[lo, hi]`. Degenerate extents (hi ≤ lo) map everything to
+/// cell 0, which keeps all tests trivially conservative.
+#[inline]
+pub fn quantize(v: f32, lo: f32, hi: f32) -> u8 {
+    if hi <= lo {
+        return 0;
+    }
+    let t = (v as f64 - lo as f64) / (hi as f64 - lo as f64);
+    let cell = (t * LEVELS as f64).floor();
+    cell.clamp(0.0, (LEVELS - 1) as f64) as u8
+}
+
+/// A quantized relative MBR: `[x1, y1, x2, y2]` cell indices.
+pub type Qmbr = [u8; 4];
+
+/// Quantize `child` relative to the reference rectangle `refr`.
+#[inline]
+pub fn qmbr(child: &sj_core::geom::Rect, refr: &sj_core::geom::Rect) -> Qmbr {
+    [
+        quantize(child.x1, refr.x1, refr.x2),
+        quantize(child.y1, refr.y1, refr.y2),
+        quantize(child.x2, refr.x1, refr.x2),
+        quantize(child.y2, refr.y1, refr.y2),
+    ]
+}
+
+/// Quantize a query rectangle relative to `refr`. Identical cell-floor
+/// treatment: the query's quantized footprint is the set of cells its
+/// corners land in, which together with monotonicity guarantees no real
+/// overlap is missed.
+#[inline]
+pub fn qquery(query: &sj_core::geom::Rect, refr: &sj_core::geom::Rect) -> Qmbr {
+    qmbr(query, refr)
+}
+
+/// Integer overlap test between two quantized rectangles.
+#[inline]
+pub fn q_intersects(a: &Qmbr, b: &Qmbr) -> bool {
+    a[0] <= b[2] && b[0] <= a[2] && a[1] <= b[3] && b[1] <= a[3]
+}
+
+/// Decompress a quantized MBR back to (a superset of) coordinates, for
+/// tests of the conservativeness invariant.
+pub fn decompress(q: &Qmbr, refr: &sj_core::geom::Rect) -> sj_core::geom::Rect {
+    let wx = (refr.x2 as f64 - refr.x1 as f64).max(0.0);
+    let wy = (refr.y2 as f64 - refr.y1 as f64).max(0.0);
+    let step_x = wx / LEVELS as f64;
+    let step_y = wy / LEVELS as f64;
+    sj_core::geom::Rect {
+        x1: (refr.x1 as f64 + q[0] as f64 * step_x) as f32,
+        y1: (refr.y1 as f64 + q[1] as f64 * step_y) as f32,
+        x2: (refr.x1 as f64 + (q[2] as f64 + 1.0) * step_x) as f32,
+        y2: (refr.y1 as f64 + (q[3] as f64 + 1.0) * step_y) as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::geom::Rect;
+    use sj_core::rng::Xoshiro256;
+
+    #[test]
+    fn cell_brackets_the_value() {
+        let (lo, hi) = (0.0f32, 1000.0f32);
+        let step = 1000.0 / LEVELS as f64;
+        for v in [0.0f32, 1.0, 499.9, 500.0, 999.9, 1000.0] {
+            let c = quantize(v, lo, hi) as f64;
+            assert!(c * step <= v as f64 + 1e-6, "cell start above {v}");
+            assert!((c + 1.0) * step >= v as f64 - 1e-6, "cell end below {v}");
+        }
+    }
+
+    #[test]
+    fn quantize_is_monotone() {
+        let mut rng = Xoshiro256::seeded(2);
+        for _ in 0..1000 {
+            let a = rng.range_f32(0.0, 1000.0);
+            let b = rng.range_f32(0.0, 1000.0);
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            assert!(quantize(a, 0.0, 1000.0) <= quantize(b, 0.0, 1000.0));
+        }
+    }
+
+    #[test]
+    fn degenerate_reference_maps_to_cell_zero() {
+        assert_eq!(quantize(5.0, 3.0, 3.0), 0);
+        assert_eq!(quantize(-5.0, 3.0, 3.0), 0);
+        // Degenerate child vs degenerate query still "overlap".
+        let refr = Rect::new(3.0, 3.0, 3.0, 3.0);
+        let a = qmbr(&refr, &refr);
+        assert!(q_intersects(&a, &qquery(&refr, &refr)));
+    }
+
+    #[test]
+    fn decompressed_qmbr_contains_original() {
+        let mut rng = Xoshiro256::seeded(4);
+        let refr = Rect::new(100.0, 200.0, 900.0, 700.0);
+        for _ in 0..1000 {
+            let x1 = rng.range_f32(refr.x1, refr.x2);
+            let x2 = rng.range_f32(x1, refr.x2);
+            let y1 = rng.range_f32(refr.y1, refr.y2);
+            let y2 = rng.range_f32(y1, refr.y2);
+            let child = Rect::new(x1, y1, x2, y2);
+            let d = decompress(&qmbr(&child, &refr), &refr);
+            assert!(
+                d.x1 <= child.x1 + 1e-3 && d.x2 >= child.x2 - 1e-3
+                    && d.y1 <= child.y1 + 1e-3 && d.y2 >= child.y2 - 1e-3,
+                "decompressed {d:?} does not contain {child:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_never_misses() {
+        // If real rectangles intersect, their quantized forms must too.
+        let mut rng = Xoshiro256::seeded(8);
+        let refr = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let mut checked = 0;
+        for _ in 0..2000 {
+            let mk = |rng: &mut Xoshiro256| {
+                let x1 = rng.range_f32(0.0, 900.0);
+                let y1 = rng.range_f32(0.0, 900.0);
+                Rect::new(x1, y1, x1 + rng.range_f32(0.0, 100.0), y1 + rng.range_f32(0.0, 100.0))
+            };
+            let a = mk(&mut rng);
+            let b = mk(&mut rng);
+            if a.intersects(&b) {
+                assert!(
+                    q_intersects(&qmbr(&a, &refr), &qquery(&b, &refr)),
+                    "quantized miss: {a:?} vs {b:?}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "test exercised too few overlapping pairs");
+    }
+
+    #[test]
+    fn boundary_coincident_rects_still_overlap_quantized() {
+        // The regression that motivated floor-everywhere: a query whose
+        // lower edge equals a child's upper edge, both exactly on a
+        // quantization cell boundary.
+        let refr = Rect::new(0.0, 0.0, 256.0, 256.0); // step = 1.0
+        let child = Rect::new(0.0, 0.0, 128.0, 128.0);
+        let query = Rect::new(128.0, 128.0, 200.0, 200.0);
+        assert!(child.intersects(&query));
+        assert!(q_intersects(&qmbr(&child, &refr), &qquery(&query, &refr)));
+    }
+
+    #[test]
+    fn q_intersects_rejects_clearly_disjoint() {
+        let refr = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let a = qmbr(&Rect::new(0.0, 0.0, 100.0, 100.0), &refr);
+        let b = qquery(&Rect::new(800.0, 800.0, 900.0, 900.0), &refr);
+        assert!(!q_intersects(&a, &b));
+    }
+}

@@ -1,0 +1,355 @@
+//! The CR-tree proper: an STR-bulk-loaded R-tree whose child keys are
+//! 4-byte quantized relative MBRs instead of 16-byte float rectangles.
+//!
+//! Sibling QRMBRs are stored contiguously (parallel to the sibling nodes
+//! themselves), so one 64-byte cache line serves 16 child overlap tests —
+//! the CR-tree's core claim (Kim, Cha & Kwon, SIGMOD 2001). Leaf entries
+//! carry quantized point keys; candidates that pass the integer pre-test
+//! are confirmed against the base table, restoring exactness.
+
+use sj_core::geom::Rect;
+use sj_core::index::SpatialIndex;
+use sj_core::table::{EntryId, PointTable};
+use sj_rtree::str_order;
+
+use crate::quant::{q_intersects, qmbr, qquery, quantize, Qmbr};
+
+pub const DEFAULT_FANOUT: usize = 16;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    /// Reference MBR: children's QRMBRs are relative to this.
+    mbr: Rect,
+    /// Leaf: range into the leaf-entry arrays. Internal: range into
+    /// `nodes` (and, in parallel, `child_qmbrs`).
+    start: u32,
+    len: u32,
+    leaf: bool,
+}
+
+/// See module docs.
+///
+/// ```
+/// use sj_core::{PointTable, Rect, SpatialIndex};
+/// use sj_crtree::CRTree;
+///
+/// let mut table = PointTable::default();
+/// for i in 0..1000 {
+///     table.push((i % 32) as f32 * 10.0, (i / 32) as f32 * 10.0);
+/// }
+/// let mut tree = CRTree::default();
+/// tree.build(&table);
+/// // The compressed tree is smaller than one float rect per point.
+/// assert!(tree.memory_bytes() < 1000 * 16);
+///
+/// let mut hits = Vec::new();
+/// tree.query(&table, &Rect::new(0.0, 0.0, 10.0, 10.0), &mut hits);
+/// assert_eq!(hits.len(), 4); // (0,0), (10,0), (0,10), (10,10)
+/// ```
+pub struct CRTree {
+    fanout: usize,
+    nodes: Vec<Node>,
+    /// `child_qmbrs[i]` is node `i`'s MBR quantized relative to its
+    /// *parent's* reference MBR; siblings are contiguous.
+    child_qmbrs: Vec<Qmbr>,
+    /// Leaf entries: quantized point keys (relative to the owning leaf's
+    /// reference MBR) plus the base-table handle.
+    leaf_qx: Vec<u8>,
+    leaf_qy: Vec<u8>,
+    leaf_id: Vec<EntryId>,
+    root: Option<u32>,
+    scratch: Vec<u32>,
+}
+
+impl Default for CRTree {
+    fn default() -> Self {
+        Self::new(DEFAULT_FANOUT)
+    }
+}
+
+impl CRTree {
+    /// # Panics
+    /// Panics if `fanout < 2`.
+    pub fn new(fanout: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        CRTree {
+            fanout,
+            nodes: Vec::new(),
+            child_qmbrs: Vec::new(),
+            leaf_qx: Vec::new(),
+            leaf_qy: Vec::new(),
+            leaf_id: Vec::new(),
+            root: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    pub fn height(&self) -> usize {
+        let Some(mut ni) = self.root else { return 0 };
+        let mut h = 1;
+        while !self.nodes[ni as usize].leaf {
+            ni = self.nodes[ni as usize].start;
+            h += 1;
+        }
+        h
+    }
+
+    fn report_subtree(&self, ni: u32, out: &mut Vec<EntryId>) {
+        let n = &self.nodes[ni as usize];
+        if n.leaf {
+            let s = n.start as usize;
+            out.extend_from_slice(&self.leaf_id[s..s + n.len as usize]);
+        } else {
+            for c in n.start..n.start + n.len {
+                self.report_subtree(c, out);
+            }
+        }
+    }
+}
+
+impl SpatialIndex for CRTree {
+    fn name(&self) -> &str {
+        "CR-Tree"
+    }
+
+    fn build(&mut self, table: &PointTable) {
+        self.nodes.clear();
+        self.child_qmbrs.clear();
+        self.leaf_qx.clear();
+        self.leaf_qy.clear();
+        self.leaf_id.clear();
+        self.root = None;
+        let n = table.len();
+        if n == 0 {
+            return;
+        }
+
+        let xs = table.xs();
+        let ys = table.ys();
+        self.scratch.clear();
+        self.scratch.extend(0..n as u32);
+        str_order(&mut self.scratch, self.fanout, |i| xs[i as usize], |i| ys[i as usize]);
+
+        // Leaf level: compute each leaf's reference MBR, then quantize its
+        // points relative to it.
+        self.leaf_qx.reserve(n);
+        self.leaf_qy.reserve(n);
+        self.leaf_id.reserve(n);
+        let mut level: Vec<Node> = Vec::with_capacity(n.div_ceil(self.fanout));
+        let mut start = 0usize;
+        while start < n {
+            let len = self.fanout.min(n - start);
+            let ids = &self.scratch[start..start + len];
+            let mut mbr = Rect::at_point(xs[ids[0] as usize], ys[ids[0] as usize]);
+            for &i in &ids[1..] {
+                mbr.expand_to(xs[i as usize], ys[i as usize]);
+            }
+            for &i in ids {
+                self.leaf_qx.push(quantize(xs[i as usize], mbr.x1, mbr.x2));
+                self.leaf_qy.push(quantize(ys[i as usize], mbr.y1, mbr.y2));
+                self.leaf_id.push(i);
+            }
+            level.push(Node { mbr, start: start as u32, len: len as u32, leaf: true });
+            start += len;
+        }
+
+        // Upper levels: identical to the R-tree, but each child placed in
+        // the arena also records its QRMBR relative to the new parent.
+        while level.len() > 1 {
+            let mut order: Vec<u32> = (0..level.len() as u32).collect();
+            str_order(
+                &mut order,
+                self.fanout,
+                |i| {
+                    let m = &level[i as usize].mbr;
+                    (m.x1 + m.x2) * 0.5
+                },
+                |i| {
+                    let m = &level[i as usize].mbr;
+                    (m.y1 + m.y2) * 0.5
+                },
+            );
+            let mut parents: Vec<Node> = Vec::with_capacity(level.len().div_ceil(self.fanout));
+            for chunk in order.chunks(self.fanout) {
+                let start = self.nodes.len() as u32;
+                let mut mbr = level[chunk[0] as usize].mbr;
+                for &ci in chunk {
+                    mbr = mbr.union(&level[ci as usize].mbr);
+                }
+                for &ci in chunk {
+                    let child = level[ci as usize];
+                    self.nodes.push(child);
+                    self.child_qmbrs.push(qmbr(&child.mbr, &mbr));
+                }
+                parents.push(Node { mbr, start, len: chunk.len() as u32, leaf: false });
+            }
+            level = parents;
+        }
+        let root = level[0];
+        self.nodes.push(root);
+        // Root has no parent; its own qmbr slot is unused but keeps the
+        // arrays parallel.
+        self.child_qmbrs.push([0, 0, u8::MAX, u8::MAX]);
+        self.root = Some(self.nodes.len() as u32 - 1);
+    }
+
+    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+        let Some(root) = self.root else { return };
+        if !region.intersects(&self.nodes[root as usize].mbr) {
+            return;
+        }
+        let mut stack: Vec<u32> = vec![root];
+        while let Some(ni) = stack.pop() {
+            let n = &self.nodes[ni as usize];
+            if region.contains_rect(&n.mbr) {
+                self.report_subtree(ni, out);
+                continue;
+            }
+            // Quantize the query once per node, relative to its reference
+            // MBR; children are then tested with integer compares only.
+            let q = qquery(region, &n.mbr);
+            if n.leaf {
+                let s = n.start as usize;
+                for i in s..s + n.len as usize {
+                    let (qx, qy) = (self.leaf_qx[i], self.leaf_qy[i]);
+                    // Integer pre-test (conservative), then exact confirm
+                    // against the base table.
+                    if qx >= q[0] && qx <= q[2] && qy >= q[1] && qy <= q[3] {
+                        let id = self.leaf_id[i];
+                        if region.contains_point(table.x(id), table.y(id)) {
+                            out.push(id);
+                        }
+                    }
+                }
+            } else {
+                for c in n.start..n.start + n.len {
+                    if q_intersects(&self.child_qmbrs[c as usize], &q) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.child_qmbrs.len() * std::mem::size_of::<Qmbr>()
+            + self.leaf_qx.len()
+            + self.leaf_qy.len()
+            + self.leaf_id.len() * std::mem::size_of::<EntryId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::geom::Point;
+    use sj_core::index::ScanIndex;
+    use sj_core::rng::Xoshiro256;
+
+    const SIDE: f32 = 1_000.0;
+
+    fn random_table(n: usize, seed: u64) -> PointTable {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut t = PointTable::default();
+        for _ in 0..n {
+            t.push(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+        }
+        t
+    }
+
+    fn sorted_query(idx: &dyn SpatialIndex, t: &PointTable, r: &Rect) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        idx.query(t, r, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn agrees_with_full_scan() {
+        let t = random_table(3_000, 12);
+        let mut tree = CRTree::default();
+        tree.build(&t);
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        let mut rng = Xoshiro256::seeded(13);
+        for _ in 0..100 {
+            let c = Point::new(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+            let r = Rect::centered_square(c, 75.0);
+            assert_eq!(sorted_query(&tree, &t, &r), sorted_query(&scan, &t, &r));
+        }
+    }
+
+    #[test]
+    fn agrees_with_scan_on_boundary_heavy_queries() {
+        // Queries whose edges slice through quantization cells stress the
+        // conservative rounding.
+        let t = random_table(2_000, 14);
+        let mut tree = CRTree::default();
+        tree.build(&t);
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        for r in [
+            Rect::new(0.0, 0.0, 0.5, SIDE),
+            Rect::new(123.456, 0.0, 123.457, SIDE),
+            Rect::new(0.0, 999.5, SIDE, 1_000.0),
+            Rect::new(500.0, 500.0, 500.0, 500.0),
+        ] {
+            assert_eq!(sorted_query(&tree, &t, &r), sorted_query(&scan, &t, &r), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn clustered_points_are_handled() {
+        // All points inside one quantization cell of the root: the integer
+        // pre-test degenerates to all-pass, the exact filter must save us.
+        let mut t = PointTable::default();
+        let mut rng = Xoshiro256::seeded(15);
+        for _ in 0..500 {
+            t.push(500.0 + rng.range_f32(0.0, 0.001), 500.0 + rng.range_f32(0.0, 0.001));
+        }
+        let mut tree = CRTree::default();
+        tree.build(&t);
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        let r = Rect::new(500.0, 500.0, 500.0005, 500.0005);
+        assert_eq!(sorted_query(&tree, &t, &r), sorted_query(&scan, &t, &r));
+    }
+
+    #[test]
+    fn memory_is_smaller_than_rtree() {
+        let t = random_table(10_000, 16);
+        let mut cr = CRTree::default();
+        cr.build(&t);
+        let mut r = sj_rtree::RTree::default();
+        use sj_core::index::SpatialIndex as _;
+        r.build(&t);
+        assert!(
+            cr.memory_bytes() < r.memory_bytes(),
+            "CR {} >= R {}",
+            cr.memory_bytes(),
+            r.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let mut tree = CRTree::default();
+        let t = PointTable::default();
+        tree.build(&t);
+        assert!(sorted_query(&tree, &t, &Rect::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert_eq!(tree.height(), 0);
+    }
+
+    #[test]
+    fn full_space_query_returns_all() {
+        let t = random_table(777, 17);
+        let mut tree = CRTree::default();
+        tree.build(&t);
+        assert_eq!(sorted_query(&tree, &t, &Rect::space(SIDE)).len(), 777);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the CR-tree: QRMBR conservativeness on
+//! arbitrary geometry and end-to-end agreement with a naive filter.
+
+use proptest::prelude::*;
+use sj_core::geom::Rect;
+use sj_core::index::{ScanIndex, SpatialIndex};
+use sj_core::table::PointTable;
+use sj_crtree::{decompress, q_intersects, qmbr, qquery, quantize, CRTree};
+
+const SIDE: f32 = 500.0;
+
+fn arb_points() -> impl Strategy<Value = Vec<(f32, f32)>> {
+    prop::collection::vec((0.0f32..=SIDE, 0.0f32..=SIDE), 0..300)
+}
+
+fn arb_rect_in(lo: f32, hi: f32) -> impl Strategy<Value = Rect> {
+    (lo..hi, lo..hi, lo..hi, lo..hi).prop_map(|(a, b, c, d)| {
+        Rect::new(a.min(c), b.min(d), a.max(c), b.max(d))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tree_agrees_with_scan(
+        points in arb_points(),
+        fanout in 2usize..32,
+        qx in 0.0f32..=SIDE, qy in 0.0f32..=SIDE, qw in 0.0f32..=250.0, qh in 0.0f32..=250.0,
+    ) {
+        let mut t = PointTable::default();
+        for &(x, y) in &points {
+            t.push(x, y);
+        }
+        let region = Rect::new(qx, qy, (qx + qw).min(SIDE), (qy + qh).min(SIDE));
+        let mut tree = CRTree::new(fanout);
+        tree.build(&t);
+        let scan = ScanIndex::new();
+        let mut got = Vec::new();
+        tree.query(&t, &region, &mut got);
+        got.sort_unstable();
+        let mut expect = Vec::new();
+        scan.query(&t, &region, &mut expect);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn decompression_is_conservative(refr in arb_rect_in(0.0, 1000.0), child in arb_rect_in(0.0, 1000.0)) {
+        // Even children poking outside the reference MBR (cannot happen in
+        // the tree, but the function must stay safe) decompress to a
+        // rectangle covering their clamped projection.
+        let clamped = Rect::new(
+            child.x1.clamp(refr.x1, refr.x2),
+            child.y1.clamp(refr.y1, refr.y2),
+            child.x2.clamp(refr.x1, refr.x2),
+            child.y2.clamp(refr.y1, refr.y2),
+        );
+        let d = decompress(&qmbr(&clamped, &refr), &refr);
+        let eps = 1e-3 * (1.0 + refr.x2.abs().max(refr.y2.abs()));
+        prop_assert!(d.x1 <= clamped.x1 + eps);
+        prop_assert!(d.y1 <= clamped.y1 + eps);
+        prop_assert!(d.x2 >= clamped.x2 - eps);
+        prop_assert!(d.y2 >= clamped.y2 - eps);
+    }
+
+    #[test]
+    fn quantized_overlap_never_misses(
+        refr in arb_rect_in(0.0, 1000.0),
+        a in arb_rect_in(0.0, 1000.0),
+        b in arb_rect_in(0.0, 1000.0),
+    ) {
+        // For rectangles inside the reference MBR, real intersection
+        // implies quantized intersection (no false negatives, ever).
+        let clamp = |r: &Rect| Rect::new(
+            r.x1.clamp(refr.x1, refr.x2),
+            r.y1.clamp(refr.y1, refr.y2),
+            r.x2.clamp(refr.x1, refr.x2),
+            r.y2.clamp(refr.y1, refr.y2),
+        );
+        let (ca, cb) = (clamp(&a), clamp(&b));
+        if ca.intersects(&cb) {
+            prop_assert!(q_intersects(&qmbr(&ca, &refr), &qquery(&cb, &refr)));
+        }
+    }
+
+    #[test]
+    fn quantize_is_monotone_and_bounded(lo in 0.0f32..500.0, span in 0.1f32..500.0, a in 0.0f32..1.0, b in 0.0f32..1.0) {
+        let hi = lo + span;
+        let (va, vb) = (lo + a * span, lo + b * span);
+        let (qa, qb) = (quantize(va, lo, hi), quantize(vb, lo, hi));
+        if va <= vb {
+            prop_assert!(qa <= qb);
+        } else {
+            prop_assert!(qb <= qa);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic address-space bases for memory-access tracing.
+//!
+//! Each arena of the grid (and the base table it dereferences into) is
+//! mapped to its own region of a flat 64-bit address space. The cache
+//! simulator only cares about 64-byte-line locality, so `base + slot ×
+//! stride` reproduces the physical access pattern of the C++ original: the
+//! directory is one contiguous array, buckets another, nodes a third, and
+//! the base table's x/y columns two more.
+
+/// Grid directory (cells).
+pub const DIR_BASE: u64 = 0x1000_0000_0000;
+/// Bucket arena.
+pub const BUCKET_BASE: u64 = 0x2000_0000_0000;
+/// Entry-node arena (original layout only).
+pub const NODE_BASE: u64 = 0x3000_0000_0000;
+/// Base-table x-coordinate column.
+pub const TABLE_X_BASE: u64 = 0x4000_0000_0000;
+/// Base-table y-coordinate column.
+pub const TABLE_Y_BASE: u64 = 0x5000_0000_0000;
+
+/// Byte sizes of the structures, as in paper §3.1.
+pub const ORIG_CELL_BYTES: u64 = 16; // (count: u64, head: u64)
+pub const ORIG_BUCKET_BYTES: u64 = 32; // (next, head, tail, len) × u64
+pub const ORIG_NODE_BYTES: u64 = 24; // (prev, next, entry) × u64
+pub const INLINE_CELL_BYTES: u64 = 8; // head: u64
+pub const INLINE_BUCKET_HEADER_BYTES: u64 = 16; // (next, len) × u64
+pub const ENTRY_BYTES: u64 = 8; // one entry slot
+pub const COORD_BYTES: u64 = 4; // one f32 coordinate
+
+/// Address of the x (resp. y) coordinate of base-table row `entry`.
+#[inline]
+pub fn table_x(entry: u64) -> u64 {
+    TABLE_X_BASE + entry * COORD_BYTES
+}
+
+#[inline]
+pub fn table_y(entry: u64) -> u64 {
+    TABLE_Y_BASE + entry * COORD_BYTES
+}

@@ -1,0 +1,190 @@
+//! Grid configuration: the two structural layouts (Figure 3), the two
+//! query algorithms (Algorithms 1 and 2), and the paper's five tuning
+//! stages that step from the original to the fully tuned implementation.
+
+/// Physical layout of the grid's cell directory and buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// Figure 3a, as implemented in the original framework: the directory
+    /// is an array of 16-byte (count, bucket-pointer) pairs; each bucket is
+    /// a 32-byte header owning a doubly-linked list of 24-byte nodes, each
+    /// node holding one entry pointer.
+    Original,
+    /// Figure 3b, the paper's refactoring: directory cells are a single
+    /// 8-byte bucket pointer; entries are stored inline in the buckets
+    /// (16-byte header + `bs` × 8-byte entries).
+    Inline,
+    /// Extension (paper §3.1 mentions but deliberately skips it, to keep
+    /// the secondary-index assumption): coordinates are copied next to the
+    /// entry handles inside buckets, removing the base-table hop during
+    /// filtering. Measured by the `ablation` bench.
+    InlineCoords,
+}
+
+/// Which range-query algorithm the grid runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryAlgo {
+    /// Algorithm 1: traverse *all* `cps²` grid cells and test each against
+    /// the query region.
+    FullScan,
+    /// Algorithm 2: compute the sub-range of cells overlapping the query
+    /// region and traverse only those.
+    RangeScan,
+}
+
+/// The paper's cumulative improvement stages (Table 2 lower half, Fig. 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// The original implementation: `Layout::Original`, full-directory
+    /// scan, bs = 4, cps = 13 (the optimum found in Figure 1).
+    Original,
+    /// "+restructured": pointer-only directory and inline buckets.
+    Restructured,
+    /// "+querying": Algorithm 2 replaces the full-directory scan.
+    Querying,
+    /// "+bs tuned": bucket size re-tuned to 20 (Figure 5a).
+    BsTuned,
+    /// "+cps tuned": grid granularity re-tuned to 64 (Figure 5b) — the
+    /// final, best-performing configuration.
+    CpsTuned,
+}
+
+impl Stage {
+    /// All stages, in the paper's order of application.
+    pub const ALL: [Stage; 5] =
+        [Stage::Original, Stage::Restructured, Stage::Querying, Stage::BsTuned, Stage::CpsTuned];
+
+    /// Display label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Original => "Original",
+            Stage::Restructured => "+restructured",
+            Stage::Querying => "+querying",
+            Stage::BsTuned => "+bs tuned",
+            Stage::CpsTuned => "+cps tuned",
+        }
+    }
+}
+
+/// Full grid configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridConfig {
+    /// Grid cells per side ("cps"); the directory holds `cps²` cells.
+    pub cells_per_side: u32,
+    /// Bucket capacity in entries ("bs").
+    pub bucket_size: u32,
+    pub layout: Layout,
+    pub query_algo: QueryAlgo,
+}
+
+impl GridConfig {
+    /// The optimal parameters of the *original* implementation, as found by
+    /// both the original study and the paper's reproduction (Figure 1):
+    /// bs = 4, cps = 13.
+    pub const ORIGINAL_BS: u32 = 4;
+    pub const ORIGINAL_CPS: u32 = 13;
+    /// The re-tuned parameters of the refactored implementation
+    /// (Figure 5): bs = 20, cps = 64.
+    pub const TUNED_BS: u32 = 20;
+    pub const TUNED_CPS: u32 = 64;
+
+    /// Configuration for one of the paper's cumulative stages.
+    pub fn stage(stage: Stage) -> GridConfig {
+        match stage {
+            Stage::Original => GridConfig {
+                cells_per_side: Self::ORIGINAL_CPS,
+                bucket_size: Self::ORIGINAL_BS,
+                layout: Layout::Original,
+                query_algo: QueryAlgo::FullScan,
+            },
+            Stage::Restructured => GridConfig {
+                layout: Layout::Inline,
+                ..Self::stage(Stage::Original)
+            },
+            Stage::Querying => GridConfig {
+                query_algo: QueryAlgo::RangeScan,
+                ..Self::stage(Stage::Restructured)
+            },
+            Stage::BsTuned => GridConfig {
+                bucket_size: Self::TUNED_BS,
+                ..Self::stage(Stage::Querying)
+            },
+            Stage::CpsTuned => GridConfig {
+                cells_per_side: Self::TUNED_CPS,
+                ..Self::stage(Stage::BsTuned)
+            },
+        }
+    }
+
+    /// The final tuned configuration (alias for the last stage).
+    pub fn tuned() -> GridConfig {
+        Self::stage(Stage::CpsTuned)
+    }
+
+    /// Validate the configuration (positive cps/bs; bs bounded to keep
+    /// bucket slot arithmetic in range).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cells_per_side == 0 {
+            return Err("cells_per_side must be > 0".into());
+        }
+        if self.bucket_size == 0 {
+            return Err("bucket_size must be > 0".into());
+        }
+        if self.bucket_size > 4096 {
+            return Err("bucket_size must be <= 4096".into());
+        }
+        if self.cells_per_side > 4096 {
+            return Err("cells_per_side must be <= 4096".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_are_cumulative() {
+        let orig = GridConfig::stage(Stage::Original);
+        assert_eq!(orig.layout, Layout::Original);
+        assert_eq!(orig.query_algo, QueryAlgo::FullScan);
+        assert_eq!(orig.bucket_size, 4);
+        assert_eq!(orig.cells_per_side, 13);
+
+        let restructured = GridConfig::stage(Stage::Restructured);
+        assert_eq!(restructured.layout, Layout::Inline);
+        assert_eq!(restructured.query_algo, QueryAlgo::FullScan);
+
+        let querying = GridConfig::stage(Stage::Querying);
+        assert_eq!(querying.query_algo, QueryAlgo::RangeScan);
+        assert_eq!(querying.bucket_size, 4);
+
+        let bs = GridConfig::stage(Stage::BsTuned);
+        assert_eq!(bs.bucket_size, 20);
+        assert_eq!(bs.cells_per_side, 13);
+
+        let cps = GridConfig::stage(Stage::CpsTuned);
+        assert_eq!(cps.bucket_size, 20);
+        assert_eq!(cps.cells_per_side, 64);
+        assert_eq!(cps, GridConfig::tuned());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut c = GridConfig::tuned();
+        c.cells_per_side = 0;
+        assert!(c.validate().is_err());
+        c = GridConfig::tuned();
+        c.bucket_size = 0;
+        assert!(c.validate().is_err());
+        assert!(GridConfig::tuned().validate().is_ok());
+    }
+
+    #[test]
+    fn labels_match_figure_4() {
+        assert_eq!(Stage::Original.label(), "Original");
+        assert_eq!(Stage::CpsTuned.label(), "+cps tuned");
+        assert_eq!(Stage::ALL.len(), 5);
+    }
+}

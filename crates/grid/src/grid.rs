@@ -1,0 +1,389 @@
+//! The Simple Grid index: a uniform grid over the data space, with the
+//! paper's original and refactored realizations selectable via
+//! [`GridConfig`].
+//!
+//! > "This index partitions space uniformly into a fixed number of cells
+//! > stored as a two-dimensional array. Each cell contains a pointer to a
+//! > linked list of buckets storing the points that fall within that cell.
+//! > The search algorithm must examine every cell that intersects the
+//! > query region." — paper §3, quoting the original study.
+
+use sj_core::geom::Rect;
+use sj_core::index::SpatialIndex;
+use sj_core::table::{EntryId, PointTable};
+use sj_core::trace::{NullTracer, Tracer};
+
+use crate::config::{GridConfig, Layout, QueryAlgo, Stage};
+use crate::layout_inline::{InlineCoordsStore, InlineStore};
+use crate::layout_original::OriginalStore;
+
+enum Store {
+    Original(OriginalStore),
+    Inline(InlineStore),
+    InlineCoords(InlineCoordsStore),
+}
+
+/// See module docs.
+///
+/// ```
+/// use sj_core::{PointTable, Rect, SpatialIndex};
+/// use sj_grid::SimpleGrid;
+///
+/// let mut table = PointTable::default();
+/// table.push(100.0, 100.0);
+/// table.push(900.0, 900.0);
+///
+/// // The paper's winning configuration over a 1000x1000 space.
+/// let mut grid = SimpleGrid::tuned(1000.0);
+/// grid.build(&table);
+///
+/// let mut hits = Vec::new();
+/// grid.query(&table, &Rect::new(0.0, 0.0, 500.0, 500.0), &mut hits);
+/// assert_eq!(hits, vec![0]);
+/// ```
+pub struct SimpleGrid {
+    cfg: GridConfig,
+    cell_size: f32,
+    store: Store,
+    name: String,
+}
+
+impl SimpleGrid {
+    /// Create a grid over the square space `[0, space_side]²`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or the space degenerate;
+    /// benchmark and example CLIs validate beforehand.
+    pub fn new(cfg: GridConfig, space_side: f32) -> Self {
+        cfg.validate().expect("invalid grid config");
+        assert!(space_side > 0.0, "space_side must be positive");
+        let store = match cfg.layout {
+            Layout::Original => Store::Original(OriginalStore::default()),
+            Layout::Inline => Store::Inline(InlineStore::default()),
+            Layout::InlineCoords => Store::InlineCoords(InlineCoordsStore::default()),
+        };
+        let name = format!(
+            "Simple Grid [{:?}/{:?} bs={} cps={}]",
+            cfg.layout, cfg.query_algo, cfg.bucket_size, cfg.cells_per_side
+        );
+        SimpleGrid { cfg, cell_size: space_side / cfg.cells_per_side as f32, store, name }
+    }
+
+    /// Grid configured as one of the paper's improvement stages.
+    pub fn at_stage(stage: Stage, space_side: f32) -> Self {
+        let mut g = Self::new(GridConfig::stage(stage), space_side);
+        g.name = format!("Simple Grid ({})", stage.label());
+        g
+    }
+
+    /// The final tuned grid (bs = 20, cps = 64) — the paper's winner.
+    pub fn tuned(space_side: f32) -> Self {
+        Self::at_stage(Stage::CpsTuned, space_side)
+    }
+
+    pub fn config(&self) -> &GridConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn cps(&self) -> u32 {
+        self.cfg.cells_per_side
+    }
+
+    /// Cell coordinate of a position along one axis. Positions sit in
+    /// `[0, side]`; the closed upper boundary maps into the last cell.
+    #[inline]
+    fn cell_coord(&self, v: f32) -> u32 {
+        ((v / self.cell_size) as u32).min(self.cps() - 1)
+    }
+
+    /// Row-major cell index for a point.
+    #[inline]
+    fn cell_of(&self, x: f32, y: f32) -> usize {
+        let cx = self.cell_coord(x);
+        let cy = self.cell_coord(y);
+        (cy * self.cps() + cx) as usize
+    }
+
+    /// The closed rectangle covered by cell `(cx, cy)`.
+    #[inline]
+    fn cell_rect(&self, cx: u32, cy: u32) -> Rect {
+        let cs = self.cell_size;
+        Rect::new(cx as f32 * cs, cy as f32 * cs, (cx + 1) as f32 * cs, (cy + 1) as f32 * cs)
+    }
+
+    /// Rebuild the grid from the base table, reporting memory touches to
+    /// `tr`. The timed [`SpatialIndex::build`] path calls this with
+    /// [`NullTracer`], which compiles to the untraced loop.
+    pub fn build_traced<T: Tracer>(&mut self, table: &PointTable, tr: &mut T) {
+        let ncells = (self.cps() * self.cps()) as usize;
+        let n = table.len();
+        match &mut self.store {
+            Store::Original(s) => s.reset(ncells, self.cfg.bucket_size, n),
+            Store::Inline(s) => s.reset(ncells, self.cfg.bucket_size, n),
+            Store::InlineCoords(s) => s.reset(ncells, self.cfg.bucket_size, n),
+        }
+        let xs = table.xs();
+        let ys = table.ys();
+        for i in 0..n {
+            let (x, y) = (xs[i], ys[i]);
+            tr.read(crate::addr::table_x(i as u64), 4);
+            tr.read(crate::addr::table_y(i as u64), 4);
+            let cell = self.cell_of(x, y);
+            tr.instr(6);
+            match &mut self.store {
+                Store::Original(s) => s.insert(cell, i as EntryId, tr),
+                Store::Inline(s) => s.insert(cell, i as EntryId, tr),
+                Store::InlineCoords(s) => s.insert(cell, i as EntryId, x, y, tr),
+            }
+        }
+    }
+
+    /// Range query, reporting memory touches to `tr`. Dispatches to
+    /// Algorithm 1 (full directory scan) or Algorithm 2 (overlap range)
+    /// per the configuration.
+    pub fn query_traced<T: Tracer>(
+        &self,
+        table: &PointTable,
+        region: &Rect,
+        out: &mut Vec<EntryId>,
+        tr: &mut T,
+    ) {
+        match self.cfg.query_algo {
+            QueryAlgo::FullScan => {
+                // Algorithm 1: examine every grid cell.
+                for cy in 0..self.cps() {
+                    for cx in 0..self.cps() {
+                        self.visit_cell(cx, cy, table, region, out, tr);
+                    }
+                }
+            }
+            QueryAlgo::RangeScan => {
+                // Algorithm 2: compute the overlapping cell range first.
+                let cx1 = self.cell_coord(region.x1.max(0.0));
+                let cx2 = self.cell_coord(region.x2.max(0.0));
+                let cy1 = self.cell_coord(region.y1.max(0.0));
+                let cy2 = self.cell_coord(region.y2.max(0.0));
+                tr.instr(8);
+                for cy in cy1..=cy2 {
+                    for cx in cx1..=cx2 {
+                        self.visit_cell(cx, cy, table, region, out, tr);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lines 4–10 of Algorithm 1: fully contained cells are reported
+    /// wholesale; merely intersecting cells are filtered point by point.
+    #[inline]
+    fn visit_cell<T: Tracer>(
+        &self,
+        cx: u32,
+        cy: u32,
+        table: &PointTable,
+        region: &Rect,
+        out: &mut Vec<EntryId>,
+        tr: &mut T,
+    ) {
+        let cell_rect = self.cell_rect(cx, cy);
+        let cell = (cy * self.cps() + cx) as usize;
+        tr.instr(6);
+        if region.contains_rect(&cell_rect) {
+            match &self.store {
+                Store::Original(s) => s.report_all(cell, out, tr),
+                Store::Inline(s) => s.report_all(cell, out, tr),
+                Store::InlineCoords(s) => s.report_all(cell, out, tr),
+            }
+        } else if region.intersects(&cell_rect) {
+            match &self.store {
+                Store::Original(s) => s.filter(cell, table, region, out, tr),
+                Store::Inline(s) => s.filter(cell, table, region, out, tr),
+                Store::InlineCoords(s) => s.filter(cell, region, out, tr),
+            }
+        }
+    }
+}
+
+impl SpatialIndex for SimpleGrid {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&mut self, table: &PointTable) {
+        self.build_traced(table, &mut NullTracer);
+    }
+
+    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+        self.query_traced(table, region, out, &mut NullTracer);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match &self.store {
+            Store::Original(s) => s.memory_bytes(),
+            Store::Inline(s) => s.memory_bytes(),
+            Store::InlineCoords(s) => s.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::index::ScanIndex;
+    use sj_core::rng::Xoshiro256;
+
+    const SIDE: f32 = 1_000.0;
+
+    fn random_table(n: usize, seed: u64) -> PointTable {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut t = PointTable::default();
+        for _ in 0..n {
+            t.push(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+        }
+        t
+    }
+
+    fn sorted_query(idx: &dyn SpatialIndex, t: &PointTable, r: &Rect) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        idx.query(t, r, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn all_stage_grids() -> Vec<SimpleGrid> {
+        Stage::ALL.iter().map(|&s| SimpleGrid::at_stage(s, SIDE)).collect()
+    }
+
+    #[test]
+    fn every_stage_agrees_with_full_scan() {
+        let t = random_table(2_000, 99);
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        let mut rng = Xoshiro256::seeded(7);
+        for mut g in all_stage_grids() {
+            g.build(&t);
+            for _ in 0..50 {
+                let c = sj_core::geom::Point::new(
+                    rng.range_f32(0.0, SIDE),
+                    rng.range_f32(0.0, SIDE),
+                );
+                let r = Rect::centered_square(c, 120.0).clipped_to(&Rect::space(SIDE));
+                assert_eq!(
+                    sorted_query(&g, &t, &r),
+                    sorted_query(&scan, &t, &r),
+                    "grid {} disagrees with scan on {r:?}",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inline_coords_layout_agrees_too() {
+        let t = random_table(1_000, 3);
+        let cfg = GridConfig {
+            layout: Layout::InlineCoords,
+            ..GridConfig::tuned()
+        };
+        let mut g = SimpleGrid::new(cfg, SIDE);
+        g.build(&t);
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        let r = Rect::new(100.0, 100.0, 400.0, 350.0);
+        assert_eq!(sorted_query(&g, &t, &r), sorted_query(&scan, &t, &r));
+    }
+
+    #[test]
+    fn query_covering_space_returns_everything() {
+        let t = random_table(500, 11);
+        for mut g in all_stage_grids() {
+            g.build(&t);
+            let r = Rect::space(SIDE);
+            let out = sorted_query(&g, &t, &r);
+            assert_eq!(out.len(), 500, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn point_on_space_boundary_is_indexed_and_found() {
+        let mut t = PointTable::default();
+        t.push(SIDE, SIDE); // exactly the upper corner
+        t.push(0.0, 0.0);
+        for mut g in all_stage_grids() {
+            g.build(&t);
+            let r = Rect::new(SIDE - 1.0, SIDE - 1.0, SIDE, SIDE);
+            assert_eq!(sorted_query(&g, &t, &r), vec![0], "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn empty_table_builds_and_queries() {
+        let t = PointTable::default();
+        for mut g in all_stage_grids() {
+            g.build(&t);
+            let out = sorted_query(&g, &t, &Rect::new(0.0, 0.0, 10.0, 10.0));
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn rebuild_replaces_old_contents() {
+        let t1 = random_table(100, 1);
+        let t2 = random_table(50, 2);
+        let mut g = SimpleGrid::tuned(SIDE);
+        g.build(&t1);
+        g.build(&t2);
+        let out = sorted_query(&g, &t2, &Rect::space(SIDE));
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn memory_footprint_original_vs_refactored() {
+        // Paper §3.1: at bs = 4 the original needs 32 B per point beyond
+        // the directory; the refactored needs 12 B.
+        let t = random_table(10_000, 5);
+        let mut orig = SimpleGrid::at_stage(Stage::Original, SIDE);
+        let mut restructured = SimpleGrid::at_stage(Stage::Restructured, SIDE);
+        orig.build(&t);
+        restructured.build(&t);
+        let n = t.len();
+        let orig_per_point = (orig.memory_bytes() - 13 * 13 * 16) as f64 / n as f64;
+        let restr_per_point = (restructured.memory_bytes() - 13 * 13 * 8) as f64 / n as f64;
+        // Partially filled head buckets add a little slack over the ideal.
+        assert!(
+            (32.0..34.0).contains(&orig_per_point),
+            "original per-point bytes: {orig_per_point}"
+        );
+        assert!(
+            (12.0..14.0).contains(&restr_per_point),
+            "refactored per-point bytes: {restr_per_point}"
+        );
+    }
+
+    #[test]
+    fn full_scan_and_range_scan_agree_on_corner_queries() {
+        let t = random_table(1_500, 21);
+        let mut full = SimpleGrid::new(
+            GridConfig { query_algo: QueryAlgo::FullScan, ..GridConfig::tuned() },
+            SIDE,
+        );
+        let mut range = SimpleGrid::new(GridConfig::tuned(), SIDE);
+        full.build(&t);
+        range.build(&t);
+        for r in [
+            Rect::new(0.0, 0.0, 50.0, 50.0),
+            Rect::new(SIDE - 50.0, SIDE - 50.0, SIDE, SIDE),
+            Rect::new(0.0, SIDE - 10.0, SIDE, SIDE),
+            Rect::new(499.9, 0.0, 500.1, SIDE),
+        ] {
+            assert_eq!(sorted_query(&full, &t, &r), sorted_query(&range, &t, &r), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn name_reflects_stage() {
+        assert_eq!(SimpleGrid::at_stage(Stage::Original, SIDE).name(), "Simple Grid (Original)");
+        assert_eq!(SimpleGrid::at_stage(Stage::CpsTuned, SIDE).name(), "Simple Grid (+cps tuned)");
+    }
+}

@@ -1,0 +1,444 @@
+//! Incrementally maintained uniform grid — the u-Grid of the paper's
+//! reference [8] (Šidlauskas et al., "Trees or Grids? Indexing Moving
+//! Objects in Main Memory", GIS 2009).
+//!
+//! The static category rebuilds its index every tick; the update-time
+//! category the original study also covers maintains it in place. This
+//! grid keeps the refactored inline bucket layout and, on each
+//! [`SpatialIndex::build`] call, *diffs* the base table against the
+//! positions it indexed last tick: objects that stayed in their cell cost
+//! one cell computation, objects that crossed a cell boundary are moved
+//! with an O(1) delete (backfill from the head bucket) plus an O(1)
+//! insert. Freed buckets go to a free list, so steady state allocates
+//! nothing.
+//!
+//! The `ablation` bench compares this against rebuild-per-tick across
+//! object speeds: the faster objects move, the more cell crossings, the
+//! smaller the incremental advantage.
+
+use sj_core::geom::Rect;
+use sj_core::index::SpatialIndex;
+use sj_core::table::{EntryId, PointTable};
+
+use crate::layout_original::NULL;
+
+const BKT_NEXT: usize = 0;
+const BKT_LEN: usize = 1;
+const HEADER_SLOTS: usize = 2;
+
+/// See module docs.
+///
+/// ```
+/// use sj_core::{PointTable, Rect, SpatialIndex};
+/// use sj_grid::IncrementalGrid;
+///
+/// let mut table = PointTable::default();
+/// let id = table.push(100.0, 100.0);
+///
+/// let mut grid = IncrementalGrid::tuned(1000.0);
+/// grid.build(&table);
+///
+/// // The object moves; the next build diffs and relocates it in place.
+/// table.set_position(id, 900.0, 900.0);
+/// grid.build(&table);
+///
+/// let mut hits = Vec::new();
+/// grid.query(&table, &Rect::new(890.0, 890.0, 910.0, 910.0), &mut hits);
+/// assert_eq!(hits, vec![id]);
+/// ```
+pub struct IncrementalGrid {
+    cells_per_side: u32,
+    bucket_size: u64,
+    cell_size: f32,
+    /// Head bucket handle per cell.
+    cells: Vec<u64>,
+    /// Flat bucket arena, `[next, len, entries…]` per bucket.
+    buckets: Vec<u64>,
+    /// Recycled bucket handles.
+    free: Vec<u64>,
+    /// Locator: bucket handle and slot of each indexed entry.
+    loc_bucket: Vec<u64>,
+    loc_slot: Vec<u32>,
+    /// The positions as of the last build — the diff baseline.
+    prev_x: Vec<f32>,
+    prev_y: Vec<f32>,
+}
+
+impl IncrementalGrid {
+    /// Grid with the paper's tuned parameters (bs = 20, cps = 64) over
+    /// `[0, space_side]²`.
+    ///
+    /// # Panics
+    /// Panics if `space_side` is not positive.
+    pub fn tuned(space_side: f32) -> Self {
+        Self::new(crate::GridConfig::TUNED_CPS, crate::GridConfig::TUNED_BS, space_side)
+    }
+
+    /// # Panics
+    /// Panics on a degenerate geometry (`cps == 0`, `bs == 0`, or
+    /// non-positive `space_side`).
+    pub fn new(cells_per_side: u32, bucket_size: u32, space_side: f32) -> Self {
+        assert!(cells_per_side > 0 && bucket_size > 0, "degenerate grid geometry");
+        assert!(space_side > 0.0, "space_side must be positive");
+        IncrementalGrid {
+            cells_per_side,
+            bucket_size: bucket_size as u64,
+            cell_size: space_side / cells_per_side as f32,
+            cells: vec![NULL; (cells_per_side * cells_per_side) as usize],
+            buckets: Vec::new(),
+            free: Vec::new(),
+            loc_bucket: Vec::new(),
+            loc_slot: Vec::new(),
+            prev_x: Vec::new(),
+            prev_y: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn cell_coord(&self, v: f32) -> u32 {
+        ((v / self.cell_size) as u32).min(self.cells_per_side - 1)
+    }
+
+    #[inline]
+    fn cell_of(&self, x: f32, y: f32) -> usize {
+        (self.cell_coord(y) * self.cells_per_side + self.cell_coord(x)) as usize
+    }
+
+    fn alloc_bucket(&mut self, next: u64) -> u64 {
+        if let Some(b) = self.free.pop() {
+            let base = b as usize;
+            self.buckets[base + BKT_NEXT] = next;
+            self.buckets[base + BKT_LEN] = 0;
+            b
+        } else {
+            let b = self.buckets.len() as u64;
+            self.buckets.push(next);
+            self.buckets.push(0);
+            self.buckets.resize(self.buckets.len() + self.bucket_size as usize, 0);
+            b
+        }
+    }
+
+    fn insert(&mut self, cell: usize, entry: EntryId) {
+        let head = self.cells[cell];
+        let bucket = if head == NULL || self.buckets[head as usize + BKT_LEN] == self.bucket_size
+        {
+            let b = self.alloc_bucket(head);
+            self.cells[cell] = b;
+            b
+        } else {
+            head
+        };
+        let base = bucket as usize;
+        let len = self.buckets[base + BKT_LEN];
+        self.buckets[base + HEADER_SLOTS + len as usize] = entry as u64;
+        self.buckets[base + BKT_LEN] = len + 1;
+        self.loc_bucket[entry as usize] = bucket;
+        self.loc_slot[entry as usize] = len as u32;
+    }
+
+    /// Remove `entry` from `cell` by backfilling its slot with the head
+    /// bucket's last entry. Invariant: only the head bucket of a chain is
+    /// ever partially filled, so the backfill source is always the head.
+    fn remove(&mut self, cell: usize, entry: EntryId) {
+        let head = self.cells[cell];
+        debug_assert_ne!(head, NULL, "removing from an empty cell");
+        let head_base = head as usize;
+        let head_len = self.buckets[head_base + BKT_LEN];
+        debug_assert!(head_len > 0, "head bucket of a non-empty cell is empty");
+
+        let hole_bucket = self.loc_bucket[entry as usize];
+        let hole_slot = self.loc_slot[entry as usize] as usize;
+        debug_assert_eq!(
+            self.buckets[hole_bucket as usize + HEADER_SLOTS + hole_slot],
+            entry as u64,
+            "locator out of sync"
+        );
+
+        let last_slot = head_len as usize - 1;
+        let last_entry = self.buckets[head_base + HEADER_SLOTS + last_slot];
+        // Move the head's last entry into the hole (self-move when the
+        // removed entry *is* the last of the head).
+        self.buckets[hole_bucket as usize + HEADER_SLOTS + hole_slot] = last_entry;
+        self.loc_bucket[last_entry as usize] = hole_bucket;
+        self.loc_slot[last_entry as usize] = hole_slot as u32;
+        self.buckets[head_base + BKT_LEN] = head_len - 1;
+
+        if head_len == 1 {
+            self.cells[cell] = self.buckets[head_base + BKT_NEXT];
+            self.free.push(head);
+        }
+        self.loc_bucket[entry as usize] = NULL;
+    }
+
+    /// Full (re)population: used on the first build and whenever the base
+    /// table's size changes.
+    fn rebuild(&mut self, table: &PointTable) {
+        self.cells.fill(NULL);
+        self.buckets.clear();
+        self.free.clear();
+        let n = table.len();
+        self.loc_bucket.clear();
+        self.loc_bucket.resize(n, NULL);
+        self.loc_slot.clear();
+        self.loc_slot.resize(n, 0);
+        self.prev_x.clear();
+        self.prev_x.extend_from_slice(table.xs());
+        self.prev_y.clear();
+        self.prev_y.extend_from_slice(table.ys());
+        for i in 0..n {
+            let cell = self.cell_of(self.prev_x[i], self.prev_y[i]);
+            self.insert(cell, i as EntryId);
+        }
+    }
+
+    /// Number of buckets currently on the free list (tests use this to
+    /// verify steady-state recycling).
+    pub fn free_buckets(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Entries currently indexed.
+    pub fn len(&self) -> usize {
+        self.prev_x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.prev_x.is_empty()
+    }
+
+    /// Debug validation: every entry's locator points at a slot holding
+    /// it, and chain lengths are consistent. O(n); test-only.
+    pub fn validate(&self) -> Result<(), String> {
+        for e in 0..self.loc_bucket.len() {
+            let b = self.loc_bucket[e];
+            if b == NULL {
+                return Err(format!("entry {e} has no location"));
+            }
+            let slot = self.loc_slot[e] as usize;
+            if self.buckets[b as usize + HEADER_SLOTS + slot] != e as u64 {
+                return Err(format!("locator of entry {e} is stale"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SpatialIndex for IncrementalGrid {
+    fn name(&self) -> &str {
+        "Simple Grid (incremental)"
+    }
+
+    fn build(&mut self, table: &PointTable) {
+        if table.len() != self.prev_x.len() {
+            self.rebuild(table);
+            return;
+        }
+        let xs = table.xs();
+        let ys = table.ys();
+        for i in 0..xs.len() {
+            let (nx, ny) = (xs[i], ys[i]);
+            let (px, py) = (self.prev_x[i], self.prev_y[i]);
+            if nx != px || ny != py {
+                let old_cell = self.cell_of(px, py);
+                let new_cell = self.cell_of(nx, ny);
+                if old_cell != new_cell {
+                    self.remove(old_cell, i as EntryId);
+                    self.insert(new_cell, i as EntryId);
+                }
+                self.prev_x[i] = nx;
+                self.prev_y[i] = ny;
+            }
+        }
+    }
+
+    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+        // Algorithm 2 over the inline layout, like the refactored grid.
+        let cx1 = self.cell_coord(region.x1.max(0.0));
+        let cx2 = self.cell_coord(region.x2.max(0.0));
+        let cy1 = self.cell_coord(region.y1.max(0.0));
+        let cy2 = self.cell_coord(region.y2.max(0.0));
+        for cy in cy1..=cy2 {
+            for cx in cx1..=cx2 {
+                let cell_rect = Rect::new(
+                    cx as f32 * self.cell_size,
+                    cy as f32 * self.cell_size,
+                    (cx + 1) as f32 * self.cell_size,
+                    (cy + 1) as f32 * self.cell_size,
+                );
+                let cell = (cy * self.cells_per_side + cx) as usize;
+                let full = region.contains_rect(&cell_rect);
+                let mut b = self.cells[cell];
+                while b != NULL {
+                    let base = b as usize;
+                    let len = self.buckets[base + BKT_LEN] as usize;
+                    for slot in 0..len {
+                        let e = self.buckets[base + HEADER_SLOTS + slot] as EntryId;
+                        if full || region.contains_point(table.x(e), table.y(e)) {
+                            out.push(e);
+                        }
+                    }
+                    b = self.buckets[base + BKT_NEXT];
+                }
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cells.len() * 8
+            + self.buckets.len() * 8
+            + self.loc_bucket.len() * 8
+            + self.loc_slot.len() * 4
+            + self.prev_x.len() * 4
+            + self.prev_y.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::index::ScanIndex;
+    use sj_core::rng::Xoshiro256;
+
+    const SIDE: f32 = 1_000.0;
+
+    fn random_table(n: usize, seed: u64) -> PointTable {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut t = PointTable::default();
+        for _ in 0..n {
+            t.push(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+        }
+        t
+    }
+
+    fn sorted_query(idx: &dyn SpatialIndex, t: &PointTable, r: &Rect) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        idx.query(t, r, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn initial_build_agrees_with_scan() {
+        let t = random_table(2_000, 31);
+        let mut g = IncrementalGrid::tuned(SIDE);
+        g.build(&t);
+        g.validate().unwrap();
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        let r = Rect::new(100.0, 100.0, 400.0, 380.0);
+        assert_eq!(sorted_query(&g, &t, &r), sorted_query(&scan, &t, &r));
+    }
+
+    #[test]
+    fn stays_correct_through_many_movement_ticks() {
+        let mut rng = Xoshiro256::seeded(33);
+        let mut t = random_table(1_000, 32);
+        let mut g = IncrementalGrid::tuned(SIDE);
+        let scan = ScanIndex::new();
+        g.build(&t);
+        for tick in 0..30 {
+            // Move ~70% of objects by up to ±60 units.
+            for i in 0..t.len() as EntryId {
+                if rng.bernoulli(0.7) {
+                    let x = (t.x(i) + rng.range_f32(-60.0, 60.0)).clamp(0.0, SIDE);
+                    let y = (t.y(i) + rng.range_f32(-60.0, 60.0)).clamp(0.0, SIDE);
+                    t.set_position(i, x, y);
+                }
+            }
+            g.build(&t);
+            g.validate().unwrap_or_else(|e| panic!("tick {tick}: {e}"));
+            for _ in 0..5 {
+                let c = sj_core::geom::Point::new(
+                    rng.range_f32(0.0, SIDE),
+                    rng.range_f32(0.0, SIDE),
+                );
+                let r = Rect::centered_square(c, 120.0).clipped_to(&Rect::space(SIDE));
+                assert_eq!(
+                    sorted_query(&g, &t, &r),
+                    sorted_query(&scan, &t, &r),
+                    "tick {tick}, query {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_space_query_conserves_population() {
+        let mut t = random_table(500, 35);
+        let mut g = IncrementalGrid::tuned(SIDE);
+        g.build(&t);
+        for i in 0..t.len() as EntryId {
+            t.set_position(i, SIDE - t.x(i), SIDE - t.y(i));
+        }
+        g.build(&t);
+        assert_eq!(sorted_query(&g, &t, &Rect::space(SIDE)).len(), 500);
+    }
+
+    #[test]
+    fn buckets_are_recycled_not_leaked() {
+        // Shuttle a tight cluster back and forth between two corners; the
+        // arena must reach a steady size instead of growing per tick.
+        let mut t = PointTable::default();
+        for i in 0..200 {
+            t.push(10.0 + (i % 14) as f32, 10.0 + (i / 14) as f32);
+        }
+        let mut g = IncrementalGrid::new(16, 4, SIDE);
+        g.build(&t);
+        let mut arena_after_warmup = 0;
+        for tick in 0..20 {
+            let offset = if tick % 2 == 0 { 900.0 } else { 10.0 };
+            for i in 0..t.len() as EntryId {
+                let (dx, dy) = ((i % 14) as f32, (i / 14) as f32);
+                t.set_position(i, offset + dx, offset + dy);
+            }
+            g.build(&t);
+            g.validate().unwrap();
+            if tick == 2 {
+                arena_after_warmup = g.buckets.len();
+            }
+        }
+        assert_eq!(g.buckets.len(), arena_after_warmup, "bucket arena kept growing");
+        assert!(g.free_buckets() > 0, "free list never used");
+    }
+
+    #[test]
+    fn population_size_change_triggers_rebuild() {
+        let t1 = random_table(300, 36);
+        let t2 = random_table(400, 37);
+        let mut g = IncrementalGrid::tuned(SIDE);
+        g.build(&t1);
+        g.build(&t2);
+        g.validate().unwrap();
+        assert_eq!(sorted_query(&g, &t2, &Rect::space(SIDE)).len(), 400);
+    }
+
+    #[test]
+    fn agrees_with_rebuilding_grid_in_tick_loop() {
+        use crate::SimpleGrid;
+        let mut rng = Xoshiro256::seeded(40);
+        let mut t = random_table(1_500, 41);
+        let mut inc = IncrementalGrid::tuned(SIDE);
+        let mut full = SimpleGrid::tuned(SIDE);
+        for _ in 0..10 {
+            for i in 0..t.len() as EntryId {
+                let x = (t.x(i) + rng.range_f32(-30.0, 30.0)).clamp(0.0, SIDE);
+                let y = (t.y(i) + rng.range_f32(-30.0, 30.0)).clamp(0.0, SIDE);
+                t.set_position(i, x, y);
+            }
+            inc.build(&t);
+            full.build(&t);
+            let c = sj_core::geom::Point::new(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+            let r = Rect::centered_square(c, 200.0).clipped_to(&Rect::space(SIDE));
+            assert_eq!(sorted_query(&inc, &t, &r), sorted_query(&full, &t, &r));
+        }
+    }
+
+    #[test]
+    fn degenerate_geometry_is_rejected() {
+        let r = std::panic::catch_unwind(|| IncrementalGrid::new(0, 4, SIDE));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| IncrementalGrid::new(16, 4, 0.0));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,364 @@
+//! The refactored Simple Grid storage (Figure 3b) and the coordinate-
+//! inlining extension.
+//!
+//! The paper's two structural changes (§3.1):
+//! 1. the directory cell drops the counter — a single 8-byte bucket handle;
+//! 2. buckets store entry handles *inline* — a 16-byte header
+//!    (`next`, `len`) followed by `bs` 8-byte entry slots — eliminating the
+//!    doubly-linked node layer and one level of indirection.
+//!
+//! At bs = 4 this is 8 + 16/4 = 12 bytes per point, vs. 32 before.
+//!
+//! [`InlineCoordsStore`] additionally copies the point coordinates next to
+//! each entry (2 slots per entry), removing the base-table hop during
+//! filtering. The paper deliberately skips this (it breaks the
+//! secondary-index assumption); we implement it as an ablation.
+
+use sj_core::geom::Rect;
+use sj_core::table::{EntryId, PointTable};
+use sj_core::trace::Tracer;
+
+use crate::addr;
+use crate::layout_original::NULL;
+
+const BKT_NEXT: usize = 0;
+const BKT_LEN: usize = 1;
+const HEADER_SLOTS: usize = 2;
+
+/// See module docs: the Figure 3b layout.
+#[derive(Clone, Debug, Default)]
+pub struct InlineStore {
+    /// One slot per cell: head bucket handle.
+    cells: Vec<u64>,
+    /// Flat bucket arena; bucket `b` occupies slots
+    /// `[b, b + 2 + bs)`: `[next, len, entry…]`. Handles are slot indices.
+    buckets: Vec<u64>,
+    bucket_slots: usize,
+    bucket_size: u64,
+}
+
+impl InlineStore {
+    pub fn reset(&mut self, ncells: usize, bucket_size: u32, expected_points: usize) {
+        self.bucket_size = bucket_size as u64;
+        self.bucket_slots = HEADER_SLOTS + bucket_size as usize;
+        self.cells.clear();
+        self.cells.resize(ncells, NULL);
+        self.buckets.clear();
+        let expected_buckets = expected_points / bucket_size.max(1) as usize + ncells;
+        self.buckets.reserve(expected_buckets * self.bucket_slots);
+    }
+
+    fn alloc_bucket(&mut self, next: u64) -> u64 {
+        let h = self.buckets.len() as u64;
+        self.buckets.push(next);
+        self.buckets.push(0); // len
+        self.buckets.resize(self.buckets.len() + self.bucket_size as usize, 0);
+        h
+    }
+
+    pub fn insert<T: Tracer>(&mut self, cell: usize, entry: EntryId, tr: &mut T) {
+        tr.read(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+        let head = self.cells[cell];
+        let bucket = if head == NULL || self.buckets[head as usize + BKT_LEN] == self.bucket_size {
+            let b = self.alloc_bucket(head);
+            self.cells[cell] = b;
+            tr.write(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+            b
+        } else {
+            head
+        };
+        let bbase = bucket as usize;
+        tr.read(addr::BUCKET_BASE + bucket * 8, addr::INLINE_BUCKET_HEADER_BYTES as u32);
+        let len = self.buckets[bbase + BKT_LEN];
+        self.buckets[bbase + HEADER_SLOTS + len as usize] = entry as u64;
+        self.buckets[bbase + BKT_LEN] = len + 1;
+        tr.write(addr::BUCKET_BASE + (bucket + HEADER_SLOTS as u64 + len) * 8, addr::ENTRY_BYTES as u32);
+        tr.write(addr::BUCKET_BASE + (bucket + BKT_LEN as u64) * 8, 8);
+        tr.instr(8);
+    }
+
+    #[inline]
+    fn cell_head<T: Tracer>(&self, cell: usize, tr: &mut T) -> u64 {
+        tr.read(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+        tr.instr(2);
+        self.cells[cell]
+    }
+
+    pub fn report_all<T: Tracer>(&self, cell: usize, out: &mut Vec<EntryId>, tr: &mut T) {
+        let mut b = self.cell_head(cell, tr);
+        while b != NULL {
+            let bbase = b as usize;
+            let len = self.buckets[bbase + BKT_LEN] as usize;
+            tr.read(
+                addr::BUCKET_BASE + b * 8,
+                (addr::INLINE_BUCKET_HEADER_BYTES as usize + len * addr::ENTRY_BYTES as usize) as u32,
+            );
+            for slot in 0..len {
+                out.push(self.buckets[bbase + HEADER_SLOTS + slot] as EntryId);
+            }
+            tr.instr(2 * len as u64 + 3);
+            b = self.buckets[bbase + BKT_NEXT];
+        }
+    }
+
+    pub fn filter<T: Tracer>(
+        &self,
+        cell: usize,
+        table: &PointTable,
+        region: &Rect,
+        out: &mut Vec<EntryId>,
+        tr: &mut T,
+    ) {
+        let mut b = self.cell_head(cell, tr);
+        while b != NULL {
+            let bbase = b as usize;
+            let len = self.buckets[bbase + BKT_LEN] as usize;
+            tr.read(
+                addr::BUCKET_BASE + b * 8,
+                (addr::INLINE_BUCKET_HEADER_BYTES as usize + len * addr::ENTRY_BYTES as usize) as u32,
+            );
+            for slot in 0..len {
+                let entry = self.buckets[bbase + HEADER_SLOTS + slot];
+                tr.read(addr::table_x(entry), addr::COORD_BYTES as u32);
+                tr.read(addr::table_y(entry), addr::COORD_BYTES as u32);
+                let e = entry as EntryId;
+                if region.contains_point(table.x(e), table.y(e)) {
+                    out.push(e);
+                }
+            }
+            tr.instr(6 * len as u64 + 3);
+            b = self.buckets[bbase + BKT_NEXT];
+        }
+    }
+
+    pub fn memory_bytes(&self) -> usize {
+        (self.cells.len() + self.buckets.len()) * std::mem::size_of::<u64>()
+    }
+
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len().checked_div(self.bucket_slots).unwrap_or(0)
+    }
+}
+
+/// Extension: entry handles *and* coordinates inline (2 slots per entry:
+/// `[entry, packed (x, y) f32 bits]`). Filtering never touches the base
+/// table. See DESIGN.md §7.
+#[derive(Clone, Debug, Default)]
+pub struct InlineCoordsStore {
+    cells: Vec<u64>,
+    buckets: Vec<u64>,
+    bucket_slots: usize,
+    bucket_size: u64,
+}
+
+#[inline]
+fn pack_xy(x: f32, y: f32) -> u64 {
+    ((x.to_bits() as u64) << 32) | y.to_bits() as u64
+}
+
+#[inline]
+fn unpack_xy(v: u64) -> (f32, f32) {
+    (f32::from_bits((v >> 32) as u32), f32::from_bits(v as u32))
+}
+
+impl InlineCoordsStore {
+    pub fn reset(&mut self, ncells: usize, bucket_size: u32, expected_points: usize) {
+        self.bucket_size = bucket_size as u64;
+        self.bucket_slots = HEADER_SLOTS + 2 * bucket_size as usize;
+        self.cells.clear();
+        self.cells.resize(ncells, NULL);
+        self.buckets.clear();
+        let expected_buckets = expected_points / bucket_size.max(1) as usize + ncells;
+        self.buckets.reserve(expected_buckets * self.bucket_slots);
+    }
+
+    fn alloc_bucket(&mut self, next: u64) -> u64 {
+        let h = self.buckets.len() as u64;
+        self.buckets.push(next);
+        self.buckets.push(0);
+        self.buckets.resize(self.buckets.len() + 2 * self.bucket_size as usize, 0);
+        h
+    }
+
+    pub fn insert<T: Tracer>(&mut self, cell: usize, entry: EntryId, x: f32, y: f32, tr: &mut T) {
+        tr.read(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+        let head = self.cells[cell];
+        let bucket = if head == NULL || self.buckets[head as usize + BKT_LEN] == self.bucket_size {
+            let b = self.alloc_bucket(head);
+            self.cells[cell] = b;
+            tr.write(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+            b
+        } else {
+            head
+        };
+        let bbase = bucket as usize;
+        let len = self.buckets[bbase + BKT_LEN] as usize;
+        self.buckets[bbase + HEADER_SLOTS + 2 * len] = entry as u64;
+        self.buckets[bbase + HEADER_SLOTS + 2 * len + 1] = pack_xy(x, y);
+        self.buckets[bbase + BKT_LEN] = len as u64 + 1;
+        tr.write(addr::BUCKET_BASE + (bucket + (HEADER_SLOTS + 2 * len) as u64) * 8, 16);
+        tr.instr(10);
+    }
+
+    pub fn report_all<T: Tracer>(&self, cell: usize, out: &mut Vec<EntryId>, tr: &mut T) {
+        tr.read(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+        let mut b = self.cells[cell];
+        while b != NULL {
+            let bbase = b as usize;
+            let len = self.buckets[bbase + BKT_LEN] as usize;
+            tr.read(addr::BUCKET_BASE + b * 8, (16 + len * 16) as u32);
+            for slot in 0..len {
+                out.push(self.buckets[bbase + HEADER_SLOTS + 2 * slot] as EntryId);
+            }
+            tr.instr(2 * len as u64 + 3);
+            b = self.buckets[bbase + BKT_NEXT];
+        }
+    }
+
+    /// Filter using the *inlined* coordinates — no base-table access.
+    pub fn filter<T: Tracer>(
+        &self,
+        cell: usize,
+        region: &Rect,
+        out: &mut Vec<EntryId>,
+        tr: &mut T,
+    ) {
+        tr.read(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+        let mut b = self.cells[cell];
+        while b != NULL {
+            let bbase = b as usize;
+            let len = self.buckets[bbase + BKT_LEN] as usize;
+            tr.read(addr::BUCKET_BASE + b * 8, (16 + len * 16) as u32);
+            for slot in 0..len {
+                let (x, y) = unpack_xy(self.buckets[bbase + HEADER_SLOTS + 2 * slot + 1]);
+                if region.contains_point(x, y) {
+                    out.push(self.buckets[bbase + HEADER_SLOTS + 2 * slot] as EntryId);
+                }
+            }
+            tr.instr(5 * len as u64 + 3);
+            b = self.buckets[bbase + BKT_NEXT];
+        }
+    }
+
+    pub fn memory_bytes(&self) -> usize {
+        (self.cells.len() + self.buckets.len()) * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::trace::{CountingTracer, NullTracer};
+
+    fn table_of(points: &[(f32, f32)]) -> PointTable {
+        let mut t = PointTable::default();
+        for &(x, y) in points {
+            t.push(x, y);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_then_report_roundtrips() {
+        let mut s = InlineStore::default();
+        s.reset(4, 4, 8);
+        for e in 0..6 {
+            s.insert(1, e, &mut NullTracer);
+        }
+        let mut out = Vec::new();
+        s.report_all(1, &mut out, &mut NullTracer);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(s.num_buckets(), 2);
+    }
+
+    #[test]
+    fn filter_respects_region() {
+        let t = table_of(&[(1.0, 1.0), (5.0, 5.0), (9.0, 9.0)]);
+        let mut s = InlineStore::default();
+        s.reset(1, 4, 4);
+        for e in 0..3 {
+            s.insert(0, e, &mut NullTracer);
+        }
+        let mut out = Vec::new();
+        s.filter(0, &t, &Rect::new(4.0, 4.0, 10.0, 10.0), &mut out, &mut NullTracer);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn memory_matches_paper_arithmetic() {
+        // 100 points, one cell, bs = 4: buckets 25 × (16 + 4×8) B = 1200 B,
+        // directory 1 × 8 B. Per point: 8 + 16/4 = 12 B (+ directory).
+        let mut s = InlineStore::default();
+        s.reset(1, 4, 100);
+        for e in 0..100 {
+            s.insert(0, e, &mut NullTracer);
+        }
+        assert_eq!(s.memory_bytes(), 25 * (16 + 4 * 8) + 8);
+    }
+
+    #[test]
+    fn report_needs_fewer_touches_than_original_layout() {
+        // Same 4 entries as the original-layout test, which needed 6 reads
+        // (dir + bucket + 4 nodes); inline needs only dir + bucket.
+        let mut s = InlineStore::default();
+        s.reset(1, 4, 4);
+        for e in 0..4 {
+            s.insert(0, e, &mut NullTracer);
+        }
+        let mut tr = CountingTracer::default();
+        let mut out = Vec::new();
+        s.report_all(0, &mut out, &mut tr);
+        assert_eq!(tr.reads, 2);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn inline_coords_filter_skips_base_table() {
+        let mut s = InlineCoordsStore::default();
+        s.reset(1, 4, 4);
+        s.insert(0, 0, 1.0, 1.0, &mut NullTracer);
+        s.insert(0, 1, 5.0, 5.0, &mut NullTracer);
+        s.insert(0, 2, 9.0, 9.0, &mut NullTracer);
+        let mut tr = CountingTracer::default();
+        let mut out = Vec::new();
+        s.filter(0, &Rect::new(0.0, 0.0, 6.0, 6.0), &mut out, &mut tr);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
+        // dir + one bucket read; zero base-table touches.
+        assert_eq!(tr.reads, 2);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for &(x, y) in &[(0.0f32, 0.0f32), (-1.5, 3.25), (22_000.0, 1e-7)] {
+            let (ux, uy) = unpack_xy(pack_xy(x, y));
+            assert_eq!((ux, uy), (x, y));
+        }
+    }
+
+    #[test]
+    fn bucket_overflow_chains() {
+        let mut s = InlineStore::default();
+        s.reset(1, 2, 10);
+        for e in 0..7 {
+            s.insert(0, e, &mut NullTracer);
+        }
+        assert_eq!(s.num_buckets(), 4); // ceil(7/2)
+        let mut out = Vec::new();
+        s.report_all(0, &mut out, &mut NullTracer);
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn reset_reuses_cleanly() {
+        let mut s = InlineStore::default();
+        s.reset(2, 4, 4);
+        s.insert(0, 42, &mut NullTracer);
+        s.reset(2, 4, 4);
+        let mut out = Vec::new();
+        s.report_all(0, &mut out, &mut NullTracer);
+        assert!(out.is_empty(), "stale entries after reset: {out:?}");
+    }
+}

@@ -1,0 +1,307 @@
+//! The original Simple Grid storage (Figure 3a).
+//!
+//! Byte-faithful reconstruction of the structure the PVLDB'13 framework
+//! used, realized as flat `u64` arenas with slot-index handles instead of
+//! raw pointers (identical hop counts and byte footprints, zero `unsafe`):
+//!
+//! - **directory**: 2 slots per cell → 16 bytes: `[count, head_bucket]`;
+//! - **bucket**: 4 slots → 32 bytes: `[next_bucket, node_head, node_tail, len]`;
+//! - **node**: 3 slots → 24 bytes: `[prev, next, entry]` — one node per
+//!   indexed point, in a *doubly-linked list* per bucket.
+//!
+//! At the original's tuned bs = 4 this costs 24 + 32/4 = 32 bytes per point
+//! beyond the directory, exactly the paper's §3.1 arithmetic.
+
+use sj_core::geom::Rect;
+use sj_core::table::{EntryId, PointTable};
+use sj_core::trace::Tracer;
+
+use crate::addr;
+
+/// Null handle in the arenas.
+pub const NULL: u64 = u64::MAX;
+
+const CELL_SLOTS: usize = 2;
+const BUCKET_SLOTS: usize = 4;
+const NODE_SLOTS: usize = 3;
+
+// Slot offsets within a cell / bucket / node.
+const CELL_COUNT: usize = 0;
+const CELL_HEAD: usize = 1;
+const BKT_NEXT: usize = 0;
+const BKT_NODE_HEAD: usize = 1;
+const BKT_NODE_TAIL: usize = 2;
+const BKT_LEN: usize = 3;
+const NODE_PREV: usize = 0;
+const NODE_NEXT: usize = 1;
+const NODE_ENTRY: usize = 2;
+
+/// See module docs.
+#[derive(Clone, Debug, Default)]
+pub struct OriginalStore {
+    cells: Vec<u64>,
+    buckets: Vec<u64>,
+    nodes: Vec<u64>,
+    bucket_size: u64,
+}
+
+impl OriginalStore {
+    /// Clear and re-dimension for `ncells` cells, reusing allocations.
+    pub fn reset(&mut self, ncells: usize, bucket_size: u32, expected_points: usize) {
+        self.bucket_size = bucket_size as u64;
+        self.cells.clear();
+        self.cells.resize(ncells * CELL_SLOTS, 0);
+        // Directory starts with empty cells: count 0, head NULL.
+        for c in 0..ncells {
+            self.cells[c * CELL_SLOTS + CELL_HEAD] = NULL;
+        }
+        self.buckets.clear();
+        self.nodes.clear();
+        self.nodes.reserve(expected_points * NODE_SLOTS);
+    }
+
+    fn alloc_bucket(&mut self, next: u64) -> u64 {
+        let h = (self.buckets.len() / BUCKET_SLOTS) as u64;
+        self.buckets.extend_from_slice(&[next, NULL, NULL, 0]);
+        h
+    }
+
+    fn alloc_node(&mut self, prev: u64, next: u64, entry: u64) -> u64 {
+        let h = (self.nodes.len() / NODE_SLOTS) as u64;
+        self.nodes.extend_from_slice(&[prev, next, entry]);
+        h
+    }
+
+    /// Insert `entry` into `cell`, mirroring the original implementation:
+    /// if the head bucket is full (or the cell empty) a new bucket is
+    /// pushed at the front of the bucket list, and the entry's node is
+    /// prepended to that bucket's doubly-linked node list.
+    pub fn insert<T: Tracer>(&mut self, cell: usize, entry: EntryId, tr: &mut T) {
+        let base = cell * CELL_SLOTS;
+        tr.read(addr::DIR_BASE + (cell as u64) * addr::ORIG_CELL_BYTES, addr::ORIG_CELL_BYTES as u32);
+        let head = self.cells[base + CELL_HEAD];
+
+        let bucket = if head == NULL
+            || self.buckets[head as usize * BUCKET_SLOTS + BKT_LEN] == self.bucket_size
+        {
+            let b = self.alloc_bucket(head);
+            self.cells[base + CELL_HEAD] = b;
+            tr.write(addr::DIR_BASE + (cell as u64) * addr::ORIG_CELL_BYTES + 8, 8);
+            b
+        } else {
+            head
+        };
+        let bbase = bucket as usize * BUCKET_SLOTS;
+        tr.read(addr::BUCKET_BASE + bucket * addr::ORIG_BUCKET_BYTES, addr::ORIG_BUCKET_BYTES as u32);
+
+        let old_head = self.buckets[bbase + BKT_NODE_HEAD];
+        let node = self.alloc_node(NULL, old_head, entry as u64);
+        tr.write(addr::NODE_BASE + node * addr::ORIG_NODE_BYTES, addr::ORIG_NODE_BYTES as u32);
+        if old_head != NULL {
+            self.nodes[old_head as usize * NODE_SLOTS + NODE_PREV] = node;
+            tr.write(addr::NODE_BASE + old_head * addr::ORIG_NODE_BYTES, 8);
+        } else {
+            self.buckets[bbase + BKT_NODE_TAIL] = node;
+        }
+        self.buckets[bbase + BKT_NODE_HEAD] = node;
+        self.buckets[bbase + BKT_LEN] += 1;
+        tr.write(addr::BUCKET_BASE + bucket * addr::ORIG_BUCKET_BYTES, addr::ORIG_BUCKET_BYTES as u32);
+
+        self.cells[base + CELL_COUNT] += 1;
+        tr.write(addr::DIR_BASE + (cell as u64) * addr::ORIG_CELL_BYTES, 8);
+        tr.instr(12);
+    }
+
+    /// Number of entries in `cell` (the directory's counter field).
+    pub fn cell_count(&self, cell: usize) -> u64 {
+        self.cells[cell * CELL_SLOTS + CELL_COUNT]
+    }
+
+    /// Bucket-chain head of `cell`, reporting the directory touch.
+    #[inline]
+    pub fn cell_head<T: Tracer>(&self, cell: usize, tr: &mut T) -> u64 {
+        tr.read(addr::DIR_BASE + (cell as u64) * addr::ORIG_CELL_BYTES, addr::ORIG_CELL_BYTES as u32);
+        tr.instr(2);
+        self.cells[cell * CELL_SLOTS + CELL_HEAD]
+    }
+
+    /// Report every entry in `cell` (query fast path: cell fully contained
+    /// in the region). Walks bucket chain and per-bucket node lists.
+    pub fn report_all<T: Tracer>(&self, cell: usize, out: &mut Vec<EntryId>, tr: &mut T) {
+        let mut b = self.cell_head(cell, tr);
+        while b != NULL {
+            let bbase = b as usize * BUCKET_SLOTS;
+            tr.read(addr::BUCKET_BASE + b * addr::ORIG_BUCKET_BYTES, addr::ORIG_BUCKET_BYTES as u32);
+            let mut n = self.buckets[bbase + BKT_NODE_HEAD];
+            while n != NULL {
+                let nbase = n as usize * NODE_SLOTS;
+                tr.read(addr::NODE_BASE + n * addr::ORIG_NODE_BYTES, addr::ORIG_NODE_BYTES as u32);
+                out.push(self.nodes[nbase + NODE_ENTRY] as EntryId);
+                n = self.nodes[nbase + NODE_NEXT];
+                tr.instr(4);
+            }
+            b = self.buckets[bbase + BKT_NEXT];
+            tr.instr(3);
+        }
+    }
+
+    /// Report entries of `cell` whose base-table point lies in `region`
+    /// (query slow path: cell only intersects the region). Each candidate
+    /// costs one extra hop into the base table — the indirection the
+    /// refactoring cannot remove but whose *frequency* it reduces.
+    pub fn filter<T: Tracer>(
+        &self,
+        cell: usize,
+        table: &PointTable,
+        region: &Rect,
+        out: &mut Vec<EntryId>,
+        tr: &mut T,
+    ) {
+        let mut b = self.cell_head(cell, tr);
+        while b != NULL {
+            let bbase = b as usize * BUCKET_SLOTS;
+            tr.read(addr::BUCKET_BASE + b * addr::ORIG_BUCKET_BYTES, addr::ORIG_BUCKET_BYTES as u32);
+            let mut n = self.buckets[bbase + BKT_NODE_HEAD];
+            while n != NULL {
+                let nbase = n as usize * NODE_SLOTS;
+                tr.read(addr::NODE_BASE + n * addr::ORIG_NODE_BYTES, addr::ORIG_NODE_BYTES as u32);
+                let entry = self.nodes[nbase + NODE_ENTRY];
+                tr.read(addr::table_x(entry), addr::COORD_BYTES as u32);
+                tr.read(addr::table_y(entry), addr::COORD_BYTES as u32);
+                let e = entry as EntryId;
+                if region.contains_point(table.x(e), table.y(e)) {
+                    out.push(e);
+                }
+                n = self.nodes[nbase + NODE_NEXT];
+                tr.instr(8);
+            }
+            b = self.buckets[bbase + BKT_NEXT];
+            tr.instr(3);
+        }
+    }
+
+    /// Bytes held in the three arenas (capacity is deliberately excluded;
+    /// the paper's arithmetic concerns live structure size).
+    pub fn memory_bytes(&self) -> usize {
+        (self.cells.len() + self.buckets.len() + self.nodes.len()) * std::mem::size_of::<u64>()
+    }
+
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len() / BUCKET_SLOTS
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len() / NODE_SLOTS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::trace::{CountingTracer, NullTracer};
+
+    fn table_of(points: &[(f32, f32)]) -> PointTable {
+        let mut t = PointTable::default();
+        for &(x, y) in points {
+            t.push(x, y);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_then_report_roundtrips() {
+        let mut s = OriginalStore::default();
+        s.reset(4, 4, 8);
+        for e in 0..6 {
+            s.insert(2, e, &mut NullTracer);
+        }
+        let mut out = Vec::new();
+        s.report_all(2, &mut out, &mut NullTracer);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(s.cell_count(2), 6);
+        // 6 entries at bs=4 → 2 buckets, 6 nodes.
+        assert_eq!(s.num_buckets(), 2);
+        assert_eq!(s.num_nodes(), 6);
+    }
+
+    #[test]
+    fn filter_respects_region() {
+        let t = table_of(&[(1.0, 1.0), (5.0, 5.0), (9.0, 9.0)]);
+        let mut s = OriginalStore::default();
+        s.reset(1, 4, 4);
+        for e in 0..3 {
+            s.insert(0, e, &mut NullTracer);
+        }
+        let mut out = Vec::new();
+        s.filter(0, &t, &Rect::new(0.0, 0.0, 6.0, 6.0), &mut out, &mut NullTracer);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_cell_reports_nothing() {
+        let mut s = OriginalStore::default();
+        s.reset(3, 4, 0);
+        let mut out = Vec::new();
+        s.report_all(1, &mut out, &mut NullTracer);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn memory_matches_paper_arithmetic() {
+        // n = 100 points in one cell at bs = 4: nodes 100×24 B,
+        // buckets ceil(100/4)=25 × 32 B, directory 1 × 16 B.
+        let mut s = OriginalStore::default();
+        s.reset(1, 4, 100);
+        for e in 0..100 {
+            s.insert(0, e, &mut NullTracer);
+        }
+        assert_eq!(s.memory_bytes(), 100 * 24 + 25 * 32 + 16);
+    }
+
+    #[test]
+    fn report_touches_directory_buckets_and_nodes() {
+        let mut s = OriginalStore::default();
+        s.reset(1, 4, 4);
+        for e in 0..4 {
+            s.insert(0, e, &mut NullTracer);
+        }
+        let mut tr = CountingTracer::default();
+        let mut out = Vec::new();
+        s.report_all(0, &mut out, &mut tr);
+        // 1 directory read + 1 bucket read + 4 node reads.
+        assert_eq!(tr.reads, 6);
+    }
+
+    #[test]
+    fn filter_touches_base_table_per_candidate() {
+        let t = table_of(&[(0.0, 0.0), (1.0, 1.0)]);
+        let mut s = OriginalStore::default();
+        s.reset(1, 4, 2);
+        s.insert(0, 0, &mut NullTracer);
+        s.insert(0, 1, &mut NullTracer);
+        let mut tr = CountingTracer::default();
+        let mut out = Vec::new();
+        s.filter(0, &t, &Rect::new(0.0, 0.0, 2.0, 2.0), &mut out, &mut tr);
+        // dir + bucket + 2 nodes + 2×(x read + y read) = 8 reads.
+        assert_eq!(tr.reads, 8);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn bucket_chain_grows_at_head() {
+        let mut s = OriginalStore::default();
+        s.reset(1, 2, 6);
+        for e in 0..5 {
+            s.insert(0, e, &mut NullTracer);
+        }
+        // bs = 2, 5 entries → 3 buckets; head bucket holds the latest.
+        assert_eq!(s.num_buckets(), 3);
+        let mut out = Vec::new();
+        s.report_all(0, &mut out, &mut NullTracer);
+        assert_eq!(out.len(), 5);
+        // Latest insert is encountered first (prepend at head of head).
+        assert_eq!(out[0], 4);
+    }
+}

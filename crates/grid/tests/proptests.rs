@@ -1,0 +1,103 @@
+//! Property-based tests for the Simple Grid: every layout × algorithm
+//! combination agrees with a naive filter on arbitrary inputs, and the
+//! §3.1 memory arithmetic holds for arbitrary bucket sizes.
+
+use proptest::prelude::*;
+use sj_core::geom::Rect;
+use sj_core::index::{ScanIndex, SpatialIndex};
+use sj_core::table::PointTable;
+use sj_grid::{GridConfig, Layout, QueryAlgo, SimpleGrid};
+
+const SIDE: f32 = 500.0;
+
+fn arb_points() -> impl Strategy<Value = Vec<(f32, f32)>> {
+    prop::collection::vec((0.0f32..=SIDE, 0.0f32..=SIDE), 0..300)
+}
+
+fn arb_config() -> impl Strategy<Value = GridConfig> {
+    (
+        1u32..40,
+        1u32..40,
+        prop::sample::select(vec![Layout::Original, Layout::Inline, Layout::InlineCoords]),
+        prop::sample::select(vec![QueryAlgo::FullScan, QueryAlgo::RangeScan]),
+    )
+        .prop_map(|(cps, bs, layout, query_algo)| GridConfig {
+            cells_per_side: cps,
+            bucket_size: bs,
+            layout,
+            query_algo,
+        })
+}
+
+fn table_of(points: &[(f32, f32)]) -> PointTable {
+    let mut t = PointTable::default();
+    for &(x, y) in points {
+        t.push(x, y);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_config_agrees_with_scan(
+        points in arb_points(),
+        cfg in arb_config(),
+        qx in 0.0f32..=SIDE,
+        qy in 0.0f32..=SIDE,
+        qw in 0.0f32..=200.0,
+        qh in 0.0f32..=200.0,
+    ) {
+        let t = table_of(&points);
+        let region = Rect::new(qx, qy, (qx + qw).min(SIDE), (qy + qh).min(SIDE));
+        let mut grid = SimpleGrid::new(cfg, SIDE);
+        grid.build(&t);
+        let scan = ScanIndex::new();
+        let mut got = Vec::new();
+        grid.query(&t, &region, &mut got);
+        got.sort_unstable();
+        let mut expect = Vec::new();
+        scan.query(&t, &region, &mut expect);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn memory_arithmetic_holds_for_any_bucket_size(bs in 1u32..64, n in 1usize..2_000) {
+        // Original: n×24 + ceil-ish buckets×32 + dir×16;
+        // refactored: n×8 + buckets×(16 + 8·bs) + dir×8. All points in one
+        // cell maximizes chain length and makes bucket counts exact.
+        let mut t = PointTable::default();
+        for _ in 0..n {
+            t.push(1.0, 1.0);
+        }
+        let cfg = |layout| GridConfig {
+            cells_per_side: 1,
+            bucket_size: bs,
+            layout,
+            query_algo: QueryAlgo::RangeScan,
+        };
+        let buckets = n.div_ceil(bs as usize);
+
+        let mut orig = SimpleGrid::new(cfg(Layout::Original), SIDE);
+        orig.build(&t);
+        prop_assert_eq!(orig.memory_bytes(), n * 24 + buckets * 32 + 16);
+
+        let mut inl = SimpleGrid::new(cfg(Layout::Inline), SIDE);
+        inl.build(&t);
+        prop_assert_eq!(inl.memory_bytes(), buckets * (16 + 8 * bs as usize) + 8);
+    }
+
+    #[test]
+    fn all_points_recovered_by_full_space_query(points in arb_points(), cfg in arb_config()) {
+        let t = table_of(&points);
+        let mut grid = SimpleGrid::new(cfg, SIDE);
+        grid.build(&t);
+        let mut out = Vec::new();
+        grid.query(&t, &Rect::space(SIDE), &mut out);
+        prop_assert_eq!(out.len(), points.len());
+        out.sort_unstable();
+        out.dedup();
+        prop_assert_eq!(out.len(), points.len(), "duplicate or missing handles");
+    }
+}

@@ -1,0 +1,16 @@
+//! # sj-kdtrie
+//!
+//! The Linearized KD-Trie of Dittrich, Blunschi & Salles (SSTD 2009,
+//! "Indexing Moving Objects Using Short-Lived Throwaway Indexes"), the
+//! third tree-shaped static index in the paper's comparison. Point
+//! positions are quantized onto a 2¹⁶×2¹⁶ grid, bit-interleaved into
+//! 32-bit kd-trie codes, and radix-sorted into a flat array that is thrown
+//! away and rebuilt every tick.
+
+pub mod morton;
+pub mod radix;
+mod trie;
+
+pub use morton::{decode, encode, spread, unspread};
+pub use radix::sort_by_code;
+pub use trie::LinearKdTrie;

@@ -1,0 +1,93 @@
+//! KD-trie linearization codes.
+//!
+//! A kd-trie over a 2-D grid splits on x, then y, then x… Reading the
+//! split decisions root-to-leaf yields a bit string; interpreting it as an
+//! integer linearizes the trie into a sorted array. With the x bit taken
+//! first this is exactly the Morton / Z-order interleaving of the two
+//! 16-bit quantized coordinates, giving a 32-bit code.
+
+/// Spread the 16 bits of `v` to the even positions of a `u32`
+/// (`abcd` → `0a0b0c0d`), via the classic parallel-prefix masks.
+#[inline]
+pub fn spread(v: u16) -> u32 {
+    let mut x = v as u32;
+    x = (x | (x << 8)) & 0x00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555;
+    x
+}
+
+/// Inverse of [`spread`]: collect the even-position bits of `v`.
+#[inline]
+pub fn unspread(v: u32) -> u16 {
+    let mut x = v & 0x5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF;
+    x as u16
+}
+
+/// Interleave quantized coordinates into a kd-trie code; x occupies the
+/// odd (more significant) bit positions because the trie splits on x
+/// first.
+#[inline]
+pub fn encode(qx: u16, qy: u16) -> u32 {
+    (spread(qx) << 1) | spread(qy)
+}
+
+/// Recover `(qx, qy)` from a code.
+#[inline]
+pub fn decode(code: u32) -> (u16, u16) {
+    (unspread(code >> 1), unspread(code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::rng::Xoshiro256;
+
+    #[test]
+    fn spread_examples() {
+        assert_eq!(spread(0), 0);
+        assert_eq!(spread(1), 1);
+        assert_eq!(spread(0b11), 0b101);
+        assert_eq!(spread(0xFFFF), 0x5555_5555);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_exhaustive_bytes() {
+        for qx in (0..=u16::MAX).step_by(257) {
+            for qy in (0..=u16::MAX).step_by(263) {
+                assert_eq!(decode(encode(qx, qy)), (qx, qy));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let mut rng = Xoshiro256::seeded(1);
+        for _ in 0..10_000 {
+            let qx = rng.next_u32() as u16;
+            let qy = rng.next_u32() as u16;
+            assert_eq!(decode(encode(qx, qy)), (qx, qy));
+        }
+    }
+
+    #[test]
+    fn x_is_the_most_significant_dimension() {
+        // Splitting on x first means the top bit of the code is x's top bit.
+        assert_eq!(encode(0x8000, 0) >> 31, 1);
+        assert_eq!(encode(0, 0x8000) >> 31, 0);
+        assert!(encode(0x8000, 0) > encode(0x7FFF, 0xFFFF));
+    }
+
+    #[test]
+    fn code_order_respects_quadrants() {
+        // All codes of the SW quadrant sort below all of the NE quadrant.
+        let sw = encode(0x7FFF, 0x7FFF);
+        let ne = encode(0x8000, 0x8000);
+        assert!(sw < ne);
+    }
+}

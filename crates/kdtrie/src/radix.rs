@@ -1,0 +1,119 @@
+//! LSD radix sort for the throwaway-index rebuild.
+//!
+//! The linearized kd-trie is rebuilt every tick (a "short-lived throwaway
+//! index"), so build speed is part of the technique. Keys are `u64`s whose
+//! high 32 bits are the kd-trie code and whose low 32 bits carry the entry
+//! handle; four counting-sort passes over the code bytes order the array
+//! without comparisons.
+
+/// Sort `keys` ascending by their **high 32 bits** (the code), reusing
+/// `scratch` as the ping-pong buffer. Stable, O(4·n).
+pub fn sort_by_code(keys: &mut Vec<u64>, scratch: &mut Vec<u64>) {
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    scratch.clear();
+    scratch.resize(n, 0);
+    let mut counts = [0usize; 256];
+    // Code bytes sit at shifts 32, 40, 48, 56.
+    for pass in 0..4u32 {
+        let shift = 32 + pass * 8;
+        counts.fill(0);
+        for &k in keys.iter() {
+            counts[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        // Skip passes where all keys share the byte (common for small
+        // spaces: high code bytes are often constant).
+        if counts.contains(&n) {
+            continue;
+        }
+        let mut sum = 0usize;
+        for c in counts.iter_mut() {
+            let tmp = *c;
+            *c = sum;
+            sum += tmp;
+        }
+        for &k in keys.iter() {
+            let b = ((k >> shift) & 0xFF) as usize;
+            scratch[counts[b]] = k;
+            counts[b] += 1;
+        }
+        std::mem::swap(keys, scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::rng::Xoshiro256;
+
+    fn is_sorted_by_code(keys: &[u64]) -> bool {
+        keys.windows(2).all(|w| (w[0] >> 32) <= (w[1] >> 32))
+    }
+
+    #[test]
+    fn sorts_random_keys() {
+        let mut rng = Xoshiro256::seeded(99);
+        let mut keys: Vec<u64> = (0..10_000).map(|_| rng.next_u64()).collect();
+        let mut scratch = Vec::new();
+        sort_by_code(&mut keys, &mut scratch);
+        assert!(is_sorted_by_code(&keys));
+    }
+
+    #[test]
+    fn matches_std_sort() {
+        let mut rng = Xoshiro256::seeded(7);
+        let mut keys: Vec<u64> = (0..5_000).map(|_| rng.next_u64()).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable_by_key(|k| k >> 32);
+        let mut scratch = Vec::new();
+        sort_by_code(&mut keys, &mut scratch);
+        let got: Vec<u32> = keys.iter().map(|k| (k >> 32) as u32).collect();
+        let want: Vec<u32> = expected.iter().map(|k| (k >> 32) as u32).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stable_for_equal_codes() {
+        // Keys with the same code must keep their low-bits order.
+        let mut keys: Vec<u64> = (0..100).map(|i| (42u64 << 32) | i).collect();
+        let mut scratch = Vec::new();
+        sort_by_code(&mut keys, &mut scratch);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(*k & 0xFFFF_FFFF, i as u64);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let mut scratch = Vec::new();
+        let mut empty: Vec<u64> = vec![];
+        sort_by_code(&mut empty, &mut scratch);
+        assert!(empty.is_empty());
+        let mut one = vec![0xDEAD_BEEF_0000_0001];
+        sort_by_code(&mut one, &mut scratch);
+        assert_eq!(one, vec![0xDEAD_BEEF_0000_0001]);
+    }
+
+    #[test]
+    fn already_sorted_input_is_preserved() {
+        let mut keys: Vec<u64> = (0..1_000u64).map(|i| i << 32).collect();
+        let expected = keys.clone();
+        let mut scratch = Vec::new();
+        sort_by_code(&mut keys, &mut scratch);
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn low_bits_do_not_affect_order() {
+        let mut keys = vec![(1u64 << 32) | 0xFFFF_FFFF, (2u64 << 32), (1u64 << 32)];
+        let mut scratch = Vec::new();
+        sort_by_code(&mut keys, &mut scratch);
+        assert_eq!(keys[2] >> 32, 2);
+        assert_eq!(keys[0] >> 32, 1);
+        assert_eq!(keys[1] >> 32, 1);
+        // Stability: the 0xFFFF_FFFF low half came first in the input.
+        assert_eq!(keys[0] & 0xFFFF_FFFF, 0xFFFF_FFFF);
+    }
+}

@@ -1,0 +1,357 @@
+//! The linearized KD-trie index.
+//!
+//! Build: quantize every point to a 2×16-bit grid over the data space,
+//! interleave into a 32-bit kd-trie code ([`crate::morton`]), radix-sort
+//! the `(code, entry)` pairs ([`crate::radix`]). The sorted array *is* the
+//! index — a throwaway structure rebuilt each tick (Dittrich et al.).
+//!
+//! Query: recursively descend the implicit trie, narrowing the sorted-array
+//! segment at each split by binary search. Sub-tries whose cell range is
+//! entirely inside the query are reported wholesale; segments below a
+//! scan threshold are filtered point by point against the base table.
+
+use sj_core::geom::Rect;
+use sj_core::index::SpatialIndex;
+use sj_core::table::{EntryId, PointTable};
+
+use crate::morton::encode;
+use crate::radix::sort_by_code;
+
+/// Quantization resolution per axis.
+const CELLS: u32 = 1 << 16;
+
+/// Segments at or below this length are scanned directly instead of being
+/// decomposed further; 16 entries ≈ one cache line of codes plus one of
+/// ids, the point where descending costs more than filtering.
+const SCAN_THRESHOLD: usize = 16;
+
+/// See module docs.
+///
+/// ```
+/// use sj_core::{PointTable, Rect, SpatialIndex};
+/// use sj_kdtrie::LinearKdTrie;
+///
+/// let mut table = PointTable::default();
+/// table.push(250.0, 250.0);
+/// table.push(750.0, 750.0);
+///
+/// let mut trie = LinearKdTrie::new(1000.0); // space side
+/// trie.build(&table);
+///
+/// let mut hits = Vec::new();
+/// trie.query(&table, &Rect::new(700.0, 700.0, 800.0, 800.0), &mut hits);
+/// assert_eq!(hits, vec![1]);
+/// ```
+pub struct LinearKdTrie {
+    space_side: f32,
+    /// Sorted kd-trie codes, parallel to `ids`.
+    codes: Vec<u32>,
+    ids: Vec<EntryId>,
+    /// Build scratch (packed `(code << 32) | id` keys and radix buffer).
+    keys: Vec<u64>,
+    scratch: Vec<u64>,
+}
+
+impl LinearKdTrie {
+    /// Create an index for points inside `[0, space_side]²`.
+    ///
+    /// # Panics
+    /// Panics if `space_side` is not positive.
+    pub fn new(space_side: f32) -> Self {
+        assert!(space_side > 0.0, "space_side must be positive");
+        LinearKdTrie {
+            space_side,
+            codes: Vec::new(),
+            ids: Vec::new(),
+            keys: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Cell of a coordinate (f64 math so the same formula serves points
+    /// and query bounds identically).
+    #[inline]
+    fn quant(&self, v: f32) -> u32 {
+        let t = v as f64 / self.space_side as f64 * CELLS as f64;
+        (t.floor().max(0.0) as u32).min(CELLS - 1)
+    }
+
+    /// Real-space start of cell `c` along one axis.
+    #[inline]
+    fn cell_start(&self, c: u32) -> f64 {
+        c as f64 * self.space_side as f64 / CELLS as f64
+    }
+
+    /// Largest cell range `[lo, hi]` whose real extent is certainly inside
+    /// `[a, b]`, shrunk by one cell per side to absorb any f32→f64
+    /// rounding at the edges. Returns `None` when nothing is certain.
+    fn inner_range(&self, a: f32, b: f32) -> Option<(u32, u32)> {
+        let mut lo = (a as f64 / self.space_side as f64 * CELLS as f64).ceil() as i64;
+        let mut hi = (b as f64 / self.space_side as f64 * CELLS as f64).floor() as i64 - 1;
+        lo += 1;
+        hi -= 1;
+        if lo < 0 || hi >= CELLS as i64 || lo > hi {
+            return None;
+        }
+        let (lo, hi) = (lo as u32, hi as u32);
+        // Verify the guarantee explicitly; the shrink above makes these
+        // hold for all realistic inputs.
+        if self.cell_start(lo) >= a as f64 && self.cell_start(hi + 1) <= b as f64 {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit(
+        &self,
+        table: &PointTable,
+        region: &Rect,
+        // Sorted-array segment of the current sub-trie.
+        seg: std::ops::Range<usize>,
+        depth: u32,
+        // Cell bounds of the current sub-trie (inclusive).
+        nx: (u32, u32),
+        ny: (u32, u32),
+        // Conservative outer query cells and certain inner query cells.
+        outer_x: (u32, u32),
+        outer_y: (u32, u32),
+        inner_x: Option<(u32, u32)>,
+        inner_y: Option<(u32, u32)>,
+        out: &mut Vec<EntryId>,
+    ) {
+        if seg.is_empty() {
+            return;
+        }
+        // Disjoint from the conservative query footprint: prune.
+        if nx.1 < outer_x.0 || nx.0 > outer_x.1 || ny.1 < outer_y.0 || ny.0 > outer_y.1 {
+            return;
+        }
+        // Certainly inside: report the whole segment without filtering.
+        if let (Some(ix), Some(iy)) = (inner_x, inner_y) {
+            if nx.0 >= ix.0 && nx.1 <= ix.1 && ny.0 >= iy.0 && ny.1 <= iy.1 {
+                out.extend_from_slice(&self.ids[seg]);
+                return;
+            }
+        }
+        // Small segment (or fully descended): exact filter via base table.
+        if seg.len() <= SCAN_THRESHOLD || depth == 32 {
+            for i in seg {
+                let id = self.ids[i];
+                if region.contains_point(table.x(id), table.y(id)) {
+                    out.push(id);
+                }
+            }
+            return;
+        }
+        // Split the sub-trie on the next code bit; even depths split x
+        // (x owns the more significant of each bit pair).
+        let bit = 31 - depth;
+        let codes = &self.codes[seg.clone()];
+        let split = seg.start + codes.partition_point(|&c| (c >> bit) & 1 == 0);
+        if depth.is_multiple_of(2) {
+            let mid = (nx.0 + nx.1) / 2;
+            self.visit(table, region, seg.start..split, depth + 1, (nx.0, mid), ny,
+                outer_x, outer_y, inner_x, inner_y, out);
+            self.visit(table, region, split..seg.end, depth + 1, (mid + 1, nx.1), ny,
+                outer_x, outer_y, inner_x, inner_y, out);
+        } else {
+            let mid = (ny.0 + ny.1) / 2;
+            self.visit(table, region, seg.start..split, depth + 1, nx, (ny.0, mid),
+                outer_x, outer_y, inner_x, inner_y, out);
+            self.visit(table, region, split..seg.end, depth + 1, nx, (mid + 1, ny.1),
+                outer_x, outer_y, inner_x, inner_y, out);
+        }
+    }
+}
+
+impl SpatialIndex for LinearKdTrie {
+    fn name(&self) -> &str {
+        "Linearized KD-Trie"
+    }
+
+    fn build(&mut self, table: &PointTable) {
+        let n = table.len();
+        self.keys.clear();
+        self.keys.reserve(n);
+        let xs = table.xs();
+        let ys = table.ys();
+        for i in 0..n {
+            let code = encode(self.quant(xs[i]) as u16, self.quant(ys[i]) as u16);
+            self.keys.push(((code as u64) << 32) | i as u64);
+        }
+        sort_by_code(&mut self.keys, &mut self.scratch);
+        self.codes.clear();
+        self.ids.clear();
+        self.codes.reserve(n);
+        self.ids.reserve(n);
+        for &k in &self.keys {
+            self.codes.push((k >> 32) as u32);
+            self.ids.push(k as u32);
+        }
+    }
+
+    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+        if self.ids.is_empty() {
+            return;
+        }
+        let outer_x = (self.quant(region.x1), self.quant(region.x2));
+        let outer_y = (self.quant(region.y1), self.quant(region.y2));
+        let inner_x = self.inner_range(region.x1, region.x2);
+        let inner_y = self.inner_range(region.y1, region.y2);
+        self.visit(
+            table,
+            region,
+            0..self.ids.len(),
+            0,
+            (0, CELLS - 1),
+            (0, CELLS - 1),
+            outer_x,
+            outer_y,
+            inner_x,
+            inner_y,
+            out,
+        );
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.codes.len() * 4 + self.ids.len() * std::mem::size_of::<EntryId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::geom::Point;
+    use sj_core::index::ScanIndex;
+    use sj_core::rng::Xoshiro256;
+
+    const SIDE: f32 = 1_000.0;
+
+    fn random_table(n: usize, seed: u64) -> PointTable {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut t = PointTable::default();
+        for _ in 0..n {
+            t.push(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+        }
+        t
+    }
+
+    fn sorted_query(idx: &dyn SpatialIndex, t: &PointTable, r: &Rect) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        idx.query(t, r, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn agrees_with_full_scan() {
+        let t = random_table(3_000, 20);
+        let mut trie = LinearKdTrie::new(SIDE);
+        trie.build(&t);
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        let mut rng = Xoshiro256::seeded(21);
+        for _ in 0..100 {
+            let c = Point::new(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+            let r = Rect::centered_square(c, 85.0);
+            assert_eq!(sorted_query(&trie, &t, &r), sorted_query(&scan, &t, &r));
+        }
+    }
+
+    #[test]
+    fn boundary_queries_agree_with_scan() {
+        let t = random_table(2_000, 22);
+        let mut trie = LinearKdTrie::new(SIDE);
+        trie.build(&t);
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        for r in [
+            Rect::new(0.0, 0.0, SIDE, SIDE),
+            Rect::new(0.0, 0.0, 0.0, SIDE),
+            Rect::new(999.99, 0.0, 1_000.0, 1_000.0),
+            Rect::new(250.0, 250.0, 250.0, 250.0),
+            Rect::new(499.9999, 499.9999, 500.0001, 500.0001),
+        ] {
+            assert_eq!(sorted_query(&trie, &t, &r), sorted_query(&scan, &t, &r), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn codes_are_sorted_after_build() {
+        let t = random_table(5_000, 23);
+        let mut trie = LinearKdTrie::new(SIDE);
+        trie.build(&t);
+        assert!(trie.codes.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(trie.ids.len(), 5_000);
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let mut trie = LinearKdTrie::new(SIDE);
+        let t = PointTable::default();
+        trie.build(&t);
+        assert!(sorted_query(&trie, &t, &Rect::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_all_found() {
+        let mut t = PointTable::default();
+        for _ in 0..100 {
+            t.push(123.0, 456.0);
+        }
+        let mut trie = LinearKdTrie::new(SIDE);
+        trie.build(&t);
+        assert_eq!(
+            sorted_query(&trie, &t, &Rect::new(123.0, 456.0, 123.0, 456.0)).len(),
+            100
+        );
+    }
+
+    #[test]
+    fn inner_range_is_truly_inside() {
+        let trie = LinearKdTrie::new(SIDE);
+        if let Some((lo, hi)) = trie.inner_range(100.0, 300.0) {
+            assert!(trie.cell_start(lo) >= 100.0);
+            assert!(trie.cell_start(hi + 1) <= 300.0);
+            assert!(lo <= hi);
+        } else {
+            panic!("a 200-unit interval spans thousands of cells");
+        }
+    }
+
+    #[test]
+    fn inner_range_empty_for_sub_cell_intervals() {
+        let trie = LinearKdTrie::new(SIDE);
+        // One cell is ~0.0153 units; a 0.001 interval contains no full cell.
+        assert!(trie.inner_range(500.0, 500.001).is_none());
+    }
+
+    #[test]
+    fn rebuild_reflects_movement() {
+        let mut t = random_table(500, 24);
+        let mut trie = LinearKdTrie::new(SIDE);
+        trie.build(&t);
+        t.set_position(7, 0.5, 0.5);
+        trie.build(&t);
+        let out = sorted_query(&trie, &t, &Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert!(out.contains(&7));
+    }
+
+    #[test]
+    fn clustered_data_agrees_with_scan() {
+        // Dense cluster: many equal codes exercise the depth-32 fallback.
+        let mut rng = Xoshiro256::seeded(25);
+        let mut t = PointTable::default();
+        for _ in 0..2_000 {
+            t.push(500.0 + rng.range_f32(0.0, 0.01), 500.0 + rng.range_f32(0.0, 0.01));
+        }
+        let mut trie = LinearKdTrie::new(SIDE);
+        trie.build(&t);
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        let r = Rect::new(500.0, 500.0, 500.005, 500.005);
+        assert_eq!(sorted_query(&trie, &t, &r), sorted_query(&scan, &t, &r));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the linearized KD-trie and its substrates.
+
+use proptest::prelude::*;
+use sj_core::geom::Rect;
+use sj_core::index::{ScanIndex, SpatialIndex};
+use sj_core::table::PointTable;
+use sj_kdtrie::{decode, encode, sort_by_code, LinearKdTrie};
+
+const SIDE: f32 = 500.0;
+
+fn arb_points() -> impl Strategy<Value = Vec<(f32, f32)>> {
+    prop::collection::vec((0.0f32..=SIDE, 0.0f32..=SIDE), 0..300)
+}
+
+fn table_of(points: &[(f32, f32)]) -> PointTable {
+    let mut t = PointTable::default();
+    for &(x, y) in points {
+        t.push(x, y);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn trie_agrees_with_scan(
+        points in arb_points(),
+        qx in 0.0f32..=SIDE, qy in 0.0f32..=SIDE, qw in 0.0f32..=250.0, qh in 0.0f32..=250.0,
+    ) {
+        let t = table_of(&points);
+        let region = Rect::new(qx, qy, (qx + qw).min(SIDE), (qy + qh).min(SIDE));
+        let mut trie = LinearKdTrie::new(SIDE);
+        trie.build(&t);
+        let scan = ScanIndex::new();
+        let mut got = Vec::new();
+        trie.query(&t, &region, &mut got);
+        got.sort_unstable();
+        let mut expect = Vec::new();
+        scan.query(&t, &region, &mut expect);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn morton_roundtrip(qx in any::<u16>(), qy in any::<u16>()) {
+        prop_assert_eq!(decode(encode(qx, qy)), (qx, qy));
+    }
+
+    #[test]
+    fn morton_preserves_per_dimension_order(a in any::<u16>(), b in any::<u16>(), y in any::<u16>()) {
+        // With y fixed, code order equals x order (and vice versa).
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(encode(lo, y) <= encode(hi, y));
+        prop_assert!(encode(y, lo) <= encode(y, hi));
+    }
+
+    #[test]
+    fn radix_sort_sorts_any_input(keys in prop::collection::vec(any::<u64>(), 0..2_000)) {
+        let mut k = keys.clone();
+        let mut scratch = Vec::new();
+        sort_by_code(&mut k, &mut scratch);
+        prop_assert!(k.windows(2).all(|w| (w[0] >> 32) <= (w[1] >> 32)));
+        // Same multiset.
+        let mut a = keys;
+        let mut b = k;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

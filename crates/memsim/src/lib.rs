@@ -1,0 +1,406 @@
+//! # sj-memsim
+//!
+//! A multi-level set-associative LRU cache simulator implementing
+//! [`sj_core::trace::Tracer`]. Instrumented index code paths report every
+//! logical memory touch; the simulator replays them through an
+//! L1/L2/L3 hierarchy and counts per-level data-cache misses plus retired
+//! operations — the software substitute for the hardware performance
+//! counters behind the paper's Table 3 (see DESIGN.md §3).
+//!
+//! Absolute counts differ from real hardware (we model the data accesses
+//! of the traversals, not a whole pipeline), but before/after *ratios* of
+//! the same workload replayed through the same hierarchy are meaningful —
+//! and those ratios are what Table 3 demonstrates.
+
+use sj_core::trace::Tracer;
+
+/// Cache line size in bytes (the x86 value the paper's machine uses).
+pub const LINE_BYTES: u64 = 64;
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug)]
+pub struct LevelConfig {
+    pub name: &'static str,
+    /// Total capacity in bytes; must be a multiple of `assoc × LINE_BYTES`.
+    pub size_bytes: u64,
+    /// Ways per set.
+    pub assoc: usize,
+}
+
+impl LevelConfig {
+    fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.assoc as u64 * LINE_BYTES)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.assoc == 0 {
+            return Err(format!("{}: associativity must be > 0", self.name));
+        }
+        let ways_bytes = self.assoc as u64 * LINE_BYTES;
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(ways_bytes) {
+            return Err(format!(
+                "{}: size {} is not a positive multiple of assoc×line ({})",
+                self.name, self.size_bytes, ways_bytes
+            ));
+        }
+        if !self.num_sets().is_power_of_two() {
+            return Err(format!("{}: number of sets must be a power of two", self.name));
+        }
+        Ok(())
+    }
+}
+
+struct Level {
+    cfg: LevelConfig,
+    /// `sets[s]` holds the resident line addresses of set `s` in LRU order
+    /// (front = most recently used). Associativities are small (≤ 16), so
+    /// a vector with move-to-front beats any fancier structure.
+    sets: Vec<Vec<u64>>,
+    set_mask: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Level {
+    fn new(cfg: LevelConfig) -> Level {
+        let nsets = cfg.num_sets();
+        Level {
+            cfg,
+            sets: (0..nsets).map(|_| Vec::with_capacity(cfg.assoc)).collect(),
+            set_mask: nsets - 1,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access one line; returns `true` on hit. Misses insert the line
+    /// (evicting the LRU way when the set is full).
+    fn access(&mut self, line: u64) -> bool {
+        self.accesses += 1;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            // Move to front (MRU).
+            let t = set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            self.misses += 1;
+            if set.len() == self.cfg.assoc {
+                set.pop();
+            }
+            set.insert(0, line);
+            false
+        }
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+/// Counter snapshot of one profiled run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Retired-operation proxy for "Total INS".
+    pub instrs: u64,
+    /// Data accesses reaching L1 (one per distinct line touch).
+    pub l1_accesses: u64,
+    pub l1_misses: u64,
+    pub l2_misses: u64,
+    pub l3_misses: u64,
+    pub reads: u64,
+    pub writes: u64,
+}
+
+/// Latency model (cycles). The L1 hit cost is folded into the base CPI;
+/// each miss adds the latency of the level that eventually serves it.
+/// Values approximate the paper's quad-core 3.4 GHz i7 (Sandy Bridge).
+#[derive(Clone, Copy, Debug)]
+pub struct CpiModel {
+    pub base_cpi: f64,
+    pub l2_latency: f64,
+    pub l3_latency: f64,
+    pub mem_latency: f64,
+}
+
+impl Default for CpiModel {
+    fn default() -> Self {
+        CpiModel { base_cpi: 0.8, l2_latency: 12.0, l3_latency: 30.0, mem_latency: 180.0 }
+    }
+}
+
+impl CpiModel {
+    /// Estimated cycles for a stats snapshot.
+    pub fn cycles(&self, s: &CacheStats) -> f64 {
+        s.instrs as f64 * self.base_cpi
+            + s.l1_misses as f64 * self.l2_latency
+            + s.l2_misses as f64 * self.l3_latency
+            + s.l3_misses as f64 * self.mem_latency
+    }
+
+    /// Estimated cycles-per-instruction (Table 3's CPI column).
+    pub fn cpi(&self, s: &CacheStats) -> f64 {
+        if s.instrs == 0 {
+            return 0.0;
+        }
+        self.cycles(s) / s.instrs as f64
+    }
+}
+
+/// The simulator. Create with [`CacheSim::i7`] (the paper's machine class)
+/// or [`CacheSim::new`] for custom hierarchies, pass as the tracer to the
+/// instrumented grid paths, then read [`CacheSim::stats`].
+///
+/// ```
+/// use sj_core::trace::Tracer;
+/// use sj_memsim::CacheSim;
+///
+/// let mut sim = CacheSim::i7();
+/// sim.read(0x1000, 8); // cold: misses L1, L2 and L3
+/// sim.read(0x1004, 8); // same 64-byte line: pure hit
+/// let stats = sim.stats();
+/// assert_eq!(stats.l1_accesses, 2);
+/// assert_eq!(stats.l1_misses, 1);
+/// assert_eq!(stats.l3_misses, 1);
+/// ```
+pub struct CacheSim {
+    levels: Vec<Level>,
+    instrs: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl CacheSim {
+    /// # Errors
+    /// Returns a description if any level's geometry is inconsistent.
+    pub fn new(configs: Vec<LevelConfig>) -> Result<CacheSim, String> {
+        if configs.is_empty() {
+            return Err("at least one cache level is required".into());
+        }
+        for c in &configs {
+            c.validate()?;
+        }
+        Ok(CacheSim {
+            levels: configs.into_iter().map(Level::new).collect(),
+            instrs: 0,
+            reads: 0,
+            writes: 0,
+        })
+    }
+
+    /// The hierarchy of the paper's machine class: 32 KiB / 8-way L1d,
+    /// 256 KiB / 8-way L2, 8 MiB / 16-way L3, 64-byte lines.
+    pub fn i7() -> CacheSim {
+        CacheSim::new(vec![
+            LevelConfig { name: "L1d", size_bytes: 32 << 10, assoc: 8 },
+            LevelConfig { name: "L2", size_bytes: 256 << 10, assoc: 8 },
+            LevelConfig { name: "L3", size_bytes: 8 << 20, assoc: 16 },
+        ])
+        .expect("builtin hierarchy is valid")
+    }
+
+    fn touch(&mut self, addr: u64, len: u32) {
+        let first = addr / LINE_BYTES;
+        let last = (addr + len.max(1) as u64 - 1) / LINE_BYTES;
+        for line in first..=last {
+            // Check levels top-down; a miss at level k is filled into
+            // level k and the probe continues below.
+            for level in &mut self.levels {
+                if level.access(line) {
+                    break;
+                }
+            }
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let get = |i: usize| self.levels.get(i).map(|l| l.misses).unwrap_or(0);
+        CacheStats {
+            instrs: self.instrs,
+            l1_accesses: self.levels[0].accesses,
+            l1_misses: get(0),
+            l2_misses: get(1),
+            l3_misses: get(2),
+            reads: self.reads,
+            writes: self.writes,
+        }
+    }
+
+    /// Clear both contents and counters (cold caches).
+    pub fn clear(&mut self) {
+        for l in &mut self.levels {
+            l.clear();
+        }
+        self.instrs = 0;
+        self.reads = 0;
+        self.writes = 0;
+    }
+
+    /// Clear counters but keep cache contents (warm caches) — used to
+    /// exclude a warm-up phase from the profile, as hardware counters do.
+    pub fn reset_counters(&mut self) {
+        for l in &mut self.levels {
+            l.accesses = 0;
+            l.misses = 0;
+        }
+        self.instrs = 0;
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+impl Tracer for CacheSim {
+    fn read(&mut self, addr: u64, len: u32) {
+        self.reads += 1;
+        self.touch(addr, len);
+    }
+
+    fn write(&mut self, addr: u64, len: u32) {
+        self.writes += 1;
+        self.touch(addr, len);
+    }
+
+    fn instr(&mut self, n: u64) {
+        self.instrs += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sim() -> CacheSim {
+        // L1: 4 sets × 2 ways × 64 B = 512 B; L2: 16 sets × 2 ways = 2 KiB.
+        CacheSim::new(vec![
+            LevelConfig { name: "L1", size_bytes: 512, assoc: 2 },
+            LevelConfig { name: "L2", size_bytes: 2048, assoc: 2 },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn repeated_access_hits_after_first_miss() {
+        let mut sim = tiny_sim();
+        sim.read(0x1000, 8);
+        sim.read(0x1000, 8);
+        sim.read(0x1008, 8); // same line
+        let s = sim.stats();
+        assert_eq!(s.l1_accesses, 3);
+        assert_eq!(s.l1_misses, 1);
+        assert_eq!(s.l2_misses, 1);
+    }
+
+    #[test]
+    fn access_spanning_lines_touches_both() {
+        let mut sim = tiny_sim();
+        sim.read(0x1000 + 60, 8); // crosses a 64-byte boundary
+        let s = sim.stats();
+        assert_eq!(s.l1_accesses, 2);
+        assert_eq!(s.l1_misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut sim = tiny_sim(); // 4 sets → lines 0,4,8… share set 0
+        let line = |i: u64| i * 4 * LINE_BYTES; // all map to set 0
+        sim.read(line(0), 1);
+        sim.read(line(1), 1);
+        sim.read(line(0), 1); // refresh 0 → LRU is 1
+        sim.read(line(2), 1); // evicts 1
+        sim.read(line(0), 1); // still resident → hit
+        let before = sim.stats().l1_misses;
+        sim.read(line(1), 1); // was evicted → miss
+        assert_eq!(sim.stats().l1_misses, before + 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_l1_hits_l2() {
+        let mut sim = tiny_sim();
+        // 16 lines = 1 KiB: twice L1 (512 B), half of L2 (2 KiB).
+        let lines = 16u64;
+        for round in 0..4 {
+            for i in 0..lines {
+                sim.read(i * LINE_BYTES, 1);
+            }
+            if round == 0 {
+                // Cold: every line misses everywhere.
+                assert_eq!(sim.stats().l1_misses, lines);
+                assert_eq!(sim.stats().l2_misses, lines);
+            }
+        }
+        let s = sim.stats();
+        // After the cold round, L2 holds the whole working set.
+        assert_eq!(s.l2_misses, lines, "L2 should not miss after warm-up");
+        assert!(s.l1_misses > lines, "L1 keeps missing (capacity)");
+    }
+
+    #[test]
+    fn small_working_set_stays_in_l1() {
+        let mut sim = tiny_sim();
+        for _ in 0..100 {
+            for i in 0..4u64 {
+                sim.read(i * LINE_BYTES, 1); // 4 lines, distinct sets
+            }
+        }
+        let s = sim.stats();
+        assert_eq!(s.l1_misses, 4);
+        assert_eq!(s.l1_accesses, 400);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(CacheSim::new(vec![]).is_err());
+        assert!(CacheSim::new(vec![LevelConfig { name: "x", size_bytes: 100, assoc: 2 }])
+            .is_err());
+        assert!(CacheSim::new(vec![LevelConfig { name: "x", size_bytes: 512, assoc: 0 }])
+            .is_err());
+        // 3 sets: not a power of two.
+        assert!(CacheSim::new(vec![LevelConfig { name: "x", size_bytes: 3 * 128, assoc: 2 }])
+            .is_err());
+    }
+
+    #[test]
+    fn cpi_grows_with_misses() {
+        let model = CpiModel::default();
+        let cheap = CacheStats { instrs: 1000, l1_misses: 10, ..Default::default() };
+        let pricey = CacheStats { instrs: 1000, l1_misses: 10, l3_misses: 10, ..Default::default() };
+        assert!(model.cpi(&pricey) > model.cpi(&cheap));
+        assert_eq!(model.cpi(&CacheStats::default()), 0.0);
+    }
+
+    #[test]
+    fn reset_counters_keeps_contents() {
+        let mut sim = tiny_sim();
+        sim.read(0x40, 1);
+        sim.reset_counters();
+        sim.read(0x40, 1); // still cached → hit
+        let s = sim.stats();
+        assert_eq!(s.l1_accesses, 1);
+        assert_eq!(s.l1_misses, 0);
+    }
+
+    #[test]
+    fn clear_cools_the_cache() {
+        let mut sim = tiny_sim();
+        sim.read(0x40, 1);
+        sim.clear();
+        sim.read(0x40, 1);
+        assert_eq!(sim.stats().l1_misses, 1);
+    }
+
+    #[test]
+    fn i7_hierarchy_instantiates() {
+        let mut sim = CacheSim::i7();
+        sim.read(0xDEAD_BEEF, 4);
+        sim.instr(10);
+        let s = sim.stats();
+        assert_eq!(s.l1_misses, 1);
+        assert_eq!(s.l2_misses, 1);
+        assert_eq!(s.l3_misses, 1);
+        assert_eq!(s.instrs, 10);
+    }
+}

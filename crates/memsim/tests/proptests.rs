@@ -1,0 +1,70 @@
+//! Property-based tests for the cache simulator: counter consistency and
+//! hierarchy monotonicity on arbitrary access streams.
+
+use proptest::prelude::*;
+use sj_core::trace::Tracer;
+use sj_memsim::{CacheSim, LevelConfig, LINE_BYTES};
+
+fn small_sim() -> CacheSim {
+    CacheSim::new(vec![
+        LevelConfig { name: "L1", size_bytes: 1 << 10, assoc: 2 },
+        LevelConfig { name: "L2", size_bytes: 4 << 10, assoc: 4 },
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lower_levels_see_only_upper_misses(addrs in prop::collection::vec(0u64..(1 << 20), 1..500)) {
+        let mut sim = small_sim();
+        for &a in &addrs {
+            sim.read(a, 8);
+        }
+        let s = sim.stats();
+        // The hierarchy filters: L2 misses <= L1 misses <= L1 accesses.
+        prop_assert!(s.l1_misses <= s.l1_accesses);
+        prop_assert!(s.l2_misses <= s.l1_misses);
+        prop_assert_eq!(s.reads, addrs.len() as u64);
+    }
+
+    #[test]
+    fn misses_bounded_by_distinct_lines_when_set_fits(addrs in prop::collection::vec(0u64..(4 << 10), 1..300)) {
+        // Working set within L2 capacity: L2 misses are compulsory only,
+        // i.e. bounded by the number of distinct lines touched.
+        let mut sim = small_sim();
+        for &a in &addrs {
+            sim.read(a, 1);
+        }
+        let mut lines: Vec<u64> = addrs.iter().map(|a| a / LINE_BYTES).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        prop_assert!(sim.stats().l2_misses <= lines.len() as u64);
+    }
+
+    #[test]
+    fn replaying_a_stream_twice_never_increases_miss_rate(addrs in prop::collection::vec(0u64..(1 << 16), 1..200)) {
+        let mut once = small_sim();
+        for &a in &addrs {
+            once.read(a, 1);
+        }
+        let first = once.stats().l1_misses;
+        // Second replay on the warm cache: misses can only grow by at most
+        // the cold-run count again (never more than doubling).
+        for &a in &addrs {
+            once.read(a, 1);
+        }
+        let both = once.stats().l1_misses;
+        prop_assert!(both <= first * 2);
+    }
+
+    #[test]
+    fn instr_counter_is_exact(ns in prop::collection::vec(0u64..1_000, 0..100)) {
+        let mut sim = small_sim();
+        for &n in &ns {
+            sim.instr(n);
+        }
+        prop_assert_eq!(sim.stats().instrs, ns.iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,476 @@
+//! Incrementally maintained R-tree (Guttman's original insert algorithm
+//! with quadratic split).
+//!
+//! Extension beyond the paper: the static category rebuilds per tick, and
+//! one may ask how much of the tree techniques' performance comes from STR
+//! packing versus the R-tree principle itself. This incremental tree
+//! answers that: the `ablation` bench compares its build time and query
+//! quality against [`crate::RTree`]'s bulk load. Deletion is deliberately
+//! out of scope (the static join category never deletes).
+
+use sj_core::geom::Rect;
+use sj_core::index::SpatialIndex;
+use sj_core::table::{EntryId, PointTable};
+
+const NO_PARENT: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+enum Kind {
+    /// `(x, y, id)` point entries.
+    Leaf(Vec<(f32, f32, EntryId)>),
+    /// Child node indices.
+    Internal(Vec<u32>),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    mbr: Rect,
+    parent: u32,
+    kind: Kind,
+}
+
+/// See module docs.
+pub struct DynRTree {
+    nodes: Vec<Node>,
+    root: u32,
+    max_entries: usize,
+    min_entries: usize,
+}
+
+impl Default for DynRTree {
+    fn default() -> Self {
+        Self::new(crate::DEFAULT_FANOUT)
+    }
+}
+
+#[inline]
+fn enlargement(mbr: &Rect, x: f32, y: f32) -> f32 {
+    let grown = Rect {
+        x1: mbr.x1.min(x),
+        y1: mbr.y1.min(y),
+        x2: mbr.x2.max(x),
+        y2: mbr.y2.max(y),
+    };
+    grown.area() - mbr.area()
+}
+
+impl DynRTree {
+    /// # Panics
+    /// Panics if `max_entries < 4` (quadratic split needs room to satisfy
+    /// the minimum-fill invariant).
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "max_entries must be at least 4");
+        let min_entries = (max_entries / 2).max(2);
+        DynRTree {
+            nodes: vec![Node {
+                mbr: Rect::default(),
+                parent: NO_PARENT,
+                kind: Kind::Leaf(Vec::new()),
+            }],
+            root: 0,
+            max_entries,
+            min_entries,
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(Node {
+            mbr: Rect::default(),
+            parent: NO_PARENT,
+            kind: Kind::Leaf(Vec::new()),
+        });
+        self.root = 0;
+    }
+
+    pub fn len_entries(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                Kind::Leaf(es) => es.len(),
+                Kind::Internal(_) => 0,
+            })
+            .sum()
+    }
+
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut ni = self.root;
+        loop {
+            match &self.nodes[ni as usize].kind {
+                Kind::Leaf(_) => return h,
+                Kind::Internal(cs) => {
+                    ni = cs[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Insert one point entry.
+    pub fn insert(&mut self, x: f32, y: f32, id: EntryId) {
+        // Guttman ChooseLeaf: descend by least enlargement (ties: area).
+        let mut ni = self.root;
+        loop {
+            match &self.nodes[ni as usize].kind {
+                Kind::Leaf(_) => break,
+                Kind::Internal(children) => {
+                    let mut best = children[0];
+                    let mut best_enl = f32::INFINITY;
+                    let mut best_area = f32::INFINITY;
+                    for &c in children {
+                        let m = &self.nodes[c as usize].mbr;
+                        let enl = enlargement(m, x, y);
+                        let area = m.area();
+                        if enl < best_enl || (enl == best_enl && area < best_area) {
+                            best = c;
+                            best_enl = enl;
+                            best_area = area;
+                        }
+                    }
+                    ni = best;
+                }
+            }
+        }
+
+        let first_entry = self.leaf_len(ni) == 0;
+        match &mut self.nodes[ni as usize].kind {
+            Kind::Leaf(es) => es.push((x, y, id)),
+            Kind::Internal(_) => unreachable!("ChooseLeaf ended on internal node"),
+        }
+        if first_entry {
+            self.nodes[ni as usize].mbr = Rect::at_point(x, y);
+        } else {
+            self.nodes[ni as usize].mbr.expand_to(x, y);
+        }
+        self.propagate_mbr(ni);
+
+        if self.leaf_len(ni) > self.max_entries {
+            self.split(ni);
+        }
+    }
+
+    fn leaf_len(&self, ni: u32) -> usize {
+        match &self.nodes[ni as usize].kind {
+            Kind::Leaf(es) => es.len(),
+            Kind::Internal(cs) => cs.len(),
+        }
+    }
+
+    /// Recompute ancestors' MBRs after `ni` grew.
+    fn propagate_mbr(&mut self, mut ni: u32) {
+        let mut mbr = self.nodes[ni as usize].mbr;
+        while self.nodes[ni as usize].parent != NO_PARENT {
+            let p = self.nodes[ni as usize].parent;
+            let merged = self.nodes[p as usize].mbr.union(&mbr);
+            if merged == self.nodes[p as usize].mbr {
+                return; // no further growth upward
+            }
+            self.nodes[p as usize].mbr = merged;
+            mbr = merged;
+            ni = p;
+        }
+    }
+
+    /// Quadratic split of an overflowing node, cascading upward.
+    fn split(&mut self, ni: u32) {
+        // Extract the overflowing entry set as (mbr, payload) pairs.
+        enum Item {
+            Point(f32, f32, EntryId),
+            Child(u32),
+        }
+        let (items, is_leaf): (Vec<(Rect, Item)>, bool) =
+            match std::mem::replace(&mut self.nodes[ni as usize].kind, Kind::Leaf(Vec::new())) {
+                Kind::Leaf(es) => (
+                    es.into_iter()
+                        .map(|(x, y, id)| (Rect::at_point(x, y), Item::Point(x, y, id)))
+                        .collect(),
+                    true,
+                ),
+                Kind::Internal(cs) => (
+                    cs.into_iter()
+                        .map(|c| (self.nodes[c as usize].mbr, Item::Child(c)))
+                        .collect(),
+                    false,
+                ),
+            };
+
+        // PickSeeds: the pair wasting the most area together.
+        let n = items.len();
+        let (mut s1, mut s2, mut worst) = (0usize, 1usize, f32::NEG_INFINITY);
+        for i in 0..n {
+            for j in i + 1..n {
+                let waste =
+                    items[i].0.union(&items[j].0).area() - items[i].0.area() - items[j].0.area();
+                if waste > worst {
+                    worst = waste;
+                    s1 = i;
+                    s2 = j;
+                }
+            }
+        }
+
+        let mut group_a: Vec<usize> = vec![s1];
+        let mut group_b: Vec<usize> = vec![s2];
+        let mut mbr_a = items[s1].0;
+        let mut mbr_b = items[s2].0;
+        let mut rest: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
+
+        // PickNext: assign the item with the largest preference difference.
+        while let Some(pos) = {
+            if rest.is_empty() {
+                None
+            } else if group_a.len() + rest.len() <= self.min_entries
+                || group_b.len() + rest.len() <= self.min_entries
+            {
+                // All remaining items are forced into the deficient group;
+                // which group that is is decided below, so any pick works.
+                Some(0)
+            } else {
+                let mut best_pos = 0;
+                let mut best_diff = f32::NEG_INFINITY;
+                for (k, &i) in rest.iter().enumerate() {
+                    let da = mbr_a.union(&items[i].0).area() - mbr_a.area();
+                    let db = mbr_b.union(&items[i].0).area() - mbr_b.area();
+                    let diff = (da - db).abs();
+                    if diff > best_diff {
+                        best_diff = diff;
+                        best_pos = k;
+                    }
+                }
+                Some(best_pos)
+            }
+        } {
+            let i = rest.swap_remove(pos);
+            let force_a = group_a.len() + rest.len() < self.min_entries;
+            let force_b = group_b.len() + rest.len() < self.min_entries;
+            let da = mbr_a.union(&items[i].0).area() - mbr_a.area();
+            let db = mbr_b.union(&items[i].0).area() - mbr_b.area();
+            let to_a = if force_a {
+                true
+            } else if force_b {
+                false
+            } else if da != db {
+                da < db
+            } else {
+                group_a.len() <= group_b.len()
+            };
+            if to_a {
+                mbr_a = mbr_a.union(&items[i].0);
+                group_a.push(i);
+            } else {
+                mbr_b = mbr_b.union(&items[i].0);
+                group_b.push(i);
+            }
+        }
+
+        // Node `ni` keeps group A; a fresh sibling gets group B.
+        let sibling = self.nodes.len() as u32;
+        let make_kind = |group: &[usize], items: &[(Rect, Item)]| -> Kind {
+            if is_leaf {
+                Kind::Leaf(
+                    group
+                        .iter()
+                        .map(|&i| match items[i].1 {
+                            Item::Point(x, y, id) => (x, y, id),
+                            Item::Child(_) => unreachable!(),
+                        })
+                        .collect(),
+                )
+            } else {
+                Kind::Internal(
+                    group
+                        .iter()
+                        .map(|&i| match items[i].1 {
+                            Item::Child(c) => c,
+                            Item::Point(..) => unreachable!(),
+                        })
+                        .collect(),
+                )
+            }
+        };
+        let kind_a = make_kind(&group_a, &items);
+        let kind_b = make_kind(&group_b, &items);
+        let parent = self.nodes[ni as usize].parent;
+        self.nodes[ni as usize].kind = kind_a;
+        self.nodes[ni as usize].mbr = mbr_a;
+        self.nodes.push(Node { mbr: mbr_b, parent, kind: kind_b });
+        // Reparent B's children.
+        if let Kind::Internal(cs) = &self.nodes[sibling as usize].kind {
+            for c in cs.clone() {
+                self.nodes[c as usize].parent = sibling;
+            }
+        }
+
+        if parent == NO_PARENT {
+            // Root split: grow the tree by one level.
+            let new_root = self.nodes.len() as u32;
+            let mbr = mbr_a.union(&mbr_b);
+            self.nodes.push(Node {
+                mbr,
+                parent: NO_PARENT,
+                kind: Kind::Internal(vec![ni, sibling]),
+            });
+            self.nodes[ni as usize].parent = new_root;
+            self.nodes[sibling as usize].parent = new_root;
+            self.root = new_root;
+        } else {
+            match &mut self.nodes[parent as usize].kind {
+                Kind::Internal(cs) => cs.push(sibling),
+                Kind::Leaf(_) => unreachable!("parent of split node is a leaf"),
+            }
+            self.nodes[parent as usize].mbr =
+                self.nodes[parent as usize].mbr.union(&mbr_b);
+            self.propagate_mbr(parent);
+            if self.leaf_len(parent) > self.max_entries {
+                self.split(parent);
+            }
+        }
+    }
+}
+
+impl SpatialIndex for DynRTree {
+    fn name(&self) -> &str {
+        "R-Tree (incremental)"
+    }
+
+    fn build(&mut self, table: &PointTable) {
+        self.clear();
+        for (id, p) in table.iter() {
+            self.insert(p.x, p.y, id);
+        }
+    }
+
+    fn query(&self, _table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+        if self.len_entries() == 0 {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            if !region.intersects(&node.mbr) {
+                continue;
+            }
+            match &node.kind {
+                Kind::Leaf(es) => {
+                    for &(x, y, id) in es {
+                        if region.contains_point(x, y) {
+                            out.push(id);
+                        }
+                    }
+                }
+                Kind::Internal(cs) => stack.extend_from_slice(cs),
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<Node>()
+                    + match &n.kind {
+                        Kind::Leaf(es) => es.capacity() * std::mem::size_of::<(f32, f32, EntryId)>(),
+                        Kind::Internal(cs) => cs.capacity() * 4,
+                    }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::geom::Point;
+    use sj_core::index::ScanIndex;
+    use sj_core::rng::Xoshiro256;
+
+    const SIDE: f32 = 1_000.0;
+
+    fn random_table(n: usize, seed: u64) -> PointTable {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut t = PointTable::default();
+        for _ in 0..n {
+            t.push(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+        }
+        t
+    }
+
+    fn sorted_query(idx: &dyn SpatialIndex, t: &PointTable, r: &Rect) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        idx.query(t, r, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn agrees_with_full_scan() {
+        let t = random_table(2_000, 6);
+        let mut tree = DynRTree::default();
+        tree.build(&t);
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        let mut rng = Xoshiro256::seeded(2);
+        for _ in 0..50 {
+            let c = Point::new(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+            let r = Rect::centered_square(c, 100.0);
+            assert_eq!(sorted_query(&tree, &t, &r), sorted_query(&scan, &t, &r));
+        }
+    }
+
+    #[test]
+    fn all_entries_retained_through_splits() {
+        let t = random_table(5_000, 10);
+        let mut tree = DynRTree::new(8);
+        tree.build(&t);
+        assert_eq!(tree.len_entries(), 5_000);
+        assert_eq!(sorted_query(&tree, &t, &Rect::space(SIDE)).len(), 5_000);
+    }
+
+    #[test]
+    fn tree_height_grows_logarithmically() {
+        let t = random_table(4_000, 3);
+        let mut tree = DynRTree::new(16);
+        tree.build(&t);
+        let h = tree.height();
+        assert!((3..=5).contains(&h), "height {h}");
+    }
+
+    #[test]
+    fn sequential_inserts_along_a_line() {
+        // Degenerate input (collinear points) exercises zero-area splits.
+        let mut t = PointTable::default();
+        for i in 0..500 {
+            t.push(i as f32, 0.0);
+        }
+        let mut tree = DynRTree::new(4);
+        tree.build(&t);
+        assert_eq!(tree.len_entries(), 500);
+        let out = sorted_query(&tree, &t, &Rect::new(100.0, 0.0, 200.0, 0.0));
+        assert_eq!(out.len(), 101);
+    }
+
+    #[test]
+    fn duplicate_points_survive_splits() {
+        let mut t = PointTable::default();
+        for _ in 0..100 {
+            t.push(7.0, 7.0);
+        }
+        let mut tree = DynRTree::new(4);
+        tree.build(&t);
+        assert_eq!(sorted_query(&tree, &t, &Rect::new(7.0, 7.0, 7.0, 7.0)).len(), 100);
+    }
+
+    #[test]
+    fn empty_tree_queries_cleanly() {
+        let tree = DynRTree::default();
+        let t = PointTable::default();
+        assert!(sorted_query(&tree, &t, &Rect::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_entries")]
+    fn tiny_fanout_is_rejected() {
+        let _ = DynRTree::new(3);
+    }
+}

@@ -1,0 +1,18 @@
+//! # sj-rtree
+//!
+//! A main-memory R-tree [Guttman, SIGMOD 1984] bulk-loaded with
+//! Sort-Tile-Recursive packing [Leutenegger et al., ICDE 1997], as used by
+//! the static index nested loop join category of the paper's framework.
+//! The [`str_pack`] module is shared with the CR-tree (`sj-crtree`).
+//!
+//! The [`dynamic`] module additionally provides an incrementally
+//! maintained Guttman R-tree (quadratic split) — an extension beyond the
+//! paper's static category, used by the ablation benches.
+
+pub mod dynamic;
+pub mod str_pack;
+mod tree;
+
+pub use dynamic::DynRTree;
+pub use str_pack::str_order;
+pub use tree::{RTree, DEFAULT_FANOUT};

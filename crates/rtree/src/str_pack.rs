@@ -1,0 +1,99 @@
+//! Sort-Tile-Recursive (STR) packing order (Leutenegger, Lopez &
+//! Edgington, ICDE 1997).
+//!
+//! Given `n` rectangle centres and a fanout `f`, STR produces an ordering
+//! such that consecutive runs of `f` items form spatially compact tiles:
+//! items are sorted by x, cut into ⌈√(n/f)⌉ vertical slices of ⌈√(n/f)⌉·f
+//! items each, and each slice is sorted by y. Both the R-tree and the
+//! CR-tree bulk-load with this order, level by level.
+
+/// Reorder `idx` (indices into the centre arrays) into STR order.
+///
+/// `cx`/`cy` yield the centre coordinates of item `i`.
+pub fn str_order<FX, FY>(idx: &mut [u32], fanout: usize, cx: FX, cy: FY)
+where
+    FX: Fn(u32) -> f32,
+    FY: Fn(u32) -> f32,
+{
+    assert!(fanout >= 2, "fanout must be at least 2");
+    let n = idx.len();
+    if n <= fanout {
+        // A single tile: order within a node does not matter.
+        return;
+    }
+    let leaves = n.div_ceil(fanout);
+    let slices = (leaves as f64).sqrt().ceil() as usize;
+    let slice_items = slices.max(1) * fanout;
+
+    idx.sort_unstable_by(|&a, &b| cx(a).total_cmp(&cx(b)));
+    let mut start = 0;
+    while start < n {
+        let end = (start + slice_items).min(n);
+        idx[start..end].sort_unstable_by(|&a, &b| cy(a).total_cmp(&cy(b)));
+        start = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::rng::Xoshiro256;
+
+    #[test]
+    fn order_is_a_permutation() {
+        let mut rng = Xoshiro256::seeded(3);
+        let pts: Vec<(f32, f32)> =
+            (0..1000).map(|_| (rng.range_f32(0.0, 100.0), rng.range_f32(0.0, 100.0))).collect();
+        let mut idx: Vec<u32> = (0..1000).collect();
+        str_order(&mut idx, 8, |i| pts[i as usize].0, |i| pts[i as usize].1);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiles_are_spatially_compact() {
+        // On a uniform square, STR tiles of fanout f should have area close
+        // to f/n of the space — far smaller than random grouping.
+        let mut rng = Xoshiro256::seeded(9);
+        let n = 4096usize;
+        let f = 16usize;
+        let pts: Vec<(f32, f32)> =
+            (0..n).map(|_| (rng.range_f32(0.0, 1.0), rng.range_f32(0.0, 1.0))).collect();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        str_order(&mut idx, f, |i| pts[i as usize].0, |i| pts[i as usize].1);
+
+        let mut total_area = 0.0f64;
+        let mut tiles = 0usize;
+        for chunk in idx.chunks(f) {
+            let (mut x1, mut y1, mut x2, mut y2) = (f32::MAX, f32::MAX, f32::MIN, f32::MIN);
+            for &i in chunk {
+                let (x, y) = pts[i as usize];
+                x1 = x1.min(x);
+                y1 = y1.min(y);
+                x2 = x2.max(x);
+                y2 = y2.max(y);
+            }
+            total_area += ((x2 - x1) * (y2 - y1)) as f64;
+            tiles += 1;
+        }
+        let avg = total_area / tiles as f64;
+        // Ideal tile area ≈ f/n = 1/256 ≈ 0.0039; random grouping would be
+        // near the full square (≈1). Require well under 10× ideal.
+        assert!(avg < 0.04, "average STR tile area {avg}");
+    }
+
+    #[test]
+    fn small_inputs_are_left_alone() {
+        let mut idx: Vec<u32> = (0..5).collect();
+        str_order(&mut idx, 8, |i| -(i as f32), |i| i as f32);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn degenerate_fanout_panics() {
+        let mut idx: Vec<u32> = (0..10).collect();
+        str_order(&mut idx, 1, |i| i as f32, |i| i as f32);
+    }
+}

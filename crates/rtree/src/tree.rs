@@ -1,0 +1,354 @@
+//! The static, STR-bulk-loaded R-tree.
+//!
+//! Rebuilt from the base table every tick (static index nested loop
+//! category). The tree is an arena of nodes; children of a node are
+//! contiguous, so traversal touches sibling MBRs sequentially — the
+//! in-memory optimization the original framework applied to all tree
+//! techniques.
+
+use sj_core::geom::Rect;
+use sj_core::index::SpatialIndex;
+use sj_core::table::{EntryId, PointTable};
+
+use crate::str_pack::str_order;
+
+/// Default fanout; parameter sweeps in the original study land in the
+/// 8–32 range for in-memory R-trees over points.
+pub const DEFAULT_FANOUT: usize = 16;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    mbr: Rect,
+    /// Leaf: range into `leaf_x/leaf_y/leaf_id`. Internal: range into
+    /// `nodes`.
+    start: u32,
+    len: u32,
+    leaf: bool,
+}
+
+/// See module docs.
+///
+/// ```
+/// use sj_core::{PointTable, Rect, SpatialIndex};
+/// use sj_rtree::RTree;
+///
+/// let mut table = PointTable::default();
+/// for i in 0..100 {
+///     table.push(i as f32, i as f32);
+/// }
+/// let mut tree = RTree::default();
+/// tree.build(&table);
+///
+/// let mut hits = Vec::new();
+/// tree.query(&table, &Rect::new(10.0, 10.0, 19.5, 19.5), &mut hits);
+/// assert_eq!(hits.len(), 10); // points 10..=19
+/// ```
+pub struct RTree {
+    fanout: usize,
+    nodes: Vec<Node>,
+    /// Leaf entries, SoA: coordinates are copied into the leaves at build
+    /// time (tree techniques carry their keys; only the grid and binary
+    /// search techniques re-read the base table while filtering).
+    leaf_x: Vec<f32>,
+    leaf_y: Vec<f32>,
+    leaf_id: Vec<EntryId>,
+    root: Option<u32>,
+    /// Scratch for build (reused across ticks).
+    scratch: Vec<u32>,
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new(DEFAULT_FANOUT)
+    }
+}
+
+impl RTree {
+    /// # Panics
+    /// Panics if `fanout < 2`.
+    pub fn new(fanout: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        RTree {
+            fanout,
+            nodes: Vec::new(),
+            leaf_x: Vec::new(),
+            leaf_y: Vec::new(),
+            leaf_id: Vec::new(),
+            root: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Height of the tree (0 for empty, 1 for a single leaf root).
+    pub fn height(&self) -> usize {
+        let Some(mut ni) = self.root else { return 0 };
+        let mut h = 1;
+        while !self.nodes[ni as usize].leaf {
+            ni = self.nodes[ni as usize].start;
+            h += 1;
+        }
+        h
+    }
+
+    fn leaf_mbr(&self, start: usize, len: usize) -> Rect {
+        let mut r = Rect::at_point(self.leaf_x[start], self.leaf_y[start]);
+        for i in start + 1..start + len {
+            r.expand_to(self.leaf_x[i], self.leaf_y[i]);
+        }
+        r
+    }
+
+    /// Append every entry under `ni` to `out` without point tests (the
+    /// fast path when the query fully contains a node's MBR).
+    fn report_subtree(&self, ni: u32, out: &mut Vec<EntryId>) {
+        let n = &self.nodes[ni as usize];
+        if n.leaf {
+            let s = n.start as usize;
+            out.extend_from_slice(&self.leaf_id[s..s + n.len as usize]);
+        } else {
+            for c in n.start..n.start + n.len {
+                self.report_subtree(c, out);
+            }
+        }
+    }
+}
+
+impl SpatialIndex for RTree {
+    fn name(&self) -> &str {
+        "R-Tree"
+    }
+
+    fn build(&mut self, table: &PointTable) {
+        self.nodes.clear();
+        self.leaf_x.clear();
+        self.leaf_y.clear();
+        self.leaf_id.clear();
+        self.root = None;
+        let n = table.len();
+        if n == 0 {
+            return;
+        }
+
+        // Leaf level: STR order the points, then pack runs of `fanout`.
+        let xs = table.xs();
+        let ys = table.ys();
+        self.scratch.clear();
+        self.scratch.extend(0..n as u32);
+        str_order(&mut self.scratch, self.fanout, |i| xs[i as usize], |i| ys[i as usize]);
+
+        self.leaf_x.reserve(n);
+        self.leaf_y.reserve(n);
+        self.leaf_id.reserve(n);
+        for &i in &self.scratch {
+            self.leaf_x.push(xs[i as usize]);
+            self.leaf_y.push(ys[i as usize]);
+            self.leaf_id.push(i);
+        }
+
+        let mut level: Vec<Node> = Vec::with_capacity(n.div_ceil(self.fanout));
+        let mut start = 0usize;
+        while start < n {
+            let len = self.fanout.min(n - start);
+            level.push(Node {
+                mbr: self.leaf_mbr(start, len),
+                start: start as u32,
+                len: len as u32,
+                leaf: true,
+            });
+            start += len;
+        }
+
+        // Upper levels: STR-order the child nodes by MBR centre, append
+        // them contiguously into the arena, and wrap runs of `fanout` in
+        // parent nodes, until a single root remains.
+        while level.len() > 1 {
+            let mut order: Vec<u32> = (0..level.len() as u32).collect();
+            str_order(
+                &mut order,
+                self.fanout,
+                |i| {
+                    let m = &level[i as usize].mbr;
+                    (m.x1 + m.x2) * 0.5
+                },
+                |i| {
+                    let m = &level[i as usize].mbr;
+                    (m.y1 + m.y2) * 0.5
+                },
+            );
+            let mut parents: Vec<Node> = Vec::with_capacity(level.len().div_ceil(self.fanout));
+            for chunk in order.chunks(self.fanout) {
+                let start = self.nodes.len() as u32;
+                let mut mbr = level[chunk[0] as usize].mbr;
+                for &ci in chunk {
+                    let child = level[ci as usize];
+                    mbr = mbr.union(&child.mbr);
+                    self.nodes.push(child);
+                }
+                parents.push(Node { mbr, start, len: chunk.len() as u32, leaf: false });
+            }
+            level = parents;
+        }
+        let root = level[0];
+        self.nodes.push(root);
+        self.root = Some(self.nodes.len() as u32 - 1);
+    }
+
+    fn query(&self, _table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+        let Some(root) = self.root else { return };
+        if !region.intersects(&self.nodes[root as usize].mbr) {
+            return;
+        }
+        let mut stack: Vec<u32> = vec![root];
+        while let Some(ni) = stack.pop() {
+            let n = &self.nodes[ni as usize];
+            if region.contains_rect(&n.mbr) {
+                self.report_subtree(ni, out);
+            } else if n.leaf {
+                let s = n.start as usize;
+                for i in s..s + n.len as usize {
+                    if region.contains_point(self.leaf_x[i], self.leaf_y[i]) {
+                        out.push(self.leaf_id[i]);
+                    }
+                }
+            } else {
+                for c in n.start..n.start + n.len {
+                    if region.intersects(&self.nodes[c as usize].mbr) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.leaf_x.len() * 4
+            + self.leaf_y.len() * 4
+            + self.leaf_id.len() * std::mem::size_of::<EntryId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::geom::Point;
+    use sj_core::index::ScanIndex;
+    use sj_core::rng::Xoshiro256;
+
+    const SIDE: f32 = 1_000.0;
+
+    fn random_table(n: usize, seed: u64) -> PointTable {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut t = PointTable::default();
+        for _ in 0..n {
+            t.push(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+        }
+        t
+    }
+
+    fn sorted_query(idx: &dyn SpatialIndex, t: &PointTable, r: &Rect) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        idx.query(t, r, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn agrees_with_full_scan() {
+        let t = random_table(3_000, 42);
+        let mut tree = RTree::default();
+        tree.build(&t);
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        let mut rng = Xoshiro256::seeded(1);
+        for _ in 0..100 {
+            let c = Point::new(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+            let r = Rect::centered_square(c, 90.0);
+            assert_eq!(sorted_query(&tree, &t, &r), sorted_query(&scan, &t, &r));
+        }
+    }
+
+    #[test]
+    fn various_fanouts_agree() {
+        let t = random_table(1_111, 8);
+        let r = Rect::new(100.0, 100.0, 420.0, 300.0);
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        let expected = sorted_query(&scan, &t, &r);
+        for fanout in [2, 3, 8, 64] {
+            let mut tree = RTree::new(fanout);
+            tree.build(&t);
+            assert_eq!(sorted_query(&tree, &t, &r), expected, "fanout {fanout}");
+        }
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        let t = random_table(4_096, 2);
+        let mut tree = RTree::new(16);
+        tree.build(&t);
+        // 4096 points / fanout 16 = 256 leaves; 256/16 = 16; 16/16 = 1.
+        assert_eq!(tree.height(), 3);
+    }
+
+    #[test]
+    fn empty_and_tiny_tables() {
+        let mut tree = RTree::default();
+        let t = PointTable::default();
+        tree.build(&t);
+        assert!(sorted_query(&tree, &t, &Rect::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert_eq!(tree.height(), 0);
+
+        let mut t1 = PointTable::default();
+        t1.push(5.0, 5.0);
+        tree.build(&t1);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(sorted_query(&tree, &t1, &Rect::new(0.0, 0.0, 10.0, 10.0)), vec![0]);
+        assert!(sorted_query(&tree, &t1, &Rect::new(6.0, 6.0, 10.0, 10.0)).is_empty());
+    }
+
+    #[test]
+    fn query_containing_root_reports_everything() {
+        let t = random_table(500, 77);
+        let mut tree = RTree::default();
+        tree.build(&t);
+        let out = sorted_query(&tree, &t, &Rect::space(SIDE));
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn disjoint_query_is_empty_and_cheap() {
+        let t = random_table(500, 77);
+        let mut tree = RTree::default();
+        tree.build(&t);
+        let out = sorted_query(&tree, &t, &Rect::new(2_000.0, 2_000.0, 3_000.0, 3_000.0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rebuild_reflects_moved_points() {
+        let mut t = random_table(100, 4);
+        let mut tree = RTree::default();
+        tree.build(&t);
+        t.set_position(0, 999.0, 999.0);
+        tree.build(&t);
+        let out = sorted_query(&tree, &t, &Rect::new(998.0, 998.0, 1_000.0, 1_000.0));
+        assert!(out.contains(&0));
+    }
+
+    #[test]
+    fn duplicate_points_are_all_reported() {
+        let mut t = PointTable::default();
+        for _ in 0..50 {
+            t.push(10.0, 10.0);
+        }
+        let mut tree = RTree::default();
+        tree.build(&t);
+        let out = sorted_query(&tree, &t, &Rect::new(10.0, 10.0, 10.0, 10.0));
+        assert_eq!(out.len(), 50);
+    }
+}

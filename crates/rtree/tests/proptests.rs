@@ -1,0 +1,81 @@
+//! Property-based tests for both R-tree variants: structural invariants
+//! and agreement with a naive filter on arbitrary inputs and fanouts.
+
+use proptest::prelude::*;
+use sj_core::geom::Rect;
+use sj_core::index::{ScanIndex, SpatialIndex};
+use sj_core::table::PointTable;
+use sj_rtree::{str_order, DynRTree, RTree};
+
+const SIDE: f32 = 500.0;
+
+fn arb_points() -> impl Strategy<Value = Vec<(f32, f32)>> {
+    prop::collection::vec((0.0f32..=SIDE, 0.0f32..=SIDE), 0..300)
+}
+
+fn table_of(points: &[(f32, f32)]) -> PointTable {
+    let mut t = PointTable::default();
+    for &(x, y) in points {
+        t.push(x, y);
+    }
+    t
+}
+
+fn sorted(idx: &dyn SpatialIndex, t: &PointTable, r: &Rect) -> Vec<u32> {
+    let mut out = Vec::new();
+    idx.query(t, r, &mut out);
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn str_tree_agrees_with_scan(
+        points in arb_points(),
+        fanout in 2usize..40,
+        qx in 0.0f32..=SIDE, qy in 0.0f32..=SIDE, qw in 0.0f32..=250.0, qh in 0.0f32..=250.0,
+    ) {
+        let t = table_of(&points);
+        let region = Rect::new(qx, qy, (qx + qw).min(SIDE), (qy + qh).min(SIDE));
+        let mut tree = RTree::new(fanout);
+        tree.build(&t);
+        let scan = ScanIndex::new();
+        prop_assert_eq!(sorted(&tree, &t, &region), sorted(&scan, &t, &region));
+    }
+
+    #[test]
+    fn dynamic_tree_agrees_with_scan(
+        points in arb_points(),
+        fanout in 4usize..24,
+        qx in 0.0f32..=SIDE, qy in 0.0f32..=SIDE, qw in 0.0f32..=250.0, qh in 0.0f32..=250.0,
+    ) {
+        let t = table_of(&points);
+        let region = Rect::new(qx, qy, (qx + qw).min(SIDE), (qy + qh).min(SIDE));
+        let mut tree = DynRTree::new(fanout);
+        tree.build(&t);
+        let scan = ScanIndex::new();
+        prop_assert_eq!(sorted(&tree, &t, &region), sorted(&scan, &t, &region));
+    }
+
+    #[test]
+    fn dynamic_tree_never_loses_entries(points in arb_points(), fanout in 4usize..24) {
+        let t = table_of(&points);
+        let mut tree = DynRTree::new(fanout);
+        tree.build(&t);
+        prop_assert_eq!(tree.len_entries(), points.len());
+    }
+
+    #[test]
+    fn str_order_is_always_a_permutation(n in 0usize..500, fanout in 2usize..32, seed in any::<u64>()) {
+        let mut rng = sj_core::rng::Xoshiro256::seeded(seed);
+        let pts: Vec<(f32, f32)> =
+            (0..n).map(|_| (rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE))).collect();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        str_order(&mut idx, fanout, |i| pts[i as usize].0, |i| pts[i as usize].1);
+        let mut sorted_idx = idx.clone();
+        sorted_idx.sort_unstable();
+        prop_assert_eq!(sorted_idx, (0..n as u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,24 @@
+//! # sj-workload
+//!
+//! Synthetic moving-object workloads for the iterated spatial join,
+//! reproducing Table 1 of Šidlauskas & Jensen (PVLDB 2014): a uniform
+//! workload (random placement, random velocities, Bernoulli querier and
+//! updater selection) and a Gaussian workload (objects clustered around
+//! hotspots with mean-reverting Gaussian movement).
+//!
+//! Both implement [`sj_core::Workload`] and are deterministic functions of
+//! their seed, so every join technique observes identical trajectories and
+//! query sets — the precondition for the cross-technique result-checksum
+//! equality the integration tests assert.
+
+mod gaussian;
+mod params;
+mod roadgrid;
+pub mod trace;
+mod uniform;
+
+pub use gaussian::GaussianWorkload;
+pub use params::{GaussianParams, ParamError, WorkloadParams};
+pub use roadgrid::RoadGridWorkload;
+pub use trace::{record, Trace, TraceWorkload};
+pub use uniform::UniformWorkload;

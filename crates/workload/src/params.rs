@@ -1,0 +1,197 @@
+//! Workload parameters, mirroring Table 1 of the paper.
+
+use std::fmt;
+
+/// Parameters shared by both synthetic workloads. Defaults are the bold
+/// values of Table 1 (uniform column): 100 ticks, 50 K points, 22 K² space,
+/// max speed 200, query size 400, 50 % queriers, 50 % updaters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadParams {
+    /// Number of measured ticks ("Number of Ticks").
+    pub ticks: u32,
+    /// Number of moving objects ("Number of Points"), 10 K .. 90 K.
+    pub num_points: u32,
+    /// Side length of the square data space ("Space Size"), 10 K .. 30 K.
+    pub space_side: f32,
+    /// Maximum object speed in space units per tick ("Maximum Speed").
+    pub max_speed: f32,
+    /// Side length of the square range queries ("Query Size").
+    pub query_side: f32,
+    /// Fraction of objects issuing a query each tick ("% Queriers").
+    pub frac_queriers: f32,
+    /// Fraction of objects issuing a velocity update each tick
+    /// ("% Updaters"; not applicable to the Gaussian workload).
+    pub frac_updaters: f32,
+    /// PRNG seed; everything downstream is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            ticks: 100,
+            num_points: 50_000,
+            space_side: 22_000.0,
+            max_speed: 200.0,
+            query_side: 400.0,
+            frac_queriers: 0.5,
+            frac_updaters: 0.5,
+            seed: 0x5347_4A4F_494E, // "SGJOIN"
+        }
+    }
+}
+
+/// Reasons a parameter set is rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    NoPoints,
+    NonPositiveSpace,
+    NegativeSpeed,
+    NonPositiveQuerySide,
+    FractionOutOfRange(&'static str),
+    NoHotspots,
+    NonPositiveSpread,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::NoPoints => write!(f, "num_points must be > 0"),
+            ParamError::NonPositiveSpace => write!(f, "space_side must be > 0"),
+            ParamError::NegativeSpeed => write!(f, "max_speed must be >= 0"),
+            ParamError::NonPositiveQuerySide => write!(f, "query_side must be > 0"),
+            ParamError::FractionOutOfRange(which) => {
+                write!(f, "{which} must lie in [0, 1]")
+            }
+            ParamError::NoHotspots => write!(f, "hotspots must be > 0"),
+            ParamError::NonPositiveSpread => write!(f, "sigma must be > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl WorkloadParams {
+    /// Validate ranges; call before constructing a workload from untrusted
+    /// (e.g. CLI) input.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.num_points == 0 {
+            return Err(ParamError::NoPoints);
+        }
+        // NaN must fail too, hence the explicit is_nan alongside <=.
+        if self.space_side.is_nan() || self.space_side <= 0.0 {
+            return Err(ParamError::NonPositiveSpace);
+        }
+        if self.max_speed.is_nan() || self.max_speed < 0.0 {
+            return Err(ParamError::NegativeSpeed);
+        }
+        if self.query_side.is_nan() || self.query_side <= 0.0 {
+            return Err(ParamError::NonPositiveQuerySide);
+        }
+        if !(0.0..=1.0).contains(&self.frac_queriers) {
+            return Err(ParamError::FractionOutOfRange("frac_queriers"));
+        }
+        if !(0.0..=1.0).contains(&self.frac_updaters) {
+            return Err(ParamError::FractionOutOfRange("frac_updaters"));
+        }
+        Ok(())
+    }
+}
+
+/// Extra parameters of the Gaussian (hotspot) workload. Defaults: Table 1
+/// Gaussian column (120 ticks, 50 K points, 22 K² space, 50 % queriers)
+/// with 10 hotspots and a spread of two query sides.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaussianParams {
+    pub base: WorkloadParams,
+    /// Number of fixed attraction points ("Number of Hotspots" in Fig. 2b),
+    /// swept 1 .. 1000.
+    pub hotspots: u32,
+    /// Standard deviation of object positions around their hotspot,
+    /// in space units.
+    pub sigma: f32,
+}
+
+impl Default for GaussianParams {
+    fn default() -> Self {
+        GaussianParams {
+            base: WorkloadParams { ticks: 120, ..WorkloadParams::default() },
+            hotspots: 10,
+            sigma: 800.0,
+        }
+    }
+}
+
+impl GaussianParams {
+    pub fn validate(&self) -> Result<(), ParamError> {
+        self.base.validate()?;
+        if self.hotspots == 0 {
+            return Err(ParamError::NoHotspots);
+        }
+        if self.sigma.is_nan() || self.sigma <= 0.0 {
+            return Err(ParamError::NonPositiveSpread);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let p = WorkloadParams::default();
+        assert_eq!(p.ticks, 100);
+        assert_eq!(p.num_points, 50_000);
+        assert_eq!(p.space_side, 22_000.0);
+        assert_eq!(p.max_speed, 200.0);
+        assert_eq!(p.query_side, 400.0);
+        assert_eq!(p.frac_queriers, 0.5);
+        assert_eq!(p.frac_updaters, 0.5);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn gaussian_defaults_match_table_1() {
+        let g = GaussianParams::default();
+        assert_eq!(g.base.ticks, 120);
+        assert_eq!(g.base.num_points, 50_000);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let ok = WorkloadParams::default();
+        assert_eq!(
+            WorkloadParams { num_points: 0, ..ok }.validate(),
+            Err(ParamError::NoPoints)
+        );
+        assert_eq!(
+            WorkloadParams { space_side: 0.0, ..ok }.validate(),
+            Err(ParamError::NonPositiveSpace)
+        );
+        assert_eq!(
+            WorkloadParams { frac_queriers: 1.5, ..ok }.validate(),
+            Err(ParamError::FractionOutOfRange("frac_queriers"))
+        );
+        assert_eq!(
+            WorkloadParams { frac_updaters: -0.1, ..ok }.validate(),
+            Err(ParamError::FractionOutOfRange("frac_updaters"))
+        );
+        assert_eq!(
+            GaussianParams { hotspots: 0, ..GaussianParams::default() }.validate(),
+            Err(ParamError::NoHotspots)
+        );
+        assert_eq!(
+            GaussianParams { sigma: 0.0, ..GaussianParams::default() }.validate(),
+            Err(ParamError::NonPositiveSpread)
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msg = ParamError::FractionOutOfRange("frac_queriers").to_string();
+        assert!(msg.contains("frac_queriers"));
+    }
+}

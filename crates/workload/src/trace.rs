@@ -1,0 +1,394 @@
+//! Workload trace recording and replay.
+//!
+//! The original framework also drives its joins from *simulation traces*
+//! (the paper reports the synthetic results only, noting the trends hold
+//! for the simulation workloads). This module provides the plumbing a
+//! trace-driven setup needs: record any [`Workload`]'s initial population
+//! and per-tick actions once, persist them in a compact binary format,
+//! and replay them bit-identically — across processes, machines, or
+//! implementations under comparison.
+//!
+//! A trace stores velocities and velocity updates, not positions, so
+//! replay relies on the *default* movement model (linear motion with
+//! boundary bounce — what both built-in workloads use). Recording
+//! verifies this assumption by checksumming the final object positions
+//! and embedding the checksum in the trace; [`TraceWorkload`] re-derives
+//! it on replay in tests.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use sj_core::driver::{TickActions, Workload};
+use sj_core::geom::{Point, Rect, Vec2};
+use sj_core::rng::mix64;
+use sj_core::table::{EntryId, MovingSet};
+
+const MAGIC: &[u8; 8] = b"SJTRACE1";
+
+/// A fully materialized workload: initial state plus every tick's actions.
+///
+/// ```
+/// use sj_workload::{record, Trace, TraceWorkload, UniformWorkload, WorkloadParams};
+///
+/// let params = WorkloadParams { num_points: 100, ..WorkloadParams::default() };
+/// let trace = record(&mut UniformWorkload::new(params), 3);
+///
+/// // Serialize and restore bit-identically.
+/// let mut buf = Vec::new();
+/// trace.write_to(&mut buf).unwrap();
+/// let restored = Trace::read_from(buf.as_slice()).unwrap();
+/// assert_eq!(restored, trace);
+/// let _replayable = TraceWorkload::new(restored);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    pub space_side: f32,
+    pub query_side: f32,
+    /// Initial positions and velocities, SoA.
+    pub init_x: Vec<f32>,
+    pub init_y: Vec<f32>,
+    pub init_vx: Vec<f32>,
+    pub init_vy: Vec<f32>,
+    /// Per tick: querier ids and velocity updates.
+    pub ticks: Vec<TickActions>,
+    /// Checksum of the final positions after replaying all ticks with the
+    /// default movement model; guards against replaying a trace of a
+    /// workload whose movement model was not the default.
+    pub final_positions_checksum: u64,
+}
+
+fn positions_checksum(set: &MovingSet) -> u64 {
+    let mut sum = 0u64;
+    for (_, p) in set.positions.iter() {
+        sum = sum
+            .wrapping_add(mix64(((p.x.to_bits() as u64) << 32) | p.y.to_bits() as u64));
+    }
+    sum
+}
+
+impl Trace {
+    /// Serialize to a writer.
+    pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut w = BufWriter::new(w);
+        w.write_all(MAGIC)?;
+        write_f32(&mut w, self.space_side)?;
+        write_f32(&mut w, self.query_side)?;
+        write_u32(&mut w, self.init_x.len() as u32)?;
+        for col in [&self.init_x, &self.init_y, &self.init_vx, &self.init_vy] {
+            for &v in col.iter() {
+                write_f32(&mut w, v)?;
+            }
+        }
+        write_u32(&mut w, self.ticks.len() as u32)?;
+        for t in &self.ticks {
+            write_u32(&mut w, t.queriers.len() as u32)?;
+            for &q in &t.queriers {
+                write_u32(&mut w, q)?;
+            }
+            write_u32(&mut w, t.velocity_updates.len() as u32)?;
+            for &(id, vx, vy) in &t.velocity_updates {
+                write_u32(&mut w, id)?;
+                write_f32(&mut w, vx)?;
+                write_f32(&mut w, vy)?;
+            }
+        }
+        write_u64(&mut w, self.final_positions_checksum)?;
+        w.flush()
+    }
+
+    /// Deserialize from a reader.
+    ///
+    /// # Errors
+    /// I/O errors, a bad magic header, or truncated data.
+    pub fn read_from<R: Read>(r: R) -> io::Result<Trace> {
+        let mut r = BufReader::new(r);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an SJTRACE1 file"));
+        }
+        let space_side = read_f32(&mut r)?;
+        let query_side = read_f32(&mut r)?;
+        let n = read_u32(&mut r)? as usize;
+        let mut cols: [Vec<f32>; 4] = Default::default();
+        for col in cols.iter_mut() {
+            col.reserve(n);
+            for _ in 0..n {
+                col.push(read_f32(&mut r)?);
+            }
+        }
+        let [init_x, init_y, init_vx, init_vy] = cols;
+        let tick_count = read_u32(&mut r)? as usize;
+        let mut ticks = Vec::with_capacity(tick_count);
+        for _ in 0..tick_count {
+            let nq = read_u32(&mut r)? as usize;
+            let mut actions = TickActions::default();
+            actions.queriers.reserve(nq);
+            for _ in 0..nq {
+                actions.queriers.push(read_u32(&mut r)?);
+            }
+            let nu = read_u32(&mut r)? as usize;
+            actions.velocity_updates.reserve(nu);
+            for _ in 0..nu {
+                let id = read_u32(&mut r)?;
+                let vx = read_f32(&mut r)?;
+                let vy = read_f32(&mut r)?;
+                actions.velocity_updates.push((id, vx, vy));
+            }
+            ticks.push(actions);
+        }
+        let final_positions_checksum = read_u64(&mut r)?;
+        Ok(Trace {
+            space_side,
+            query_side,
+            init_x,
+            init_y,
+            init_vx,
+            init_vy,
+            ticks,
+            final_positions_checksum,
+        })
+    }
+
+    /// Convenience wrapper over [`Trace::write_to`] for a filesystem path.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.write_to(std::fs::File::create(path)?)
+    }
+
+    /// Convenience wrapper over [`Trace::read_from`] for a filesystem path.
+    pub fn load(path: &Path) -> io::Result<Trace> {
+        Self::read_from(std::fs::File::open(path)?)
+    }
+
+    pub fn num_points(&self) -> usize {
+        self.init_x.len()
+    }
+
+    pub fn num_ticks(&self) -> usize {
+        self.ticks.len()
+    }
+}
+
+/// Record a workload into a [`Trace`]. Free function (rather than a
+/// `Trace` constructor) so the borrow of the workload is obvious.
+pub fn record<W: Workload + ?Sized>(workload: &mut W, ticks: u32) -> Trace {
+    let space_side = workload.space().x2;
+    let query_side = workload.query_side();
+    let mut set = workload.init();
+
+    let init_x = set.positions.xs().to_vec();
+    let init_y = set.positions.ys().to_vec();
+    let init_vx = set.vx.clone();
+    let init_vy = set.vy.clone();
+
+    let mut recorded = Vec::with_capacity(ticks as usize);
+    let mut actions = TickActions::default();
+    for tick in 0..ticks {
+        actions.clear();
+        workload.plan_tick(tick, &set, &mut actions);
+        recorded.push(actions.clone());
+        for &(id, vx, vy) in &actions.velocity_updates {
+            set.set_velocity(id, Vec2::new(vx, vy));
+        }
+        workload.advance(&mut set);
+    }
+    Trace {
+        space_side,
+        query_side,
+        init_x,
+        init_y,
+        init_vx,
+        init_vy,
+        ticks: recorded,
+        final_positions_checksum: positions_checksum(&set),
+    }
+}
+
+/// Replays a [`Trace`] through the standard [`Workload`] interface.
+pub struct TraceWorkload {
+    trace: Trace,
+    cursor: usize,
+}
+
+impl TraceWorkload {
+    pub fn new(trace: Trace) -> Self {
+        TraceWorkload { trace, cursor: 0 }
+    }
+
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Checksum of `set`'s positions — equals the trace's embedded value
+    /// after all recorded ticks have been replayed with the default
+    /// movement model.
+    pub fn checksum_positions(set: &MovingSet) -> u64 {
+        positions_checksum(set)
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn space(&self) -> Rect {
+        Rect::space(self.trace.space_side)
+    }
+
+    fn query_side(&self) -> f32 {
+        self.trace.query_side
+    }
+
+    fn init(&mut self) -> MovingSet {
+        self.cursor = 0;
+        let n = self.trace.num_points();
+        let mut set = MovingSet::with_capacity(n);
+        for i in 0..n {
+            set.push(
+                Point::new(self.trace.init_x[i], self.trace.init_y[i]),
+                Vec2::new(self.trace.init_vx[i], self.trace.init_vy[i]),
+            );
+        }
+        set
+    }
+
+    fn plan_tick(&mut self, _tick: u32, _set: &MovingSet, actions: &mut TickActions) {
+        if let Some(recorded) = self.trace.ticks.get(self.cursor) {
+            actions.queriers.extend_from_slice(&recorded.queriers);
+            actions.velocity_updates.extend_from_slice(&recorded.velocity_updates);
+        }
+        // Past the end of the trace: quiet ticks (no queries, no updates).
+        self.cursor += 1;
+    }
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_bits().to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    Ok(f32::from_bits(read_u32(r)?))
+}
+
+/// Needed because EntryId appears in TickActions; keep the type local to
+/// serialization to avoid accidental widening.
+#[allow(dead_code)]
+fn _entry_id_is_u32(e: EntryId) -> u32 {
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{UniformWorkload, WorkloadParams};
+
+    fn small_params() -> WorkloadParams {
+        WorkloadParams {
+            num_points: 500,
+            ticks: 5,
+            space_side: 4_000.0,
+            ..WorkloadParams::default()
+        }
+    }
+
+    #[test]
+    fn recorded_trace_has_expected_shape() {
+        let mut w = UniformWorkload::new(small_params());
+        let trace = record(&mut w, 5);
+        assert_eq!(trace.num_points(), 500);
+        assert_eq!(trace.num_ticks(), 5);
+        assert_eq!(trace.space_side, 4_000.0);
+        assert_eq!(trace.query_side, 400.0);
+    }
+
+    #[test]
+    fn replay_reproduces_the_final_state_checksum() {
+        let mut w = UniformWorkload::new(small_params());
+        let trace = record(&mut w, 5);
+        let expected = trace.final_positions_checksum;
+
+        let mut replay = TraceWorkload::new(trace);
+        let mut set = replay.init();
+        let mut actions = TickActions::default();
+        for tick in 0..5 {
+            actions.clear();
+            replay.plan_tick(tick, &set, &mut actions);
+            for &(id, vx, vy) in &actions.velocity_updates {
+                set.set_velocity(id, Vec2::new(vx, vy));
+            }
+            replay.advance(&mut set);
+        }
+        assert_eq!(TraceWorkload::checksum_positions(&set), expected);
+    }
+
+    #[test]
+    fn serialization_roundtrips_exactly() {
+        let mut w = UniformWorkload::new(small_params());
+        let trace = record(&mut w, 4);
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = Trace::read_from(&b"NOTATRACEFILE..."[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_data_is_rejected() {
+        let mut w = UniformWorkload::new(small_params());
+        let trace = record(&mut w, 2);
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(Trace::read_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn replay_past_end_is_quiet() {
+        let mut w = UniformWorkload::new(small_params());
+        let trace = record(&mut w, 2);
+        let mut replay = TraceWorkload::new(trace);
+        let set = replay.init();
+        let mut actions = TickActions::default();
+        for tick in 0..4 {
+            actions.clear();
+            replay.plan_tick(tick, &set, &mut actions);
+            if tick >= 2 {
+                assert!(actions.queriers.is_empty());
+                assert!(actions.velocity_updates.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut w = UniformWorkload::new(small_params());
+        let trace = record(&mut w, 3);
+        let path = std::env::temp_dir().join("sj_trace_test.bin");
+        trace.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, trace);
+    }
+}

@@ -1,0 +1,57 @@
+//! Run all five join techniques on the identical workload and verify
+//! they produce the *same join* (equal pair counts and checksums) at very
+//! different speeds — the paper's point in miniature.
+//!
+//! Run: `cargo run --release --example compare_indexes`
+
+use spatial_joins::prelude::*;
+
+fn main() {
+    let params = WorkloadParams {
+        num_points: 20_000,
+        ticks: 6,
+        ..WorkloadParams::default()
+    };
+    let cfg = DriverConfig { ticks: params.ticks, warmup: 1 };
+
+    let mut techniques: Vec<Box<dyn SpatialIndex>> = vec![
+        Box::new(BinarySearchJoin::new()),
+        Box::new(VecSearchJoin::new()),
+        Box::new(RTree::default()),
+        Box::new(DynRTree::default()),
+        Box::new(CRTree::default()),
+        Box::new(LinearKdTrie::new(params.space_side)),
+        Box::new(QuadTree::with_default_bucket(params.space_side)),
+        Box::new(SimpleGrid::at_stage(Stage::Original, params.space_side)),
+        Box::new(SimpleGrid::tuned(params.space_side)),
+        Box::new(IncrementalGrid::tuned(params.space_side)),
+    ];
+
+    println!(
+        "{:<28} {:>12} {:>14} {:>18}",
+        "technique", "avg tick (s)", "join pairs", "checksum"
+    );
+    let mut reference: Option<(u64, u64)> = None;
+    for index in techniques.iter_mut() {
+        // Fresh workload per technique: same seed → identical trajectories.
+        let mut workload = UniformWorkload::new(params);
+        let stats = run_join(&mut workload, index.as_mut(), cfg);
+        println!(
+            "{:<28} {:>12.4} {:>14} {:>#18x}",
+            index.name(),
+            stats.avg_tick_seconds(),
+            stats.result_pairs,
+            stats.checksum
+        );
+        match reference {
+            None => reference = Some((stats.result_pairs, stats.checksum)),
+            Some(expect) => assert_eq!(
+                (stats.result_pairs, stats.checksum),
+                expect,
+                "{} computed a different join!",
+                index.name()
+            ),
+        }
+    }
+    println!("\nall techniques computed the identical join.");
+}

@@ -1,0 +1,51 @@
+//! The paper's scenario end to end: a population of moving objects where
+//! half issue range queries and half change velocity every tick, joined
+//! with a technique of your choice.
+//!
+//! Run: `cargo run --release --example moving_objects [technique]`
+//! where technique is one of: grid | grid-original | rtree | crtree |
+//! kdtrie | binsearch (default: grid).
+
+use spatial_joins::prelude::*;
+
+fn main() {
+    let choice = std::env::args().nth(1).unwrap_or_else(|| "grid".into());
+    let params = WorkloadParams {
+        num_points: 20_000,
+        ticks: 10,
+        ..WorkloadParams::default()
+    };
+    let mut index: Box<dyn SpatialIndex> = match choice.as_str() {
+        "grid" => Box::new(SimpleGrid::tuned(params.space_side)),
+        "grid-original" => Box::new(SimpleGrid::at_stage(Stage::Original, params.space_side)),
+        "rtree" => Box::new(RTree::default()),
+        "crtree" => Box::new(CRTree::default()),
+        "kdtrie" => Box::new(LinearKdTrie::new(params.space_side)),
+        "binsearch" => Box::new(BinarySearchJoin::new()),
+        other => {
+            eprintln!(
+                "unknown technique {other:?}; use grid | grid-original | rtree | crtree | kdtrie | binsearch"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let mut workload = UniformWorkload::new(params);
+    let stats = run_join(
+        &mut workload,
+        index.as_mut(),
+        DriverConfig { ticks: params.ticks, warmup: 2 },
+    );
+
+    println!("technique      : {}", index.name());
+    println!("objects        : {}", params.num_points);
+    println!("measured ticks : {}", stats.ticks.len());
+    println!("queries issued : {}", stats.queries);
+    println!("join pairs     : {}", stats.result_pairs);
+    println!("avg tick       : {:.4} s", stats.avg_tick_seconds());
+    println!("  build        : {:.4} s", stats.avg_build_seconds());
+    println!("  query        : {:.4} s", stats.avg_query_seconds());
+    println!("  update       : {:.4} s", stats.avg_update_seconds());
+    println!("index memory   : {} KiB", stats.index_bytes / 1024);
+    println!("result checksum: {:#018x}", stats.checksum);
+}

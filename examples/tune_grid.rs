@@ -1,0 +1,54 @@
+//! Mini parameter sweep over the refactored grid's bucket size and grid
+//! granularity — Figure 5 at example scale. Shows why the *re-tuned*
+//! optimum (larger bs, much larger cps) differs from the original
+//! implementation's optimum.
+//!
+//! Run: `cargo run --release --example tune_grid`
+
+use spatial_joins::prelude::*;
+
+fn time_config(cfg: GridConfig, params: &WorkloadParams) -> f64 {
+    let mut workload = UniformWorkload::new(*params);
+    let mut grid = SimpleGrid::new(cfg, params.space_side);
+    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 4, warmup: 1 });
+    stats.avg_tick_seconds()
+}
+
+fn main() {
+    let params = WorkloadParams {
+        num_points: 20_000,
+        ..WorkloadParams::default()
+    };
+    let bs_values = [4u32, 8, 16, 20, 32];
+    let cps_values = [8u32, 16, 32, 64, 96];
+
+    println!("avg seconds per tick, refactored grid (rows: bs, cols: cps)\n");
+    print!("{:>6}", "bs\\cps");
+    for cps in cps_values {
+        print!("{cps:>9}");
+    }
+    println!();
+    let mut best = (f64::INFINITY, 0u32, 0u32);
+    for bs in bs_values {
+        print!("{bs:>6}");
+        for cps in cps_values {
+            let cfg = GridConfig {
+                cells_per_side: cps,
+                bucket_size: bs,
+                layout: Layout::Inline,
+                query_algo: QueryAlgo::RangeScan,
+            };
+            let t = time_config(cfg, &params);
+            if t < best.0 {
+                best = (t, bs, cps);
+            }
+            print!("{t:>9.4}");
+        }
+        println!();
+    }
+    println!(
+        "\nbest configuration at this scale: bs = {}, cps = {} ({:.4} s/tick)",
+        best.1, best.2, best.0
+    );
+    println!("(the paper's full-scale optimum is bs = 20, cps = 64)");
+}

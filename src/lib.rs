@@ -1,0 +1,65 @@
+//! # spatial-joins
+//!
+//! Main-memory iterated spatial joins — a faithful Rust reproduction of
+//! **Šidlauskas & Jensen, "Spatial Joins in Main Memory: Implementation
+//! Matters!" (PVLDB 7(1), 2014)**, including the full experimental
+//! framework of the underlying study (Sowell et al., PVLDB 2013).
+//!
+//! The crate re-exports the workspace members:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | geometry, base tables, [`core::SpatialIndex`], the tick driver |
+//! | [`workload`] | uniform & Gaussian moving-object workloads (Table 1) |
+//! | [`grid`] | Simple Grid: original and refactored layouts, Algorithms 1 & 2 |
+//! | [`rtree`] | STR-packed R-tree (+ incremental Guttman extension) |
+//! | [`crtree`] | cache-conscious CR-tree with quantized relative MBRs |
+//! | [`kdtrie`] | linearized KD-trie over radix-sorted interleaved codes |
+//! | [`binsearch`] | the Binary Search baseline |
+//! | [`memsim`] | simulated cache hierarchy for the Table 3 profile |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spatial_joins::prelude::*;
+//!
+//! // Index 10 000 moving objects with the paper's tuned Simple Grid.
+//! let params = WorkloadParams { num_points: 10_000, ticks: 3, ..Default::default() };
+//! let mut workload = UniformWorkload::new(params);
+//! let mut grid = SimpleGrid::tuned(params.space_side);
+//! let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 3, warmup: 1 });
+//! assert!(stats.result_pairs > 0);
+//! ```
+
+pub use sj_binsearch as binsearch;
+pub use sj_core as core;
+pub use sj_crtree as crtree;
+pub use sj_grid as grid;
+pub use sj_kdtrie as kdtrie;
+pub use sj_memsim as memsim;
+pub use sj_quadtree as quadtree;
+pub use sj_rtree as rtree;
+pub use sj_sweep as sweep;
+pub use sj_workload as workload;
+
+#[cfg(feature = "parallel")]
+pub mod parallel;
+
+/// The common imports for applications: every index, the driver, and the
+/// workload generators.
+pub mod prelude {
+    pub use sj_binsearch::{BinarySearchJoin, VecSearchJoin};
+    pub use sj_core::batch::{BatchJoin, NaiveBatchJoin};
+    pub use sj_core::driver::{run_batch_join, run_join, DriverConfig, RunStats, Workload};
+    pub use sj_core::geom::{Point, Rect, Vec2};
+    pub use sj_core::index::{ScanIndex, SpatialIndex};
+    pub use sj_core::table::{EntryId, MovingSet, PointTable};
+    pub use sj_crtree::CRTree;
+    pub use sj_grid::{GridConfig, IncrementalGrid, Layout, QueryAlgo, SimpleGrid, Stage};
+    pub use sj_kdtrie::LinearKdTrie;
+    pub use sj_memsim::{CacheSim, CpiModel};
+    pub use sj_quadtree::QuadTree;
+    pub use sj_rtree::{DynRTree, RTree};
+    pub use sj_sweep::PlaneSweepJoin;
+    pub use sj_workload::{GaussianParams, GaussianWorkload, UniformWorkload, WorkloadParams};
+}

@@ -1,0 +1,149 @@
+//! Extension beyond the paper: a parallel query phase.
+//!
+//! The paper's setting is deliberately single-threaded ("even
+//! single-threaded settings", §4). This module adds the natural next step
+//! the paper's conclusions invite: once the implementation is
+//! cache-efficient, the query phase is embarrassingly parallel — queries
+//! only read the index and the base table. Build and update phases remain
+//! sequential, queriers are sharded across crossbeam scoped threads, and
+//! the order-independent checksum makes cross-thread result merging a
+//! `wrapping_add`.
+//!
+//! Enable with `--features parallel`.
+
+use std::time::Instant;
+
+use sj_core::driver::{fold_pair, DriverConfig, RunStats, TickActions, TickTimes, Workload};
+use sj_core::geom::Rect;
+use sj_core::index::SpatialIndex;
+use sj_core::table::EntryId;
+
+/// Like [`sj_core::driver::run_join`], but the query phase fans out over
+/// `threads` workers. Results (pair counts and checksum) are identical to
+/// the sequential driver for the same workload seed.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn run_join_parallel<W, I>(
+    workload: &mut W,
+    index: &mut I,
+    cfg: DriverConfig,
+    threads: usize,
+) -> RunStats
+where
+    W: Workload + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
+{
+    assert!(threads > 0, "threads must be > 0");
+    let mut set = workload.init();
+    let space = workload.space();
+    let query_side = workload.query_side();
+
+    let mut stats = RunStats::default();
+    let mut actions = TickActions::default();
+
+    let total_ticks = cfg.warmup + cfg.ticks;
+    for tick in 0..total_ticks {
+        let measured = tick >= cfg.warmup;
+        actions.clear();
+        workload.plan_tick(tick, &set, &mut actions);
+
+        let t0 = Instant::now();
+        index.build(&set.positions);
+        let build = t0.elapsed();
+
+        let t0 = Instant::now();
+        let chunk = actions.queriers.len().div_ceil(threads).max(1);
+        let positions = &set.positions;
+        let index_ref: &I = index;
+        let shard_results: Vec<(u64, u64)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = actions
+                .queriers
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        let mut results: Vec<EntryId> = Vec::with_capacity(256);
+                        let mut pairs = 0u64;
+                        let mut checksum = 0u64;
+                        for &q in shard {
+                            let region =
+                                Rect::centered_square(positions.point(q), query_side)
+                                    .clipped_to(&space);
+                            results.clear();
+                            index_ref.query(positions, &region, &mut results);
+                            pairs += results.len() as u64;
+                            for &r in &results {
+                                checksum = fold_pair(checksum, q, r);
+                            }
+                        }
+                        (pairs, checksum)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("query shard panicked")).collect()
+        })
+        .expect("crossbeam scope failed");
+        let query = t0.elapsed();
+
+        let t0 = Instant::now();
+        for &(id, vx, vy) in &actions.velocity_updates {
+            set.set_velocity(id, sj_core::geom::Vec2::new(vx, vy));
+        }
+        workload.advance(&mut set);
+        let update = t0.elapsed();
+
+        if measured {
+            stats.ticks.push(TickTimes { build, query, update });
+            for (pairs, checksum) in shard_results {
+                stats.result_pairs += pairs;
+                stats.checksum = stats.checksum.wrapping_add(checksum);
+            }
+            stats.queries += actions.queriers.len() as u64;
+            stats.updates += actions.velocity_updates.len() as u64;
+        }
+    }
+    stats.index_bytes = index.memory_bytes();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::driver::run_join;
+    use sj_grid::SimpleGrid;
+    use sj_workload::{UniformWorkload, WorkloadParams};
+
+    fn params() -> WorkloadParams {
+        WorkloadParams {
+            num_points: 2_000,
+            space_side: 8_000.0,
+            ticks: 3,
+            ..WorkloadParams::default()
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let cfg = DriverConfig { ticks: 3, warmup: 1 };
+        let sequential = {
+            let mut w = UniformWorkload::new(params());
+            let mut g = SimpleGrid::tuned(params().space_side);
+            run_join(&mut w, &mut g, cfg)
+        };
+        for threads in [1, 2, 4, 7] {
+            let mut w = UniformWorkload::new(params());
+            let mut g = SimpleGrid::tuned(params().space_side);
+            let par = run_join_parallel(&mut w, &mut g, cfg, threads);
+            assert_eq!(par.result_pairs, sequential.result_pairs, "threads={threads}");
+            assert_eq!(par.checksum, sequential.checksum, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threads")]
+    fn zero_threads_is_rejected() {
+        let mut w = UniformWorkload::new(params());
+        let mut g = SimpleGrid::tuned(params().space_side);
+        let _ = run_join_parallel(&mut w, &mut g, DriverConfig::default(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Invariants of the tick driver and the workload semantics that every
+//! experiment relies on.
+
+use spatial_joins::prelude::*;
+
+fn params() -> WorkloadParams {
+    WorkloadParams {
+        num_points: 2_000,
+        ticks: 5,
+        space_side: 8_000.0,
+        ..WorkloadParams::default()
+    }
+}
+
+#[test]
+fn every_querier_is_in_its_own_result() {
+    // A query is centred on the querier, so the join contains at least the
+    // (querier, querier) pair: pairs >= queries, always.
+    let p = params();
+    let mut workload = UniformWorkload::new(p);
+    let mut grid = SimpleGrid::tuned(p.space_side);
+    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: p.ticks, warmup: 0 });
+    assert!(
+        stats.result_pairs >= stats.queries,
+        "pairs {} < queries {}",
+        stats.result_pairs,
+        stats.queries
+    );
+}
+
+#[test]
+fn warmup_ticks_are_excluded_from_stats() {
+    let p = params();
+    let mut workload = UniformWorkload::new(p);
+    let mut grid = SimpleGrid::tuned(p.space_side);
+    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 3, warmup: 2 });
+    assert_eq!(stats.ticks.len(), 3);
+}
+
+#[test]
+fn phase_times_are_all_populated() {
+    let p = params();
+    let mut workload = UniformWorkload::new(p);
+    let mut rtree = RTree::default();
+    let stats = run_join(&mut workload, &mut rtree, DriverConfig { ticks: 4, warmup: 1 });
+    assert!(stats.avg_build_seconds() > 0.0);
+    assert!(stats.avg_query_seconds() > 0.0);
+    assert!(stats.avg_update_seconds() > 0.0);
+    let total = stats.avg_tick_seconds();
+    let sum = stats.avg_build_seconds() + stats.avg_query_seconds() + stats.avg_update_seconds();
+    assert!((total - sum).abs() < 1e-9, "phases must sum to the tick time");
+}
+
+#[test]
+fn query_and_update_counts_match_fractions_roughly() {
+    let p = params();
+    let mut workload = UniformWorkload::new(p);
+    let mut grid = SimpleGrid::tuned(p.space_side);
+    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 10, warmup: 0 });
+    let expected = (p.num_points as f64) * 0.5 * 10.0;
+    let tolerance = expected * 0.05;
+    assert!((stats.queries as f64 - expected).abs() < tolerance, "queries {}", stats.queries);
+    assert!((stats.updates as f64 - expected).abs() < tolerance, "updates {}", stats.updates);
+}
+
+#[test]
+fn index_memory_is_reported_after_run() {
+    let p = params();
+    let mut workload = UniformWorkload::new(p);
+    let mut grid = SimpleGrid::tuned(p.space_side);
+    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 2, warmup: 0 });
+    assert!(stats.index_bytes > 0);
+}
+
+#[test]
+fn zero_queriers_yield_zero_pairs() {
+    let p = WorkloadParams { frac_queriers: 0.0, ..params() };
+    let mut workload = UniformWorkload::new(p);
+    let mut grid = SimpleGrid::tuned(p.space_side);
+    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 3, warmup: 0 });
+    assert_eq!(stats.queries, 0);
+    assert_eq!(stats.result_pairs, 0);
+    assert_eq!(stats.checksum, 0);
+}
+
+#[test]
+fn zero_updaters_keep_velocities_fixed() {
+    let p = WorkloadParams { frac_updaters: 0.0, ..params() };
+    let mut workload = UniformWorkload::new(p);
+    let mut grid = SimpleGrid::tuned(p.space_side);
+    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 3, warmup: 0 });
+    assert_eq!(stats.updates, 0);
+}
+
+#[test]
+fn refactored_grid_uses_less_memory_than_original() {
+    // Paper §3.1: 12 vs 32 bytes per point (plus directory).
+    let p = params();
+    let run_with = |stage: Stage| {
+        let mut workload = UniformWorkload::new(p);
+        let mut grid = SimpleGrid::at_stage(stage, p.space_side);
+        run_join(&mut workload, &mut grid, DriverConfig { ticks: 1, warmup: 0 }).index_bytes
+    };
+    let original = run_with(Stage::Original);
+    let restructured = run_with(Stage::Restructured);
+    assert!(
+        restructured * 2 < original,
+        "refactored {restructured} B should be under half of original {original} B"
+    );
+}
