@@ -3,6 +3,7 @@
 use proptest::prelude::*;
 use sj_core::geom::{Point, Rect, Vec2};
 use sj_core::rng::Xoshiro256;
+use sj_core::table::MovingSet;
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
     (0.0f32..1000.0, 0.0f32..1000.0, 0.0f32..500.0, 0.0f32..500.0)
@@ -77,6 +78,117 @@ proptest! {
         let mut rng = Xoshiro256::seeded(seed);
         for _ in 0..50 {
             prop_assert!(rng.range_usize(n) < n);
+        }
+    }
+
+    // --- Edge cases: degenerate (zero-area) rectangles -------------------
+
+    #[test]
+    fn degenerate_rect_intersects_iff_containing_rect_covers_it(
+        px in 0.0f32..1500.0,
+        py in 0.0f32..1500.0,
+        b in arb_rect(),
+    ) {
+        // A zero-area rect behaves exactly like its single point: closed
+        // rectangle semantics make point containment and intersection agree.
+        let point_rect = Rect::new(px, py, px, py);
+        prop_assert_eq!(point_rect.intersects(&b), b.contains_point(px, py));
+        prop_assert_eq!(b.intersects(&point_rect), b.contains_point(px, py));
+        prop_assert!(point_rect.intersects(&point_rect), "self-intersection must hold");
+        prop_assert!(point_rect.contains_rect(&point_rect));
+    }
+
+    #[test]
+    fn degenerate_rect_union_and_clip_are_consistent(a in arb_rect(), px in 0.0f32..1500.0, py in 0.0f32..1500.0) {
+        let point_rect = Rect::new(px, py, px, py);
+        let u = a.union(&point_rect);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_point(px, py));
+        if a.contains_point(px, py) {
+            let c = point_rect.clipped_to(&a);
+            prop_assert_eq!(c, point_rect, "clipping a contained point rect is the identity");
+        }
+    }
+
+    // --- Edge cases: touching-boundary overlap ties ----------------------
+
+    #[test]
+    fn rects_sharing_only_an_edge_still_intersect(
+        x in 0.0f32..500.0, y in 0.0f32..500.0, w in 0.1f32..200.0, h in 0.1f32..200.0,
+    ) {
+        // Closed rectangles: a shared edge (or corner) is a tie that counts
+        // as overlap. This is the semantics every index must agree on for
+        // query windows whose border passes exactly through a point.
+        let left = Rect::new(x, y, x + w, y + h);
+        let right = Rect::new(x + w, y, x + w + w, y + h); // shares the x = x+w edge
+        prop_assert!(left.intersects(&right));
+        prop_assert!(right.intersects(&left));
+
+        let above = Rect::new(x, y + h, x + w, y + h + h); // shares the y = y+h edge
+        prop_assert!(left.intersects(&above));
+
+        let corner = Rect::new(x + w, y + h, x + w + w, y + h + h); // single shared corner
+        prop_assert!(left.intersects(&corner));
+        prop_assert!(corner.intersects(&left));
+    }
+
+    #[test]
+    fn boundary_points_are_inside_on_both_sides(r in arb_rect()) {
+        // All four corners and edge midpoints of a closed rect are contained.
+        let (mx, my) = ((r.x1 + r.x2) * 0.5, (r.y1 + r.y2) * 0.5);
+        for (px, py) in [
+            (r.x1, r.y1), (r.x2, r.y1), (r.x1, r.y2), (r.x2, r.y2),
+            (mx, r.y1), (mx, r.y2), (r.x1, my), (r.x2, my),
+        ] {
+            prop_assert!(r.contains_point(px, py), "boundary point ({px},{py}) not in {r:?}");
+        }
+    }
+
+    // --- Edge cases: negative-velocity reflection in MovingSet -----------
+
+    #[test]
+    fn negative_velocity_reflects_off_the_lower_walls(
+        x in 0.0f32..100.0, y in 0.0f32..100.0,
+        vx in -400.0f32..0.0, vy in -400.0f32..0.0,
+    ) {
+        // Objects near the origin moving with negative velocity cross the
+        // lower boundary; the bounce must reflect the position back inside
+        // and flip the velocity sign on the crossed axes.
+        let space = Rect::space(1_000.0);
+        let mut s = MovingSet::default();
+        s.push(Point::new(x, y), Vec2::new(vx, vy));
+        s.advance_bouncing(&space);
+        let p = s.positions.point(0);
+        prop_assert!(space.contains_point(p.x, p.y), "escaped to {p:?}");
+        let v = s.velocity(0);
+        if x + vx < space.x1 {
+            prop_assert!(v.x >= 0.0, "x-velocity not flipped after lower-wall bounce");
+            prop_assert!((p.x - (space.x1 + (space.x1 - (x + vx)))).abs() < 1e-3);
+        } else {
+            prop_assert_eq!(v.x, vx);
+        }
+        if y + vy < space.y1 {
+            prop_assert!(v.y >= 0.0, "y-velocity not flipped after lower-wall bounce");
+        } else {
+            prop_assert_eq!(v.y, vy);
+        }
+    }
+
+    #[test]
+    fn repeated_bounces_never_escape_for_any_velocity(
+        x in 0.0f32..=200.0, y in 0.0f32..=200.0,
+        vx in -150.0f32..=150.0, vy in -150.0f32..=150.0,
+    ) {
+        let space = Rect::space(200.0);
+        let mut s = MovingSet::default();
+        s.push(Point::new(x, y), Vec2::new(vx, vy));
+        for step in 0..64 {
+            s.advance_bouncing(&space);
+            let p = s.positions.point(0);
+            prop_assert!(
+                space.contains_point(p.x, p.y),
+                "escaped at step {step}: {p:?} with v=({vx},{vy})"
+            );
         }
     }
 }

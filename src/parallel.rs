@@ -5,7 +5,7 @@
 //! the paper's conclusions invite: once the implementation is
 //! cache-efficient, the query phase is embarrassingly parallel — queries
 //! only read the index and the base table. Build and update phases remain
-//! sequential, queriers are sharded across crossbeam scoped threads, and
+//! sequential, queriers are sharded across `std::thread::scope` workers, and
 //! the order-independent checksum makes cross-thread result merging a
 //! `wrapping_add`.
 //!
@@ -56,12 +56,12 @@ where
         let chunk = actions.queriers.len().div_ceil(threads).max(1);
         let positions = &set.positions;
         let index_ref: &I = index;
-        let shard_results: Vec<(u64, u64)> = crossbeam::thread::scope(|scope| {
+        let shard_results: Vec<(u64, u64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = actions
                 .queriers
                 .chunks(chunk)
                 .map(|shard| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut results: Vec<EntryId> = Vec::with_capacity(256);
                         let mut pairs = 0u64;
                         let mut checksum = 0u64;
@@ -81,8 +81,7 @@ where
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("query shard panicked")).collect()
-        })
-        .expect("crossbeam scope failed");
+        });
         let query = t0.elapsed();
 
         let t0 = Instant::now();

@@ -3,10 +3,14 @@
 
 use spatial_joins::prelude::*;
 
+/// Measured ticks used by [`run_once`]; the RunStats-shape test asserts the
+/// driver records exactly this many per-phase entries.
+const MEASURED_TICKS: u32 = 5;
+
 fn run_once(seed: u64) -> RunStats {
     let params = WorkloadParams {
         num_points: 2_000,
-        ticks: 5,
+        ticks: MEASURED_TICKS,
         space_side: 8_000.0,
         seed,
         ..WorkloadParams::default()
@@ -54,6 +58,73 @@ fn gaussian_workload_is_deterministic_too() {
     let (a, b) = (mk(), mk());
     assert_eq!(a.checksum, b.checksum);
     assert_eq!(a.result_pairs, b.result_pairs);
+}
+
+#[test]
+fn rerun_with_same_seed_is_bit_identical_across_all_runstats_fields() {
+    // Regression for the full RunStats shape, not just the checksum: every
+    // countable field — pairs, queries, updates, index footprint, and the
+    // per-phase tick record — must be bit-identical across two runs with the
+    // same workload seed. Wall-clock durations inside TickTimes are the only
+    // legitimately nondeterministic part of a run.
+    for seed in [0u64, 42, u64::MAX] {
+        let a = run_once(seed);
+        let b = run_once(seed);
+        assert_eq!(a.result_pairs, b.result_pairs, "seed {seed}: pair count drifted");
+        assert_eq!(a.checksum, b.checksum, "seed {seed}: checksum drifted");
+        assert_eq!(a.queries, b.queries, "seed {seed}: query count drifted");
+        assert_eq!(a.updates, b.updates, "seed {seed}: update count drifted");
+        assert_eq!(a.index_bytes, b.index_bytes, "seed {seed}: index footprint drifted");
+        // Per-phase tick counts: one TickTimes entry per measured tick, with
+        // all three phases (build/query/update) recorded in each.
+        assert_eq!(a.ticks.len(), b.ticks.len(), "seed {seed}: measured tick count drifted");
+        assert_eq!(
+            a.ticks.len(),
+            MEASURED_TICKS as usize,
+            "driver must record exactly cfg.ticks measured ticks"
+        );
+    }
+}
+
+#[test]
+fn determinism_holds_across_every_index_technique() {
+    // The guarantee is workload-level, so it must hold no matter which
+    // index consumes the workload: same seed, same technique, same numbers.
+    let params = WorkloadParams {
+        num_points: 1_000,
+        ticks: 3,
+        space_side: 6_000.0,
+        seed: 1234,
+        ..WorkloadParams::default()
+    };
+    let cfg = DriverConfig { ticks: 3, warmup: 1 };
+    let indexes: Vec<(&str, Box<dyn Fn() -> Box<dyn SpatialIndex>>)> = vec![
+        ("grid", Box::new(move || Box::new(SimpleGrid::tuned(params.space_side)))),
+        ("rtree", Box::new(|| Box::new(RTree::new(8)))),
+        ("crtree", Box::new(|| Box::new(CRTree::new(8)))),
+        ("kdtrie", Box::new(move || Box::new(LinearKdTrie::new(params.space_side)))),
+        ("binsearch", Box::new(|| Box::new(BinarySearchJoin::new()))),
+        ("quadtree", Box::new(move || Box::new(QuadTree::new(params.space_side, 8)))),
+    ];
+    let mut reference: Option<(u64, u64)> = None;
+    for (name, make) in &indexes {
+        let run = |mk: &dyn Fn() -> Box<dyn SpatialIndex>| {
+            let mut w = UniformWorkload::new(params);
+            let mut idx = mk();
+            run_join(&mut w, idx.as_mut(), cfg)
+        };
+        let (a, b) = (run(make.as_ref()), run(make.as_ref()));
+        assert_eq!(a.checksum, b.checksum, "{name}: rerun checksum drifted");
+        assert_eq!(a.result_pairs, b.result_pairs, "{name}: rerun pair count drifted");
+        // And all techniques must agree with each other on the join result.
+        match reference {
+            None => reference = Some((a.result_pairs, a.checksum)),
+            Some((pairs, checksum)) => {
+                assert_eq!(a.result_pairs, pairs, "{name} disagrees on pair count");
+                assert_eq!(a.checksum, checksum, "{name} disagrees on checksum");
+            }
+        }
+    }
 }
 
 #[test]

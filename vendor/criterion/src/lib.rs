@@ -1,0 +1,169 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! implements the subset the workspace's `benches/` use: [`Criterion`],
+//! [`BenchmarkId`], `benchmark_group` / `bench_function` / `sample_size` /
+//! `finish`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark is warmed up, then timed over
+//! a fixed wall-clock budget, and a single `name  time/iter  iters` line is
+//! printed — enough to compare techniques by eye, with none of criterion's
+//! statistics, plotting, or baseline storage.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work like the real crate.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    measure_budget: Duration,
+    /// (total elapsed, iterations) of the measured phase, read by the runner.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: estimate per-iteration cost with a few runs.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || (warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1_000) {
+            std_black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+
+        // Measured phase: enough iterations to fill the budget, at least one.
+        let target = if per_iter.is_zero() {
+            1_000
+        } else {
+            (self.measure_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..target {
+            std_black_box(f());
+        }
+        self.result = Some((start.elapsed(), target));
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // sample_size scales the measurement budget the way criterion's
+    // sample count does, within a sane cap for CI.
+    let budget = Duration::from_millis((5 * sample_size as u64).clamp(25, 500));
+    let mut b = Bencher { measure_budget: budget, result: None };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench {name:<48} {:>12.1} ns/iter ({iters} iters)", per_iter);
+        }
+        None => println!("bench {name:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Mirror of `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into().id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(&id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; this shim
+            // runs everything unconditionally and ignores the CLI.
+            $( $group(); )+
+        }
+    };
+}
