@@ -19,7 +19,7 @@ use crate::geom::Rect;
 use crate::index::SpatialIndex;
 use crate::rng::mix64;
 use crate::stats::Summary;
-use crate::table::{EntryId, MovingSet};
+use crate::table::{EntryId, MovingSet, PointTable};
 
 /// What a workload wants to happen in one tick: who queries, and which
 /// objects receive which new velocities.
@@ -144,14 +144,53 @@ pub struct DriverConfig {
 
 impl Default for DriverConfig {
     fn default() -> Self {
-        DriverConfig { ticks: 100, warmup: 2 }
+        DriverConfig {
+            ticks: 100,
+            warmup: 2,
+        }
     }
 }
 
-/// Drive `index` through `workload` for `cfg.ticks` measured ticks.
-pub fn run_join<W: Workload + ?Sized, I: SpatialIndex + ?Sized>(
+/// The per-category hooks of the shared tick loop in [`drive`]. Exactly two
+/// implementations exist — the per-query index executor behind [`run_join`]
+/// and the set-at-a-time executor behind [`run_batch_join`] — so the two
+/// join categories run the *identical* loop (warmup accounting, phase
+/// boundaries, update application) and differ only where the paper's
+/// taxonomy says they must.
+trait TickExecutor {
+    /// Timed build phase (no-op for index-free batch techniques).
+    fn build(&mut self, table: &PointTable);
+
+    /// Untimed per-tick bookkeeping before the query phase. Only the batch
+    /// executor uses it, to assemble the tick's query set — set-at-a-time
+    /// techniques receive their queries pre-built, as in the original
+    /// framework. The per-query executor computes each region *inside* the
+    /// timed phase: issuing a query, region arithmetic included, is part of
+    /// that category's per-query cost (unchanged from the pre-unification
+    /// driver).
+    fn prepare(&mut self, set: &MovingSet, queriers: &[EntryId], space: &Rect, query_side: f32);
+
+    /// Timed query phase: run every query of the tick, folding each
+    /// `(querier, result)` pair into `pairs`/`checksum` via
+    /// [`fold_pair`] — no per-query result materialization.
+    fn query(
+        &mut self,
+        set: &MovingSet,
+        queriers: &[EntryId],
+        space: &Rect,
+        query_side: f32,
+        pairs: &mut u64,
+        checksum: &mut u64,
+    );
+
+    /// Index memory after the final build (0 for batch techniques).
+    fn index_bytes(&self) -> usize;
+}
+
+/// The single tick loop both join categories run (see [`TickExecutor`]).
+fn drive<W: Workload + ?Sized, E: TickExecutor>(
     workload: &mut W,
-    index: &mut I,
+    exec: &mut E,
     cfg: DriverConfig,
 ) -> RunStats {
     let mut set = workload.init();
@@ -160,7 +199,6 @@ pub fn run_join<W: Workload + ?Sized, I: SpatialIndex + ?Sized>(
 
     let mut stats = RunStats::default();
     let mut actions = TickActions::default();
-    let mut results: Vec<EntryId> = Vec::with_capacity(256);
 
     let total_ticks = cfg.warmup + cfg.ticks;
     for tick in 0..total_ticks {
@@ -170,24 +208,23 @@ pub fn run_join<W: Workload + ?Sized, I: SpatialIndex + ?Sized>(
 
         // Phase 1: build the static index over the previous tick's state.
         let t0 = Instant::now();
-        index.build(&set.positions);
+        exec.build(&set.positions);
         let build = t0.elapsed();
 
-        // Phase 2: queries. Every querier issues one square range query
-        // centred on its own position, clipped to the data space.
+        exec.prepare(&set, &actions.queriers, &space, query_side);
+
+        // Phase 2: queries, folded straight into the running checksum.
         let t0 = Instant::now();
         let mut pairs = 0u64;
         let mut checksum = stats.checksum;
-        for &q in &actions.queriers {
-            let region = Rect::centered_square(set.positions.point(q), query_side)
-                .clipped_to(&space);
-            results.clear();
-            index.query(&set.positions, &region, &mut results);
-            pairs += results.len() as u64;
-            for &r in &results {
-                checksum = fold_pair(checksum, q, r);
-            }
-        }
+        exec.query(
+            &set,
+            &actions.queriers,
+            &space,
+            query_side,
+            &mut pairs,
+            &mut checksum,
+        );
         let query = t0.elapsed();
 
         // Phase 3: updates are applied to the base data at the end of the
@@ -200,75 +237,128 @@ pub fn run_join<W: Workload + ?Sized, I: SpatialIndex + ?Sized>(
         let update = t0.elapsed();
 
         if measured {
-            stats.ticks.push(TickTimes { build, query, update });
+            stats.ticks.push(TickTimes {
+                build,
+                query,
+                update,
+            });
             stats.result_pairs += pairs;
             stats.checksum = checksum;
             stats.queries += actions.queriers.len() as u64;
             stats.updates += actions.velocity_updates.len() as u64;
         }
     }
-    stats.index_bytes = index.memory_bytes();
+    stats.index_bytes = exec.index_bytes();
     stats
 }
 
-/// Drive a set-at-a-time join technique (`sj-core::batch::BatchJoin`)
+/// Executor for the index nested loop category: every querier issues one
+/// square range query centred on its own position, clipped to the data
+/// space, and the index emits matches directly into the checksum fold.
+struct IndexExecutor<'a, I: SpatialIndex + ?Sized>(&'a mut I);
+
+impl<I: SpatialIndex + ?Sized> TickExecutor for IndexExecutor<'_, I> {
+    fn build(&mut self, table: &PointTable) {
+        self.0.build(table);
+    }
+
+    fn prepare(&mut self, _: &MovingSet, _: &[EntryId], _: &Rect, _: f32) {}
+
+    fn query(
+        &mut self,
+        set: &MovingSet,
+        queriers: &[EntryId],
+        space: &Rect,
+        query_side: f32,
+        pairs: &mut u64,
+        checksum: &mut u64,
+    ) {
+        for &q in queriers {
+            let region =
+                Rect::centered_square(set.positions.point(q), query_side).clipped_to(space);
+            self.0.for_each_in(&set.positions, &region, &mut |r| {
+                *pairs += 1;
+                *checksum = fold_pair(*checksum, q, r);
+            });
+        }
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+}
+
+/// Executor for the specialized (set-at-a-time) join category: the tick's
+/// whole query set is assembled untimed, handed to the technique in one
+/// call, and the returned pair set is folded into the checksum. The timed
+/// phase covers the join itself plus the fold, mirroring the per-query
+/// executor where emission and folding are likewise inseparable.
+struct BatchExecutor<'a, J: crate::batch::BatchJoin + ?Sized> {
+    join: &'a mut J,
+    queries: Vec<(EntryId, Rect)>,
+    pairs_buf: Vec<(EntryId, EntryId)>,
+}
+
+impl<J: crate::batch::BatchJoin + ?Sized> TickExecutor for BatchExecutor<'_, J> {
+    fn build(&mut self, _table: &PointTable) {}
+
+    fn prepare(&mut self, set: &MovingSet, queriers: &[EntryId], space: &Rect, query_side: f32) {
+        self.queries.clear();
+        for &q in queriers {
+            let region =
+                Rect::centered_square(set.positions.point(q), query_side).clipped_to(space);
+            self.queries.push((q, region));
+        }
+    }
+
+    fn query(
+        &mut self,
+        set: &MovingSet,
+        _queriers: &[EntryId],
+        _space: &Rect,
+        _query_side: f32,
+        pairs: &mut u64,
+        checksum: &mut u64,
+    ) {
+        self.pairs_buf.clear();
+        self.join
+            .join(&set.positions, &self.queries, &mut self.pairs_buf);
+        *pairs += self.pairs_buf.len() as u64;
+        for &(q, r) in &self.pairs_buf {
+            *checksum = fold_pair(*checksum, q, r);
+        }
+    }
+
+    fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Drive `index` through `workload` for `cfg.ticks` measured ticks.
+pub fn run_join<W: Workload + ?Sized, I: SpatialIndex + ?Sized>(
+    workload: &mut W,
+    index: &mut I,
+    cfg: DriverConfig,
+) -> RunStats {
+    drive(workload, &mut IndexExecutor(index), cfg)
+}
+
+/// Drive a set-at-a-time join technique ([`crate::batch::BatchJoin`])
 /// through the same tick loop as [`run_join`]: identical workloads,
 /// identical phase semantics, directly comparable statistics. The query
-/// phase assembles the tick's query set and hands it to the technique in
-/// one call (its cost covers any per-tick sorting the technique does).
+/// phase hands the tick's whole query set to the technique in one call
+/// (its cost covers any per-tick sorting the technique does).
 pub fn run_batch_join<W: Workload + ?Sized, J: crate::batch::BatchJoin + ?Sized>(
     workload: &mut W,
     join: &mut J,
     cfg: DriverConfig,
 ) -> RunStats {
-    let mut set = workload.init();
-    let space = workload.space();
-    let query_side = workload.query_side();
-
-    let mut stats = RunStats::default();
-    let mut actions = TickActions::default();
-    let mut queries: Vec<(EntryId, Rect)> = Vec::new();
-    let mut pairs_buf: Vec<(EntryId, EntryId)> = Vec::new();
-
-    let total_ticks = cfg.warmup + cfg.ticks;
-    for tick in 0..total_ticks {
-        let measured = tick >= cfg.warmup;
-        actions.clear();
-        workload.plan_tick(tick, &set, &mut actions);
-
-        // Specialized joins have no build phase; assembling the query set
-        // is bookkeeping shared with the per-query driver, so it is also
-        // left outside the measured query phase there and here.
-        queries.clear();
-        for &q in &actions.queriers {
-            let region = Rect::centered_square(set.positions.point(q), query_side)
-                .clipped_to(&space);
-            queries.push((q, region));
-        }
-
-        let t0 = Instant::now();
-        pairs_buf.clear();
-        join.join(&set.positions, &queries, &mut pairs_buf);
-        let query = t0.elapsed();
-
-        let t0 = Instant::now();
-        for &(id, vx, vy) in &actions.velocity_updates {
-            set.set_velocity(id, crate::geom::Vec2::new(vx, vy));
-        }
-        workload.advance(&mut set);
-        let update = t0.elapsed();
-
-        if measured {
-            stats.ticks.push(TickTimes { build: Duration::ZERO, query, update });
-            stats.result_pairs += pairs_buf.len() as u64;
-            for &(q, r) in &pairs_buf {
-                stats.checksum = fold_pair(stats.checksum, q, r);
-            }
-            stats.queries += actions.queriers.len() as u64;
-            stats.updates += actions.velocity_updates.len() as u64;
-        }
-    }
-    stats
+    let mut exec = BatchExecutor {
+        join,
+        queries: Vec::new(),
+        pairs_buf: Vec::new(),
+    };
+    drive(workload, &mut exec, cfg)
 }
 
 #[cfg(test)]
@@ -308,7 +398,14 @@ mod tests {
     fn run_produces_one_timing_per_measured_tick() {
         let mut w = ToyWorkload { n: 50 };
         let mut idx = ScanIndex::new();
-        let stats = run_join(&mut w, &mut idx, DriverConfig { ticks: 5, warmup: 2 });
+        let stats = run_join(
+            &mut w,
+            &mut idx,
+            DriverConfig {
+                ticks: 5,
+                warmup: 2,
+            },
+        );
         assert_eq!(stats.ticks.len(), 5);
         assert_eq!(stats.queries, 5 * 50);
     }
@@ -319,8 +416,19 @@ mod tests {
         // join must yield at least |queriers| pairs per tick.
         let mut w = ToyWorkload { n: 50 };
         let mut idx = ScanIndex::new();
-        let stats = run_join(&mut w, &mut idx, DriverConfig { ticks: 3, warmup: 0 });
-        assert!(stats.result_pairs >= 3 * 50, "pairs = {}", stats.result_pairs);
+        let stats = run_join(
+            &mut w,
+            &mut idx,
+            DriverConfig {
+                ticks: 3,
+                warmup: 0,
+            },
+        );
+        assert!(
+            stats.result_pairs >= 3 * 50,
+            "pairs = {}",
+            stats.result_pairs
+        );
     }
 
     #[test]
@@ -328,7 +436,14 @@ mod tests {
         let run = || {
             let mut w = ToyWorkload { n: 30 };
             let mut idx = ScanIndex::new();
-            run_join(&mut w, &mut idx, DriverConfig { ticks: 4, warmup: 1 })
+            run_join(
+                &mut w,
+                &mut idx,
+                DriverConfig {
+                    ticks: 4,
+                    warmup: 1,
+                },
+            )
         };
         let (a, b) = (run(), run());
         assert_eq!(a.checksum, b.checksum);
@@ -367,7 +482,14 @@ mod tests {
         }
         let mut w = UpdWorkload;
         let mut idx = ScanIndex::new();
-        let _ = run_join(&mut w, &mut idx, DriverConfig { ticks: 2, warmup: 0 });
+        let _ = run_join(
+            &mut w,
+            &mut idx,
+            DriverConfig {
+                ticks: 2,
+                warmup: 0,
+            },
+        );
         // After 2 ticks with velocity 5 set in tick 0: moved 2 * 5 = 10.
         // (Update in tick 0 applies before tick 0's advance.)
     }
@@ -395,7 +517,14 @@ mod tests {
             }
         }
         let mut idx = ScanIndex::new();
-        let stats = run_join(&mut TwinWorkload, &mut idx, DriverConfig { ticks: 1, warmup: 0 });
+        let stats = run_join(
+            &mut TwinWorkload,
+            &mut idx,
+            DriverConfig {
+                ticks: 1,
+                warmup: 0,
+            },
+        );
         // Each query sees both points: 4 pairs.
         assert_eq!(stats.result_pairs, 4);
     }
@@ -405,7 +534,10 @@ mod tests {
         // The naive batch join and the scan index compute the same join,
         // so both drivers must produce identical pair counts and checksums
         // for the same workload.
-        let cfg = DriverConfig { ticks: 4, warmup: 1 };
+        let cfg = DriverConfig {
+            ticks: 4,
+            warmup: 1,
+        };
         let per_query = {
             let mut w = ToyWorkload { n: 40 };
             let mut idx = ScanIndex::new();

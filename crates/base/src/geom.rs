@@ -80,7 +80,10 @@ impl Rect {
     /// Build a rectangle from its lower-left and upper-right corners.
     #[inline]
     pub fn new(x1: f32, y1: f32, x2: f32, y2: f32) -> Self {
-        debug_assert!(x1 <= x2 && y1 <= y2, "malformed rect: ({x1},{y1})-({x2},{y2})");
+        debug_assert!(
+            x1 <= x2 && y1 <= y2,
+            "malformed rect: ({x1},{y1})-({x2},{y2})"
+        );
         Rect { x1, y1, x2, y2 }
     }
 
@@ -166,7 +169,12 @@ impl Rect {
     /// with [`Rect::expand_to`].
     #[inline]
     pub fn at_point(x: f32, y: f32) -> Rect {
-        Rect { x1: x, y1: y, x2: x, y2: y }
+        Rect {
+            x1: x,
+            y1: y,
+            x2: x,
+            y2: y,
+        }
     }
 }
 

@@ -7,9 +7,12 @@ use crate::table::{EntryId, PointTable};
 /// index nested loop join* category: the index is rebuilt from the base
 /// table every tick and probed once per range query.
 ///
-/// `query` pushes the handles of all rows whose point lies in `region`
-/// (closed-rectangle semantics) onto `out`, in **no particular order** —
-/// callers that need determinism across techniques sort the buffer.
+/// The required query method is the sink-based [`SpatialIndex::for_each_in`]:
+/// implementations invoke `emit` once per matching row, straight from their
+/// scan loops, so the driver can fold results into its checksum without
+/// materializing a candidate buffer — buffer traffic is exactly the kind of
+/// implementation detail the paper shows dominating in main memory. The
+/// `Vec`-collecting [`SpatialIndex::query`] is a provided adapter on top.
 pub trait SpatialIndex {
     /// Short display name used in benchmark tables ("Simple Grid", …).
     fn name(&self) -> &str;
@@ -19,10 +22,20 @@ pub trait SpatialIndex {
     /// avoidable allocation would distort the measurement).
     fn build(&mut self, table: &PointTable);
 
-    /// Range query. `table` is the same base table passed to the most
-    /// recent [`SpatialIndex::build`]; secondary indexes dereference entry
-    /// handles into it when they must filter candidates exactly.
-    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>);
+    /// Range query: call `emit` with the handle of every row whose point
+    /// lies in `region` (closed-rectangle semantics), in **no particular
+    /// order**. `table` is the same base table passed to the most recent
+    /// [`SpatialIndex::build`]; secondary indexes dereference entry handles
+    /// into it when they must filter candidates exactly.
+    fn for_each_in(&self, table: &PointTable, region: &Rect, emit: &mut dyn FnMut(EntryId));
+
+    /// Range query collecting the matches into `out` (appended, in no
+    /// particular order). Provided adapter over
+    /// [`SpatialIndex::for_each_in`]; callers that need determinism across
+    /// techniques sort the buffer.
+    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+        self.for_each_in(table, region, &mut |e| out.push(e));
+    }
 
     /// Bytes of index memory in use after the last build (directory,
     /// arenas, nodes…), excluding the base table. Used to verify the
@@ -49,12 +62,12 @@ impl SpatialIndex for ScanIndex {
 
     fn build(&mut self, _table: &PointTable) {}
 
-    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+    fn for_each_in(&self, table: &PointTable, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
         let xs = table.xs();
         let ys = table.ys();
         for i in 0..xs.len() {
             if region.contains_point(xs[i], ys[i]) {
-                out.push(i as EntryId);
+                emit(i as EntryId);
             }
         }
     }
@@ -109,7 +122,11 @@ mod tests {
         let t = sample_table();
         let idx = ScanIndex::new();
         let mut out = Vec::new();
-        idx.query(&t, &Rect::centered_square(Point::new(100.0, 100.0), 4.0), &mut out);
+        idx.query(
+            &t,
+            &Rect::centered_square(Point::new(100.0, 100.0), 4.0),
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 }

@@ -1,0 +1,38 @@
+//! # sj-base
+//!
+//! Foundation layer of the spatial-joins workspace (see DESIGN.md §1):
+//! everything the individual join-technique crates need, and nothing that
+//! depends on them. The user-facing `sj-core` crate re-exports all of this
+//! and adds the technique registry on top — downstream code should import
+//! `sj_core`, while technique implementations build against `sj_base` so
+//! the registry can depend on *them* without a cycle.
+//!
+//! - [`geom`] — points, velocity vectors, closed axis-aligned rectangles;
+//! - [`table`] — the structure-of-arrays base table that every *secondary*
+//!   index references through 4-byte [`table::EntryId`] handles;
+//! - [`index`] — the sink-based [`index::SpatialIndex`] trait plus the
+//!   ground-truth [`index::ScanIndex`];
+//! - [`batch`] — the set-at-a-time [`batch::BatchJoin`] trait;
+//! - [`driver`] — the tick loop (build → query → update) with per-phase
+//!   timing, reproducing the Sowell et al. framework the paper builds on;
+//! - [`rng`] — self-contained deterministic xoshiro256++;
+//! - [`trace`] — memory-access tracing hooks consumed by `sj-memsim`;
+//! - [`stats`] — numeric summaries for the benchmark harness.
+
+pub mod batch;
+pub mod driver;
+pub mod geom;
+pub mod index;
+pub mod rng;
+pub mod simd;
+pub mod stats;
+pub mod table;
+pub mod trace;
+
+pub use batch::{BatchJoin, NaiveBatchJoin};
+pub use driver::{
+    run_batch_join, run_join, DriverConfig, RunStats, TickActions, TickTimes, Workload,
+};
+pub use geom::{Point, Rect, Vec2};
+pub use index::{ScanIndex, SpatialIndex};
+pub use table::{EntryId, MovingSet, PointTable};

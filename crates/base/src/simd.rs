@@ -20,7 +20,11 @@ use crate::table::EntryId;
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn filter_range(xs: &[f32], ys: &[f32], region: &Rect, base: EntryId, out: &mut Vec<EntryId>) {
-    assert_eq!(xs.len(), ys.len(), "coordinate columns must have equal length");
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "coordinate columns must have equal length"
+    );
     #[cfg(target_arch = "x86_64")]
     {
         filter_range_sse2(xs, ys, region, base, out);
@@ -93,17 +97,19 @@ pub fn filter_range_sse2(
 }
 
 /// Like [`filter_range`], but matching positions are translated through a
-/// parallel `ids` column — the shape secondary indexes need when their
-/// coordinate copies are sorted in a different order than the base table.
+/// parallel `ids` column and handed to `emit` — the shape secondary
+/// indexes need when their coordinate copies are sorted in a different
+/// order than the base table, in the sink form
+/// [`crate::index::SpatialIndex::for_each_in`] wants.
 ///
 /// # Panics
 /// Panics if the three slices have different lengths.
-pub fn filter_range_gather(
+pub fn filter_range_gather_each<F: FnMut(EntryId) + ?Sized>(
     xs: &[f32],
     ys: &[f32],
     ids: &[EntryId],
     region: &Rect,
-    out: &mut Vec<EntryId>,
+    emit: &mut F,
 ) {
     assert!(
         xs.len() == ys.len() && xs.len() == ids.len(),
@@ -132,14 +138,14 @@ pub fn filter_range_gather(
                 let mut mask = _mm_movemask_ps(_mm_and_ps(in_x, in_y)) as u32;
                 while mask != 0 {
                     let lane = mask.trailing_zeros() as usize;
-                    out.push(ids[i + lane]);
+                    emit(ids[i + lane]);
                     mask &= mask - 1;
                 }
             }
         }
         for i in blocks * 4..n {
             if region.contains_point(xs[i], ys[i]) {
-                out.push(ids[i]);
+                emit(ids[i]);
             }
         }
     }
@@ -147,10 +153,22 @@ pub fn filter_range_gather(
     {
         for i in 0..xs.len() {
             if region.contains_point(xs[i], ys[i]) {
-                out.push(ids[i]);
+                emit(ids[i]);
             }
         }
     }
+}
+
+/// [`filter_range_gather_each`] collecting into a `Vec` (test and bench
+/// convenience).
+pub fn filter_range_gather(
+    xs: &[f32],
+    ys: &[f32],
+    ids: &[EntryId],
+    region: &Rect,
+    out: &mut Vec<EntryId>,
+) {
+    filter_range_gather_each(xs, ys, ids, region, &mut |e| out.push(e));
 }
 
 #[cfg(test)]
@@ -182,8 +200,12 @@ mod tests {
     fn sse2_matches_scalar_on_boundaries() {
         // Points exactly on every edge and corner of the region.
         let region = Rect::new(100.0, 100.0, 200.0, 200.0);
-        let xs = vec![100.0, 200.0, 150.0, 99.999, 200.001, 100.0, 200.0, 150.0, 100.0];
-        let ys = vec![100.0, 200.0, 100.0, 150.0, 150.0, 200.0, 100.0, 200.0, 99.999];
+        let xs = vec![
+            100.0, 200.0, 150.0, 99.999, 200.001, 100.0, 200.0, 150.0, 100.0,
+        ];
+        let ys = vec![
+            100.0, 200.0, 100.0, 150.0, 150.0, 200.0, 100.0, 200.0, 99.999,
+        ];
         let mut fast = Vec::new();
         filter_range_sse2(&xs, &ys, &region, 0, &mut fast);
         let mut slow = Vec::new();

@@ -39,7 +39,13 @@ impl Summary {
             min = min.min(x);
             max = max.max(x);
         }
-        Summary { n: xs.len(), mean: mean(xs), stddev: stddev(xs), min, max }
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            stddev: stddev(xs),
+            min,
+            max,
+        }
     }
 }
 

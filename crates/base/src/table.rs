@@ -22,7 +22,10 @@ pub struct PointTable {
 
 impl PointTable {
     pub fn with_capacity(n: usize) -> Self {
-        PointTable { xs: Vec::with_capacity(n), ys: Vec::with_capacity(n) }
+        PointTable {
+            xs: Vec::with_capacity(n),
+            ys: Vec::with_capacity(n),
+        }
     }
 
     /// Append a row and return its handle.

@@ -1,9 +1,9 @@
 //! Property-based tests for the core geometry and RNG.
 
 use proptest::prelude::*;
-use sj_core::geom::{Point, Rect, Vec2};
-use sj_core::rng::Xoshiro256;
-use sj_core::table::MovingSet;
+use sj_base::geom::{Point, Rect, Vec2};
+use sj_base::rng::Xoshiro256;
+use sj_base::table::MovingSet;
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
     (0.0f32..1000.0, 0.0f32..1000.0, 0.0f32..500.0, 0.0f32..500.0)

@@ -3,11 +3,10 @@
 //! 50 K points) — the "Query" column of Table 2 in isolation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sj_bench::Technique;
 use sj_core::geom::{Point, Rect};
 use sj_core::rng::Xoshiro256;
 use sj_core::table::PointTable;
-use sj_grid::Stage;
+use sj_core::technique::registry;
 use sj_workload::{UniformWorkload, WorkloadParams};
 use std::hint::black_box;
 
@@ -29,29 +28,21 @@ fn bench_queries(c: &mut Criterion) {
         })
         .collect();
 
-    let techniques = [
-        Technique::BinarySearch,
-        Technique::VecSearch,
-        Technique::RTree,
-        Technique::CRTree,
-        Technique::LinearKdTrie,
-        Technique::QuadTree,
-        Technique::Grid(Stage::Original),
-        Technique::Grid(Stage::CpsTuned),
-    ];
     let mut group = c.benchmark_group("query_batch_256");
     group.sample_size(10);
-    for tech in techniques {
-        let mut index = tech.instantiate(params.space_side);
+    for spec in registry()
+        .into_iter()
+        .filter(|s| s.is_benchmarkable() && !s.is_batch())
+    {
+        let mut tech = spec.build(params.space_side);
+        let index = tech.as_index_mut().expect("batch specs filtered out");
         index.build(table);
-        let mut out = Vec::with_capacity(1024);
-        group.bench_function(BenchmarkId::from_parameter(tech.label()), |b| {
+        group.bench_function(BenchmarkId::from_parameter(spec.label()), |b| {
             b.iter(|| {
+                // Sink-folded, as the driver queries: count matches only.
                 let mut found = 0usize;
                 for q in &queries {
-                    out.clear();
-                    index.query(black_box(table), black_box(q), &mut out);
-                    found += out.len();
+                    index.for_each_in(black_box(table), black_box(q), &mut |_| found += 1);
                 }
                 black_box(found)
             })

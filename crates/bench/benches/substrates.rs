@@ -11,8 +11,9 @@ use std::hint::black_box;
 
 fn bench_morton(c: &mut Criterion) {
     let mut rng = Xoshiro256::seeded(1);
-    let pts: Vec<(u16, u16)> =
-        (0..4096).map(|_| (rng.next_u32() as u16, rng.next_u32() as u16)).collect();
+    let pts: Vec<(u16, u16)> = (0..4096)
+        .map(|_| (rng.next_u32() as u16, rng.next_u32() as u16))
+        .collect();
     c.bench_function("morton_encode_4096", |b| {
         b.iter(|| {
             let mut acc = 0u32;

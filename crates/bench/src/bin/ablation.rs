@@ -15,23 +15,48 @@
 //! 6. Scalar vs. SIMD-filtered Binary Search — the data-parallel step the
 //!    paper's "implementation matters" argument invites.
 //!
-//! Run: `cargo run -p sj-bench --release --bin ablation [--ticks N] [--csv]`
+//! The head-to-head pairs come from registry specs
+//! (`TechniqueSpec::…build`); only the cross-product sweeps of ablation
+//! 1/2 assemble custom grids.
+//!
+//! Run: `cargo run -p sj-bench --release --bin ablation [--ticks N] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
+use sj_bench::report::stats_line;
 use sj_bench::table::{secs, Table};
-use sj_bench::{run_uniform, Technique};
-use sj_core::driver::{run_batch_join, run_join, DriverConfig};
-use sj_core::index::SpatialIndex;
-use sj_grid::{GridConfig, IncrementalGrid, Layout, QueryAlgo};
-use sj_rtree::DynRTree;
-use sj_sweep::PlaneSweepJoin;
-use sj_workload::UniformWorkload;
+use sj_bench::{grid_custom, run_uniform, run_uniform_spec};
+use sj_core::driver::RunStats;
+use sj_core::technique::TechniqueSpec;
+use sj_grid::{GridConfig, Layout, QueryAlgo};
+
+/// Emit one JSON line (when `--json`) for a run of `label` in `section`.
+fn report(
+    opts: &CommonOpts,
+    section: &str,
+    label: &str,
+    stats: &RunStats,
+    sweep: Option<(&str, f64)>,
+) {
+    if opts.json {
+        println!("{}", stats_line(section, label, sweep, stats));
+    }
+}
 
 fn main() {
     let opts = CommonOpts::parse();
+    if let Some(spec) = opts.technique {
+        // the ablations compare fixed technique pairs; a single-technique override cannot be honored.
+        eprintln!(
+            "--technique {} is not supported by this binary",
+            spec.name()
+        );
+        std::process::exit(2);
+    }
     let params = opts.uniform_params();
 
-    println!("# Ablation 1: layout x query algorithm (bs=4, cps=13)");
+    if !opts.json {
+        println!("# Ablation 1: layout x query algorithm (bs=4, cps=13)");
+    }
     let mut t = Table::new(vec!["layout", "algorithm", "avg_time_per_tick_s"]);
     for layout in [Layout::Original, Layout::Inline] {
         for algo in [QueryAlgo::FullScan, QueryAlgo::RangeScan] {
@@ -41,108 +66,174 @@ fn main() {
                 layout,
                 query_algo: algo,
             };
-            let stats = run_uniform(&params, Technique::GridCustom(cfg));
+            let stats = run_uniform(&params, &mut grid_custom(cfg, params.space_side));
+            report(
+                &opts,
+                "ablation1",
+                &format!("{layout:?}/{algo:?}"),
+                &stats,
+                None,
+            );
+            if !opts.json {
+                t.row(vec![
+                    format!("{layout:?}"),
+                    format!("{algo:?}"),
+                    secs(stats.avg_tick_seconds()),
+                ]);
+            }
+        }
+    }
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
+
+    if !opts.json {
+        println!("# Ablation 2: coordinate inlining on the tuned grid");
+    }
+    let mut t = Table::new(vec!["variant", "avg_tick_s", "build_s", "query_s"]);
+    for (label, layout) in [
+        ("tuned (secondary index)", Layout::Inline),
+        ("tuned + inline coords", Layout::InlineCoords),
+    ] {
+        let cfg = GridConfig {
+            layout,
+            ..GridConfig::tuned()
+        };
+        let stats = run_uniform(&params, &mut grid_custom(cfg, params.space_side));
+        report(&opts, "ablation2", label, &stats, None);
+        if !opts.json {
             t.row(vec![
-                format!("{layout:?}"),
-                format!("{algo:?}"),
+                label.to_string(),
                 secs(stats.avg_tick_seconds()),
+                secs(stats.avg_build_seconds()),
+                secs(stats.avg_query_seconds()),
             ]);
         }
     }
-    println!("{}", t.render(opts.csv));
-
-    println!("# Ablation 2: coordinate inlining on the tuned grid");
-    let mut t = Table::new(vec!["variant", "avg_tick_s", "build_s", "query_s"]);
-    for (label, layout) in [("tuned (secondary index)", Layout::Inline), ("tuned + inline coords", Layout::InlineCoords)]
-    {
-        let cfg = GridConfig { layout, ..GridConfig::tuned() };
-        let stats = run_uniform(&params, Technique::GridCustom(cfg));
-        t.row(vec![
-            label.to_string(),
-            secs(stats.avg_tick_seconds()),
-            secs(stats.avg_build_seconds()),
-            secs(stats.avg_query_seconds()),
-        ]);
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
     }
-    println!("{}", t.render(opts.csv));
 
-    println!("# Ablation 3: STR bulk load vs incremental Guttman R-tree");
-    let mut t = Table::new(vec!["variant", "avg_tick_s", "build_s", "query_s"]);
-    {
-        let stats = run_uniform(&params, Technique::RTree);
-        t.row(vec![
-            "STR bulk load".to_string(),
-            secs(stats.avg_tick_seconds()),
-            secs(stats.avg_build_seconds()),
-            secs(stats.avg_query_seconds()),
-        ]);
-        let mut workload = UniformWorkload::new(params);
-        let mut dyn_tree = DynRTree::default();
-        let cfg = DriverConfig { ticks: params.ticks, warmup: 1 };
-        let stats = run_join(&mut workload, &mut dyn_tree as &mut dyn SpatialIndex, cfg);
-        t.row(vec![
-            "incremental (quadratic split)".to_string(),
-            secs(stats.avg_tick_seconds()),
-            secs(stats.avg_build_seconds()),
-            secs(stats.avg_query_seconds()),
-        ]);
+    if !opts.json {
+        println!("# Ablation 3: STR bulk load vs incremental Guttman R-tree");
     }
-    println!("{}", t.render(opts.csv));
+    let mut t = Table::new(vec!["variant", "avg_tick_s", "build_s", "query_s"]);
+    for (label, spec) in [
+        ("STR bulk load", TechniqueSpec::RTreeStr),
+        ("incremental (quadratic split)", TechniqueSpec::RTreeDyn),
+    ] {
+        let stats = run_uniform_spec(&params, spec);
+        report(&opts, "ablation3", spec.name(), &stats, None);
+        if !opts.json {
+            t.row(vec![
+                label.to_string(),
+                secs(stats.avg_tick_seconds()),
+                secs(stats.avg_build_seconds()),
+                secs(stats.avg_query_seconds()),
+            ]);
+        }
+    }
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
 
-    println!("# Ablation 4: index nested loop vs plane-sweep batch join");
-    let cfg = DriverConfig { ticks: params.ticks, warmup: 1 };
-    let mut t = Table::new(vec!["frac_queriers", "tuned_grid_s", "rtree_s", "plane_sweep_s"]);
+    if !opts.json {
+        println!("# Ablation 4: index nested loop vs plane-sweep batch join");
+    }
+    let mut t = Table::new(vec![
+        "frac_queriers",
+        "tuned_grid_s",
+        "rtree_s",
+        "plane_sweep_s",
+    ]);
     for frac in [0.1f32, 0.5, 0.9] {
-        let p = sj_workload::WorkloadParams { frac_queriers: frac, ..params };
-        let grid = run_uniform(&p, Technique::Grid(sj_grid::Stage::CpsTuned));
-        let rtree = run_uniform(&p, Technique::RTree);
-        let mut workload = UniformWorkload::new(p);
-        let mut sweep = PlaneSweepJoin::new();
-        let sweep_stats = run_batch_join(&mut workload, &mut sweep, cfg);
-        t.row(vec![
-            format!("{frac}"),
-            secs(grid.avg_tick_seconds()),
-            secs(rtree.avg_tick_seconds()),
-            secs(sweep_stats.avg_tick_seconds()),
-        ]);
+        let p = sj_workload::WorkloadParams {
+            frac_queriers: frac,
+            ..params
+        };
+        let mut row = vec![format!("{frac}")];
+        for spec in [
+            TechniqueSpec::Grid(sj_grid::Stage::CpsTuned),
+            TechniqueSpec::RTreeStr,
+            TechniqueSpec::Sweep,
+        ] {
+            let stats = run_uniform_spec(&p, spec);
+            report(
+                &opts,
+                "ablation4",
+                spec.name(),
+                &stats,
+                Some(("frac_queriers", frac as f64)),
+            );
+            if !opts.json {
+                row.push(secs(stats.avg_tick_seconds()));
+            }
+        }
+        if !opts.json {
+            t.row(row);
+        }
     }
-    println!("{}", t.render(opts.csv));
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
 
-    println!("# Ablation 5: rebuild-per-tick vs incremental grid maintenance");
+    if !opts.json {
+        println!("# Ablation 5: rebuild-per-tick vs incremental grid maintenance");
+    }
     let mut t = Table::new(vec!["max_speed", "rebuild_build_s", "incremental_build_s"]);
     for speed in [50.0f32, 200.0, 800.0] {
-        let p = sj_workload::WorkloadParams { max_speed: speed, ..params };
-        let rebuild = run_uniform(&p, Technique::Grid(sj_grid::Stage::CpsTuned));
-        let mut workload = UniformWorkload::new(p);
-        let mut inc = IncrementalGrid::tuned(p.space_side);
-        let inc_stats = run_join(&mut workload, &mut inc as &mut dyn SpatialIndex, cfg);
-        t.row(vec![
-            format!("{speed}"),
-            secs(rebuild.avg_build_seconds()),
-            secs(inc_stats.avg_build_seconds()),
-        ]);
+        let p = sj_workload::WorkloadParams {
+            max_speed: speed,
+            ..params
+        };
+        let mut row = vec![format!("{speed}")];
+        for spec in [
+            TechniqueSpec::Grid(sj_grid::Stage::CpsTuned),
+            TechniqueSpec::GridIncremental,
+        ] {
+            let stats = run_uniform_spec(&p, spec);
+            report(
+                &opts,
+                "ablation5",
+                spec.name(),
+                &stats,
+                Some(("max_speed", speed as f64)),
+            );
+            if !opts.json {
+                row.push(secs(stats.avg_build_seconds()));
+            }
+        }
+        if !opts.json {
+            t.row(row);
+        }
     }
-    println!("{}", t.render(opts.csv));
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
 
-    println!("# Ablation 6: scalar vs vectorized Binary Search");
-    let mut t = Table::new(vec!["variant", "avg_tick_s", "build_s", "query_s"]);
-    {
-        let plain = run_uniform(&params, Technique::BinarySearch);
-        t.row(vec![
-            "pointer-based (secondary index)".to_string(),
-            secs(plain.avg_tick_seconds()),
-            secs(plain.avg_build_seconds()),
-            secs(plain.avg_query_seconds()),
-        ]);
-        let mut workload = UniformWorkload::new(params);
-        let mut vec_join = sj_binsearch::VecSearchJoin::new();
-        let stats = run_join(&mut workload, &mut vec_join as &mut dyn SpatialIndex, cfg);
-        t.row(vec![
-            "sorted SoA + SSE2 filter".to_string(),
-            secs(stats.avg_tick_seconds()),
-            secs(stats.avg_build_seconds()),
-            secs(stats.avg_query_seconds()),
-        ]);
+    if !opts.json {
+        println!("# Ablation 6: scalar vs vectorized Binary Search");
     }
-    println!("{}", t.render(opts.csv));
+    let mut t = Table::new(vec!["variant", "avg_tick_s", "build_s", "query_s"]);
+    for (label, spec) in [
+        (
+            "pointer-based (secondary index)",
+            TechniqueSpec::BinarySearch,
+        ),
+        ("sorted SoA + SSE2 filter", TechniqueSpec::VecSearch),
+    ] {
+        let stats = run_uniform_spec(&params, spec);
+        report(&opts, "ablation6", spec.name(), &stats, None);
+        if !opts.json {
+            t.row(vec![
+                label.to_string(),
+                secs(stats.avg_tick_seconds()),
+                secs(stats.avg_build_seconds()),
+                secs(stats.avg_query_seconds()),
+            ]);
+        }
+    }
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
 }

@@ -6,18 +6,33 @@
 //! (b) cells-per-side cps swept 4..32 at bs = 4: a clear optimum at a
 //!     coarse grid (cps ≈ 13).
 //!
-//! Run: `cargo run -p sj-bench --release --bin fig1 [--ticks N] [--csv]`
+//! The swept configurations are deliberately *not* registry entries — the
+//! registry carries the tuned constructors; sweeps assemble custom grids
+//! via [`sj_bench::grid_custom`].
+//!
+//! Run: `cargo run -p sj-bench --release --bin fig1 [--ticks N] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
+use sj_bench::report::stats_line;
 use sj_bench::table::{secs, Table};
-use sj_bench::{run_uniform, Technique};
+use sj_bench::{grid_custom, run_uniform};
 use sj_grid::{GridConfig, Layout, QueryAlgo};
 
 fn main() {
     let opts = CommonOpts::parse();
+    if let Some(spec) = opts.technique {
+        // fig1 sweeps fixed grid configurations; a single-technique override cannot be honored.
+        eprintln!(
+            "--technique {} is not supported by this binary",
+            spec.name()
+        );
+        std::process::exit(2);
+    }
     let params = opts.uniform_params();
 
-    println!("# Figure 1a: original Simple Grid, bs sweep (cps = 13)");
+    if !opts.json {
+        println!("# Figure 1a: original Simple Grid, bs sweep (cps = 13)");
+    }
     let mut t = Table::new(vec!["bs", "avg_time_per_tick_s"]);
     for bs in [4u32, 8, 12, 16, 20, 24, 28, 32] {
         let cfg = GridConfig {
@@ -26,12 +41,24 @@ fn main() {
             layout: Layout::Original,
             query_algo: QueryAlgo::FullScan,
         };
-        let stats = run_uniform(&params, Technique::GridCustom(cfg));
-        t.row(vec![bs.to_string(), secs(stats.avg_tick_seconds())]);
+        let mut tech = grid_custom(cfg, params.space_side);
+        let stats = run_uniform(&params, &mut tech);
+        if opts.json {
+            println!(
+                "{}",
+                stats_line("fig1a", tech.name(), Some(("bs", bs as f64)), &stats)
+            );
+        } else {
+            t.row(vec![bs.to_string(), secs(stats.avg_tick_seconds())]);
+        }
     }
-    println!("{}", t.render(opts.csv));
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
 
-    println!("# Figure 1b: original Simple Grid, cps sweep (bs = 4)");
+    if !opts.json {
+        println!("# Figure 1b: original Simple Grid, cps sweep (bs = 4)");
+    }
     let mut t = Table::new(vec!["cps", "avg_time_per_tick_s"]);
     for cps in [4u32, 8, 13, 16, 20, 24, 28, 32] {
         let cfg = GridConfig {
@@ -40,8 +67,18 @@ fn main() {
             layout: Layout::Original,
             query_algo: QueryAlgo::FullScan,
         };
-        let stats = run_uniform(&params, Technique::GridCustom(cfg));
-        t.row(vec![cps.to_string(), secs(stats.avg_tick_seconds())]);
+        let mut tech = grid_custom(cfg, params.space_side);
+        let stats = run_uniform(&params, &mut tech);
+        if opts.json {
+            println!(
+                "{}",
+                stats_line("fig1b", tech.name(), Some(("cps", cps as f64)), &stats)
+            );
+        } else {
+            t.row(vec![cps.to_string(), secs(stats.avg_tick_seconds())]);
+        }
     }
-    println!("{}", t.render(opts.csv));
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
 }

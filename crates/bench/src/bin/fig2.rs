@@ -9,57 +9,120 @@
 //! Expected shape: Simple Grid (original) worst everywhere — behind even
 //! Binary Search; the three tree indexes clustered together at the top.
 //!
-//! Run: `cargo run -p sj-bench --release --bin fig2 [--ticks N] [--csv]`
+//! The technique line-up is the registry's Figure 2 selection
+//! (`TechniqueSpec::in_figure2`); `--technique` narrows to one entry.
+//!
+//! Run: `cargo run -p sj-bench --release --bin fig2 [--ticks N] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
+use sj_bench::report::stats_line;
 use sj_bench::table::{secs, Table};
-use sj_bench::{run_gaussian, run_uniform, Technique};
+use sj_bench::{run_gaussian_spec, run_uniform_spec};
+use sj_core::technique::TechniqueSpec;
 
-fn headers() -> Vec<String> {
+fn headers(specs: &[TechniqueSpec]) -> Vec<String> {
     let mut h = vec!["x".to_string()];
-    h.extend(Technique::FIGURE2.iter().map(|t| t.label()));
+    h.extend(specs.iter().map(|s| s.label().to_string()));
     h
 }
 
 fn main() {
     let opts = CommonOpts::parse();
+    let specs = opts.techniques(TechniqueSpec::in_figure2);
 
-    println!("# Figure 2a: scaling the query rate (uniform, 50K points)");
-    let mut t = Table::new(headers());
+    if !opts.json {
+        println!("# Figure 2a: scaling the query rate (uniform, 50K points)");
+    }
+    let mut t = Table::new(headers(&specs));
     for frac in [0.1f32, 0.3, 0.5, 0.7, 0.9] {
         let mut params = opts.uniform_params();
         params.frac_queriers = frac;
         let mut row = vec![format!("{frac}")];
-        for tech in Technique::FIGURE2 {
-            row.push(secs(run_uniform(&params, tech).avg_tick_seconds()));
+        for &spec in &specs {
+            let stats = run_uniform_spec(&params, spec);
+            if opts.json {
+                println!(
+                    "{}",
+                    stats_line(
+                        "fig2a",
+                        spec.name(),
+                        Some(("frac_queriers", frac as f64)),
+                        &stats
+                    )
+                );
+            } else {
+                row.push(secs(stats.avg_tick_seconds()));
+            }
         }
-        t.row(row);
+        if !opts.json {
+            t.row(row);
+        }
     }
-    println!("{}", t.render(opts.csv));
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
 
-    println!("# Figure 2b: scaling the number of hotspots (Gaussian, 50K points)");
-    let mut t = Table::new(headers());
+    if !opts.json {
+        println!("# Figure 2b: scaling the number of hotspots (Gaussian, 50K points)");
+    }
+    let mut t = Table::new(headers(&specs));
     for hotspots in [1u32, 10, 100, 1000] {
         let mut params = opts.gaussian_params();
         params.hotspots = hotspots;
         let mut row = vec![hotspots.to_string()];
-        for tech in Technique::FIGURE2 {
-            row.push(secs(run_gaussian(&params, tech).avg_tick_seconds()));
+        for &spec in &specs {
+            let stats = run_gaussian_spec(&params, spec);
+            if opts.json {
+                println!(
+                    "{}",
+                    stats_line(
+                        "fig2b",
+                        spec.name(),
+                        Some(("hotspots", hotspots as f64)),
+                        &stats
+                    )
+                );
+            } else {
+                row.push(secs(stats.avg_tick_seconds()));
+            }
         }
-        t.row(row);
+        if !opts.json {
+            t.row(row);
+        }
     }
-    println!("{}", t.render(opts.csv));
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
 
-    println!("# Figure 2c: scaling the number of points (uniform)");
-    let mut t = Table::new(headers());
+    if !opts.json {
+        println!("# Figure 2c: scaling the number of points (uniform)");
+    }
+    let mut t = Table::new(headers(&specs));
     for points in [10_000u32, 30_000, 50_000, 70_000, 90_000] {
         let mut params = opts.uniform_params();
         params.num_points = points;
         let mut row = vec![points.to_string()];
-        for tech in Technique::FIGURE2 {
-            row.push(secs(run_uniform(&params, tech).avg_tick_seconds()));
+        for &spec in &specs {
+            let stats = run_uniform_spec(&params, spec);
+            if opts.json {
+                println!(
+                    "{}",
+                    stats_line(
+                        "fig2c",
+                        spec.name(),
+                        Some(("points", points as f64)),
+                        &stats
+                    )
+                );
+            } else {
+                row.push(secs(stats.avg_tick_seconds()));
+            }
         }
-        t.row(row);
+        if !opts.json {
+            t.row(row);
+        }
     }
-    println!("{}", t.render(opts.csv));
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
 }

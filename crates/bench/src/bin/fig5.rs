@@ -4,18 +4,32 @@
 //!     inline, so bigger buckets mean better locality); optimum ≈ 20.
 //! (b) cps swept 4..128 at bs = 20: a much finer grid wins; optimum ≈ 64.
 //!
-//! Run: `cargo run -p sj-bench --release --bin fig5 [--ticks N] [--csv]`
+//! Like Figure 1, the swept configurations are assembled via
+//! [`sj_bench::grid_custom`] — the registry holds only the tuned winners.
+//!
+//! Run: `cargo run -p sj-bench --release --bin fig5 [--ticks N] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
+use sj_bench::report::stats_line;
 use sj_bench::table::{secs, Table};
-use sj_bench::{run_uniform, Technique};
+use sj_bench::{grid_custom, run_uniform};
 use sj_grid::{GridConfig, Layout, QueryAlgo};
 
 fn main() {
     let opts = CommonOpts::parse();
+    if let Some(spec) = opts.technique {
+        // fig5 sweeps fixed grid configurations; a single-technique override cannot be honored.
+        eprintln!(
+            "--technique {} is not supported by this binary",
+            spec.name()
+        );
+        std::process::exit(2);
+    }
     let params = opts.uniform_params();
 
-    println!("# Figure 5a: refactored Simple Grid, bs sweep (cps = 13)");
+    if !opts.json {
+        println!("# Figure 5a: refactored Simple Grid, bs sweep (cps = 13)");
+    }
     let mut t = Table::new(vec!["bs", "avg_time_per_tick_s"]);
     for bs in [4u32, 8, 12, 16, 20, 24, 28, 32] {
         let cfg = GridConfig {
@@ -24,12 +38,24 @@ fn main() {
             layout: Layout::Inline,
             query_algo: QueryAlgo::RangeScan,
         };
-        let stats = run_uniform(&params, Technique::GridCustom(cfg));
-        t.row(vec![bs.to_string(), secs(stats.avg_tick_seconds())]);
+        let mut tech = grid_custom(cfg, params.space_side);
+        let stats = run_uniform(&params, &mut tech);
+        if opts.json {
+            println!(
+                "{}",
+                stats_line("fig5a", tech.name(), Some(("bs", bs as f64)), &stats)
+            );
+        } else {
+            t.row(vec![bs.to_string(), secs(stats.avg_tick_seconds())]);
+        }
     }
-    println!("{}", t.render(opts.csv));
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
 
-    println!("# Figure 5b: refactored Simple Grid, cps sweep (bs = 20)");
+    if !opts.json {
+        println!("# Figure 5b: refactored Simple Grid, cps sweep (bs = 20)");
+    }
     let mut t = Table::new(vec!["cps", "avg_time_per_tick_s"]);
     for cps in [4u32, 8, 16, 32, 48, 64, 96, 128] {
         let cfg = GridConfig {
@@ -38,8 +64,18 @@ fn main() {
             layout: Layout::Inline,
             query_algo: QueryAlgo::RangeScan,
         };
-        let stats = run_uniform(&params, Technique::GridCustom(cfg));
-        t.row(vec![cps.to_string(), secs(stats.avg_tick_seconds())]);
+        let mut tech = grid_custom(cfg, params.space_side);
+        let stats = run_uniform(&params, &mut tech);
+        if opts.json {
+            println!(
+                "{}",
+                stats_line("fig5b", tech.name(), Some(("cps", cps as f64)), &stats)
+            );
+        } else {
+            t.row(vec![cps.to_string(), secs(stats.avg_tick_seconds())]);
+        }
     }
-    println!("{}", t.render(opts.csv));
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
 }

@@ -1,15 +1,15 @@
 //! Memory-footprint report — the paper's §3.1 arithmetic checked live:
-//! bytes per indexed point for every technique at the default workload,
-//! with the original grid's 32 B/point vs. the refactored 12 B/point
-//! called out.
+//! bytes per indexed point for every *index* technique in the registry at
+//! the default workload, with the original grid's 32 B/point vs. the
+//! refactored 12 B/point called out. Batch techniques (plane sweep) build
+//! no index and are skipped.
 //!
-//! Run: `cargo run -p sj-bench --release --bin memory [--points N] [--csv]`
+//! Run: `cargo run -p sj-bench --release --bin memory [--points N] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
+use sj_bench::report::JsonLine;
 use sj_bench::table::Table;
-use sj_bench::Technique;
 use sj_core::Workload;
-use sj_grid::Stage;
 use sj_workload::UniformWorkload;
 
 fn main() {
@@ -19,31 +19,51 @@ fn main() {
     let set = workload.init();
     let table = &set.positions;
 
-    let techniques = [
-        Technique::BinarySearch,
-        Technique::RTree,
-        Technique::CRTree,
-        Technique::LinearKdTrie,
-        Technique::Grid(Stage::Original),
-        Technique::Grid(Stage::Restructured),
-        Technique::Grid(Stage::CpsTuned),
-    ];
+    let specs = opts.techniques(|s| s.is_benchmarkable() && !s.is_batch());
 
-    println!("# Index memory at {} points (base table excluded)", table.len());
+    if !opts.json {
+        println!(
+            "# Index memory at {} points (base table excluded)",
+            table.len()
+        );
+    }
     let mut t = Table::new(vec!["technique", "total_KiB", "bytes_per_point"]);
-    for tech in techniques {
-        let mut index = tech.instantiate(params.space_side);
+    for spec in specs {
+        let mut tech = spec.build(params.space_side);
+        let Some(index) = tech.as_index_mut() else {
+            // Reachable via `--technique sweep`: batch techniques build no
+            // index, so there is no footprint to report.
+            eprintln!(
+                "(skipping {}: batch techniques build no index)",
+                spec.name()
+            );
+            continue;
+        };
         index.build(table);
         let bytes = index.memory_bytes();
-        t.row(vec![
-            tech.label(),
-            format!("{}", bytes / 1024),
-            format!("{:.1}", bytes as f64 / table.len() as f64),
-        ]);
+        if opts.json {
+            println!(
+                "{}",
+                JsonLine::new("memory")
+                    .str("technique", spec.name())
+                    .int("points", table.len() as u64)
+                    .int("index_bytes", bytes as u64)
+                    .num("bytes_per_point", bytes as f64 / table.len() as f64)
+                    .finish()
+            );
+        } else {
+            t.row(vec![
+                spec.label().to_string(),
+                format!("{}", bytes / 1024),
+                format!("{:.1}", bytes as f64 / table.len() as f64),
+            ]);
+        }
     }
-    println!("{}", t.render(opts.csv));
-    println!(
-        "(paper S3.1: original grid = 24 + 32/bs = 32 B/point at bs=4 plus directory;\n\
-         refactored  =  8 + 16/bs = 12 B/point at bs=4; both before re-tuning)"
-    );
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+        println!(
+            "(paper S3.1: original grid = 24 + 32/bs = 32 B/point at bs=4 plus directory;\n\
+             refactored  =  8 + 16/bs = 12 B/point at bs=4; both before re-tuning)"
+        );
+    }
 }

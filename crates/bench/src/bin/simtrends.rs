@@ -5,43 +5,40 @@
 //! synthetic stand-in (DESIGN.md §3).
 //!
 //! Expected: the same ordering as Figure 2 — original Simple Grid worst,
-//! Binary Search next, the trees clustered, tuned grid on top.
+//! Binary Search next, the trees clustered, tuned grid on top. Every
+//! benchmarkable registry technique runs (and must agree on the join).
 //!
-//! Run: `cargo run -p sj-bench --release --bin simtrends [--ticks N] [--csv]`
+//! Run: `cargo run -p sj-bench --release --bin simtrends [--ticks N] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
+use sj_bench::report::stats_line;
 use sj_bench::table::{secs, Table};
-use sj_bench::Technique;
-use sj_core::driver::{run_join, DriverConfig};
-use sj_grid::Stage;
+use sj_core::driver::DriverConfig;
+use sj_core::technique::TechniqueSpec;
 use sj_workload::RoadGridWorkload;
 
 fn main() {
     let opts = CommonOpts::parse();
     let params = opts.uniform_params();
+    let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
 
-    let techniques = [
-        Technique::BinarySearch,
-        Technique::RTree,
-        Technique::CRTree,
-        Technique::LinearKdTrie,
-        Technique::Grid(Stage::Original),
-        Technique::Grid(Stage::CpsTuned),
-    ];
-
-    println!(
-        "# Simulation-workload trends (road grid, {} points, {} ticks)",
-        params.num_points, params.ticks
-    );
+    if !opts.json {
+        println!(
+            "# Simulation-workload trends (road grid, {} points, {} ticks)",
+            params.num_points, params.ticks
+        );
+    }
     let mut t = Table::new(vec!["technique", "avg_tick_s", "build_s", "query_s"]);
     let mut reference: Option<(u64, u64)> = None;
-    for tech in techniques {
+    for spec in specs {
         let mut workload = RoadGridWorkload::with_defaults(params);
-        let mut index = tech.instantiate(params.space_side);
-        let stats = run_join(
+        let mut tech = spec.build(params.space_side);
+        let stats = tech.run(
             &mut workload,
-            index.as_mut(),
-            DriverConfig { ticks: params.ticks, warmup: 1 },
+            DriverConfig {
+                ticks: params.ticks,
+                warmup: 1,
+            },
         );
         match reference {
             None => reference = Some((stats.result_pairs, stats.checksum)),
@@ -49,16 +46,22 @@ fn main() {
                 (stats.result_pairs, stats.checksum),
                 expect,
                 "{} computed a different join",
-                tech.label()
+                spec.label()
             ),
         }
-        t.row(vec![
-            tech.label(),
-            secs(stats.avg_tick_seconds()),
-            secs(stats.avg_build_seconds()),
-            secs(stats.avg_query_seconds()),
-        ]);
+        if opts.json {
+            println!("{}", stats_line("simtrends", spec.name(), None, &stats));
+        } else {
+            t.row(vec![
+                spec.label().to_string(),
+                secs(stats.avg_tick_seconds()),
+                secs(stats.avg_build_seconds()),
+                secs(stats.avg_query_seconds()),
+            ]);
+        }
     }
-    println!("{}", t.render(opts.csv));
-    println!("(expected ordering, as in Figure 2: original grid worst, tuned grid best)");
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+        println!("(expected ordering, as in Figure 2: original grid worst, tuned grid best)");
+    }
 }

@@ -2,47 +2,50 @@
 //! per tick) at the default workload: 50 % queriers, 50 % updaters,
 //! 50 K points, uniform.
 //!
-//! Upper half: the four static indexes with the grid as originally
-//! implemented. Lower half: the grid after each cumulative improvement.
-//! Expected shape: grid build always cheapest; original grid query ≈ 5–6×
-//! the tree indexes; "+cps tuned" grid query at or below the trees.
+//! The paper's table covers the four static indexes plus the grid's
+//! cumulative improvement stages; since the line-up comes from the
+//! registry, the extensions (incremental variants, quadtree, vectorized
+//! binary search, plane sweep) appear as additional rows — the sweep's
+//! build column is 0 because the specialized join category builds no
+//! index. Expected shape unchanged: grid build always cheapest; original
+//! grid query ≈ 5–6× the tree indexes; "+cps tuned" grid query at or
+//! below the trees.
 //!
-//! Run: `cargo run -p sj-bench --release --bin table2 [--ticks N] [--csv]`
+//! Run: `cargo run -p sj-bench --release --bin table2 [--ticks N] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
+use sj_bench::report::stats_line;
+use sj_bench::run_uniform_spec;
 use sj_bench::table::{secs, Table};
-use sj_bench::{run_uniform, Technique};
-use sj_grid::Stage;
+use sj_core::technique::TechniqueSpec;
 
 fn main() {
     let opts = CommonOpts::parse();
     let params = opts.uniform_params();
+    let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
 
-    let rows: Vec<(String, Technique)> = vec![
-        ("R-Tree".into(), Technique::RTree),
-        ("CR-Tree".into(), Technique::CRTree),
-        ("Lin. KD-Trie".into(), Technique::LinearKdTrie),
-        ("Simple Grid".into(), Technique::Grid(Stage::Original)),
-        ("+restructured".into(), Technique::Grid(Stage::Restructured)),
-        ("+querying".into(), Technique::Grid(Stage::Querying)),
-        ("+bs tuned".into(), Technique::Grid(Stage::BsTuned)),
-        ("+cps tuned".into(), Technique::Grid(Stage::CpsTuned)),
-    ];
-
-    println!(
-        "# Table 2: breakdown, {}% queries and updates, {} points",
-        (params.frac_queriers * 100.0) as u32,
-        params.num_points
-    );
-    let mut t = Table::new(vec!["Method", "Build (s)", "Query (s)", "Update (s)"]);
-    for (label, tech) in rows {
-        let stats = run_uniform(&params, tech);
-        t.row(vec![
-            label,
-            secs(stats.avg_build_seconds()),
-            secs(stats.avg_query_seconds()),
-            secs(stats.avg_update_seconds()),
-        ]);
+    if !opts.json {
+        println!(
+            "# Table 2: breakdown, {}% queries and updates, {} points",
+            (params.frac_queriers * 100.0) as u32,
+            params.num_points
+        );
     }
-    println!("{}", t.render(opts.csv));
+    let mut t = Table::new(vec!["Method", "Build (s)", "Query (s)", "Update (s)"]);
+    for spec in specs {
+        let stats = run_uniform_spec(&params, spec);
+        if opts.json {
+            println!("{}", stats_line("table2", spec.name(), None, &stats));
+        } else {
+            t.row(vec![
+                spec.label().to_string(),
+                secs(stats.avg_build_seconds()),
+                secs(stats.avg_query_seconds()),
+                secs(stats.avg_update_seconds()),
+            ]);
+        }
+    }
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
 }

@@ -35,7 +35,6 @@ fn profile_stage(stage: Stage, opts: &CommonOpts) -> CacheStats {
     let mut grid = SimpleGrid::at_stage(stage, params.space_side);
     let mut sim = CacheSim::i7();
     let mut actions = TickActions::default();
-    let mut results = Vec::new();
     let mut sink = 0u64;
 
     for tick in 0..params.ticks {
@@ -43,23 +42,34 @@ fn profile_stage(stage: Stage, opts: &CommonOpts) -> CacheStats {
         workload.plan_tick(tick, &set, &mut actions);
         grid.build_traced(&set.positions, &mut sim);
         for &q in &actions.queriers {
-            let region = Rect::centered_square(set.positions.point(q), query_side)
-                .clipped_to(&space);
-            results.clear();
-            grid.query_traced(&set.positions, &region, &mut results, &mut sim);
-            sink = sink.wrapping_add(results.len() as u64);
+            let region =
+                Rect::centered_square(set.positions.point(q), query_side).clipped_to(&space);
+            // Sink-based query, like the driver: the traced access stream
+            // contains only index traversal, no result materialization.
+            grid.for_each_traced(&set.positions, &region, &mut |_| sink += 1, &mut sim);
         }
         for &(id, vx, vy) in &actions.velocity_updates {
             set.set_velocity(id, sj_core::geom::Vec2::new(vx, vy));
         }
         workload.advance(&mut set);
     }
-    assert!(sink > 0, "queries produced no results — profile would be vacuous");
+    assert!(
+        sink > 0,
+        "queries produced no results — profile would be vacuous"
+    );
     sim.stats()
 }
 
 fn main() {
     let opts = CommonOpts::parse();
+    if let Some(spec) = opts.technique {
+        // table3 profiles the grid before/after stages; a single-technique override cannot be honored.
+        eprintln!(
+            "--technique {} is not supported by this binary",
+            spec.name()
+        );
+        std::process::exit(2);
+    }
     let model = CpiModel::default();
 
     let before = profile_stage(Stage::Original, &opts);

@@ -1,8 +1,12 @@
 //! Minimal argument parsing shared by the figure/table binaries.
 //!
-//! Hand-rolled (≈60 lines) instead of pulling a CLI crate: the harness
-//! only needs a handful of `--key value` flags.
+//! Hand-rolled (≈100 lines) instead of pulling a CLI crate: the harness
+//! only needs a handful of `--key value` flags. Parsing proper is
+//! side-effect free ([`CommonOpts::parse_from`] returns a `Result`);
+//! only the [`CommonOpts::parse`] convenience entry point prints and
+//! exits, so malformed input is unit-testable.
 
+use sj_core::technique::{registry, ParseSpecError, TechniqueSpec};
 use sj_workload::{GaussianParams, WorkloadParams};
 
 /// Options common to every harness binary.
@@ -16,56 +20,134 @@ pub struct CommonOpts {
     pub seed: Option<u64>,
     /// Emit machine-readable CSV instead of aligned text.
     pub csv: bool,
+    /// Emit one JSON object per technique run (see [`crate::report`]).
+    pub json: bool,
     /// Use the paper's full tick counts.
     pub paper: bool,
+    /// Restrict the run to a single registry technique.
+    pub technique: Option<TechniqueSpec>,
 }
 
 /// Scaled-down default tick count for harness runs.
 pub const QUICK_TICKS: u32 = 8;
 
+/// A parse failure (or the `--help` request) from
+/// [`CommonOpts::parse_from`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help`/`-h`: not an error; the caller prints usage and exits 0.
+    Help,
+    /// A value-taking flag appeared last with no value.
+    MissingValue(String),
+    /// A numeric flag's value failed to parse.
+    InvalidValue { flag: String, value: String },
+    /// `--technique` named a spec outside the registry.
+    UnknownTechnique(ParseSpecError),
+    /// An unrecognized argument.
+    UnknownFlag(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Help => f.write_str("help requested"),
+            CliError::MissingValue(flag) => write!(f, "missing value for {flag}"),
+            CliError::InvalidValue { flag, value } => {
+                write!(f, "invalid value for {flag}: {value}")
+            }
+            CliError::UnknownTechnique(e) => write!(f, "{e}"),
+            CliError::UnknownFlag(arg) => write!(f, "unknown argument: {arg} (try --help)"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The `--help` text (also embeds the registry's spec strings).
+pub fn usage() -> String {
+    let specs: Vec<&str> = registry().iter().map(|s| s.name()).collect();
+    format!(
+        "options:\n  \
+         --ticks N         measured ticks per config (default {QUICK_TICKS}; --paper for Table 1 counts)\n  \
+         --points N        number of moving objects (default 50000)\n  \
+         --seed N          workload seed\n  \
+         --technique SPEC  run a single technique; SPEC one of:\n                    {}\n  \
+         --csv             machine-readable CSV output\n  \
+         --json            one JSON object per technique run\n  \
+         --paper           full paper-scale tick counts",
+        specs.join(", ")
+    )
+}
+
 impl CommonOpts {
     /// Parse from `std::env::args`. Prints usage and exits on `--help` or
-    /// malformed input.
+    /// malformed input — the thin process-boundary wrapper around the pure
+    /// [`CommonOpts::parse_from`].
     pub fn parse() -> CommonOpts {
-        Self::parse_from(std::env::args().skip(1))
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(CliError::Help) => {
+                eprintln!("{}", usage());
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
     }
 
-    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> CommonOpts {
+    /// Parse an argument list. Never prints, never exits.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<CommonOpts, CliError> {
         let mut opts = CommonOpts::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut take = |name: &str| -> String {
-                it.next().unwrap_or_else(|| {
-                    eprintln!("missing value for {name}");
-                    std::process::exit(2);
-                })
+            let mut take = |name: &str| -> Result<String, CliError> {
+                it.next()
+                    .ok_or_else(|| CliError::MissingValue(name.to_string()))
             };
             match arg.as_str() {
-                "--ticks" => opts.ticks = Some(parse_num(&take("--ticks"), "--ticks")),
-                "--points" => opts.points = Some(parse_num(&take("--points"), "--points")),
-                "--seed" => opts.seed = Some(parse_num(&take("--seed"), "--seed")),
+                "--ticks" => opts.ticks = Some(parse_num(&take("--ticks")?, "--ticks")?),
+                "--points" => opts.points = Some(parse_num(&take("--points")?, "--points")?),
+                "--seed" => opts.seed = Some(parse_num(&take("--seed")?, "--seed")?),
+                "--technique" => {
+                    let spec = take("--technique")?;
+                    opts.technique =
+                        Some(TechniqueSpec::parse(&spec).map_err(CliError::UnknownTechnique)?);
+                }
                 "--csv" => opts.csv = true,
+                "--json" => opts.json = true,
                 "--paper" => opts.paper = true,
-                "--help" | "-h" => {
-                    eprintln!(
-                        "options:\n  --ticks N   measured ticks per config (default {QUICK_TICKS}; --paper for Table 1 counts)\n  --points N  number of moving objects (default 50000)\n  --seed N    workload seed\n  --csv       machine-readable output\n  --paper     full paper-scale tick counts"
-                    );
-                    std::process::exit(0);
-                }
-                other => {
-                    eprintln!("unknown argument: {other} (try --help)");
-                    std::process::exit(2);
-                }
+                "--help" | "-h" => return Err(CliError::Help),
+                other => return Err(CliError::UnknownFlag(other.to_string())),
             }
         }
-        opts
+        Ok(opts)
+    }
+
+    /// The technique list a binary should run: the single `--technique`
+    /// override if given, otherwise the registry filtered by the binary's
+    /// default selection.
+    pub fn techniques<F: Fn(TechniqueSpec) -> bool>(
+        &self,
+        default_filter: F,
+    ) -> Vec<TechniqueSpec> {
+        match self.technique {
+            Some(spec) => vec![spec],
+            None => registry()
+                .into_iter()
+                .filter(|&s| default_filter(s))
+                .collect(),
+        }
     }
 
     /// Table 1 uniform defaults with this CLI's overrides applied.
     pub fn uniform_params(&self) -> WorkloadParams {
         let defaults = WorkloadParams::default();
         WorkloadParams {
-            ticks: self.ticks.unwrap_or(if self.paper { 100 } else { QUICK_TICKS }),
+            ticks: self
+                .ticks
+                .unwrap_or(if self.paper { 100 } else { QUICK_TICKS }),
             num_points: self.points.unwrap_or(defaults.num_points),
             seed: self.seed.unwrap_or(defaults.seed),
             ..defaults
@@ -76,7 +158,9 @@ impl CommonOpts {
     pub fn gaussian_params(&self) -> GaussianParams {
         GaussianParams {
             base: WorkloadParams {
-                ticks: self.ticks.unwrap_or(if self.paper { 120 } else { QUICK_TICKS }),
+                ticks: self
+                    .ticks
+                    .unwrap_or(if self.paper { 120 } else { QUICK_TICKS }),
                 ..self.uniform_params()
             },
             ..GaussianParams::default()
@@ -84,44 +168,96 @@ impl CommonOpts {
     }
 }
 
-fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
-    s.parse().unwrap_or_else(|_| {
-        eprintln!("invalid value for {flag}: {s}");
-        std::process::exit(2);
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
+    s.parse().map_err(|_| CliError::InvalidValue {
+        flag: flag.to_string(),
+        value: s.to_string(),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sj_grid::Stage;
 
-    fn parse(args: &[&str]) -> CommonOpts {
+    fn parse(args: &[&str]) -> Result<CommonOpts, CliError> {
         CommonOpts::parse_from(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn defaults_are_quick_scale() {
-        let opts = parse(&[]);
+        let opts = parse(&[]).unwrap();
         let p = opts.uniform_params();
         assert_eq!(p.ticks, QUICK_TICKS);
         assert_eq!(p.num_points, 50_000);
-        assert!(!opts.csv);
+        assert!(!opts.csv && !opts.json);
+        assert_eq!(opts.technique, None);
     }
 
     #[test]
     fn paper_restores_full_ticks() {
-        let opts = parse(&["--paper"]);
+        let opts = parse(&["--paper"]).unwrap();
         assert_eq!(opts.uniform_params().ticks, 100);
         assert_eq!(opts.gaussian_params().base.ticks, 120);
     }
 
     #[test]
     fn explicit_flags_win() {
-        let opts = parse(&["--ticks", "5", "--points", "1234", "--seed", "9", "--csv"]);
+        let opts = parse(&[
+            "--ticks", "5", "--points", "1234", "--seed", "9", "--csv", "--json",
+        ])
+        .unwrap();
         let p = opts.uniform_params();
         assert_eq!(p.ticks, 5);
         assert_eq!(p.num_points, 1_234);
         assert_eq!(p.seed, 9);
         assert!(opts.csv);
+        assert!(opts.json);
+    }
+
+    #[test]
+    fn technique_flag_parses_registry_specs() {
+        let opts = parse(&["--technique", "grid:inline"]).unwrap();
+        assert_eq!(opts.technique, Some(TechniqueSpec::Grid(Stage::CpsTuned)));
+        // The override wins over any default filter.
+        assert_eq!(
+            opts.techniques(|_| true),
+            vec![TechniqueSpec::Grid(Stage::CpsTuned)]
+        );
+        // Without an override, the filter selects from the registry.
+        let defaults = parse(&[]).unwrap().techniques(|s| s.in_figure2());
+        assert_eq!(defaults.len(), 5);
+    }
+
+    #[test]
+    fn malformed_inputs_are_reported_not_fatal() {
+        assert_eq!(
+            parse(&["--ticks"]).err(),
+            Some(CliError::MissingValue("--ticks".into()))
+        );
+        assert_eq!(
+            parse(&["--points", "many"]).err(),
+            Some(CliError::InvalidValue {
+                flag: "--points".into(),
+                value: "many".into()
+            })
+        );
+        assert_eq!(
+            parse(&["--frobnicate"]).err(),
+            Some(CliError::UnknownFlag("--frobnicate".into()))
+        );
+        assert_eq!(parse(&["--help"]).err(), Some(CliError::Help));
+        match parse(&["--technique", "btree"]) {
+            Err(CliError::UnknownTechnique(e)) => assert_eq!(e.spec, "btree"),
+            other => panic!("expected UnknownTechnique, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn usage_lists_every_registry_spec() {
+        let u = usage();
+        for spec in registry() {
+            assert!(u.contains(spec.name()), "usage missing {}", spec.name());
+        }
     }
 }

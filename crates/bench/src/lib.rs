@@ -1,102 +1,63 @@
 //! # sj-bench
 //!
 //! Shared harness for the figure/table binaries (`fig1`, `fig2`, `table2`,
-//! `fig4`, `fig5`, `table3`, `ablation`): a registry of the five join
-//! techniques, workload runners, a tiny CLI parser, and plain-text /
-//! CSV table printing.
+//! `fig4`, `fig5`, `table3`, `ablation`, `memory`, `simtrends`): workload
+//! runners over the unified [`sj_core::technique`] registry, a tiny CLI
+//! parser, plain-text / CSV table printing, and JSON-lines reporting.
+//!
+//! The technique line-up itself lives in [`sj_core::technique::registry`]
+//! — the binaries iterate (and filter) that single source of truth instead
+//! of maintaining their own lists. Parameter sweeps that need a
+//! non-registry configuration (e.g. Figure 1's bucket-size sweep) assemble
+//! a [`Technique`] by hand around the custom index.
 
-use sj_binsearch::BinarySearchJoin;
-use sj_core::driver::{run_join, DriverConfig, RunStats};
-use sj_core::index::SpatialIndex;
-use sj_crtree::CRTree;
-use sj_grid::{GridConfig, SimpleGrid, Stage};
-use sj_kdtrie::LinearKdTrie;
-use sj_rtree::RTree;
+use sj_core::driver::{DriverConfig, RunStats};
+use sj_core::technique::{Technique, TechniqueSpec};
+use sj_grid::{GridConfig, SimpleGrid};
 use sj_workload::{GaussianParams, GaussianWorkload, UniformWorkload, WorkloadParams};
 
 pub mod cli;
+pub mod report;
 pub mod table;
 
-/// One of the five static-index join techniques of Figure 2, plus
-/// arbitrary grid configurations for the tuning figures.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum Technique {
-    BinarySearch,
-    RTree,
-    CRTree,
-    LinearKdTrie,
-    /// Simple Grid at one of the paper's improvement stages.
-    Grid(Stage),
-    /// Simple Grid with an explicit configuration (parameter sweeps).
-    GridCustom(GridConfig),
-    /// Extra baseline beyond the paper: bucket PR-quadtree.
-    QuadTree,
-    /// Extension: Binary Search over sorted SoA columns with an SSE2
-    /// filter (DESIGN.md §7).
-    VecSearch,
-}
-
-impl Technique {
-    /// The five techniques of Figure 2, with the grid in its *original*
-    /// (worst-performing) implementation.
-    pub const FIGURE2: [Technique; 5] = [
-        Technique::BinarySearch,
-        Technique::RTree,
-        Technique::CRTree,
-        Technique::LinearKdTrie,
-        Technique::Grid(Stage::Original),
-    ];
-
-    /// Display label matching the paper's legends.
-    pub fn label(&self) -> String {
-        match self {
-            Technique::BinarySearch => "Binary Search".into(),
-            Technique::RTree => "R-Tree".into(),
-            Technique::CRTree => "CR-Tree".into(),
-            Technique::LinearKdTrie => "Linearized KD-Trie".into(),
-            Technique::Grid(stage) => match stage {
-                Stage::Original => "Simple Grid".into(),
-                s => s.label().into(),
-            },
-            Technique::GridCustom(c) => {
-                format!("Simple Grid bs={} cps={}", c.bucket_size, c.cells_per_side)
-            }
-            Technique::QuadTree => "Quadtree".into(),
-            Technique::VecSearch => "Binary Search (vectorized)".into(),
-        }
-    }
-
-    /// Instantiate the index for a given data-space side length.
-    pub fn instantiate(&self, space_side: f32) -> Box<dyn SpatialIndex> {
-        match self {
-            Technique::BinarySearch => Box::new(BinarySearchJoin::new()),
-            Technique::RTree => Box::new(RTree::default()),
-            Technique::CRTree => Box::new(CRTree::default()),
-            Technique::LinearKdTrie => Box::new(LinearKdTrie::new(space_side)),
-            Technique::Grid(stage) => Box::new(SimpleGrid::at_stage(*stage, space_side)),
-            Technique::GridCustom(cfg) => Box::new(SimpleGrid::new(*cfg, space_side)),
-            Technique::QuadTree => Box::new(sj_quadtree::QuadTree::with_default_bucket(space_side)),
-            Technique::VecSearch => Box::new(sj_binsearch::VecSearchJoin::new()),
-        }
-    }
-}
-
 /// Drive `technique` through the uniform workload.
-pub fn run_uniform(params: &WorkloadParams, technique: Technique) -> RunStats {
+pub fn run_uniform(params: &WorkloadParams, technique: &mut Technique) -> RunStats {
     params.validate().expect("invalid workload parameters");
     let mut workload = UniformWorkload::new(*params);
-    let mut index = technique.instantiate(params.space_side);
-    let cfg = DriverConfig { ticks: params.ticks, warmup: warmup_for(params.ticks) };
-    run_join(&mut workload, index.as_mut(), cfg)
+    let cfg = DriverConfig {
+        ticks: params.ticks,
+        warmup: warmup_for(params.ticks),
+    };
+    technique.run(&mut workload, cfg)
+}
+
+/// Instantiate `spec` fresh (so runs stay independent) and drive it
+/// through the uniform workload.
+pub fn run_uniform_spec(params: &WorkloadParams, spec: TechniqueSpec) -> RunStats {
+    run_uniform(params, &mut spec.build(params.space_side))
 }
 
 /// Drive `technique` through the Gaussian workload.
-pub fn run_gaussian(params: &GaussianParams, technique: Technique) -> RunStats {
+pub fn run_gaussian(params: &GaussianParams, technique: &mut Technique) -> RunStats {
     params.validate().expect("invalid workload parameters");
     let mut workload = GaussianWorkload::new(*params);
-    let mut index = technique.instantiate(params.base.space_side);
-    let cfg = DriverConfig { ticks: params.base.ticks, warmup: warmup_for(params.base.ticks) };
-    run_join(&mut workload, index.as_mut(), cfg)
+    let cfg = DriverConfig {
+        ticks: params.base.ticks,
+        warmup: warmup_for(params.base.ticks),
+    };
+    technique.run(&mut workload, cfg)
+}
+
+/// Instantiate `spec` fresh and drive it through the Gaussian workload.
+pub fn run_gaussian_spec(params: &GaussianParams, spec: TechniqueSpec) -> RunStats {
+    run_gaussian(params, &mut spec.build(params.base.space_side))
+}
+
+/// A [`Technique`] around a Simple Grid with an explicit configuration —
+/// the parameter-sweep figures step outside the registry's tuned
+/// constructors.
+pub fn grid_custom(cfg: GridConfig, space_side: f32) -> Technique {
+    Technique::Index(Box::new(SimpleGrid::new(cfg, space_side)))
 }
 
 fn warmup_for(ticks: u32) -> u32 {
@@ -106,6 +67,7 @@ fn warmup_for(ticks: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sj_core::technique::registry;
 
     fn quick_params() -> WorkloadParams {
         WorkloadParams {
@@ -117,19 +79,18 @@ mod tests {
     }
 
     #[test]
-    fn all_figure2_techniques_run_and_agree() {
+    fn figure2_registry_techniques_run_and_agree() {
         let params = quick_params();
-        let runs: Vec<RunStats> =
-            Technique::FIGURE2.iter().map(|t| run_uniform(&params, *t)).collect();
+        let specs: Vec<TechniqueSpec> = registry().into_iter().filter(|s| s.in_figure2()).collect();
+        assert_eq!(specs.len(), 5);
+        let runs: Vec<RunStats> = specs
+            .iter()
+            .map(|&s| run_uniform_spec(&params, s))
+            .collect();
         let first = &runs[0];
         assert!(first.result_pairs > 0);
-        for (r, t) in runs.iter().zip(Technique::FIGURE2.iter()) {
-            assert_eq!(
-                r.checksum,
-                first.checksum,
-                "{} join differs from Binary Search",
-                t.label()
-            );
+        for (r, s) in runs.iter().zip(&specs) {
+            assert_eq!(r.checksum, first.checksum, "{} differs", s.label());
             assert_eq!(r.result_pairs, first.result_pairs);
         }
     }
@@ -146,29 +107,35 @@ mod tests {
             hotspots: 3,
             sigma: 300.0,
         };
-        let baseline = run_gaussian(&params, Technique::RTree);
-        for stage in Stage::ALL {
-            let r = run_gaussian(&params, Technique::Grid(stage));
-            assert_eq!(r.checksum, baseline.checksum, "stage {stage:?}");
+        let baseline = run_gaussian_spec(&params, TechniqueSpec::RTreeStr);
+        for spec in registry().into_iter().filter(|s| s.grid_stage().is_some()) {
+            let r = run_gaussian_spec(&params, spec);
+            assert_eq!(r.checksum, baseline.checksum, "{}", spec.name());
         }
     }
 
     #[test]
-    fn labels_are_distinct() {
-        let labels: Vec<String> = Technique::FIGURE2.iter().map(|t| t.label()).collect();
-        let mut dedup = labels.clone();
-        dedup.dedup();
-        assert_eq!(labels.len(), dedup.len());
-    }
-
-    #[test]
-    fn extension_techniques_agree_with_the_paper_five() {
+    fn every_registry_technique_agrees_with_the_reference() {
         let params = quick_params();
-        let reference = run_uniform(&params, Technique::RTree);
-        for tech in [Technique::QuadTree, Technique::VecSearch] {
-            let r = run_uniform(&params, tech);
-            assert_eq!(r.checksum, reference.checksum, "{}", tech.label());
-            assert_eq!(r.result_pairs, reference.result_pairs);
+        let reference = run_uniform_spec(&params, TechniqueSpec::Scan);
+        assert!(reference.result_pairs > 0);
+        for spec in registry() {
+            let r = run_uniform_spec(&params, spec);
+            assert_eq!(r.checksum, reference.checksum, "{}", spec.name());
+            assert_eq!(r.result_pairs, reference.result_pairs, "{}", spec.name());
         }
+    }
+
+    #[test]
+    fn custom_grid_configurations_agree_too() {
+        let params = quick_params();
+        let reference = run_uniform_spec(&params, TechniqueSpec::RTreeStr);
+        let cfg = GridConfig {
+            cells_per_side: 9,
+            bucket_size: 7,
+            ..GridConfig::tuned()
+        };
+        let r = run_uniform(&params, &mut grid_custom(cfg, params.space_side));
+        assert_eq!(r.checksum, reference.checksum);
     }
 }

@@ -1,0 +1,176 @@
+//! JSON-lines reporting for the harness binaries (`--json`).
+//!
+//! One flat JSON object per technique run, so future sessions can append
+//! per-PR results to `BENCH_*.json` files and track the performance
+//! trajectory without parsing aligned text. Hand-rolled (the container has
+//! no serde): strings are escaped, numbers use Rust's shortest round-trip
+//! formatting, and the checksum is emitted as a hex *string* because JSON
+//! numbers cannot carry 64 bits losslessly.
+
+use sj_core::driver::RunStats;
+
+/// Builder for one JSON line. Keys are written in insertion order.
+#[derive(Debug)]
+pub struct JsonLine {
+    buf: String,
+}
+
+impl JsonLine {
+    /// Start a record for the given harness binary ("fig2", "table2", …).
+    pub fn new(bench: &str) -> JsonLine {
+        let mut line = JsonLine {
+            buf: String::from("{"),
+        };
+        line.push_key("bench");
+        line.push_string(bench);
+        line
+    }
+
+    fn push_key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.push_string(key);
+        self.buf.push(':');
+    }
+
+    fn push_string(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    /// Append a string field.
+    pub fn str(mut self, key: &str, value: &str) -> JsonLine {
+        self.push_key(key);
+        self.push_string(value);
+        self
+    }
+
+    /// Append a float field (finite values only; the harness reports
+    /// wall-clock seconds and counts, which always are).
+    pub fn num(mut self, key: &str, value: f64) -> JsonLine {
+        debug_assert!(value.is_finite(), "non-finite JSON number for {key}");
+        self.push_key(key);
+        self.buf.push_str(&format!("{value}"));
+        self
+    }
+
+    /// Append an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> JsonLine {
+        self.push_key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Append the standard [`RunStats`] fields: per-phase averages, pair
+    /// and query counts, the join checksum (hex string), and the index
+    /// footprint.
+    pub fn stats(self, stats: &RunStats) -> JsonLine {
+        self.num("avg_tick_s", stats.avg_tick_seconds())
+            .num("build_s", stats.avg_build_seconds())
+            .num("query_s", stats.avg_query_seconds())
+            .num("update_s", stats.avg_update_seconds())
+            .int("pairs", stats.result_pairs)
+            .int("queries", stats.queries)
+            .int("updates", stats.updates)
+            .str("checksum", &format!("{:#x}", stats.checksum))
+            .int("index_bytes", stats.index_bytes as u64)
+    }
+
+    /// Close the object and return the line.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// The standard per-run record every harness binary emits under `--json`:
+/// bench section, canonical technique name, an optional swept parameter,
+/// and the [`RunStats`] fields. Going through this single constructor
+/// keeps the JSON schema identical across binaries.
+pub fn stats_line(
+    bench: &str,
+    technique: &str,
+    sweep: Option<(&str, f64)>,
+    stats: &RunStats,
+) -> String {
+    let mut line = JsonLine::new(bench).str("technique", technique);
+    if let Some((key, value)) = sweep {
+        line = line.num(key, value);
+    }
+    line.stats(stats).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_core::driver::TickTimes;
+    use std::time::Duration;
+
+    #[test]
+    fn fields_appear_in_order_with_escaping() {
+        let line = JsonLine::new("fig2")
+            .str("technique", "Simple Grid \"quoted\"\n")
+            .num("x", 0.5)
+            .int("n", 3)
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"bench":"fig2","technique":"Simple Grid \"quoted\"\n","x":0.5,"n":3}"#
+        );
+    }
+
+    #[test]
+    fn stats_fields_round_trip_the_checksum_as_hex() {
+        let stats = RunStats {
+            ticks: vec![TickTimes {
+                build: Duration::from_millis(10),
+                query: Duration::from_millis(20),
+                update: Duration::from_millis(30),
+            }],
+            result_pairs: 42,
+            checksum: u64::MAX,
+            queries: 7,
+            updates: 3,
+            index_bytes: 1024,
+        };
+        let line = JsonLine::new("t").stats(&stats).finish();
+        assert!(line.contains(r#""pairs":42"#), "{line}");
+        assert!(
+            line.contains(r#""checksum":"0xffffffffffffffff""#),
+            "{line}"
+        );
+        assert!(line.contains(r#""build_s":0.01"#), "{line}");
+        assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+
+    #[test]
+    fn stats_line_carries_the_optional_sweep_field() {
+        let stats = RunStats::default();
+        let with = stats_line("fig2a", "binsearch", Some(("frac_queriers", 0.5)), &stats);
+        assert!(
+            with.starts_with(r#"{"bench":"fig2a","technique":"binsearch","frac_queriers":0.5,"#)
+        );
+        let without = stats_line("table2", "crtree", None, &stats);
+        assert!(without.starts_with(r#"{"bench":"table2","technique":"crtree","avg_tick_s":"#));
+    }
+
+    #[test]
+    fn control_characters_are_u_escaped() {
+        let line = JsonLine::new("b").str("k", "a\u{1}b").finish();
+        assert!(line.contains("a\\u0001b"), "{line}");
+    }
+}

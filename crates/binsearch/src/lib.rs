@@ -13,17 +13,17 @@
 //! one implementation step further (in the paper's spirit): the build
 //! copies the coordinates into x-sorted SoA columns so the in-range
 //! candidates are *contiguous*, and the y-filter runs through the SSE2
-//! kernel in [`sj_core::simd`]. Same algorithm, different implementation —
+//! kernel in [`sj_base::simd`]. Same algorithm, different implementation —
 //! the `ablation` bench measures what that is worth.
 
-use sj_core::geom::Rect;
-use sj_core::index::SpatialIndex;
-use sj_core::table::{EntryId, PointTable};
+use sj_base::geom::Rect;
+use sj_base::index::SpatialIndex;
+use sj_base::table::{EntryId, PointTable};
 
 /// See crate docs.
 ///
 /// ```
-/// use sj_core::{PointTable, Rect, SpatialIndex};
+/// use sj_base::{PointTable, Rect, SpatialIndex};
 /// use sj_binsearch::BinarySearchJoin;
 ///
 /// let mut table = PointTable::default();
@@ -77,10 +77,11 @@ impl SpatialIndex for BinarySearchJoin {
         let xs = table.xs();
         // total_cmp: coordinates are finite (workload invariant), but a
         // total order keeps the sort panic-free on any input.
-        self.sorted.sort_unstable_by(|&a, &b| xs[a as usize].total_cmp(&xs[b as usize]));
+        self.sorted
+            .sort_unstable_by(|&a, &b| xs[a as usize].total_cmp(&xs[b as usize]));
     }
 
-    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+    fn for_each_in(&self, table: &PointTable, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
         let start = self.lower_bound(table, region.x1);
         for &e in &self.sorted[start..] {
             let x = table.x(e);
@@ -89,7 +90,7 @@ impl SpatialIndex for BinarySearchJoin {
             }
             let y = table.y(e);
             if y >= region.y1 && y <= region.y2 {
-                out.push(e);
+                emit(e);
             }
         }
     }
@@ -127,7 +128,8 @@ impl SpatialIndex for VecSearchJoin {
         self.scratch.clear();
         self.scratch.extend(0..table.len() as EntryId);
         let txs = table.xs();
-        self.scratch.sort_unstable_by(|&a, &b| txs[a as usize].total_cmp(&txs[b as usize]));
+        self.scratch
+            .sort_unstable_by(|&a, &b| txs[a as usize].total_cmp(&txs[b as usize]));
         self.xs.clear();
         self.ys.clear();
         self.ids.clear();
@@ -141,17 +143,17 @@ impl SpatialIndex for VecSearchJoin {
         }
     }
 
-    fn query(&self, _table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+    fn for_each_in(&self, _table: &PointTable, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
         // Both range ends by binary search — the candidates in between are
         // contiguous in the sorted columns, ready for the SIMD filter.
         let start = self.xs.partition_point(|&x| x < region.x1);
         let end = start + self.xs[start..].partition_point(|&x| x <= region.x2);
-        sj_core::simd::filter_range_gather(
+        sj_base::simd::filter_range_gather_each(
             &self.xs[start..end],
             &self.ys[start..end],
             &self.ids[start..end],
             region,
-            out,
+            emit,
         );
     }
 
@@ -163,8 +165,8 @@ impl SpatialIndex for VecSearchJoin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::index::ScanIndex;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::index::ScanIndex;
+    use sj_base::rng::Xoshiro256;
 
     fn random_table(n: usize, seed: u64, side: f32) -> PointTable {
         let mut rng = Xoshiro256::seeded(seed);
@@ -193,7 +195,7 @@ mod tests {
         for _ in 0..100 {
             let cx = rng.range_f32(0.0, 1_000.0);
             let cy = rng.range_f32(0.0, 1_000.0);
-            let r = Rect::centered_square(sj_core::geom::Point::new(cx, cy), 80.0);
+            let r = Rect::centered_square(sj_base::geom::Point::new(cx, cy), 80.0);
             assert_eq!(sorted_query(&idx, &t, &r), sorted_query(&scan, &t, &r));
         }
     }
@@ -238,11 +240,17 @@ mod tests {
         t.push(1.0, 1.0);
         let mut idx = BinarySearchJoin::new();
         idx.build(&t);
-        assert_eq!(sorted_query(&idx, &t, &Rect::new(0.0, 0.0, 2.0, 2.0)), vec![0]);
+        assert_eq!(
+            sorted_query(&idx, &t, &Rect::new(0.0, 0.0, 2.0, 2.0)),
+            vec![0]
+        );
         t.set_position(0, 100.0, 100.0);
         idx.build(&t);
         assert!(sorted_query(&idx, &t, &Rect::new(0.0, 0.0, 2.0, 2.0)).is_empty());
-        assert_eq!(sorted_query(&idx, &t, &Rect::new(99.0, 99.0, 101.0, 101.0)), vec![0]);
+        assert_eq!(
+            sorted_query(&idx, &t, &Rect::new(99.0, 99.0, 101.0, 101.0)),
+            vec![0]
+        );
     }
 
     #[test]
@@ -264,8 +272,12 @@ mod tests {
         for _ in 0..100 {
             let cx = rng.range_f32(0.0, 1_000.0);
             let cy = rng.range_f32(0.0, 1_000.0);
-            let r = Rect::centered_square(sj_core::geom::Point::new(cx, cy), 120.0);
-            assert_eq!(sorted_query(&vector, &t, &r), sorted_query(&plain, &t, &r), "{r:?}");
+            let r = Rect::centered_square(sj_base::geom::Point::new(cx, cy), 120.0);
+            assert_eq!(
+                sorted_query(&vector, &t, &r),
+                sorted_query(&plain, &t, &r),
+                "{r:?}"
+            );
         }
     }
 
@@ -282,7 +294,11 @@ mod tests {
             Rect::new(1_000.0, 0.0, 1_000.0, 1_000.0),
             Rect::new(500.0, 500.0, 500.0, 500.0),
         ] {
-            assert_eq!(sorted_query(&vector, &t, &r), sorted_query(&scan, &t, &r), "{r:?}");
+            assert_eq!(
+                sorted_query(&vector, &t, &r),
+                sorted_query(&scan, &t, &r),
+                "{r:?}"
+            );
         }
     }
 

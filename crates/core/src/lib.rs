@@ -1,31 +1,66 @@
 //! # sj-core
 //!
-//! Core abstractions for main-memory iterated spatial joins, shared by all
-//! join techniques in this workspace (see the repository's DESIGN.md):
+//! The user-facing core of the spatial-joins workspace (see the
+//! repository's DESIGN.md): the full [`sj_base`] foundation re-exported
+//! under one roof, plus the [`technique`] registry that names, parses, and
+//! constructs every join technique in the workspace.
+//!
+//! Foundation modules (from `sj-base` — technique crates build against
+//! that crate directly so this one can depend on *them* without a cycle):
 //!
 //! - [`geom`] — points, velocity vectors, closed axis-aligned rectangles;
 //! - [`table`] — the structure-of-arrays base table that every *secondary*
 //!   index references through 4-byte [`table::EntryId`] handles;
-//! - [`index`] — the [`index::SpatialIndex`] trait plus the ground-truth
-//!   [`index::ScanIndex`];
+//! - [`index`] — the sink-based [`index::SpatialIndex`] trait plus the
+//!   ground-truth [`index::ScanIndex`];
+//! - [`batch`] — the set-at-a-time [`batch::BatchJoin`] trait;
 //! - [`driver`] — the tick loop (build → query → update) with per-phase
 //!   timing, reproducing the Sowell et al. framework the paper builds on;
 //! - [`rng`] — self-contained deterministic xoshiro256++;
 //! - [`trace`] — memory-access tracing hooks consumed by `sj-memsim`;
 //! - [`stats`] — numeric summaries for the benchmark harness.
+//!
+//! Capstone module:
+//!
+//! - [`technique`] — [`technique::Technique`] (an index *or* a batch join
+//!   behind one `run` entry point), [`technique::TechniqueSpec`] (parsed
+//!   from strings like `"grid:inline"` or `"sweep"`), and
+//!   [`technique::registry`], the single source of truth every benchmark
+//!   binary, example, and cross-technique test iterates.
+//!
+//! ## Querying: the sink API
+//!
+//! [`index::SpatialIndex::for_each_in`] is the required query method:
+//! implementations emit each matching [`table::EntryId`] straight from
+//! their scan loops. The `Vec`-collecting [`index::SpatialIndex::query`]
+//! is a provided adapter on top:
+//!
+//! ```
+//! use sj_core::{PointTable, Rect, ScanIndex, SpatialIndex};
+//!
+//! let mut t = PointTable::default();
+//! t.push(1.0, 1.0);
+//! t.push(9.0, 9.0);
+//! let idx = ScanIndex::new();
+//!
+//! let mut count = 0u32;
+//! idx.for_each_in(&t, &Rect::new(0.0, 0.0, 5.0, 5.0), &mut |_id| count += 1);
+//! assert_eq!(count, 1);
+//!
+//! let mut hits = Vec::new(); // the adapter, when a buffer is wanted
+//! idx.query(&t, &Rect::new(0.0, 0.0, 5.0, 5.0), &mut hits);
+//! assert_eq!(hits, vec![0]);
+//! ```
 
-pub mod batch;
-pub mod driver;
-pub mod geom;
-pub mod index;
-pub mod rng;
-pub mod simd;
-pub mod stats;
-pub mod table;
-pub mod trace;
+pub use sj_base::{batch, driver, geom, index, rng, simd, stats, table, trace};
+
+pub mod technique;
 
 pub use batch::{BatchJoin, NaiveBatchJoin};
-pub use driver::{run_batch_join, run_join, DriverConfig, RunStats, TickActions, TickTimes, Workload};
+pub use driver::{
+    run_batch_join, run_join, DriverConfig, RunStats, TickActions, TickTimes, Workload,
+};
 pub use geom::{Point, Rect, Vec2};
 pub use index::{ScanIndex, SpatialIndex};
 pub use table::{EntryId, MovingSet, PointTable};
+pub use technique::{registry, ParseSpecError, Technique, TechniqueSpec};

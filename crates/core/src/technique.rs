@@ -1,0 +1,456 @@
+//! The unified technique registry.
+//!
+//! The paper compares join techniques from two categories the original
+//! framework keeps behind different interfaces: *index nested loop*
+//! techniques ([`SpatialIndex`]: build per tick, probe per query) and
+//! *specialized* set-at-a-time joins ([`BatchJoin`]: the whole tick's
+//! query set in one call). [`Technique`] collapses that split behind one
+//! `run` entry point, and [`TechniqueSpec`] + [`registry`] make the full
+//! line-up a single source of truth: benchmark binaries, examples, and the
+//! cross-technique agreement tests all iterate the registry instead of
+//! maintaining their own lists.
+//!
+//! Spec strings are `family` or `family:variant` (e.g. `"grid:inline"`,
+//! `"rtree:str"`, `"sweep"`); [`TechniqueSpec::parse`] accepts them
+//! case-sensitively, and [`TechniqueSpec::name`] returns the canonical
+//! form, so specs round-trip.
+
+use std::fmt;
+
+use sj_base::batch::BatchJoin;
+use sj_base::driver::{run_batch_join, run_join, DriverConfig, RunStats, Workload};
+use sj_base::index::{ScanIndex, SpatialIndex};
+use sj_binsearch::{BinarySearchJoin, VecSearchJoin};
+use sj_crtree::CRTree;
+use sj_grid::{IncrementalGrid, SimpleGrid, Stage};
+use sj_kdtrie::LinearKdTrie;
+use sj_quadtree::QuadTree;
+use sj_rtree::{DynRTree, RTree};
+use sj_sweep::PlaneSweepJoin;
+
+/// A ready-to-run join technique from either of the paper's categories.
+///
+/// Obtained from [`TechniqueSpec::build`] (or assembled by hand around any
+/// custom [`SpatialIndex`]/[`BatchJoin`] implementation, e.g. a grid with
+/// swept parameters). [`Technique::run`] drives it through a workload with
+/// the category-appropriate driver; results are directly comparable
+/// because both drivers share one tick loop.
+pub enum Technique {
+    /// Index nested loop: rebuild per tick, one probe per query.
+    Index(Box<dyn SpatialIndex>),
+    /// Specialized set-at-a-time join: no index, whole query set at once.
+    Batch(Box<dyn BatchJoin>),
+}
+
+impl Technique {
+    /// The technique's display name (e.g. "R-Tree", "Plane Sweep").
+    pub fn name(&self) -> &str {
+        match self {
+            Technique::Index(i) => i.name(),
+            Technique::Batch(j) => j.name(),
+        }
+    }
+
+    /// Drive this technique through `workload` for `cfg.ticks` measured
+    /// ticks, dispatching to the category-appropriate driver.
+    pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W, cfg: DriverConfig) -> RunStats {
+        match self {
+            Technique::Index(i) => run_join(workload, i.as_mut(), cfg),
+            Technique::Batch(j) => run_batch_join(workload, j.as_mut(), cfg),
+        }
+    }
+
+    /// Parse `spec` and construct the technique for a data space of side
+    /// `space_side` in one step.
+    pub fn from_spec(spec: &str, space_side: f32) -> Result<Technique, ParseSpecError> {
+        Ok(TechniqueSpec::parse(spec)?.build(space_side))
+    }
+
+    /// The contained index, if this is an index technique.
+    pub fn as_index(&self) -> Option<&dyn SpatialIndex> {
+        match self {
+            Technique::Index(i) => Some(i.as_ref()),
+            Technique::Batch(_) => None,
+        }
+    }
+
+    /// Mutable access to the contained index, if any.
+    pub fn as_index_mut(&mut self) -> Option<&mut dyn SpatialIndex> {
+        match self {
+            Technique::Index(i) => Some(i.as_mut()),
+            Technique::Batch(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self {
+            Technique::Index(_) => "Index",
+            Technique::Batch(_) => "Batch",
+        };
+        write!(f, "Technique::{}({:?})", kind, self.name())
+    }
+}
+
+/// Error from [`TechniqueSpec::parse`]: the offending spec plus the full
+/// list of canonical spec strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSpecError {
+    pub spec: String,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown technique spec {:?} (expected one of: ",
+            self.spec
+        )?;
+        for (i, s) in registry().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", s.name())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+/// A parseable, nameable handle for every technique in the workspace,
+/// with its paper-tuned constructor. `Copy`, so lists of specs are cheap
+/// to filter and re-instantiate (a fresh technique per run keeps
+/// measurements independent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TechniqueSpec {
+    /// Ground-truth full scan (`scan`) — quadratic, for validation only.
+    Scan,
+    /// Binary Search baseline (`binsearch`), paper §2.2.
+    BinarySearch,
+    /// Binary Search over sorted SoA columns with the SSE2 filter
+    /// (`binsearch:simd`) — this repository's extension.
+    VecSearch,
+    /// Simple Grid at one of the paper's cumulative improvement stages
+    /// (`grid:original` … `grid:inline`).
+    Grid(Stage),
+    /// Incrementally maintained u-Grid (`grid:incremental`), reference [8].
+    GridIncremental,
+    /// STR-bulk-loaded static R-tree (`rtree:str`).
+    RTreeStr,
+    /// Incremental Guttman R-tree (`rtree:dyn`) — extension.
+    RTreeDyn,
+    /// Cache-conscious CR-tree (`crtree`).
+    CRTree,
+    /// Bucket PR-quadtree (`quadtree`) — extension.
+    QuadTree,
+    /// Linearized KD-trie (`kdtrie`).
+    KdTrie,
+    /// Index-free forward plane sweep (`sweep`) — the specialized join
+    /// category; builds a [`Technique::Batch`].
+    Sweep,
+}
+
+/// Every technique in the workspace, in presentation order: the ground
+/// truth, the paper's Figure 2 five (with the grid at each cumulative
+/// stage), then the extensions. This is the single source of truth the
+/// harness binaries and cross-technique tests iterate.
+pub fn registry() -> Vec<TechniqueSpec> {
+    let mut v = vec![
+        TechniqueSpec::Scan,
+        TechniqueSpec::BinarySearch,
+        TechniqueSpec::RTreeStr,
+        TechniqueSpec::CRTree,
+        TechniqueSpec::KdTrie,
+    ];
+    v.extend(Stage::ALL.iter().map(|&s| TechniqueSpec::Grid(s)));
+    v.extend([
+        TechniqueSpec::GridIncremental,
+        TechniqueSpec::RTreeDyn,
+        TechniqueSpec::QuadTree,
+        TechniqueSpec::VecSearch,
+        TechniqueSpec::Sweep,
+    ]);
+    v
+}
+
+impl TechniqueSpec {
+    /// Canonical spec string; [`TechniqueSpec::parse`] inverts it.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TechniqueSpec::Scan => "scan",
+            TechniqueSpec::BinarySearch => "binsearch",
+            TechniqueSpec::VecSearch => "binsearch:simd",
+            TechniqueSpec::Grid(Stage::Original) => "grid:original",
+            TechniqueSpec::Grid(Stage::Restructured) => "grid:restructured",
+            TechniqueSpec::Grid(Stage::Querying) => "grid:querying",
+            TechniqueSpec::Grid(Stage::BsTuned) => "grid:bs-tuned",
+            TechniqueSpec::Grid(Stage::CpsTuned) => "grid:inline",
+            TechniqueSpec::GridIncremental => "grid:incremental",
+            TechniqueSpec::RTreeStr => "rtree:str",
+            TechniqueSpec::RTreeDyn => "rtree:dyn",
+            TechniqueSpec::CRTree => "crtree",
+            TechniqueSpec::QuadTree => "quadtree",
+            TechniqueSpec::KdTrie => "kdtrie",
+            TechniqueSpec::Sweep => "sweep",
+        }
+    }
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            TechniqueSpec::Scan => "Full Scan",
+            TechniqueSpec::BinarySearch => "Binary Search",
+            TechniqueSpec::VecSearch => "Binary Search (vectorized)",
+            TechniqueSpec::Grid(Stage::Original) => "Simple Grid",
+            TechniqueSpec::Grid(stage) => stage.label(),
+            TechniqueSpec::GridIncremental => "Simple Grid (incremental)",
+            TechniqueSpec::RTreeStr => "R-Tree",
+            TechniqueSpec::RTreeDyn => "R-Tree (incremental)",
+            TechniqueSpec::CRTree => "CR-Tree",
+            TechniqueSpec::QuadTree => "Quadtree",
+            TechniqueSpec::KdTrie => "Linearized KD-Trie",
+            TechniqueSpec::Sweep => "Plane Sweep",
+        }
+    }
+
+    /// Parse a spec string (canonical names plus the aliases `grid` →
+    /// `grid:inline`, `rtree` → `rtree:str`, and `binsearch:vec` →
+    /// `binsearch:simd`).
+    pub fn parse(spec: &str) -> Result<TechniqueSpec, ParseSpecError> {
+        let s = match spec {
+            "scan" => TechniqueSpec::Scan,
+            "binsearch" => TechniqueSpec::BinarySearch,
+            "binsearch:simd" | "binsearch:vec" => TechniqueSpec::VecSearch,
+            "grid:original" => TechniqueSpec::Grid(Stage::Original),
+            "grid:restructured" => TechniqueSpec::Grid(Stage::Restructured),
+            "grid:querying" => TechniqueSpec::Grid(Stage::Querying),
+            "grid:bs-tuned" => TechniqueSpec::Grid(Stage::BsTuned),
+            "grid:inline" | "grid" => TechniqueSpec::Grid(Stage::CpsTuned),
+            "grid:incremental" => TechniqueSpec::GridIncremental,
+            "rtree:str" | "rtree" => TechniqueSpec::RTreeStr,
+            "rtree:dyn" => TechniqueSpec::RTreeDyn,
+            "crtree" => TechniqueSpec::CRTree,
+            "quadtree" => TechniqueSpec::QuadTree,
+            "kdtrie" => TechniqueSpec::KdTrie,
+            "sweep" => TechniqueSpec::Sweep,
+            _ => {
+                return Err(ParseSpecError {
+                    spec: spec.to_string(),
+                })
+            }
+        };
+        Ok(s)
+    }
+
+    /// Construct the technique with its paper-tuned parameters for a data
+    /// space of side `space_side`.
+    pub fn build(self, space_side: f32) -> Technique {
+        match self {
+            TechniqueSpec::Scan => Technique::Index(Box::new(ScanIndex::new())),
+            TechniqueSpec::BinarySearch => Technique::Index(Box::new(BinarySearchJoin::new())),
+            TechniqueSpec::VecSearch => Technique::Index(Box::new(VecSearchJoin::new())),
+            TechniqueSpec::Grid(stage) => {
+                Technique::Index(Box::new(SimpleGrid::at_stage(stage, space_side)))
+            }
+            TechniqueSpec::GridIncremental => {
+                Technique::Index(Box::new(IncrementalGrid::tuned(space_side)))
+            }
+            TechniqueSpec::RTreeStr => Technique::Index(Box::new(RTree::default())),
+            TechniqueSpec::RTreeDyn => Technique::Index(Box::new(DynRTree::default())),
+            TechniqueSpec::CRTree => Technique::Index(Box::new(CRTree::default())),
+            TechniqueSpec::QuadTree => {
+                Technique::Index(Box::new(QuadTree::with_default_bucket(space_side)))
+            }
+            TechniqueSpec::KdTrie => Technique::Index(Box::new(LinearKdTrie::new(space_side))),
+            TechniqueSpec::Sweep => Technique::Batch(Box::new(PlaneSweepJoin::new())),
+        }
+    }
+
+    /// Whether this spec builds a [`Technique::Batch`] (set-at-a-time)
+    /// technique rather than an index.
+    pub fn is_batch(self) -> bool {
+        matches!(self, TechniqueSpec::Sweep)
+    }
+
+    /// Whether this spec is the quadratic ground-truth reference —
+    /// essential for agreement tests, useless in timing runs.
+    pub fn is_reference(self) -> bool {
+        matches!(self, TechniqueSpec::Scan)
+    }
+
+    /// Whether this technique belongs in timing tables: everything except
+    /// the quadratic reference scan.
+    pub fn is_benchmarkable(self) -> bool {
+        !self.is_reference()
+    }
+
+    /// The five techniques of the paper's Figure 2 (the Simple Grid in its
+    /// *original*, worst-performing implementation).
+    pub fn in_figure2(self) -> bool {
+        matches!(
+            self,
+            TechniqueSpec::BinarySearch
+                | TechniqueSpec::RTreeStr
+                | TechniqueSpec::CRTree
+                | TechniqueSpec::KdTrie
+                | TechniqueSpec::Grid(Stage::Original)
+        )
+    }
+
+    /// The Simple Grid improvement stage, if this spec is one (the Figure 4
+    /// / Table 2 lower-half line-up).
+    pub fn grid_stage(self) -> Option<Stage> {
+        match self {
+            TechniqueSpec::Grid(stage) => Some(stage),
+            _ => None,
+        }
+    }
+}
+
+impl std::str::FromStr for TechniqueSpec {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TechniqueSpec::parse(s)
+    }
+}
+
+impl fmt::Display for TechniqueSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_category_once() {
+        let specs = registry();
+        assert_eq!(specs.len(), 15);
+        assert_eq!(specs.iter().filter(|s| s.is_batch()).count(), 1);
+        assert_eq!(specs.iter().filter(|s| s.is_reference()).count(), 1);
+        assert_eq!(specs.iter().filter(|s| s.in_figure2()).count(), 5);
+        assert_eq!(specs.iter().filter(|s| s.grid_stage().is_some()).count(), 5);
+    }
+
+    #[test]
+    fn every_spec_round_trips_through_parse() {
+        for spec in registry() {
+            assert_eq!(
+                TechniqueSpec::parse(spec.name()),
+                Ok(spec),
+                "{}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_and_labels_are_unique() {
+        let specs = registry();
+        for (i, a) in specs.iter().enumerate() {
+            for b in &specs[i + 1..] {
+                assert_ne!(a.name(), b.name());
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_to_tuned_variants() {
+        assert_eq!(
+            TechniqueSpec::parse("grid"),
+            Ok(TechniqueSpec::Grid(Stage::CpsTuned))
+        );
+        assert_eq!(TechniqueSpec::parse("rtree"), Ok(TechniqueSpec::RTreeStr));
+        assert_eq!(
+            TechniqueSpec::parse("binsearch:vec"),
+            Ok(TechniqueSpec::VecSearch)
+        );
+    }
+
+    #[test]
+    fn unknown_specs_are_rejected_with_the_full_menu() {
+        let err = TechniqueSpec::parse("btree").unwrap_err();
+        assert_eq!(err.spec, "btree");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("grid:inline") && msg.contains("sweep"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn build_produces_the_right_category() {
+        for spec in registry() {
+            let tech = spec.build(1_000.0);
+            match tech {
+                Technique::Index(_) => assert!(!spec.is_batch(), "{}", spec.name()),
+                Technique::Batch(_) => assert!(spec.is_batch(), "{}", spec.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn from_spec_parses_and_builds() {
+        let mut t = Technique::from_spec("grid:inline", 1_000.0).unwrap();
+        assert!(t.name().starts_with("Simple Grid"));
+        assert!(t.as_index().is_some());
+        assert!(t.as_index_mut().is_some());
+        assert!(Technique::from_spec("nope", 1_000.0).is_err());
+    }
+
+    #[test]
+    fn technique_runs_both_categories_through_one_entry_point() {
+        use sj_base::driver::{TickActions, Workload};
+        use sj_base::geom::{Point, Rect, Vec2};
+        use sj_base::table::MovingSet;
+
+        struct Toy;
+        impl Workload for Toy {
+            fn space(&self) -> Rect {
+                Rect::space(100.0)
+            }
+            fn query_side(&self) -> f32 {
+                30.0
+            }
+            fn init(&mut self) -> MovingSet {
+                let mut s = MovingSet::default();
+                for i in 0..20 {
+                    s.push(
+                        Point::new(i as f32 * 5.0, i as f32 * 5.0),
+                        Vec2::new(1.0, 0.0),
+                    );
+                }
+                s
+            }
+            fn plan_tick(&mut self, _t: u32, set: &MovingSet, a: &mut TickActions) {
+                a.queriers.extend(0..set.len() as u32);
+            }
+        }
+
+        let cfg = DriverConfig {
+            ticks: 2,
+            warmup: 0,
+        };
+        let mut reference = None;
+        for spec in registry() {
+            let mut tech = spec.build(100.0);
+            let stats = tech.run(&mut Toy, cfg);
+            assert!(stats.result_pairs > 0, "{}", spec.name());
+            match reference {
+                None => reference = Some((stats.result_pairs, stats.checksum)),
+                Some(expect) => assert_eq!(
+                    (stats.result_pairs, stats.checksum),
+                    expect,
+                    "{} computed a different join",
+                    spec.name()
+                ),
+            }
+        }
+    }
+}

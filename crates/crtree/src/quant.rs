@@ -36,7 +36,7 @@ pub type Qmbr = [u8; 4];
 
 /// Quantize `child` relative to the reference rectangle `refr`.
 #[inline]
-pub fn qmbr(child: &sj_core::geom::Rect, refr: &sj_core::geom::Rect) -> Qmbr {
+pub fn qmbr(child: &sj_base::geom::Rect, refr: &sj_base::geom::Rect) -> Qmbr {
     [
         quantize(child.x1, refr.x1, refr.x2),
         quantize(child.y1, refr.y1, refr.y2),
@@ -50,7 +50,7 @@ pub fn qmbr(child: &sj_core::geom::Rect, refr: &sj_core::geom::Rect) -> Qmbr {
 /// corners land in, which together with monotonicity guarantees no real
 /// overlap is missed.
 #[inline]
-pub fn qquery(query: &sj_core::geom::Rect, refr: &sj_core::geom::Rect) -> Qmbr {
+pub fn qquery(query: &sj_base::geom::Rect, refr: &sj_base::geom::Rect) -> Qmbr {
     qmbr(query, refr)
 }
 
@@ -62,12 +62,12 @@ pub fn q_intersects(a: &Qmbr, b: &Qmbr) -> bool {
 
 /// Decompress a quantized MBR back to (a superset of) coordinates, for
 /// tests of the conservativeness invariant.
-pub fn decompress(q: &Qmbr, refr: &sj_core::geom::Rect) -> sj_core::geom::Rect {
+pub fn decompress(q: &Qmbr, refr: &sj_base::geom::Rect) -> sj_base::geom::Rect {
     let wx = (refr.x2 as f64 - refr.x1 as f64).max(0.0);
     let wy = (refr.y2 as f64 - refr.y1 as f64).max(0.0);
     let step_x = wx / LEVELS as f64;
     let step_y = wy / LEVELS as f64;
-    sj_core::geom::Rect {
+    sj_base::geom::Rect {
         x1: (refr.x1 as f64 + q[0] as f64 * step_x) as f32,
         y1: (refr.y1 as f64 + q[1] as f64 * step_y) as f32,
         x2: (refr.x1 as f64 + (q[2] as f64 + 1.0) * step_x) as f32,
@@ -78,8 +78,8 @@ pub fn decompress(q: &Qmbr, refr: &sj_core::geom::Rect) -> sj_core::geom::Rect {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::geom::Rect;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::geom::Rect;
+    use sj_base::rng::Xoshiro256;
 
     #[test]
     fn cell_brackets_the_value() {
@@ -125,8 +125,10 @@ mod tests {
             let child = Rect::new(x1, y1, x2, y2);
             let d = decompress(&qmbr(&child, &refr), &refr);
             assert!(
-                d.x1 <= child.x1 + 1e-3 && d.x2 >= child.x2 - 1e-3
-                    && d.y1 <= child.y1 + 1e-3 && d.y2 >= child.y2 - 1e-3,
+                d.x1 <= child.x1 + 1e-3
+                    && d.x2 >= child.x2 - 1e-3
+                    && d.y1 <= child.y1 + 1e-3
+                    && d.y2 >= child.y2 - 1e-3,
                 "decompressed {d:?} does not contain {child:?}"
             );
         }
@@ -142,7 +144,12 @@ mod tests {
             let mk = |rng: &mut Xoshiro256| {
                 let x1 = rng.range_f32(0.0, 900.0);
                 let y1 = rng.range_f32(0.0, 900.0);
-                Rect::new(x1, y1, x1 + rng.range_f32(0.0, 100.0), y1 + rng.range_f32(0.0, 100.0))
+                Rect::new(
+                    x1,
+                    y1,
+                    x1 + rng.range_f32(0.0, 100.0),
+                    y1 + rng.range_f32(0.0, 100.0),
+                )
             };
             let a = mk(&mut rng);
             let b = mk(&mut rng);

@@ -7,9 +7,9 @@
 //! carry quantized point keys; candidates that pass the integer pre-test
 //! are confirmed against the base table, restoring exactness.
 
-use sj_core::geom::Rect;
-use sj_core::index::SpatialIndex;
-use sj_core::table::{EntryId, PointTable};
+use sj_base::geom::Rect;
+use sj_base::index::SpatialIndex;
+use sj_base::table::{EntryId, PointTable};
 use sj_rtree::str_order;
 
 use crate::quant::{q_intersects, qmbr, qquery, quantize, Qmbr};
@@ -30,7 +30,7 @@ struct Node {
 /// See module docs.
 ///
 /// ```
-/// use sj_core::{PointTable, Rect, SpatialIndex};
+/// use sj_base::{PointTable, Rect, SpatialIndex};
 /// use sj_crtree::CRTree;
 ///
 /// let mut table = PointTable::default();
@@ -98,14 +98,16 @@ impl CRTree {
         h
     }
 
-    fn report_subtree(&self, ni: u32, out: &mut Vec<EntryId>) {
+    fn report_subtree(&self, ni: u32, emit: &mut dyn FnMut(EntryId)) {
         let n = &self.nodes[ni as usize];
         if n.leaf {
             let s = n.start as usize;
-            out.extend_from_slice(&self.leaf_id[s..s + n.len as usize]);
+            for &id in &self.leaf_id[s..s + n.len as usize] {
+                emit(id);
+            }
         } else {
             for c in n.start..n.start + n.len {
-                self.report_subtree(c, out);
+                self.report_subtree(c, emit);
             }
         }
     }
@@ -132,7 +134,12 @@ impl SpatialIndex for CRTree {
         let ys = table.ys();
         self.scratch.clear();
         self.scratch.extend(0..n as u32);
-        str_order(&mut self.scratch, self.fanout, |i| xs[i as usize], |i| ys[i as usize]);
+        str_order(
+            &mut self.scratch,
+            self.fanout,
+            |i| xs[i as usize],
+            |i| ys[i as usize],
+        );
 
         // Leaf level: compute each leaf's reference MBR, then quantize its
         // points relative to it.
@@ -153,7 +160,12 @@ impl SpatialIndex for CRTree {
                 self.leaf_qy.push(quantize(ys[i as usize], mbr.y1, mbr.y2));
                 self.leaf_id.push(i);
             }
-            level.push(Node { mbr, start: start as u32, len: len as u32, leaf: true });
+            level.push(Node {
+                mbr,
+                start: start as u32,
+                len: len as u32,
+                leaf: true,
+            });
             start += len;
         }
 
@@ -185,7 +197,12 @@ impl SpatialIndex for CRTree {
                     self.nodes.push(child);
                     self.child_qmbrs.push(qmbr(&child.mbr, &mbr));
                 }
-                parents.push(Node { mbr, start, len: chunk.len() as u32, leaf: false });
+                parents.push(Node {
+                    mbr,
+                    start,
+                    len: chunk.len() as u32,
+                    leaf: false,
+                });
             }
             level = parents;
         }
@@ -197,7 +214,7 @@ impl SpatialIndex for CRTree {
         self.root = Some(self.nodes.len() as u32 - 1);
     }
 
-    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+    fn for_each_in(&self, table: &PointTable, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
         let Some(root) = self.root else { return };
         if !region.intersects(&self.nodes[root as usize].mbr) {
             return;
@@ -206,7 +223,7 @@ impl SpatialIndex for CRTree {
         while let Some(ni) = stack.pop() {
             let n = &self.nodes[ni as usize];
             if region.contains_rect(&n.mbr) {
-                self.report_subtree(ni, out);
+                self.report_subtree(ni, emit);
                 continue;
             }
             // Quantize the query once per node, relative to its reference
@@ -221,7 +238,7 @@ impl SpatialIndex for CRTree {
                     if qx >= q[0] && qx <= q[2] && qy >= q[1] && qy <= q[3] {
                         let id = self.leaf_id[i];
                         if region.contains_point(table.x(id), table.y(id)) {
-                            out.push(id);
+                            emit(id);
                         }
                     }
                 }
@@ -247,9 +264,9 @@ impl SpatialIndex for CRTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::geom::Point;
-    use sj_core::index::ScanIndex;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::geom::Point;
+    use sj_base::index::ScanIndex;
+    use sj_base::rng::Xoshiro256;
 
     const SIDE: f32 = 1_000.0;
 
@@ -299,7 +316,11 @@ mod tests {
             Rect::new(0.0, 999.5, SIDE, 1_000.0),
             Rect::new(500.0, 500.0, 500.0, 500.0),
         ] {
-            assert_eq!(sorted_query(&tree, &t, &r), sorted_query(&scan, &t, &r), "{r:?}");
+            assert_eq!(
+                sorted_query(&tree, &t, &r),
+                sorted_query(&scan, &t, &r),
+                "{r:?}"
+            );
         }
     }
 
@@ -310,7 +331,10 @@ mod tests {
         let mut t = PointTable::default();
         let mut rng = Xoshiro256::seeded(15);
         for _ in 0..500 {
-            t.push(500.0 + rng.range_f32(0.0, 0.001), 500.0 + rng.range_f32(0.0, 0.001));
+            t.push(
+                500.0 + rng.range_f32(0.0, 0.001),
+                500.0 + rng.range_f32(0.0, 0.001),
+            );
         }
         let mut tree = CRTree::default();
         tree.build(&t);
@@ -326,7 +350,7 @@ mod tests {
         let mut cr = CRTree::default();
         cr.build(&t);
         let mut r = sj_rtree::RTree::default();
-        use sj_core::index::SpatialIndex as _;
+        use sj_base::index::SpatialIndex as _;
         r.build(&t);
         assert!(
             cr.memory_bytes() < r.memory_bytes(),

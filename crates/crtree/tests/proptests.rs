@@ -2,9 +2,9 @@
 //! arbitrary geometry and end-to-end agreement with a naive filter.
 
 use proptest::prelude::*;
-use sj_core::geom::Rect;
-use sj_core::index::{ScanIndex, SpatialIndex};
-use sj_core::table::PointTable;
+use sj_base::geom::Rect;
+use sj_base::index::{ScanIndex, SpatialIndex};
+use sj_base::table::PointTable;
 use sj_crtree::{decompress, q_intersects, qmbr, qquery, quantize, CRTree};
 
 const SIDE: f32 = 500.0;
@@ -14,9 +14,8 @@ fn arb_points() -> impl Strategy<Value = Vec<(f32, f32)>> {
 }
 
 fn arb_rect_in(lo: f32, hi: f32) -> impl Strategy<Value = Rect> {
-    (lo..hi, lo..hi, lo..hi, lo..hi).prop_map(|(a, b, c, d)| {
-        Rect::new(a.min(c), b.min(d), a.max(c), b.max(d))
-    })
+    (lo..hi, lo..hi, lo..hi, lo..hi)
+        .prop_map(|(a, b, c, d)| Rect::new(a.min(c), b.min(d), a.max(c), b.max(d)))
 }
 
 proptest! {

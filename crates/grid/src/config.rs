@@ -33,7 +33,7 @@ pub enum QueryAlgo {
 }
 
 /// The paper's cumulative improvement stages (Table 2 lower half, Fig. 4).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// The original implementation: `Layout::Original`, full-directory
     /// scan, bs = 4, cps = 13 (the optimum found in Figure 1).
@@ -51,8 +51,13 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in the paper's order of application.
-    pub const ALL: [Stage; 5] =
-        [Stage::Original, Stage::Restructured, Stage::Querying, Stage::BsTuned, Stage::CpsTuned];
+    pub const ALL: [Stage; 5] = [
+        Stage::Original,
+        Stage::Restructured,
+        Stage::Querying,
+        Stage::BsTuned,
+        Stage::CpsTuned,
+    ];
 
     /// Display label as used in the paper's figures.
     pub fn label(self) -> &'static str {

@@ -8,10 +8,10 @@
 //! > The search algorithm must examine every cell that intersects the
 //! > query region." — paper §3, quoting the original study.
 
-use sj_core::geom::Rect;
-use sj_core::index::SpatialIndex;
-use sj_core::table::{EntryId, PointTable};
-use sj_core::trace::{NullTracer, Tracer};
+use sj_base::geom::Rect;
+use sj_base::index::SpatialIndex;
+use sj_base::table::{EntryId, PointTable};
+use sj_base::trace::{NullTracer, Tracer};
 
 use crate::config::{GridConfig, Layout, QueryAlgo, Stage};
 use crate::layout_inline::{InlineCoordsStore, InlineStore};
@@ -26,7 +26,7 @@ enum Store {
 /// See module docs.
 ///
 /// ```
-/// use sj_core::{PointTable, Rect, SpatialIndex};
+/// use sj_base::{PointTable, Rect, SpatialIndex};
 /// use sj_grid::SimpleGrid;
 ///
 /// let mut table = PointTable::default();
@@ -66,7 +66,12 @@ impl SimpleGrid {
             "Simple Grid [{:?}/{:?} bs={} cps={}]",
             cfg.layout, cfg.query_algo, cfg.bucket_size, cfg.cells_per_side
         );
-        SimpleGrid { cfg, cell_size: space_side / cfg.cells_per_side as f32, store, name }
+        SimpleGrid {
+            cfg,
+            cell_size: space_side / cfg.cells_per_side as f32,
+            store,
+            name,
+        }
     }
 
     /// Grid configured as one of the paper's improvement stages.
@@ -109,7 +114,12 @@ impl SimpleGrid {
     #[inline]
     fn cell_rect(&self, cx: u32, cy: u32) -> Rect {
         let cs = self.cell_size;
-        Rect::new(cx as f32 * cs, cy as f32 * cs, (cx + 1) as f32 * cs, (cy + 1) as f32 * cs)
+        Rect::new(
+            cx as f32 * cs,
+            cy as f32 * cs,
+            (cx + 1) as f32 * cs,
+            (cy + 1) as f32 * cs,
+        )
     }
 
     /// Rebuild the grid from the base table, reporting memory touches to
@@ -139,14 +149,15 @@ impl SimpleGrid {
         }
     }
 
-    /// Range query, reporting memory touches to `tr`. Dispatches to
-    /// Algorithm 1 (full directory scan) or Algorithm 2 (overlap range)
-    /// per the configuration.
-    pub fn query_traced<T: Tracer>(
+    /// Sink-based range query, reporting memory touches to `tr`.
+    /// Dispatches to Algorithm 1 (full directory scan) or Algorithm 2
+    /// (overlap range) per the configuration; matches are emitted straight
+    /// from the bucket scans.
+    pub fn for_each_traced<T: Tracer, F: FnMut(EntryId) + ?Sized>(
         &self,
         table: &PointTable,
         region: &Rect,
-        out: &mut Vec<EntryId>,
+        emit: &mut F,
         tr: &mut T,
     ) {
         match self.cfg.query_algo {
@@ -154,7 +165,7 @@ impl SimpleGrid {
                 // Algorithm 1: examine every grid cell.
                 for cy in 0..self.cps() {
                     for cx in 0..self.cps() {
-                        self.visit_cell(cx, cy, table, region, out, tr);
+                        self.visit_cell(cx, cy, table, region, emit, tr);
                     }
                 }
             }
@@ -167,23 +178,35 @@ impl SimpleGrid {
                 tr.instr(8);
                 for cy in cy1..=cy2 {
                     for cx in cx1..=cx2 {
-                        self.visit_cell(cx, cy, table, region, out, tr);
+                        self.visit_cell(cx, cy, table, region, emit, tr);
                     }
                 }
             }
         }
     }
 
+    /// [`Self::for_each_traced`] collecting into a `Vec` — the shape the
+    /// memory-profiling harnesses want a buffer for.
+    pub fn query_traced<T: Tracer>(
+        &self,
+        table: &PointTable,
+        region: &Rect,
+        out: &mut Vec<EntryId>,
+        tr: &mut T,
+    ) {
+        self.for_each_traced(table, region, &mut |e| out.push(e), tr);
+    }
+
     /// Lines 4–10 of Algorithm 1: fully contained cells are reported
     /// wholesale; merely intersecting cells are filtered point by point.
     #[inline]
-    fn visit_cell<T: Tracer>(
+    fn visit_cell<T: Tracer, F: FnMut(EntryId) + ?Sized>(
         &self,
         cx: u32,
         cy: u32,
         table: &PointTable,
         region: &Rect,
-        out: &mut Vec<EntryId>,
+        emit: &mut F,
         tr: &mut T,
     ) {
         let cell_rect = self.cell_rect(cx, cy);
@@ -191,15 +214,15 @@ impl SimpleGrid {
         tr.instr(6);
         if region.contains_rect(&cell_rect) {
             match &self.store {
-                Store::Original(s) => s.report_all(cell, out, tr),
-                Store::Inline(s) => s.report_all(cell, out, tr),
-                Store::InlineCoords(s) => s.report_all(cell, out, tr),
+                Store::Original(s) => s.report_all(cell, emit, tr),
+                Store::Inline(s) => s.report_all(cell, emit, tr),
+                Store::InlineCoords(s) => s.report_all(cell, emit, tr),
             }
         } else if region.intersects(&cell_rect) {
             match &self.store {
-                Store::Original(s) => s.filter(cell, table, region, out, tr),
-                Store::Inline(s) => s.filter(cell, table, region, out, tr),
-                Store::InlineCoords(s) => s.filter(cell, region, out, tr),
+                Store::Original(s) => s.filter(cell, table, region, emit, tr),
+                Store::Inline(s) => s.filter(cell, table, region, emit, tr),
+                Store::InlineCoords(s) => s.filter(cell, region, emit, tr),
             }
         }
     }
@@ -214,8 +237,8 @@ impl SpatialIndex for SimpleGrid {
         self.build_traced(table, &mut NullTracer);
     }
 
-    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
-        self.query_traced(table, region, out, &mut NullTracer);
+    fn for_each_in(&self, table: &PointTable, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
+        self.for_each_traced(table, region, emit, &mut NullTracer);
     }
 
     fn memory_bytes(&self) -> usize {
@@ -230,8 +253,8 @@ impl SpatialIndex for SimpleGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::index::ScanIndex;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::index::ScanIndex;
+    use sj_base::rng::Xoshiro256;
 
     const SIDE: f32 = 1_000.0;
 
@@ -252,7 +275,10 @@ mod tests {
     }
 
     fn all_stage_grids() -> Vec<SimpleGrid> {
-        Stage::ALL.iter().map(|&s| SimpleGrid::at_stage(s, SIDE)).collect()
+        Stage::ALL
+            .iter()
+            .map(|&s| SimpleGrid::at_stage(s, SIDE))
+            .collect()
     }
 
     #[test]
@@ -264,10 +290,8 @@ mod tests {
         for mut g in all_stage_grids() {
             g.build(&t);
             for _ in 0..50 {
-                let c = sj_core::geom::Point::new(
-                    rng.range_f32(0.0, SIDE),
-                    rng.range_f32(0.0, SIDE),
-                );
+                let c =
+                    sj_base::geom::Point::new(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
                 let r = Rect::centered_square(c, 120.0).clipped_to(&Rect::space(SIDE));
                 assert_eq!(
                     sorted_query(&g, &t, &r),
@@ -365,7 +389,10 @@ mod tests {
     fn full_scan_and_range_scan_agree_on_corner_queries() {
         let t = random_table(1_500, 21);
         let mut full = SimpleGrid::new(
-            GridConfig { query_algo: QueryAlgo::FullScan, ..GridConfig::tuned() },
+            GridConfig {
+                query_algo: QueryAlgo::FullScan,
+                ..GridConfig::tuned()
+            },
             SIDE,
         );
         let mut range = SimpleGrid::new(GridConfig::tuned(), SIDE);
@@ -377,13 +404,23 @@ mod tests {
             Rect::new(0.0, SIDE - 10.0, SIDE, SIDE),
             Rect::new(499.9, 0.0, 500.1, SIDE),
         ] {
-            assert_eq!(sorted_query(&full, &t, &r), sorted_query(&range, &t, &r), "{r:?}");
+            assert_eq!(
+                sorted_query(&full, &t, &r),
+                sorted_query(&range, &t, &r),
+                "{r:?}"
+            );
         }
     }
 
     #[test]
     fn name_reflects_stage() {
-        assert_eq!(SimpleGrid::at_stage(Stage::Original, SIDE).name(), "Simple Grid (Original)");
-        assert_eq!(SimpleGrid::at_stage(Stage::CpsTuned, SIDE).name(), "Simple Grid (+cps tuned)");
+        assert_eq!(
+            SimpleGrid::at_stage(Stage::Original, SIDE).name(),
+            "Simple Grid (Original)"
+        );
+        assert_eq!(
+            SimpleGrid::at_stage(Stage::CpsTuned, SIDE).name(),
+            "Simple Grid (+cps tuned)"
+        );
     }
 }

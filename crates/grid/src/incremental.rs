@@ -16,9 +16,9 @@
 //! object speeds: the faster objects move, the more cell crossings, the
 //! smaller the incremental advantage.
 
-use sj_core::geom::Rect;
-use sj_core::index::SpatialIndex;
-use sj_core::table::{EntryId, PointTable};
+use sj_base::geom::Rect;
+use sj_base::index::SpatialIndex;
+use sj_base::table::{EntryId, PointTable};
 
 use crate::layout_original::NULL;
 
@@ -29,7 +29,7 @@ const HEADER_SLOTS: usize = 2;
 /// See module docs.
 ///
 /// ```
-/// use sj_core::{PointTable, Rect, SpatialIndex};
+/// use sj_base::{PointTable, Rect, SpatialIndex};
 /// use sj_grid::IncrementalGrid;
 ///
 /// let mut table = PointTable::default();
@@ -71,14 +71,21 @@ impl IncrementalGrid {
     /// # Panics
     /// Panics if `space_side` is not positive.
     pub fn tuned(space_side: f32) -> Self {
-        Self::new(crate::GridConfig::TUNED_CPS, crate::GridConfig::TUNED_BS, space_side)
+        Self::new(
+            crate::GridConfig::TUNED_CPS,
+            crate::GridConfig::TUNED_BS,
+            space_side,
+        )
     }
 
     /// # Panics
     /// Panics on a degenerate geometry (`cps == 0`, `bs == 0`, or
     /// non-positive `space_side`).
     pub fn new(cells_per_side: u32, bucket_size: u32, space_side: f32) -> Self {
-        assert!(cells_per_side > 0 && bucket_size > 0, "degenerate grid geometry");
+        assert!(
+            cells_per_side > 0 && bucket_size > 0,
+            "degenerate grid geometry"
+        );
         assert!(space_side > 0.0, "space_side must be positive");
         IncrementalGrid {
             cells_per_side,
@@ -114,15 +121,15 @@ impl IncrementalGrid {
             let b = self.buckets.len() as u64;
             self.buckets.push(next);
             self.buckets.push(0);
-            self.buckets.resize(self.buckets.len() + self.bucket_size as usize, 0);
+            self.buckets
+                .resize(self.buckets.len() + self.bucket_size as usize, 0);
             b
         }
     }
 
     fn insert(&mut self, cell: usize, entry: EntryId) {
         let head = self.cells[cell];
-        let bucket = if head == NULL || self.buckets[head as usize + BKT_LEN] == self.bucket_size
-        {
+        let bucket = if head == NULL || self.buckets[head as usize + BKT_LEN] == self.bucket_size {
             let b = self.alloc_bucket(head);
             self.cells[cell] = b;
             b
@@ -252,7 +259,7 @@ impl SpatialIndex for IncrementalGrid {
         }
     }
 
-    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+    fn for_each_in(&self, table: &PointTable, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
         // Algorithm 2 over the inline layout, like the refactored grid.
         let cx1 = self.cell_coord(region.x1.max(0.0));
         let cx2 = self.cell_coord(region.x2.max(0.0));
@@ -275,7 +282,7 @@ impl SpatialIndex for IncrementalGrid {
                     for slot in 0..len {
                         let e = self.buckets[base + HEADER_SLOTS + slot] as EntryId;
                         if full || region.contains_point(table.x(e), table.y(e)) {
-                            out.push(e);
+                            emit(e);
                         }
                     }
                     b = self.buckets[base + BKT_NEXT];
@@ -297,8 +304,8 @@ impl SpatialIndex for IncrementalGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::index::ScanIndex;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::index::ScanIndex;
+    use sj_base::rng::Xoshiro256;
 
     const SIDE: f32 = 1_000.0;
 
@@ -349,10 +356,8 @@ mod tests {
             g.build(&t);
             g.validate().unwrap_or_else(|e| panic!("tick {tick}: {e}"));
             for _ in 0..5 {
-                let c = sj_core::geom::Point::new(
-                    rng.range_f32(0.0, SIDE),
-                    rng.range_f32(0.0, SIDE),
-                );
+                let c =
+                    sj_base::geom::Point::new(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
                 let r = Rect::centered_square(c, 120.0).clipped_to(&Rect::space(SIDE));
                 assert_eq!(
                     sorted_query(&g, &t, &r),
@@ -398,7 +403,11 @@ mod tests {
                 arena_after_warmup = g.buckets.len();
             }
         }
-        assert_eq!(g.buckets.len(), arena_after_warmup, "bucket arena kept growing");
+        assert_eq!(
+            g.buckets.len(),
+            arena_after_warmup,
+            "bucket arena kept growing"
+        );
         assert!(g.free_buckets() > 0, "free list never used");
     }
 
@@ -428,7 +437,7 @@ mod tests {
             }
             inc.build(&t);
             full.build(&t);
-            let c = sj_core::geom::Point::new(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+            let c = sj_base::geom::Point::new(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
             let r = Rect::centered_square(c, 200.0).clipped_to(&Rect::space(SIDE));
             assert_eq!(sorted_query(&inc, &t, &r), sorted_query(&full, &t, &r));
         }

@@ -14,9 +14,9 @@
 //! filtering. The paper deliberately skips this (it breaks the
 //! secondary-index assumption); we implement it as an ablation.
 
-use sj_core::geom::Rect;
-use sj_core::table::{EntryId, PointTable};
-use sj_core::trace::Tracer;
+use sj_base::geom::Rect;
+use sj_base::table::{EntryId, PointTable};
+use sj_base::trace::Tracer;
 
 use crate::addr;
 use crate::layout_original::NULL;
@@ -52,61 +52,58 @@ impl InlineStore {
         let h = self.buckets.len() as u64;
         self.buckets.push(next);
         self.buckets.push(0); // len
-        self.buckets.resize(self.buckets.len() + self.bucket_size as usize, 0);
+        self.buckets
+            .resize(self.buckets.len() + self.bucket_size as usize, 0);
         h
     }
 
     pub fn insert<T: Tracer>(&mut self, cell: usize, entry: EntryId, tr: &mut T) {
-        tr.read(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+        tr.read(
+            addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES,
+            addr::INLINE_CELL_BYTES as u32,
+        );
         let head = self.cells[cell];
         let bucket = if head == NULL || self.buckets[head as usize + BKT_LEN] == self.bucket_size {
             let b = self.alloc_bucket(head);
             self.cells[cell] = b;
-            tr.write(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+            tr.write(
+                addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES,
+                addr::INLINE_CELL_BYTES as u32,
+            );
             b
         } else {
             head
         };
         let bbase = bucket as usize;
-        tr.read(addr::BUCKET_BASE + bucket * 8, addr::INLINE_BUCKET_HEADER_BYTES as u32);
+        tr.read(
+            addr::BUCKET_BASE + bucket * 8,
+            addr::INLINE_BUCKET_HEADER_BYTES as u32,
+        );
         let len = self.buckets[bbase + BKT_LEN];
         self.buckets[bbase + HEADER_SLOTS + len as usize] = entry as u64;
         self.buckets[bbase + BKT_LEN] = len + 1;
-        tr.write(addr::BUCKET_BASE + (bucket + HEADER_SLOTS as u64 + len) * 8, addr::ENTRY_BYTES as u32);
+        tr.write(
+            addr::BUCKET_BASE + (bucket + HEADER_SLOTS as u64 + len) * 8,
+            addr::ENTRY_BYTES as u32,
+        );
         tr.write(addr::BUCKET_BASE + (bucket + BKT_LEN as u64) * 8, 8);
         tr.instr(8);
     }
 
     #[inline]
     fn cell_head<T: Tracer>(&self, cell: usize, tr: &mut T) -> u64 {
-        tr.read(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+        tr.read(
+            addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES,
+            addr::INLINE_CELL_BYTES as u32,
+        );
         tr.instr(2);
         self.cells[cell]
     }
 
-    pub fn report_all<T: Tracer>(&self, cell: usize, out: &mut Vec<EntryId>, tr: &mut T) {
-        let mut b = self.cell_head(cell, tr);
-        while b != NULL {
-            let bbase = b as usize;
-            let len = self.buckets[bbase + BKT_LEN] as usize;
-            tr.read(
-                addr::BUCKET_BASE + b * 8,
-                (addr::INLINE_BUCKET_HEADER_BYTES as usize + len * addr::ENTRY_BYTES as usize) as u32,
-            );
-            for slot in 0..len {
-                out.push(self.buckets[bbase + HEADER_SLOTS + slot] as EntryId);
-            }
-            tr.instr(2 * len as u64 + 3);
-            b = self.buckets[bbase + BKT_NEXT];
-        }
-    }
-
-    pub fn filter<T: Tracer>(
+    pub fn report_all<T: Tracer, F: FnMut(EntryId) + ?Sized>(
         &self,
         cell: usize,
-        table: &PointTable,
-        region: &Rect,
-        out: &mut Vec<EntryId>,
+        emit: &mut F,
         tr: &mut T,
     ) {
         let mut b = self.cell_head(cell, tr);
@@ -115,7 +112,33 @@ impl InlineStore {
             let len = self.buckets[bbase + BKT_LEN] as usize;
             tr.read(
                 addr::BUCKET_BASE + b * 8,
-                (addr::INLINE_BUCKET_HEADER_BYTES as usize + len * addr::ENTRY_BYTES as usize) as u32,
+                (addr::INLINE_BUCKET_HEADER_BYTES as usize + len * addr::ENTRY_BYTES as usize)
+                    as u32,
+            );
+            for slot in 0..len {
+                emit(self.buckets[bbase + HEADER_SLOTS + slot] as EntryId);
+            }
+            tr.instr(2 * len as u64 + 3);
+            b = self.buckets[bbase + BKT_NEXT];
+        }
+    }
+
+    pub fn filter<T: Tracer, F: FnMut(EntryId) + ?Sized>(
+        &self,
+        cell: usize,
+        table: &PointTable,
+        region: &Rect,
+        emit: &mut F,
+        tr: &mut T,
+    ) {
+        let mut b = self.cell_head(cell, tr);
+        while b != NULL {
+            let bbase = b as usize;
+            let len = self.buckets[bbase + BKT_LEN] as usize;
+            tr.read(
+                addr::BUCKET_BASE + b * 8,
+                (addr::INLINE_BUCKET_HEADER_BYTES as usize + len * addr::ENTRY_BYTES as usize)
+                    as u32,
             );
             for slot in 0..len {
                 let entry = self.buckets[bbase + HEADER_SLOTS + slot];
@@ -123,7 +146,7 @@ impl InlineStore {
                 tr.read(addr::table_y(entry), addr::COORD_BYTES as u32);
                 let e = entry as EntryId;
                 if region.contains_point(table.x(e), table.y(e)) {
-                    out.push(e);
+                    emit(e);
                 }
             }
             tr.instr(6 * len as u64 + 3);
@@ -136,7 +159,10 @@ impl InlineStore {
     }
 
     pub fn num_buckets(&self) -> usize {
-        self.buckets.len().checked_div(self.bucket_slots).unwrap_or(0)
+        self.buckets
+            .len()
+            .checked_div(self.bucket_slots)
+            .unwrap_or(0)
     }
 }
 
@@ -176,17 +202,24 @@ impl InlineCoordsStore {
         let h = self.buckets.len() as u64;
         self.buckets.push(next);
         self.buckets.push(0);
-        self.buckets.resize(self.buckets.len() + 2 * self.bucket_size as usize, 0);
+        self.buckets
+            .resize(self.buckets.len() + 2 * self.bucket_size as usize, 0);
         h
     }
 
     pub fn insert<T: Tracer>(&mut self, cell: usize, entry: EntryId, x: f32, y: f32, tr: &mut T) {
-        tr.read(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+        tr.read(
+            addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES,
+            addr::INLINE_CELL_BYTES as u32,
+        );
         let head = self.cells[cell];
         let bucket = if head == NULL || self.buckets[head as usize + BKT_LEN] == self.bucket_size {
             let b = self.alloc_bucket(head);
             self.cells[cell] = b;
-            tr.write(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+            tr.write(
+                addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES,
+                addr::INLINE_CELL_BYTES as u32,
+            );
             b
         } else {
             head
@@ -196,19 +229,30 @@ impl InlineCoordsStore {
         self.buckets[bbase + HEADER_SLOTS + 2 * len] = entry as u64;
         self.buckets[bbase + HEADER_SLOTS + 2 * len + 1] = pack_xy(x, y);
         self.buckets[bbase + BKT_LEN] = len as u64 + 1;
-        tr.write(addr::BUCKET_BASE + (bucket + (HEADER_SLOTS + 2 * len) as u64) * 8, 16);
+        tr.write(
+            addr::BUCKET_BASE + (bucket + (HEADER_SLOTS + 2 * len) as u64) * 8,
+            16,
+        );
         tr.instr(10);
     }
 
-    pub fn report_all<T: Tracer>(&self, cell: usize, out: &mut Vec<EntryId>, tr: &mut T) {
-        tr.read(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+    pub fn report_all<T: Tracer, F: FnMut(EntryId) + ?Sized>(
+        &self,
+        cell: usize,
+        emit: &mut F,
+        tr: &mut T,
+    ) {
+        tr.read(
+            addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES,
+            addr::INLINE_CELL_BYTES as u32,
+        );
         let mut b = self.cells[cell];
         while b != NULL {
             let bbase = b as usize;
             let len = self.buckets[bbase + BKT_LEN] as usize;
             tr.read(addr::BUCKET_BASE + b * 8, (16 + len * 16) as u32);
             for slot in 0..len {
-                out.push(self.buckets[bbase + HEADER_SLOTS + 2 * slot] as EntryId);
+                emit(self.buckets[bbase + HEADER_SLOTS + 2 * slot] as EntryId);
             }
             tr.instr(2 * len as u64 + 3);
             b = self.buckets[bbase + BKT_NEXT];
@@ -216,14 +260,17 @@ impl InlineCoordsStore {
     }
 
     /// Filter using the *inlined* coordinates — no base-table access.
-    pub fn filter<T: Tracer>(
+    pub fn filter<T: Tracer, F: FnMut(EntryId) + ?Sized>(
         &self,
         cell: usize,
         region: &Rect,
-        out: &mut Vec<EntryId>,
+        emit: &mut F,
         tr: &mut T,
     ) {
-        tr.read(addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES, addr::INLINE_CELL_BYTES as u32);
+        tr.read(
+            addr::DIR_BASE + cell as u64 * addr::INLINE_CELL_BYTES,
+            addr::INLINE_CELL_BYTES as u32,
+        );
         let mut b = self.cells[cell];
         while b != NULL {
             let bbase = b as usize;
@@ -232,7 +279,7 @@ impl InlineCoordsStore {
             for slot in 0..len {
                 let (x, y) = unpack_xy(self.buckets[bbase + HEADER_SLOTS + 2 * slot + 1]);
                 if region.contains_point(x, y) {
-                    out.push(self.buckets[bbase + HEADER_SLOTS + 2 * slot] as EntryId);
+                    emit(self.buckets[bbase + HEADER_SLOTS + 2 * slot] as EntryId);
                 }
             }
             tr.instr(5 * len as u64 + 3);
@@ -248,7 +295,7 @@ impl InlineCoordsStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::trace::{CountingTracer, NullTracer};
+    use sj_base::trace::{CountingTracer, NullTracer};
 
     fn table_of(points: &[(f32, f32)]) -> PointTable {
         let mut t = PointTable::default();
@@ -266,7 +313,7 @@ mod tests {
             s.insert(1, e, &mut NullTracer);
         }
         let mut out = Vec::new();
-        s.report_all(1, &mut out, &mut NullTracer);
+        s.report_all(1, &mut |e| out.push(e), &mut NullTracer);
         out.sort_unstable();
         assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(s.num_buckets(), 2);
@@ -281,7 +328,13 @@ mod tests {
             s.insert(0, e, &mut NullTracer);
         }
         let mut out = Vec::new();
-        s.filter(0, &t, &Rect::new(4.0, 4.0, 10.0, 10.0), &mut out, &mut NullTracer);
+        s.filter(
+            0,
+            &t,
+            &Rect::new(4.0, 4.0, 10.0, 10.0),
+            &mut |e| out.push(e),
+            &mut NullTracer,
+        );
         out.sort_unstable();
         assert_eq!(out, vec![1, 2]);
     }
@@ -309,7 +362,7 @@ mod tests {
         }
         let mut tr = CountingTracer::default();
         let mut out = Vec::new();
-        s.report_all(0, &mut out, &mut tr);
+        s.report_all(0, &mut |e| out.push(e), &mut tr);
         assert_eq!(tr.reads, 2);
         assert_eq!(out.len(), 4);
     }
@@ -323,7 +376,12 @@ mod tests {
         s.insert(0, 2, 9.0, 9.0, &mut NullTracer);
         let mut tr = CountingTracer::default();
         let mut out = Vec::new();
-        s.filter(0, &Rect::new(0.0, 0.0, 6.0, 6.0), &mut out, &mut tr);
+        s.filter(
+            0,
+            &Rect::new(0.0, 0.0, 6.0, 6.0),
+            &mut |e| out.push(e),
+            &mut tr,
+        );
         out.sort_unstable();
         assert_eq!(out, vec![0, 1]);
         // dir + one bucket read; zero base-table touches.
@@ -347,7 +405,7 @@ mod tests {
         }
         assert_eq!(s.num_buckets(), 4); // ceil(7/2)
         let mut out = Vec::new();
-        s.report_all(0, &mut out, &mut NullTracer);
+        s.report_all(0, &mut |e| out.push(e), &mut NullTracer);
         assert_eq!(out.len(), 7);
     }
 
@@ -358,7 +416,7 @@ mod tests {
         s.insert(0, 42, &mut NullTracer);
         s.reset(2, 4, 4);
         let mut out = Vec::new();
-        s.report_all(0, &mut out, &mut NullTracer);
+        s.report_all(0, &mut |e| out.push(e), &mut NullTracer);
         assert!(out.is_empty(), "stale entries after reset: {out:?}");
     }
 }

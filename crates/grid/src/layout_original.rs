@@ -12,9 +12,9 @@
 //! At the original's tuned bs = 4 this costs 24 + 32/4 = 32 bytes per point
 //! beyond the directory, exactly the paper's §3.1 arithmetic.
 
-use sj_core::geom::Rect;
-use sj_core::table::{EntryId, PointTable};
-use sj_core::trace::Tracer;
+use sj_base::geom::Rect;
+use sj_base::table::{EntryId, PointTable};
+use sj_base::trace::Tracer;
 
 use crate::addr;
 
@@ -78,7 +78,10 @@ impl OriginalStore {
     /// prepended to that bucket's doubly-linked node list.
     pub fn insert<T: Tracer>(&mut self, cell: usize, entry: EntryId, tr: &mut T) {
         let base = cell * CELL_SLOTS;
-        tr.read(addr::DIR_BASE + (cell as u64) * addr::ORIG_CELL_BYTES, addr::ORIG_CELL_BYTES as u32);
+        tr.read(
+            addr::DIR_BASE + (cell as u64) * addr::ORIG_CELL_BYTES,
+            addr::ORIG_CELL_BYTES as u32,
+        );
         let head = self.cells[base + CELL_HEAD];
 
         let bucket = if head == NULL
@@ -86,17 +89,26 @@ impl OriginalStore {
         {
             let b = self.alloc_bucket(head);
             self.cells[base + CELL_HEAD] = b;
-            tr.write(addr::DIR_BASE + (cell as u64) * addr::ORIG_CELL_BYTES + 8, 8);
+            tr.write(
+                addr::DIR_BASE + (cell as u64) * addr::ORIG_CELL_BYTES + 8,
+                8,
+            );
             b
         } else {
             head
         };
         let bbase = bucket as usize * BUCKET_SLOTS;
-        tr.read(addr::BUCKET_BASE + bucket * addr::ORIG_BUCKET_BYTES, addr::ORIG_BUCKET_BYTES as u32);
+        tr.read(
+            addr::BUCKET_BASE + bucket * addr::ORIG_BUCKET_BYTES,
+            addr::ORIG_BUCKET_BYTES as u32,
+        );
 
         let old_head = self.buckets[bbase + BKT_NODE_HEAD];
         let node = self.alloc_node(NULL, old_head, entry as u64);
-        tr.write(addr::NODE_BASE + node * addr::ORIG_NODE_BYTES, addr::ORIG_NODE_BYTES as u32);
+        tr.write(
+            addr::NODE_BASE + node * addr::ORIG_NODE_BYTES,
+            addr::ORIG_NODE_BYTES as u32,
+        );
         if old_head != NULL {
             self.nodes[old_head as usize * NODE_SLOTS + NODE_PREV] = node;
             tr.write(addr::NODE_BASE + old_head * addr::ORIG_NODE_BYTES, 8);
@@ -105,7 +117,10 @@ impl OriginalStore {
         }
         self.buckets[bbase + BKT_NODE_HEAD] = node;
         self.buckets[bbase + BKT_LEN] += 1;
-        tr.write(addr::BUCKET_BASE + bucket * addr::ORIG_BUCKET_BYTES, addr::ORIG_BUCKET_BYTES as u32);
+        tr.write(
+            addr::BUCKET_BASE + bucket * addr::ORIG_BUCKET_BYTES,
+            addr::ORIG_BUCKET_BYTES as u32,
+        );
 
         self.cells[base + CELL_COUNT] += 1;
         tr.write(addr::DIR_BASE + (cell as u64) * addr::ORIG_CELL_BYTES, 8);
@@ -120,23 +135,38 @@ impl OriginalStore {
     /// Bucket-chain head of `cell`, reporting the directory touch.
     #[inline]
     pub fn cell_head<T: Tracer>(&self, cell: usize, tr: &mut T) -> u64 {
-        tr.read(addr::DIR_BASE + (cell as u64) * addr::ORIG_CELL_BYTES, addr::ORIG_CELL_BYTES as u32);
+        tr.read(
+            addr::DIR_BASE + (cell as u64) * addr::ORIG_CELL_BYTES,
+            addr::ORIG_CELL_BYTES as u32,
+        );
         tr.instr(2);
         self.cells[cell * CELL_SLOTS + CELL_HEAD]
     }
 
-    /// Report every entry in `cell` (query fast path: cell fully contained
-    /// in the region). Walks bucket chain and per-bucket node lists.
-    pub fn report_all<T: Tracer>(&self, cell: usize, out: &mut Vec<EntryId>, tr: &mut T) {
+    /// Report every entry in `cell` to `emit` (query fast path: cell fully
+    /// contained in the region). Walks bucket chain and per-bucket node
+    /// lists.
+    pub fn report_all<T: Tracer, F: FnMut(EntryId) + ?Sized>(
+        &self,
+        cell: usize,
+        emit: &mut F,
+        tr: &mut T,
+    ) {
         let mut b = self.cell_head(cell, tr);
         while b != NULL {
             let bbase = b as usize * BUCKET_SLOTS;
-            tr.read(addr::BUCKET_BASE + b * addr::ORIG_BUCKET_BYTES, addr::ORIG_BUCKET_BYTES as u32);
+            tr.read(
+                addr::BUCKET_BASE + b * addr::ORIG_BUCKET_BYTES,
+                addr::ORIG_BUCKET_BYTES as u32,
+            );
             let mut n = self.buckets[bbase + BKT_NODE_HEAD];
             while n != NULL {
                 let nbase = n as usize * NODE_SLOTS;
-                tr.read(addr::NODE_BASE + n * addr::ORIG_NODE_BYTES, addr::ORIG_NODE_BYTES as u32);
-                out.push(self.nodes[nbase + NODE_ENTRY] as EntryId);
+                tr.read(
+                    addr::NODE_BASE + n * addr::ORIG_NODE_BYTES,
+                    addr::ORIG_NODE_BYTES as u32,
+                );
+                emit(self.nodes[nbase + NODE_ENTRY] as EntryId);
                 n = self.nodes[nbase + NODE_NEXT];
                 tr.instr(4);
             }
@@ -146,31 +176,37 @@ impl OriginalStore {
     }
 
     /// Report entries of `cell` whose base-table point lies in `region`
-    /// (query slow path: cell only intersects the region). Each candidate
-    /// costs one extra hop into the base table — the indirection the
-    /// refactoring cannot remove but whose *frequency* it reduces.
-    pub fn filter<T: Tracer>(
+    /// to `emit` (query slow path: cell only intersects the region). Each
+    /// candidate costs one extra hop into the base table — the indirection
+    /// the refactoring cannot remove but whose *frequency* it reduces.
+    pub fn filter<T: Tracer, F: FnMut(EntryId) + ?Sized>(
         &self,
         cell: usize,
         table: &PointTable,
         region: &Rect,
-        out: &mut Vec<EntryId>,
+        emit: &mut F,
         tr: &mut T,
     ) {
         let mut b = self.cell_head(cell, tr);
         while b != NULL {
             let bbase = b as usize * BUCKET_SLOTS;
-            tr.read(addr::BUCKET_BASE + b * addr::ORIG_BUCKET_BYTES, addr::ORIG_BUCKET_BYTES as u32);
+            tr.read(
+                addr::BUCKET_BASE + b * addr::ORIG_BUCKET_BYTES,
+                addr::ORIG_BUCKET_BYTES as u32,
+            );
             let mut n = self.buckets[bbase + BKT_NODE_HEAD];
             while n != NULL {
                 let nbase = n as usize * NODE_SLOTS;
-                tr.read(addr::NODE_BASE + n * addr::ORIG_NODE_BYTES, addr::ORIG_NODE_BYTES as u32);
+                tr.read(
+                    addr::NODE_BASE + n * addr::ORIG_NODE_BYTES,
+                    addr::ORIG_NODE_BYTES as u32,
+                );
                 let entry = self.nodes[nbase + NODE_ENTRY];
                 tr.read(addr::table_x(entry), addr::COORD_BYTES as u32);
                 tr.read(addr::table_y(entry), addr::COORD_BYTES as u32);
                 let e = entry as EntryId;
                 if region.contains_point(table.x(e), table.y(e)) {
-                    out.push(e);
+                    emit(e);
                 }
                 n = self.nodes[nbase + NODE_NEXT];
                 tr.instr(8);
@@ -198,7 +234,7 @@ impl OriginalStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::trace::{CountingTracer, NullTracer};
+    use sj_base::trace::{CountingTracer, NullTracer};
 
     fn table_of(points: &[(f32, f32)]) -> PointTable {
         let mut t = PointTable::default();
@@ -216,7 +252,7 @@ mod tests {
             s.insert(2, e, &mut NullTracer);
         }
         let mut out = Vec::new();
-        s.report_all(2, &mut out, &mut NullTracer);
+        s.report_all(2, &mut |e| out.push(e), &mut NullTracer);
         out.sort_unstable();
         assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(s.cell_count(2), 6);
@@ -234,7 +270,13 @@ mod tests {
             s.insert(0, e, &mut NullTracer);
         }
         let mut out = Vec::new();
-        s.filter(0, &t, &Rect::new(0.0, 0.0, 6.0, 6.0), &mut out, &mut NullTracer);
+        s.filter(
+            0,
+            &t,
+            &Rect::new(0.0, 0.0, 6.0, 6.0),
+            &mut |e| out.push(e),
+            &mut NullTracer,
+        );
         out.sort_unstable();
         assert_eq!(out, vec![0, 1]);
     }
@@ -244,7 +286,7 @@ mod tests {
         let mut s = OriginalStore::default();
         s.reset(3, 4, 0);
         let mut out = Vec::new();
-        s.report_all(1, &mut out, &mut NullTracer);
+        s.report_all(1, &mut |e| out.push(e), &mut NullTracer);
         assert!(out.is_empty());
     }
 
@@ -269,7 +311,7 @@ mod tests {
         }
         let mut tr = CountingTracer::default();
         let mut out = Vec::new();
-        s.report_all(0, &mut out, &mut tr);
+        s.report_all(0, &mut |e| out.push(e), &mut tr);
         // 1 directory read + 1 bucket read + 4 node reads.
         assert_eq!(tr.reads, 6);
     }
@@ -283,7 +325,13 @@ mod tests {
         s.insert(0, 1, &mut NullTracer);
         let mut tr = CountingTracer::default();
         let mut out = Vec::new();
-        s.filter(0, &t, &Rect::new(0.0, 0.0, 2.0, 2.0), &mut out, &mut tr);
+        s.filter(
+            0,
+            &t,
+            &Rect::new(0.0, 0.0, 2.0, 2.0),
+            &mut |e| out.push(e),
+            &mut tr,
+        );
         // dir + bucket + 2 nodes + 2×(x read + y read) = 8 reads.
         assert_eq!(tr.reads, 8);
         assert_eq!(out.len(), 2);
@@ -299,7 +347,7 @@ mod tests {
         // bs = 2, 5 entries → 3 buckets; head bucket holds the latest.
         assert_eq!(s.num_buckets(), 3);
         let mut out = Vec::new();
-        s.report_all(0, &mut out, &mut NullTracer);
+        s.report_all(0, &mut |e| out.push(e), &mut NullTracer);
         assert_eq!(out.len(), 5);
         // Latest insert is encountered first (prepend at head of head).
         assert_eq!(out[0], 4);

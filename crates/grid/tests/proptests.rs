@@ -3,9 +3,9 @@
 //! §3.1 memory arithmetic holds for arbitrary bucket sizes.
 
 use proptest::prelude::*;
-use sj_core::geom::Rect;
-use sj_core::index::{ScanIndex, SpatialIndex};
-use sj_core::table::PointTable;
+use sj_base::geom::Rect;
+use sj_base::index::{ScanIndex, SpatialIndex};
+use sj_base::table::PointTable;
 use sj_grid::{GridConfig, Layout, QueryAlgo, SimpleGrid};
 
 const SIDE: f32 = 500.0;

@@ -46,7 +46,7 @@ pub fn decode(code: u32) -> (u16, u16) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::rng::Xoshiro256;
 
     #[test]
     fn spread_examples() {

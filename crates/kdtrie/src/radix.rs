@@ -46,7 +46,7 @@ pub fn sort_by_code(keys: &mut Vec<u64>, scratch: &mut Vec<u64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::rng::Xoshiro256;
 
     fn is_sorted_by_code(keys: &[u64]) -> bool {
         keys.windows(2).all(|w| (w[0] >> 32) <= (w[1] >> 32))

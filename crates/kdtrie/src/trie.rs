@@ -10,9 +10,9 @@
 //! entirely inside the query are reported wholesale; segments below a
 //! scan threshold are filtered point by point against the base table.
 
-use sj_core::geom::Rect;
-use sj_core::index::SpatialIndex;
-use sj_core::table::{EntryId, PointTable};
+use sj_base::geom::Rect;
+use sj_base::index::SpatialIndex;
+use sj_base::table::{EntryId, PointTable};
 
 use crate::morton::encode;
 use crate::radix::sort_by_code;
@@ -28,7 +28,7 @@ const SCAN_THRESHOLD: usize = 16;
 /// See module docs.
 ///
 /// ```
-/// use sj_core::{PointTable, Rect, SpatialIndex};
+/// use sj_base::{PointTable, Rect, SpatialIndex};
 /// use sj_kdtrie::LinearKdTrie;
 ///
 /// let mut table = PointTable::default();
@@ -119,7 +119,7 @@ impl LinearKdTrie {
         outer_y: (u32, u32),
         inner_x: Option<(u32, u32)>,
         inner_y: Option<(u32, u32)>,
-        out: &mut Vec<EntryId>,
+        emit: &mut dyn FnMut(EntryId),
     ) {
         if seg.is_empty() {
             return;
@@ -131,7 +131,9 @@ impl LinearKdTrie {
         // Certainly inside: report the whole segment without filtering.
         if let (Some(ix), Some(iy)) = (inner_x, inner_y) {
             if nx.0 >= ix.0 && nx.1 <= ix.1 && ny.0 >= iy.0 && ny.1 <= iy.1 {
-                out.extend_from_slice(&self.ids[seg]);
+                for &id in &self.ids[seg] {
+                    emit(id);
+                }
                 return;
             }
         }
@@ -140,7 +142,7 @@ impl LinearKdTrie {
             for i in seg {
                 let id = self.ids[i];
                 if region.contains_point(table.x(id), table.y(id)) {
-                    out.push(id);
+                    emit(id);
                 }
             }
             return;
@@ -152,16 +154,60 @@ impl LinearKdTrie {
         let split = seg.start + codes.partition_point(|&c| (c >> bit) & 1 == 0);
         if depth.is_multiple_of(2) {
             let mid = (nx.0 + nx.1) / 2;
-            self.visit(table, region, seg.start..split, depth + 1, (nx.0, mid), ny,
-                outer_x, outer_y, inner_x, inner_y, out);
-            self.visit(table, region, split..seg.end, depth + 1, (mid + 1, nx.1), ny,
-                outer_x, outer_y, inner_x, inner_y, out);
+            self.visit(
+                table,
+                region,
+                seg.start..split,
+                depth + 1,
+                (nx.0, mid),
+                ny,
+                outer_x,
+                outer_y,
+                inner_x,
+                inner_y,
+                emit,
+            );
+            self.visit(
+                table,
+                region,
+                split..seg.end,
+                depth + 1,
+                (mid + 1, nx.1),
+                ny,
+                outer_x,
+                outer_y,
+                inner_x,
+                inner_y,
+                emit,
+            );
         } else {
             let mid = (ny.0 + ny.1) / 2;
-            self.visit(table, region, seg.start..split, depth + 1, nx, (ny.0, mid),
-                outer_x, outer_y, inner_x, inner_y, out);
-            self.visit(table, region, split..seg.end, depth + 1, nx, (mid + 1, ny.1),
-                outer_x, outer_y, inner_x, inner_y, out);
+            self.visit(
+                table,
+                region,
+                seg.start..split,
+                depth + 1,
+                nx,
+                (ny.0, mid),
+                outer_x,
+                outer_y,
+                inner_x,
+                inner_y,
+                emit,
+            );
+            self.visit(
+                table,
+                region,
+                split..seg.end,
+                depth + 1,
+                nx,
+                (mid + 1, ny.1),
+                outer_x,
+                outer_y,
+                inner_x,
+                inner_y,
+                emit,
+            );
         }
     }
 }
@@ -192,7 +238,7 @@ impl SpatialIndex for LinearKdTrie {
         }
     }
 
-    fn query(&self, table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+    fn for_each_in(&self, table: &PointTable, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
         if self.ids.is_empty() {
             return;
         }
@@ -211,7 +257,7 @@ impl SpatialIndex for LinearKdTrie {
             outer_y,
             inner_x,
             inner_y,
-            out,
+            emit,
         );
     }
 
@@ -223,9 +269,9 @@ impl SpatialIndex for LinearKdTrie {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::geom::Point;
-    use sj_core::index::ScanIndex;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::geom::Point;
+    use sj_base::index::ScanIndex;
+    use sj_base::rng::Xoshiro256;
 
     const SIDE: f32 = 1_000.0;
 
@@ -274,7 +320,11 @@ mod tests {
             Rect::new(250.0, 250.0, 250.0, 250.0),
             Rect::new(499.9999, 499.9999, 500.0001, 500.0001),
         ] {
-            assert_eq!(sorted_query(&trie, &t, &r), sorted_query(&scan, &t, &r), "{r:?}");
+            assert_eq!(
+                sorted_query(&trie, &t, &r),
+                sorted_query(&scan, &t, &r),
+                "{r:?}"
+            );
         }
     }
 
@@ -345,7 +395,10 @@ mod tests {
         let mut rng = Xoshiro256::seeded(25);
         let mut t = PointTable::default();
         for _ in 0..2_000 {
-            t.push(500.0 + rng.range_f32(0.0, 0.01), 500.0 + rng.range_f32(0.0, 0.01));
+            t.push(
+                500.0 + rng.range_f32(0.0, 0.01),
+                500.0 + rng.range_f32(0.0, 0.01),
+            );
         }
         let mut trie = LinearKdTrie::new(SIDE);
         trie.build(&t);

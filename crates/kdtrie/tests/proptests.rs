@@ -1,9 +1,9 @@
 //! Property-based tests for the linearized KD-trie and its substrates.
 
 use proptest::prelude::*;
-use sj_core::geom::Rect;
-use sj_core::index::{ScanIndex, SpatialIndex};
-use sj_core::table::PointTable;
+use sj_base::geom::Rect;
+use sj_base::index::{ScanIndex, SpatialIndex};
+use sj_base::table::PointTable;
 use sj_kdtrie::{decode, encode, sort_by_code, LinearKdTrie};
 
 const SIDE: f32 = 500.0;

@@ -1,7 +1,7 @@
 //! # sj-memsim
 //!
 //! A multi-level set-associative LRU cache simulator implementing
-//! [`sj_core::trace::Tracer`]. Instrumented index code paths report every
+//! [`sj_base::trace::Tracer`]. Instrumented index code paths report every
 //! logical memory touch; the simulator replays them through an
 //! L1/L2/L3 hierarchy and counts per-level data-cache misses plus retired
 //! operations — the software substitute for the hardware performance
@@ -12,7 +12,7 @@
 //! the same workload replayed through the same hierarchy are meaningful —
 //! and those ratios are what Table 3 demonstrates.
 
-use sj_core::trace::Tracer;
+use sj_base::trace::Tracer;
 
 /// Cache line size in bytes (the x86 value the paper's machine uses).
 pub const LINE_BYTES: u64 = 64;
@@ -44,7 +44,10 @@ impl LevelConfig {
             ));
         }
         if !self.num_sets().is_power_of_two() {
-            return Err(format!("{}: number of sets must be a power of two", self.name));
+            return Err(format!(
+                "{}: number of sets must be a power of two",
+                self.name
+            ));
         }
         Ok(())
     }
@@ -129,7 +132,12 @@ pub struct CpiModel {
 
 impl Default for CpiModel {
     fn default() -> Self {
-        CpiModel { base_cpi: 0.8, l2_latency: 12.0, l3_latency: 30.0, mem_latency: 180.0 }
+        CpiModel {
+            base_cpi: 0.8,
+            l2_latency: 12.0,
+            l3_latency: 30.0,
+            mem_latency: 180.0,
+        }
     }
 }
 
@@ -156,7 +164,7 @@ impl CpiModel {
 /// instrumented grid paths, then read [`CacheSim::stats`].
 ///
 /// ```
-/// use sj_core::trace::Tracer;
+/// use sj_base::trace::Tracer;
 /// use sj_memsim::CacheSim;
 ///
 /// let mut sim = CacheSim::i7();
@@ -196,9 +204,21 @@ impl CacheSim {
     /// 256 KiB / 8-way L2, 8 MiB / 16-way L3, 64-byte lines.
     pub fn i7() -> CacheSim {
         CacheSim::new(vec![
-            LevelConfig { name: "L1d", size_bytes: 32 << 10, assoc: 8 },
-            LevelConfig { name: "L2", size_bytes: 256 << 10, assoc: 8 },
-            LevelConfig { name: "L3", size_bytes: 8 << 20, assoc: 16 },
+            LevelConfig {
+                name: "L1d",
+                size_bytes: 32 << 10,
+                assoc: 8,
+            },
+            LevelConfig {
+                name: "L2",
+                size_bytes: 256 << 10,
+                assoc: 8,
+            },
+            LevelConfig {
+                name: "L3",
+                size_bytes: 8 << 20,
+                assoc: 16,
+            },
         ])
         .expect("builtin hierarchy is valid")
     }
@@ -276,8 +296,16 @@ mod tests {
     fn tiny_sim() -> CacheSim {
         // L1: 4 sets × 2 ways × 64 B = 512 B; L2: 16 sets × 2 ways = 2 KiB.
         CacheSim::new(vec![
-            LevelConfig { name: "L1", size_bytes: 512, assoc: 2 },
-            LevelConfig { name: "L2", size_bytes: 2048, assoc: 2 },
+            LevelConfig {
+                name: "L1",
+                size_bytes: 512,
+                assoc: 2,
+            },
+            LevelConfig {
+                name: "L2",
+                size_bytes: 2048,
+                assoc: 2,
+            },
         ])
         .unwrap()
     }
@@ -354,20 +382,41 @@ mod tests {
     #[test]
     fn geometry_validation() {
         assert!(CacheSim::new(vec![]).is_err());
-        assert!(CacheSim::new(vec![LevelConfig { name: "x", size_bytes: 100, assoc: 2 }])
-            .is_err());
-        assert!(CacheSim::new(vec![LevelConfig { name: "x", size_bytes: 512, assoc: 0 }])
-            .is_err());
+        assert!(CacheSim::new(vec![LevelConfig {
+            name: "x",
+            size_bytes: 100,
+            assoc: 2
+        }])
+        .is_err());
+        assert!(CacheSim::new(vec![LevelConfig {
+            name: "x",
+            size_bytes: 512,
+            assoc: 0
+        }])
+        .is_err());
         // 3 sets: not a power of two.
-        assert!(CacheSim::new(vec![LevelConfig { name: "x", size_bytes: 3 * 128, assoc: 2 }])
-            .is_err());
+        assert!(CacheSim::new(vec![LevelConfig {
+            name: "x",
+            size_bytes: 3 * 128,
+            assoc: 2
+        }])
+        .is_err());
     }
 
     #[test]
     fn cpi_grows_with_misses() {
         let model = CpiModel::default();
-        let cheap = CacheStats { instrs: 1000, l1_misses: 10, ..Default::default() };
-        let pricey = CacheStats { instrs: 1000, l1_misses: 10, l3_misses: 10, ..Default::default() };
+        let cheap = CacheStats {
+            instrs: 1000,
+            l1_misses: 10,
+            ..Default::default()
+        };
+        let pricey = CacheStats {
+            instrs: 1000,
+            l1_misses: 10,
+            l3_misses: 10,
+            ..Default::default()
+        };
         assert!(model.cpi(&pricey) > model.cpi(&cheap));
         assert_eq!(model.cpi(&CacheStats::default()), 0.0);
     }

@@ -2,13 +2,21 @@
 //! hierarchy monotonicity on arbitrary access streams.
 
 use proptest::prelude::*;
-use sj_core::trace::Tracer;
+use sj_base::trace::Tracer;
 use sj_memsim::{CacheSim, LevelConfig, LINE_BYTES};
 
 fn small_sim() -> CacheSim {
     CacheSim::new(vec![
-        LevelConfig { name: "L1", size_bytes: 1 << 10, assoc: 2 },
-        LevelConfig { name: "L2", size_bytes: 4 << 10, assoc: 4 },
+        LevelConfig {
+            name: "L1",
+            size_bytes: 1 << 10,
+            assoc: 2,
+        },
+        LevelConfig {
+            name: "L2",
+            size_bytes: 4 << 10,
+            assoc: 4,
+        },
     ])
     .unwrap()
 }

@@ -11,9 +11,9 @@
 //! flat arena with the four children of a node contiguous; leaf entries
 //! are `(x, y, id)` columns grouped by leaf, so leaf scans are sequential.
 
-use sj_core::geom::Rect;
-use sj_core::index::SpatialIndex;
-use sj_core::table::{EntryId, PointTable};
+use sj_base::geom::Rect;
+use sj_base::index::SpatialIndex;
+use sj_base::table::{EntryId, PointTable};
 
 /// Default leaf capacity; in the same regime as the tuned grid's bs = 20.
 pub const DEFAULT_BUCKET_SIZE: usize = 16;
@@ -38,7 +38,7 @@ struct Node {
 /// See crate docs.
 ///
 /// ```
-/// use sj_core::{PointTable, Rect, SpatialIndex};
+/// use sj_base::{PointTable, Rect, SpatialIndex};
 /// use sj_quadtree::QuadTree;
 ///
 /// let mut table = PointTable::default();
@@ -110,7 +110,11 @@ impl QuadTree {
         depth: u32,
     ) -> u32 {
         let ni = self.nodes.len() as u32;
-        self.nodes.push(Node { child_base: NO_CHILDREN, start: 0, len: 0 });
+        self.nodes.push(Node {
+            child_base: NO_CHILDREN,
+            start: 0,
+            len: 0,
+        });
 
         if hi - lo <= self.bucket_size || depth >= MAX_DEPTH {
             let start = self.leaf_x.len() as u32;
@@ -135,7 +139,12 @@ impl QuadTree {
         let q = half * 0.5;
         // Children are created depth-first, so they are NOT contiguous;
         // record each child index explicitly via a temporary array.
-        let ranges = [(lo, mid_x_s), (mid_x_s, mid_y), (mid_y, mid_x_n), (mid_x_n, hi)];
+        let ranges = [
+            (lo, mid_x_s),
+            (mid_x_s, mid_y),
+            (mid_y, mid_x_n),
+            (mid_x_n, hi),
+        ];
         let centers = [
             (cx - q, cy - q), // SW
             (cx + q, cy - q), // SE
@@ -189,7 +198,7 @@ impl SpatialIndex for QuadTree {
         self.build_node(table, 0, n, half, half, half, 0);
     }
 
-    fn query(&self, _table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+    fn for_each_in(&self, _table: &PointTable, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
         if self.nodes.is_empty() {
             return;
         }
@@ -206,14 +215,16 @@ impl SpatialIndex for QuadTree {
                 let s = node.start as usize;
                 let e = s + node.len as usize;
                 if region.contains_rect(&node_rect) {
-                    out.extend_from_slice(&self.leaf_id[s..e]);
+                    for &id in &self.leaf_id[s..e] {
+                        emit(id);
+                    }
                 } else {
-                    sj_core::simd::filter_range_gather(
+                    sj_base::simd::filter_range_gather_each(
                         &self.leaf_x[s..e],
                         &self.leaf_y[s..e],
                         &self.leaf_id[s..e],
                         region,
-                        out,
+                        emit,
                     );
                 }
             } else {
@@ -239,9 +250,9 @@ impl SpatialIndex for QuadTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::geom::Point;
-    use sj_core::index::ScanIndex;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::geom::Point;
+    use sj_base::index::ScanIndex;
+    use sj_base::rng::Xoshiro256;
 
     const SIDE: f32 = 1_000.0;
 
@@ -305,7 +316,10 @@ mod tests {
         let mut t1 = PointTable::default();
         t1.push(2.0, 2.0);
         qt.build(&t1);
-        assert_eq!(sorted_query(&qt, &t1, &Rect::new(0.0, 0.0, 5.0, 5.0)), vec![0]);
+        assert_eq!(
+            sorted_query(&qt, &t1, &Rect::new(0.0, 0.0, 5.0, 5.0)),
+            vec![0]
+        );
     }
 
     #[test]
@@ -319,7 +333,11 @@ mod tests {
         qt.build(&t);
         assert_eq!(sorted_query(&qt, &t, &Rect::space(SIDE)).len(), 3);
         assert_eq!(
-            sorted_query(&qt, &t, &Rect::new(SIDE / 2.0, SIDE / 2.0, SIDE / 2.0, SIDE / 2.0)),
+            sorted_query(
+                &qt,
+                &t,
+                &Rect::new(SIDE / 2.0, SIDE / 2.0, SIDE / 2.0, SIDE / 2.0)
+            ),
             vec![0]
         );
     }

@@ -8,9 +8,9 @@
 //! quality against [`crate::RTree`]'s bulk load. Deletion is deliberately
 //! out of scope (the static join category never deletes).
 
-use sj_core::geom::Rect;
-use sj_core::index::SpatialIndex;
-use sj_core::table::{EntryId, PointTable};
+use sj_base::geom::Rect;
+use sj_base::index::SpatialIndex;
+use sj_base::table::{EntryId, PointTable};
 
 const NO_PARENT: u32 = u32::MAX;
 
@@ -294,7 +294,11 @@ impl DynRTree {
         let parent = self.nodes[ni as usize].parent;
         self.nodes[ni as usize].kind = kind_a;
         self.nodes[ni as usize].mbr = mbr_a;
-        self.nodes.push(Node { mbr: mbr_b, parent, kind: kind_b });
+        self.nodes.push(Node {
+            mbr: mbr_b,
+            parent,
+            kind: kind_b,
+        });
         // Reparent B's children.
         if let Kind::Internal(cs) = &self.nodes[sibling as usize].kind {
             for c in cs.clone() {
@@ -319,8 +323,7 @@ impl DynRTree {
                 Kind::Internal(cs) => cs.push(sibling),
                 Kind::Leaf(_) => unreachable!("parent of split node is a leaf"),
             }
-            self.nodes[parent as usize].mbr =
-                self.nodes[parent as usize].mbr.union(&mbr_b);
+            self.nodes[parent as usize].mbr = self.nodes[parent as usize].mbr.union(&mbr_b);
             self.propagate_mbr(parent);
             if self.leaf_len(parent) > self.max_entries {
                 self.split(parent);
@@ -341,7 +344,7 @@ impl SpatialIndex for DynRTree {
         }
     }
 
-    fn query(&self, _table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+    fn for_each_in(&self, _table: &PointTable, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
         if self.len_entries() == 0 {
             return;
         }
@@ -355,7 +358,7 @@ impl SpatialIndex for DynRTree {
                 Kind::Leaf(es) => {
                     for &(x, y, id) in es {
                         if region.contains_point(x, y) {
-                            out.push(id);
+                            emit(id);
                         }
                     }
                 }
@@ -370,7 +373,9 @@ impl SpatialIndex for DynRTree {
             .map(|n| {
                 std::mem::size_of::<Node>()
                     + match &n.kind {
-                        Kind::Leaf(es) => es.capacity() * std::mem::size_of::<(f32, f32, EntryId)>(),
+                        Kind::Leaf(es) => {
+                            es.capacity() * std::mem::size_of::<(f32, f32, EntryId)>()
+                        }
                         Kind::Internal(cs) => cs.capacity() * 4,
                     }
             })
@@ -381,9 +386,9 @@ impl SpatialIndex for DynRTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::geom::Point;
-    use sj_core::index::ScanIndex;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::geom::Point;
+    use sj_base::index::ScanIndex;
+    use sj_base::rng::Xoshiro256;
 
     const SIDE: f32 = 1_000.0;
 
@@ -458,7 +463,10 @@ mod tests {
         }
         let mut tree = DynRTree::new(4);
         tree.build(&t);
-        assert_eq!(sorted_query(&tree, &t, &Rect::new(7.0, 7.0, 7.0, 7.0)).len(), 100);
+        assert_eq!(
+            sorted_query(&tree, &t, &Rect::new(7.0, 7.0, 7.0, 7.0)).len(),
+            100
+        );
     }
 
     #[test]

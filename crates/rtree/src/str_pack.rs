@@ -37,13 +37,14 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::rng::Xoshiro256;
 
     #[test]
     fn order_is_a_permutation() {
         let mut rng = Xoshiro256::seeded(3);
-        let pts: Vec<(f32, f32)> =
-            (0..1000).map(|_| (rng.range_f32(0.0, 100.0), rng.range_f32(0.0, 100.0))).collect();
+        let pts: Vec<(f32, f32)> = (0..1000)
+            .map(|_| (rng.range_f32(0.0, 100.0), rng.range_f32(0.0, 100.0)))
+            .collect();
         let mut idx: Vec<u32> = (0..1000).collect();
         str_order(&mut idx, 8, |i| pts[i as usize].0, |i| pts[i as usize].1);
         let mut sorted = idx.clone();
@@ -58,8 +59,9 @@ mod tests {
         let mut rng = Xoshiro256::seeded(9);
         let n = 4096usize;
         let f = 16usize;
-        let pts: Vec<(f32, f32)> =
-            (0..n).map(|_| (rng.range_f32(0.0, 1.0), rng.range_f32(0.0, 1.0))).collect();
+        let pts: Vec<(f32, f32)> = (0..n)
+            .map(|_| (rng.range_f32(0.0, 1.0), rng.range_f32(0.0, 1.0)))
+            .collect();
         let mut idx: Vec<u32> = (0..n as u32).collect();
         str_order(&mut idx, f, |i| pts[i as usize].0, |i| pts[i as usize].1);
 

@@ -6,9 +6,9 @@
 //! in-memory optimization the original framework applied to all tree
 //! techniques.
 
-use sj_core::geom::Rect;
-use sj_core::index::SpatialIndex;
-use sj_core::table::{EntryId, PointTable};
+use sj_base::geom::Rect;
+use sj_base::index::SpatialIndex;
+use sj_base::table::{EntryId, PointTable};
 
 use crate::str_pack::str_order;
 
@@ -29,7 +29,7 @@ struct Node {
 /// See module docs.
 ///
 /// ```
-/// use sj_core::{PointTable, Rect, SpatialIndex};
+/// use sj_base::{PointTable, Rect, SpatialIndex};
 /// use sj_rtree::RTree;
 ///
 /// let mut table = PointTable::default();
@@ -102,16 +102,18 @@ impl RTree {
         r
     }
 
-    /// Append every entry under `ni` to `out` without point tests (the
-    /// fast path when the query fully contains a node's MBR).
-    fn report_subtree(&self, ni: u32, out: &mut Vec<EntryId>) {
+    /// Emit every entry under `ni` without point tests (the fast path when
+    /// the query fully contains a node's MBR).
+    fn report_subtree(&self, ni: u32, emit: &mut dyn FnMut(EntryId)) {
         let n = &self.nodes[ni as usize];
         if n.leaf {
             let s = n.start as usize;
-            out.extend_from_slice(&self.leaf_id[s..s + n.len as usize]);
+            for &id in &self.leaf_id[s..s + n.len as usize] {
+                emit(id);
+            }
         } else {
             for c in n.start..n.start + n.len {
-                self.report_subtree(c, out);
+                self.report_subtree(c, emit);
             }
         }
     }
@@ -138,7 +140,12 @@ impl SpatialIndex for RTree {
         let ys = table.ys();
         self.scratch.clear();
         self.scratch.extend(0..n as u32);
-        str_order(&mut self.scratch, self.fanout, |i| xs[i as usize], |i| ys[i as usize]);
+        str_order(
+            &mut self.scratch,
+            self.fanout,
+            |i| xs[i as usize],
+            |i| ys[i as usize],
+        );
 
         self.leaf_x.reserve(n);
         self.leaf_y.reserve(n);
@@ -188,7 +195,12 @@ impl SpatialIndex for RTree {
                     mbr = mbr.union(&child.mbr);
                     self.nodes.push(child);
                 }
-                parents.push(Node { mbr, start, len: chunk.len() as u32, leaf: false });
+                parents.push(Node {
+                    mbr,
+                    start,
+                    len: chunk.len() as u32,
+                    leaf: false,
+                });
             }
             level = parents;
         }
@@ -197,7 +209,7 @@ impl SpatialIndex for RTree {
         self.root = Some(self.nodes.len() as u32 - 1);
     }
 
-    fn query(&self, _table: &PointTable, region: &Rect, out: &mut Vec<EntryId>) {
+    fn for_each_in(&self, _table: &PointTable, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
         let Some(root) = self.root else { return };
         if !region.intersects(&self.nodes[root as usize].mbr) {
             return;
@@ -206,12 +218,12 @@ impl SpatialIndex for RTree {
         while let Some(ni) = stack.pop() {
             let n = &self.nodes[ni as usize];
             if region.contains_rect(&n.mbr) {
-                self.report_subtree(ni, out);
+                self.report_subtree(ni, emit);
             } else if n.leaf {
                 let s = n.start as usize;
                 for i in s..s + n.len as usize {
                     if region.contains_point(self.leaf_x[i], self.leaf_y[i]) {
-                        out.push(self.leaf_id[i]);
+                        emit(self.leaf_id[i]);
                     }
                 }
             } else {
@@ -235,9 +247,9 @@ impl SpatialIndex for RTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::geom::Point;
-    use sj_core::index::ScanIndex;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::geom::Point;
+    use sj_base::index::ScanIndex;
+    use sj_base::rng::Xoshiro256;
 
     const SIDE: f32 = 1_000.0;
 
@@ -307,7 +319,10 @@ mod tests {
         t1.push(5.0, 5.0);
         tree.build(&t1);
         assert_eq!(tree.height(), 1);
-        assert_eq!(sorted_query(&tree, &t1, &Rect::new(0.0, 0.0, 10.0, 10.0)), vec![0]);
+        assert_eq!(
+            sorted_query(&tree, &t1, &Rect::new(0.0, 0.0, 10.0, 10.0)),
+            vec![0]
+        );
         assert!(sorted_query(&tree, &t1, &Rect::new(6.0, 6.0, 10.0, 10.0)).is_empty());
     }
 

@@ -2,9 +2,9 @@
 //! and agreement with a naive filter on arbitrary inputs and fanouts.
 
 use proptest::prelude::*;
-use sj_core::geom::Rect;
-use sj_core::index::{ScanIndex, SpatialIndex};
-use sj_core::table::PointTable;
+use sj_base::geom::Rect;
+use sj_base::index::{ScanIndex, SpatialIndex};
+use sj_base::table::PointTable;
 use sj_rtree::{str_order, DynRTree, RTree};
 
 const SIDE: f32 = 500.0;
@@ -69,7 +69,7 @@ proptest! {
 
     #[test]
     fn str_order_is_always_a_permutation(n in 0usize..500, fanout in 2usize..32, seed in any::<u64>()) {
-        let mut rng = sj_core::rng::Xoshiro256::seeded(seed);
+        let mut rng = sj_base::rng::Xoshiro256::seeded(seed);
         let pts: Vec<(f32, f32)> =
             (0..n).map(|_| (rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE))).collect();
         let mut idx: Vec<u32> = (0..n as u32).collect();

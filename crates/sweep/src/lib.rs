@@ -15,16 +15,16 @@
 //! `O(sort + |P|·|Q|·w/S)` — independent of any index tuning, which is
 //! what made it a robust competitor in the original study.
 
-use sj_core::batch::BatchJoin;
-use sj_core::geom::Rect;
-use sj_core::table::{EntryId, PointTable};
+use sj_base::batch::BatchJoin;
+use sj_base::geom::Rect;
+use sj_base::table::{EntryId, PointTable};
 
 /// See crate docs. Scratch buffers are reused across ticks so steady-state
 /// joins allocate nothing.
 ///
 /// ```
-/// use sj_core::batch::BatchJoin;
-/// use sj_core::{PointTable, Rect};
+/// use sj_base::batch::BatchJoin;
+/// use sj_base::{PointTable, Rect};
 /// use sj_sweep::PlaneSweepJoin;
 ///
 /// let mut table = PointTable::default();
@@ -83,7 +83,10 @@ impl BatchJoin for PlaneSweepJoin {
         self.order.clear();
         self.order.extend(0..queries.len() as u32);
         self.order.sort_unstable_by(|&a, &b| {
-            queries[a as usize].1.x1.total_cmp(&queries[b as usize].1.x1)
+            queries[a as usize]
+                .1
+                .x1
+                .total_cmp(&queries[b as usize].1.x1)
         });
 
         self.active.clear();
@@ -123,17 +126,13 @@ impl BatchJoin for PlaneSweepJoin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::batch::NaiveBatchJoin;
-    use sj_core::geom::Point;
-    use sj_core::rng::Xoshiro256;
+    use sj_base::batch::NaiveBatchJoin;
+    use sj_base::geom::Point;
+    use sj_base::rng::Xoshiro256;
 
     const SIDE: f32 = 1_000.0;
 
-    fn random_setup(
-        n_pts: usize,
-        n_qs: usize,
-        seed: u64,
-    ) -> (PointTable, Vec<(EntryId, Rect)>) {
+    fn random_setup(n_pts: usize, n_qs: usize, seed: u64) -> (PointTable, Vec<(EntryId, Rect)>) {
         let mut rng = Xoshiro256::seeded(seed);
         let mut t = PointTable::default();
         for _ in 0..n_pts {
@@ -152,7 +151,11 @@ mod tests {
         (t, queries)
     }
 
-    fn sorted_join(j: &mut dyn BatchJoin, t: &PointTable, qs: &[(EntryId, Rect)]) -> Vec<(u32, u32)> {
+    fn sorted_join(
+        j: &mut dyn BatchJoin,
+        t: &PointTable,
+        qs: &[(EntryId, Rect)],
+    ) -> Vec<(u32, u32)> {
         let mut out = Vec::new();
         j.join(t, qs, &mut out);
         out.sort_unstable();
@@ -164,7 +167,10 @@ mod tests {
         let (t, qs) = random_setup(800, 200, 5);
         let mut sweep = PlaneSweepJoin::new();
         let mut naive = NaiveBatchJoin;
-        assert_eq!(sorted_join(&mut sweep, &t, &qs), sorted_join(&mut naive, &t, &qs));
+        assert_eq!(
+            sorted_join(&mut sweep, &t, &qs),
+            sorted_join(&mut naive, &t, &qs)
+        );
     }
 
     #[test]
@@ -214,9 +220,15 @@ mod tests {
         let (t2, qs2) = random_setup(300, 50, 8);
         let mut sweep = PlaneSweepJoin::new();
         let mut naive = NaiveBatchJoin;
-        assert_eq!(sorted_join(&mut sweep, &t1, &qs1), sorted_join(&mut naive, &t1, &qs1));
+        assert_eq!(
+            sorted_join(&mut sweep, &t1, &qs1),
+            sorted_join(&mut naive, &t1, &qs1)
+        );
         // Second join with different sizes must not see stale state.
-        assert_eq!(sorted_join(&mut sweep, &t2, &qs2), sorted_join(&mut naive, &t2, &qs2));
+        assert_eq!(
+            sorted_join(&mut sweep, &t2, &qs2),
+            sorted_join(&mut naive, &t2, &qs2)
+        );
     }
 
     #[test]

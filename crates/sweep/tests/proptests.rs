@@ -2,9 +2,9 @@
 //! loop on arbitrary point sets and query batches.
 
 use proptest::prelude::*;
-use sj_core::batch::{BatchJoin, NaiveBatchJoin};
-use sj_core::geom::Rect;
-use sj_core::table::{EntryId, PointTable};
+use sj_base::batch::{BatchJoin, NaiveBatchJoin};
+use sj_base::geom::Rect;
+use sj_base::table::{EntryId, PointTable};
 use sj_sweep::PlaneSweepJoin;
 
 const SIDE: f32 = 500.0;
@@ -15,7 +15,13 @@ fn arb_points() -> impl Strategy<Value = Vec<(f32, f32)>> {
 
 fn arb_queries() -> impl Strategy<Value = Vec<(u32, f32, f32, f32, f32)>> {
     prop::collection::vec(
-        (0u32..100, 0.0f32..=SIDE, 0.0f32..=SIDE, 0.0f32..=150.0, 0.0f32..=150.0),
+        (
+            0u32..100,
+            0.0f32..=SIDE,
+            0.0f32..=SIDE,
+            0.0f32..=150.0,
+            0.0f32..=150.0,
+        ),
         0..60,
     )
 }
@@ -27,9 +33,7 @@ fn run_case(points: Vec<(f32, f32)>, qs: Vec<(u32, f32, f32, f32, f32)>) {
     }
     let queries: Vec<(EntryId, Rect)> = qs
         .iter()
-        .map(|&(id, x, y, w, h)| {
-            (id, Rect::new(x, y, (x + w).min(SIDE), (y + h).min(SIDE)))
-        })
+        .map(|&(id, x, y, w, h)| (id, Rect::new(x, y, (x + w).min(SIDE), (y + h).min(SIDE))))
         .collect();
     let mut sweep_out = Vec::new();
     PlaneSweepJoin::new().join(&t, &queries, &mut sweep_out);

@@ -12,10 +12,10 @@
 //! are an inherent part of the Gaussian process, so every object re-draws
 //! its velocity every tick.
 
-use sj_core::driver::{TickActions, Workload};
-use sj_core::geom::{Point, Rect, Vec2};
-use sj_core::rng::Xoshiro256;
-use sj_core::table::{EntryId, MovingSet};
+use sj_base::driver::{TickActions, Workload};
+use sj_base::geom::{Point, Rect, Vec2};
+use sj_base::rng::Xoshiro256;
+use sj_base::table::{EntryId, MovingSet};
 
 use crate::params::GaussianParams;
 
@@ -41,7 +41,12 @@ impl GaussianWorkload {
 
         let side = params.base.space_side;
         let hotspots = (0..params.hotspots)
-            .map(|_| Point::new(rng_place.range_f32(0.0, side), rng_place.range_f32(0.0, side)))
+            .map(|_| {
+                Point::new(
+                    rng_place.range_f32(0.0, side),
+                    rng_place.range_f32(0.0, side),
+                )
+            })
             .collect();
 
         GaussianWorkload {
@@ -183,7 +188,10 @@ mod tests {
             let set = w.init();
             // Count points inside one query-sized box at the first hotspot.
             let q = Rect::centered_square(w.hotspots()[0], 400.0);
-            set.positions.iter().filter(|(_, p)| q.contains_point(p.x, p.y)).count()
+            set.positions
+                .iter()
+                .filter(|(_, p)| q.contains_point(p.x, p.y))
+                .count()
         };
         let dense = density(1);
         let sparse = density(64);
@@ -248,6 +256,9 @@ mod tests {
             }
         }
         let frac = near as f64 / set.len() as f64;
-        assert!(frac > 0.9, "fraction still clustered after 50 ticks: {frac}");
+        assert!(
+            frac > 0.9,
+            "fraction still clustered after 50 ticks: {frac}"
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! updater selection) and a Gaussian workload (objects clustered around
 //! hotspots with mean-reverting Gaussian movement).
 //!
-//! Both implement [`sj_core::Workload`] and are deterministic functions of
+//! Both implement [`sj_base::Workload`] and are deterministic functions of
 //! their seed, so every join technique observes identical trajectories and
 //! query sets — the precondition for the cross-technique result-checksum
 //! equality the integration tests assert.

@@ -115,7 +115,10 @@ pub struct GaussianParams {
 impl Default for GaussianParams {
     fn default() -> Self {
         GaussianParams {
-            base: WorkloadParams { ticks: 120, ..WorkloadParams::default() },
+            base: WorkloadParams {
+                ticks: 120,
+                ..WorkloadParams::default()
+            },
             hotspots: 10,
             sigma: 800.0,
         }
@@ -164,27 +167,51 @@ mod tests {
     fn invalid_params_are_rejected() {
         let ok = WorkloadParams::default();
         assert_eq!(
-            WorkloadParams { num_points: 0, ..ok }.validate(),
+            WorkloadParams {
+                num_points: 0,
+                ..ok
+            }
+            .validate(),
             Err(ParamError::NoPoints)
         );
         assert_eq!(
-            WorkloadParams { space_side: 0.0, ..ok }.validate(),
+            WorkloadParams {
+                space_side: 0.0,
+                ..ok
+            }
+            .validate(),
             Err(ParamError::NonPositiveSpace)
         );
         assert_eq!(
-            WorkloadParams { frac_queriers: 1.5, ..ok }.validate(),
+            WorkloadParams {
+                frac_queriers: 1.5,
+                ..ok
+            }
+            .validate(),
             Err(ParamError::FractionOutOfRange("frac_queriers"))
         );
         assert_eq!(
-            WorkloadParams { frac_updaters: -0.1, ..ok }.validate(),
+            WorkloadParams {
+                frac_updaters: -0.1,
+                ..ok
+            }
+            .validate(),
             Err(ParamError::FractionOutOfRange("frac_updaters"))
         );
         assert_eq!(
-            GaussianParams { hotspots: 0, ..GaussianParams::default() }.validate(),
+            GaussianParams {
+                hotspots: 0,
+                ..GaussianParams::default()
+            }
+            .validate(),
             Err(ParamError::NoHotspots)
         );
         assert_eq!(
-            GaussianParams { sigma: 0.0, ..GaussianParams::default() }.validate(),
+            GaussianParams {
+                sigma: 0.0,
+                ..GaussianParams::default()
+            }
+            .validate(),
             Err(ParamError::NonPositiveSpread)
         );
     }

@@ -12,10 +12,10 @@
 //! uniform workload: most grid cells are crossed by two roads, query
 //! windows straddle dense lines, and tree MBRs become elongated.
 
-use sj_core::driver::{TickActions, Workload};
-use sj_core::geom::{Point, Rect, Vec2};
-use sj_core::rng::Xoshiro256;
-use sj_core::table::{EntryId, MovingSet};
+use sj_base::driver::{TickActions, Workload};
+use sj_base::geom::{Point, Rect, Vec2};
+use sj_base::rng::Xoshiro256;
+use sj_base::table::{EntryId, MovingSet};
 
 use crate::params::WorkloadParams;
 
@@ -77,7 +77,10 @@ impl RoadGridWorkload {
             "max_speed {} must be below the road spacing {spacing}",
             params.max_speed
         );
-        assert!((0.0..=1.0).contains(&turn_prob), "turn_prob must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&turn_prob),
+            "turn_prob must be in [0, 1]"
+        );
         let mut root = Xoshiro256::seeded(params.seed ^ 0x524F_4144);
         RoadGridWorkload {
             params,
@@ -103,7 +106,10 @@ impl RoadGridWorkload {
 
     /// Coordinate of the nearest road line at or below `v`.
     fn snap(&self, v: f32) -> f32 {
-        let k = (v / self.spacing).round().min((self.roads_per_side - 1) as f32).max(0.0);
+        let k = (v / self.spacing)
+            .round()
+            .min((self.roads_per_side - 1) as f32)
+            .max(0.0);
         k * self.spacing
     }
 }
@@ -135,7 +141,9 @@ impl Workload for RoadGridWorkload {
             } else {
                 Point::new(road, offset)
             };
-            let speed = self.rng_place.range_f32(self.params.max_speed * 0.2, self.params.max_speed);
+            let speed = self
+                .rng_place
+                .range_f32(self.params.max_speed * 0.2, self.params.max_speed);
             self.dirs.push(dir);
             self.speeds.push(speed);
             set.push(pos, dir.velocity(speed));
@@ -201,7 +209,8 @@ impl Workload for RoadGridWorkload {
                 self.dirs[i] = new_dir;
                 set.set_velocity(id, new_dir.velocity(speed));
             }
-            set.positions.set_position(id, nx.clamp(0.0, side), ny.clamp(0.0, side));
+            set.positions
+                .set_position(id, nx.clamp(0.0, side), ny.clamp(0.0, side));
         }
     }
 }
@@ -290,8 +299,16 @@ mod tests {
         for _ in 0..20 {
             w.advance(&mut set);
         }
-        let changed = w.dirs.iter().zip(&initial_dirs).filter(|(a, b)| a != b).count();
-        assert!(changed > set.len() / 4, "only {changed} objects ever turned");
+        let changed = w
+            .dirs
+            .iter()
+            .zip(&initial_dirs)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(
+            changed > set.len() / 4,
+            "only {changed} objects ever turned"
+        );
     }
 
     #[test]

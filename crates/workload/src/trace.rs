@@ -18,10 +18,10 @@
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use sj_core::driver::{TickActions, Workload};
-use sj_core::geom::{Point, Rect, Vec2};
-use sj_core::rng::mix64;
-use sj_core::table::{EntryId, MovingSet};
+use sj_base::driver::{TickActions, Workload};
+use sj_base::geom::{Point, Rect, Vec2};
+use sj_base::rng::mix64;
+use sj_base::table::{EntryId, MovingSet};
 
 const MAGIC: &[u8; 8] = b"SJTRACE1";
 
@@ -60,8 +60,7 @@ pub struct Trace {
 fn positions_checksum(set: &MovingSet) -> u64 {
     let mut sum = 0u64;
     for (_, p) in set.positions.iter() {
-        sum = sum
-            .wrapping_add(mix64(((p.x.to_bits() as u64) << 32) | p.y.to_bits() as u64));
+        sum = sum.wrapping_add(mix64(((p.x.to_bits() as u64) << 32) | p.y.to_bits() as u64));
     }
     sum
 }
@@ -105,7 +104,10 @@ impl Trace {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an SJTRACE1 file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an SJTRACE1 file",
+            ));
         }
         let space_side = read_f32(&mut r)?;
         let query_side = read_f32(&mut r)?;
@@ -252,7 +254,9 @@ impl Workload for TraceWorkload {
     fn plan_tick(&mut self, _tick: u32, _set: &MovingSet, actions: &mut TickActions) {
         if let Some(recorded) = self.trace.ticks.get(self.cursor) {
             actions.queriers.extend_from_slice(&recorded.queriers);
-            actions.velocity_updates.extend_from_slice(&recorded.velocity_updates);
+            actions
+                .velocity_updates
+                .extend_from_slice(&recorded.velocity_updates);
         }
         // Past the end of the trace: quiet ticks (no queries, no updates).
         self.cursor += 1;

@@ -6,17 +6,17 @@
 //! coin decides per object whether it queries, and Bernoulli
 //! (`frac_updaters`) whether it draws a fresh random velocity.
 
-use sj_core::driver::{TickActions, Workload};
-use sj_core::geom::{Point, Rect, Vec2};
-use sj_core::rng::Xoshiro256;
-use sj_core::table::{EntryId, MovingSet};
+use sj_base::driver::{TickActions, Workload};
+use sj_base::geom::{Point, Rect, Vec2};
+use sj_base::rng::Xoshiro256;
+use sj_base::table::{EntryId, MovingSet};
 
 use crate::params::WorkloadParams;
 
 /// See module docs.
 ///
 /// ```
-/// use sj_core::Workload;
+/// use sj_base::Workload;
 /// use sj_workload::{UniformWorkload, WorkloadParams};
 ///
 /// let params = WorkloadParams { num_points: 1_000, ..WorkloadParams::default() };
@@ -157,15 +157,25 @@ mod tests {
             let set = w.init();
             let mut a = TickActions::default();
             w.plan_tick(0, &set, &mut a);
-            (set.positions.point(7), a.queriers.len(), a.velocity_updates.len())
+            (
+                set.positions.point(7),
+                a.queriers.len(),
+                a.velocity_updates.len(),
+            )
         };
         assert_eq!(mk(), mk());
     }
 
     #[test]
     fn different_seeds_give_different_placements() {
-        let mut w1 = UniformWorkload::new(WorkloadParams { seed: 1, ..small_params() });
-        let mut w2 = UniformWorkload::new(WorkloadParams { seed: 2, ..small_params() });
+        let mut w1 = UniformWorkload::new(WorkloadParams {
+            seed: 1,
+            ..small_params()
+        });
+        let mut w2 = UniformWorkload::new(WorkloadParams {
+            seed: 2,
+            ..small_params()
+        });
         let (s1, s2) = (w1.init(), w2.init());
         let same = (0..100)
             .filter(|&i| s1.positions.point(i) == s2.positions.point(i))

@@ -2,18 +2,18 @@
 //! invariants over arbitrary parameter combinations.
 
 use proptest::prelude::*;
-use sj_core::driver::{TickActions, Workload};
-use sj_core::geom::Vec2;
+use sj_base::driver::{TickActions, Workload};
+use sj_base::geom::Vec2;
 use sj_workload::{GaussianParams, GaussianWorkload, UniformWorkload, WorkloadParams};
 
 fn arb_params() -> impl Strategy<Value = WorkloadParams> {
     (
-        100u32..2_000,       // num_points
+        100u32..2_000,        // num_points
         1_000.0f32..20_000.0, // space_side
-        0.0f32..300.0,       // max_speed
-        0.0f32..=1.0,        // frac_queriers
-        0.0f32..=1.0,        // frac_updaters
-        any::<u64>(),        // seed
+        0.0f32..300.0,        // max_speed
+        0.0f32..=1.0,         // frac_queriers
+        0.0f32..=1.0,         // frac_updaters
+        any::<u64>(),         // seed
     )
         .prop_map(|(n, side, speed, fq, fu, seed)| WorkloadParams {
             ticks: 3,

@@ -24,8 +24,7 @@ fn profile(stage: Stage, params: &WorkloadParams) -> CacheStats {
         workload.plan_tick(tick, &set, &mut actions);
         grid.build_traced(&set.positions, &mut sim);
         for &q in &actions.queriers {
-            let region =
-                Rect::centered_square(set.positions.point(q), side).clipped_to(&space);
+            let region = Rect::centered_square(set.positions.point(q), side).clipped_to(&space);
             results.clear();
             grid.query_traced(&set.positions, &region, &mut results, &mut sim);
         }
@@ -52,7 +51,10 @@ fn main() {
         "{:<22} {:>10} {:>14} {:>12} {:>12} {:>12}",
         "grid", "CPI", "ops", "L1 miss", "L2 miss", "L3 miss"
     );
-    for (label, s) in [("before (original)", &before), ("after (+cps tuned)", &after)] {
+    for (label, s) in [
+        ("before (original)", &before),
+        ("after (+cps tuned)", &after),
+    ] {
         println!(
             "{:<22} {:>10.2} {:>14} {:>12} {:>12} {:>12}",
             label,

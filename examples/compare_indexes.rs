@@ -1,6 +1,8 @@
-//! Run all five join techniques on the identical workload and verify
-//! they produce the *same join* (equal pair counts and checksums) at very
-//! different speeds — the paper's point in miniature.
+//! Run every benchmarkable technique in the registry on the identical
+//! workload and verify they produce the *same join* (equal pair counts
+//! and checksums) at very different speeds — the paper's point in
+//! miniature. Both join categories appear: the plane sweep runs through
+//! the same `Technique::run` entry point as the indexes.
 //!
 //! Run: `cargo run --release --example compare_indexes`
 
@@ -12,33 +14,24 @@ fn main() {
         ticks: 6,
         ..WorkloadParams::default()
     };
-    let cfg = DriverConfig { ticks: params.ticks, warmup: 1 };
-
-    let mut techniques: Vec<Box<dyn SpatialIndex>> = vec![
-        Box::new(BinarySearchJoin::new()),
-        Box::new(VecSearchJoin::new()),
-        Box::new(RTree::default()),
-        Box::new(DynRTree::default()),
-        Box::new(CRTree::default()),
-        Box::new(LinearKdTrie::new(params.space_side)),
-        Box::new(QuadTree::with_default_bucket(params.space_side)),
-        Box::new(SimpleGrid::at_stage(Stage::Original, params.space_side)),
-        Box::new(SimpleGrid::tuned(params.space_side)),
-        Box::new(IncrementalGrid::tuned(params.space_side)),
-    ];
+    let cfg = DriverConfig {
+        ticks: params.ticks,
+        warmup: 1,
+    };
 
     println!(
         "{:<28} {:>12} {:>14} {:>18}",
         "technique", "avg tick (s)", "join pairs", "checksum"
     );
     let mut reference: Option<(u64, u64)> = None;
-    for index in techniques.iter_mut() {
+    for spec in registry().into_iter().filter(|s| s.is_benchmarkable()) {
         // Fresh workload per technique: same seed → identical trajectories.
         let mut workload = UniformWorkload::new(params);
-        let stats = run_join(&mut workload, index.as_mut(), cfg);
+        let mut tech = spec.build(params.space_side);
+        let stats = tech.run(&mut workload, cfg);
         println!(
             "{:<28} {:>12.4} {:>14} {:>#18x}",
-            index.name(),
+            tech.name(),
             stats.avg_tick_seconds(),
             stats.result_pairs,
             stats.checksum
@@ -49,7 +42,7 @@ fn main() {
                 (stats.result_pairs, stats.checksum),
                 expect,
                 "{} computed a different join!",
-                index.name()
+                tech.name()
             ),
         }
     }

@@ -34,7 +34,10 @@ fn main() {
     let stats = run_join(
         &mut workload,
         index.as_mut(),
-        DriverConfig { ticks: params.ticks, warmup: 2 },
+        DriverConfig {
+            ticks: params.ticks,
+            warmup: 2,
+        },
     );
 
     println!("technique      : {}", index.name());

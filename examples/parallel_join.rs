@@ -16,7 +16,10 @@ fn main() {
         ticks: 6,
         ..WorkloadParams::default()
     };
-    let cfg = DriverConfig { ticks: params.ticks, warmup: 1 };
+    let cfg = DriverConfig {
+        ticks: params.ticks,
+        warmup: 1,
+    };
 
     let sequential = {
         let mut workload = UniformWorkload::new(params);

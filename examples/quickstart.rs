@@ -8,7 +8,10 @@ use spatial_joins::prelude::*;
 fn main() {
     // A base table of 100 000 points in a 22 000² space, like the paper's
     // default workload (positions here from the uniform generator).
-    let params = WorkloadParams { num_points: 100_000, ..WorkloadParams::default() };
+    let params = WorkloadParams {
+        num_points: 100_000,
+        ..WorkloadParams::default()
+    };
     let mut workload = UniformWorkload::new(params);
     let set = workload.init();
     let table: &PointTable = &set.positions;
@@ -51,5 +54,8 @@ fn main() {
     results.sort_unstable();
     expect.sort_unstable();
     assert_eq!(results, expect, "grid and scan disagree");
-    println!("grid result verified against full scan ({} matches)", results.len());
+    println!(
+        "grid result verified against full scan ({} matches)",
+        results.len()
+    );
 }

@@ -14,7 +14,10 @@ fn main() {
         ticks: 8,
         ..WorkloadParams::default()
     };
-    let cfg = DriverConfig { ticks: params.ticks, warmup: 0 };
+    let cfg = DriverConfig {
+        ticks: params.ticks,
+        warmup: 0,
+    };
 
     // 1. Run the live workload.
     let live = {
@@ -34,7 +37,9 @@ fn main() {
             trace.num_points(),
             trace.num_ticks(),
             path.display(),
-            std::fs::metadata(&path).map(|m| m.len() / 1024).unwrap_or(0)
+            std::fs::metadata(&path)
+                .map(|m| m.len() / 1024)
+                .unwrap_or(0)
         );
     }
 
@@ -47,8 +52,17 @@ fn main() {
     };
     let _ = std::fs::remove_file(&path);
 
-    println!("live   grid : {} pairs, checksum {:#x}", live.result_pairs, live.checksum);
-    println!("replay rtree: {} pairs, checksum {:#x}", replayed.result_pairs, replayed.checksum);
-    assert_eq!(live.checksum, replayed.checksum, "replay diverged from the live run");
+    println!(
+        "live   grid : {} pairs, checksum {:#x}",
+        live.result_pairs, live.checksum
+    );
+    println!(
+        "replay rtree: {} pairs, checksum {:#x}",
+        replayed.result_pairs, replayed.checksum
+    );
+    assert_eq!(
+        live.checksum, replayed.checksum,
+        "replay diverged from the live run"
+    );
     println!("replayed join is bit-identical to the live run.");
 }

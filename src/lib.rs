@@ -9,7 +9,8 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`core`] | geometry, base tables, [`core::SpatialIndex`], the tick driver |
+//! | [`core`] | geometry, base tables, [`core::SpatialIndex`], the tick driver, and [`technique`] |
+//! | [`technique`] | the unified registry: [`technique::Technique`], [`technique::TechniqueSpec`] |
 //! | [`workload`] | uniform & Gaussian moving-object workloads (Table 1) |
 //! | [`grid`] | Simple Grid: original and refactored layouts, Algorithms 1 & 2 |
 //! | [`rtree`] | STR-packed R-tree (+ incremental Guttman extension) |
@@ -18,21 +19,67 @@
 //! | [`binsearch`] | the Binary Search baseline |
 //! | [`memsim`] | simulated cache hierarchy for the Table 3 profile |
 //!
-//! ## Quickstart
+//! ## Quickstart: the technique registry
+//!
+//! Every join technique — index nested loop *and* the index-free plane
+//! sweep — sits behind one interface. Build any of them from a spec
+//! string and run it:
 //!
 //! ```
 //! use spatial_joins::prelude::*;
 //!
-//! // Index 10 000 moving objects with the paper's tuned Simple Grid.
 //! let params = WorkloadParams { num_points: 10_000, ticks: 3, ..Default::default() };
 //! let mut workload = UniformWorkload::new(params);
-//! let mut grid = SimpleGrid::tuned(params.space_side);
-//! let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 3, warmup: 1 });
+//!
+//! // The paper's winner: the refactored, re-tuned Simple Grid.
+//! let mut tech = Technique::from_spec("grid:inline", params.space_side).unwrap();
+//! let stats = tech.run(&mut workload, DriverConfig { ticks: 3, warmup: 1 });
 //! assert!(stats.result_pairs > 0);
+//!
+//! // Or iterate everything the workspace implements:
+//! for spec in registry() {
+//!     println!("{:16} {}", spec.name(), spec.label());
+//! }
 //! ```
+//!
+//! ## Queries are sinks
+//!
+//! [`core::SpatialIndex`]'s required query method is `for_each_in`, which
+//! emits each matching [`core::EntryId`] straight from the index's scan
+//! loop — the driver folds join pairs into its checksum with zero
+//! per-query materialization. The buffer-collecting `query` is a provided
+//! adapter:
+//!
+//! ```
+//! use spatial_joins::prelude::*;
+//!
+//! let mut table = PointTable::default();
+//! table.push(1.0, 1.0);
+//! let mut grid = SimpleGrid::tuned(1000.0);
+//! grid.build(&table);
+//!
+//! let region = Rect::new(0.0, 0.0, 10.0, 10.0);
+//! let mut count = 0;
+//! grid.for_each_in(&table, &region, &mut |_id| count += 1); // sink form
+//! let mut hits = Vec::new();
+//! grid.query(&table, &region, &mut hits); // adapter, same matches
+//! assert_eq!(count as usize, hits.len());
+//! ```
+//!
+//! ### Migrating from the pre-registry API
+//!
+//! `SpatialIndex::query` used to be the required method. It still exists
+//! with the identical signature — callers are unaffected — but it is now
+//! provided on top of `for_each_in`, which is what implementations must
+//! define: rename your `query(&self, table, region, out)` to
+//! `for_each_in(&self, table, region, emit)` and replace each
+//! `out.push(id)` with `emit(id)`. Hand-maintained technique lists are
+//! superseded by [`technique::registry`].
+
+pub use sj_core as core;
+pub use sj_core::technique;
 
 pub use sj_binsearch as binsearch;
-pub use sj_core as core;
 pub use sj_crtree as crtree;
 pub use sj_grid as grid;
 pub use sj_kdtrie as kdtrie;
@@ -45,8 +92,8 @@ pub use sj_workload as workload;
 #[cfg(feature = "parallel")]
 pub mod parallel;
 
-/// The common imports for applications: every index, the driver, and the
-/// workload generators.
+/// The common imports for applications: the registry, every index, the
+/// driver, and the workload generators.
 pub mod prelude {
     pub use sj_binsearch::{BinarySearchJoin, VecSearchJoin};
     pub use sj_core::batch::{BatchJoin, NaiveBatchJoin};
@@ -54,6 +101,7 @@ pub mod prelude {
     pub use sj_core::geom::{Point, Rect, Vec2};
     pub use sj_core::index::{ScanIndex, SpatialIndex};
     pub use sj_core::table::{EntryId, MovingSet, PointTable};
+    pub use sj_core::technique::{registry, Technique, TechniqueSpec};
     pub use sj_crtree::CRTree;
     pub use sj_grid::{GridConfig, IncrementalGrid, Layout, QueryAlgo, SimpleGrid, Stage};
     pub use sj_kdtrie::LinearKdTrie;

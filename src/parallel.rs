@@ -16,7 +16,6 @@ use std::time::Instant;
 use sj_core::driver::{fold_pair, DriverConfig, RunStats, TickActions, TickTimes, Workload};
 use sj_core::geom::Rect;
 use sj_core::index::SpatialIndex;
-use sj_core::table::EntryId;
 
 /// Like [`sj_core::driver::run_join`], but the query phase fans out over
 /// `threads` workers. Results (pair counts and checksum) are identical to
@@ -62,25 +61,26 @@ where
                 .chunks(chunk)
                 .map(|shard| {
                     scope.spawn(move || {
-                        let mut results: Vec<EntryId> = Vec::with_capacity(256);
                         let mut pairs = 0u64;
                         let mut checksum = 0u64;
                         for &q in shard {
-                            let region =
-                                Rect::centered_square(positions.point(q), query_side)
-                                    .clipped_to(&space);
-                            results.clear();
-                            index_ref.query(positions, &region, &mut results);
-                            pairs += results.len() as u64;
-                            for &r in &results {
+                            let region = Rect::centered_square(positions.point(q), query_side)
+                                .clipped_to(&space);
+                            // Sink fold, like the sequential driver: no
+                            // per-query result materialization in any shard.
+                            index_ref.for_each_in(positions, &region, &mut |r| {
+                                pairs += 1;
                                 checksum = fold_pair(checksum, q, r);
-                            }
+                            });
                         }
                         (pairs, checksum)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("query shard panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query shard panicked"))
+                .collect()
         });
         let query = t0.elapsed();
 
@@ -92,7 +92,11 @@ where
         let update = t0.elapsed();
 
         if measured {
-            stats.ticks.push(TickTimes { build, query, update });
+            stats.ticks.push(TickTimes {
+                build,
+                query,
+                update,
+            });
             for (pairs, checksum) in shard_results {
                 stats.result_pairs += pairs;
                 stats.checksum = stats.checksum.wrapping_add(checksum);
@@ -123,7 +127,10 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_exactly() {
-        let cfg = DriverConfig { ticks: 3, warmup: 1 };
+        let cfg = DriverConfig {
+            ticks: 3,
+            warmup: 1,
+        };
         let sequential = {
             let mut w = UniformWorkload::new(params());
             let mut g = SimpleGrid::tuned(params().space_side);
@@ -133,7 +140,10 @@ mod tests {
             let mut w = UniformWorkload::new(params());
             let mut g = SimpleGrid::tuned(params().space_side);
             let par = run_join_parallel(&mut w, &mut g, cfg, threads);
-            assert_eq!(par.result_pairs, sequential.result_pairs, "threads={threads}");
+            assert_eq!(
+                par.result_pairs, sequential.result_pairs,
+                "threads={threads}"
+            );
             assert_eq!(par.checksum, sequential.checksum, "threads={threads}");
         }
     }

@@ -1,40 +1,41 @@
-//! The load-bearing integration property: all five join techniques (and
-//! every grid improvement stage) compute the *identical* join on the
-//! identical workload — different speeds, same answer. Without this, the
-//! paper's performance comparison would be comparing different
-//! computations.
+//! The load-bearing integration property: every technique in the registry
+//! — both join categories, every grid improvement stage, the quadratic
+//! reference scan — computes the *identical* join on the identical
+//! workload: different speeds, same answer. Without this, the paper's
+//! performance comparison would be comparing different computations.
+//!
+//! The line-up comes exclusively from [`spatial_joins::technique::registry`];
+//! adding a technique to the registry automatically adds it to every test
+//! here.
 
 use spatial_joins::prelude::*;
 
-fn all_techniques(space_side: f32) -> Vec<Box<dyn SpatialIndex>> {
-    let mut v: Vec<Box<dyn SpatialIndex>> = vec![
-        Box::new(BinarySearchJoin::new()),
-        Box::new(RTree::default()),
-        Box::new(CRTree::default()),
-        Box::new(LinearKdTrie::new(space_side)),
-        Box::new(DynRTree::default()),
-        Box::new(IncrementalGrid::tuned(space_side)),
-        Box::new(QuadTree::with_default_bucket(space_side)),
-        Box::new(VecSearchJoin::new()),
-    ];
-    for stage in Stage::ALL {
-        v.push(Box::new(SimpleGrid::at_stage(stage, space_side)));
-    }
-    v
-}
-
-fn run_uniform(index: &mut dyn SpatialIndex, params: WorkloadParams) -> RunStats {
+fn run_uniform_spec(spec: TechniqueSpec, params: WorkloadParams) -> RunStats {
     let mut workload = UniformWorkload::new(params);
-    run_join(&mut workload, index, DriverConfig { ticks: params.ticks, warmup: 1 })
+    let mut tech = spec.build(params.space_side);
+    tech.run(
+        &mut workload,
+        DriverConfig {
+            ticks: params.ticks,
+            warmup: 1,
+        },
+    )
 }
 
-fn run_gaussian(index: &mut dyn SpatialIndex, params: GaussianParams) -> RunStats {
+fn run_gaussian_spec(spec: TechniqueSpec, params: GaussianParams) -> RunStats {
     let mut workload = GaussianWorkload::new(params);
-    run_join(&mut workload, index, DriverConfig { ticks: params.base.ticks, warmup: 1 })
+    let mut tech = spec.build(params.base.space_side);
+    tech.run(
+        &mut workload,
+        DriverConfig {
+            ticks: params.base.ticks,
+            warmup: 1,
+        },
+    )
 }
 
 #[test]
-fn all_techniques_agree_on_uniform_workload() {
+fn all_registry_techniques_agree_on_uniform_workload() {
     let params = WorkloadParams {
         num_points: 3_000,
         ticks: 4,
@@ -42,21 +43,21 @@ fn all_techniques_agree_on_uniform_workload() {
         ..WorkloadParams::default()
     };
     let mut reference = None;
-    for mut index in all_techniques(params.space_side) {
-        let stats = run_uniform(index.as_mut(), params);
-        assert!(stats.result_pairs > 0, "{} found nothing", index.name());
+    for spec in registry() {
+        let stats = run_uniform_spec(spec, params);
+        assert!(stats.result_pairs > 0, "{} found nothing", spec.name());
         let key = (stats.result_pairs, stats.checksum);
         match reference {
             None => reference = Some(key),
             Some(expect) => {
-                assert_eq!(key, expect, "{} computed a different join", index.name())
+                assert_eq!(key, expect, "{} computed a different join", spec.name())
             }
         }
     }
 }
 
 #[test]
-fn all_techniques_agree_on_gaussian_workload() {
+fn all_registry_techniques_agree_on_gaussian_workload() {
     let params = GaussianParams {
         base: WorkloadParams {
             num_points: 3_000,
@@ -68,14 +69,14 @@ fn all_techniques_agree_on_gaussian_workload() {
         sigma: 400.0,
     };
     let mut reference = None;
-    for mut index in all_techniques(params.base.space_side) {
-        let stats = run_gaussian(index.as_mut(), params);
-        assert!(stats.result_pairs > 0, "{} found nothing", index.name());
+    for spec in registry() {
+        let stats = run_gaussian_spec(spec, params);
+        assert!(stats.result_pairs > 0, "{} found nothing", spec.name());
         let key = (stats.result_pairs, stats.checksum);
         match reference {
             None => reference = Some(key),
             Some(expect) => {
-                assert_eq!(key, expect, "{} computed a different join", index.name())
+                assert_eq!(key, expect, "{} computed a different join", spec.name())
             }
         }
     }
@@ -91,10 +92,8 @@ fn agreement_holds_across_query_fractions() {
             frac_queriers: frac,
             ..WorkloadParams::default()
         };
-        let mut grid = SimpleGrid::tuned(params.space_side);
-        let mut rtree = RTree::default();
-        let a = run_uniform(&mut grid, params);
-        let b = run_uniform(&mut rtree, params);
+        let a = run_uniform_spec(TechniqueSpec::parse("grid:inline").unwrap(), params);
+        let b = run_uniform_spec(TechniqueSpec::parse("rtree:str").unwrap(), params);
         assert_eq!(a.checksum, b.checksum, "frac_queriers = {frac}");
         assert_eq!(a.queries, b.queries);
     }
@@ -102,34 +101,24 @@ fn agreement_holds_across_query_fractions() {
 
 #[test]
 fn batch_plane_sweep_computes_the_same_join_as_the_indexes() {
-    // The specialized-join category goes through a different driver
-    // (set-at-a-time) — its join must still be identical.
+    // The specialized-join category goes through the set-at-a-time
+    // executor inside the shared tick loop — its join must be identical.
     let params = WorkloadParams {
         num_points: 3_000,
         ticks: 4,
         space_side: 8_000.0,
         ..WorkloadParams::default()
     };
-    let indexed = {
-        let mut grid = SimpleGrid::tuned(params.space_side);
-        run_uniform(&mut grid, params)
-    };
-    let swept = {
-        let mut workload = UniformWorkload::new(params);
-        let mut sweep = PlaneSweepJoin::new();
-        run_batch_join(
-            &mut workload,
-            &mut sweep,
-            DriverConfig { ticks: params.ticks, warmup: 1 },
-        )
-    };
+    let indexed = run_uniform_spec(TechniqueSpec::parse("grid:inline").unwrap(), params);
+    let swept = run_uniform_spec(TechniqueSpec::Sweep, params);
+    assert!(TechniqueSpec::Sweep.is_batch());
     assert_eq!(swept.result_pairs, indexed.result_pairs);
     assert_eq!(swept.checksum, indexed.checksum);
     assert_eq!(swept.queries, indexed.queries);
 }
 
 #[test]
-fn all_techniques_agree_on_road_grid_workload() {
+fn all_registry_techniques_agree_on_road_grid_workload() {
     // The simulation-workload substitute: skewed line-concentrated
     // density must not break any technique.
     use spatial_joins::workload::RoadGridWorkload;
@@ -141,19 +130,22 @@ fn all_techniques_agree_on_road_grid_workload() {
         ..WorkloadParams::default()
     };
     let mut reference = None;
-    for mut index in all_techniques(params.space_side) {
+    for spec in registry() {
         let mut workload = RoadGridWorkload::with_defaults(params);
-        let stats = run_join(
+        let mut tech = spec.build(params.space_side);
+        let stats = tech.run(
             &mut workload,
-            index.as_mut(),
-            DriverConfig { ticks: params.ticks, warmup: 1 },
+            DriverConfig {
+                ticks: params.ticks,
+                warmup: 1,
+            },
         );
-        assert!(stats.result_pairs > 0, "{} found nothing", index.name());
+        assert!(stats.result_pairs > 0, "{} found nothing", spec.name());
         let key = (stats.result_pairs, stats.checksum);
         match reference {
             None => reference = Some(key),
             Some(expect) => {
-                assert_eq!(key, expect, "{} differs on the road grid", index.name())
+                assert_eq!(key, expect, "{} differs on the road grid", spec.name())
             }
         }
     }
@@ -174,13 +166,13 @@ fn agreement_holds_with_extreme_hotspot_density() {
         sigma: 200.0,
     };
     let mut reference = None;
-    for mut index in all_techniques(params.base.space_side) {
-        let stats = run_gaussian(index.as_mut(), params);
+    for spec in registry() {
+        let stats = run_gaussian_spec(spec, params);
         let key = (stats.result_pairs, stats.checksum);
         match reference {
             None => reference = Some(key),
             Some(expect) => {
-                assert_eq!(key, expect, "{} differs at 1 hotspot", index.name())
+                assert_eq!(key, expect, "{} differs at 1 hotspot", spec.name())
             }
         }
     }

@@ -17,7 +17,14 @@ fn run_once(seed: u64) -> RunStats {
     };
     let mut workload = UniformWorkload::new(params);
     let mut grid = SimpleGrid::tuned(params.space_side);
-    run_join(&mut workload, &mut grid, DriverConfig { ticks: params.ticks, warmup: 1 })
+    run_join(
+        &mut workload,
+        &mut grid,
+        DriverConfig {
+            ticks: params.ticks,
+            warmup: 1,
+        },
+    )
 }
 
 #[test]
@@ -53,7 +60,14 @@ fn gaussian_workload_is_deterministic_too() {
         };
         let mut workload = GaussianWorkload::new(params);
         let mut index = LinearKdTrie::new(params.base.space_side);
-        run_join(&mut workload, &mut index, DriverConfig { ticks: 4, warmup: 0 })
+        run_join(
+            &mut workload,
+            &mut index,
+            DriverConfig {
+                ticks: 4,
+                warmup: 0,
+            },
+        )
     };
     let (a, b) = (mk(), mk());
     assert_eq!(a.checksum, b.checksum);
@@ -70,14 +84,24 @@ fn rerun_with_same_seed_is_bit_identical_across_all_runstats_fields() {
     for seed in [0u64, 42, u64::MAX] {
         let a = run_once(seed);
         let b = run_once(seed);
-        assert_eq!(a.result_pairs, b.result_pairs, "seed {seed}: pair count drifted");
+        assert_eq!(
+            a.result_pairs, b.result_pairs,
+            "seed {seed}: pair count drifted"
+        );
         assert_eq!(a.checksum, b.checksum, "seed {seed}: checksum drifted");
         assert_eq!(a.queries, b.queries, "seed {seed}: query count drifted");
         assert_eq!(a.updates, b.updates, "seed {seed}: update count drifted");
-        assert_eq!(a.index_bytes, b.index_bytes, "seed {seed}: index footprint drifted");
+        assert_eq!(
+            a.index_bytes, b.index_bytes,
+            "seed {seed}: index footprint drifted"
+        );
         // Per-phase tick counts: one TickTimes entry per measured tick, with
         // all three phases (build/query/update) recorded in each.
-        assert_eq!(a.ticks.len(), b.ticks.len(), "seed {seed}: measured tick count drifted");
+        assert_eq!(
+            a.ticks.len(),
+            b.ticks.len(),
+            "seed {seed}: measured tick count drifted"
+        );
         assert_eq!(
             a.ticks.len(),
             MEASURED_TICKS as usize,
@@ -87,9 +111,10 @@ fn rerun_with_same_seed_is_bit_identical_across_all_runstats_fields() {
 }
 
 #[test]
-fn determinism_holds_across_every_index_technique() {
+fn determinism_holds_across_every_registry_technique() {
     // The guarantee is workload-level, so it must hold no matter which
-    // index consumes the workload: same seed, same technique, same numbers.
+    // technique consumes the workload: same seed, same spec, same numbers.
+    // The line-up comes exclusively from the registry.
     let params = WorkloadParams {
         num_points: 1_000,
         ticks: 3,
@@ -97,25 +122,24 @@ fn determinism_holds_across_every_index_technique() {
         seed: 1234,
         ..WorkloadParams::default()
     };
-    let cfg = DriverConfig { ticks: 3, warmup: 1 };
-    let indexes: Vec<(&str, Box<dyn Fn() -> Box<dyn SpatialIndex>>)> = vec![
-        ("grid", Box::new(move || Box::new(SimpleGrid::tuned(params.space_side)))),
-        ("rtree", Box::new(|| Box::new(RTree::new(8)))),
-        ("crtree", Box::new(|| Box::new(CRTree::new(8)))),
-        ("kdtrie", Box::new(move || Box::new(LinearKdTrie::new(params.space_side)))),
-        ("binsearch", Box::new(|| Box::new(BinarySearchJoin::new()))),
-        ("quadtree", Box::new(move || Box::new(QuadTree::new(params.space_side, 8)))),
-    ];
+    let cfg = DriverConfig {
+        ticks: 3,
+        warmup: 1,
+    };
     let mut reference: Option<(u64, u64)> = None;
-    for (name, make) in &indexes {
-        let run = |mk: &dyn Fn() -> Box<dyn SpatialIndex>| {
+    for spec in registry() {
+        let run = || {
             let mut w = UniformWorkload::new(params);
-            let mut idx = mk();
-            run_join(&mut w, idx.as_mut(), cfg)
+            let mut tech = spec.build(params.space_side);
+            tech.run(&mut w, cfg)
         };
-        let (a, b) = (run(make.as_ref()), run(make.as_ref()));
+        let (a, b) = (run(), run());
+        let name = spec.name();
         assert_eq!(a.checksum, b.checksum, "{name}: rerun checksum drifted");
-        assert_eq!(a.result_pairs, b.result_pairs, "{name}: rerun pair count drifted");
+        assert_eq!(
+            a.result_pairs, b.result_pairs,
+            "{name}: rerun pair count drifted"
+        );
         // And all techniques must agree with each other on the join result.
         match reference {
             None => reference = Some((a.result_pairs, a.checksum)),
@@ -135,6 +159,9 @@ fn checksum_is_independent_of_result_order() {
     use spatial_joins::core::driver::fold_pair;
     let pairs = [(1u32, 9u32), (2, 8), (3, 7), (4, 6)];
     let forward = pairs.iter().fold(0u64, |c, &(q, r)| fold_pair(c, q, r));
-    let backward = pairs.iter().rev().fold(0u64, |c, &(q, r)| fold_pair(c, q, r));
+    let backward = pairs
+        .iter()
+        .rev()
+        .fold(0u64, |c, &(q, r)| fold_pair(c, q, r));
     assert_eq!(forward, backward);
 }

@@ -19,7 +19,14 @@ fn every_querier_is_in_its_own_result() {
     let p = params();
     let mut workload = UniformWorkload::new(p);
     let mut grid = SimpleGrid::tuned(p.space_side);
-    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: p.ticks, warmup: 0 });
+    let stats = run_join(
+        &mut workload,
+        &mut grid,
+        DriverConfig {
+            ticks: p.ticks,
+            warmup: 0,
+        },
+    );
     assert!(
         stats.result_pairs >= stats.queries,
         "pairs {} < queries {}",
@@ -33,7 +40,14 @@ fn warmup_ticks_are_excluded_from_stats() {
     let p = params();
     let mut workload = UniformWorkload::new(p);
     let mut grid = SimpleGrid::tuned(p.space_side);
-    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 3, warmup: 2 });
+    let stats = run_join(
+        &mut workload,
+        &mut grid,
+        DriverConfig {
+            ticks: 3,
+            warmup: 2,
+        },
+    );
     assert_eq!(stats.ticks.len(), 3);
 }
 
@@ -42,13 +56,23 @@ fn phase_times_are_all_populated() {
     let p = params();
     let mut workload = UniformWorkload::new(p);
     let mut rtree = RTree::default();
-    let stats = run_join(&mut workload, &mut rtree, DriverConfig { ticks: 4, warmup: 1 });
+    let stats = run_join(
+        &mut workload,
+        &mut rtree,
+        DriverConfig {
+            ticks: 4,
+            warmup: 1,
+        },
+    );
     assert!(stats.avg_build_seconds() > 0.0);
     assert!(stats.avg_query_seconds() > 0.0);
     assert!(stats.avg_update_seconds() > 0.0);
     let total = stats.avg_tick_seconds();
     let sum = stats.avg_build_seconds() + stats.avg_query_seconds() + stats.avg_update_seconds();
-    assert!((total - sum).abs() < 1e-9, "phases must sum to the tick time");
+    assert!(
+        (total - sum).abs() < 1e-9,
+        "phases must sum to the tick time"
+    );
 }
 
 #[test]
@@ -56,11 +80,26 @@ fn query_and_update_counts_match_fractions_roughly() {
     let p = params();
     let mut workload = UniformWorkload::new(p);
     let mut grid = SimpleGrid::tuned(p.space_side);
-    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 10, warmup: 0 });
+    let stats = run_join(
+        &mut workload,
+        &mut grid,
+        DriverConfig {
+            ticks: 10,
+            warmup: 0,
+        },
+    );
     let expected = (p.num_points as f64) * 0.5 * 10.0;
     let tolerance = expected * 0.05;
-    assert!((stats.queries as f64 - expected).abs() < tolerance, "queries {}", stats.queries);
-    assert!((stats.updates as f64 - expected).abs() < tolerance, "updates {}", stats.updates);
+    assert!(
+        (stats.queries as f64 - expected).abs() < tolerance,
+        "queries {}",
+        stats.queries
+    );
+    assert!(
+        (stats.updates as f64 - expected).abs() < tolerance,
+        "updates {}",
+        stats.updates
+    );
 }
 
 #[test]
@@ -68,16 +107,33 @@ fn index_memory_is_reported_after_run() {
     let p = params();
     let mut workload = UniformWorkload::new(p);
     let mut grid = SimpleGrid::tuned(p.space_side);
-    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 2, warmup: 0 });
+    let stats = run_join(
+        &mut workload,
+        &mut grid,
+        DriverConfig {
+            ticks: 2,
+            warmup: 0,
+        },
+    );
     assert!(stats.index_bytes > 0);
 }
 
 #[test]
 fn zero_queriers_yield_zero_pairs() {
-    let p = WorkloadParams { frac_queriers: 0.0, ..params() };
+    let p = WorkloadParams {
+        frac_queriers: 0.0,
+        ..params()
+    };
     let mut workload = UniformWorkload::new(p);
     let mut grid = SimpleGrid::tuned(p.space_side);
-    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 3, warmup: 0 });
+    let stats = run_join(
+        &mut workload,
+        &mut grid,
+        DriverConfig {
+            ticks: 3,
+            warmup: 0,
+        },
+    );
     assert_eq!(stats.queries, 0);
     assert_eq!(stats.result_pairs, 0);
     assert_eq!(stats.checksum, 0);
@@ -85,10 +141,20 @@ fn zero_queriers_yield_zero_pairs() {
 
 #[test]
 fn zero_updaters_keep_velocities_fixed() {
-    let p = WorkloadParams { frac_updaters: 0.0, ..params() };
+    let p = WorkloadParams {
+        frac_updaters: 0.0,
+        ..params()
+    };
     let mut workload = UniformWorkload::new(p);
     let mut grid = SimpleGrid::tuned(p.space_side);
-    let stats = run_join(&mut workload, &mut grid, DriverConfig { ticks: 3, warmup: 0 });
+    let stats = run_join(
+        &mut workload,
+        &mut grid,
+        DriverConfig {
+            ticks: 3,
+            warmup: 0,
+        },
+    );
     assert_eq!(stats.updates, 0);
 }
 
@@ -99,7 +165,15 @@ fn refactored_grid_uses_less_memory_than_original() {
     let run_with = |stage: Stage| {
         let mut workload = UniformWorkload::new(p);
         let mut grid = SimpleGrid::at_stage(stage, p.space_side);
-        run_join(&mut workload, &mut grid, DriverConfig { ticks: 1, warmup: 0 }).index_bytes
+        run_join(
+            &mut workload,
+            &mut grid,
+            DriverConfig {
+                ticks: 1,
+                warmup: 0,
+            },
+        )
+        .index_bytes
     };
     let original = run_with(Stage::Original);
     let restructured = run_with(Stage::Restructured);

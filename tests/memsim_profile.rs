@@ -35,7 +35,11 @@ fn profile(stage: Stage, params: &WorkloadParams) -> CacheStats {
 }
 
 fn small_params() -> WorkloadParams {
-    WorkloadParams { num_points: 5_000, ticks: 2, ..WorkloadParams::default() }
+    WorkloadParams {
+        num_points: 5_000,
+        ticks: 2,
+        ..WorkloadParams::default()
+    }
 }
 
 #[test]
@@ -45,11 +49,20 @@ fn refactoring_reduces_every_table3_metric() {
     // refactored one (≈ 180 KiB + directory) mostly fits — the same
     // capacity relationship the paper's 50 K-point workload has to its
     // machine. One tick keeps the traced run fast.
-    let params = WorkloadParams { num_points: 15_000, ticks: 1, ..WorkloadParams::default() };
+    let params = WorkloadParams {
+        num_points: 15_000,
+        ticks: 1,
+        ..WorkloadParams::default()
+    };
     let before = profile(Stage::Original, &params);
     let after = profile(Stage::CpsTuned, &params);
 
-    assert!(after.instrs < before.instrs, "ops: {} -> {}", before.instrs, after.instrs);
+    assert!(
+        after.instrs < before.instrs,
+        "ops: {} -> {}",
+        before.instrs,
+        after.instrs
+    );
     assert!(
         after.l1_accesses < before.l1_accesses,
         "accesses: {} -> {}",
@@ -62,7 +75,10 @@ fn refactoring_reduces_every_table3_metric() {
     assert!(after.l3_misses <= before.l3_misses);
 
     let model = CpiModel::default();
-    assert!(model.cpi(&after) <= model.cpi(&before) * 1.05, "CPI should not regress");
+    assert!(
+        model.cpi(&after) <= model.cpi(&before) * 1.05,
+        "CPI should not regress"
+    );
 }
 
 #[test]

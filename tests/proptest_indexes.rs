@@ -58,7 +58,12 @@ fn check_all(points: Vec<(f32, f32)>, q: (f32, f32, f32, f32)) {
     for index in indexes.iter_mut() {
         index.build(&t);
         let got = sorted(index.as_ref(), &t, &region);
-        assert_eq!(got, expected, "{} disagrees with scan on {region:?}", index.name());
+        assert_eq!(
+            got,
+            expected,
+            "{} disagrees with scan on {region:?}",
+            index.name()
+        );
     }
 }
 

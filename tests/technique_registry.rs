@@ -1,0 +1,125 @@
+//! Property tests for the sink-based query API and the technique
+//! registry: on arbitrary point sets and query rectangles, the required
+//! `for_each_in` and the provided `query` adapter must report the same
+//! match set for every registry technique, and spec strings must
+//! round-trip through parse → name.
+
+use proptest::prelude::*;
+use spatial_joins::prelude::*;
+
+const SIDE: f32 = 1_000.0;
+
+fn arb_points() -> impl Strategy<Value = Vec<(f32, f32)>> {
+    prop::collection::vec((0.0f32..=SIDE, 0.0f32..=SIDE), 0..300)
+}
+
+fn arb_query() -> impl Strategy<Value = (f32, f32, f32, f32)> {
+    (0.0f32..=SIDE, 0.0f32..=SIDE, 0.0f32..=400.0, 0.0f32..=400.0)
+}
+
+fn table_of(points: &[(f32, f32)]) -> PointTable {
+    let mut t = PointTable::default();
+    for &(x, y) in points {
+        t.push(x, y);
+    }
+    t
+}
+
+fn query_region((cx, cy, w, h): (f32, f32, f32, f32)) -> Rect {
+    Rect::new(cx - w * 0.5, cy - h * 0.5, cx + w * 0.5, cy + h * 0.5).clipped_to(&Rect::space(SIDE))
+}
+
+/// `for_each_in` (sink) and `query` (Vec adapter) must agree — same ids,
+/// same multiplicities — for every index technique in the registry.
+fn check_sink_matches_adapter(points: Vec<(f32, f32)>, q: (f32, f32, f32, f32)) {
+    let t = table_of(&points);
+    let region = query_region(q);
+    for spec in registry() {
+        let mut tech = spec.build(SIDE);
+        let Some(index) = tech.as_index_mut() else {
+            continue; // batch techniques have no per-query interface
+        };
+        index.build(&t);
+        let mut from_sink: Vec<EntryId> = Vec::new();
+        index.for_each_in(&t, &region, &mut |id| from_sink.push(id));
+        let mut from_adapter: Vec<EntryId> = Vec::new();
+        index.query(&t, &region, &mut from_adapter);
+        from_sink.sort_unstable();
+        from_adapter.sort_unstable();
+        assert_eq!(
+            from_sink,
+            from_adapter,
+            "{}: sink and adapter disagree on {region:?}",
+            spec.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn for_each_in_agrees_with_query_adapter(points in arb_points(), q in arb_query()) {
+        check_sink_matches_adapter(points, q);
+    }
+
+    #[test]
+    fn sink_agreement_with_degenerate_queries(
+        points in arb_points(),
+        cx in 0.0f32..=SIDE,
+        cy in 0.0f32..=SIDE,
+    ) {
+        // Zero-area queries: only points exactly on (cx, cy) match.
+        check_sink_matches_adapter(points, (cx, cy, 0.0, 0.0));
+    }
+
+    #[test]
+    fn emitted_ids_are_exactly_the_scan_matches(points in arb_points(), q in arb_query()) {
+        // The sink form against ground truth directly, without the adapter
+        // in the loop.
+        let t = table_of(&points);
+        let region = query_region(q);
+        let mut expected: Vec<EntryId> = Vec::new();
+        ScanIndex::new().for_each_in(&t, &region, &mut |id| expected.push(id));
+        expected.sort_unstable();
+        for spec in registry() {
+            let mut tech = spec.build(SIDE);
+            let Some(index) = tech.as_index_mut() else { continue };
+            index.build(&t);
+            let mut got: Vec<EntryId> = Vec::new();
+            index.for_each_in(&t, &region, &mut |id| got.push(id));
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "{} disagrees with scan", spec.name());
+        }
+    }
+}
+
+#[test]
+fn every_registry_spec_round_trips_through_parse_then_name() {
+    for spec in registry() {
+        let name = spec.name();
+        let reparsed = TechniqueSpec::parse(name)
+            .unwrap_or_else(|e| panic!("canonical name {name:?} failed to parse: {e}"));
+        assert_eq!(reparsed, spec, "{name} did not round-trip");
+        assert_eq!(reparsed.name(), name);
+    }
+}
+
+#[test]
+fn registry_builds_match_their_spec_labels() {
+    for spec in registry() {
+        let tech = spec.build(SIDE);
+        // Grid stages carry their configuration in the index name; every
+        // other technique's runtime name equals the spec label.
+        if spec.grid_stage().is_some() {
+            assert!(
+                tech.name().starts_with("Simple Grid"),
+                "{} built {:?}",
+                spec.name(),
+                tech.name()
+            );
+        } else {
+            assert_eq!(tech.name(), spec.label(), "{}", spec.name());
+        }
+    }
+}

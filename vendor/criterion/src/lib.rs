@@ -26,11 +26,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -58,11 +62,16 @@ impl Bencher {
         // Warm-up: estimate per-iteration cost with a few runs.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
-        while warm_iters < 3 || (warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1_000) {
+        while warm_iters < 3
+            || (warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1_000)
+        {
             std_black_box(f());
             warm_iters += 1;
         }
-        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
 
         // Measured phase: enough iterations to fill the budget, at least one.
         let target = if per_iter.is_zero() {
@@ -82,12 +91,18 @@ fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     // sample_size scales the measurement budget the way criterion's
     // sample count does, within a sane cap for CI.
     let budget = Duration::from_millis((5 * sample_size as u64).clamp(25, 500));
-    let mut b = Bencher { measure_budget: budget, result: None };
+    let mut b = Bencher {
+        measure_budget: budget,
+        result: None,
+    };
     f(&mut b);
     match b.result {
         Some((elapsed, iters)) => {
             let per_iter = elapsed.as_nanos() as f64 / iters as f64;
-            println!("bench {name:<48} {:>12.1} ns/iter ({iters} iters)", per_iter);
+            println!(
+                "bench {name:<48} {:>12.1} ns/iter ({iters} iters)",
+                per_iter
+            );
         }
         None => println!("bench {name:<48} (no measurement: closure never called iter)"),
     }
@@ -115,7 +130,11 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
     }
 }
 
