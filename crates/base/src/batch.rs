@@ -27,6 +27,12 @@ pub trait BatchJoin {
         queries: &[(EntryId, Rect)],
         out: &mut Vec<(EntryId, EntryId)>,
     );
+
+    /// An independent instance of this technique for a parallel worker
+    /// (see [`crate::par::shard_batch_join`]): same algorithm, private
+    /// scratch state. Implementations are typically `Clone`, so this is
+    /// one line; it must not share mutable state with `self`.
+    fn fork(&self) -> Box<dyn BatchJoin + Send>;
 }
 
 /// Reference implementation: a nested loop over queries × points.
@@ -54,6 +60,10 @@ impl BatchJoin for NaiveBatchJoin {
                 }
             }
         }
+    }
+
+    fn fork(&self) -> Box<dyn BatchJoin + Send> {
+        Box::new(self.clone())
     }
 }
 

@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 
 use crate::geom::Rect;
 use crate::index::SpatialIndex;
+use crate::par::{self, ExecMode};
 use crate::rng::mix64;
 use crate::stats::Summary;
 use crate::table::{EntryId, MovingSet, PointTable};
@@ -133,13 +134,19 @@ pub fn fold_pair(checksum: u64, querier: EntryId, result: EntryId) -> u64 {
 }
 
 /// Configuration of a driver run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DriverConfig {
     /// Number of ticks to execute (Table 1 "Number of Ticks").
     pub ticks: u32,
     /// Warm-up ticks executed but excluded from statistics (the original
-    /// framework also discards cold-start effects).
+    /// framework also discards cold-start effects). Warm-up accounting is
+    /// identical in both execution modes: the phase runs, its results are
+    /// discarded.
     pub warmup: u32,
+    /// How the query phase executes ([`ExecMode::Sequential`] by default).
+    /// Build and update phases are always sequential — parallelism never
+    /// touches the previous-tick semantics (see [`crate::par`]).
+    pub exec: ExecMode,
 }
 
 impl Default for DriverConfig {
@@ -147,7 +154,26 @@ impl Default for DriverConfig {
         DriverConfig {
             ticks: 100,
             warmup: 2,
+            exec: ExecMode::Sequential,
         }
+    }
+}
+
+impl DriverConfig {
+    /// A sequential run of `ticks` measured ticks after `warmup` discarded
+    /// ones.
+    pub const fn new(ticks: u32, warmup: u32) -> DriverConfig {
+        DriverConfig {
+            ticks,
+            warmup,
+            exec: ExecMode::Sequential,
+        }
+    }
+
+    /// The same run under a different execution mode.
+    pub const fn with_exec(mut self, exec: ExecMode) -> DriverConfig {
+        self.exec = exec;
+        self
     }
 }
 
@@ -168,23 +194,29 @@ trait TickExecutor {
     /// timed phase: issuing a query, region arithmetic included, is part of
     /// that category's per-query cost (unchanged from the pre-unification
     /// driver).
-    fn prepare(&mut self, set: &MovingSet, queriers: &[EntryId], space: &Rect, query_side: f32);
+    fn prepare(&mut self, tick: &TickCtx<'_>);
 
     /// Timed query phase: run every query of the tick, folding each
     /// `(querier, result)` pair into `pairs`/`checksum` via
-    /// [`fold_pair`] — no per-query result materialization.
-    fn query(
-        &mut self,
-        set: &MovingSet,
-        queriers: &[EntryId],
-        space: &Rect,
-        query_side: f32,
-        pairs: &mut u64,
-        checksum: &mut u64,
-    );
+    /// [`fold_pair`] — no per-query result materialization. Under
+    /// [`ExecMode::Parallel`] the executor shards the phase through
+    /// [`crate::par`]; both categories merge per-worker partials with a
+    /// commutative wrapping sum, so the folded totals are bit-identical to
+    /// the sequential mode.
+    fn query(&mut self, tick: &TickCtx<'_>, exec: ExecMode, pairs: &mut u64, checksum: &mut u64);
 
     /// Index memory after the final build (0 for batch techniques).
     fn index_bytes(&self) -> usize;
+}
+
+/// One tick's query-phase inputs, as seen by a [`TickExecutor`]: the
+/// object set as of the previous tick, this tick's queriers, and the
+/// query geometry.
+struct TickCtx<'a> {
+    set: &'a MovingSet,
+    queriers: &'a [EntryId],
+    space: &'a Rect,
+    query_side: f32,
 }
 
 /// The single tick loop both join categories run (see [`TickExecutor`]).
@@ -211,20 +243,19 @@ fn drive<W: Workload + ?Sized, E: TickExecutor>(
         exec.build(&set.positions);
         let build = t0.elapsed();
 
-        exec.prepare(&set, &actions.queriers, &space, query_side);
+        let ctx = TickCtx {
+            set: &set,
+            queriers: &actions.queriers,
+            space: &space,
+            query_side,
+        };
+        exec.prepare(&ctx);
 
         // Phase 2: queries, folded straight into the running checksum.
         let t0 = Instant::now();
         let mut pairs = 0u64;
         let mut checksum = stats.checksum;
-        exec.query(
-            &set,
-            &actions.queriers,
-            &space,
-            query_side,
-            &mut pairs,
-            &mut checksum,
-        );
+        exec.query(&ctx, cfg.exec, &mut pairs, &mut checksum);
         let query = t0.elapsed();
 
         // Phase 3: updates are applied to the base data at the end of the
@@ -255,31 +286,42 @@ fn drive<W: Workload + ?Sized, E: TickExecutor>(
 /// Executor for the index nested loop category: every querier issues one
 /// square range query centred on its own position, clipped to the data
 /// space, and the index emits matches directly into the checksum fold.
-struct IndexExecutor<'a, I: SpatialIndex + ?Sized>(&'a mut I);
+/// `Sync` because the parallel mode probes the (immutable) index from
+/// several workers at once — every index in the workspace is plain data.
+struct IndexExecutor<'a, I: SpatialIndex + Sync + ?Sized>(&'a mut I);
 
-impl<I: SpatialIndex + ?Sized> TickExecutor for IndexExecutor<'_, I> {
+impl<I: SpatialIndex + Sync + ?Sized> TickExecutor for IndexExecutor<'_, I> {
     fn build(&mut self, table: &PointTable) {
         self.0.build(table);
     }
 
-    fn prepare(&mut self, _: &MovingSet, _: &[EntryId], _: &Rect, _: f32) {}
+    fn prepare(&mut self, _: &TickCtx<'_>) {}
 
-    fn query(
-        &mut self,
-        set: &MovingSet,
-        queriers: &[EntryId],
-        space: &Rect,
-        query_side: f32,
-        pairs: &mut u64,
-        checksum: &mut u64,
-    ) {
-        for &q in queriers {
-            let region =
-                Rect::centered_square(set.positions.point(q), query_side).clipped_to(space);
-            self.0.for_each_in(&set.positions, &region, &mut |r| {
-                *pairs += 1;
-                *checksum = fold_pair(*checksum, q, r);
-            });
+    fn query(&mut self, tick: &TickCtx<'_>, exec: ExecMode, pairs: &mut u64, checksum: &mut u64) {
+        let positions = &tick.set.positions;
+        match exec {
+            ExecMode::Sequential => {
+                for &q in tick.queriers {
+                    let region = Rect::centered_square(positions.point(q), tick.query_side)
+                        .clipped_to(tick.space);
+                    self.0.for_each_in(positions, &region, &mut |r| {
+                        *pairs += 1;
+                        *checksum = fold_pair(*checksum, q, r);
+                    });
+                }
+            }
+            ExecMode::Parallel { threads } => {
+                let (p, c) = par::shard_index_query(
+                    &*self.0,
+                    positions,
+                    tick.queriers,
+                    tick.space,
+                    tick.query_side,
+                    threads,
+                );
+                *pairs += p;
+                *checksum = checksum.wrapping_add(c);
+            }
         }
     }
 
@@ -297,35 +339,46 @@ struct BatchExecutor<'a, J: crate::batch::BatchJoin + ?Sized> {
     join: &'a mut J,
     queries: Vec<(EntryId, Rect)>,
     pairs_buf: Vec<(EntryId, EntryId)>,
+    /// Parallel-mode worker forks and buffers, kept across ticks so
+    /// steady-state sharded joins fork and allocate nothing.
+    workers: Vec<par::BatchWorker>,
 }
 
 impl<J: crate::batch::BatchJoin + ?Sized> TickExecutor for BatchExecutor<'_, J> {
     fn build(&mut self, _table: &PointTable) {}
 
-    fn prepare(&mut self, set: &MovingSet, queriers: &[EntryId], space: &Rect, query_side: f32) {
+    fn prepare(&mut self, tick: &TickCtx<'_>) {
         self.queries.clear();
-        for &q in queriers {
-            let region =
-                Rect::centered_square(set.positions.point(q), query_side).clipped_to(space);
+        for &q in tick.queriers {
+            let region = Rect::centered_square(tick.set.positions.point(q), tick.query_side)
+                .clipped_to(tick.space);
             self.queries.push((q, region));
         }
     }
 
-    fn query(
-        &mut self,
-        set: &MovingSet,
-        _queriers: &[EntryId],
-        _space: &Rect,
-        _query_side: f32,
-        pairs: &mut u64,
-        checksum: &mut u64,
-    ) {
-        self.pairs_buf.clear();
-        self.join
-            .join(&set.positions, &self.queries, &mut self.pairs_buf);
-        *pairs += self.pairs_buf.len() as u64;
-        for &(q, r) in &self.pairs_buf {
-            *checksum = fold_pair(*checksum, q, r);
+    fn query(&mut self, tick: &TickCtx<'_>, exec: ExecMode, pairs: &mut u64, checksum: &mut u64) {
+        let positions = &tick.set.positions;
+        match exec {
+            ExecMode::Sequential => {
+                self.pairs_buf.clear();
+                self.join
+                    .join(positions, &self.queries, &mut self.pairs_buf);
+                *pairs += self.pairs_buf.len() as u64;
+                for &(q, r) in &self.pairs_buf {
+                    *checksum = fold_pair(*checksum, q, r);
+                }
+            }
+            ExecMode::Parallel { threads } => {
+                let (p, c) = par::shard_batch_join(
+                    &*self.join,
+                    positions,
+                    &self.queries,
+                    threads,
+                    &mut self.workers,
+                );
+                *pairs += p;
+                *checksum = checksum.wrapping_add(c);
+            }
         }
     }
 
@@ -335,7 +388,12 @@ impl<J: crate::batch::BatchJoin + ?Sized> TickExecutor for BatchExecutor<'_, J> 
 }
 
 /// Drive `index` through `workload` for `cfg.ticks` measured ticks.
-pub fn run_join<W: Workload + ?Sized, I: SpatialIndex + ?Sized>(
+///
+/// `cfg.exec` selects the query-phase execution mode; under
+/// [`ExecMode::Parallel`] the index is probed read-only from several
+/// workers (hence the `Sync` bound) and the resulting [`RunStats`] counts
+/// are bit-identical to the sequential run.
+pub fn run_join<W: Workload + ?Sized, I: SpatialIndex + Sync + ?Sized>(
     workload: &mut W,
     index: &mut I,
     cfg: DriverConfig,
@@ -347,7 +405,9 @@ pub fn run_join<W: Workload + ?Sized, I: SpatialIndex + ?Sized>(
 /// through the same tick loop as [`run_join`]: identical workloads,
 /// identical phase semantics, directly comparable statistics. The query
 /// phase hands the tick's whole query set to the technique in one call
-/// (its cost covers any per-tick sorting the technique does).
+/// (its cost covers any per-tick sorting the technique does); under
+/// [`ExecMode::Parallel`] the set is partitioned into strips, each joined
+/// by a private fork of the technique ([`crate::batch::BatchJoin::fork`]).
 pub fn run_batch_join<W: Workload + ?Sized, J: crate::batch::BatchJoin + ?Sized>(
     workload: &mut W,
     join: &mut J,
@@ -357,6 +417,7 @@ pub fn run_batch_join<W: Workload + ?Sized, J: crate::batch::BatchJoin + ?Sized>
         join,
         queries: Vec::new(),
         pairs_buf: Vec::new(),
+        workers: Vec::new(),
     };
     drive(workload, &mut exec, cfg)
 }
@@ -398,14 +459,7 @@ mod tests {
     fn run_produces_one_timing_per_measured_tick() {
         let mut w = ToyWorkload { n: 50 };
         let mut idx = ScanIndex::new();
-        let stats = run_join(
-            &mut w,
-            &mut idx,
-            DriverConfig {
-                ticks: 5,
-                warmup: 2,
-            },
-        );
+        let stats = run_join(&mut w, &mut idx, DriverConfig::new(5, 2));
         assert_eq!(stats.ticks.len(), 5);
         assert_eq!(stats.queries, 5 * 50);
     }
@@ -416,14 +470,7 @@ mod tests {
         // join must yield at least |queriers| pairs per tick.
         let mut w = ToyWorkload { n: 50 };
         let mut idx = ScanIndex::new();
-        let stats = run_join(
-            &mut w,
-            &mut idx,
-            DriverConfig {
-                ticks: 3,
-                warmup: 0,
-            },
-        );
+        let stats = run_join(&mut w, &mut idx, DriverConfig::new(3, 0));
         assert!(
             stats.result_pairs >= 3 * 50,
             "pairs = {}",
@@ -436,14 +483,7 @@ mod tests {
         let run = || {
             let mut w = ToyWorkload { n: 30 };
             let mut idx = ScanIndex::new();
-            run_join(
-                &mut w,
-                &mut idx,
-                DriverConfig {
-                    ticks: 4,
-                    warmup: 1,
-                },
-            )
+            run_join(&mut w, &mut idx, DriverConfig::new(4, 1))
         };
         let (a, b) = (run(), run());
         assert_eq!(a.checksum, b.checksum);
@@ -482,14 +522,7 @@ mod tests {
         }
         let mut w = UpdWorkload;
         let mut idx = ScanIndex::new();
-        let _ = run_join(
-            &mut w,
-            &mut idx,
-            DriverConfig {
-                ticks: 2,
-                warmup: 0,
-            },
-        );
+        let _ = run_join(&mut w, &mut idx, DriverConfig::new(2, 0));
         // After 2 ticks with velocity 5 set in tick 0: moved 2 * 5 = 10.
         // (Update in tick 0 applies before tick 0's advance.)
     }
@@ -517,14 +550,7 @@ mod tests {
             }
         }
         let mut idx = ScanIndex::new();
-        let stats = run_join(
-            &mut TwinWorkload,
-            &mut idx,
-            DriverConfig {
-                ticks: 1,
-                warmup: 0,
-            },
-        );
+        let stats = run_join(&mut TwinWorkload, &mut idx, DriverConfig::new(1, 0));
         // Each query sees both points: 4 pairs.
         assert_eq!(stats.result_pairs, 4);
     }
@@ -534,10 +560,7 @@ mod tests {
         // The naive batch join and the scan index compute the same join,
         // so both drivers must produce identical pair counts and checksums
         // for the same workload.
-        let cfg = DriverConfig {
-            ticks: 4,
-            warmup: 1,
-        };
+        let cfg = DriverConfig::new(4, 1);
         let per_query = {
             let mut w = ToyWorkload { n: 40 };
             let mut idx = ScanIndex::new();
@@ -551,6 +574,37 @@ mod tests {
         assert_eq!(batch.result_pairs, per_query.result_pairs);
         assert_eq!(batch.checksum, per_query.checksum);
         assert_eq!(batch.queries, per_query.queries);
+    }
+
+    #[test]
+    fn parallel_exec_mode_matches_sequential_for_both_categories() {
+        let cfg = DriverConfig::new(3, 1);
+        let seq_index = {
+            let mut w = ToyWorkload { n: 60 };
+            run_join(&mut w, &mut ScanIndex::new(), cfg)
+        };
+        let seq_batch = {
+            let mut w = ToyWorkload { n: 60 };
+            run_batch_join(&mut w, &mut crate::batch::NaiveBatchJoin, cfg)
+        };
+        for n in [1usize, 2, 5] {
+            let par_cfg = cfg.with_exec(ExecMode::parallel(n).unwrap());
+            let par_index = {
+                let mut w = ToyWorkload { n: 60 };
+                run_join(&mut w, &mut ScanIndex::new(), par_cfg)
+            };
+            let par_batch = {
+                let mut w = ToyWorkload { n: 60 };
+                run_batch_join(&mut w, &mut crate::batch::NaiveBatchJoin, par_cfg)
+            };
+            for (seq, par) in [(&seq_index, &par_index), (&seq_batch, &par_batch)] {
+                assert_eq!(par.result_pairs, seq.result_pairs, "threads = {n}");
+                assert_eq!(par.checksum, seq.checksum, "threads = {n}");
+                assert_eq!(par.queries, seq.queries, "threads = {n}");
+                assert_eq!(par.updates, seq.updates, "threads = {n}");
+                assert_eq!(par.ticks.len(), seq.ticks.len(), "threads = {n}");
+            }
+        }
     }
 
     #[test]

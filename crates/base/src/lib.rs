@@ -15,6 +15,9 @@
 //! - [`batch`] — the set-at-a-time [`batch::BatchJoin`] trait;
 //! - [`driver`] — the tick loop (build → query → update) with per-phase
 //!   timing, reproducing the Sowell et al. framework the paper builds on;
+//! - [`par`] — the parallel query phase ([`par::ExecMode`], sharded
+//!   per-query probing and strip-partitioned batch joins) the driver runs
+//!   under [`driver::DriverConfig::exec`];
 //! - [`rng`] — self-contained deterministic xoshiro256++;
 //! - [`trace`] — memory-access tracing hooks consumed by `sj-memsim`;
 //! - [`stats`] — numeric summaries for the benchmark harness.
@@ -23,6 +26,7 @@ pub mod batch;
 pub mod driver;
 pub mod geom;
 pub mod index;
+pub mod par;
 pub mod rng;
 pub mod simd;
 pub mod stats;
@@ -35,4 +39,5 @@ pub use driver::{
 };
 pub use geom::{Point, Rect, Vec2};
 pub use index::{ScanIndex, SpatialIndex};
+pub use par::ExecMode;
 pub use table::{EntryId, MovingSet, PointTable};

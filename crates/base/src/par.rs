@@ -1,0 +1,342 @@
+//! The parallel query phase — a first-class execution mode, not a facade.
+//!
+//! The paper's setting is deliberately single-threaded ("even
+//! single-threaded settings", §4); once the implementation is
+//! cache-efficient, the remaining headroom is structural. Tsitsigkos &
+//! Mamoulis ("Parallel In-Memory Evaluation of Spatial Joins") show
+//! partition-parallel joins scale near-linearly on exactly the grid/sweep
+//! techniques reproduced here, and the tick model makes the query phase
+//! embarrassingly parallel: queries only *read* the index and the base
+//! table, and the build/update phases stay sequential, so the previous-tick
+//! semantics are untouched.
+//!
+//! Two sharding strategies cover the paper's two join categories
+//! (DESIGN.md §8):
+//!
+//! - [`shard_index_query`] — the per-query category: the tick's querier
+//!   list is split into `threads` contiguous chunks, each worker probes the
+//!   shared (immutable) index for its chunk;
+//! - [`shard_batch_join`] — the set-at-a-time category: the tick's query
+//!   set is split into strips, each worker runs a full sweep over its strip
+//!   on a private fork of the technique ([`BatchJoin::fork`]).
+//!
+//! Both merge per-worker `(pairs, checksum)` partials with `+` /
+//! `wrapping_add`. The checksum fold ([`crate::driver::fold_pair`]) mixes
+//! each pair and then wrapping-adds, so it is commutative and associative —
+//! the merge is order-independent by construction, and the parallel result
+//! is **bit-identical** to the sequential one for any shard boundaries and
+//! any thread count (`tests/parallel_equivalence.rs` proves this for every
+//! registry technique).
+//!
+//! Workers run on [`std::thread::scope`]: no runtime dependency, no
+//! detached threads, borrows of the index and table flow straight in.
+
+use std::num::NonZeroUsize;
+
+use crate::batch::BatchJoin;
+use crate::driver::fold_pair;
+use crate::geom::Rect;
+use crate::index::SpatialIndex;
+use crate::table::{EntryId, PointTable};
+
+/// How the driver executes a tick's query phase.
+///
+/// `Parallel` holds a [`NonZeroUsize`], so a zero-thread configuration is
+/// unrepresentable — the old `run_join_parallel(.., threads: usize)` entry
+/// point had to `assert!(threads > 0)` at runtime; this type moves that
+/// guarantee to compile time. CLI layers reject `--threads 0` while
+/// parsing (see `sj-bench`), before an `ExecMode` ever exists.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// The paper-faithful single-threaded query phase.
+    #[default]
+    Sequential,
+    /// Query phase sharded over `threads` scoped workers. Results are
+    /// bit-identical to [`ExecMode::Sequential`] (see module docs).
+    Parallel { threads: NonZeroUsize },
+}
+
+impl ExecMode {
+    /// Parallel execution over `threads` workers; `None` if `threads == 0`.
+    pub const fn parallel(threads: usize) -> Option<ExecMode> {
+        match NonZeroUsize::new(threads) {
+            Some(threads) => Some(ExecMode::Parallel { threads }),
+            None => None,
+        }
+    }
+
+    /// Worker count: 1 for [`ExecMode::Sequential`].
+    pub const fn threads(self) -> usize {
+        match self {
+            ExecMode::Sequential => 1,
+            ExecMode::Parallel { threads } => threads.get(),
+        }
+    }
+
+    pub const fn is_parallel(self) -> bool {
+        matches!(self, ExecMode::Parallel { .. })
+    }
+
+    /// This mode unless it is [`ExecMode::Sequential`], in which case
+    /// `fallback` — the precedence rule for layered configuration (a
+    /// technique spec's `@par<N>` modifier over a CLI-wide `--threads`).
+    pub const fn or(self, fallback: ExecMode) -> ExecMode {
+        match self {
+            ExecMode::Sequential => fallback,
+            parallel => parallel,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecMode::Sequential => f.write_str("sequential"),
+            ExecMode::Parallel { threads } => write!(f, "parallel({threads})"),
+        }
+    }
+}
+
+/// Split `len` work items into at most `threads` contiguous chunks.
+fn chunk_size(len: usize, threads: NonZeroUsize) -> usize {
+    len.div_ceil(threads.get()).max(1)
+}
+
+/// The per-query category's parallel query phase: shard `queriers` into
+/// contiguous chunks, probe the shared `index` from each worker, and merge
+/// the per-worker partials. Returns `(pairs, checksum)` — the checksum is
+/// a delta starting from 0, to be `wrapping_add`ed onto the running total
+/// (equivalent to folding every pair into that total directly, because the
+/// fold is a commutative wrapping sum).
+///
+/// Each worker computes its own query regions, exactly like the sequential
+/// per-query executor: issuing a query, region arithmetic included, is part
+/// of that category's per-query cost.
+pub fn shard_index_query<I: SpatialIndex + Sync + ?Sized>(
+    index: &I,
+    positions: &PointTable,
+    queriers: &[EntryId],
+    space: &Rect,
+    query_side: f32,
+    threads: NonZeroUsize,
+) -> (u64, u64) {
+    let chunk = chunk_size(queriers.len(), threads);
+    let shards: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queriers
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut pairs = 0u64;
+                    let mut checksum = 0u64;
+                    for &q in shard {
+                        let region =
+                            Rect::centered_square(positions.point(q), query_side).clipped_to(space);
+                        // Sink fold, like the sequential executor: no
+                        // per-query result materialization in any shard.
+                        index.for_each_in(positions, &region, &mut |r| {
+                            pairs += 1;
+                            checksum = fold_pair(checksum, q, r);
+                        });
+                    }
+                    (pairs, checksum)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query shard panicked"))
+            .collect()
+    });
+    merge(shards)
+}
+
+/// Reusable per-worker state for [`shard_batch_join`]: a private fork of
+/// the technique ([`BatchJoin::fork`]) plus its output buffer. Callers
+/// keep the vector alive across ticks, so steady-state parallel joins
+/// fork and allocate nothing — mirroring the sequential executor's reused
+/// pair buffer, and keeping one-time setup cost out of the timed query
+/// phase after the first tick.
+pub struct BatchWorker {
+    join: Box<dyn BatchJoin + Send>,
+    out: Vec<(EntryId, EntryId)>,
+}
+
+/// The set-at-a-time category's parallel query phase: partition the tick's
+/// query set into contiguous strips and join each independently on its own
+/// [`BatchWorker`] (private scratch, shared read-only base table; `workers`
+/// grows on demand and is reused across calls). Returns `(pairs, checksum)`
+/// with the same delta semantics as [`shard_index_query`].
+///
+/// Strips partition the query set, so the union of the strip joins is
+/// exactly the full join and the commutative checksum merge reproduces the
+/// sequential result bit for bit.
+pub fn shard_batch_join<J: BatchJoin + ?Sized>(
+    join: &J,
+    table: &PointTable,
+    queries: &[(EntryId, Rect)],
+    threads: NonZeroUsize,
+    workers: &mut Vec<BatchWorker>,
+) -> (u64, u64) {
+    let chunk = chunk_size(queries.len(), threads);
+    let strips = queries.chunks(chunk);
+    while workers.len() < strips.len() {
+        // Fork on the spawning thread; each worker owns its instance, so
+        // `J` itself needs no `Sync`.
+        workers.push(BatchWorker {
+            join: join.fork(),
+            out: Vec::new(),
+        });
+    }
+    let shards: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = strips
+            .zip(workers.iter_mut())
+            .map(|(strip, worker)| {
+                scope.spawn(move || {
+                    worker.out.clear();
+                    worker.join.join(table, strip, &mut worker.out);
+                    let mut checksum = 0u64;
+                    for &(q, r) in &worker.out {
+                        checksum = fold_pair(checksum, q, r);
+                    }
+                    (worker.out.len() as u64, checksum)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch strip panicked"))
+            .collect()
+    });
+    merge(shards)
+}
+
+fn merge(shards: Vec<(u64, u64)>) -> (u64, u64) {
+    let mut pairs = 0u64;
+    let mut checksum = 0u64;
+    for (p, c) in shards {
+        pairs += p;
+        checksum = checksum.wrapping_add(c);
+    }
+    (pairs, checksum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::NaiveBatchJoin;
+    use crate::index::ScanIndex;
+    use crate::rng::Xoshiro256;
+
+    const SIDE: f32 = 1_000.0;
+
+    fn threads(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    fn random_table(n: usize, seed: u64) -> PointTable {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut t = PointTable::default();
+        for _ in 0..n {
+            t.push(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+        }
+        t
+    }
+
+    fn sequential_reference(
+        table: &PointTable,
+        queriers: &[EntryId],
+        space: &Rect,
+        query_side: f32,
+    ) -> (u64, u64) {
+        let idx = ScanIndex::new();
+        let mut pairs = 0u64;
+        let mut checksum = 0u64;
+        for &q in queriers {
+            let region = Rect::centered_square(table.point(q), query_side).clipped_to(space);
+            idx.for_each_in(table, &region, &mut |r| {
+                pairs += 1;
+                checksum = fold_pair(checksum, q, r);
+            });
+        }
+        (pairs, checksum)
+    }
+
+    #[test]
+    fn sharded_index_query_matches_sequential_for_any_thread_count() {
+        let table = random_table(500, 9);
+        let queriers: Vec<EntryId> = (0..table.len() as EntryId).step_by(3).collect();
+        let space = Rect::space(SIDE);
+        let expect = sequential_reference(&table, &queriers, &space, 120.0);
+        let idx = ScanIndex::new();
+        for n in [1, 2, 3, 7, 16, 1000] {
+            let got = shard_index_query(&idx, &table, &queriers, &space, 120.0, threads(n));
+            assert_eq!(got, expect, "threads = {n}");
+        }
+    }
+
+    #[test]
+    fn sharded_batch_join_matches_sequential_for_any_thread_count() {
+        let table = random_table(400, 11);
+        let space = Rect::space(SIDE);
+        let queries: Vec<(EntryId, Rect)> = (0..table.len() as EntryId)
+            .step_by(2)
+            .map(|q| {
+                (
+                    q,
+                    Rect::centered_square(table.point(q), 90.0).clipped_to(&space),
+                )
+            })
+            .collect();
+        let mut out = Vec::new();
+        NaiveBatchJoin.join(&table, &queries, &mut out);
+        let expect_pairs = out.len() as u64;
+        let expect_checksum = out.iter().fold(0u64, |c, &(q, r)| fold_pair(c, q, r));
+        // One scratch pool across all thread counts: reuse must not leak
+        // state between calls.
+        let mut workers = Vec::new();
+        for n in [1, 2, 3, 7, 64] {
+            let got = shard_batch_join(&NaiveBatchJoin, &table, &queries, threads(n), &mut workers);
+            assert_eq!(got, (expect_pairs, expect_checksum), "threads = {n}");
+        }
+    }
+
+    #[test]
+    fn empty_querier_sets_are_fine() {
+        let table = random_table(50, 1);
+        let space = Rect::space(SIDE);
+        let idx = ScanIndex::new();
+        assert_eq!(
+            shard_index_query(&idx, &table, &[], &space, 50.0, threads(4)),
+            (0, 0)
+        );
+        assert_eq!(
+            shard_batch_join(&NaiveBatchJoin, &table, &[], threads(4), &mut Vec::new()),
+            (0, 0)
+        );
+    }
+
+    #[test]
+    fn exec_mode_constructors_and_accessors() {
+        assert_eq!(ExecMode::parallel(0), None);
+        let par4 = ExecMode::parallel(4).unwrap();
+        assert_eq!(par4.threads(), 4);
+        assert!(par4.is_parallel());
+        assert_eq!(ExecMode::Sequential.threads(), 1);
+        assert!(!ExecMode::Sequential.is_parallel());
+        assert_eq!(ExecMode::default(), ExecMode::Sequential);
+        assert_eq!(format!("{par4}"), "parallel(4)");
+        assert_eq!(format!("{}", ExecMode::Sequential), "sequential");
+    }
+
+    #[test]
+    fn or_prefers_the_parallel_mode() {
+        let par2 = ExecMode::parallel(2).unwrap();
+        let par8 = ExecMode::parallel(8).unwrap();
+        assert_eq!(ExecMode::Sequential.or(par2), par2);
+        assert_eq!(par8.or(par2), par8);
+        assert_eq!(
+            ExecMode::Sequential.or(ExecMode::Sequential),
+            ExecMode::Sequential
+        );
+    }
+}

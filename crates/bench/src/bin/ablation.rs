@@ -26,7 +26,7 @@ use sj_bench::report::stats_line;
 use sj_bench::table::{secs, Table};
 use sj_bench::{grid_custom, run_uniform, run_uniform_spec};
 use sj_core::driver::RunStats;
-use sj_core::technique::TechniqueSpec;
+use sj_core::technique::TechniqueKind;
 use sj_grid::{GridConfig, Layout, QueryAlgo};
 
 /// Emit one JSON line (when `--json`) for a run of `label` in `section`.
@@ -53,6 +53,7 @@ fn main() {
         std::process::exit(2);
     }
     let params = opts.uniform_params();
+    let exec = opts.exec_mode();
 
     if !opts.json {
         println!("# Ablation 1: layout x query algorithm (bs=4, cps=13)");
@@ -66,7 +67,7 @@ fn main() {
                 layout,
                 query_algo: algo,
             };
-            let stats = run_uniform(&params, &mut grid_custom(cfg, params.space_side));
+            let stats = run_uniform(&params, &mut grid_custom(cfg, params.space_side), exec);
             report(
                 &opts,
                 "ablation1",
@@ -99,7 +100,7 @@ fn main() {
             layout,
             ..GridConfig::tuned()
         };
-        let stats = run_uniform(&params, &mut grid_custom(cfg, params.space_side));
+        let stats = run_uniform(&params, &mut grid_custom(cfg, params.space_side), exec);
         report(&opts, "ablation2", label, &stats, None);
         if !opts.json {
             t.row(vec![
@@ -119,11 +120,14 @@ fn main() {
     }
     let mut t = Table::new(vec!["variant", "avg_tick_s", "build_s", "query_s"]);
     for (label, spec) in [
-        ("STR bulk load", TechniqueSpec::RTreeStr),
-        ("incremental (quadratic split)", TechniqueSpec::RTreeDyn),
+        ("STR bulk load", TechniqueKind::RTreeStr.spec()),
+        (
+            "incremental (quadratic split)",
+            TechniqueKind::RTreeDyn.spec(),
+        ),
     ] {
-        let stats = run_uniform_spec(&params, spec);
-        report(&opts, "ablation3", spec.name(), &stats, None);
+        let stats = run_uniform_spec(&params, spec, exec);
+        report(&opts, "ablation3", &spec.name(), &stats, None);
         if !opts.json {
             t.row(vec![
                 label.to_string(),
@@ -153,15 +157,15 @@ fn main() {
         };
         let mut row = vec![format!("{frac}")];
         for spec in [
-            TechniqueSpec::Grid(sj_grid::Stage::CpsTuned),
-            TechniqueSpec::RTreeStr,
-            TechniqueSpec::Sweep,
+            TechniqueKind::Grid(sj_grid::Stage::CpsTuned).spec(),
+            TechniqueKind::RTreeStr.spec(),
+            TechniqueKind::Sweep.spec(),
         ] {
-            let stats = run_uniform_spec(&p, spec);
+            let stats = run_uniform_spec(&p, spec, exec);
             report(
                 &opts,
                 "ablation4",
-                spec.name(),
+                &spec.name(),
                 &stats,
                 Some(("frac_queriers", frac as f64)),
             );
@@ -188,14 +192,14 @@ fn main() {
         };
         let mut row = vec![format!("{speed}")];
         for spec in [
-            TechniqueSpec::Grid(sj_grid::Stage::CpsTuned),
-            TechniqueSpec::GridIncremental,
+            TechniqueKind::Grid(sj_grid::Stage::CpsTuned).spec(),
+            TechniqueKind::GridIncremental.spec(),
         ] {
-            let stats = run_uniform_spec(&p, spec);
+            let stats = run_uniform_spec(&p, spec, exec);
             report(
                 &opts,
                 "ablation5",
-                spec.name(),
+                &spec.name(),
                 &stats,
                 Some(("max_speed", speed as f64)),
             );
@@ -218,12 +222,12 @@ fn main() {
     for (label, spec) in [
         (
             "pointer-based (secondary index)",
-            TechniqueSpec::BinarySearch,
+            TechniqueKind::BinarySearch.spec(),
         ),
-        ("sorted SoA + SSE2 filter", TechniqueSpec::VecSearch),
+        ("sorted SoA + SSE2 filter", TechniqueKind::VecSearch.spec()),
     ] {
-        let stats = run_uniform_spec(&params, spec);
-        report(&opts, "ablation6", spec.name(), &stats, None);
+        let stats = run_uniform_spec(&params, spec, exec);
+        report(&opts, "ablation6", &spec.name(), &stats, None);
         if !opts.json {
             t.row(vec![
                 label.to_string(),

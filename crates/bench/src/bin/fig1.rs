@@ -29,6 +29,7 @@ fn main() {
         std::process::exit(2);
     }
     let params = opts.uniform_params();
+    let exec = opts.exec_mode();
 
     if !opts.json {
         println!("# Figure 1a: original Simple Grid, bs sweep (cps = 13)");
@@ -42,7 +43,7 @@ fn main() {
             query_algo: QueryAlgo::FullScan,
         };
         let mut tech = grid_custom(cfg, params.space_side);
-        let stats = run_uniform(&params, &mut tech);
+        let stats = run_uniform(&params, &mut tech, exec);
         if opts.json {
             println!(
                 "{}",
@@ -68,7 +69,7 @@ fn main() {
             query_algo: QueryAlgo::FullScan,
         };
         let mut tech = grid_custom(cfg, params.space_side);
-        let stats = run_uniform(&params, &mut tech);
+        let stats = run_uniform(&params, &mut tech, exec);
         if opts.json {
             println!(
                 "{}",

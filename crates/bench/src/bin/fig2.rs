@@ -22,13 +22,14 @@ use sj_core::technique::TechniqueSpec;
 
 fn headers(specs: &[TechniqueSpec]) -> Vec<String> {
     let mut h = vec!["x".to_string()];
-    h.extend(specs.iter().map(|s| s.label().to_string()));
+    h.extend(specs.iter().map(|s| s.label()));
     h
 }
 
 fn main() {
     let opts = CommonOpts::parse();
     let specs = opts.techniques(TechniqueSpec::in_figure2);
+    let exec = opts.exec_mode();
 
     if !opts.json {
         println!("# Figure 2a: scaling the query rate (uniform, 50K points)");
@@ -39,13 +40,13 @@ fn main() {
         params.frac_queriers = frac;
         let mut row = vec![format!("{frac}")];
         for &spec in &specs {
-            let stats = run_uniform_spec(&params, spec);
+            let stats = run_uniform_spec(&params, spec, exec);
             if opts.json {
                 println!(
                     "{}",
                     stats_line(
                         "fig2a",
-                        spec.name(),
+                        &spec.name(),
                         Some(("frac_queriers", frac as f64)),
                         &stats
                     )
@@ -71,13 +72,13 @@ fn main() {
         params.hotspots = hotspots;
         let mut row = vec![hotspots.to_string()];
         for &spec in &specs {
-            let stats = run_gaussian_spec(&params, spec);
+            let stats = run_gaussian_spec(&params, spec, exec);
             if opts.json {
                 println!(
                     "{}",
                     stats_line(
                         "fig2b",
-                        spec.name(),
+                        &spec.name(),
                         Some(("hotspots", hotspots as f64)),
                         &stats
                     )
@@ -103,13 +104,13 @@ fn main() {
         params.num_points = points;
         let mut row = vec![points.to_string()];
         for &spec in &specs {
-            let stats = run_uniform_spec(&params, spec);
+            let stats = run_uniform_spec(&params, spec, exec);
             if opts.json {
                 println!(
                     "{}",
                     stats_line(
                         "fig2c",
-                        spec.name(),
+                        &spec.name(),
                         Some(("points", points as f64)),
                         &stats
                     )

@@ -26,6 +26,7 @@ fn main() {
         std::process::exit(2);
     }
     let params = opts.uniform_params();
+    let exec = opts.exec_mode();
 
     if !opts.json {
         println!("# Figure 5a: refactored Simple Grid, bs sweep (cps = 13)");
@@ -39,7 +40,7 @@ fn main() {
             query_algo: QueryAlgo::RangeScan,
         };
         let mut tech = grid_custom(cfg, params.space_side);
-        let stats = run_uniform(&params, &mut tech);
+        let stats = run_uniform(&params, &mut tech, exec);
         if opts.json {
             println!(
                 "{}",
@@ -65,7 +66,7 @@ fn main() {
             query_algo: QueryAlgo::RangeScan,
         };
         let mut tech = grid_custom(cfg, params.space_side);
-        let stats = run_uniform(&params, &mut tech);
+        let stats = run_uniform(&params, &mut tech, exec);
         if opts.json {
             println!(
                 "{}",

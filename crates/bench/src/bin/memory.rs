@@ -19,6 +19,11 @@ fn main() {
     let set = workload.init();
     let table = &set.positions;
 
+    if opts.threads.is_some() {
+        // Footprint is measured after one build; there is no query phase
+        // for --threads to shard.
+        eprintln!("note: --threads is ignored — the footprint report runs no queries");
+    }
     let specs = opts.techniques(|s| s.is_benchmarkable() && !s.is_batch());
 
     if !opts.json {
@@ -45,7 +50,7 @@ fn main() {
             println!(
                 "{}",
                 JsonLine::new("memory")
-                    .str("technique", spec.name())
+                    .str("technique", &spec.name())
                     .int("points", table.len() as u64)
                     .int("index_bytes", bytes as u64)
                     .num("bytes_per_point", bytes as f64 / table.len() as f64)
@@ -53,7 +58,7 @@ fn main() {
             );
         } else {
             t.row(vec![
-                spec.label().to_string(),
+                spec.label(),
                 format!("{}", bytes / 1024),
                 format!("{:.1}", bytes as f64 / table.len() as f64),
             ]);

@@ -1,0 +1,97 @@
+//! Scaling — the query phase across thread counts, in the style of the
+//! Tsitsigkos & Mamoulis scalability figures ("Parallel In-Memory
+//! Evaluation of Spatial Joins"): every benchmarkable registry technique
+//! at 1, 2, 4 and 8 workers, reporting per-phase times and the speedup of
+//! the query phase over the single-worker run.
+//!
+//! Thread count 1 runs [`ExecMode::Parallel`] with one worker — the same
+//! sharded code path, so the speedup column isolates scaling from the
+//! (tiny) constant cost of scoped-thread dispatch. Build and update
+//! phases are sequential in every configuration; only the query phase
+//! shards (DESIGN.md §8). Each run's join is asserted identical to the
+//! sequential reference — parallelism that changed the answer would be a
+//! bug, not a speedup.
+//!
+//! `--threads N` narrows the sweep to that single count; `--json` emits
+//! one RunStats line per (technique, thread count) with a `threads` field.
+//!
+//! Run: `cargo run -p sj-bench --release --bin scaling [--ticks N] [--threads N] [--csv|--json]`
+
+use sj_bench::cli::CommonOpts;
+use sj_bench::report::stats_line;
+use sj_bench::run_uniform_spec;
+use sj_bench::table::{secs, Table};
+use sj_core::par::ExecMode;
+use sj_core::technique::TechniqueSpec;
+
+/// The swept worker counts (the Tsitsigkos figures' x-axis, truncated to
+/// counts a laptop container can honor).
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let params = opts.uniform_params();
+    let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
+    let counts: Vec<usize> = match opts.threads {
+        Some(n) => vec![n.get()],
+        None => THREAD_COUNTS.to_vec(),
+    };
+
+    if !opts.json {
+        println!(
+            "# Query-phase scaling, {} points, {} ticks (query seconds per tick)",
+            params.num_points, params.ticks
+        );
+    }
+    let mut headers = vec!["technique".to_string()];
+    headers.extend(counts.iter().map(|n| format!("query_s @{n}")));
+    headers.push("speedup".to_string());
+    let mut t = Table::new(headers);
+
+    for spec in specs {
+        // Force the reference truly sequential: a spec arriving with its own
+        // @par modifier (via --technique) would otherwise promote this run
+        // too, and the equality assert would compare parallel to itself.
+        let reference = run_uniform_spec(
+            &params,
+            spec.with_exec(ExecMode::Sequential),
+            ExecMode::Sequential,
+        );
+        let mut row = vec![spec.label()];
+        let mut first_query_s = None;
+        let mut last_query_s = None;
+        for &n in &counts {
+            let exec = ExecMode::parallel(n).expect("thread counts are nonzero");
+            let stats = run_uniform_spec(&params, spec.with_exec(exec), ExecMode::Sequential);
+            assert_eq!(
+                (stats.result_pairs, stats.checksum),
+                (reference.result_pairs, reference.checksum),
+                "{} @{n} threads computed a different join",
+                spec.name()
+            );
+            let query_s = stats.avg_query_seconds();
+            first_query_s.get_or_insert(query_s);
+            last_query_s = Some(query_s);
+            if opts.json {
+                println!(
+                    "{}",
+                    stats_line("scaling", &spec.name(), Some(("threads", n as f64)), &stats)
+                );
+            } else {
+                row.push(secs(query_s));
+            }
+        }
+        if !opts.json {
+            let speedup = match (first_query_s, last_query_s) {
+                (Some(first), Some(last)) if last > 0.0 => format!("{:.2}x", first / last),
+                _ => "-".to_string(),
+            };
+            row.push(speedup);
+            t.row(row);
+        }
+    }
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+        println!("(speedup = first column / last column; joins verified identical per run)");
+    }
+}

@@ -21,6 +21,7 @@ fn main() {
     let opts = CommonOpts::parse();
     let params = opts.uniform_params();
     let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
+    let exec = opts.exec_mode();
 
     if !opts.json {
         println!(
@@ -35,10 +36,7 @@ fn main() {
         let mut tech = spec.build(params.space_side);
         let stats = tech.run(
             &mut workload,
-            DriverConfig {
-                ticks: params.ticks,
-                warmup: 1,
-            },
+            DriverConfig::new(params.ticks, 1).with_exec(exec),
         );
         match reference {
             None => reference = Some((stats.result_pairs, stats.checksum)),
@@ -50,10 +48,10 @@ fn main() {
             ),
         }
         if opts.json {
-            println!("{}", stats_line("simtrends", spec.name(), None, &stats));
+            println!("{}", stats_line("simtrends", &spec.name(), None, &stats));
         } else {
             t.row(vec![
-                spec.label().to_string(),
+                spec.label(),
                 secs(stats.avg_tick_seconds()),
                 secs(stats.avg_build_seconds()),
                 secs(stats.avg_query_seconds()),

@@ -23,6 +23,7 @@ fn main() {
     let opts = CommonOpts::parse();
     let params = opts.uniform_params();
     let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
+    let exec = opts.exec_mode();
 
     if !opts.json {
         println!(
@@ -33,12 +34,12 @@ fn main() {
     }
     let mut t = Table::new(vec!["Method", "Build (s)", "Query (s)", "Update (s)"]);
     for spec in specs {
-        let stats = run_uniform_spec(&params, spec);
+        let stats = run_uniform_spec(&params, spec, exec);
         if opts.json {
-            println!("{}", stats_line("table2", spec.name(), None, &stats));
+            println!("{}", stats_line("table2", &spec.name(), None, &stats));
         } else {
             t.row(vec![
-                spec.label().to_string(),
+                spec.label(),
                 secs(stats.avg_build_seconds()),
                 secs(stats.avg_query_seconds()),
                 secs(stats.avg_update_seconds()),

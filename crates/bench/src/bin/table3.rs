@@ -70,6 +70,11 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if opts.threads.is_some() {
+        // The traced replay feeds one simulated cache hierarchy; a sharded
+        // query phase would interleave the access streams meaninglessly.
+        eprintln!("note: --threads is ignored — the traced profile is sequential by design");
+    }
     let model = CpiModel::default();
 
     let before = profile_stage(Stage::Original, &opts);

@@ -6,6 +6,9 @@
 //! only the [`CommonOpts::parse`] convenience entry point prints and
 //! exits, so malformed input is unit-testable.
 
+use std::num::NonZeroUsize;
+
+use sj_core::par::ExecMode;
 use sj_core::technique::{registry, ParseSpecError, TechniqueSpec};
 use sj_workload::{GaussianParams, WorkloadParams};
 
@@ -18,13 +21,18 @@ pub struct CommonOpts {
     pub ticks: Option<u32>,
     pub points: Option<u32>,
     pub seed: Option<u64>,
+    /// Query-phase worker count (`--threads N`). `NonZeroUsize` because a
+    /// zero-thread run is unrepresentable ([`ExecMode::Parallel`]); the
+    /// parser rejects `--threads 0` as an [`CliError::InvalidValue`].
+    pub threads: Option<NonZeroUsize>,
     /// Emit machine-readable CSV instead of aligned text.
     pub csv: bool,
     /// Emit one JSON object per technique run (see [`crate::report`]).
     pub json: bool,
     /// Use the paper's full tick counts.
     pub paper: bool,
-    /// Restrict the run to a single registry technique.
+    /// Restrict the run to a single registry technique (optionally with a
+    /// `@par<N>` modifier, which then wins over `--threads`).
     pub technique: Option<TechniqueSpec>,
 }
 
@@ -65,13 +73,15 @@ impl std::error::Error for CliError {}
 
 /// The `--help` text (also embeds the registry's spec strings).
 pub fn usage() -> String {
-    let specs: Vec<&str> = registry().iter().map(|s| s.name()).collect();
+    let specs: Vec<String> = registry().iter().map(|s| s.name()).collect();
     format!(
         "options:\n  \
          --ticks N         measured ticks per config (default {QUICK_TICKS}; --paper for Table 1 counts)\n  \
          --points N        number of moving objects (default 50000)\n  \
          --seed N          workload seed\n  \
-         --technique SPEC  run a single technique; SPEC one of:\n                    {}\n  \
+         --threads N       shard the query phase over N workers (N >= 1; default sequential)\n  \
+         --technique SPEC  run a single technique; SPEC one of:\n                    {}\n                    \
+         any spec accepts a parallel modifier, e.g. grid:inline@par8\n  \
          --csv             machine-readable CSV output\n  \
          --json            one JSON object per technique run\n  \
          --paper           full paper-scale tick counts",
@@ -110,6 +120,9 @@ impl CommonOpts {
                 "--ticks" => opts.ticks = Some(parse_num(&take("--ticks")?, "--ticks")?),
                 "--points" => opts.points = Some(parse_num(&take("--points")?, "--points")?),
                 "--seed" => opts.seed = Some(parse_num(&take("--seed")?, "--seed")?),
+                // NonZeroUsize's FromStr rejects "0", so an invalid thread
+                // count dies here as a CliError — no ExecMode for it exists.
+                "--threads" => opts.threads = Some(parse_num(&take("--threads")?, "--threads")?),
                 "--technique" => {
                     let spec = take("--technique")?;
                     opts.technique =
@@ -123,6 +136,20 @@ impl CommonOpts {
             }
         }
         Ok(opts)
+    }
+
+    /// The execution mode this invocation asks for: the `--technique`
+    /// spec's `@par<N>` modifier if present, else `--threads N`, else
+    /// sequential.
+    pub fn exec_mode(&self) -> ExecMode {
+        let flag = match self.threads {
+            Some(threads) => ExecMode::Parallel { threads },
+            None => ExecMode::Sequential,
+        };
+        match self.technique {
+            Some(spec) => spec.exec.or(flag),
+            None => flag,
+        }
     }
 
     /// The technique list a binary should run: the single `--technique`
@@ -178,6 +205,7 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sj_core::technique::TechniqueKind;
     use sj_grid::Stage;
 
     fn parse(args: &[&str]) -> Result<CommonOpts, CliError> {
@@ -218,15 +246,56 @@ mod tests {
     #[test]
     fn technique_flag_parses_registry_specs() {
         let opts = parse(&["--technique", "grid:inline"]).unwrap();
-        assert_eq!(opts.technique, Some(TechniqueSpec::Grid(Stage::CpsTuned)));
+        let tuned = TechniqueKind::Grid(Stage::CpsTuned).spec();
+        assert_eq!(opts.technique, Some(tuned));
         // The override wins over any default filter.
-        assert_eq!(
-            opts.techniques(|_| true),
-            vec![TechniqueSpec::Grid(Stage::CpsTuned)]
-        );
+        assert_eq!(opts.techniques(|_| true), vec![tuned]);
         // Without an override, the filter selects from the registry.
         let defaults = parse(&[]).unwrap().techniques(|s| s.in_figure2());
         assert_eq!(defaults.len(), 5);
+    }
+
+    #[test]
+    fn threads_flag_selects_the_parallel_mode() {
+        assert_eq!(parse(&[]).unwrap().exec_mode(), ExecMode::Sequential);
+        let opts = parse(&["--threads", "4"]).unwrap();
+        assert_eq!(opts.threads, NonZeroUsize::new(4));
+        assert_eq!(opts.exec_mode(), ExecMode::parallel(4).unwrap());
+    }
+
+    #[test]
+    fn zero_threads_is_a_cli_error_not_a_panic() {
+        // ExecMode::Parallel holds a NonZeroUsize, so an invalid thread
+        // count can only exist as a parse failure — there is no runtime
+        // assert left to trip (the old facade's `assert!(threads > 0)`).
+        assert_eq!(
+            parse(&["--threads", "0"]).err(),
+            Some(CliError::InvalidValue {
+                flag: "--threads".into(),
+                value: "0".into()
+            })
+        );
+        assert_eq!(
+            parse(&["--threads", "many"]).err(),
+            Some(CliError::InvalidValue {
+                flag: "--threads".into(),
+                value: "many".into()
+            })
+        );
+        // The spec-level guard is the same type: @par0 cannot parse.
+        match parse(&["--technique", "grid@par0"]) {
+            Err(CliError::UnknownTechnique(e)) => assert_eq!(e.spec, "grid@par0"),
+            other => panic!("expected UnknownTechnique, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_par_modifier_wins_over_the_threads_flag() {
+        let opts = parse(&["--technique", "grid@par8", "--threads", "2"]).unwrap();
+        assert_eq!(opts.exec_mode(), ExecMode::parallel(8).unwrap());
+        // Without a modifier, --threads applies to the chosen technique.
+        let opts = parse(&["--technique", "sweep", "--threads", "2"]).unwrap();
+        assert_eq!(opts.exec_mode(), ExecMode::parallel(2).unwrap());
     }
 
     #[test]
@@ -257,7 +326,7 @@ mod tests {
     fn usage_lists_every_registry_spec() {
         let u = usage();
         for spec in registry() {
-            assert!(u.contains(spec.name()), "usage missing {}", spec.name());
+            assert!(u.contains(&spec.name()), "usage missing {}", spec.name());
         }
     }
 }

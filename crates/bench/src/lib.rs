@@ -12,6 +12,7 @@
 //! a [`Technique`] by hand around the custom index.
 
 use sj_core::driver::{DriverConfig, RunStats};
+use sj_core::par::ExecMode;
 use sj_core::technique::{Technique, TechniqueSpec};
 use sj_grid::{GridConfig, SimpleGrid};
 use sj_workload::{GaussianParams, GaussianWorkload, UniformWorkload, WorkloadParams};
@@ -20,44 +21,46 @@ pub mod cli;
 pub mod report;
 pub mod table;
 
-/// Drive `technique` through the uniform workload.
-pub fn run_uniform(params: &WorkloadParams, technique: &mut Technique) -> RunStats {
+/// Drive `technique` through the uniform workload, its query phase under
+/// `exec` (binaries pass [`cli::CommonOpts::exec_mode`]; a technique built
+/// from a `@par<N>` spec still runs parallel when `exec` is sequential —
+/// see [`Technique::run`]).
+pub fn run_uniform(params: &WorkloadParams, technique: &mut Technique, exec: ExecMode) -> RunStats {
     params.validate().expect("invalid workload parameters");
     let mut workload = UniformWorkload::new(*params);
-    let cfg = DriverConfig {
-        ticks: params.ticks,
-        warmup: warmup_for(params.ticks),
-    };
+    let cfg = DriverConfig::new(params.ticks, warmup_for(params.ticks)).with_exec(exec);
     technique.run(&mut workload, cfg)
 }
 
 /// Instantiate `spec` fresh (so runs stay independent) and drive it
 /// through the uniform workload.
-pub fn run_uniform_spec(params: &WorkloadParams, spec: TechniqueSpec) -> RunStats {
-    run_uniform(params, &mut spec.build(params.space_side))
+pub fn run_uniform_spec(params: &WorkloadParams, spec: TechniqueSpec, exec: ExecMode) -> RunStats {
+    run_uniform(params, &mut spec.build(params.space_side), exec)
 }
 
-/// Drive `technique` through the Gaussian workload.
-pub fn run_gaussian(params: &GaussianParams, technique: &mut Technique) -> RunStats {
+/// Drive `technique` through the Gaussian workload (see [`run_uniform`]
+/// for the `exec` semantics).
+pub fn run_gaussian(
+    params: &GaussianParams,
+    technique: &mut Technique,
+    exec: ExecMode,
+) -> RunStats {
     params.validate().expect("invalid workload parameters");
     let mut workload = GaussianWorkload::new(*params);
-    let cfg = DriverConfig {
-        ticks: params.base.ticks,
-        warmup: warmup_for(params.base.ticks),
-    };
+    let cfg = DriverConfig::new(params.base.ticks, warmup_for(params.base.ticks)).with_exec(exec);
     technique.run(&mut workload, cfg)
 }
 
 /// Instantiate `spec` fresh and drive it through the Gaussian workload.
-pub fn run_gaussian_spec(params: &GaussianParams, spec: TechniqueSpec) -> RunStats {
-    run_gaussian(params, &mut spec.build(params.base.space_side))
+pub fn run_gaussian_spec(params: &GaussianParams, spec: TechniqueSpec, exec: ExecMode) -> RunStats {
+    run_gaussian(params, &mut spec.build(params.base.space_side), exec)
 }
 
 /// A [`Technique`] around a Simple Grid with an explicit configuration —
 /// the parameter-sweep figures step outside the registry's tuned
 /// constructors.
 pub fn grid_custom(cfg: GridConfig, space_side: f32) -> Technique {
-    Technique::Index(Box::new(SimpleGrid::new(cfg, space_side)))
+    Technique::index(Box::new(SimpleGrid::new(cfg, space_side)))
 }
 
 fn warmup_for(ticks: u32) -> u32 {
@@ -67,7 +70,7 @@ fn warmup_for(ticks: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_core::technique::registry;
+    use sj_core::technique::{registry, TechniqueKind};
 
     fn quick_params() -> WorkloadParams {
         WorkloadParams {
@@ -78,6 +81,8 @@ mod tests {
         }
     }
 
+    const SEQ: ExecMode = ExecMode::Sequential;
+
     #[test]
     fn figure2_registry_techniques_run_and_agree() {
         let params = quick_params();
@@ -85,7 +90,7 @@ mod tests {
         assert_eq!(specs.len(), 5);
         let runs: Vec<RunStats> = specs
             .iter()
-            .map(|&s| run_uniform_spec(&params, s))
+            .map(|&s| run_uniform_spec(&params, s, SEQ))
             .collect();
         let first = &runs[0];
         assert!(first.result_pairs > 0);
@@ -107,9 +112,9 @@ mod tests {
             hotspots: 3,
             sigma: 300.0,
         };
-        let baseline = run_gaussian_spec(&params, TechniqueSpec::RTreeStr);
+        let baseline = run_gaussian_spec(&params, TechniqueKind::RTreeStr.spec(), SEQ);
         for spec in registry().into_iter().filter(|s| s.grid_stage().is_some()) {
-            let r = run_gaussian_spec(&params, spec);
+            let r = run_gaussian_spec(&params, spec, SEQ);
             assert_eq!(r.checksum, baseline.checksum, "{}", spec.name());
         }
     }
@@ -117,25 +122,41 @@ mod tests {
     #[test]
     fn every_registry_technique_agrees_with_the_reference() {
         let params = quick_params();
-        let reference = run_uniform_spec(&params, TechniqueSpec::Scan);
+        let reference = run_uniform_spec(&params, TechniqueKind::Scan.spec(), SEQ);
         assert!(reference.result_pairs > 0);
         for spec in registry() {
-            let r = run_uniform_spec(&params, spec);
+            let r = run_uniform_spec(&params, spec, SEQ);
             assert_eq!(r.checksum, reference.checksum, "{}", spec.name());
             assert_eq!(r.result_pairs, reference.result_pairs, "{}", spec.name());
         }
     }
 
     #[test]
+    fn harness_runners_honor_the_exec_mode() {
+        // The CLI-level --threads plumbing funnels into run_uniform's exec
+        // argument; the parallel run must agree with the sequential one.
+        let params = quick_params();
+        let spec = TechniqueKind::Grid(sj_grid::Stage::CpsTuned).spec();
+        let seq = run_uniform_spec(&params, spec, SEQ);
+        let par = run_uniform_spec(&params, spec, ExecMode::parallel(3).unwrap());
+        assert_eq!(par.checksum, seq.checksum);
+        assert_eq!(par.result_pairs, seq.result_pairs);
+        // A @par spec runs parallel even when the harness passes SEQ.
+        let via_spec =
+            run_uniform_spec(&params, spec.with_exec(ExecMode::parallel(3).unwrap()), SEQ);
+        assert_eq!(via_spec.checksum, seq.checksum);
+    }
+
+    #[test]
     fn custom_grid_configurations_agree_too() {
         let params = quick_params();
-        let reference = run_uniform_spec(&params, TechniqueSpec::RTreeStr);
+        let reference = run_uniform_spec(&params, TechniqueKind::RTreeStr.spec(), SEQ);
         let cfg = GridConfig {
             cells_per_side: 9,
             bucket_size: 7,
             ..GridConfig::tuned()
         };
-        let r = run_uniform(&params, &mut grid_custom(cfg, params.space_side));
+        let r = run_uniform(&params, &mut grid_custom(cfg, params.space_side), SEQ);
         assert_eq!(r.checksum, reference.checksum);
     }
 }

@@ -16,6 +16,8 @@
 //! - [`batch`] — the set-at-a-time [`batch::BatchJoin`] trait;
 //! - [`driver`] — the tick loop (build → query → update) with per-phase
 //!   timing, reproducing the Sowell et al. framework the paper builds on;
+//! - [`par`] — the parallel query phase ([`par::ExecMode`]) selected via
+//!   [`driver::DriverConfig::exec`] or a spec's `@par<N>` modifier;
 //! - [`rng`] — self-contained deterministic xoshiro256++;
 //! - [`trace`] — memory-access tracing hooks consumed by `sj-memsim`;
 //! - [`stats`] — numeric summaries for the benchmark harness.
@@ -52,7 +54,7 @@
 //! assert_eq!(hits, vec![0]);
 //! ```
 
-pub use sj_base::{batch, driver, geom, index, rng, simd, stats, table, trace};
+pub use sj_base::{batch, driver, geom, index, par, rng, simd, stats, table, trace};
 
 pub mod technique;
 
@@ -62,5 +64,6 @@ pub use driver::{
 };
 pub use geom::{Point, Rect, Vec2};
 pub use index::{ScanIndex, SpatialIndex};
+pub use par::ExecMode;
 pub use table::{EntryId, MovingSet, PointTable};
-pub use technique::{registry, ParseSpecError, Technique, TechniqueSpec};
+pub use technique::{registry, ParseSpecError, Technique, TechniqueKind, TechniqueSpec};

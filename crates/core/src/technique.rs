@@ -10,16 +10,23 @@
 //! cross-technique agreement tests all iterate the registry instead of
 //! maintaining their own lists.
 //!
-//! Spec strings are `family` or `family:variant` (e.g. `"grid:inline"`,
-//! `"rtree:str"`, `"sweep"`); [`TechniqueSpec::parse`] accepts them
-//! case-sensitively, and [`TechniqueSpec::name`] returns the canonical
-//! form, so specs round-trip.
+//! A spec is a [`TechniqueKind`] (which technique) plus an [`ExecMode`]
+//! (how its query phase executes). Spec strings are `family` or
+//! `family:variant`, optionally followed by a parallel modifier `@par<N>`
+//! (e.g. `"grid:inline"`, `"rtree:str@par8"`, `"sweep@par4"`);
+//! [`TechniqueSpec::parse`] accepts them case-sensitively, and
+//! [`TechniqueSpec::name`] returns the canonical form, so specs
+//! round-trip. Every registry technique — both categories — runs under
+//! either execution mode with bit-identical [`RunStats`] counts
+//! (`tests/parallel_equivalence.rs`).
 
 use std::fmt;
+use std::num::NonZeroUsize;
 
 use sj_base::batch::BatchJoin;
 use sj_base::driver::{run_batch_join, run_join, DriverConfig, RunStats, Workload};
 use sj_base::index::{ScanIndex, SpatialIndex};
+use sj_base::par::ExecMode;
 use sj_binsearch::{BinarySearchJoin, VecSearchJoin};
 use sj_crtree::CRTree;
 use sj_grid::{IncrementalGrid, SimpleGrid, Stage};
@@ -28,35 +35,82 @@ use sj_quadtree::QuadTree;
 use sj_rtree::{DynRTree, RTree};
 use sj_sweep::PlaneSweepJoin;
 
+/// The two join categories behind [`Technique`].
+enum Impl {
+    /// Index nested loop: rebuild per tick, one probe per query.
+    Index(Box<dyn SpatialIndex + Send + Sync>),
+    /// Specialized set-at-a-time join: no index, whole query set at once.
+    Batch(Box<dyn BatchJoin + Send + Sync>),
+}
+
 /// A ready-to-run join technique from either of the paper's categories.
 ///
 /// Obtained from [`TechniqueSpec::build`] (or assembled by hand around any
-/// custom [`SpatialIndex`]/[`BatchJoin`] implementation, e.g. a grid with
-/// swept parameters). [`Technique::run`] drives it through a workload with
-/// the category-appropriate driver; results are directly comparable
-/// because both drivers share one tick loop.
-pub enum Technique {
-    /// Index nested loop: rebuild per tick, one probe per query.
-    Index(Box<dyn SpatialIndex>),
-    /// Specialized set-at-a-time join: no index, whole query set at once.
-    Batch(Box<dyn BatchJoin>),
+/// custom [`SpatialIndex`]/[`BatchJoin`] implementation via
+/// [`Technique::index`]/[`Technique::batch`], e.g. a grid with swept
+/// parameters). [`Technique::run`] drives it through a workload with the
+/// category-appropriate driver; results are directly comparable because
+/// both drivers share one tick loop.
+///
+/// A technique built from a spec with a `@par<N>` modifier remembers that
+/// preference: [`Technique::run`] promotes a sequential
+/// [`DriverConfig::exec`] to it, so `Technique::from_spec("grid@par8")`
+/// runs parallel without further plumbing. An explicitly parallel
+/// `DriverConfig` always wins.
+pub struct Technique {
+    imp: Impl,
+    exec: ExecMode,
 }
 
 impl Technique {
+    /// An index-nested-loop technique around `index`, sequential by
+    /// default. The `Send + Sync` bounds are what let the parallel query
+    /// phase probe the index from several workers; every index in the
+    /// workspace is plain data and satisfies them implicitly.
+    pub fn index(index: Box<dyn SpatialIndex + Send + Sync>) -> Technique {
+        Technique {
+            imp: Impl::Index(index),
+            exec: ExecMode::Sequential,
+        }
+    }
+
+    /// A set-at-a-time technique around `join`, sequential by default.
+    pub fn batch(join: Box<dyn BatchJoin + Send + Sync>) -> Technique {
+        Technique {
+            imp: Impl::Batch(join),
+            exec: ExecMode::Sequential,
+        }
+    }
+
+    /// The same technique with a different preferred execution mode.
+    pub fn with_exec(mut self, exec: ExecMode) -> Technique {
+        self.exec = exec;
+        self
+    }
+
+    /// The preferred execution mode (from the spec's `@par<N>` modifier,
+    /// or [`ExecMode::Sequential`]).
+    pub fn exec(&self) -> ExecMode {
+        self.exec
+    }
+
     /// The technique's display name (e.g. "R-Tree", "Plane Sweep").
     pub fn name(&self) -> &str {
-        match self {
-            Technique::Index(i) => i.name(),
-            Technique::Batch(j) => j.name(),
+        match &self.imp {
+            Impl::Index(i) => i.name(),
+            Impl::Batch(j) => j.name(),
         }
     }
 
     /// Drive this technique through `workload` for `cfg.ticks` measured
-    /// ticks, dispatching to the category-appropriate driver.
+    /// ticks, dispatching to the category-appropriate driver. The query
+    /// phase runs under `cfg.exec`, or under this technique's preferred
+    /// mode when `cfg.exec` is sequential.
     pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W, cfg: DriverConfig) -> RunStats {
-        match self {
-            Technique::Index(i) => run_join(workload, i.as_mut(), cfg),
-            Technique::Batch(j) => run_batch_join(workload, j.as_mut(), cfg),
+        let cfg = cfg.with_exec(cfg.exec.or(self.exec));
+        match &mut self.imp {
+            Impl::Index(i) => run_join(workload, i.as_mut(), cfg),
+            Impl::Batch(j) => run_batch_join(workload, j.as_mut(), cfg),
         }
     }
 
@@ -66,30 +120,35 @@ impl Technique {
         Ok(TechniqueSpec::parse(spec)?.build(space_side))
     }
 
+    /// Whether this is a set-at-a-time (batch) technique.
+    pub fn is_batch(&self) -> bool {
+        matches!(self.imp, Impl::Batch(_))
+    }
+
     /// The contained index, if this is an index technique.
     pub fn as_index(&self) -> Option<&dyn SpatialIndex> {
-        match self {
-            Technique::Index(i) => Some(i.as_ref()),
-            Technique::Batch(_) => None,
+        match &self.imp {
+            Impl::Index(i) => Some(i.as_ref() as &dyn SpatialIndex),
+            Impl::Batch(_) => None,
         }
     }
 
     /// Mutable access to the contained index, if any.
     pub fn as_index_mut(&mut self) -> Option<&mut dyn SpatialIndex> {
-        match self {
-            Technique::Index(i) => Some(i.as_mut()),
-            Technique::Batch(_) => None,
+        match &mut self.imp {
+            Impl::Index(i) => Some(i.as_mut() as &mut dyn SpatialIndex),
+            Impl::Batch(_) => None,
         }
     }
 }
 
 impl fmt::Debug for Technique {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = match self {
-            Technique::Index(_) => "Index",
-            Technique::Batch(_) => "Batch",
+        let kind = match self.imp {
+            Impl::Index(_) => "index",
+            Impl::Batch(_) => "batch",
         };
-        write!(f, "Technique::{}({:?})", kind, self.name())
+        write!(f, "Technique({:?}, {kind}, {})", self.name(), self.exec)
     }
 }
 
@@ -113,18 +172,21 @@ impl fmt::Display for ParseSpecError {
             }
             write!(f, "{}", s.name())?;
         }
-        write!(f, ")")
+        write!(
+            f,
+            "; any spec takes an optional parallel modifier `@par<N>`, e.g. grid:inline@par8)"
+        )
     }
 }
 
 impl std::error::Error for ParseSpecError {}
 
 /// A parseable, nameable handle for every technique in the workspace,
-/// with its paper-tuned constructor. `Copy`, so lists of specs are cheap
+/// with its paper-tuned constructor. `Copy`, so lists of kinds are cheap
 /// to filter and re-instantiate (a fresh technique per run keeps
 /// measurements independent).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum TechniqueSpec {
+pub enum TechniqueKind {
     /// Ground-truth full scan (`scan`) — quadratic, for validation only.
     Scan,
     /// Binary Search baseline (`binsearch`), paper §2.2.
@@ -148,164 +210,277 @@ pub enum TechniqueSpec {
     /// Linearized KD-trie (`kdtrie`).
     KdTrie,
     /// Index-free forward plane sweep (`sweep`) — the specialized join
-    /// category; builds a [`Technique::Batch`].
+    /// category; builds a batch [`Technique`].
     Sweep,
 }
 
 /// Every technique in the workspace, in presentation order: the ground
 /// truth, the paper's Figure 2 five (with the grid at each cumulative
 /// stage), then the extensions. This is the single source of truth the
-/// harness binaries and cross-technique tests iterate.
+/// harness binaries and cross-technique tests iterate. All entries are
+/// sequential; any of them accepts a parallel execution mode
+/// ([`TechniqueSpec::with_exec`] or the `@par<N>` spec modifier).
 pub fn registry() -> Vec<TechniqueSpec> {
     let mut v = vec![
-        TechniqueSpec::Scan,
-        TechniqueSpec::BinarySearch,
-        TechniqueSpec::RTreeStr,
-        TechniqueSpec::CRTree,
-        TechniqueSpec::KdTrie,
+        TechniqueKind::Scan,
+        TechniqueKind::BinarySearch,
+        TechniqueKind::RTreeStr,
+        TechniqueKind::CRTree,
+        TechniqueKind::KdTrie,
     ];
-    v.extend(Stage::ALL.iter().map(|&s| TechniqueSpec::Grid(s)));
+    v.extend(Stage::ALL.iter().map(|&s| TechniqueKind::Grid(s)));
     v.extend([
-        TechniqueSpec::GridIncremental,
-        TechniqueSpec::RTreeDyn,
-        TechniqueSpec::QuadTree,
-        TechniqueSpec::VecSearch,
-        TechniqueSpec::Sweep,
+        TechniqueKind::GridIncremental,
+        TechniqueKind::RTreeDyn,
+        TechniqueKind::QuadTree,
+        TechniqueKind::VecSearch,
+        TechniqueKind::Sweep,
     ]);
-    v
+    v.into_iter().map(TechniqueKind::spec).collect()
 }
 
-impl TechniqueSpec {
-    /// Canonical spec string; [`TechniqueSpec::parse`] inverts it.
+impl TechniqueKind {
+    /// Canonical base spec string (no execution modifier).
     pub const fn name(self) -> &'static str {
         match self {
-            TechniqueSpec::Scan => "scan",
-            TechniqueSpec::BinarySearch => "binsearch",
-            TechniqueSpec::VecSearch => "binsearch:simd",
-            TechniqueSpec::Grid(Stage::Original) => "grid:original",
-            TechniqueSpec::Grid(Stage::Restructured) => "grid:restructured",
-            TechniqueSpec::Grid(Stage::Querying) => "grid:querying",
-            TechniqueSpec::Grid(Stage::BsTuned) => "grid:bs-tuned",
-            TechniqueSpec::Grid(Stage::CpsTuned) => "grid:inline",
-            TechniqueSpec::GridIncremental => "grid:incremental",
-            TechniqueSpec::RTreeStr => "rtree:str",
-            TechniqueSpec::RTreeDyn => "rtree:dyn",
-            TechniqueSpec::CRTree => "crtree",
-            TechniqueSpec::QuadTree => "quadtree",
-            TechniqueSpec::KdTrie => "kdtrie",
-            TechniqueSpec::Sweep => "sweep",
+            TechniqueKind::Scan => "scan",
+            TechniqueKind::BinarySearch => "binsearch",
+            TechniqueKind::VecSearch => "binsearch:simd",
+            TechniqueKind::Grid(Stage::Original) => "grid:original",
+            TechniqueKind::Grid(Stage::Restructured) => "grid:restructured",
+            TechniqueKind::Grid(Stage::Querying) => "grid:querying",
+            TechniqueKind::Grid(Stage::BsTuned) => "grid:bs-tuned",
+            TechniqueKind::Grid(Stage::CpsTuned) => "grid:inline",
+            TechniqueKind::GridIncremental => "grid:incremental",
+            TechniqueKind::RTreeStr => "rtree:str",
+            TechniqueKind::RTreeDyn => "rtree:dyn",
+            TechniqueKind::CRTree => "crtree",
+            TechniqueKind::QuadTree => "quadtree",
+            TechniqueKind::KdTrie => "kdtrie",
+            TechniqueKind::Sweep => "sweep",
         }
     }
 
     /// Display label matching the paper's figure legends.
     pub fn label(self) -> &'static str {
         match self {
-            TechniqueSpec::Scan => "Full Scan",
-            TechniqueSpec::BinarySearch => "Binary Search",
-            TechniqueSpec::VecSearch => "Binary Search (vectorized)",
-            TechniqueSpec::Grid(Stage::Original) => "Simple Grid",
-            TechniqueSpec::Grid(stage) => stage.label(),
-            TechniqueSpec::GridIncremental => "Simple Grid (incremental)",
-            TechniqueSpec::RTreeStr => "R-Tree",
-            TechniqueSpec::RTreeDyn => "R-Tree (incremental)",
-            TechniqueSpec::CRTree => "CR-Tree",
-            TechniqueSpec::QuadTree => "Quadtree",
-            TechniqueSpec::KdTrie => "Linearized KD-Trie",
-            TechniqueSpec::Sweep => "Plane Sweep",
+            TechniqueKind::Scan => "Full Scan",
+            TechniqueKind::BinarySearch => "Binary Search",
+            TechniqueKind::VecSearch => "Binary Search (vectorized)",
+            TechniqueKind::Grid(Stage::Original) => "Simple Grid",
+            TechniqueKind::Grid(stage) => stage.label(),
+            TechniqueKind::GridIncremental => "Simple Grid (incremental)",
+            TechniqueKind::RTreeStr => "R-Tree",
+            TechniqueKind::RTreeDyn => "R-Tree (incremental)",
+            TechniqueKind::CRTree => "CR-Tree",
+            TechniqueKind::QuadTree => "Quadtree",
+            TechniqueKind::KdTrie => "Linearized KD-Trie",
+            TechniqueKind::Sweep => "Plane Sweep",
         }
     }
 
-    /// Parse a spec string (canonical names plus the aliases `grid` →
+    /// Parse a base spec string (canonical names plus the aliases `grid` →
     /// `grid:inline`, `rtree` → `rtree:str`, and `binsearch:vec` →
-    /// `binsearch:simd`).
-    pub fn parse(spec: &str) -> Result<TechniqueSpec, ParseSpecError> {
-        let s = match spec {
-            "scan" => TechniqueSpec::Scan,
-            "binsearch" => TechniqueSpec::BinarySearch,
-            "binsearch:simd" | "binsearch:vec" => TechniqueSpec::VecSearch,
-            "grid:original" => TechniqueSpec::Grid(Stage::Original),
-            "grid:restructured" => TechniqueSpec::Grid(Stage::Restructured),
-            "grid:querying" => TechniqueSpec::Grid(Stage::Querying),
-            "grid:bs-tuned" => TechniqueSpec::Grid(Stage::BsTuned),
-            "grid:inline" | "grid" => TechniqueSpec::Grid(Stage::CpsTuned),
-            "grid:incremental" => TechniqueSpec::GridIncremental,
-            "rtree:str" | "rtree" => TechniqueSpec::RTreeStr,
-            "rtree:dyn" => TechniqueSpec::RTreeDyn,
-            "crtree" => TechniqueSpec::CRTree,
-            "quadtree" => TechniqueSpec::QuadTree,
-            "kdtrie" => TechniqueSpec::KdTrie,
-            "sweep" => TechniqueSpec::Sweep,
-            _ => {
-                return Err(ParseSpecError {
-                    spec: spec.to_string(),
-                })
-            }
-        };
-        Ok(s)
+    /// `binsearch:simd`). Execution modifiers belong to
+    /// [`TechniqueSpec::parse`].
+    pub fn parse(base: &str) -> Option<TechniqueKind> {
+        Some(match base {
+            "scan" => TechniqueKind::Scan,
+            "binsearch" => TechniqueKind::BinarySearch,
+            "binsearch:simd" | "binsearch:vec" => TechniqueKind::VecSearch,
+            "grid:original" => TechniqueKind::Grid(Stage::Original),
+            "grid:restructured" => TechniqueKind::Grid(Stage::Restructured),
+            "grid:querying" => TechniqueKind::Grid(Stage::Querying),
+            "grid:bs-tuned" => TechniqueKind::Grid(Stage::BsTuned),
+            "grid:inline" | "grid" => TechniqueKind::Grid(Stage::CpsTuned),
+            "grid:incremental" => TechniqueKind::GridIncremental,
+            "rtree:str" | "rtree" => TechniqueKind::RTreeStr,
+            "rtree:dyn" => TechniqueKind::RTreeDyn,
+            "crtree" => TechniqueKind::CRTree,
+            "quadtree" => TechniqueKind::QuadTree,
+            "kdtrie" => TechniqueKind::KdTrie,
+            "sweep" => TechniqueKind::Sweep,
+            _ => return None,
+        })
+    }
+
+    /// This kind as a sequential [`TechniqueSpec`].
+    pub const fn spec(self) -> TechniqueSpec {
+        TechniqueSpec {
+            kind: self,
+            exec: ExecMode::Sequential,
+        }
+    }
+
+    /// This kind as a parallel [`TechniqueSpec`] over `threads` workers.
+    pub const fn par(self, threads: NonZeroUsize) -> TechniqueSpec {
+        TechniqueSpec {
+            kind: self,
+            exec: ExecMode::Parallel { threads },
+        }
     }
 
     /// Construct the technique with its paper-tuned parameters for a data
-    /// space of side `space_side`.
+    /// space of side `space_side` (sequential; see [`TechniqueSpec::build`]
+    /// for the exec-carrying form).
     pub fn build(self, space_side: f32) -> Technique {
         match self {
-            TechniqueSpec::Scan => Technique::Index(Box::new(ScanIndex::new())),
-            TechniqueSpec::BinarySearch => Technique::Index(Box::new(BinarySearchJoin::new())),
-            TechniqueSpec::VecSearch => Technique::Index(Box::new(VecSearchJoin::new())),
-            TechniqueSpec::Grid(stage) => {
-                Technique::Index(Box::new(SimpleGrid::at_stage(stage, space_side)))
+            TechniqueKind::Scan => Technique::index(Box::new(ScanIndex::new())),
+            TechniqueKind::BinarySearch => Technique::index(Box::new(BinarySearchJoin::new())),
+            TechniqueKind::VecSearch => Technique::index(Box::new(VecSearchJoin::new())),
+            TechniqueKind::Grid(stage) => {
+                Technique::index(Box::new(SimpleGrid::at_stage(stage, space_side)))
             }
-            TechniqueSpec::GridIncremental => {
-                Technique::Index(Box::new(IncrementalGrid::tuned(space_side)))
+            TechniqueKind::GridIncremental => {
+                Technique::index(Box::new(IncrementalGrid::tuned(space_side)))
             }
-            TechniqueSpec::RTreeStr => Technique::Index(Box::new(RTree::default())),
-            TechniqueSpec::RTreeDyn => Technique::Index(Box::new(DynRTree::default())),
-            TechniqueSpec::CRTree => Technique::Index(Box::new(CRTree::default())),
-            TechniqueSpec::QuadTree => {
-                Technique::Index(Box::new(QuadTree::with_default_bucket(space_side)))
+            TechniqueKind::RTreeStr => Technique::index(Box::new(RTree::default())),
+            TechniqueKind::RTreeDyn => Technique::index(Box::new(DynRTree::default())),
+            TechniqueKind::CRTree => Technique::index(Box::new(CRTree::default())),
+            TechniqueKind::QuadTree => {
+                Technique::index(Box::new(QuadTree::with_default_bucket(space_side)))
             }
-            TechniqueSpec::KdTrie => Technique::Index(Box::new(LinearKdTrie::new(space_side))),
-            TechniqueSpec::Sweep => Technique::Batch(Box::new(PlaneSweepJoin::new())),
+            TechniqueKind::KdTrie => Technique::index(Box::new(LinearKdTrie::new(space_side))),
+            TechniqueKind::Sweep => Technique::batch(Box::new(PlaneSweepJoin::new())),
         }
     }
 
-    /// Whether this spec builds a [`Technique::Batch`] (set-at-a-time)
-    /// technique rather than an index.
-    pub fn is_batch(self) -> bool {
-        matches!(self, TechniqueSpec::Sweep)
+    /// Whether this kind builds a batch (set-at-a-time) technique rather
+    /// than an index.
+    pub const fn is_batch(self) -> bool {
+        matches!(self, TechniqueKind::Sweep)
     }
 
-    /// Whether this spec is the quadratic ground-truth reference —
+    /// Whether this kind is the quadratic ground-truth reference —
     /// essential for agreement tests, useless in timing runs.
-    pub fn is_reference(self) -> bool {
-        matches!(self, TechniqueSpec::Scan)
+    pub const fn is_reference(self) -> bool {
+        matches!(self, TechniqueKind::Scan)
     }
 
     /// Whether this technique belongs in timing tables: everything except
     /// the quadratic reference scan.
-    pub fn is_benchmarkable(self) -> bool {
+    pub const fn is_benchmarkable(self) -> bool {
         !self.is_reference()
     }
 
     /// The five techniques of the paper's Figure 2 (the Simple Grid in its
     /// *original*, worst-performing implementation).
-    pub fn in_figure2(self) -> bool {
+    pub const fn in_figure2(self) -> bool {
         matches!(
             self,
-            TechniqueSpec::BinarySearch
-                | TechniqueSpec::RTreeStr
-                | TechniqueSpec::CRTree
-                | TechniqueSpec::KdTrie
-                | TechniqueSpec::Grid(Stage::Original)
+            TechniqueKind::BinarySearch
+                | TechniqueKind::RTreeStr
+                | TechniqueKind::CRTree
+                | TechniqueKind::KdTrie
+                | TechniqueKind::Grid(Stage::Original)
         )
     }
 
-    /// The Simple Grid improvement stage, if this spec is one (the Figure 4
+    /// The Simple Grid improvement stage, if this kind is one (the Figure 4
     /// / Table 2 lower-half line-up).
-    pub fn grid_stage(self) -> Option<Stage> {
+    pub const fn grid_stage(self) -> Option<Stage> {
         match self {
-            TechniqueSpec::Grid(stage) => Some(stage),
+            TechniqueKind::Grid(stage) => Some(stage),
             _ => None,
         }
+    }
+}
+
+impl fmt::Display for TechniqueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What to run and how: a [`TechniqueKind`] plus an [`ExecMode`]. The
+/// string form appends the parallel modifier `@par<N>` to the kind's
+/// canonical name (`"grid:inline@par8"` ⇔ the tuned grid with its query
+/// phase sharded over 8 threads); [`TechniqueSpec::parse`] and
+/// [`TechniqueSpec::name`] round-trip it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TechniqueSpec {
+    pub kind: TechniqueKind,
+    pub exec: ExecMode,
+}
+
+impl TechniqueSpec {
+    /// Canonical spec string; [`TechniqueSpec::parse`] inverts it.
+    pub fn name(&self) -> String {
+        match self.exec {
+            ExecMode::Sequential => self.kind.name().to_string(),
+            ExecMode::Parallel { threads } => format!("{}@par{threads}", self.kind.name()),
+        }
+    }
+
+    /// Display label matching the paper's figure legends, annotated with
+    /// the thread count when parallel.
+    pub fn label(&self) -> String {
+        match self.exec {
+            ExecMode::Sequential => self.kind.label().to_string(),
+            ExecMode::Parallel { threads } => {
+                format!("{} ({threads} threads)", self.kind.label())
+            }
+        }
+    }
+
+    /// Parse a spec string: a base name ([`TechniqueKind::parse`], aliases
+    /// included) optionally followed by `@par<N>` with `N ≥ 1`. `@par0`
+    /// is rejected here — [`ExecMode::Parallel`] holds a [`NonZeroUsize`],
+    /// so a zero-thread spec cannot even be constructed.
+    pub fn parse(spec: &str) -> Result<TechniqueSpec, ParseSpecError> {
+        let err = || ParseSpecError {
+            spec: spec.to_string(),
+        };
+        let (base, exec) = match spec.split_once('@') {
+            None => (spec, ExecMode::Sequential),
+            Some((base, modifier)) => {
+                let threads = modifier
+                    .strip_prefix("par")
+                    .and_then(|n| n.parse::<NonZeroUsize>().ok())
+                    .ok_or_else(err)?;
+                (base, ExecMode::Parallel { threads })
+            }
+        };
+        let kind = TechniqueKind::parse(base).ok_or_else(err)?;
+        Ok(TechniqueSpec { kind, exec })
+    }
+
+    /// The same spec under a different execution mode.
+    pub const fn with_exec(mut self, exec: ExecMode) -> TechniqueSpec {
+        self.exec = exec;
+        self
+    }
+
+    /// Construct the technique with its paper-tuned parameters for a data
+    /// space of side `space_side`. The spec's execution mode is embedded:
+    /// [`Technique::run`] applies it whenever the driver config does not
+    /// name a parallel mode itself.
+    pub fn build(self, space_side: f32) -> Technique {
+        self.kind.build(space_side).with_exec(self.exec)
+    }
+
+    // Delegates, so registry filters read the same as before the
+    // kind/exec split.
+    pub const fn is_batch(self) -> bool {
+        self.kind.is_batch()
+    }
+    pub const fn is_reference(self) -> bool {
+        self.kind.is_reference()
+    }
+    pub const fn is_benchmarkable(self) -> bool {
+        self.kind.is_benchmarkable()
+    }
+    pub const fn in_figure2(self) -> bool {
+        self.kind.in_figure2()
+    }
+    pub const fn grid_stage(self) -> Option<Stage> {
+        self.kind.grid_stage()
+    }
+}
+
+impl From<TechniqueKind> for TechniqueSpec {
+    fn from(kind: TechniqueKind) -> TechniqueSpec {
+        kind.spec()
     }
 }
 
@@ -319,13 +494,17 @@ impl std::str::FromStr for TechniqueSpec {
 
 impl fmt::Display for TechniqueSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        f.write_str(&self.name())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn par(n: usize) -> ExecMode {
+        ExecMode::parallel(n).unwrap()
+    }
 
     #[test]
     fn registry_covers_every_category_once() {
@@ -335,17 +514,52 @@ mod tests {
         assert_eq!(specs.iter().filter(|s| s.is_reference()).count(), 1);
         assert_eq!(specs.iter().filter(|s| s.in_figure2()).count(), 5);
         assert_eq!(specs.iter().filter(|s| s.grid_stage().is_some()).count(), 5);
+        assert!(specs.iter().all(|s| s.exec == ExecMode::Sequential));
     }
 
     #[test]
     fn every_spec_round_trips_through_parse() {
         for spec in registry() {
             assert_eq!(
-                TechniqueSpec::parse(spec.name()),
+                TechniqueSpec::parse(&spec.name()),
                 Ok(spec),
                 "{}",
                 spec.name()
             );
+        }
+    }
+
+    #[test]
+    fn par_specs_round_trip_through_parse_and_name() {
+        for base in registry() {
+            for n in [1usize, 2, 8, 64] {
+                let spec = base.with_exec(par(n));
+                let name = spec.name();
+                assert!(name.ends_with(&format!("@par{n}")), "{name}");
+                assert_eq!(TechniqueSpec::parse(&name), Ok(spec), "{name}");
+            }
+        }
+        // Aliases canonicalize under the modifier too.
+        let parsed = TechniqueSpec::parse("grid@par8").unwrap();
+        assert_eq!(parsed.kind, TechniqueKind::Grid(Stage::CpsTuned));
+        assert_eq!(parsed.exec, par(8));
+        assert_eq!(parsed.name(), "grid:inline@par8");
+    }
+
+    #[test]
+    fn malformed_par_modifiers_are_rejected() {
+        for bad in [
+            "grid@par0",
+            "grid@par",
+            "grid@8",
+            "grid@threads8",
+            "grid@par-1",
+            "grid@parX",
+            "@par8",
+            "grid@par8@par8",
+        ] {
+            let err = TechniqueSpec::parse(bad).unwrap_err();
+            assert_eq!(err.spec, bad);
         }
     }
 
@@ -361,15 +575,25 @@ mod tests {
     }
 
     #[test]
+    fn parallel_labels_carry_the_thread_count() {
+        let spec = TechniqueKind::RTreeStr.par(NonZeroUsize::new(4).unwrap());
+        assert_eq!(spec.label(), "R-Tree (4 threads)");
+        assert_eq!(spec.name(), "rtree:str@par4");
+    }
+
+    #[test]
     fn aliases_resolve_to_tuned_variants() {
         assert_eq!(
             TechniqueSpec::parse("grid"),
-            Ok(TechniqueSpec::Grid(Stage::CpsTuned))
+            Ok(TechniqueKind::Grid(Stage::CpsTuned).spec())
         );
-        assert_eq!(TechniqueSpec::parse("rtree"), Ok(TechniqueSpec::RTreeStr));
+        assert_eq!(
+            TechniqueSpec::parse("rtree"),
+            Ok(TechniqueKind::RTreeStr.spec())
+        );
         assert_eq!(
             TechniqueSpec::parse("binsearch:vec"),
-            Ok(TechniqueSpec::VecSearch)
+            Ok(TechniqueKind::VecSearch.spec())
         );
     }
 
@@ -379,7 +603,7 @@ mod tests {
         assert_eq!(err.spec, "btree");
         let msg = err.to_string();
         assert!(
-            msg.contains("grid:inline") && msg.contains("sweep"),
+            msg.contains("grid:inline") && msg.contains("sweep") && msg.contains("@par<N>"),
             "{msg}"
         );
     }
@@ -388,11 +612,24 @@ mod tests {
     fn build_produces_the_right_category() {
         for spec in registry() {
             let tech = spec.build(1_000.0);
-            match tech {
-                Technique::Index(_) => assert!(!spec.is_batch(), "{}", spec.name()),
-                Technique::Batch(_) => assert!(spec.is_batch(), "{}", spec.name()),
-            }
+            assert_eq!(tech.is_batch(), spec.is_batch(), "{}", spec.name());
+            assert_eq!(
+                tech.as_index().is_some(),
+                !spec.is_batch(),
+                "{}",
+                spec.name()
+            );
         }
+    }
+
+    #[test]
+    fn built_techniques_remember_their_exec_mode() {
+        let seq = TechniqueKind::RTreeStr.spec().build(1_000.0);
+        assert_eq!(seq.exec(), ExecMode::Sequential);
+        let p = TechniqueSpec::parse("rtree:str@par4")
+            .unwrap()
+            .build(1_000.0);
+        assert_eq!(p.exec(), par(4));
     }
 
     #[test]
@@ -402,6 +639,7 @@ mod tests {
         assert!(t.as_index().is_some());
         assert!(t.as_index_mut().is_some());
         assert!(Technique::from_spec("nope", 1_000.0).is_err());
+        assert!(Technique::from_spec("grid:inline@par0", 1_000.0).is_err());
     }
 
     #[test]
@@ -433,23 +671,24 @@ mod tests {
             }
         }
 
-        let cfg = DriverConfig {
-            ticks: 2,
-            warmup: 0,
-        };
+        let cfg = DriverConfig::new(2, 0);
         let mut reference = None;
         for spec in registry() {
-            let mut tech = spec.build(100.0);
-            let stats = tech.run(&mut Toy, cfg);
-            assert!(stats.result_pairs > 0, "{}", spec.name());
-            match reference {
-                None => reference = Some((stats.result_pairs, stats.checksum)),
-                Some(expect) => assert_eq!(
-                    (stats.result_pairs, stats.checksum),
-                    expect,
-                    "{} computed a different join",
-                    spec.name()
-                ),
+            // Sequentially, and — through the same entry point — with the
+            // spec's @par modifier driving the parallel query phase.
+            for exec in [ExecMode::Sequential, par(3)] {
+                let mut tech = spec.with_exec(exec).build(100.0);
+                let stats = tech.run(&mut Toy, cfg);
+                assert!(stats.result_pairs > 0, "{}", spec.name());
+                match reference {
+                    None => reference = Some((stats.result_pairs, stats.checksum)),
+                    Some(expect) => assert_eq!(
+                        (stats.result_pairs, stats.checksum),
+                        expect,
+                        "{} ({exec}) computed a different join",
+                        spec.name()
+                    ),
+                }
             }
         }
     }

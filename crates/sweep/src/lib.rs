@@ -121,6 +121,12 @@ impl BatchJoin for PlaneSweepJoin {
             }
         }
     }
+
+    fn fork(&self) -> Box<dyn BatchJoin + Send> {
+        // Scratch buffers are per-instance caches; a clone gives a parallel
+        // worker its own, so strip joins never contend.
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

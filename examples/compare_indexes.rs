@@ -14,10 +14,7 @@ fn main() {
         ticks: 6,
         ..WorkloadParams::default()
     };
-    let cfg = DriverConfig {
-        ticks: params.ticks,
-        warmup: 1,
-    };
+    let cfg = DriverConfig::new(params.ticks, 1);
 
     println!(
         "{:<28} {:>12} {:>14} {:>18}",

@@ -15,7 +15,9 @@ fn main() {
         ticks: 10,
         ..WorkloadParams::default()
     };
-    let mut index: Box<dyn SpatialIndex> = match choice.as_str() {
+    // `Sync` because the driver may probe the index from several workers
+    // (ExecMode::Parallel); all workspace indexes are plain data.
+    let mut index: Box<dyn SpatialIndex + Send + Sync> = match choice.as_str() {
         "grid" => Box::new(SimpleGrid::tuned(params.space_side)),
         "grid-original" => Box::new(SimpleGrid::at_stage(Stage::Original, params.space_side)),
         "rtree" => Box::new(RTree::default()),
@@ -34,10 +36,7 @@ fn main() {
     let stats = run_join(
         &mut workload,
         index.as_mut(),
-        DriverConfig {
-            ticks: params.ticks,
-            warmup: 2,
-        },
+        DriverConfig::new(params.ticks, 2),
     );
 
     println!("technique      : {}", index.name());

@@ -1,13 +1,16 @@
-//! Extension beyond the paper: the query phase fanned out over threads.
+//! The parallel query phase as a registry-level property: the same
+//! `Technique::run` entry point, a different [`ExecMode`].
 //!
 //! The paper is deliberately single-threaded; once the implementation is
 //! cache-efficient, queries (pure reads) shard trivially. This example
-//! verifies the parallel driver computes the identical join and reports
-//! the speedup of the query phase.
+//! drives both join categories — the tuned grid (per-query) and the plane
+//! sweep (set-at-a-time, strip-partitioned) — across thread counts,
+//! verifies every configuration computes the identical join, and reports
+//! the query-phase speedup. The `@par<N>` spec modifier shown at the end
+//! is what the bench binaries' `--technique grid:inline@par8` uses.
 //!
-//! Run: `cargo run --release --features parallel --example parallel_join`
+//! Run: `cargo run --release --example parallel_join`
 
-use spatial_joins::parallel::run_join_parallel;
 use spatial_joins::prelude::*;
 
 fn main() {
@@ -16,34 +19,56 @@ fn main() {
         ticks: 6,
         ..WorkloadParams::default()
     };
-    let cfg = DriverConfig {
-        ticks: params.ticks,
-        warmup: 1,
-    };
+    let cfg = DriverConfig::new(params.ticks, 1);
 
+    for spec_name in ["grid:inline", "sweep"] {
+        let sequential = {
+            let mut workload = UniformWorkload::new(params);
+            let mut tech = Technique::from_spec(spec_name, params.space_side).unwrap();
+            tech.run(&mut workload, cfg)
+        };
+        println!(
+            "{spec_name}: sequential query phase {:.4} s/tick ({} pairs, checksum {:#x})",
+            sequential.avg_query_seconds(),
+            sequential.result_pairs,
+            sequential.checksum
+        );
+
+        for threads in [2usize, 4, 8] {
+            let mut workload = UniformWorkload::new(params);
+            let mut tech = Technique::from_spec(spec_name, params.space_side).unwrap();
+            let exec = ExecMode::parallel(threads).unwrap();
+            let par = tech.run(&mut workload, cfg.with_exec(exec));
+            assert_eq!(par.checksum, sequential.checksum, "parallel join differs!");
+            assert_eq!(par.result_pairs, sequential.result_pairs);
+            println!(
+                "{spec_name}: {threads} threads: query phase {:.4} s/tick ({:.2}x)",
+                par.avg_query_seconds(),
+                sequential.avg_query_seconds() / par.avg_query_seconds().max(1e-12)
+            );
+        }
+        println!();
+    }
+
+    // Equivalent, via the spec modifier: the parsed exec mode rides along
+    // in the built technique, so a plain sequential config runs parallel.
     let sequential = {
         let mut workload = UniformWorkload::new(params);
-        let mut grid = SimpleGrid::tuned(params.space_side);
-        run_join(&mut workload, &mut grid, cfg)
+        let mut tech = Technique::from_spec("grid:inline", params.space_side).unwrap();
+        tech.run(&mut workload, cfg)
     };
-    println!(
-        "sequential: query phase {:.4} s/tick ({} pairs, checksum {:#x})",
-        sequential.avg_query_seconds(),
-        sequential.result_pairs,
-        sequential.checksum
+    let mut workload = UniformWorkload::new(params);
+    let mut tech = Technique::from_spec("grid:inline@par8", params.space_side).unwrap();
+    let stats = tech.run(&mut workload, cfg);
+    assert_eq!(
+        stats.checksum, sequential.checksum,
+        "spec-modifier join differs!"
     );
-
-    for threads in [2, 4, 8] {
-        let mut workload = UniformWorkload::new(params);
-        let mut grid = SimpleGrid::tuned(params.space_side);
-        let par = run_join_parallel(&mut workload, &mut grid, cfg, threads);
-        assert_eq!(par.checksum, sequential.checksum, "parallel join differs!");
-        assert_eq!(par.result_pairs, sequential.result_pairs);
-        println!(
-            "{threads} threads: query phase {:.4} s/tick ({:.2}x)",
-            par.avg_query_seconds(),
-            sequential.avg_query_seconds() / par.avg_query_seconds().max(1e-12)
-        );
-    }
+    assert_eq!(stats.result_pairs, sequential.result_pairs);
+    println!(
+        "grid:inline@par8 (spec modifier): query phase {:.4} s/tick, checksum {:#x}",
+        stats.avg_query_seconds(),
+        stats.checksum
+    );
     println!("\nidentical joins on every configuration.");
 }

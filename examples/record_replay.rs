@@ -14,10 +14,7 @@ fn main() {
         ticks: 8,
         ..WorkloadParams::default()
     };
-    let cfg = DriverConfig {
-        ticks: params.ticks,
-        warmup: 0,
-    };
+    let cfg = DriverConfig::new(params.ticks, 0);
 
     // 1. Run the live workload.
     let live = {

@@ -10,14 +10,7 @@ use spatial_joins::prelude::*;
 fn time_config(cfg: GridConfig, params: &WorkloadParams) -> f64 {
     let mut workload = UniformWorkload::new(*params);
     let mut grid = SimpleGrid::new(cfg, params.space_side);
-    let stats = run_join(
-        &mut workload,
-        &mut grid,
-        DriverConfig {
-            ticks: 4,
-            warmup: 1,
-        },
-    );
+    let stats = run_join(&mut workload, &mut grid, DriverConfig::new(4, 1));
     stats.avg_tick_seconds()
 }
 

@@ -33,13 +33,39 @@
 //!
 //! // The paper's winner: the refactored, re-tuned Simple Grid.
 //! let mut tech = Technique::from_spec("grid:inline", params.space_side).unwrap();
-//! let stats = tech.run(&mut workload, DriverConfig { ticks: 3, warmup: 1 });
+//! let stats = tech.run(&mut workload, DriverConfig::new(3, 1));
 //! assert!(stats.result_pairs > 0);
 //!
 //! // Or iterate everything the workspace implements:
 //! for spec in registry() {
 //!     println!("{:16} {}", spec.name(), spec.label());
 //! }
+//! ```
+//!
+//! ## Parallel execution
+//!
+//! Every registry technique — both join categories — can shard its query
+//! phase over threads; build and update phases stay sequential, so the
+//! tick semantics (and the join itself) are bit-identical to the
+//! single-threaded run. Select it per run via [`core::DriverConfig`]'s
+//! `exec` field, or per spec with the `@par<N>` modifier:
+//!
+//! ```
+//! use spatial_joins::prelude::*;
+//!
+//! let params = WorkloadParams { num_points: 5_000, ticks: 2, ..Default::default() };
+//! let cfg = DriverConfig::new(2, 0);
+//!
+//! let seq = Technique::from_spec("grid:inline", params.space_side).unwrap()
+//!     .run(&mut UniformWorkload::new(params), cfg);
+//! // Same technique, query phase over 4 workers — two equivalent spellings:
+//! let par = Technique::from_spec("grid:inline@par4", params.space_side).unwrap()
+//!     .run(&mut UniformWorkload::new(params), cfg);
+//! let via_cfg = Technique::from_spec("grid:inline", params.space_side).unwrap()
+//!     .run(&mut UniformWorkload::new(params), cfg.with_exec(ExecMode::parallel(4).unwrap()));
+//!
+//! assert_eq!(seq.checksum, par.checksum);
+//! assert_eq!(seq.checksum, via_cfg.checksum);
 //! ```
 //!
 //! ## Queries are sinks
@@ -100,8 +126,9 @@ pub mod prelude {
     pub use sj_core::driver::{run_batch_join, run_join, DriverConfig, RunStats, Workload};
     pub use sj_core::geom::{Point, Rect, Vec2};
     pub use sj_core::index::{ScanIndex, SpatialIndex};
+    pub use sj_core::par::ExecMode;
     pub use sj_core::table::{EntryId, MovingSet, PointTable};
-    pub use sj_core::technique::{registry, Technique, TechniqueSpec};
+    pub use sj_core::technique::{registry, Technique, TechniqueKind, TechniqueSpec};
     pub use sj_crtree::CRTree;
     pub use sj_grid::{GridConfig, IncrementalGrid, Layout, QueryAlgo, SimpleGrid, Stage};
     pub use sj_kdtrie::LinearKdTrie;

@@ -1,28 +1,41 @@
-//! Extension beyond the paper: a parallel query phase.
+//! Deprecated facade for the parallel query phase.
 //!
-//! The paper's setting is deliberately single-threaded ("even
-//! single-threaded settings", §4). This module adds the natural next step
-//! the paper's conclusions invite: once the implementation is
-//! cache-efficient, the query phase is embarrassingly parallel — queries
-//! only read the index and the base table. Build and update phases remain
-//! sequential, queriers are sharded across `std::thread::scope` workers, and
-//! the order-independent checksum makes cross-thread result merging a
-//! `wrapping_add`.
+//! Parallel execution is now a first-class part of the foundation: see
+//! [`sj_core::par`] ([`ExecMode`], the sharded query phase, the
+//! strip-partitioned batch join) and [`DriverConfig::exec`]. Every
+//! registry technique runs under [`ExecMode::Parallel`] — not just the
+//! grid this module was once tested with — and spec strings accept a
+//! `@par<N>` modifier (`"grid:inline@par8"`).
 //!
-//! Enable with `--features parallel`.
+//! This module remains only so pre-registry callers keep compiling; it
+//! re-exports the new types and keeps a thin wrapper around the old
+//! entry point. No feature flag is needed for the new API — the
+//! `parallel` cargo feature now gates nothing but this compatibility
+//! module.
 
-use std::time::Instant;
+pub use sj_core::driver::DriverConfig;
+pub use sj_core::par::{shard_batch_join, shard_index_query, ExecMode};
 
-use sj_core::driver::{fold_pair, DriverConfig, RunStats, TickActions, TickTimes, Workload};
-use sj_core::geom::Rect;
+use sj_core::driver::{run_join, RunStats, Workload};
 use sj_core::index::SpatialIndex;
 
 /// Like [`sj_core::driver::run_join`], but the query phase fans out over
-/// `threads` workers. Results (pair counts and checksum) are identical to
-/// the sequential driver for the same workload seed.
+/// `threads` workers.
+///
+/// Deprecated: set [`DriverConfig::exec`] instead —
+/// `cfg.with_exec(ExecMode::parallel(threads).unwrap())` — or parse a
+/// `@par<N>` technique spec. The replacement takes
+/// [`ExecMode::Parallel`]'s `NonZeroUsize`, so the zero-thread panic
+/// below is unrepresentable at the new call sites: what used to be a
+/// `#[should_panic]` test is now a compile-time guarantee (the CLI layer
+/// rejects `--threads 0` while parsing; see `sj-bench`).
 ///
 /// # Panics
 /// Panics if `threads == 0`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use DriverConfig::with_exec(ExecMode::parallel(n).unwrap()) with run_join"
+)]
 pub fn run_join_parallel<W, I>(
     workload: &mut W,
     index: &mut I,
@@ -33,126 +46,36 @@ where
     W: Workload + ?Sized,
     I: SpatialIndex + Sync + ?Sized,
 {
-    assert!(threads > 0, "threads must be > 0");
-    let mut set = workload.init();
-    let space = workload.space();
-    let query_side = workload.query_side();
-
-    let mut stats = RunStats::default();
-    let mut actions = TickActions::default();
-
-    let total_ticks = cfg.warmup + cfg.ticks;
-    for tick in 0..total_ticks {
-        let measured = tick >= cfg.warmup;
-        actions.clear();
-        workload.plan_tick(tick, &set, &mut actions);
-
-        let t0 = Instant::now();
-        index.build(&set.positions);
-        let build = t0.elapsed();
-
-        let t0 = Instant::now();
-        let chunk = actions.queriers.len().div_ceil(threads).max(1);
-        let positions = &set.positions;
-        let index_ref: &I = index;
-        let shard_results: Vec<(u64, u64)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = actions
-                .queriers
-                .chunks(chunk)
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut pairs = 0u64;
-                        let mut checksum = 0u64;
-                        for &q in shard {
-                            let region = Rect::centered_square(positions.point(q), query_side)
-                                .clipped_to(&space);
-                            // Sink fold, like the sequential driver: no
-                            // per-query result materialization in any shard.
-                            index_ref.for_each_in(positions, &region, &mut |r| {
-                                pairs += 1;
-                                checksum = fold_pair(checksum, q, r);
-                            });
-                        }
-                        (pairs, checksum)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("query shard panicked"))
-                .collect()
-        });
-        let query = t0.elapsed();
-
-        let t0 = Instant::now();
-        for &(id, vx, vy) in &actions.velocity_updates {
-            set.set_velocity(id, sj_core::geom::Vec2::new(vx, vy));
-        }
-        workload.advance(&mut set);
-        let update = t0.elapsed();
-
-        if measured {
-            stats.ticks.push(TickTimes {
-                build,
-                query,
-                update,
-            });
-            for (pairs, checksum) in shard_results {
-                stats.result_pairs += pairs;
-                stats.checksum = stats.checksum.wrapping_add(checksum);
-            }
-            stats.queries += actions.queriers.len() as u64;
-            stats.updates += actions.velocity_updates.len() as u64;
-        }
-    }
-    stats.index_bytes = index.memory_bytes();
-    stats
+    let exec = ExecMode::parallel(threads).expect("threads must be > 0");
+    run_join(workload, index, cfg.with_exec(exec))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
-    use sj_core::driver::run_join;
     use sj_grid::SimpleGrid;
     use sj_workload::{UniformWorkload, WorkloadParams};
 
-    fn params() -> WorkloadParams {
-        WorkloadParams {
+    #[test]
+    fn shim_forwards_to_the_first_class_parallel_driver() {
+        let params = WorkloadParams {
             num_points: 2_000,
             space_side: 8_000.0,
             ticks: 3,
             ..WorkloadParams::default()
-        }
-    }
-
-    #[test]
-    fn parallel_matches_sequential_exactly() {
-        let cfg = DriverConfig {
-            ticks: 3,
-            warmup: 1,
         };
+        let cfg = DriverConfig::new(3, 1);
         let sequential = {
-            let mut w = UniformWorkload::new(params());
-            let mut g = SimpleGrid::tuned(params().space_side);
-            run_join(&mut w, &mut g, cfg)
+            let mut w = UniformWorkload::new(params);
+            let mut g = SimpleGrid::tuned(params.space_side);
+            sj_core::driver::run_join(&mut w, &mut g, cfg)
         };
-        for threads in [1, 2, 4, 7] {
-            let mut w = UniformWorkload::new(params());
-            let mut g = SimpleGrid::tuned(params().space_side);
-            let par = run_join_parallel(&mut w, &mut g, cfg, threads);
-            assert_eq!(
-                par.result_pairs, sequential.result_pairs,
-                "threads={threads}"
-            );
-            assert_eq!(par.checksum, sequential.checksum, "threads={threads}");
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "threads")]
-    fn zero_threads_is_rejected() {
-        let mut w = UniformWorkload::new(params());
-        let mut g = SimpleGrid::tuned(params().space_side);
-        let _ = run_join_parallel(&mut w, &mut g, DriverConfig::default(), 0);
+        let mut w = UniformWorkload::new(params);
+        let mut g = SimpleGrid::tuned(params.space_side);
+        let par = run_join_parallel(&mut w, &mut g, cfg, 4);
+        assert_eq!(par.result_pairs, sequential.result_pairs);
+        assert_eq!(par.checksum, sequential.checksum);
     }
 }

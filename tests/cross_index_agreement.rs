@@ -13,25 +13,13 @@ use spatial_joins::prelude::*;
 fn run_uniform_spec(spec: TechniqueSpec, params: WorkloadParams) -> RunStats {
     let mut workload = UniformWorkload::new(params);
     let mut tech = spec.build(params.space_side);
-    tech.run(
-        &mut workload,
-        DriverConfig {
-            ticks: params.ticks,
-            warmup: 1,
-        },
-    )
+    tech.run(&mut workload, DriverConfig::new(params.ticks, 1))
 }
 
 fn run_gaussian_spec(spec: TechniqueSpec, params: GaussianParams) -> RunStats {
     let mut workload = GaussianWorkload::new(params);
     let mut tech = spec.build(params.base.space_side);
-    tech.run(
-        &mut workload,
-        DriverConfig {
-            ticks: params.base.ticks,
-            warmup: 1,
-        },
-    )
+    tech.run(&mut workload, DriverConfig::new(params.base.ticks, 1))
 }
 
 #[test]
@@ -110,8 +98,8 @@ fn batch_plane_sweep_computes_the_same_join_as_the_indexes() {
         ..WorkloadParams::default()
     };
     let indexed = run_uniform_spec(TechniqueSpec::parse("grid:inline").unwrap(), params);
-    let swept = run_uniform_spec(TechniqueSpec::Sweep, params);
-    assert!(TechniqueSpec::Sweep.is_batch());
+    let swept = run_uniform_spec(TechniqueKind::Sweep.spec(), params);
+    assert!(TechniqueKind::Sweep.spec().is_batch());
     assert_eq!(swept.result_pairs, indexed.result_pairs);
     assert_eq!(swept.checksum, indexed.checksum);
     assert_eq!(swept.queries, indexed.queries);
@@ -133,13 +121,7 @@ fn all_registry_techniques_agree_on_road_grid_workload() {
     for spec in registry() {
         let mut workload = RoadGridWorkload::with_defaults(params);
         let mut tech = spec.build(params.space_side);
-        let stats = tech.run(
-            &mut workload,
-            DriverConfig {
-                ticks: params.ticks,
-                warmup: 1,
-            },
-        );
+        let stats = tech.run(&mut workload, DriverConfig::new(params.ticks, 1));
         assert!(stats.result_pairs > 0, "{} found nothing", spec.name());
         let key = (stats.result_pairs, stats.checksum);
         match reference {

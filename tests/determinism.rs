@@ -7,7 +7,7 @@ use spatial_joins::prelude::*;
 /// driver records exactly this many per-phase entries.
 const MEASURED_TICKS: u32 = 5;
 
-fn run_once(seed: u64) -> RunStats {
+fn run_once_with(seed: u64, exec: ExecMode) -> RunStats {
     let params = WorkloadParams {
         num_points: 2_000,
         ticks: MEASURED_TICKS,
@@ -20,11 +20,12 @@ fn run_once(seed: u64) -> RunStats {
     run_join(
         &mut workload,
         &mut grid,
-        DriverConfig {
-            ticks: params.ticks,
-            warmup: 1,
-        },
+        DriverConfig::new(params.ticks, 1).with_exec(exec),
     )
+}
+
+fn run_once(seed: u64) -> RunStats {
+    run_once_with(seed, ExecMode::Sequential)
 }
 
 #[test]
@@ -60,14 +61,7 @@ fn gaussian_workload_is_deterministic_too() {
         };
         let mut workload = GaussianWorkload::new(params);
         let mut index = LinearKdTrie::new(params.base.space_side);
-        run_join(
-            &mut workload,
-            &mut index,
-            DriverConfig {
-                ticks: 4,
-                warmup: 0,
-            },
-        )
+        run_join(&mut workload, &mut index, DriverConfig::new(4, 0))
     };
     let (a, b) = (mk(), mk());
     assert_eq!(a.checksum, b.checksum);
@@ -122,10 +116,7 @@ fn determinism_holds_across_every_registry_technique() {
         seed: 1234,
         ..WorkloadParams::default()
     };
-    let cfg = DriverConfig {
-        ticks: 3,
-        warmup: 1,
-    };
+    let cfg = DriverConfig::new(3, 1);
     let mut reference: Option<(u64, u64)> = None;
     for spec in registry() {
         let run = || {
@@ -150,6 +141,32 @@ fn determinism_holds_across_every_registry_technique() {
         }
     }
 }
+
+#[test]
+fn parallel_golden_checksum_is_stable_across_prs() {
+    // Golden values for the parallel path: seed 42, 4 worker threads.
+    // Sequential determinism alone would not catch a regression in the
+    // cross-shard merge (say, a merge that became order- or
+    // shard-boundary-dependent), because such a bug can still be
+    // self-consistent between two parallel runs. Pinning the absolute
+    // numbers — which equal the sequential goldens by the equivalence
+    // guarantee — catches it on the spot.
+    let par = run_once_with(42, ExecMode::parallel(4).unwrap());
+    let seq = run_once(42);
+    assert_eq!(seq.checksum, GOLDEN_CHECKSUM_SEED42, "sequential golden");
+    assert_eq!(par.checksum, GOLDEN_CHECKSUM_SEED42, "parallel golden");
+    assert_eq!(seq.result_pairs, GOLDEN_PAIRS_SEED42);
+    assert_eq!(par.result_pairs, GOLDEN_PAIRS_SEED42);
+    assert_eq!(par.queries, seq.queries);
+    assert_eq!(par.updates, seq.updates);
+}
+
+/// The join checksum/pair count of `run_once(42)`, either exec mode. If a
+/// change legitimately alters the workload or the fold, re-pin both and
+/// say why in the commit; an unexplained diff is a lost determinism
+/// guarantee.
+const GOLDEN_CHECKSUM_SEED42: u64 = 0xd73f085806b80ac8;
+const GOLDEN_PAIRS_SEED42: u64 = 29_556;
 
 #[test]
 fn checksum_is_independent_of_result_order() {

@@ -19,14 +19,7 @@ fn every_querier_is_in_its_own_result() {
     let p = params();
     let mut workload = UniformWorkload::new(p);
     let mut grid = SimpleGrid::tuned(p.space_side);
-    let stats = run_join(
-        &mut workload,
-        &mut grid,
-        DriverConfig {
-            ticks: p.ticks,
-            warmup: 0,
-        },
-    );
+    let stats = run_join(&mut workload, &mut grid, DriverConfig::new(p.ticks, 0));
     assert!(
         stats.result_pairs >= stats.queries,
         "pairs {} < queries {}",
@@ -40,15 +33,56 @@ fn warmup_ticks_are_excluded_from_stats() {
     let p = params();
     let mut workload = UniformWorkload::new(p);
     let mut grid = SimpleGrid::tuned(p.space_side);
-    let stats = run_join(
-        &mut workload,
-        &mut grid,
-        DriverConfig {
-            ticks: 3,
-            warmup: 2,
-        },
-    );
+    let stats = run_join(&mut workload, &mut grid, DriverConfig::new(3, 2));
     assert_eq!(stats.ticks.len(), 3);
+}
+
+#[test]
+fn warmup_exclusion_is_identical_in_both_exec_modes() {
+    // Both exec modes run the same shared tick loop, so warm-up accounting
+    // must be indistinguishable: same number of measured ticks recorded,
+    // and the warm-up ticks' queries/pairs excluded from the totals
+    // identically (the totals are whole-run sums, so any asymmetry in
+    // which ticks count would show up here).
+    let p = params();
+    let run_with = |exec: ExecMode| {
+        let mut workload = UniformWorkload::new(p);
+        let mut grid = SimpleGrid::tuned(p.space_side);
+        run_join(
+            &mut workload,
+            &mut grid,
+            DriverConfig::new(3, 2).with_exec(exec),
+        )
+    };
+    let seq = run_with(ExecMode::Sequential);
+    let par = run_with(ExecMode::parallel(4).unwrap());
+    assert_eq!(seq.ticks.len(), 3);
+    assert_eq!(par.ticks.len(), 3, "parallel mode recorded warmup ticks");
+    assert_eq!(
+        par.queries, seq.queries,
+        "warmup queries excluded unequally"
+    );
+    assert_eq!(par.updates, seq.updates);
+    assert_eq!(par.result_pairs, seq.result_pairs);
+    assert_eq!(par.checksum, seq.checksum);
+    // And with zero warmup, both modes gain exactly the formerly discarded
+    // ticks' work — again identically.
+    let run_nowarm = |exec: ExecMode| {
+        let mut workload = UniformWorkload::new(p);
+        let mut grid = SimpleGrid::tuned(p.space_side);
+        run_join(
+            &mut workload,
+            &mut grid,
+            DriverConfig::new(5, 0).with_exec(exec),
+        )
+    };
+    let seq0 = run_nowarm(ExecMode::Sequential);
+    let par0 = run_nowarm(ExecMode::parallel(3).unwrap());
+    assert_eq!(seq0.ticks.len(), 5);
+    assert_eq!(par0.ticks.len(), 5);
+    assert!(seq0.queries > seq.queries, "warmup ticks were not excluded");
+    assert_eq!(par0.queries, seq0.queries);
+    assert_eq!(par0.checksum, seq0.checksum);
 }
 
 #[test]
@@ -56,14 +90,7 @@ fn phase_times_are_all_populated() {
     let p = params();
     let mut workload = UniformWorkload::new(p);
     let mut rtree = RTree::default();
-    let stats = run_join(
-        &mut workload,
-        &mut rtree,
-        DriverConfig {
-            ticks: 4,
-            warmup: 1,
-        },
-    );
+    let stats = run_join(&mut workload, &mut rtree, DriverConfig::new(4, 1));
     assert!(stats.avg_build_seconds() > 0.0);
     assert!(stats.avg_query_seconds() > 0.0);
     assert!(stats.avg_update_seconds() > 0.0);
@@ -80,14 +107,7 @@ fn query_and_update_counts_match_fractions_roughly() {
     let p = params();
     let mut workload = UniformWorkload::new(p);
     let mut grid = SimpleGrid::tuned(p.space_side);
-    let stats = run_join(
-        &mut workload,
-        &mut grid,
-        DriverConfig {
-            ticks: 10,
-            warmup: 0,
-        },
-    );
+    let stats = run_join(&mut workload, &mut grid, DriverConfig::new(10, 0));
     let expected = (p.num_points as f64) * 0.5 * 10.0;
     let tolerance = expected * 0.05;
     assert!(
@@ -107,14 +127,7 @@ fn index_memory_is_reported_after_run() {
     let p = params();
     let mut workload = UniformWorkload::new(p);
     let mut grid = SimpleGrid::tuned(p.space_side);
-    let stats = run_join(
-        &mut workload,
-        &mut grid,
-        DriverConfig {
-            ticks: 2,
-            warmup: 0,
-        },
-    );
+    let stats = run_join(&mut workload, &mut grid, DriverConfig::new(2, 0));
     assert!(stats.index_bytes > 0);
 }
 
@@ -126,14 +139,7 @@ fn zero_queriers_yield_zero_pairs() {
     };
     let mut workload = UniformWorkload::new(p);
     let mut grid = SimpleGrid::tuned(p.space_side);
-    let stats = run_join(
-        &mut workload,
-        &mut grid,
-        DriverConfig {
-            ticks: 3,
-            warmup: 0,
-        },
-    );
+    let stats = run_join(&mut workload, &mut grid, DriverConfig::new(3, 0));
     assert_eq!(stats.queries, 0);
     assert_eq!(stats.result_pairs, 0);
     assert_eq!(stats.checksum, 0);
@@ -147,14 +153,7 @@ fn zero_updaters_keep_velocities_fixed() {
     };
     let mut workload = UniformWorkload::new(p);
     let mut grid = SimpleGrid::tuned(p.space_side);
-    let stats = run_join(
-        &mut workload,
-        &mut grid,
-        DriverConfig {
-            ticks: 3,
-            warmup: 0,
-        },
-    );
+    let stats = run_join(&mut workload, &mut grid, DriverConfig::new(3, 0));
     assert_eq!(stats.updates, 0);
 }
 
@@ -165,15 +164,7 @@ fn refactored_grid_uses_less_memory_than_original() {
     let run_with = |stage: Stage| {
         let mut workload = UniformWorkload::new(p);
         let mut grid = SimpleGrid::at_stage(stage, p.space_side);
-        run_join(
-            &mut workload,
-            &mut grid,
-            DriverConfig {
-                ticks: 1,
-                warmup: 0,
-            },
-        )
-        .index_bytes
+        run_join(&mut workload, &mut grid, DriverConfig::new(1, 0)).index_bytes
     };
     let original = run_with(Stage::Original);
     let restructured = run_with(Stage::Restructured);

@@ -1,0 +1,136 @@
+//! The parallel execution mode's contract, proven registry-wide: for
+//! *every* technique in the registry — both join categories, every grid
+//! stage, the quadratic reference — and every tested thread count, the
+//! parallel run's `RunStats` are **bit-identical** to the sequential run
+//! on the same workload seed: pair count, checksum, query/update totals,
+//! and the per-phase tick record. Before this harness existed, only the
+//! grid was ever exercised in parallel (through the old feature-gated
+//! facade); now a technique cannot enter the registry without its
+//! parallel path being proven equivalent.
+//!
+//! Thread counts include 1 (the sharded code path with a single worker),
+//! non-powers-of-two (3, 7 — uneven chunk boundaries), and counts
+//! exceeding the querier count on small workloads (empty tail shards).
+
+use proptest::prelude::*;
+use spatial_joins::prelude::*;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+fn params(seed: u64, num_points: u32) -> WorkloadParams {
+    WorkloadParams {
+        num_points,
+        ticks: 3,
+        space_side: 6_000.0,
+        seed,
+        ..WorkloadParams::default()
+    }
+}
+
+fn run(spec: TechniqueSpec, p: WorkloadParams, exec: ExecMode) -> RunStats {
+    let mut workload = UniformWorkload::new(p);
+    let mut tech = spec.build(p.space_side);
+    tech.run(&mut workload, DriverConfig::new(p.ticks, 1).with_exec(exec))
+}
+
+/// Assert every countable RunStats field matches (wall-clock durations in
+/// `ticks` are the only legitimately nondeterministic part of a run — the
+/// *number* of recorded ticks must still match).
+fn assert_bit_identical(seq: &RunStats, par: &RunStats, ctx: &str) {
+    assert_eq!(par.result_pairs, seq.result_pairs, "{ctx}: pair count");
+    assert_eq!(par.checksum, seq.checksum, "{ctx}: checksum");
+    assert_eq!(par.queries, seq.queries, "{ctx}: query count");
+    assert_eq!(par.updates, seq.updates, "{ctx}: update count");
+    assert_eq!(par.index_bytes, seq.index_bytes, "{ctx}: index footprint");
+    assert_eq!(par.ticks.len(), seq.ticks.len(), "{ctx}: measured ticks");
+}
+
+fn check_registry_equivalence(seed: u64, num_points: u32) {
+    let p = params(seed, num_points);
+    for spec in registry() {
+        let seq = run(spec, p, ExecMode::Sequential);
+        for threads in THREAD_COUNTS {
+            let exec = ExecMode::parallel(threads).unwrap();
+            let par = run(spec, p, exec);
+            assert_bit_identical(&seq, &par, &format!("{} @{threads}", spec.name()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_runstats_are_bit_identical_for_every_registry_technique(
+        seed in 0u64..=u64::MAX,
+        num_points in 300u32..1_200,
+    ) {
+        check_registry_equivalence(seed, num_points);
+    }
+
+    #[test]
+    fn equivalence_holds_when_threads_exceed_the_querier_count(
+        seed in 0u64..=u64::MAX,
+    ) {
+        // A handful of objects, half of them querying: most shards are
+        // empty, the merge must still reproduce the sequential totals.
+        let p = params(seed, 6);
+        for spec in registry() {
+            let seq = run(spec, p, ExecMode::Sequential);
+            let par = run(spec, p, ExecMode::parallel(16).unwrap());
+            assert_bit_identical(&seq, &par, &format!("{} @16 (tiny)", spec.name()));
+        }
+    }
+}
+
+#[test]
+fn spec_modifier_and_config_mode_agree() {
+    // `grid:inline@par3` (exec carried by the built technique) and an
+    // explicit parallel DriverConfig must drive the identical computation.
+    let p = params(99, 1_000);
+    let seq = run(
+        TechniqueSpec::parse("grid:inline").unwrap(),
+        p,
+        ExecMode::Sequential,
+    );
+    let via_cfg = run(
+        TechniqueSpec::parse("grid:inline").unwrap(),
+        p,
+        ExecMode::parallel(3).unwrap(),
+    );
+    let via_spec = run(
+        TechniqueSpec::parse("grid:inline@par3").unwrap(),
+        p,
+        ExecMode::Sequential,
+    );
+    assert_bit_identical(&seq, &via_cfg, "grid:inline via config");
+    assert_bit_identical(&seq, &via_spec, "grid:inline@par3 via spec");
+}
+
+#[test]
+fn batch_strip_partitioning_is_equivalent_on_the_gaussian_workload() {
+    // The plane sweep's strips see skewed, hotspot-concentrated query
+    // sets here — uneven strip populations must not change the join.
+    let p = GaussianParams {
+        base: WorkloadParams {
+            num_points: 1_500,
+            ticks: 3,
+            space_side: 6_000.0,
+            seed: 7,
+            ..WorkloadParams::default()
+        },
+        hotspots: 2,
+        sigma: 250.0,
+    };
+    let cfg = DriverConfig::new(3, 1);
+    let mk = |exec: ExecMode| {
+        let mut workload = GaussianWorkload::new(p);
+        let mut tech = TechniqueKind::Sweep.spec().build(p.base.space_side);
+        tech.run(&mut workload, cfg.with_exec(exec))
+    };
+    let seq = mk(ExecMode::Sequential);
+    for threads in THREAD_COUNTS {
+        let par = mk(ExecMode::parallel(threads).unwrap());
+        assert_bit_identical(&seq, &par, &format!("sweep @{threads} (gaussian)"));
+    }
+}

@@ -98,10 +98,25 @@ proptest! {
 fn every_registry_spec_round_trips_through_parse_then_name() {
     for spec in registry() {
         let name = spec.name();
-        let reparsed = TechniqueSpec::parse(name)
+        let reparsed = TechniqueSpec::parse(&name)
             .unwrap_or_else(|e| panic!("canonical name {name:?} failed to parse: {e}"));
         assert_eq!(reparsed, spec, "{name} did not round-trip");
         assert_eq!(reparsed.name(), name);
+    }
+}
+
+#[test]
+fn par_modified_specs_round_trip_for_the_whole_registry() {
+    for spec in registry() {
+        for threads in [1usize, 2, 7, 32] {
+            let par = spec.with_exec(ExecMode::parallel(threads).unwrap());
+            let name = par.name();
+            let reparsed = TechniqueSpec::parse(&name)
+                .unwrap_or_else(|e| panic!("par name {name:?} failed to parse: {e}"));
+            assert_eq!(reparsed, par, "{name} did not round-trip");
+            assert_eq!(reparsed.name(), name);
+            assert_eq!(reparsed.kind, spec.kind);
+        }
     }
 }
 
