@@ -53,9 +53,10 @@ impl BatchJoin for NaiveBatchJoin {
     ) {
         let xs = table.xs();
         let ys = table.ys();
+        let live = table.live_mask();
         for &(q, region) in queries {
             for i in 0..xs.len() {
-                if region.contains_point(xs[i], ys[i]) {
+                if live[i] && region.contains_point(xs[i], ys[i]) {
                     out.push((q, i as EntryId));
                 }
             }
@@ -85,6 +86,18 @@ mod tests {
         NaiveBatchJoin.join(&t, &queries, &mut out);
         out.sort_unstable();
         assert_eq!(out, vec![(0, 0), (0, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn dead_rows_are_excluded_from_the_join() {
+        let mut t = PointTable::default();
+        t.push(1.0, 1.0);
+        t.push(2.0, 2.0);
+        t.remove(0);
+        let queries = vec![(9u32, Rect::new(0.0, 0.0, 5.0, 5.0))];
+        let mut out = Vec::new();
+        NaiveBatchJoin.join(&t, &queries, &mut out);
+        assert_eq!(out, vec![(9, 1)]);
     }
 
     #[test]

@@ -10,32 +10,66 @@
 //! 1. **Build** — rebuild the static index from the base table,
 //! 2. **Query** — every querier runs one range query; the join result is
 //!    the set of (querier, matching object) pairs,
-//! 3. **Update** — velocity updates are applied to the base data and all
-//!    objects advance one step of movement.
+//! 3. **Update** — velocity updates and population churn (departures as
+//!    tombstones, arrivals appended) are applied to the base data and all
+//!    surviving objects advance one step of movement.
 
 use std::time::{Duration, Instant};
 
-use crate::geom::Rect;
+use crate::geom::{Point, Rect, Vec2};
 use crate::index::SpatialIndex;
 use crate::par::{self, ExecMode};
 use crate::rng::mix64;
 use crate::stats::Summary;
 use crate::table::{EntryId, MovingSet, PointTable};
 
-/// What a workload wants to happen in one tick: who queries, and which
-/// objects receive which new velocities.
+/// What a workload wants to happen in one tick: who queries, which objects
+/// receive which new velocities, and — for workloads with population churn
+/// — which objects depart and which new ones arrive.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TickActions {
     pub queriers: Vec<EntryId>,
     /// `(object, new_vx, new_vy)` — applied to the base data at the end of
     /// the tick, i.e. after all queries ran.
     pub velocity_updates: Vec<(EntryId, f32, f32)>,
+    /// Objects leaving the population this tick. Applied in the timed
+    /// update phase as a tombstone ([`MovingSet::remove`]): surviving
+    /// [`EntryId`]s never shift, so checksums stay comparable across
+    /// techniques and runs (DESIGN.md §9).
+    pub removals: Vec<EntryId>,
+    /// `(position, velocity)` of objects entering the population this
+    /// tick. Applied in the timed update phase *after* movement, so an
+    /// arrival first becomes visible — at exactly its spawn position — to
+    /// the next tick's build/query phases.
+    pub inserts: Vec<(Point, Vec2)>,
 }
 
 impl TickActions {
     pub fn clear(&mut self) {
         self.queriers.clear();
         self.velocity_updates.clear();
+        self.removals.clear();
+        self.inserts.clear();
+    }
+
+    /// Apply this plan to `set` in the driver's canonical update-phase
+    /// order: velocity updates, then departures (tombstones), then one
+    /// step of movement via `workload`'s model, then arrivals (appended
+    /// after movement so a new object first becomes visible at exactly
+    /// its spawn position). The trace recorder and replay harnesses call
+    /// this too — the order is load-bearing for replayed checksums, so it
+    /// lives in exactly one place.
+    pub fn apply<W: Workload + ?Sized>(&self, set: &mut MovingSet, workload: &mut W) {
+        for &(id, vx, vy) in &self.velocity_updates {
+            set.set_velocity(id, Vec2::new(vx, vy));
+        }
+        for &id in &self.removals {
+            set.remove(id);
+        }
+        workload.advance(set);
+        for &(p, v) in &self.inserts {
+            set.push(p, v);
+        }
     }
 }
 
@@ -53,9 +87,11 @@ pub trait Workload {
     /// Create the initial object population.
     fn init(&mut self) -> MovingSet;
 
-    /// Decide this tick's queriers and velocity updates. Must not mutate
-    /// `set`; the driver applies the plan itself so the application cost is
-    /// measured in the update phase, not hidden in the workload.
+    /// Decide this tick's queriers, velocity updates, and (for churn
+    /// workloads) departures/arrivals. Must not mutate `set`; the driver
+    /// applies the plan itself so the application cost is measured in the
+    /// update phase, not hidden in the workload. Planned queriers must be
+    /// live rows — a tombstone cannot issue a query.
     fn plan_tick(&mut self, tick: u32, set: &MovingSet, actions: &mut TickActions);
 
     /// Advance all objects one tick of movement (after updates applied).
@@ -95,6 +131,10 @@ pub struct RunStats {
     pub queries: u64,
     /// Total velocity updates applied over the run.
     pub updates: u64,
+    /// Total objects removed (tombstoned) over the run.
+    pub removals: u64,
+    /// Total objects inserted over the run.
+    pub inserts: u64,
     /// Index memory after the final build, in bytes.
     pub index_bytes: usize,
 }
@@ -259,12 +299,14 @@ fn drive<W: Workload + ?Sized, E: TickExecutor>(
         let query = t0.elapsed();
 
         // Phase 3: updates are applied to the base data at the end of the
-        // tick, then all objects move.
+        // tick — velocity changes, then departures (tombstones), then
+        // movement of the survivors, then arrivals (visible from the next
+        // tick at their spawn position; see [`TickActions::apply`]). All
+        // of it is timed: insert/remove cost is update-phase cost, exactly
+        // where the update-time taxonomy of the original study puts it
+        // (DESIGN.md §9).
         let t0 = Instant::now();
-        for &(id, vx, vy) in &actions.velocity_updates {
-            set.set_velocity(id, crate::geom::Vec2::new(vx, vy));
-        }
-        workload.advance(&mut set);
+        actions.apply(&mut set, workload);
         let update = t0.elapsed();
 
         if measured {
@@ -277,6 +319,8 @@ fn drive<W: Workload + ?Sized, E: TickExecutor>(
             stats.checksum = checksum;
             stats.queries += actions.queriers.len() as u64;
             stats.updates += actions.velocity_updates.len() as u64;
+            stats.removals += actions.removals.len() as u64;
+            stats.inserts += actions.inserts.len() as u64;
         }
     }
     stats.index_bytes = exec.index_bytes();
@@ -605,6 +649,74 @@ mod tests {
                 assert_eq!(par.ticks.len(), seq.ticks.len(), "threads = {n}");
             }
         }
+    }
+
+    #[test]
+    fn churn_is_applied_end_of_tick_and_counted() {
+        // Tick 0: object 1 departs and one object arrives at (60, 50).
+        // Both the departure and the arrival are invisible to tick 0's
+        // queries (previous-tick semantics) and visible to tick 1's.
+        struct ChurnToy;
+        impl Workload for ChurnToy {
+            fn space(&self) -> Rect {
+                Rect::space(100.0)
+            }
+            fn query_side(&self) -> f32 {
+                40.0
+            }
+            fn init(&mut self) -> MovingSet {
+                let mut s = MovingSet::default();
+                s.push(Point::new(50.0, 50.0), Vec2::default());
+                s.push(Point::new(52.0, 50.0), Vec2::default());
+                s
+            }
+            fn plan_tick(&mut self, tick: u32, set: &MovingSet, a: &mut TickActions) {
+                a.queriers
+                    .extend((0..set.len() as EntryId).filter(|&q| set.is_live(q)));
+                if tick == 0 {
+                    a.removals.push(1);
+                    a.inserts.push((Point::new(60.0, 50.0), Vec2::default()));
+                }
+            }
+        }
+        let mut idx = ScanIndex::new();
+        let stats = run_join(&mut ChurnToy, &mut idx, DriverConfig::new(2, 0));
+        // Tick 0: queriers {0, 1} over live {0, 1} -> 4 pairs.
+        // Tick 1: queriers {0, 2} over live {0, 2} -> 4 pairs (the new
+        // object's slot is 2: tombstones never free handles).
+        assert_eq!(stats.result_pairs, 8);
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.removals, 1);
+        assert_eq!(stats.inserts, 1);
+    }
+
+    #[test]
+    fn dead_rows_are_invisible_to_queries() {
+        struct HalfDead;
+        impl Workload for HalfDead {
+            fn space(&self) -> Rect {
+                Rect::space(100.0)
+            }
+            fn query_side(&self) -> f32 {
+                200.0 // covers everything
+            }
+            fn init(&mut self) -> MovingSet {
+                let mut s = MovingSet::default();
+                for i in 0..10 {
+                    s.push(Point::new(10.0 + i as f32, 50.0), Vec2::default());
+                }
+                for id in (1..10).step_by(2) {
+                    s.remove(id);
+                }
+                s
+            }
+            fn plan_tick(&mut self, _t: u32, _s: &MovingSet, a: &mut TickActions) {
+                a.queriers.push(0);
+            }
+        }
+        let mut idx = ScanIndex::new();
+        let stats = run_join(&mut HalfDead, &mut idx, DriverConfig::new(1, 0));
+        assert_eq!(stats.result_pairs, 5, "only the 5 live rows match");
     }
 
     #[test]

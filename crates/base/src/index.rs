@@ -65,9 +65,20 @@ impl SpatialIndex for ScanIndex {
     fn for_each_in(&self, table: &PointTable, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
         let xs = table.xs();
         let ys = table.ys();
-        for i in 0..xs.len() {
-            if region.contains_point(xs[i], ys[i]) {
-                emit(i as EntryId);
+        if table.all_live() {
+            for i in 0..xs.len() {
+                if region.contains_point(xs[i], ys[i]) {
+                    emit(i as EntryId);
+                }
+            }
+        } else {
+            // Churn workloads leave tombstones in the table; a scan is the
+            // one "index" that sees them and must filter.
+            let live = table.live_mask();
+            for i in 0..xs.len() {
+                if live[i] && region.contains_point(xs[i], ys[i]) {
+                    emit(i as EntryId);
+                }
             }
         }
     }
@@ -115,6 +126,16 @@ mod tests {
         let mut out = Vec::new();
         idx.query(&t, &Rect::new(5.0, 5.0, 5.0, 5.0), &mut out);
         assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn dead_rows_are_never_reported() {
+        let mut t = sample_table();
+        t.remove(1);
+        let idx = ScanIndex::new();
+        let mut out = Vec::new();
+        idx.query(&t, &Rect::new(0.0, 0.0, 20.0, 20.0), &mut out);
+        assert_eq!(out, vec![0, 2, 3]);
     }
 
     #[test]

@@ -6,6 +6,18 @@
 //! handle (paper §3.1: "the algorithms operate on pointers and never update
 //! the base data directly"). The base table is a structure-of-arrays so a
 //! cache line holds 16 x- or y-coordinates.
+//!
+//! ## Churn and tombstones
+//!
+//! Workloads with population churn (objects arriving and departing, as in
+//! the u-Grid line of work) remove rows via [`PointTable::remove`]. Removal
+//! is a **tombstone**: the row's slot — and therefore every surviving
+//! [`EntryId`] — stays exactly where it was; the row is merely marked dead
+//! and its coordinates frozen. Handles are never reused within a run, so a
+//! `(querier, result)` pair checksum is comparable across techniques and
+//! across runs regardless of when removals happen (DESIGN.md §9). Indexes
+//! must skip dead rows when they (re)build, and scan-style techniques must
+//! skip them at query time; [`PointTable::iter`] yields live rows only.
 
 use crate::geom::{Point, Rect, Vec2};
 
@@ -18,6 +30,10 @@ pub type EntryId = u32;
 pub struct PointTable {
     xs: Vec<f32>,
     ys: Vec<f32>,
+    /// Tombstone mask: `live[i]` is false once row `i` was removed. Rows
+    /// are never compacted, so surviving handles stay stable.
+    live: Vec<bool>,
+    live_len: usize,
 }
 
 impl PointTable {
@@ -25,17 +41,62 @@ impl PointTable {
         PointTable {
             xs: Vec::with_capacity(n),
             ys: Vec::with_capacity(n),
+            live: Vec::with_capacity(n),
+            live_len: 0,
         }
     }
 
-    /// Append a row and return its handle.
+    /// Append a (live) row and return its handle.
     pub fn push(&mut self, x: f32, y: f32) -> EntryId {
         let id = self.xs.len() as EntryId;
         self.xs.push(x);
         self.ys.push(y);
+        self.live.push(true);
+        self.live_len += 1;
         id
     }
 
+    /// Tombstone row `id`: mark it dead, freezing its coordinates in
+    /// place. Surviving handles are untouched — no row ever moves.
+    /// Returns whether the row was live (removing a dead row is a no-op).
+    pub fn remove(&mut self, id: EntryId) -> bool {
+        let slot = &mut self.live[id as usize];
+        let was_live = *slot;
+        if was_live {
+            *slot = false;
+            self.live_len -= 1;
+        }
+        was_live
+    }
+
+    /// Whether row `id` is live (not tombstoned).
+    #[inline]
+    pub fn is_live(&self, id: EntryId) -> bool {
+        self.live[id as usize]
+    }
+
+    /// Number of live rows (`len()` minus tombstones).
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.live_len
+    }
+
+    /// Whether no row has ever been removed — the fast path for scans that
+    /// want to skip per-row liveness checks on churn-free workloads.
+    #[inline]
+    pub fn all_live(&self) -> bool {
+        self.live_len == self.xs.len()
+    }
+
+    /// The raw tombstone mask, indexed by row like [`PointTable::xs`].
+    #[inline]
+    pub fn live_mask(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Total number of row slots, dead rows included — the exclusive upper
+    /// bound of valid [`EntryId`]s. Use [`PointTable::live_len`] for the
+    /// population size.
     #[inline]
     pub fn len(&self) -> usize {
         self.xs.len()
@@ -80,15 +141,19 @@ impl PointTable {
         &self.ys
     }
 
+    /// Iterate the **live** rows (dead rows are tombstones, invisible to
+    /// every index and join).
     pub fn iter(&self) -> impl Iterator<Item = (EntryId, Point)> + '_ {
         self.xs
             .iter()
             .zip(self.ys.iter())
+            .zip(self.live.iter())
             .enumerate()
-            .map(|(i, (&x, &y))| (i as EntryId, Point::new(x, y)))
+            .filter(|(_, (_, &live))| live)
+            .map(|(i, ((&x, &y), _))| (i as EntryId, Point::new(x, y)))
     }
 
-    /// Minimum bounding rectangle of all rows (`None` when empty).
+    /// Minimum bounding rectangle of all live rows (`None` when empty).
     pub fn bounds(&self) -> Option<Rect> {
         let mut it = self.iter();
         let (_, first) = it.next()?;
@@ -126,6 +191,8 @@ impl MovingSet {
         id
     }
 
+    /// Total number of row slots, dead rows included (see
+    /// [`PointTable::len`]).
     #[inline]
     pub fn len(&self) -> usize {
         self.positions.len()
@@ -134,6 +201,24 @@ impl MovingSet {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.positions.is_empty()
+    }
+
+    /// Tombstone object `id` (see [`PointTable::remove`]): its position and
+    /// velocity freeze, its handle is never reused, and the movement model
+    /// skips it from now on. Returns whether it was live.
+    pub fn remove(&mut self, id: EntryId) -> bool {
+        self.positions.remove(id)
+    }
+
+    #[inline]
+    pub fn is_live(&self, id: EntryId) -> bool {
+        self.positions.is_live(id)
+    }
+
+    /// Number of live objects.
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.positions.live_len()
     }
 
     #[inline]
@@ -153,6 +238,9 @@ impl MovingSet {
     pub fn advance_bouncing(&mut self, space: &Rect) {
         let n = self.len();
         for i in 0..n {
+            if !self.positions.is_live(i as EntryId) {
+                continue;
+            }
             let mut x = self.positions.xs()[i] + self.vx[i];
             let mut y = self.positions.ys()[i] + self.vy[i];
             if x < space.x1 {
@@ -227,6 +315,53 @@ mod tests {
         // x: 1 - 3 = -2 -> reflect to 2; y: 99 + 3 = 102 -> reflect to 98.
         assert_eq!(s.positions.point(0), Point::new(2.0, 98.0));
         assert_eq!(s.velocity(0), Vec2::new(3.0, -3.0));
+    }
+
+    #[test]
+    fn remove_tombstones_without_moving_survivors() {
+        let mut t = PointTable::default();
+        let a = t.push(1.0, 2.0);
+        let b = t.push(3.0, 4.0);
+        let c = t.push(5.0, 6.0);
+        assert!(t.all_live());
+        assert!(t.remove(b));
+        assert!(!t.remove(b), "second removal is a no-op");
+        assert_eq!(t.len(), 3, "slots never compact");
+        assert_eq!(t.live_len(), 2);
+        assert!(!t.all_live());
+        assert!(t.is_live(a) && !t.is_live(b) && t.is_live(c));
+        // Surviving handles resolve to exactly the same rows as before.
+        assert_eq!(t.point(a), Point::new(1.0, 2.0));
+        assert_eq!(t.point(c), Point::new(5.0, 6.0));
+        // The dead row's coordinates are frozen, not poisoned.
+        assert_eq!(t.point(b), Point::new(3.0, 4.0));
+        // Live-only iteration and bounds skip the tombstone.
+        let ids: Vec<EntryId> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, c]);
+        assert_eq!(t.bounds(), Some(Rect::new(1.0, 2.0, 5.0, 6.0)));
+    }
+
+    #[test]
+    fn pushes_after_removal_never_reuse_handles() {
+        let mut t = PointTable::default();
+        let a = t.push(1.0, 1.0);
+        t.remove(a);
+        let b = t.push(2.0, 2.0);
+        assert_ne!(a, b);
+        assert_eq!(b, 1);
+        assert_eq!(t.live_len(), 1);
+    }
+
+    #[test]
+    fn advance_skips_dead_objects() {
+        let mut s = MovingSet::default();
+        let a = s.push(Point::new(10.0, 10.0), Vec2::new(1.0, 1.0));
+        let b = s.push(Point::new(20.0, 20.0), Vec2::new(1.0, 1.0));
+        assert!(s.remove(a));
+        assert_eq!(s.live_len(), 1);
+        s.advance_bouncing(&Rect::space(100.0));
+        assert_eq!(s.positions.point(a), Point::new(10.0, 10.0), "frozen");
+        assert_eq!(s.positions.point(b), Point::new(21.0, 21.0));
     }
 
     #[test]

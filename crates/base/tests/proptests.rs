@@ -191,4 +191,42 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn removal_never_perturbs_surviving_entry_ids(
+        seed in 0u64..=u64::MAX,
+        n in 1usize..200,
+        remove_mask in 0u64..=u64::MAX,
+    ) {
+        // The tombstone contract behind churn workloads: however many rows
+        // are removed, in whatever order, every surviving EntryId still
+        // resolves to exactly the row it did before — positions,
+        // velocities, and handles are all untouched.
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut s = MovingSet::default();
+        for _ in 0..n {
+            s.push(
+                Point::new(rng.range_f32(0.0, 500.0), rng.range_f32(0.0, 500.0)),
+                Vec2::new(rng.range_f32(-5.0, 5.0), rng.range_f32(-5.0, 5.0)),
+            );
+        }
+        let before: Vec<(Point, Vec2)> = (0..n as u32)
+            .map(|id| (s.positions.point(id), s.velocity(id)))
+            .collect();
+        let doomed: Vec<u32> = (0..n as u32).filter(|id| remove_mask >> (id % 64) & 1 == 1).collect();
+        for &id in &doomed {
+            prop_assert!(s.remove(id));
+        }
+        prop_assert_eq!(s.live_len(), n - doomed.len());
+        for id in 0..n as u32 {
+            prop_assert_eq!(s.is_live(id), !doomed.contains(&id));
+            // Dead or alive, the slot's contents are frozen in place.
+            prop_assert_eq!(s.positions.point(id), before[id as usize].0);
+            prop_assert_eq!(s.velocity(id), before[id as usize].1);
+        }
+        // Live iteration yields exactly the survivors, in id order.
+        let live: Vec<u32> = s.positions.iter().map(|(id, _)| id).collect();
+        let expect: Vec<u32> = (0..n as u32).filter(|id| !doomed.contains(id)).collect();
+        prop_assert_eq!(live, expect);
+    }
 }

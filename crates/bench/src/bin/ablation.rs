@@ -14,17 +14,22 @@
 //!    object speeds — the update-time category of the original study.
 //! 6. Scalar vs. SIMD-filtered Binary Search — the data-parallel step the
 //!    paper's "implementation matters" argument invites.
+//! 7. The technique × workload cross product — representative techniques
+//!    from every family against *every* registry workload, churn
+//!    included: does the paper's ordering survive skew and population
+//!    turnover?
 //!
 //! The head-to-head pairs come from registry specs
 //! (`TechniqueSpec::…build`); only the cross-product sweeps of ablation
-//! 1/2 assemble custom grids.
+//! 1/2 assemble custom grids. Ablations 1–6 honor `--workload SPEC`
+//! (default `uniform`); ablation 7 sweeps the whole workload registry.
 //!
-//! Run: `cargo run -p sj-bench --release --bin ablation [--ticks N] [--csv|--json]`
+//! Run: `cargo run -p sj-bench --release --bin ablation [--ticks N] [--workload SPEC] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
 use sj_bench::report::stats_line;
 use sj_bench::table::{secs, Table};
-use sj_bench::{grid_custom, run_uniform, run_uniform_spec};
+use sj_bench::{grid_custom, run_workload, run_workload_spec};
 use sj_core::driver::RunStats;
 use sj_core::technique::TechniqueKind;
 use sj_grid::{GridConfig, Layout, QueryAlgo};
@@ -53,6 +58,7 @@ fn main() {
         std::process::exit(2);
     }
     let params = opts.uniform_params();
+    let wspec = opts.workload_spec();
     let exec = opts.exec_mode();
 
     if !opts.json {
@@ -67,7 +73,12 @@ fn main() {
                 layout,
                 query_algo: algo,
             };
-            let stats = run_uniform(&params, &mut grid_custom(cfg, params.space_side), exec);
+            let stats = run_workload(
+                wspec,
+                &params,
+                &mut grid_custom(cfg, params.space_side),
+                exec,
+            );
             report(
                 &opts,
                 "ablation1",
@@ -100,7 +111,12 @@ fn main() {
             layout,
             ..GridConfig::tuned()
         };
-        let stats = run_uniform(&params, &mut grid_custom(cfg, params.space_side), exec);
+        let stats = run_workload(
+            wspec,
+            &params,
+            &mut grid_custom(cfg, params.space_side),
+            exec,
+        );
         report(&opts, "ablation2", label, &stats, None);
         if !opts.json {
             t.row(vec![
@@ -126,7 +142,7 @@ fn main() {
             TechniqueKind::RTreeDyn.spec(),
         ),
     ] {
-        let stats = run_uniform_spec(&params, spec, exec);
+        let stats = run_workload_spec(wspec, &params, spec, exec);
         report(&opts, "ablation3", &spec.name(), &stats, None);
         if !opts.json {
             t.row(vec![
@@ -161,7 +177,7 @@ fn main() {
             TechniqueKind::RTreeStr.spec(),
             TechniqueKind::Sweep.spec(),
         ] {
-            let stats = run_uniform_spec(&p, spec, exec);
+            let stats = run_workload_spec(wspec, &p, spec, exec);
             report(
                 &opts,
                 "ablation4",
@@ -195,7 +211,7 @@ fn main() {
             TechniqueKind::Grid(sj_grid::Stage::CpsTuned).spec(),
             TechniqueKind::GridIncremental.spec(),
         ] {
-            let stats = run_uniform_spec(&p, spec, exec);
+            let stats = run_workload_spec(wspec, &p, spec, exec);
             report(
                 &opts,
                 "ablation5",
@@ -226,7 +242,7 @@ fn main() {
         ),
         ("sorted SoA + SSE2 filter", TechniqueKind::VecSearch.spec()),
     ] {
-        let stats = run_uniform_spec(&params, spec, exec);
+        let stats = run_workload_spec(wspec, &params, spec, exec);
         report(&opts, "ablation6", &spec.name(), &stats, None);
         if !opts.json {
             t.row(vec![
@@ -235,6 +251,57 @@ fn main() {
                 secs(stats.avg_build_seconds()),
                 secs(stats.avg_query_seconds()),
             ]);
+        }
+    }
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
+
+    if !opts.json {
+        println!("# Ablation 7: technique x workload registry cross product");
+    }
+    // One representative per family: the tuned grid (rebuild), the
+    // incremental grid (update-in-place — churn is its home turf), the
+    // bulk-loaded R-tree, and the index-free plane sweep.
+    let matrix_specs = [
+        TechniqueKind::Grid(sj_grid::Stage::CpsTuned).spec(),
+        TechniqueKind::GridIncremental.spec(),
+        TechniqueKind::RTreeStr.spec(),
+        TechniqueKind::Sweep.spec(),
+    ];
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(matrix_specs.iter().map(|s| s.name()));
+    let mut t = Table::new(headers);
+    for w in sj_workload::workload_registry() {
+        let mut row = vec![w.name()];
+        let mut reference: Option<(u64, u64)> = None;
+        for spec in matrix_specs {
+            let stats = run_workload_spec(w, &params, spec, exec);
+            // The matrix doubles as a correctness sweep: every cell of a
+            // row must compute the identical join.
+            match reference {
+                None => reference = Some((stats.result_pairs, stats.checksum)),
+                Some(expect) => assert_eq!(
+                    (stats.result_pairs, stats.checksum),
+                    expect,
+                    "{} computed a different join on {}",
+                    spec.name(),
+                    w.name()
+                ),
+            }
+            report(
+                &opts,
+                "ablation7",
+                &format!("{}/{}", w.name(), spec.name()),
+                &stats,
+                None,
+            );
+            if !opts.json {
+                row.push(secs(stats.avg_tick_seconds()));
+            }
+        }
+        if !opts.json {
+            t.row(row);
         }
     }
     if !opts.json {

@@ -10,12 +10,12 @@
 //! registry carries the tuned constructors; sweeps assemble custom grids
 //! via [`sj_bench::grid_custom`].
 //!
-//! Run: `cargo run -p sj-bench --release --bin fig1 [--ticks N] [--csv|--json]`
+//! Run: `cargo run -p sj-bench --release --bin fig1 [--ticks N] [--workload SPEC] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
 use sj_bench::report::stats_line;
 use sj_bench::table::{secs, Table};
-use sj_bench::{grid_custom, run_uniform};
+use sj_bench::{grid_custom, run_workload};
 use sj_grid::{GridConfig, Layout, QueryAlgo};
 
 fn main() {
@@ -29,6 +29,7 @@ fn main() {
         std::process::exit(2);
     }
     let params = opts.uniform_params();
+    let wspec = opts.workload_spec();
     let exec = opts.exec_mode();
 
     if !opts.json {
@@ -43,7 +44,7 @@ fn main() {
             query_algo: QueryAlgo::FullScan,
         };
         let mut tech = grid_custom(cfg, params.space_side);
-        let stats = run_uniform(&params, &mut tech, exec);
+        let stats = run_workload(wspec, &params, &mut tech, exec);
         if opts.json {
             println!(
                 "{}",
@@ -69,7 +70,7 @@ fn main() {
             query_algo: QueryAlgo::FullScan,
         };
         let mut tech = grid_custom(cfg, params.space_side);
-        let stats = run_uniform(&params, &mut tech, exec);
+        let stats = run_workload(wspec, &params, &mut tech, exec);
         if opts.json {
             println!(
                 "{}",

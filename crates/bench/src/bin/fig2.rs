@@ -29,6 +29,12 @@ fn headers(specs: &[TechniqueSpec]) -> Vec<String> {
 fn main() {
     let opts = CommonOpts::parse();
     let specs = opts.techniques(TechniqueSpec::in_figure2);
+    if let Some(w) = opts.workload {
+        // fig2 sweeps its own workload axes (query rate, hotspots, points).
+        eprintln!("--workload {} is not supported by this binary", w.name());
+        std::process::exit(2);
+    }
+
     let exec = opts.exec_mode();
 
     if !opts.json {

@@ -25,6 +25,12 @@ fn headers(specs: &[TechniqueSpec]) -> Vec<String> {
 fn main() {
     let opts = CommonOpts::parse();
     let specs = opts.techniques(|s| s.grid_stage().is_some());
+    if let Some(w) = opts.workload {
+        // fig4 sweeps its own workload axes (query rate, hotspots, points).
+        eprintln!("--workload {} is not supported by this binary", w.name());
+        std::process::exit(2);
+    }
+
     let exec = opts.exec_mode();
 
     if !opts.json {

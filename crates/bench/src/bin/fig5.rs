@@ -7,12 +7,12 @@
 //! Like Figure 1, the swept configurations are assembled via
 //! [`sj_bench::grid_custom`] — the registry holds only the tuned winners.
 //!
-//! Run: `cargo run -p sj-bench --release --bin fig5 [--ticks N] [--csv|--json]`
+//! Run: `cargo run -p sj-bench --release --bin fig5 [--ticks N] [--workload SPEC] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
 use sj_bench::report::stats_line;
 use sj_bench::table::{secs, Table};
-use sj_bench::{grid_custom, run_uniform};
+use sj_bench::{grid_custom, run_workload};
 use sj_grid::{GridConfig, Layout, QueryAlgo};
 
 fn main() {
@@ -26,6 +26,7 @@ fn main() {
         std::process::exit(2);
     }
     let params = opts.uniform_params();
+    let wspec = opts.workload_spec();
     let exec = opts.exec_mode();
 
     if !opts.json {
@@ -40,7 +41,7 @@ fn main() {
             query_algo: QueryAlgo::RangeScan,
         };
         let mut tech = grid_custom(cfg, params.space_side);
-        let stats = run_uniform(&params, &mut tech, exec);
+        let stats = run_workload(wspec, &params, &mut tech, exec);
         if opts.json {
             println!(
                 "{}",
@@ -66,7 +67,7 @@ fn main() {
             query_algo: QueryAlgo::RangeScan,
         };
         let mut tech = grid_custom(cfg, params.space_side);
-        let stats = run_uniform(&params, &mut tech, exec);
+        let stats = run_workload(wspec, &params, &mut tech, exec);
         if opts.json {
             println!(
                 "{}",

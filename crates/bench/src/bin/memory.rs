@@ -4,18 +4,17 @@
 //! refactored 12 B/point called out. Batch techniques (plane sweep) build
 //! no index and are skipped.
 //!
-//! Run: `cargo run -p sj-bench --release --bin memory [--points N] [--csv|--json]`
+//! Run: `cargo run -p sj-bench --release --bin memory [--points N] [--workload SPEC] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
 use sj_bench::report::JsonLine;
 use sj_bench::table::Table;
-use sj_core::Workload;
-use sj_workload::UniformWorkload;
 
 fn main() {
     let opts = CommonOpts::parse();
     let params = opts.uniform_params();
-    let mut workload = UniformWorkload::new(params);
+    let wspec = opts.workload_spec();
+    let mut workload = wspec.build(params);
     let set = workload.init();
     let table = &set.positions;
 
@@ -28,8 +27,9 @@ fn main() {
 
     if !opts.json {
         println!(
-            "# Index memory at {} points (base table excluded)",
-            table.len()
+            "# Index memory at {} points, {} workload (base table excluded)",
+            table.len(),
+            wspec.name()
         );
     }
     let mut t = Table::new(vec!["technique", "total_KiB", "bytes_per_point"]);

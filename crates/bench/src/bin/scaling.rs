@@ -15,11 +15,11 @@
 //! `--threads N` narrows the sweep to that single count; `--json` emits
 //! one RunStats line per (technique, thread count) with a `threads` field.
 //!
-//! Run: `cargo run -p sj-bench --release --bin scaling [--ticks N] [--threads N] [--csv|--json]`
+//! Run: `cargo run -p sj-bench --release --bin scaling [--ticks N] [--threads N] [--workload SPEC] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
 use sj_bench::report::stats_line;
-use sj_bench::run_uniform_spec;
+use sj_bench::run_workload_spec;
 use sj_bench::table::{secs, Table};
 use sj_core::par::ExecMode;
 use sj_core::technique::TechniqueSpec;
@@ -32,6 +32,7 @@ fn main() {
     let opts = CommonOpts::parse();
     let params = opts.uniform_params();
     let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
+    let wspec = opts.workload_spec();
     let counts: Vec<usize> = match opts.threads {
         Some(n) => vec![n.get()],
         None => THREAD_COUNTS.to_vec(),
@@ -39,8 +40,10 @@ fn main() {
 
     if !opts.json {
         println!(
-            "# Query-phase scaling, {} points, {} ticks (query seconds per tick)",
-            params.num_points, params.ticks
+            "# Query-phase scaling, {} points, {} ticks, {} workload (query seconds per tick)",
+            params.num_points,
+            params.ticks,
+            wspec.name()
         );
     }
     let mut headers = vec!["technique".to_string()];
@@ -52,7 +55,8 @@ fn main() {
         // Force the reference truly sequential: a spec arriving with its own
         // @par modifier (via --technique) would otherwise promote this run
         // too, and the equality assert would compare parallel to itself.
-        let reference = run_uniform_spec(
+        let reference = run_workload_spec(
+            wspec,
             &params,
             spec.with_exec(ExecMode::Sequential),
             ExecMode::Sequential,
@@ -62,7 +66,8 @@ fn main() {
         let mut last_query_s = None;
         for &n in &counts {
             let exec = ExecMode::parallel(n).expect("thread counts are nonzero");
-            let stats = run_uniform_spec(&params, spec.with_exec(exec), ExecMode::Sequential);
+            let stats =
+                run_workload_spec(wspec, &params, spec.with_exec(exec), ExecMode::Sequential);
             assert_eq!(
                 (stats.result_pairs, stats.checksum),
                 (reference.result_pairs, reference.checksum),

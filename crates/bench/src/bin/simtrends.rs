@@ -19,6 +19,11 @@ use sj_workload::RoadGridWorkload;
 
 fn main() {
     let opts = CommonOpts::parse();
+    if let Some(w) = opts.workload {
+        // simtrends exists to test the road-grid workload specifically.
+        eprintln!("--workload {} is not supported by this binary", w.name());
+        std::process::exit(2);
+    }
     let params = opts.uniform_params();
     let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
     let exec = opts.exec_mode();

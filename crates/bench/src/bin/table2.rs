@@ -11,11 +11,14 @@
 //! grid query ≈ 5–6× the tree indexes; "+cps tuned" grid query at or
 //! below the trees.
 //!
-//! Run: `cargo run -p sj-bench --release --bin table2 [--ticks N] [--csv|--json]`
+//! `--workload SPEC` swaps the population model (default `uniform`);
+//! `churn:*` specs add arrival/departure cost to the update column.
+//!
+//! Run: `cargo run -p sj-bench --release --bin table2 [--ticks N] [--workload SPEC] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
 use sj_bench::report::stats_line;
-use sj_bench::run_uniform_spec;
+use sj_bench::run_workload_spec;
 use sj_bench::table::{secs, Table};
 use sj_core::technique::TechniqueSpec;
 
@@ -23,18 +26,20 @@ fn main() {
     let opts = CommonOpts::parse();
     let params = opts.uniform_params();
     let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
+    let wspec = opts.workload_spec();
     let exec = opts.exec_mode();
 
     if !opts.json {
         println!(
-            "# Table 2: breakdown, {}% queries and updates, {} points",
+            "# Table 2: breakdown, {}% queries and updates, {} points, {} workload",
             (params.frac_queriers * 100.0) as u32,
-            params.num_points
+            params.num_points,
+            wspec.name()
         );
     }
     let mut t = Table::new(vec!["Method", "Build (s)", "Query (s)", "Update (s)"]);
     for spec in specs {
-        let stats = run_uniform_spec(&params, spec, exec);
+        let stats = run_workload_spec(wspec, &params, spec, exec);
         if opts.json {
             println!("{}", stats_line("table2", &spec.name(), None, &stats));
         } else {

@@ -62,6 +62,11 @@ fn profile_stage(stage: Stage, opts: &CommonOpts) -> CacheStats {
 
 fn main() {
     let opts = CommonOpts::parse();
+    if let Some(w) = opts.workload {
+        // table3's traced tick loop is tied to the uniform workload.
+        eprintln!("--workload {} is not supported by this binary", w.name());
+        std::process::exit(2);
+    }
     if let Some(spec) = opts.technique {
         // table3 profiles the grid before/after stages; a single-technique override cannot be honored.
         eprintln!(

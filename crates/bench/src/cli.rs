@@ -10,7 +10,10 @@ use std::num::NonZeroUsize;
 
 use sj_core::par::ExecMode;
 use sj_core::technique::{registry, ParseSpecError, TechniqueSpec};
-use sj_workload::{GaussianParams, WorkloadParams};
+use sj_workload::{
+    workload_registry, GaussianParams, ParseWorkloadError, WorkloadKind, WorkloadParams,
+    WorkloadSpec,
+};
 
 /// Options common to every harness binary.
 #[derive(Clone, Debug, Default)]
@@ -34,6 +37,16 @@ pub struct CommonOpts {
     /// Restrict the run to a single registry technique (optionally with a
     /// `@par<N>` modifier, which then wins over `--threads`).
     pub technique: Option<TechniqueSpec>,
+    /// Drive the run through a named workload (`--workload SPEC`, e.g.
+    /// `gaussian:h3` or `churn:uniform`). Binaries whose sweep is tied to
+    /// one workload family reject the flag; the rest default to `uniform`.
+    pub workload: Option<WorkloadSpec>,
+    /// `--list-techniques`: print the technique registry's canonical spec
+    /// strings (one per line) and exit 0.
+    pub list_techniques: bool,
+    /// `--list-workloads`: print the workload registry's canonical spec
+    /// strings (one per line) and exit 0.
+    pub list_workloads: bool,
 }
 
 /// Scaled-down default tick count for harness runs.
@@ -51,6 +64,8 @@ pub enum CliError {
     InvalidValue { flag: String, value: String },
     /// `--technique` named a spec outside the registry.
     UnknownTechnique(ParseSpecError),
+    /// `--workload` named a spec outside the workload grammar.
+    UnknownWorkload(ParseWorkloadError),
     /// An unrecognized argument.
     UnknownFlag(String),
 }
@@ -64,6 +79,7 @@ impl std::fmt::Display for CliError {
                 write!(f, "invalid value for {flag}: {value}")
             }
             CliError::UnknownTechnique(e) => write!(f, "{e}"),
+            CliError::UnknownWorkload(e) => write!(f, "{e}"),
             CliError::UnknownFlag(arg) => write!(f, "unknown argument: {arg} (try --help)"),
         }
     }
@@ -71,9 +87,10 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-/// The `--help` text (also embeds the registry's spec strings).
+/// The `--help` text (also embeds both registries' spec strings).
 pub fn usage() -> String {
     let specs: Vec<String> = registry().iter().map(|s| s.name()).collect();
+    let workloads: Vec<String> = workload_registry().iter().map(|s| s.name()).collect();
     format!(
         "options:\n  \
          --ticks N         measured ticks per config (default {QUICK_TICKS}; --paper for Table 1 counts)\n  \
@@ -82,10 +99,15 @@ pub fn usage() -> String {
          --threads N       shard the query phase over N workers (N >= 1; default sequential)\n  \
          --technique SPEC  run a single technique; SPEC one of:\n                    {}\n                    \
          any spec accepts a parallel modifier, e.g. grid:inline@par8\n  \
+         --workload SPEC   drive the run through a named workload; SPEC one of:\n                    {}\n                    \
+         (gaussian:h<N> takes any hotspot count; churn: prefixes any base spec)\n  \
+         --list-techniques print the technique registry spec strings and exit\n  \
+         --list-workloads  print the workload registry spec strings and exit\n  \
          --csv             machine-readable CSV output\n  \
          --json            one JSON object per technique run\n  \
          --paper           full paper-scale tick counts",
-        specs.join(", ")
+        specs.join(", "),
+        workloads.join(", ")
     )
 }
 
@@ -95,7 +117,24 @@ impl CommonOpts {
     /// [`CommonOpts::parse_from`].
     pub fn parse() -> CommonOpts {
         match Self::parse_from(std::env::args().skip(1)) {
-            Ok(opts) => opts,
+            Ok(opts) => {
+                // Registry listings: print the canonical spec strings (the
+                // machine-readable contract — scripts feed them back into
+                // --technique/--workload) and exit.
+                if opts.list_techniques {
+                    for spec in registry() {
+                        println!("{}", spec.name());
+                    }
+                    std::process::exit(0);
+                }
+                if opts.list_workloads {
+                    for spec in workload_registry() {
+                        println!("{}", spec.name());
+                    }
+                    std::process::exit(0);
+                }
+                opts
+            }
             Err(CliError::Help) => {
                 eprintln!("{}", usage());
                 std::process::exit(0);
@@ -128,6 +167,13 @@ impl CommonOpts {
                     opts.technique =
                         Some(TechniqueSpec::parse(&spec).map_err(CliError::UnknownTechnique)?);
                 }
+                "--workload" => {
+                    let spec = take("--workload")?;
+                    opts.workload =
+                        Some(WorkloadSpec::parse(&spec).map_err(CliError::UnknownWorkload)?);
+                }
+                "--list-techniques" => opts.list_techniques = true,
+                "--list-workloads" => opts.list_workloads = true,
                 "--csv" => opts.csv = true,
                 "--json" => opts.json = true,
                 "--paper" => opts.paper = true,
@@ -166,6 +212,13 @@ impl CommonOpts {
                 .filter(|&s| default_filter(s))
                 .collect(),
         }
+    }
+
+    /// The workload this invocation asks for: the `--workload` spec if
+    /// given, else the Table 1 uniform workload.
+    pub fn workload_spec(&self) -> WorkloadSpec {
+        self.workload
+            .unwrap_or_else(|| WorkloadKind::Uniform.spec())
     }
 
     /// Table 1 uniform defaults with this CLI's overrides applied.
@@ -328,5 +381,39 @@ mod tests {
         for spec in registry() {
             assert!(u.contains(&spec.name()), "usage missing {}", spec.name());
         }
+        for spec in workload_registry() {
+            assert!(u.contains(&spec.name()), "usage missing {}", spec.name());
+        }
+        assert!(u.contains("--list-techniques") && u.contains("--list-workloads"));
+    }
+
+    #[test]
+    fn workload_flag_parses_registry_specs() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.workload, None);
+        assert_eq!(opts.workload_spec(), WorkloadKind::Uniform.spec());
+        let opts = parse(&["--workload", "churn:gaussian:h3"]).unwrap();
+        let spec = opts.workload.unwrap();
+        assert!(spec.has_churn());
+        assert_eq!(spec.kind, WorkloadKind::Gaussian { hotspots: 3 });
+        assert_eq!(opts.workload_spec(), spec);
+        match parse(&["--workload", "nope"]) {
+            Err(CliError::UnknownWorkload(e)) => assert_eq!(e.spec, "nope"),
+            other => panic!("expected UnknownWorkload, got {other:?}"),
+        }
+        assert_eq!(
+            parse(&["--workload"]).err(),
+            Some(CliError::MissingValue("--workload".into()))
+        );
+    }
+
+    #[test]
+    fn list_flags_parse_without_exiting() {
+        // parse_from is pure; the print-and-exit behaviour lives in
+        // CommonOpts::parse at the process boundary.
+        let opts = parse(&["--list-techniques"]).unwrap();
+        assert!(opts.list_techniques && !opts.list_workloads);
+        let opts = parse(&["--list-workloads", "--json"]).unwrap();
+        assert!(opts.list_workloads && opts.json);
     }
 }

@@ -15,21 +15,44 @@ use sj_core::driver::{DriverConfig, RunStats};
 use sj_core::par::ExecMode;
 use sj_core::technique::{Technique, TechniqueSpec};
 use sj_grid::{GridConfig, SimpleGrid};
-use sj_workload::{GaussianParams, GaussianWorkload, UniformWorkload, WorkloadParams};
+use sj_workload::{GaussianParams, GaussianWorkload, WorkloadKind, WorkloadParams, WorkloadSpec};
 
 pub mod cli;
 pub mod report;
 pub mod table;
 
-/// Drive `technique` through the uniform workload, its query phase under
-/// `exec` (binaries pass [`cli::CommonOpts::exec_mode`]; a technique built
-/// from a `@par<N>` spec still runs parallel when `exec` is sequential —
-/// see [`Technique::run`]).
-pub fn run_uniform(params: &WorkloadParams, technique: &mut Technique, exec: ExecMode) -> RunStats {
+/// Drive `technique` through the workload named by `wspec` (binaries pass
+/// [`cli::CommonOpts::workload_spec`]), its query phase under `exec`
+/// (binaries pass [`cli::CommonOpts::exec_mode`]; a technique built from a
+/// `@par<N>` spec still runs parallel when `exec` is sequential — see
+/// [`Technique::run`]).
+pub fn run_workload(
+    wspec: WorkloadSpec,
+    params: &WorkloadParams,
+    technique: &mut Technique,
+    exec: ExecMode,
+) -> RunStats {
     params.validate().expect("invalid workload parameters");
-    let mut workload = UniformWorkload::new(*params);
+    let mut workload = wspec.build(*params);
     let cfg = DriverConfig::new(params.ticks, warmup_for(params.ticks)).with_exec(exec);
-    technique.run(&mut workload, cfg)
+    technique.run(&mut *workload, cfg)
+}
+
+/// Instantiate both specs fresh (so runs stay independent) and drive the
+/// technique through the workload — the technique × workload harness
+/// entry point.
+pub fn run_workload_spec(
+    wspec: WorkloadSpec,
+    params: &WorkloadParams,
+    spec: TechniqueSpec,
+    exec: ExecMode,
+) -> RunStats {
+    run_workload(wspec, params, &mut spec.build(params.space_side), exec)
+}
+
+/// [`run_workload`] over the Table 1 uniform workload.
+pub fn run_uniform(params: &WorkloadParams, technique: &mut Technique, exec: ExecMode) -> RunStats {
+    run_workload(WorkloadKind::Uniform.spec(), params, technique, exec)
 }
 
 /// Instantiate `spec` fresh (so runs stay independent) and drive it
@@ -145,6 +168,35 @@ mod tests {
         let via_spec =
             run_uniform_spec(&params, spec.with_exec(ExecMode::parallel(3).unwrap()), SEQ);
         assert_eq!(via_spec.checksum, seq.checksum);
+    }
+
+    #[test]
+    fn workload_runner_sweeps_the_workload_registry() {
+        use sj_workload::workload_registry;
+        let params = quick_params();
+        for wspec in workload_registry() {
+            let reference = run_workload_spec(wspec, &params, TechniqueKind::Scan.spec(), SEQ);
+            assert!(reference.result_pairs > 0, "{}: no pairs", wspec.name());
+            assert_eq!(
+                reference.removals > 0 || reference.inserts > 0,
+                wspec.has_churn(),
+                "{}: churn counters do not match the spec",
+                wspec.name()
+            );
+            let grid = run_workload_spec(
+                wspec,
+                &params,
+                TechniqueKind::Grid(sj_grid::Stage::CpsTuned).spec(),
+                SEQ,
+            );
+            assert_eq!(grid.checksum, reference.checksum, "{}", wspec.name());
+            assert_eq!(
+                grid.result_pairs,
+                reference.result_pairs,
+                "{}",
+                wspec.name()
+            );
+        }
     }
 
     #[test]

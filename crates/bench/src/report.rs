@@ -86,6 +86,8 @@ impl JsonLine {
             .int("pairs", stats.result_pairs)
             .int("queries", stats.queries)
             .int("updates", stats.updates)
+            .int("removals", stats.removals)
+            .int("inserts", stats.inserts)
             .str("checksum", &format!("{:#x}", stats.checksum))
             .int("index_bytes", stats.index_bytes as u64)
     }
@@ -145,10 +147,14 @@ mod tests {
             checksum: u64::MAX,
             queries: 7,
             updates: 3,
+            removals: 2,
+            inserts: 1,
             index_bytes: 1024,
         };
         let line = JsonLine::new("t").stats(&stats).finish();
         assert!(line.contains(r#""pairs":42"#), "{line}");
+        assert!(line.contains(r#""removals":2"#), "{line}");
+        assert!(line.contains(r#""inserts":1"#), "{line}");
         assert!(
             line.contains(r#""checksum":"0xffffffffffffffff""#),
             "{line}"

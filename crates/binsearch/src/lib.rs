@@ -73,7 +73,8 @@ impl SpatialIndex for BinarySearchJoin {
 
     fn build(&mut self, table: &PointTable) {
         self.sorted.clear();
-        self.sorted.extend(0..table.len() as EntryId);
+        // Live rows only: tombstoned rows are invisible to the sort.
+        self.sorted.extend(table.iter().map(|(id, _)| id));
         let xs = table.xs();
         // total_cmp: coordinates are finite (workload invariant), but a
         // total order keeps the sort panic-free on any input.
@@ -126,7 +127,8 @@ impl SpatialIndex for VecSearchJoin {
 
     fn build(&mut self, table: &PointTable) {
         self.scratch.clear();
-        self.scratch.extend(0..table.len() as EntryId);
+        // Live rows only, like the plain variant.
+        self.scratch.extend(table.iter().map(|(id, _)| id));
         let txs = table.xs();
         self.scratch
             .sort_unstable_by(|&a, &b| txs[a as usize].total_cmp(&txs[b as usize]));

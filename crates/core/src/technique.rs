@@ -197,7 +197,8 @@ pub enum TechniqueKind {
     /// Simple Grid at one of the paper's cumulative improvement stages
     /// (`grid:original` … `grid:inline`).
     Grid(Stage),
-    /// Incrementally maintained u-Grid (`grid:incremental`), reference [8].
+    /// Incrementally maintained u-Grid (`grid:incremental`), the paper's
+    /// reference \[8\].
     GridIncremental,
     /// STR-bulk-loaded static R-tree (`rtree:str`).
     RTreeStr,

@@ -125,15 +125,15 @@ impl SpatialIndex for CRTree {
         self.leaf_qy.clear();
         self.leaf_id.clear();
         self.root = None;
-        let n = table.len();
-        if n == 0 {
-            return;
-        }
-
+        // Bulk load live rows only (tombstones from churn are skipped).
         let xs = table.xs();
         let ys = table.ys();
         self.scratch.clear();
-        self.scratch.extend(0..n as u32);
+        self.scratch.extend(table.iter().map(|(id, _)| id));
+        let n = self.scratch.len();
+        if n == 0 {
+            return;
+        }
         str_order(
             &mut self.scratch,
             self.fanout,

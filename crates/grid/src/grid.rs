@@ -135,7 +135,13 @@ impl SimpleGrid {
         }
         let xs = table.xs();
         let ys = table.ys();
+        let live = table.live_mask();
         for i in 0..n {
+            // Static rebuild indexes live rows only; tombstones (churn
+            // departures) are invisible to the grid.
+            if !live[i] {
+                continue;
+            }
             let (x, y) = (xs[i], ys[i]);
             tr.read(crate::addr::table_x(i as u64), 4);
             tr.read(crate::addr::table_y(i as u64), 4);
@@ -409,6 +415,27 @@ mod tests {
                 sorted_query(&range, &t, &r),
                 "{r:?}"
             );
+        }
+    }
+
+    #[test]
+    fn every_stage_skips_dead_rows() {
+        let mut t = random_table(800, 57);
+        for id in (0..800).step_by(3) {
+            t.remove(id);
+        }
+        let mut scan = ScanIndex::new();
+        scan.build(&t);
+        for mut g in all_stage_grids() {
+            g.build(&t);
+            let r = Rect::space(SIDE);
+            assert_eq!(
+                sorted_query(&g, &t, &r),
+                sorted_query(&scan, &t, &r),
+                "{}",
+                g.name()
+            );
+            assert_eq!(sorted_query(&g, &t, &r).len(), t.live_len());
         }
     }
 

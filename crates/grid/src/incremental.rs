@@ -1,5 +1,5 @@
 //! Incrementally maintained uniform grid — the u-Grid of the paper's
-//! reference [8] (Šidlauskas et al., "Trees or Grids? Indexing Moving
+//! reference \[8\] (Šidlauskas et al., "Trees or Grids? Indexing Moving
 //! Objects in Main Memory", GIS 2009).
 //!
 //! The static category rebuilds its index every tick; the update-time
@@ -62,6 +62,12 @@ pub struct IncrementalGrid {
     /// The positions as of the last build — the diff baseline.
     prev_x: Vec<f32>,
     prev_y: Vec<f32>,
+    /// Liveness as of the last build. A `live -> dead` transition in the
+    /// diff is an explicit O(1) delete; `dead` rows are simply not indexed.
+    prev_live: Vec<bool>,
+    /// Count of `true`s in `prev_live`, maintained on every transition so
+    /// [`IncrementalGrid::len`] stays O(1).
+    indexed: usize,
 }
 
 impl IncrementalGrid {
@@ -98,6 +104,8 @@ impl IncrementalGrid {
             loc_slot: Vec::new(),
             prev_x: Vec::new(),
             prev_y: Vec::new(),
+            prev_live: Vec::new(),
+            indexed: 0,
         }
     }
 
@@ -179,7 +187,9 @@ impl IncrementalGrid {
     }
 
     /// Full (re)population: used on the first build and whenever the base
-    /// table's size changes.
+    /// table *shrank* (impossible under the tombstone model, where slots
+    /// are never reclaimed — but kept so a hand-built smaller table stays
+    /// valid). Indexes live rows only.
     fn rebuild(&mut self, table: &PointTable) {
         self.cells.fill(NULL);
         self.buckets.clear();
@@ -193,9 +203,15 @@ impl IncrementalGrid {
         self.prev_x.extend_from_slice(table.xs());
         self.prev_y.clear();
         self.prev_y.extend_from_slice(table.ys());
+        self.prev_live.clear();
+        self.prev_live.extend_from_slice(table.live_mask());
+        self.indexed = 0;
         for i in 0..n {
-            let cell = self.cell_of(self.prev_x[i], self.prev_y[i]);
-            self.insert(cell, i as EntryId);
+            if self.prev_live[i] {
+                let cell = self.cell_of(self.prev_x[i], self.prev_y[i]);
+                self.insert(cell, i as EntryId);
+                self.indexed += 1;
+            }
         }
     }
 
@@ -205,20 +221,34 @@ impl IncrementalGrid {
         self.free.len()
     }
 
-    /// Entries currently indexed.
+    /// Entries currently indexed (live rows as of the last build). O(1).
     pub fn len(&self) -> usize {
-        self.prev_x.len()
+        self.indexed
     }
 
     pub fn is_empty(&self) -> bool {
-        self.prev_x.is_empty()
+        self.len() == 0
     }
 
-    /// Debug validation: every entry's locator points at a slot holding
-    /// it, and chain lengths are consistent. O(n); test-only.
+    /// Debug validation: every live entry's locator points at a slot
+    /// holding it, every dead entry is unlocated, and chain lengths are
+    /// consistent. O(n); test-only.
     pub fn validate(&self) -> Result<(), String> {
+        let live_count = self.prev_live.iter().filter(|&&l| l).count();
+        if live_count != self.indexed {
+            return Err(format!(
+                "indexed counter {} out of sync with live mask {live_count}",
+                self.indexed
+            ));
+        }
         for e in 0..self.loc_bucket.len() {
             let b = self.loc_bucket[e];
+            if !self.prev_live[e] {
+                if b != NULL {
+                    return Err(format!("dead entry {e} still has a location"));
+                }
+                continue;
+            }
             if b == NULL {
                 return Err(format!("entry {e} has no location"));
             }
@@ -237,24 +267,60 @@ impl SpatialIndex for IncrementalGrid {
     }
 
     fn build(&mut self, table: &PointTable) {
-        if table.len() != self.prev_x.len() {
+        if table.len() < self.prev_x.len() {
             self.rebuild(table);
             return;
         }
         let xs = table.xs();
         let ys = table.ys();
-        for i in 0..xs.len() {
-            let (nx, ny) = (xs[i], ys[i]);
-            let (px, py) = (self.prev_x[i], self.prev_y[i]);
-            if nx != px || ny != py {
-                let old_cell = self.cell_of(px, py);
-                let new_cell = self.cell_of(nx, ny);
-                if old_cell != new_cell {
-                    self.remove(old_cell, i as EntryId);
-                    self.insert(new_cell, i as EntryId);
+        let live = table.live_mask();
+        // Diff the rows indexed last tick: moves relocate, departures are
+        // explicit O(1) deletes (tombstoned rows never resurrect, but a
+        // dead->live transition is handled as an insert for robustness).
+        for i in 0..self.prev_x.len() {
+            let id = i as EntryId;
+            match (self.prev_live[i], live[i]) {
+                (true, true) => {
+                    let (nx, ny) = (xs[i], ys[i]);
+                    let (px, py) = (self.prev_x[i], self.prev_y[i]);
+                    if nx != px || ny != py {
+                        let old_cell = self.cell_of(px, py);
+                        let new_cell = self.cell_of(nx, ny);
+                        if old_cell != new_cell {
+                            self.remove(old_cell, id);
+                            self.insert(new_cell, id);
+                        }
+                        self.prev_x[i] = nx;
+                        self.prev_y[i] = ny;
+                    }
                 }
-                self.prev_x[i] = nx;
-                self.prev_y[i] = ny;
+                (true, false) => {
+                    self.remove(self.cell_of(self.prev_x[i], self.prev_y[i]), id);
+                    self.prev_live[i] = false;
+                    self.indexed -= 1;
+                }
+                (false, true) => {
+                    let (nx, ny) = (xs[i], ys[i]);
+                    self.insert(self.cell_of(nx, ny), id);
+                    self.prev_x[i] = nx;
+                    self.prev_y[i] = ny;
+                    self.prev_live[i] = true;
+                    self.indexed += 1;
+                }
+                (false, false) => {}
+            }
+        }
+        // Rows appended since the last build (churn arrivals): O(1) insert
+        // each — population growth does not trigger a full rebuild.
+        for i in self.prev_x.len()..table.len() {
+            self.prev_x.push(xs[i]);
+            self.prev_y.push(ys[i]);
+            self.prev_live.push(live[i]);
+            self.loc_bucket.push(NULL);
+            self.loc_slot.push(0);
+            if live[i] {
+                self.insert(self.cell_of(xs[i], ys[i]), i as EntryId);
+                self.indexed += 1;
             }
         }
     }
@@ -298,6 +364,7 @@ impl SpatialIndex for IncrementalGrid {
             + self.loc_slot.len() * 4
             + self.prev_x.len() * 4
             + self.prev_y.len() * 4
+            + self.prev_live.len()
     }
 }
 
@@ -440,6 +507,59 @@ mod tests {
             let c = sj_base::geom::Point::new(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
             let r = Rect::centered_square(c, 200.0).clipped_to(&Rect::space(SIDE));
             assert_eq!(sorted_query(&inc, &t, &r), sorted_query(&full, &t, &r));
+        }
+    }
+
+    #[test]
+    fn removals_are_explicit_deletes_in_the_diff() {
+        let mut t = random_table(600, 61);
+        let mut g = IncrementalGrid::tuned(SIDE);
+        g.build(&t);
+        assert_eq!(g.len(), 600);
+        for id in (0..600).step_by(4) {
+            t.remove(id);
+        }
+        g.build(&t);
+        g.validate().unwrap();
+        assert_eq!(g.len(), t.live_len());
+        let scan = ScanIndex::new();
+        let r = Rect::space(SIDE);
+        assert_eq!(sorted_query(&g, &t, &r), sorted_query(&scan, &t, &r));
+        assert_eq!(sorted_query(&g, &t, &r).len(), t.live_len());
+    }
+
+    #[test]
+    fn growth_is_incremental_not_a_rebuild() {
+        let mut t = random_table(300, 62);
+        let mut g = IncrementalGrid::tuned(SIDE);
+        g.build(&t);
+        // Arrivals append; departures tombstone; survivors move a little —
+        // one combined tick of churn, diffed in place.
+        let mut rng = Xoshiro256::seeded(63);
+        for _ in 0..50 {
+            t.push(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+        }
+        for id in [3u32, 77, 150, 299] {
+            t.remove(id);
+        }
+        for i in 0..t.len() as EntryId {
+            if t.is_live(i) && rng.bernoulli(0.5) {
+                let x = (t.x(i) + rng.range_f32(-40.0, 40.0)).clamp(0.0, SIDE);
+                let y = (t.y(i) + rng.range_f32(-40.0, 40.0)).clamp(0.0, SIDE);
+                t.set_position(i, x, y);
+            }
+        }
+        g.build(&t);
+        g.validate().unwrap();
+        let scan = ScanIndex::new();
+        for _ in 0..10 {
+            let c = sj_base::geom::Point::new(rng.range_f32(0.0, SIDE), rng.range_f32(0.0, SIDE));
+            let r = Rect::centered_square(c, 150.0).clipped_to(&Rect::space(SIDE));
+            assert_eq!(
+                sorted_query(&g, &t, &r),
+                sorted_query(&scan, &t, &r),
+                "{r:?}"
+            );
         }
     }
 

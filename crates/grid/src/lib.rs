@@ -38,7 +38,7 @@
 //! ```
 //!
 //! [`IncrementalGrid`] additionally provides the update-in-place u-Grid
-//! of the paper's reference [8] as an extension.
+//! of the paper's reference \[8\] as an extension.
 
 mod addr;
 mod config;

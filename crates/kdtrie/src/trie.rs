@@ -223,7 +223,12 @@ impl SpatialIndex for LinearKdTrie {
         self.keys.reserve(n);
         let xs = table.xs();
         let ys = table.ys();
+        let live = table.live_mask();
         for i in 0..n {
+            // Live rows only: churn tombstones never get a code.
+            if !live[i] {
+                continue;
+            }
             let code = encode(self.quant(xs[i]) as u16, self.quant(ys[i]) as u16);
             self.keys.push(((code as u64) << 32) | i as u64);
         }

@@ -192,9 +192,10 @@ impl SpatialIndex for QuadTree {
         self.leaf_y.clear();
         self.leaf_id.clear();
         self.scratch.clear();
-        self.scratch.extend(0..table.len() as EntryId);
+        // Live rows only: churn tombstones never enter the tree.
+        self.scratch.extend(table.iter().map(|(id, _)| id));
         let half = self.space_side * 0.5;
-        let n = table.len();
+        let n = self.scratch.len();
         self.build_node(table, 0, n, half, half, half, 0);
     }
 

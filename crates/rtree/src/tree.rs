@@ -130,16 +130,16 @@ impl SpatialIndex for RTree {
         self.leaf_y.clear();
         self.leaf_id.clear();
         self.root = None;
-        let n = table.len();
-        if n == 0 {
-            return;
-        }
-
-        // Leaf level: STR order the points, then pack runs of `fanout`.
+        // Bulk load live rows only: tombstoned (churned-out) rows are
+        // invisible to a static rebuild.
         let xs = table.xs();
         let ys = table.ys();
         self.scratch.clear();
-        self.scratch.extend(0..n as u32);
+        self.scratch.extend(table.iter().map(|(id, _)| id));
+        let n = self.scratch.len();
+        if n == 0 {
+            return;
+        }
         str_order(
             &mut self.scratch,
             self.fanout,

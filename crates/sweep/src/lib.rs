@@ -70,13 +70,13 @@ impl BatchJoin for PlaneSweepJoin {
         if queries.is_empty() || table.is_empty() {
             return;
         }
-        let xs = table.xs();
         let ys = table.ys();
 
         self.pts.clear();
-        self.pts.reserve(xs.len());
-        for (i, &x) in xs.iter().enumerate() {
-            self.pts.push((x, i as EntryId));
+        self.pts.reserve(table.live_len());
+        // Live rows only: churn tombstones never enter the sweep order.
+        for (id, p) in table.iter() {
+            self.pts.push((p.x, id));
         }
         self.pts.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
 

@@ -1,0 +1,279 @@
+//! Population churn: a deterministic arrival/departure process layered
+//! over any base workload.
+//!
+//! The paper's Table 1 workloads mutate velocities but never membership —
+//! the population is frozen at `init`. The update-time line of work the
+//! repository also reproduces (the u-Grid of Šidlauskas et al., "Trees or
+//! Grids?", GIS 2009; Tsitsigkos & Mamoulis, "Parallel In-Memory
+//! Evaluation of Spatial Joins") evaluates under *object churn*, where
+//! rebuild-per-tick and update-in-place diverge most: every arrival and
+//! departure is pure overhead for an incremental structure but free for a
+//! full rebuild (the rebuild never sees the departed object at all).
+//!
+//! [`ChurnWorkload`] wraps any [`Workload`] and adds, per tick:
+//!
+//! - **departures** — every live object leaves with probability `rate`
+//!   ([`TickActions::removals`], applied by the driver as a tombstone so
+//!   surviving [`EntryId`]s never shift — DESIGN.md §9);
+//! - **arrivals** — `Binomial(initial_n, rate)` new objects, placed
+//!   uniformly in the data space with a random velocity, so the expected
+//!   population stays at its initial size
+//!   ([`TickActions::inserts`], appended by the driver after movement).
+//!
+//! The wrapper also filters the base plan down to **live** rows: a base
+//! workload plans by id over the whole slot range (dead rows included, so
+//! its RNG streams stay aligned no matter when churn happens), and the
+//! wrapper drops queriers and velocity updates that target tombstones.
+//! Everything is a pure function of the seeds, so every technique observes
+//! the identical churn sequence — the precondition for the cross-technique
+//! checksum equality the integration suite asserts on `churn:*` specs.
+
+use sj_base::driver::{TickActions, Workload};
+use sj_base::geom::{Point, Rect};
+use sj_base::rng::Xoshiro256;
+use sj_base::table::{EntryId, MovingSet};
+
+use crate::uniform::random_velocity;
+
+/// Parameters of the churn process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnParams {
+    /// Per-tick departure probability of each live object, and per-tick
+    /// arrival probability of each of `initial_n` spawn slots.
+    pub rate: f32,
+    /// Maximum speed of arriving objects (use the base workload's).
+    pub max_speed: f32,
+    /// Seed of the churn streams (independent of the base workload's).
+    pub seed: u64,
+}
+
+impl ChurnParams {
+    /// Default per-tick churn rate: 2 % of the population turns over.
+    pub const DEFAULT_RATE: f32 = 0.02;
+}
+
+/// See module docs.
+///
+/// ```
+/// use sj_base::Workload;
+/// use sj_workload::{ChurnParams, ChurnWorkload, UniformWorkload, WorkloadParams};
+///
+/// let params = WorkloadParams { num_points: 1_000, ..WorkloadParams::default() };
+/// let mut churned = ChurnWorkload::new(
+///     Box::new(UniformWorkload::new(params)),
+///     ChurnParams { rate: 0.05, max_speed: params.max_speed, seed: params.seed },
+/// );
+/// let set = churned.init();
+/// assert_eq!(set.live_len(), 1_000);
+/// ```
+pub struct ChurnWorkload {
+    base: Box<dyn Workload>,
+    params: ChurnParams,
+    rng_depart: Xoshiro256,
+    rng_arrive: Xoshiro256,
+    /// Population size at `init` — the arrival process targets it as the
+    /// steady-state expectation.
+    initial_n: u32,
+}
+
+impl ChurnWorkload {
+    /// # Panics
+    /// Panics if `rate` is not in `[0, 1]` or `max_speed` is negative.
+    pub fn new(base: Box<dyn Workload>, params: ChurnParams) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&params.rate),
+            "churn rate must lie in [0, 1]"
+        );
+        assert!(params.max_speed >= 0.0, "max_speed must be >= 0");
+        let mut root = Xoshiro256::seeded(params.seed ^ 0x4348_5552_4E21); // "CHURN!"
+        ChurnWorkload {
+            base,
+            params,
+            rng_depart: root.fork(),
+            rng_arrive: root.fork(),
+            initial_n: 0,
+        }
+    }
+
+    pub fn params(&self) -> &ChurnParams {
+        &self.params
+    }
+
+    /// The wrapped base workload.
+    pub fn base(&self) -> &dyn Workload {
+        self.base.as_ref()
+    }
+}
+
+impl Workload for ChurnWorkload {
+    fn space(&self) -> Rect {
+        self.base.space()
+    }
+
+    fn query_side(&self) -> f32 {
+        self.base.query_side()
+    }
+
+    fn init(&mut self) -> MovingSet {
+        let set = self.base.init();
+        self.initial_n = set.live_len() as u32;
+        set
+    }
+
+    fn plan_tick(&mut self, tick: u32, set: &MovingSet, actions: &mut TickActions) {
+        self.base.plan_tick(tick, set, actions);
+        // The base plans over the whole slot range; only live rows may
+        // query or receive updates.
+        actions.queriers.retain(|&q| set.is_live(q));
+        actions
+            .velocity_updates
+            .retain(|&(id, _, _)| set.is_live(id));
+
+        let rate = self.params.rate;
+        for id in 0..set.len() as EntryId {
+            if set.is_live(id) && self.rng_depart.bernoulli(rate) {
+                actions.removals.push(id);
+            }
+        }
+        let space = self.space();
+        for _ in 0..self.initial_n {
+            if self.rng_arrive.bernoulli(rate) {
+                let p = Point::new(
+                    self.rng_arrive.range_f32(space.x1, space.x2),
+                    self.rng_arrive.range_f32(space.y1, space.y2),
+                );
+                let v = random_velocity(&mut self.rng_arrive, self.params.max_speed);
+                actions.inserts.push((p, v));
+            }
+        }
+    }
+
+    fn advance(&mut self, set: &mut MovingSet) {
+        self.base.advance(set);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{UniformWorkload, WorkloadParams};
+
+    fn churned(rate: f32, seed: u64) -> ChurnWorkload {
+        let params = WorkloadParams {
+            num_points: 2_000,
+            space_side: 10_000.0,
+            seed,
+            ..WorkloadParams::default()
+        };
+        ChurnWorkload::new(
+            Box::new(UniformWorkload::new(params)),
+            ChurnParams {
+                rate,
+                max_speed: params.max_speed,
+                seed: params.seed,
+            },
+        )
+    }
+
+    /// Drive `w` by hand for `ticks` through the driver's canonical
+    /// update-phase application ([`TickActions::apply`]).
+    fn simulate(w: &mut ChurnWorkload, ticks: u32) -> (MovingSet, u64, u64) {
+        let mut set = w.init();
+        let mut actions = TickActions::default();
+        let (mut removed, mut inserted) = (0u64, 0u64);
+        for tick in 0..ticks {
+            actions.clear();
+            w.plan_tick(tick, &set, &mut actions);
+            for &id in &actions.removals {
+                assert!(set.is_live(id), "removal of a dead row planned");
+            }
+            removed += actions.removals.len() as u64;
+            inserted += actions.inserts.len() as u64;
+            actions.apply(&mut set, w);
+        }
+        (set, removed, inserted)
+    }
+
+    #[test]
+    fn churn_actually_happens_at_the_configured_rate() {
+        let mut w = churned(0.05, 11);
+        let (set, removed, inserted) = simulate(&mut w, 20);
+        // E[removed] ≈ E[inserted] ≈ 2000 * 0.05 * 20 = 2000.
+        assert!(removed > 1_000, "removals: {removed}");
+        assert!(inserted > 1_000, "inserts: {inserted}");
+        assert_eq!(set.len(), 2_000 + inserted as usize);
+        assert_eq!(set.live_len(), 2_000 + inserted as usize - removed as usize);
+    }
+
+    #[test]
+    fn population_hovers_around_its_initial_size() {
+        let mut w = churned(0.1, 12);
+        let (set, ..) = simulate(&mut w, 30);
+        let n = set.live_len() as f64;
+        assert!(
+            (1_400.0..=2_600.0).contains(&n),
+            "population drifted to {n}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_is_the_identity() {
+        let mut w = churned(0.0, 13);
+        let (set, removed, inserted) = simulate(&mut w, 5);
+        assert_eq!((removed, inserted), (0, 0));
+        assert_eq!(set.live_len(), 2_000);
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_live_only() {
+        let run = |seed| {
+            let mut w = churned(0.08, seed);
+            let (set, removed, inserted) = simulate(&mut w, 10);
+            let mut a = TickActions::default();
+            w.plan_tick(10, &set, &mut a);
+            for &q in &a.queriers {
+                assert!(set.is_live(q), "dead querier {q} planned");
+            }
+            for &(id, _, _) in &a.velocity_updates {
+                assert!(set.is_live(id), "dead updater {id} planned");
+            }
+            (removed, inserted, a.queriers.len(), a.removals.len())
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+
+    #[test]
+    fn arrivals_spawn_inside_the_space() {
+        let mut w = churned(0.2, 14);
+        let set = w.init();
+        let mut a = TickActions::default();
+        w.plan_tick(0, &set, &mut a);
+        assert!(!a.inserts.is_empty());
+        let space = w.space();
+        let max = w.params().max_speed * 1.0001;
+        for &(p, v) in &a.inserts {
+            assert!(space.contains_point(p.x, p.y), "{p:?} outside space");
+            assert!(v.len() <= max, "{v:?} too fast");
+        }
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        let params = WorkloadParams::default();
+        let mk = |rate| {
+            std::panic::catch_unwind(|| {
+                ChurnWorkload::new(
+                    Box::new(UniformWorkload::new(params)),
+                    ChurnParams {
+                        rate,
+                        max_speed: params.max_speed,
+                        seed: 1,
+                    },
+                )
+            })
+        };
+        assert!(mk(1.5).is_err());
+        assert!(mk(-0.1).is_err());
+    }
+}

@@ -14,7 +14,7 @@
 
 use sj_base::driver::{TickActions, Workload};
 use sj_base::geom::{Point, Rect, Vec2};
-use sj_base::rng::Xoshiro256;
+use sj_base::rng::{mix64, Xoshiro256};
 use sj_base::table::{EntryId, MovingSet};
 
 use crate::params::GaussianParams;
@@ -121,12 +121,23 @@ impl Workload for GaussianWorkload {
 
     fn plan_tick(&mut self, _tick: u32, set: &MovingSet, actions: &mut TickActions) {
         let n = set.len() as EntryId;
+        // Objects inserted from outside (a churn wrapper's arrivals) have
+        // no hotspot yet: adopt them with a deterministic per-id
+        // assignment, independent of every RNG stream.
+        let k = self.hotspots.len() as u64;
+        while self.assignment.len() < n as usize {
+            let id = self.assignment.len() as u64;
+            self.assignment
+                .push((mix64(id ^ self.params.base.seed) % k) as u32);
+        }
         for id in 0..n {
             if self.rng_query.bernoulli(self.params.base.frac_queriers) {
                 actions.queriers.push(id);
             }
         }
         // Every object re-draws its velocity every tick (updaters N/A).
+        // Dead rows still consume their draws, keeping the streams aligned
+        // whether or not a churn wrapper later filters them out.
         for id in 0..n {
             let h = self.hotspots[self.assignment[id as usize] as usize];
             let v = self.step_velocity(set.positions.point(id), h);

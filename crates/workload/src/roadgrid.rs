@@ -14,7 +14,7 @@
 
 use sj_base::driver::{TickActions, Workload};
 use sj_base::geom::{Point, Rect, Vec2};
-use sj_base::rng::Xoshiro256;
+use sj_base::rng::{mix64, Xoshiro256};
 use sj_base::table::{EntryId, MovingSet};
 
 use crate::params::WorkloadParams;
@@ -104,6 +104,19 @@ impl RoadGridWorkload {
         self.spacing
     }
 
+    /// Grow the per-object state to cover `n` objects. Objects inserted
+    /// from outside (a churn wrapper's arrivals) get a deterministic
+    /// per-id direction and a mid-range speed, independent of every RNG
+    /// stream — they merge into the traffic from wherever they spawned.
+    fn ensure_state(&mut self, n: usize) {
+        while self.dirs.len() < n {
+            let id = self.dirs.len() as u64;
+            self.dirs
+                .push(Dir::from_index(mix64(id ^ self.params.seed) as usize));
+            self.speeds.push(self.params.max_speed * 0.6);
+        }
+    }
+
     /// Coordinate of the nearest road line at or below `v`.
     fn snap(&self, v: f32) -> f32 {
         let k = (v / self.spacing)
@@ -164,8 +177,12 @@ impl Workload for RoadGridWorkload {
 
     fn advance(&mut self, set: &mut MovingSet) {
         let side = self.params.space_side;
+        self.ensure_state(set.len());
         for i in 0..set.len() {
             let id = i as EntryId;
+            if !set.is_live(id) {
+                continue;
+            }
             let p = set.positions.point(id);
             let dir = self.dirs[i];
             let speed = self.speeds[i];

@@ -8,12 +8,14 @@
 //! and replay them bit-identically — across processes, machines, or
 //! implementations under comparison.
 //!
-//! A trace stores velocities and velocity updates, not positions, so
-//! replay relies on the *default* movement model (linear motion with
-//! boundary bounce — what both built-in workloads use). Recording
-//! verifies this assumption by checksumming the final object positions
-//! and embedding the checksum in the trace; [`TraceWorkload`] re-derives
-//! it on replay in tests.
+//! A trace stores velocities, velocity updates, and the churn plan
+//! (departure ids and arrival positions/velocities — format v2), not
+//! per-tick positions, so replay relies on the *default* movement model
+//! (linear motion with boundary bounce — what the uniform and Gaussian
+//! workloads use; the road grid's custom mobility is not replayable).
+//! Recording verifies this assumption by checksumming the final live
+//! object positions and embedding the checksum in the trace;
+//! [`TraceWorkload`] re-derives it on replay in tests.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -23,7 +25,11 @@ use sj_base::geom::{Point, Rect, Vec2};
 use sj_base::rng::mix64;
 use sj_base::table::{EntryId, MovingSet};
 
-const MAGIC: &[u8; 8] = b"SJTRACE1";
+/// Current format: v2 adds per-tick churn sections (removals + inserts).
+const MAGIC_V2: &[u8; 8] = b"SJTRACE2";
+/// Legacy format without churn sections; still readable (a v1 trace is a
+/// v2 trace whose every tick has empty churn).
+const MAGIC_V1: &[u8; 8] = b"SJTRACE1";
 
 /// A fully materialized workload: initial state plus every tick's actions.
 ///
@@ -66,10 +72,10 @@ fn positions_checksum(set: &MovingSet) -> u64 {
 }
 
 impl Trace {
-    /// Serialize to a writer.
+    /// Serialize to a writer (always the current v2 format).
     pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
         let mut w = BufWriter::new(w);
-        w.write_all(MAGIC)?;
+        w.write_all(MAGIC_V2)?;
         write_f32(&mut w, self.space_side)?;
         write_f32(&mut w, self.query_side)?;
         write_u32(&mut w, self.init_x.len() as u32)?;
@@ -90,6 +96,17 @@ impl Trace {
                 write_f32(&mut w, vx)?;
                 write_f32(&mut w, vy)?;
             }
+            write_u32(&mut w, t.removals.len() as u32)?;
+            for &id in &t.removals {
+                write_u32(&mut w, id)?;
+            }
+            write_u32(&mut w, t.inserts.len() as u32)?;
+            for &(p, v) in &t.inserts {
+                write_f32(&mut w, p.x)?;
+                write_f32(&mut w, p.y)?;
+                write_f32(&mut w, v.x)?;
+                write_f32(&mut w, v.y)?;
+            }
         }
         write_u64(&mut w, self.final_positions_checksum)?;
         w.flush()
@@ -103,12 +120,16 @@ impl Trace {
         let mut r = BufReader::new(r);
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not an SJTRACE1 file",
-            ));
-        }
+        let churn_sections = match &magic {
+            m if m == MAGIC_V2 => true,
+            m if m == MAGIC_V1 => false,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "not an SJTRACE file",
+                ))
+            }
+        };
         let space_side = read_f32(&mut r)?;
         let query_side = read_f32(&mut r)?;
         let n = read_u32(&mut r)? as usize;
@@ -136,6 +157,24 @@ impl Trace {
                 let vx = read_f32(&mut r)?;
                 let vy = read_f32(&mut r)?;
                 actions.velocity_updates.push((id, vx, vy));
+            }
+            if churn_sections {
+                let nr = read_u32(&mut r)? as usize;
+                actions.removals.reserve(nr);
+                for _ in 0..nr {
+                    actions.removals.push(read_u32(&mut r)?);
+                }
+                let ni = read_u32(&mut r)? as usize;
+                actions.inserts.reserve(ni);
+                for _ in 0..ni {
+                    let px = read_f32(&mut r)?;
+                    let py = read_f32(&mut r)?;
+                    let vx = read_f32(&mut r)?;
+                    let vy = read_f32(&mut r)?;
+                    actions
+                        .inserts
+                        .push((Point::new(px, py), Vec2::new(vx, vy)));
+                }
             }
             ticks.push(actions);
         }
@@ -189,10 +228,9 @@ pub fn record<W: Workload + ?Sized>(workload: &mut W, ticks: u32) -> Trace {
         actions.clear();
         workload.plan_tick(tick, &set, &mut actions);
         recorded.push(actions.clone());
-        for &(id, vx, vy) in &actions.velocity_updates {
-            set.set_velocity(id, Vec2::new(vx, vy));
-        }
-        workload.advance(&mut set);
+        // The driver's canonical update-phase application, shared so the
+        // embedded checksum cannot drift from what replay produces.
+        actions.apply(&mut set, workload);
     }
     Trace {
         space_side,
@@ -257,6 +295,8 @@ impl Workload for TraceWorkload {
             actions
                 .velocity_updates
                 .extend_from_slice(&recorded.velocity_updates);
+            actions.removals.extend_from_slice(&recorded.removals);
+            actions.inserts.extend_from_slice(&recorded.inserts);
         }
         // Past the end of the trace: quiet ticks (no queries, no updates).
         self.cursor += 1;
@@ -334,10 +374,7 @@ mod tests {
         for tick in 0..5 {
             actions.clear();
             replay.plan_tick(tick, &set, &mut actions);
-            for &(id, vx, vy) in &actions.velocity_updates {
-                set.set_velocity(id, Vec2::new(vx, vy));
-            }
-            replay.advance(&mut set);
+            actions.apply(&mut set, &mut replay);
         }
         assert_eq!(TraceWorkload::checksum_positions(&set), expected);
     }
@@ -349,6 +386,72 @@ mod tests {
         let mut buf = Vec::new();
         trace.write_to(&mut buf).unwrap();
         let back = Trace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn churn_traces_roundtrip_and_replay_bit_identically() {
+        use crate::{ChurnParams, ChurnWorkload};
+        let params = small_params();
+        let mut w = ChurnWorkload::new(
+            Box::new(UniformWorkload::new(params)),
+            ChurnParams {
+                rate: 0.1,
+                max_speed: params.max_speed,
+                seed: params.seed,
+            },
+        );
+        let trace = record(&mut w, 6);
+        let total_removed: usize = trace.ticks.iter().map(|t| t.removals.len()).sum();
+        let total_inserted: usize = trace.ticks.iter().map(|t| t.inserts.len()).sum();
+        assert!(total_removed > 0, "no churn recorded");
+        assert!(total_inserted > 0, "no churn recorded");
+
+        // Serialization keeps the churn sections.
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+
+        // Replay reproduces the recorded run's final live population.
+        let expected = trace.final_positions_checksum;
+        let mut replay = TraceWorkload::new(trace);
+        let mut set = replay.init();
+        let mut actions = TickActions::default();
+        for tick in 0..6 {
+            actions.clear();
+            replay.plan_tick(tick, &set, &mut actions);
+            actions.apply(&mut set, &mut replay);
+        }
+        assert_eq!(set.live_len(), 500 + total_inserted - total_removed);
+        assert_eq!(TraceWorkload::checksum_positions(&set), expected);
+    }
+
+    #[test]
+    fn legacy_v1_traces_still_load() {
+        // A churn-free v2 trace rewritten under the v1 magic, with the
+        // churn sections stripped, must parse to the identical trace.
+        let mut w = UniformWorkload::new(small_params());
+        let trace = record(&mut w, 2);
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        // Rewrite: v1 magic; walk the tick records and drop the two empty
+        // churn section counts (4 bytes each) per tick.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        let body = &buf[8..];
+        let n = trace.num_points();
+        let header = 4 + 4 + 4 + 16 * n + 4; // sides, count, 4 cols, tick count
+        v1.extend_from_slice(&body[..header]);
+        let mut off = header;
+        for t in &trace.ticks {
+            let queriers = 4 + 4 * t.queriers.len();
+            let updates = 4 + 12 * t.velocity_updates.len();
+            v1.extend_from_slice(&body[off..off + queriers + updates]);
+            off += queriers + updates + 4 + 4; // skip the empty churn counts
+        }
+        v1.extend_from_slice(&body[off..]); // final checksum
+        let back = Trace::read_from(v1.as_slice()).unwrap();
         assert_eq!(back, trace);
     }
 

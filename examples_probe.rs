@@ -1,0 +1,12 @@
+use sj_workload::{WorkloadParams, WorkloadSpec};
+fn main() {
+    let params = WorkloadParams {
+        num_points: 100,
+        space_side: 6_000.0,
+        max_speed: 3_000.0,
+        ..WorkloadParams::default()
+    };
+    let mut w = WorkloadSpec::parse("roadgrid").unwrap().build(params);
+    let set = w.init();
+    println!("ok, live {}", set.live_len());
+}

@@ -11,7 +11,7 @@
 //! |---|---|
 //! | [`core`] | geometry, base tables, [`core::SpatialIndex`], the tick driver, and [`technique`] |
 //! | [`technique`] | the unified registry: [`technique::Technique`], [`technique::TechniqueSpec`] |
-//! | [`workload`] | uniform & Gaussian moving-object workloads (Table 1) |
+//! | [`workload`] | the workload registry ([`workload::WorkloadSpec`], [`workload::workload_registry`]): uniform & Gaussian (Table 1), road grid, and churn variants |
 //! | [`grid`] | Simple Grid: original and refactored layouts, Algorithms 1 & 2 |
 //! | [`rtree`] | STR-packed R-tree (+ incremental Guttman extension) |
 //! | [`crtree`] | cache-conscious CR-tree with quantized relative MBRs |
@@ -40,6 +40,26 @@
 //! for spec in registry() {
 //!     println!("{:16} {}", spec.name(), spec.label());
 //! }
+//! ```
+//!
+//! ## Workloads are first-class too
+//!
+//! Workloads mirror the technique registry: parse a spec string
+//! (`"uniform"`, `"gaussian:h3"`, `"roadgrid"`, `"churn:uniform"`, …),
+//! build it over shared Table 1 parameters, and sweep
+//! [`workload::workload_registry`] for the full technique × workload
+//! matrix. `churn:*` specs add deterministic population turnover —
+//! arrivals and departures applied in the update phase, with departed
+//! rows tombstoned so surviving [`core::EntryId`]s never shift:
+//!
+//! ```
+//! use spatial_joins::prelude::*;
+//!
+//! let params = WorkloadParams { num_points: 2_000, ticks: 3, ..Default::default() };
+//! let mut churned = WorkloadSpec::parse("churn:uniform").unwrap().build(params);
+//! let mut tech = Technique::from_spec("grid:incremental", params.space_side).unwrap();
+//! let stats = tech.run(&mut *churned, DriverConfig::new(3, 1));
+//! assert!(stats.removals > 0 && stats.inserts > 0);
 //! ```
 //!
 //! ## Parallel execution
@@ -115,9 +135,6 @@ pub use sj_rtree as rtree;
 pub use sj_sweep as sweep;
 pub use sj_workload as workload;
 
-#[cfg(feature = "parallel")]
-pub mod parallel;
-
 /// The common imports for applications: the registry, every index, the
 /// driver, and the workload generators.
 pub mod prelude {
@@ -136,5 +153,8 @@ pub mod prelude {
     pub use sj_quadtree::QuadTree;
     pub use sj_rtree::{DynRTree, RTree};
     pub use sj_sweep::PlaneSweepJoin;
-    pub use sj_workload::{GaussianParams, GaussianWorkload, UniformWorkload, WorkloadParams};
+    pub use sj_workload::{
+        workload_registry, ChurnParams, ChurnWorkload, GaussianParams, GaussianWorkload,
+        RoadGridWorkload, UniformWorkload, WorkloadKind, WorkloadParams, WorkloadSpec,
+    };
 }

@@ -6,7 +6,9 @@
 //!
 //! The line-up comes exclusively from [`spatial_joins::technique::registry`];
 //! adding a technique to the registry automatically adds it to every test
-//! here.
+//! here — and since PR 4 the workload axis comes from
+//! [`spatial_joins::workload::workload_registry`] the same way, so the
+//! matrix grows automatically on both sides, churn workloads included.
 
 use spatial_joins::prelude::*;
 
@@ -131,6 +133,78 @@ fn all_registry_techniques_agree_on_road_grid_workload() {
             }
         }
     }
+}
+
+#[test]
+fn all_registry_techniques_agree_on_every_registry_workload() {
+    // The full technique x workload matrix — every technique must compute
+    // the identical join on every named workload, including the churn
+    // variants where the population itself turns over (tombstoned rows
+    // must be invisible to every index and both batch joins, and arrivals
+    // must appear in every technique on the same tick).
+    let params = WorkloadParams {
+        num_points: 1_500,
+        ticks: 4,
+        space_side: 8_000.0,
+        max_speed: 150.0,
+        ..WorkloadParams::default()
+    };
+    for wspec in workload_registry() {
+        let mut reference = None;
+        for spec in registry() {
+            let mut workload = wspec.build(params);
+            let mut tech = spec.build(params.space_side);
+            let stats = tech.run(&mut *workload, DriverConfig::new(params.ticks, 1));
+            assert!(
+                stats.result_pairs > 0,
+                "{} found nothing on {}",
+                spec.name(),
+                wspec.name()
+            );
+            assert_eq!(
+                stats.removals > 0 || stats.inserts > 0,
+                wspec.has_churn(),
+                "{} on {}: churn counters disagree with the spec",
+                spec.name(),
+                wspec.name()
+            );
+            let key = (stats.result_pairs, stats.checksum, stats.queries);
+            match reference {
+                None => reference = Some(key),
+                Some(expect) => assert_eq!(
+                    key,
+                    expect,
+                    "{} computed a different join on {}",
+                    spec.name(),
+                    wspec.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn churn_changes_the_join_but_not_the_agreement() {
+    // Sanity that churn:uniform is actually a different computation from
+    // uniform (otherwise the matrix above would be vacuous on that axis).
+    let params = WorkloadParams {
+        num_points: 2_000,
+        ticks: 4,
+        space_side: 8_000.0,
+        ..WorkloadParams::default()
+    };
+    let run = |spec_str: &str| {
+        let mut w = WorkloadSpec::parse(spec_str).unwrap().build(params);
+        let mut tech = TechniqueSpec::parse("grid:inline")
+            .unwrap()
+            .build(params.space_side);
+        tech.run(&mut *w, DriverConfig::new(params.ticks, 1))
+    };
+    let frozen = run("uniform");
+    let churned = run("churn:uniform");
+    assert_ne!(frozen.checksum, churned.checksum);
+    assert_eq!(frozen.removals + frozen.inserts, 0);
+    assert!(churned.removals > 0 && churned.inserts > 0);
 }
 
 #[test]

@@ -168,6 +168,56 @@ fn parallel_golden_checksum_is_stable_across_prs() {
 const GOLDEN_CHECKSUM_SEED42: u64 = 0xd73f085806b80ac8;
 const GOLDEN_PAIRS_SEED42: u64 = 29_556;
 
+fn run_churn_once(exec: ExecMode) -> RunStats {
+    let params = WorkloadParams {
+        num_points: 2_000,
+        ticks: MEASURED_TICKS,
+        space_side: 8_000.0,
+        seed: 42,
+        ..WorkloadParams::default()
+    };
+    let mut workload = WorkloadSpec::parse("churn:uniform").unwrap().build(params);
+    let mut grid = SimpleGrid::tuned(params.space_side);
+    run_join(
+        &mut *workload,
+        &mut grid,
+        DriverConfig::new(params.ticks, 1).with_exec(exec),
+    )
+}
+
+#[test]
+fn churn_golden_checksum_is_stable_across_prs() {
+    // The churn workload adds two more deterministic streams (departures,
+    // arrivals) and a tombstone path through every index; pin the absolute
+    // numbers so a drift in any of them — RNG consumption order, the
+    // update-phase application order (velocities -> removals -> advance ->
+    // inserts), or a handle that shifted — is caught on the spot, in both
+    // exec modes.
+    let seq = run_churn_once(ExecMode::Sequential);
+    let par = run_churn_once(ExecMode::parallel(4).unwrap());
+    assert_eq!(
+        seq.checksum, GOLDEN_CHURN_CHECKSUM_SEED42,
+        "sequential golden"
+    );
+    assert_eq!(
+        par.checksum, GOLDEN_CHURN_CHECKSUM_SEED42,
+        "parallel golden"
+    );
+    assert_eq!(seq.result_pairs, GOLDEN_CHURN_PAIRS_SEED42);
+    assert_eq!(par.result_pairs, GOLDEN_CHURN_PAIRS_SEED42);
+    assert_eq!(seq.removals, GOLDEN_CHURN_REMOVALS_SEED42);
+    assert_eq!(seq.inserts, GOLDEN_CHURN_INSERTS_SEED42);
+    assert_eq!(par.removals, seq.removals);
+    assert_eq!(par.inserts, seq.inserts);
+}
+
+/// Goldens of `run_churn_once` (churn:uniform, seed 42, 5 measured ticks
+/// after 1 warmup). Same re-pinning policy as the uniform goldens above.
+const GOLDEN_CHURN_CHECKSUM_SEED42: u64 = 0x7db1b888cfcbf151;
+const GOLDEN_CHURN_PAIRS_SEED42: u64 = 29_767;
+const GOLDEN_CHURN_REMOVALS_SEED42: u64 = 198;
+const GOLDEN_CHURN_INSERTS_SEED42: u64 = 190;
+
 #[test]
 fn checksum_is_independent_of_result_order() {
     // The R-tree and the grid enumerate results in very different orders;

@@ -41,6 +41,8 @@ fn assert_bit_identical(seq: &RunStats, par: &RunStats, ctx: &str) {
     assert_eq!(par.checksum, seq.checksum, "{ctx}: checksum");
     assert_eq!(par.queries, seq.queries, "{ctx}: query count");
     assert_eq!(par.updates, seq.updates, "{ctx}: update count");
+    assert_eq!(par.removals, seq.removals, "{ctx}: removal count");
+    assert_eq!(par.inserts, seq.inserts, "{ctx}: insert count");
     assert_eq!(par.index_bytes, seq.index_bytes, "{ctx}: index footprint");
     assert_eq!(par.ticks.len(), seq.ticks.len(), "{ctx}: measured ticks");
 }
@@ -79,6 +81,61 @@ proptest! {
             let seq = run(spec, p, ExecMode::Sequential);
             let par = run(spec, p, ExecMode::parallel(16).unwrap());
             assert_bit_identical(&seq, &par, &format!("{} @16 (tiny)", spec.name()));
+        }
+    }
+}
+
+proptest! {
+    // The full two-registry matrix is the most expensive property in the
+    // suite (techniques x workloads x exec modes per case); a couple of
+    // seeds is plenty on top of the focused single-workload sweeps above.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn equivalence_holds_for_every_technique_on_every_registry_workload(
+        seed in 0u64..=u64::MAX,
+    ) {
+        // The PR 4 acceptance matrix: technique registry x workload
+        // registry (churn variants included, where the population itself
+        // turns over mid-run), sequential vs >= 2 parallel thread counts,
+        // all RunStats counts bit-identical — and all techniques agreeing
+        // with each other per workload.
+        let p = WorkloadParams {
+            num_points: 500,
+            ticks: 3,
+            space_side: 6_000.0,
+            max_speed: 150.0,
+            seed,
+            ..WorkloadParams::default()
+        };
+        for wspec in workload_registry() {
+            let mut reference: Option<(u64, u64)> = None;
+            for spec in registry() {
+                let run = |exec: ExecMode| {
+                    let mut workload = wspec.build(p);
+                    let mut tech = spec.build(p.space_side);
+                    tech.run(&mut *workload, DriverConfig::new(p.ticks, 1).with_exec(exec))
+                };
+                let seq = run(ExecMode::Sequential);
+                for threads in [2usize, 5] {
+                    let par = run(ExecMode::parallel(threads).unwrap());
+                    assert_bit_identical(
+                        &seq,
+                        &par,
+                        &format!("{} @{threads} on {}", spec.name(), wspec.name()),
+                    );
+                }
+                match reference {
+                    None => reference = Some((seq.result_pairs, seq.checksum)),
+                    Some(expect) => assert_eq!(
+                        (seq.result_pairs, seq.checksum),
+                        expect,
+                        "{} computed a different join on {}",
+                        spec.name(),
+                        wspec.name()
+                    ),
+                }
+            }
         }
     }
 }

@@ -24,6 +24,15 @@ fn table_of(points: &[(f32, f32)]) -> PointTable {
     t
 }
 
+/// Tombstone every row whose bit in `mask` (mod 64) is set.
+fn remove_masked(t: &mut PointTable, mask: u64) {
+    for id in 0..t.len() as EntryId {
+        if mask >> (id % 64) & 1 == 1 {
+            t.remove(id);
+        }
+    }
+}
+
 fn query_region((cx, cy, w, h): (f32, f32, f32, f32)) -> Rect {
     let r = Rect::new(cx - w * 0.5, cy - h * 0.5, cx + w * 0.5, cy + h * 0.5);
     r.clipped_to(&Rect::space(SIDE))
@@ -37,7 +46,13 @@ fn sorted(idx: &dyn SpatialIndex, t: &PointTable, r: &Rect) -> Vec<EntryId> {
 }
 
 fn check_all(points: Vec<(f32, f32)>, q: (f32, f32, f32, f32)) {
-    let t = table_of(&points);
+    check_all_masked(points, q, 0);
+}
+
+fn check_all_masked(points: Vec<(f32, f32)>, q: (f32, f32, f32, f32), remove_mask: u64) {
+    let mut t = table_of(&points);
+    remove_masked(&mut t, remove_mask);
+    let t = t;
     let region = query_region(q);
     let scan = ScanIndex::new();
     let expected = sorted(&scan, &t, &region);
@@ -64,6 +79,9 @@ fn check_all(points: Vec<(f32, f32)>, q: (f32, f32, f32, f32)) {
             "{} disagrees with scan on {region:?}",
             index.name()
         );
+        for &id in &got {
+            assert!(t.is_live(id), "{} reported dead row {id}", index.name());
+        }
     }
 }
 
@@ -73,6 +91,19 @@ proptest! {
     #[test]
     fn every_index_agrees_with_scan(points in arb_points(), q in arb_query()) {
         check_all(points, q);
+    }
+
+    #[test]
+    fn every_index_agrees_with_scan_under_tombstones(
+        points in arb_points(),
+        q in arb_query(),
+        remove_mask in 0u64..=u64::MAX,
+    ) {
+        // Arbitrary subsets of rows tombstoned (churn departures): every
+        // index must build over the survivors only and still agree with
+        // the (liveness-filtered) scan, and no dead row may ever be
+        // reported.
+        check_all_masked(points, q, remove_mask);
     }
 
     #[test]
