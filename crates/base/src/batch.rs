@@ -20,13 +20,38 @@ pub trait BatchJoin {
     /// Append every `(querier, matching object)` pair to `out`, in no
     /// particular order. `queries` carries `(querier id, region)` with
     /// closed-rectangle semantics, exactly as the per-query driver
-    /// produces them.
+    /// produces them. Querier ids are opaque to the join — in a self-join
+    /// they happen to index `table`, in a bipartite join they index the
+    /// query relation instead (see [`BatchJoin::join_two`]).
     fn join(
         &mut self,
         table: &PointTable,
         queries: &[(EntryId, Rect)],
         out: &mut Vec<(EntryId, EntryId)>,
     );
+
+    /// The two-table (bipartite R ⋈ S) entry point: `queries` carries one
+    /// region per querier of the query relation `queriers` (R), joined
+    /// against the data relation `data` (S). Matching rows of `data` are
+    /// emitted as `(querier, data row)` pairs. The driver always goes
+    /// through this method — a self-join simply passes the same table
+    /// twice.
+    ///
+    /// The default forwards to [`BatchJoin::join`] over `data`: the query
+    /// regions are already materialized, so a technique that never
+    /// dereferences querier ids (both implementations in this workspace)
+    /// is bipartite-ready for free. Override it only if the algorithm
+    /// wants the querier positions themselves.
+    fn join_two(
+        &mut self,
+        queriers: &PointTable,
+        data: &PointTable,
+        queries: &[(EntryId, Rect)],
+        out: &mut Vec<(EntryId, EntryId)>,
+    ) {
+        let _ = queriers;
+        self.join(data, queries, out);
+    }
 
     /// An independent instance of this technique for a parallel worker
     /// (see [`crate::par::shard_batch_join`]): same algorithm, private
@@ -98,6 +123,41 @@ mod tests {
         let mut out = Vec::new();
         NaiveBatchJoin.join(&t, &queries, &mut out);
         assert_eq!(out, vec![(9, 1)]);
+    }
+
+    #[test]
+    fn join_two_over_distinct_relations_probes_only_the_data_table() {
+        // R rows sit far outside every query region: only S (data) rows
+        // may appear on the right of a pair, and the querier ids pass
+        // through untouched even though they don't index S.
+        let mut r = PointTable::default();
+        r.push(1_000.0, 1_000.0);
+        r.push(2_000.0, 2_000.0);
+        let mut s = PointTable::default();
+        s.push(1.0, 1.0);
+        s.push(5.0, 5.0);
+        let queries = vec![
+            (0u32, Rect::new(0.0, 0.0, 2.0, 2.0)),
+            (1u32, Rect::new(0.0, 0.0, 10.0, 10.0)),
+        ];
+        let mut out = Vec::new();
+        NaiveBatchJoin.join_two(&r, &s, &queries, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![(0, 0), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn join_two_with_the_same_table_twice_is_the_self_join() {
+        let mut t = PointTable::default();
+        t.push(1.0, 1.0);
+        t.push(5.0, 5.0);
+        let queries = vec![(0u32, Rect::new(0.0, 0.0, 6.0, 6.0))];
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        NaiveBatchJoin.join(&t, &queries, &mut a);
+        NaiveBatchJoin.join_two(&t, &t, &queries, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -13,6 +13,22 @@
 //! 3. **Update** — velocity updates and population churn (departures as
 //!    tombstones, arrivals appended) are applied to the base data and all
 //!    surviving objects advance one step of movement.
+//!
+//! ## Self-joins and bipartite joins
+//!
+//! The paper only ever joins a moving set with itself (the queriers are a
+//! subset of the indexed population). The driver additionally supports the
+//! canonical two-dataset setting of the related work (Tsitsigkos &
+//! Mamoulis, *Parallel In-Memory Evaluation of Spatial Joins*): a
+//! **bipartite** join R ⋈ S over two independent moving sets, where the
+//! *query relation* R issues one range query per live row, centred on its
+//! own position, against an index built over the *data relation* S. Each
+//! relation is driven by its own [`Workload`] (velocity updates and
+//! population churn included) and the checksum folds `(r_querier,
+//! s_result)` pairs exactly as in the self-join — which is the degenerate
+//! case R = S, running through the identical code path with identical
+//! statistics (DESIGN.md §10). Entry points: [`run_bipartite_join`] /
+//! [`run_bipartite_batch_join`].
 
 use std::time::{Duration, Instant};
 
@@ -144,23 +160,40 @@ impl RunStats {
         self.ticks.iter().map(|t| f(t).as_secs_f64()).collect()
     }
 
-    /// The paper's headline metric: average wall-clock time per tick.
+    /// Mean of `f` over the measured ticks — **defined as `0.0` for a run
+    /// with no measured ticks** (a `ticks: 0`, warmup-only configuration).
+    /// [`Summary::of`] already yields a zero mean for empty input; the
+    /// explicit early return pins that contract *here*, where the JSON
+    /// reporter depends on it (it asserts every emitted number is finite),
+    /// independent of how `Summary` might treat empty samples in the
+    /// future.
+    fn avg_seconds<F: Fn(&TickTimes) -> Duration>(&self, f: F) -> f64 {
+        if self.ticks.is_empty() {
+            return 0.0;
+        }
+        Summary::of(&self.seconds(f)).mean
+    }
+
+    /// The paper's headline metric: average wall-clock time per tick
+    /// (0.0 when no ticks were measured).
     pub fn avg_tick_seconds(&self) -> f64 {
-        Summary::of(&self.seconds(TickTimes::total)).mean
+        self.avg_seconds(TickTimes::total)
     }
 
     pub fn avg_build_seconds(&self) -> f64 {
-        Summary::of(&self.seconds(|t| t.build)).mean
+        self.avg_seconds(|t| t.build)
     }
 
     pub fn avg_query_seconds(&self) -> f64 {
-        Summary::of(&self.seconds(|t| t.query)).mean
+        self.avg_seconds(|t| t.query)
     }
 
     pub fn avg_update_seconds(&self) -> f64 {
-        Summary::of(&self.seconds(|t| t.update)).mean
+        self.avg_seconds(|t| t.update)
     }
 
+    /// Summary over the measured ticks; all-zero (n = 0) for a
+    /// warmup-only run, matching the `avg_*` accessors.
     pub fn tick_summary(&self) -> Summary {
         Summary::of(&self.seconds(TickTimes::total))
     }
@@ -250,42 +283,84 @@ trait TickExecutor {
 }
 
 /// One tick's query-phase inputs, as seen by a [`TickExecutor`]: the
-/// object set as of the previous tick, this tick's queriers, and the
-/// query geometry.
+/// relation tables as of the previous tick, this tick's queriers, and the
+/// query geometry. `data` is the table indexes build over and joins probe
+/// (the data relation S); `centers` is the table query regions are centred
+/// on (the query relation R). In a self-join both reference the same
+/// table; the executors never assume that.
 struct TickCtx<'a> {
-    set: &'a MovingSet,
+    data: &'a PointTable,
+    centers: &'a PointTable,
     queriers: &'a [EntryId],
     space: &'a Rect,
     query_side: f32,
 }
 
-/// The single tick loop both join categories run (see [`TickExecutor`]).
+/// The single tick loop both join categories — and both join shapes — run
+/// (see [`TickExecutor`]). `data_workload` drives the data relation S;
+/// `query_rel`, when present, drives an independent query relation R
+/// (bipartite mode). When `query_rel` is `None` the loop is exactly the
+/// self-join of the paper: S plans its own queriers and probes itself.
 fn drive<W: Workload + ?Sized, E: TickExecutor>(
-    workload: &mut W,
+    data_workload: &mut W,
+    mut query_rel: Option<&mut dyn Workload>,
     exec: &mut E,
     cfg: DriverConfig,
 ) -> RunStats {
-    let mut set = workload.init();
-    let space = workload.space();
-    let query_side = workload.query_side();
+    let mut s = data_workload.init();
+    let mut r: Option<MovingSet> = query_rel.as_deref_mut().map(|w| w.init());
+    let space = data_workload.space();
+    // Queries are issued by the query relation, so its workload defines
+    // their side length; both relations must share the data space (the
+    // region clip below is against S's space — `JoinSpec` builds both
+    // workloads over identical space parameters).
+    let query_side = match query_rel.as_deref() {
+        Some(w) => {
+            // A real assert (not debug): the check runs once per run, and
+            // mismatched spaces would silently clip every query region
+            // against the wrong bounds in release builds.
+            assert_eq!(
+                w.space(),
+                space,
+                "bipartite relations must share the data space"
+            );
+            w.query_side()
+        }
+        None => data_workload.query_side(),
+    };
 
     let mut stats = RunStats::default();
     let mut actions = TickActions::default();
+    // The query relation's plan, bipartite mode only.
+    let mut r_actions = TickActions::default();
 
     let total_ticks = cfg.warmup + cfg.ticks;
     for tick in 0..total_ticks {
         let measured = tick >= cfg.warmup;
         actions.clear();
-        workload.plan_tick(tick, &set, &mut actions);
+        data_workload.plan_tick(tick, &s, &mut actions);
+        if let (Some(w), Some(r_set)) = (query_rel.as_deref_mut(), r.as_ref()) {
+            r_actions.clear();
+            w.plan_tick(tick, r_set, &mut r_actions);
+            // In a bipartite join only R queries: whatever queriers S's
+            // workload planned are data-relation bookkeeping, not queries.
+            actions.queriers.clear();
+        }
 
-        // Phase 1: build the static index over the previous tick's state.
+        // Phase 1: build the static index over the previous tick's state
+        // of the data relation.
         let t0 = Instant::now();
-        exec.build(&set.positions);
+        exec.build(&s.positions);
         let build = t0.elapsed();
 
+        let (queriers, centers): (&[EntryId], &PointTable) = match r.as_ref() {
+            Some(r_set) => (&r_actions.queriers, &r_set.positions),
+            None => (&actions.queriers, &s.positions),
+        };
         let ctx = TickCtx {
-            set: &set,
-            queriers: &actions.queriers,
+            data: &s.positions,
+            centers,
+            queriers,
             space: &space,
             query_side,
         };
@@ -297,6 +372,7 @@ fn drive<W: Workload + ?Sized, E: TickExecutor>(
         let mut checksum = stats.checksum;
         exec.query(&ctx, cfg.exec, &mut pairs, &mut checksum);
         let query = t0.elapsed();
+        let queries = ctx.queriers.len() as u64;
 
         // Phase 3: updates are applied to the base data at the end of the
         // tick — velocity changes, then departures (tombstones), then
@@ -304,9 +380,14 @@ fn drive<W: Workload + ?Sized, E: TickExecutor>(
         // tick at their spawn position; see [`TickActions::apply`]). All
         // of it is timed: insert/remove cost is update-phase cost, exactly
         // where the update-time taxonomy of the original study puts it
-        // (DESIGN.md §9).
+        // (DESIGN.md §9). In bipartite mode both relations update — data
+        // relation first, then the query relation, each through its own
+        // workload's movement model.
         let t0 = Instant::now();
-        actions.apply(&mut set, workload);
+        actions.apply(&mut s, data_workload);
+        if let (Some(w), Some(r_set)) = (query_rel.as_deref_mut(), r.as_mut()) {
+            r_actions.apply(r_set, w);
+        }
         let update = t0.elapsed();
 
         if measured {
@@ -317,10 +398,11 @@ fn drive<W: Workload + ?Sized, E: TickExecutor>(
             });
             stats.result_pairs += pairs;
             stats.checksum = checksum;
-            stats.queries += actions.queriers.len() as u64;
-            stats.updates += actions.velocity_updates.len() as u64;
-            stats.removals += actions.removals.len() as u64;
-            stats.inserts += actions.inserts.len() as u64;
+            stats.queries += queries;
+            stats.updates +=
+                (actions.velocity_updates.len() + r_actions.velocity_updates.len()) as u64;
+            stats.removals += (actions.removals.len() + r_actions.removals.len()) as u64;
+            stats.inserts += (actions.inserts.len() + r_actions.inserts.len()) as u64;
         }
     }
     stats.index_bytes = exec.index_bytes();
@@ -342,13 +424,12 @@ impl<I: SpatialIndex + Sync + ?Sized> TickExecutor for IndexExecutor<'_, I> {
     fn prepare(&mut self, _: &TickCtx<'_>) {}
 
     fn query(&mut self, tick: &TickCtx<'_>, exec: ExecMode, pairs: &mut u64, checksum: &mut u64) {
-        let positions = &tick.set.positions;
         match exec {
             ExecMode::Sequential => {
                 for &q in tick.queriers {
-                    let region = Rect::centered_square(positions.point(q), tick.query_side)
+                    let region = Rect::centered_square(tick.centers.point(q), tick.query_side)
                         .clipped_to(tick.space);
-                    self.0.for_each_in(positions, &region, &mut |r| {
+                    self.0.for_each_in(tick.data, &region, &mut |r| {
                         *pairs += 1;
                         *checksum = fold_pair(*checksum, q, r);
                     });
@@ -357,7 +438,8 @@ impl<I: SpatialIndex + Sync + ?Sized> TickExecutor for IndexExecutor<'_, I> {
             ExecMode::Parallel { threads } => {
                 let (p, c) = par::shard_index_query(
                     &*self.0,
-                    positions,
+                    tick.data,
+                    tick.centers,
                     tick.queriers,
                     tick.space,
                     tick.query_side,
@@ -394,19 +476,18 @@ impl<J: crate::batch::BatchJoin + ?Sized> TickExecutor for BatchExecutor<'_, J> 
     fn prepare(&mut self, tick: &TickCtx<'_>) {
         self.queries.clear();
         for &q in tick.queriers {
-            let region = Rect::centered_square(tick.set.positions.point(q), tick.query_side)
+            let region = Rect::centered_square(tick.centers.point(q), tick.query_side)
                 .clipped_to(tick.space);
             self.queries.push((q, region));
         }
     }
 
     fn query(&mut self, tick: &TickCtx<'_>, exec: ExecMode, pairs: &mut u64, checksum: &mut u64) {
-        let positions = &tick.set.positions;
         match exec {
             ExecMode::Sequential => {
                 self.pairs_buf.clear();
                 self.join
-                    .join(positions, &self.queries, &mut self.pairs_buf);
+                    .join_two(tick.centers, tick.data, &self.queries, &mut self.pairs_buf);
                 *pairs += self.pairs_buf.len() as u64;
                 for &(q, r) in &self.pairs_buf {
                     *checksum = fold_pair(*checksum, q, r);
@@ -415,7 +496,8 @@ impl<J: crate::batch::BatchJoin + ?Sized> TickExecutor for BatchExecutor<'_, J> 
             ExecMode::Parallel { threads } => {
                 let (p, c) = par::shard_batch_join(
                     &*self.join,
-                    positions,
+                    tick.centers,
+                    tick.data,
                     &self.queries,
                     threads,
                     &mut self.workers,
@@ -442,7 +524,30 @@ pub fn run_join<W: Workload + ?Sized, I: SpatialIndex + Sync + ?Sized>(
     index: &mut I,
     cfg: DriverConfig,
 ) -> RunStats {
-    drive(workload, &mut IndexExecutor(index), cfg)
+    drive(workload, None, &mut IndexExecutor(index), cfg)
+}
+
+/// Drive a **bipartite** join R ⋈ S: `index` is rebuilt each tick over the
+/// data relation driven by `data_workload` (S), and every live row the
+/// query relation's workload (R) plans as a querier issues one range query
+/// — centred on the R row's position — against it. Each relation updates
+/// through its own workload (velocity changes, churn, movement model); the
+/// two workloads must share the same data space. All other semantics
+/// (phase boundaries, warmup accounting, checksum fold, parallel
+/// equivalence) are identical to [`run_join`] — a self-join is exactly
+/// this with R = S.
+pub fn run_bipartite_join<I: SpatialIndex + Sync + ?Sized>(
+    query_workload: &mut dyn Workload,
+    data_workload: &mut dyn Workload,
+    index: &mut I,
+    cfg: DriverConfig,
+) -> RunStats {
+    drive(
+        data_workload,
+        Some(query_workload),
+        &mut IndexExecutor(index),
+        cfg,
+    )
 }
 
 /// Drive a set-at-a-time join technique ([`crate::batch::BatchJoin`])
@@ -463,7 +568,27 @@ pub fn run_batch_join<W: Workload + ?Sized, J: crate::batch::BatchJoin + ?Sized>
         pairs_buf: Vec::new(),
         workers: Vec::new(),
     };
-    drive(workload, &mut exec, cfg)
+    drive(workload, None, &mut exec, cfg)
+}
+
+/// The bipartite form of [`run_batch_join`]: the tick's whole query set —
+/// one region per live R querier, centred on R positions — is handed to
+/// the technique in one [`crate::batch::BatchJoin::join_two`] call against
+/// the data relation S. See [`run_bipartite_join`] for the relation
+/// semantics.
+pub fn run_bipartite_batch_join<J: crate::batch::BatchJoin + ?Sized>(
+    query_workload: &mut dyn Workload,
+    data_workload: &mut dyn Workload,
+    join: &mut J,
+    cfg: DriverConfig,
+) -> RunStats {
+    let mut exec = BatchExecutor {
+        join,
+        queries: Vec::new(),
+        pairs_buf: Vec::new(),
+        workers: Vec::new(),
+    };
+    drive(data_workload, Some(query_workload), &mut exec, cfg)
 }
 
 #[cfg(test)]
@@ -717,6 +842,147 @@ mod tests {
         let mut idx = ScanIndex::new();
         let stats = run_join(&mut HalfDead, &mut idx, DriverConfig::new(1, 0));
         assert_eq!(stats.result_pairs, 5, "only the 5 live rows match");
+    }
+
+    #[test]
+    fn bipartite_with_identical_relations_matches_the_self_join() {
+        // Two independent copies of the same deterministic workload give R
+        // rows exactly the positions of S rows, so R ⋈ S degenerates to
+        // the self-join: identical pairs, checksum, and query count.
+        let cfg = DriverConfig::new(4, 1);
+        let self_join = {
+            let mut w = ToyWorkload { n: 40 };
+            run_join(&mut w, &mut ScanIndex::new(), cfg)
+        };
+        let bipartite = {
+            let mut r = ToyWorkload { n: 40 };
+            let mut s = ToyWorkload { n: 40 };
+            run_bipartite_join(&mut r, &mut s, &mut ScanIndex::new(), cfg)
+        };
+        assert_eq!(bipartite.result_pairs, self_join.result_pairs);
+        assert_eq!(bipartite.checksum, self_join.checksum);
+        assert_eq!(bipartite.queries, self_join.queries);
+    }
+
+    #[test]
+    fn bipartite_join_probes_the_data_relation_only() {
+        // R: one querier at (50, 50); S: two points nearby plus one far
+        // away. Exactly the two nearby S rows match — R's own row count
+        // never shows up on the result side.
+        struct OneQuerier;
+        impl Workload for OneQuerier {
+            fn space(&self) -> Rect {
+                Rect::space(100.0)
+            }
+            fn query_side(&self) -> f32 {
+                10.0
+            }
+            fn init(&mut self) -> MovingSet {
+                let mut s = MovingSet::default();
+                s.push(Point::new(50.0, 50.0), Vec2::default());
+                s
+            }
+            fn plan_tick(&mut self, _t: u32, _s: &MovingSet, a: &mut TickActions) {
+                a.queriers.push(0);
+            }
+        }
+        struct ThreeData;
+        impl Workload for ThreeData {
+            fn space(&self) -> Rect {
+                Rect::space(100.0)
+            }
+            fn query_side(&self) -> f32 {
+                10.0
+            }
+            fn init(&mut self) -> MovingSet {
+                let mut s = MovingSet::default();
+                s.push(Point::new(48.0, 50.0), Vec2::default());
+                s.push(Point::new(52.0, 50.0), Vec2::default());
+                s.push(Point::new(90.0, 90.0), Vec2::default());
+                s
+            }
+            // Plans queriers to prove the driver drops them: the data
+            // relation never queries in a bipartite join.
+            fn plan_tick(&mut self, _t: u32, set: &MovingSet, a: &mut TickActions) {
+                a.queriers.extend(0..set.len() as EntryId);
+            }
+        }
+        let stats = run_bipartite_join(
+            &mut OneQuerier,
+            &mut ThreeData,
+            &mut ScanIndex::new(),
+            DriverConfig::new(2, 0),
+        );
+        assert_eq!(stats.queries, 2, "one R querier per tick");
+        assert_eq!(stats.result_pairs, 4, "two S matches per tick");
+    }
+
+    #[test]
+    fn bipartite_batch_driver_matches_bipartite_index_driver() {
+        let cfg = DriverConfig::new(3, 1);
+        let indexed = {
+            let (mut r, mut s) = (ToyWorkload { n: 25 }, ToyWorkload { n: 60 });
+            run_bipartite_join(&mut r, &mut s, &mut ScanIndex::new(), cfg)
+        };
+        let batch = {
+            let (mut r, mut s) = (ToyWorkload { n: 25 }, ToyWorkload { n: 60 });
+            run_bipartite_batch_join(&mut r, &mut s, &mut crate::batch::NaiveBatchJoin, cfg)
+        };
+        assert!(indexed.result_pairs > 0);
+        assert_eq!(batch.result_pairs, indexed.result_pairs);
+        assert_eq!(batch.checksum, indexed.checksum);
+        assert_eq!(batch.queries, indexed.queries);
+    }
+
+    #[test]
+    fn bipartite_parallel_exec_matches_sequential_for_both_categories() {
+        let cfg = DriverConfig::new(3, 0);
+        let seq_index = {
+            let (mut r, mut s) = (ToyWorkload { n: 30 }, ToyWorkload { n: 70 });
+            run_bipartite_join(&mut r, &mut s, &mut ScanIndex::new(), cfg)
+        };
+        let seq_batch = {
+            let (mut r, mut s) = (ToyWorkload { n: 30 }, ToyWorkload { n: 70 });
+            run_bipartite_batch_join(&mut r, &mut s, &mut crate::batch::NaiveBatchJoin, cfg)
+        };
+        for n in [2usize, 5] {
+            let par_cfg = cfg.with_exec(ExecMode::parallel(n).unwrap());
+            let par_index = {
+                let (mut r, mut s) = (ToyWorkload { n: 30 }, ToyWorkload { n: 70 });
+                run_bipartite_join(&mut r, &mut s, &mut ScanIndex::new(), par_cfg)
+            };
+            let par_batch = {
+                let (mut r, mut s) = (ToyWorkload { n: 30 }, ToyWorkload { n: 70 });
+                run_bipartite_batch_join(&mut r, &mut s, &mut crate::batch::NaiveBatchJoin, par_cfg)
+            };
+            for (seq, par) in [(&seq_index, &par_index), (&seq_batch, &par_batch)] {
+                assert_eq!(par.result_pairs, seq.result_pairs, "threads = {n}");
+                assert_eq!(par.checksum, seq.checksum, "threads = {n}");
+                assert_eq!(par.queries, seq.queries, "threads = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_only_runs_report_zero_averages_not_nan() {
+        // ticks = 0 (warmup-only): no measured ticks, so every average is
+        // defined as 0.0 — a NaN here would poison the JSON reporter.
+        let mut w = ToyWorkload { n: 10 };
+        let stats = run_join(&mut w, &mut ScanIndex::new(), DriverConfig::new(0, 2));
+        assert!(stats.ticks.is_empty());
+        assert_eq!(stats.result_pairs, 0, "warmup results are discarded");
+        for avg in [
+            stats.avg_tick_seconds(),
+            stats.avg_build_seconds(),
+            stats.avg_query_seconds(),
+            stats.avg_update_seconds(),
+        ] {
+            assert_eq!(avg, 0.0);
+            assert!(avg.is_finite());
+        }
+        let summary = stats.tick_summary();
+        assert_eq!(summary.n, 0);
+        assert_eq!(summary.mean, 0.0);
     }
 
     #[test]

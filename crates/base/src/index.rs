@@ -37,9 +37,29 @@ pub trait SpatialIndex {
         self.for_each_in(table, region, &mut |e| out.push(e));
     }
 
-    /// Bytes of index memory in use after the last build (directory,
-    /// arenas, nodes…), excluding the base table. Used to verify the
-    /// paper's §3.1 footprint arithmetic.
+    /// Bytes of index memory held after the last build, excluding the base
+    /// table.
+    ///
+    /// **Convention: allocated capacity.** Every implementation counts the
+    /// bytes its owned allocations actually hold resident (`Vec::capacity`,
+    /// not `len`) — directory, arenas, nodes, scratch that survives the
+    /// build. Before this was pinned down, implementations mixed live-`len`
+    /// and capacity accounting (and one counted a liveness bitmap the
+    /// others didn't), so footprints were not comparable across techniques.
+    /// Capacity is the honest answer to "what does it cost to keep this
+    /// index around": reused arenas keep their high-water mark between
+    /// builds, and that memory is held whether or not the last build filled
+    /// it.
+    ///
+    /// Two invariants the registry-wide sanity test
+    /// (`tests/memory_accounting.rs`) pins for every index technique:
+    /// the result is **> 0** after a build over a non-empty table (except
+    /// for [`ScanIndex`], which owns nothing and reports 0), and it is
+    /// **monotone** in the population for freshly built instances.
+    ///
+    /// The paper's §3.1 *live structure* arithmetic (bytes per point at a
+    /// given bucket size) is a different quantity; the grid keeps it
+    /// available as `SimpleGrid::live_bytes`.
     fn memory_bytes(&self) -> usize;
 }
 
@@ -84,6 +104,8 @@ impl SpatialIndex for ScanIndex {
     }
 
     fn memory_bytes(&self) -> usize {
+        // The scan owns no allocation at all — the one legitimate zero
+        // under the allocated-capacity convention.
         0
     }
 }

@@ -109,12 +109,18 @@ fn chunk_size(len: usize, threads: NonZeroUsize) -> usize {
 /// (equivalent to folding every pair into that total directly, because the
 /// fold is a commutative wrapping sum).
 ///
+/// `data` is the table the index was built over; `centers` is the table
+/// query regions are centred on. For a self-join they are the same table;
+/// for a bipartite R ⋈ S join (`run_bipartite_join`), `centers` is the
+/// query relation R and `data` the indexed data relation S.
+///
 /// Each worker computes its own query regions, exactly like the sequential
 /// per-query executor: issuing a query, region arithmetic included, is part
 /// of that category's per-query cost.
 pub fn shard_index_query<I: SpatialIndex + Sync + ?Sized>(
     index: &I,
-    positions: &PointTable,
+    data: &PointTable,
+    centers: &PointTable,
     queriers: &[EntryId],
     space: &Rect,
     query_side: f32,
@@ -130,10 +136,10 @@ pub fn shard_index_query<I: SpatialIndex + Sync + ?Sized>(
                     let mut checksum = 0u64;
                     for &q in shard {
                         let region =
-                            Rect::centered_square(positions.point(q), query_side).clipped_to(space);
+                            Rect::centered_square(centers.point(q), query_side).clipped_to(space);
                         // Sink fold, like the sequential executor: no
                         // per-query result materialization in any shard.
-                        index.for_each_in(positions, &region, &mut |r| {
+                        index.for_each_in(data, &region, &mut |r| {
                             pairs += 1;
                             checksum = fold_pair(checksum, q, r);
                         });
@@ -165,14 +171,17 @@ pub struct BatchWorker {
 /// query set into contiguous strips and join each independently on its own
 /// [`BatchWorker`] (private scratch, shared read-only base table; `workers`
 /// grows on demand and is reused across calls). Returns `(pairs, checksum)`
-/// with the same delta semantics as [`shard_index_query`].
+/// with the same delta semantics as [`shard_index_query`]. `queriers` and
+/// `data` are the two relation tables of [`BatchJoin::join_two`] — the
+/// same table twice for a self-join.
 ///
 /// Strips partition the query set, so the union of the strip joins is
 /// exactly the full join and the commutative checksum merge reproduces the
 /// sequential result bit for bit.
 pub fn shard_batch_join<J: BatchJoin + ?Sized>(
     join: &J,
-    table: &PointTable,
+    queriers: &PointTable,
+    data: &PointTable,
     queries: &[(EntryId, Rect)],
     threads: NonZeroUsize,
     workers: &mut Vec<BatchWorker>,
@@ -193,7 +202,7 @@ pub fn shard_batch_join<J: BatchJoin + ?Sized>(
             .map(|(strip, worker)| {
                 scope.spawn(move || {
                     worker.out.clear();
-                    worker.join.join(table, strip, &mut worker.out);
+                    worker.join.join_two(queriers, data, strip, &mut worker.out);
                     let mut checksum = 0u64;
                     for &(q, r) in &worker.out {
                         checksum = fold_pair(checksum, q, r);
@@ -269,7 +278,7 @@ mod tests {
         let expect = sequential_reference(&table, &queriers, &space, 120.0);
         let idx = ScanIndex::new();
         for n in [1, 2, 3, 7, 16, 1000] {
-            let got = shard_index_query(&idx, &table, &queriers, &space, 120.0, threads(n));
+            let got = shard_index_query(&idx, &table, &table, &queriers, &space, 120.0, threads(n));
             assert_eq!(got, expect, "threads = {n}");
         }
     }
@@ -295,7 +304,14 @@ mod tests {
         // state between calls.
         let mut workers = Vec::new();
         for n in [1, 2, 3, 7, 64] {
-            let got = shard_batch_join(&NaiveBatchJoin, &table, &queries, threads(n), &mut workers);
+            let got = shard_batch_join(
+                &NaiveBatchJoin,
+                &table,
+                &table,
+                &queries,
+                threads(n),
+                &mut workers,
+            );
             assert_eq!(got, (expect_pairs, expect_checksum), "threads = {n}");
         }
     }
@@ -306,11 +322,18 @@ mod tests {
         let space = Rect::space(SIDE);
         let idx = ScanIndex::new();
         assert_eq!(
-            shard_index_query(&idx, &table, &[], &space, 50.0, threads(4)),
+            shard_index_query(&idx, &table, &table, &[], &space, 50.0, threads(4)),
             (0, 0)
         );
         assert_eq!(
-            shard_batch_join(&NaiveBatchJoin, &table, &[], threads(4), &mut Vec::new()),
+            shard_batch_join(
+                &NaiveBatchJoin,
+                &table,
+                &table,
+                &[],
+                threads(4),
+                &mut Vec::new()
+            ),
             (0, 0)
         );
     }

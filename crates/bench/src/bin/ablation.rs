@@ -49,6 +49,7 @@ fn report(
 
 fn main() {
     let opts = CommonOpts::parse();
+    opts.require_self_join("ablation");
     if let Some(spec) = opts.technique {
         // the ablations compare fixed technique pairs; a single-technique override cannot be honored.
         eprintln!(

@@ -1,0 +1,173 @@
+//! Asymmetry sweep — the bipartite R ⋈ S join across population ratios.
+//!
+//! The canonical two-dataset setting of the related work (Tsitsigkos &
+//! Mamoulis, *Parallel In-Memory Evaluation of Spatial Joins*) is a small,
+//! fast query relation probing a large data relation. This binary sweeps
+//! |R|/|S| ∈ {1/100, 1/10, 1, 10} for every benchmarkable technique and
+//! reports the per-tick phase breakdown per cell; each cell's join is
+//! asserted scan-equal (same checksum and pair count as the quadratic
+//! reference) before its timing is trusted.
+//!
+//! The relation workloads come from `--join` (default
+//! `bipartite:uniformxuniform`); a spec with an explicit `:ratio<K>`
+//! restricts the sweep to the |R|/|S| = 1/K cell. `--points N` sets the
+//! larger relation's population — the smaller relation scales with the
+//! ratio — and R's seed is decorrelated from S's exactly as
+//! [`JoinSpec::query_rel_params`] does for the registry runners.
+//!
+//! Run: `cargo run -p sj-bench --release --bin asymmetry
+//! [--join bipartite:<R>x<S>[:ratio<K>]] [--ticks N] [--threads N] [--csv|--json]`
+
+use sj_bench::cli::CommonOpts;
+use sj_bench::report::stats_line;
+use sj_bench::table::{secs, Table};
+use sj_bench::warmup_for;
+use sj_core::driver::{DriverConfig, RunStats};
+use sj_core::par::ExecMode;
+use sj_core::technique::{TechniqueKind, TechniqueSpec};
+use sj_workload::{JoinSpec, WorkloadParams, WorkloadSpec};
+
+/// The swept |R|/|S| cells: `(label, r_scale, s_scale)` — each relation's
+/// population is `points / scale`, so the larger relation always runs at
+/// the configured `--points`.
+const RATIOS: [(&str, u32, u32); 4] = [
+    ("1/100", 100, 1),
+    ("1/10", 10, 1),
+    ("1", 1, 1),
+    ("10", 1, 10),
+];
+
+/// Build the two relations at explicit populations and run one cell. The
+/// seed decorrelation comes from [`JoinSpec::query_rel_params`], so the
+/// 1/K cells here are bit-identical to `run_joined_spec` with `:ratio<K>`.
+fn run_cell(
+    r_spec: WorkloadSpec,
+    s_spec: WorkloadSpec,
+    r_points: u32,
+    s_points: u32,
+    params: &WorkloadParams,
+    tech: TechniqueSpec,
+    exec: ExecMode,
+) -> RunStats {
+    let r_params = WorkloadParams {
+        num_points: r_points,
+        ..JoinSpec::bipartite(r_spec, s_spec).query_rel_params(*params)
+    };
+    let s_params = WorkloadParams {
+        num_points: s_points,
+        ..*params
+    };
+    let mut r = r_spec.build(r_params);
+    let mut s = s_spec.build(s_params);
+    let cfg = DriverConfig::new(params.ticks, warmup_for(params.ticks)).with_exec(exec);
+    tech.build(params.space_side)
+        .run_bipartite(&mut *r, &mut *s, cfg)
+}
+
+fn main() {
+    let opts = CommonOpts::parse();
+    let params = opts.uniform_params();
+    let exec = opts.exec_mode();
+
+    if let Some(w) = opts.workload {
+        // The relation workloads come from the --join spec; a lone
+        // --workload would be silently ignored here, so reject it.
+        eprintln!(
+            "--workload {} is not supported by asymmetry: name the relation \
+             workloads in the join spec instead (--join bipartite:<R>x<S>)",
+            w.name()
+        );
+        std::process::exit(2);
+    }
+    let (r_spec, s_spec, pinned_ratio) = match opts.join_spec() {
+        JoinSpec::SelfJoin => {
+            if opts.join.is_some() {
+                eprintln!("--join self is not supported: asymmetry sweeps bipartite joins only");
+                std::process::exit(2);
+            }
+            let uniform = WorkloadSpec::parse("uniform").unwrap();
+            (uniform, uniform, None)
+        }
+        // An explicit :ratio<K> pins the sweep to the |R|/|S| = 1/K cell.
+        JoinSpec::Bipartite { r, s, ratio } => (r, s, (ratio.get() != 1).then_some(ratio.get())),
+    };
+    let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
+
+    if !opts.json {
+        println!(
+            "# Asymmetry: bipartite {} \u{22c8} {}, larger relation at {} points",
+            r_spec.name(),
+            s_spec.name(),
+            params.num_points,
+        );
+    }
+    let mut t = Table::new(vec![
+        "|R|/|S|",
+        "Method",
+        "Build (s)",
+        "Query (s)",
+        "Update (s)",
+    ]);
+    // The cells to run: the standard sweep, or — for a pinned :ratio<K>
+    // (any K, not just the swept ones) — that single |R| = |S|/K cell.
+    let pinned_label;
+    let cells: Vec<(&str, u32, u32)> = match pinned_ratio {
+        None => RATIOS.to_vec(),
+        Some(k) => {
+            pinned_label = format!("1/{k}");
+            vec![(pinned_label.as_str(), k, 1)]
+        }
+    };
+    for (label, r_scale, s_scale) in cells {
+        let r_points = (params.num_points / r_scale).max(1);
+        let s_points = (params.num_points / s_scale).max(1);
+
+        // Per-cell scan-equality gate: every technique must compute the
+        // reference join bit for bit before its timing means anything.
+        let reference = run_cell(
+            r_spec,
+            s_spec,
+            r_points,
+            s_points,
+            &params,
+            TechniqueKind::Scan.spec(),
+            exec,
+        );
+        assert!(
+            reference.result_pairs > 0,
+            "ratio {label}: reference join found nothing"
+        );
+
+        for spec in &specs {
+            let stats = run_cell(r_spec, s_spec, r_points, s_points, &params, *spec, exec);
+            assert_eq!(
+                (stats.checksum, stats.result_pairs),
+                (reference.checksum, reference.result_pairs),
+                "ratio {label}: {} disagrees with the scan",
+                spec.name()
+            );
+            if opts.json {
+                println!(
+                    "{}",
+                    stats_line(
+                        "asymmetry",
+                        &spec.name(),
+                        Some(("r_over_s", s_scale as f64 / r_scale as f64)),
+                        &stats
+                    )
+                );
+            } else {
+                t.row(vec![
+                    label.to_string(),
+                    spec.label(),
+                    secs(stats.avg_build_seconds()),
+                    secs(stats.avg_query_seconds()),
+                    secs(stats.avg_update_seconds()),
+                ]);
+            }
+        }
+    }
+    if !opts.json {
+        println!("{}", t.render(opts.csv));
+    }
+}

@@ -28,6 +28,7 @@ fn headers(specs: &[TechniqueSpec]) -> Vec<String> {
 
 fn main() {
     let opts = CommonOpts::parse();
+    opts.require_self_join("fig2");
     let specs = opts.techniques(TechniqueSpec::in_figure2);
     if let Some(w) = opts.workload {
         // fig2 sweeps its own workload axes (query rate, hotspots, points).

@@ -24,6 +24,7 @@ fn headers(specs: &[TechniqueSpec]) -> Vec<String> {
 
 fn main() {
     let opts = CommonOpts::parse();
+    opts.require_self_join("fig4");
     let specs = opts.techniques(|s| s.grid_stage().is_some());
     if let Some(w) = opts.workload {
         // fig4 sweeps its own workload axes (query rate, hotspots, points).

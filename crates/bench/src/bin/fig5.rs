@@ -17,6 +17,7 @@ use sj_grid::{GridConfig, Layout, QueryAlgo};
 
 fn main() {
     let opts = CommonOpts::parse();
+    opts.require_self_join("fig5");
     if let Some(spec) = opts.technique {
         // fig5 sweeps fixed grid configurations; a single-technique override cannot be honored.
         eprintln!(

@@ -30,6 +30,7 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
     let opts = CommonOpts::parse();
+    opts.require_self_join("scaling");
     let params = opts.uniform_params();
     let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
     let wspec = opts.workload_spec();

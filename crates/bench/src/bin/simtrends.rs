@@ -19,6 +19,7 @@ use sj_workload::RoadGridWorkload;
 
 fn main() {
     let opts = CommonOpts::parse();
+    opts.require_self_join("simtrends");
     if let Some(w) = opts.workload {
         // simtrends exists to test the road-grid workload specifically.
         eprintln!("--workload {} is not supported by this binary", w.name());

@@ -13,12 +13,15 @@
 //!
 //! `--workload SPEC` swaps the population model (default `uniform`);
 //! `churn:*` specs add arrival/departure cost to the update column.
+//! `--join SPEC` swaps the join shape: `bipartite:<R>x<S>[:ratio<K>]`
+//! breaks the table down for an R ⋈ S join over two independent
+//! relations instead of the paper's self-join.
 //!
 //! Run: `cargo run -p sj-bench --release --bin table2 [--ticks N] [--workload SPEC] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
 use sj_bench::report::stats_line;
-use sj_bench::run_workload_spec;
+use sj_bench::run_joined_spec;
 use sj_bench::table::{secs, Table};
 use sj_core::technique::TechniqueSpec;
 
@@ -27,19 +30,21 @@ fn main() {
     let params = opts.uniform_params();
     let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
     let wspec = opts.workload_spec();
+    let jspec = opts.join_spec();
     let exec = opts.exec_mode();
 
     if !opts.json {
         println!(
-            "# Table 2: breakdown, {}% queries and updates, {} points, {} workload",
+            "# Table 2: breakdown, {}% queries and updates, {} points, {} workload, {} join",
             (params.frac_queriers * 100.0) as u32,
             params.num_points,
-            wspec.name()
+            wspec.name(),
+            jspec.name()
         );
     }
     let mut t = Table::new(vec!["Method", "Build (s)", "Query (s)", "Update (s)"]);
     for spec in specs {
-        let stats = run_workload_spec(wspec, &params, spec, exec);
+        let stats = run_joined_spec(jspec, wspec, &params, spec, exec);
         if opts.json {
             println!("{}", stats_line("table2", &spec.name(), None, &stats));
         } else {

@@ -62,6 +62,7 @@ fn profile_stage(stage: Stage, opts: &CommonOpts) -> CacheStats {
 
 fn main() {
     let opts = CommonOpts::parse();
+    opts.require_self_join("table3");
     if let Some(w) = opts.workload {
         // table3's traced tick loop is tied to the uniform workload.
         eprintln!("--workload {} is not supported by this binary", w.name());

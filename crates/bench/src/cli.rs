@@ -11,8 +11,8 @@ use std::num::NonZeroUsize;
 use sj_core::par::ExecMode;
 use sj_core::technique::{registry, ParseSpecError, TechniqueSpec};
 use sj_workload::{
-    workload_registry, GaussianParams, ParseWorkloadError, WorkloadKind, WorkloadParams,
-    WorkloadSpec,
+    workload_registry, GaussianParams, JoinSpec, ParseJoinError, ParseWorkloadError, WorkloadKind,
+    WorkloadParams, WorkloadSpec,
 };
 
 /// Options common to every harness binary.
@@ -41,6 +41,14 @@ pub struct CommonOpts {
     /// `gaussian:h3` or `churn:uniform`). Binaries whose sweep is tied to
     /// one workload family reject the flag; the rest default to `uniform`.
     pub workload: Option<WorkloadSpec>,
+    /// Drive the run through a named join shape (`--join SPEC`): `self`
+    /// (default, the paper's setting) or `bipartite:<R>x<S>[:ratio<K>]`,
+    /// which joins an independent query relation R against the data
+    /// relation S. For bipartite specs the relation workloads come from
+    /// the spec itself and `--workload` is rejected (one configuration
+    /// source per axis). Binaries whose sweep is intrinsically
+    /// self-joined reject non-`self` specs.
+    pub join: Option<JoinSpec>,
     /// `--list-techniques`: print the technique registry's canonical spec
     /// strings (one per line) and exit 0.
     pub list_techniques: bool,
@@ -66,6 +74,11 @@ pub enum CliError {
     UnknownTechnique(ParseSpecError),
     /// `--workload` named a spec outside the workload grammar.
     UnknownWorkload(ParseWorkloadError),
+    /// `--join` named a spec outside the join grammar.
+    UnknownJoin(ParseJoinError),
+    /// `--join bipartite:…` combined with `--workload`: the bipartite spec
+    /// already names both relation workloads.
+    JoinWorkloadConflict,
     /// An unrecognized argument.
     UnknownFlag(String),
 }
@@ -80,6 +93,11 @@ impl std::fmt::Display for CliError {
             }
             CliError::UnknownTechnique(e) => write!(f, "{e}"),
             CliError::UnknownWorkload(e) => write!(f, "{e}"),
+            CliError::UnknownJoin(e) => write!(f, "{e}"),
+            CliError::JoinWorkloadConflict => f.write_str(
+                "--workload cannot be combined with a bipartite --join: the join spec \
+                 already names both relation workloads (bipartite:<R>x<S>)",
+            ),
             CliError::UnknownFlag(arg) => write!(f, "unknown argument: {arg} (try --help)"),
         }
     }
@@ -101,6 +119,8 @@ pub fn usage() -> String {
          any spec accepts a parallel modifier, e.g. grid:inline@par8\n  \
          --workload SPEC   drive the run through a named workload; SPEC one of:\n                    {}\n                    \
          (gaussian:h<N> takes any hotspot count; churn: prefixes any base spec)\n  \
+         --join SPEC       join shape: self (default) or bipartite:<R>x<S>[:ratio<K>]\n                    \
+         (R/S are workload specs; ratio<K> shrinks the query relation to 1/K)\n  \
          --list-techniques print the technique registry spec strings and exit\n  \
          --list-workloads  print the workload registry spec strings and exit\n  \
          --csv             machine-readable CSV output\n  \
@@ -172,6 +192,10 @@ impl CommonOpts {
                     opts.workload =
                         Some(WorkloadSpec::parse(&spec).map_err(CliError::UnknownWorkload)?);
                 }
+                "--join" => {
+                    let spec = take("--join")?;
+                    opts.join = Some(JoinSpec::parse(&spec).map_err(CliError::UnknownJoin)?);
+                }
                 "--list-techniques" => opts.list_techniques = true,
                 "--list-workloads" => opts.list_workloads = true,
                 "--csv" => opts.csv = true,
@@ -180,6 +204,9 @@ impl CommonOpts {
                 "--help" | "-h" => return Err(CliError::Help),
                 other => return Err(CliError::UnknownFlag(other.to_string())),
             }
+        }
+        if opts.workload.is_some() && !opts.join_spec().is_self() {
+            return Err(CliError::JoinWorkloadConflict);
         }
         Ok(opts)
     }
@@ -215,10 +242,34 @@ impl CommonOpts {
     }
 
     /// The workload this invocation asks for: the `--workload` spec if
-    /// given, else the Table 1 uniform workload.
+    /// given, else the Table 1 uniform workload. Only meaningful for
+    /// self-joins — a bipartite [`CommonOpts::join_spec`] names its own
+    /// relation workloads.
     pub fn workload_spec(&self) -> WorkloadSpec {
         self.workload
             .unwrap_or_else(|| WorkloadKind::Uniform.spec())
+    }
+
+    /// The join shape this invocation asks for: the `--join` spec if
+    /// given, else the paper's self-join.
+    pub fn join_spec(&self) -> JoinSpec {
+        self.join.unwrap_or(JoinSpec::SelfJoin)
+    }
+
+    /// Exit with a usage error when a bipartite `--join` was requested —
+    /// for binaries whose sweep is intrinsically self-joined (their axis
+    /// *is* the single population). Call at the top of `main`.
+    pub fn require_self_join(&self, bin: &str) {
+        if let Some(j) = self.join {
+            if !j.is_self() {
+                eprintln!(
+                    "--join {} is not supported by {bin}: its sweep is tied to a \
+                     single self-joined population (use table2 or asymmetry)",
+                    j.name()
+                );
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Table 1 uniform defaults with this CLI's overrides applied.
@@ -385,6 +436,7 @@ mod tests {
             assert!(u.contains(&spec.name()), "usage missing {}", spec.name());
         }
         assert!(u.contains("--list-techniques") && u.contains("--list-workloads"));
+        assert!(u.contains("--join") && u.contains("bipartite:<R>x<S>"));
     }
 
     #[test]
@@ -405,6 +457,42 @@ mod tests {
             parse(&["--workload"]).err(),
             Some(CliError::MissingValue("--workload".into()))
         );
+    }
+
+    #[test]
+    fn join_flag_parses_the_join_grammar() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.join, None);
+        assert!(opts.join_spec().is_self());
+        let opts = parse(&["--join", "self"]).unwrap();
+        assert!(opts.join_spec().is_self());
+        let opts = parse(&["--join", "bipartite:uniformxgaussian:h3:ratio10"]).unwrap();
+        let spec = opts.join.unwrap();
+        assert!(!spec.is_self());
+        assert_eq!(spec.name(), "bipartite:uniformxgaussian:h3:ratio10");
+        assert_eq!(opts.join_spec(), spec);
+        match parse(&["--join", "bipartite:nope"]) {
+            Err(CliError::UnknownJoin(e)) => assert_eq!(e.spec, "bipartite:nope"),
+            other => panic!("expected UnknownJoin, got {other:?}"),
+        }
+        assert_eq!(
+            parse(&["--join"]).err(),
+            Some(CliError::MissingValue("--join".into()))
+        );
+        // A bipartite join names its own relation workloads; a
+        // simultaneous --workload would be a second configuration source.
+        assert_eq!(
+            parse(&[
+                "--join",
+                "bipartite:uniformxuniform",
+                "--workload",
+                "uniform"
+            ])
+            .err(),
+            Some(CliError::JoinWorkloadConflict)
+        );
+        // --workload remains fine with the (default or explicit) self join.
+        assert!(parse(&["--join", "self", "--workload", "uniform"]).is_ok());
     }
 
     #[test]

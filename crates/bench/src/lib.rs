@@ -15,7 +15,9 @@ use sj_core::driver::{DriverConfig, RunStats};
 use sj_core::par::ExecMode;
 use sj_core::technique::{Technique, TechniqueSpec};
 use sj_grid::{GridConfig, SimpleGrid};
-use sj_workload::{GaussianParams, GaussianWorkload, WorkloadKind, WorkloadParams, WorkloadSpec};
+use sj_workload::{
+    GaussianParams, GaussianWorkload, JoinSpec, WorkloadKind, WorkloadParams, WorkloadSpec,
+};
 
 pub mod cli;
 pub mod report;
@@ -48,6 +50,46 @@ pub fn run_workload_spec(
     exec: ExecMode,
 ) -> RunStats {
     run_workload(wspec, params, &mut spec.build(params.space_side), exec)
+}
+
+/// Drive `technique` through the join shape named by `jspec` (binaries
+/// pass [`cli::CommonOpts::join_spec`]): the self-join over `wspec` for
+/// [`JoinSpec::SelfJoin`], or — for a bipartite spec — an R ⋈ S run over
+/// the spec's own relation workloads built from the shared `params`
+/// (`wspec` is then unused; the CLI layer rejects the combination).
+pub fn run_joined(
+    jspec: JoinSpec,
+    wspec: WorkloadSpec,
+    params: &WorkloadParams,
+    technique: &mut Technique,
+    exec: ExecMode,
+) -> RunStats {
+    match jspec.build_pair(*params) {
+        None => run_workload(wspec, params, technique, exec),
+        Some((mut r, mut s)) => {
+            params.validate().expect("invalid workload parameters");
+            let cfg = DriverConfig::new(params.ticks, warmup_for(params.ticks)).with_exec(exec);
+            technique.run_bipartite(&mut *r, &mut *s, cfg)
+        }
+    }
+}
+
+/// Instantiate the technique fresh and drive it through the join shape —
+/// the technique × workload × join harness entry point.
+pub fn run_joined_spec(
+    jspec: JoinSpec,
+    wspec: WorkloadSpec,
+    params: &WorkloadParams,
+    spec: TechniqueSpec,
+    exec: ExecMode,
+) -> RunStats {
+    run_joined(
+        jspec,
+        wspec,
+        params,
+        &mut spec.build(params.space_side),
+        exec,
+    )
 }
 
 /// [`run_workload`] over the Table 1 uniform workload.
@@ -86,7 +128,11 @@ pub fn grid_custom(cfg: GridConfig, space_side: f32) -> Technique {
     Technique::index(Box::new(SimpleGrid::new(cfg, space_side)))
 }
 
-fn warmup_for(ticks: u32) -> u32 {
+/// The harness's warmup policy: 10 % of the measured ticks, clamped to
+/// [1, 5]. Shared by every runner here and by binaries that drive the
+/// driver directly (e.g. `asymmetry`'s hand-built relation pairs), so all
+/// harness numbers discard cold-start effects identically.
+pub fn warmup_for(ticks: u32) -> u32 {
     (ticks / 10).clamp(1, 5)
 }
 
@@ -197,6 +243,33 @@ mod tests {
                 wspec.name()
             );
         }
+    }
+
+    #[test]
+    fn joined_runner_dispatches_both_shapes() {
+        use sj_workload::{JoinSpec, WorkloadSpec};
+        let params = quick_params();
+        let wspec = WorkloadKind::Uniform.spec();
+        let grid = TechniqueKind::Grid(sj_grid::Stage::CpsTuned).spec();
+        // Self shape == the plain workload runner.
+        let via_join = run_joined_spec(JoinSpec::SelfJoin, wspec, &params, grid, SEQ);
+        let direct = run_workload_spec(wspec, &params, grid, SEQ);
+        assert_eq!(via_join.checksum, direct.checksum);
+        assert_eq!(via_join.result_pairs, direct.result_pairs);
+        // Bipartite shape: scan-equal across techniques, R shrunk by the
+        // ratio (queries per tick = |R| x frac_queriers on expectation —
+        // just pin the query count against the reference run).
+        let jspec = JoinSpec::bipartite(
+            WorkloadSpec::parse("uniform").unwrap(),
+            WorkloadSpec::parse("gaussian:h3").unwrap(),
+        );
+        let reference = run_joined_spec(jspec, wspec, &params, TechniqueKind::Scan.spec(), SEQ);
+        assert!(reference.result_pairs > 0);
+        let gridded = run_joined_spec(jspec, wspec, &params, grid, SEQ);
+        assert_eq!(gridded.checksum, reference.checksum);
+        assert_eq!(gridded.queries, reference.queries);
+        // And the bipartite join is a genuinely different computation.
+        assert_ne!(reference.checksum, direct.checksum);
     }
 
     #[test]

@@ -164,6 +164,20 @@ mod tests {
     }
 
     #[test]
+    fn zero_tick_runs_emit_finite_zero_averages() {
+        // A warmup-only (ticks = 0) run has no measured ticks; the
+        // averages are defined as 0.0 — `num`'s finite-number assertion
+        // would reject the NaN an unguarded empty mean produces.
+        let stats = RunStats::default();
+        assert!(stats.ticks.is_empty());
+        let line = JsonLine::new("t").stats(&stats).finish();
+        for key in ["avg_tick_s", "build_s", "query_s", "update_s"] {
+            assert!(line.contains(&format!("\"{key}\":0")), "{line}");
+        }
+        assert!(!line.contains("NaN") && !line.contains("null"), "{line}");
+    }
+
+    #[test]
     fn stats_line_carries_the_optional_sweep_field() {
         let stats = RunStats::default();
         let with = stats_line("fig2a", "binsearch", Some(("frac_queriers", 0.5)), &stats);

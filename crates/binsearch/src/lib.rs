@@ -97,7 +97,8 @@ impl SpatialIndex for BinarySearchJoin {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.sorted.len() * std::mem::size_of::<EntryId>()
+        // Allocated-capacity convention (see the trait docs).
+        self.sorted.capacity() * std::mem::size_of::<EntryId>()
     }
 }
 
@@ -160,7 +161,10 @@ impl SpatialIndex for VecSearchJoin {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.xs.len() * 4 + self.ys.len() * 4 + self.ids.len() * std::mem::size_of::<EntryId>()
+        // Allocated-capacity convention (see the trait docs).
+        self.xs.capacity() * 4
+            + self.ys.capacity() * 4
+            + self.ids.capacity() * std::mem::size_of::<EntryId>()
     }
 }
 
@@ -256,11 +260,13 @@ mod tests {
     }
 
     #[test]
-    fn memory_is_one_handle_per_point() {
+    fn memory_is_at_least_one_handle_per_point() {
+        // Capacity-based accounting: the footprint covers at least the 100
+        // live handles (4 bytes each); the allocator may round capacity up.
         let t = random_table(100, 1, 10.0);
         let mut idx = BinarySearchJoin::new();
         idx.build(&t);
-        assert_eq!(idx.memory_bytes(), 400);
+        assert!(idx.memory_bytes() >= 400, "{}", idx.memory_bytes());
     }
 
     #[test]

@@ -60,7 +60,8 @@ pub mod technique;
 
 pub use batch::{BatchJoin, NaiveBatchJoin};
 pub use driver::{
-    run_batch_join, run_join, DriverConfig, RunStats, TickActions, TickTimes, Workload,
+    run_batch_join, run_bipartite_batch_join, run_bipartite_join, run_join, DriverConfig, RunStats,
+    TickActions, TickTimes, Workload,
 };
 pub use geom::{Point, Rect, Vec2};
 pub use index::{ScanIndex, SpatialIndex};

@@ -24,7 +24,10 @@ use std::fmt;
 use std::num::NonZeroUsize;
 
 use sj_base::batch::BatchJoin;
-use sj_base::driver::{run_batch_join, run_join, DriverConfig, RunStats, Workload};
+use sj_base::driver::{
+    run_batch_join, run_bipartite_batch_join, run_bipartite_join, run_join, DriverConfig, RunStats,
+    Workload,
+};
 use sj_base::index::{ScanIndex, SpatialIndex};
 use sj_base::par::ExecMode;
 use sj_binsearch::{BinarySearchJoin, VecSearchJoin};
@@ -111,6 +114,29 @@ impl Technique {
         match &mut self.imp {
             Impl::Index(i) => run_join(workload, i.as_mut(), cfg),
             Impl::Batch(j) => run_batch_join(workload, j.as_mut(), cfg),
+        }
+    }
+
+    /// Drive this technique through a **bipartite** join R ⋈ S:
+    /// `query_workload` drives the query relation R (one range query per
+    /// planned live row, centred on that row), `data_workload` the data
+    /// relation S (what indexes build over and joins probe). Same
+    /// category dispatch and exec-mode promotion as [`Technique::run`];
+    /// index techniques need no per-implementation support — they build
+    /// over S and are probed from R — and batch techniques go through
+    /// [`sj_base::batch::BatchJoin::join_two`].
+    pub fn run_bipartite(
+        &mut self,
+        query_workload: &mut dyn Workload,
+        data_workload: &mut dyn Workload,
+        cfg: DriverConfig,
+    ) -> RunStats {
+        let cfg = cfg.with_exec(cfg.exec.or(self.exec));
+        match &mut self.imp {
+            Impl::Index(i) => run_bipartite_join(query_workload, data_workload, i.as_mut(), cfg),
+            Impl::Batch(j) => {
+                run_bipartite_batch_join(query_workload, data_workload, j.as_mut(), cfg)
+            }
         }
     }
 
@@ -641,6 +667,72 @@ mod tests {
         assert!(t.as_index_mut().is_some());
         assert!(Technique::from_spec("nope", 1_000.0).is_err());
         assert!(Technique::from_spec("grid:inline@par0", 1_000.0).is_err());
+    }
+
+    #[test]
+    fn every_registry_technique_runs_bipartite_and_agrees() {
+        use sj_base::driver::TickActions;
+        use sj_base::geom::{Point, Rect, Vec2};
+        use sj_base::table::MovingSet;
+
+        // R and S with different sizes and offset placements; every
+        // technique — both categories — must compute the identical R ⋈ S.
+        struct GridPoints {
+            n: u32,
+            stride: f32,
+            query: bool,
+        }
+        impl Workload for GridPoints {
+            fn space(&self) -> Rect {
+                Rect::space(100.0)
+            }
+            fn query_side(&self) -> f32 {
+                25.0
+            }
+            fn init(&mut self) -> MovingSet {
+                let mut s = MovingSet::default();
+                for i in 0..self.n {
+                    let t = (i as f32 * self.stride) % 100.0;
+                    s.push(Point::new(t, (t * 3.0 + 7.0) % 100.0), Vec2::new(1.0, 0.5));
+                }
+                s
+            }
+            fn plan_tick(&mut self, _t: u32, set: &MovingSet, a: &mut TickActions) {
+                if self.query {
+                    a.queriers.extend(0..set.len() as u32);
+                }
+            }
+        }
+
+        let cfg = DriverConfig::new(2, 0);
+        let mut reference = None;
+        for spec in registry() {
+            for exec in [ExecMode::Sequential, par(3)] {
+                let mut r = GridPoints {
+                    n: 12,
+                    stride: 13.0,
+                    query: true,
+                };
+                let mut s = GridPoints {
+                    n: 70,
+                    stride: 3.0,
+                    query: false,
+                };
+                let mut tech = spec.with_exec(exec).build(100.0);
+                let stats = tech.run_bipartite(&mut r, &mut s, cfg);
+                assert!(stats.result_pairs > 0, "{}", spec.name());
+                assert_eq!(stats.queries, 2 * 12, "{}", spec.name());
+                match reference {
+                    None => reference = Some((stats.result_pairs, stats.checksum)),
+                    Some(expect) => assert_eq!(
+                        (stats.result_pairs, stats.checksum),
+                        expect,
+                        "{} ({exec}) computed a different bipartite join",
+                        spec.name()
+                    ),
+                }
+            }
+        }
     }
 
     #[test]

@@ -253,11 +253,12 @@ impl SpatialIndex for CRTree {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.nodes.len() * std::mem::size_of::<Node>()
-            + self.child_qmbrs.len() * std::mem::size_of::<Qmbr>()
-            + self.leaf_qx.len()
-            + self.leaf_qy.len()
-            + self.leaf_id.len() * std::mem::size_of::<EntryId>()
+        // Allocated-capacity convention (see the trait docs).
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.child_qmbrs.capacity() * std::mem::size_of::<Qmbr>()
+            + self.leaf_qx.capacity()
+            + self.leaf_qy.capacity()
+            + self.leaf_id.capacity() * std::mem::size_of::<EntryId>()
     }
 }
 

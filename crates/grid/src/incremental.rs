@@ -358,13 +358,17 @@ impl SpatialIndex for IncrementalGrid {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.cells.len() * 8
-            + self.buckets.len() * 8
-            + self.loc_bucket.len() * 8
-            + self.loc_slot.len() * 4
-            + self.prev_x.len() * 4
-            + self.prev_y.len() * 4
-            + self.prev_live.len()
+        // Allocated-capacity convention (see the trait docs): every arena
+        // the incremental structure keeps resident between ticks — the
+        // directory, bucket arena, locator maps, and the previous-tick
+        // position/liveness shadow it diffs against.
+        self.cells.capacity() * 8
+            + self.buckets.capacity() * 8
+            + self.loc_bucket.capacity() * 8
+            + self.loc_slot.capacity() * 4
+            + self.prev_x.capacity() * 4
+            + self.prev_y.capacity() * 4
+            + self.prev_live.capacity()
     }
 }
 

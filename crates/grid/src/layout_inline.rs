@@ -154,8 +154,16 @@ impl InlineStore {
         }
     }
 
-    pub fn memory_bytes(&self) -> usize {
+    /// Live structure bytes (paper §3.1 arithmetic); the trait-level
+    /// footprint uses [`InlineStore::allocated_bytes`].
+    pub fn live_bytes(&self) -> usize {
         (self.cells.len() + self.buckets.len()) * std::mem::size_of::<u64>()
+    }
+
+    /// Bytes the arenas hold resident (allocated capacity — the
+    /// workspace-wide footprint convention).
+    pub fn allocated_bytes(&self) -> usize {
+        (self.cells.capacity() + self.buckets.capacity()) * std::mem::size_of::<u64>()
     }
 
     pub fn num_buckets(&self) -> usize {
@@ -287,8 +295,16 @@ impl InlineCoordsStore {
         }
     }
 
-    pub fn memory_bytes(&self) -> usize {
+    /// Live structure bytes (paper §3.1 arithmetic); the trait-level
+    /// footprint uses [`InlineCoordsStore::allocated_bytes`].
+    pub fn live_bytes(&self) -> usize {
         (self.cells.len() + self.buckets.len()) * std::mem::size_of::<u64>()
+    }
+
+    /// Bytes the arenas hold resident (allocated capacity — the
+    /// workspace-wide footprint convention).
+    pub fn allocated_bytes(&self) -> usize {
+        (self.cells.capacity() + self.buckets.capacity()) * std::mem::size_of::<u64>()
     }
 }
 
@@ -348,7 +364,8 @@ mod tests {
         for e in 0..100 {
             s.insert(0, e, &mut NullTracer);
         }
-        assert_eq!(s.memory_bytes(), 25 * (16 + 4 * 8) + 8);
+        assert_eq!(s.live_bytes(), 25 * (16 + 4 * 8) + 8);
+        assert!(s.allocated_bytes() >= s.live_bytes());
     }
 
     #[test]

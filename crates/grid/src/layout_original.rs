@@ -216,10 +216,18 @@ impl OriginalStore {
         }
     }
 
-    /// Bytes held in the three arenas (capacity is deliberately excluded;
-    /// the paper's arithmetic concerns live structure size).
-    pub fn memory_bytes(&self) -> usize {
+    /// *Live* structure bytes in the three arenas (capacity excluded) —
+    /// the paper's §3.1 arithmetic. The trait-level footprint
+    /// (`SpatialIndex::memory_bytes`) uses [`OriginalStore::allocated_bytes`].
+    pub fn live_bytes(&self) -> usize {
         (self.cells.len() + self.buckets.len() + self.nodes.len()) * std::mem::size_of::<u64>()
+    }
+
+    /// Bytes the arenas hold resident (allocated capacity — the
+    /// workspace-wide footprint convention).
+    pub fn allocated_bytes(&self) -> usize {
+        (self.cells.capacity() + self.buckets.capacity() + self.nodes.capacity())
+            * std::mem::size_of::<u64>()
     }
 
     pub fn num_buckets(&self) -> usize {
@@ -299,7 +307,8 @@ mod tests {
         for e in 0..100 {
             s.insert(0, e, &mut NullTracer);
         }
-        assert_eq!(s.memory_bytes(), 100 * 24 + 25 * 32 + 16);
+        assert_eq!(s.live_bytes(), 100 * 24 + 25 * 32 + 16);
+        assert!(s.allocated_bytes() >= s.live_bytes());
     }
 
     #[test]

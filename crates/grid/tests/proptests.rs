@@ -81,11 +81,15 @@ proptest! {
 
         let mut orig = SimpleGrid::new(cfg(Layout::Original), SIDE);
         orig.build(&t);
-        prop_assert_eq!(orig.memory_bytes(), n * 24 + buckets * 32 + 16);
+        prop_assert_eq!(orig.live_bytes(), n * 24 + buckets * 32 + 16);
+        // The trait-level footprint counts allocated capacity, so it can
+        // only be at or above the live structure size.
+        prop_assert!(orig.memory_bytes() >= orig.live_bytes());
 
         let mut inl = SimpleGrid::new(cfg(Layout::Inline), SIDE);
         inl.build(&t);
-        prop_assert_eq!(inl.memory_bytes(), buckets * (16 + 8 * bs as usize) + 8);
+        prop_assert_eq!(inl.live_bytes(), buckets * (16 + 8 * bs as usize) + 8);
+        prop_assert!(inl.memory_bytes() >= inl.live_bytes());
     }
 
     #[test]

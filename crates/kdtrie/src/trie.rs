@@ -267,7 +267,8 @@ impl SpatialIndex for LinearKdTrie {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.codes.len() * 4 + self.ids.len() * std::mem::size_of::<EntryId>()
+        // Allocated-capacity convention (see the trait docs).
+        self.codes.capacity() * 4 + self.ids.capacity() * std::mem::size_of::<EntryId>()
     }
 }
 

@@ -240,11 +240,12 @@ impl SpatialIndex for QuadTree {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.nodes.len() * std::mem::size_of::<Node>()
-            + self.child_index.len() * 4
-            + self.leaf_x.len() * 4
-            + self.leaf_y.len() * 4
-            + self.leaf_id.len() * std::mem::size_of::<EntryId>()
+        // Allocated-capacity convention (see the trait docs).
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.child_index.capacity() * 4
+            + self.leaf_x.capacity() * 4
+            + self.leaf_y.capacity() * 4
+            + self.leaf_id.capacity() * std::mem::size_of::<EntryId>()
     }
 }
 

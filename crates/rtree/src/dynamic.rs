@@ -368,18 +368,18 @@ impl SpatialIndex for DynRTree {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.nodes
-            .iter()
-            .map(|n| {
-                std::mem::size_of::<Node>()
-                    + match &n.kind {
-                        Kind::Leaf(es) => {
-                            es.capacity() * std::mem::size_of::<(f32, f32, EntryId)>()
-                        }
-                        Kind::Internal(cs) => cs.capacity() * 4,
-                    }
-            })
-            .sum()
+        // Allocated-capacity convention (see the trait docs): the node
+        // arena at its capacity, plus every existing node's entry/child
+        // allocation at its capacity.
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| match &n.kind {
+                    Kind::Leaf(es) => es.capacity() * std::mem::size_of::<(f32, f32, EntryId)>(),
+                    Kind::Internal(cs) => cs.capacity() * 4,
+                })
+                .sum::<usize>()
     }
 }
 

@@ -15,10 +15,14 @@
 //! - **departures** — every live object leaves with probability `rate`
 //!   ([`TickActions::removals`], applied by the driver as a tombstone so
 //!   surviving [`EntryId`]s never shift — DESIGN.md §9);
-//! - **arrivals** — `Binomial(initial_n, rate)` new objects, placed
-//!   uniformly in the data space with a random velocity, so the expected
-//!   population stays at its initial size
-//!   ([`TickActions::inserts`], appended by the driver after movement).
+//! - **arrivals** — `Binomial(target_population, rate)` new objects,
+//!   placed uniformly in the data space with a random velocity, so the
+//!   expected population stays at the **configured** size
+//!   ([`ChurnParams::target_population`]; [`TickActions::inserts`],
+//!   appended by the driver after movement). The target is a parameter
+//!   rather than a live-count snapshot: a snapshot taken from a degenerate
+//!   population would pin arrivals to `Binomial(0, rate)` forever, and a
+//!   fully extinguished population (`rate = 1`) could never recover.
 //!
 //! The wrapper also filters the base plan down to **live** rows: a base
 //! workload plans by id over the whole slot range (dead rows included, so
@@ -39,12 +43,21 @@ use crate::uniform::random_velocity;
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ChurnParams {
     /// Per-tick departure probability of each live object, and per-tick
-    /// arrival probability of each of `initial_n` spawn slots.
+    /// arrival probability of each of `target_population` spawn slots.
     pub rate: f32,
     /// Maximum speed of arriving objects (use the base workload's).
     pub max_speed: f32,
     /// Seed of the churn streams (independent of the base workload's).
     pub seed: u64,
+    /// The population size the arrival process targets as its steady-state
+    /// expectation: `Binomial(target_population, rate)` arrivals per tick.
+    /// This is the **configured** population (`WorkloadParams::num_points`)
+    /// — not a live count snapshotted at init, which silently pinned
+    /// arrivals to `Binomial(0, rate)` forever whenever the snapshot saw a
+    /// degenerate population, flatlining the run instead of erroring or
+    /// recovering. Must be > 0 ([`ChurnWorkload::new`] panics otherwise,
+    /// matching `WorkloadParams::validate`'s `num_points > 0`).
+    pub target_population: u32,
 }
 
 impl ChurnParams {
@@ -61,7 +74,12 @@ impl ChurnParams {
 /// let params = WorkloadParams { num_points: 1_000, ..WorkloadParams::default() };
 /// let mut churned = ChurnWorkload::new(
 ///     Box::new(UniformWorkload::new(params)),
-///     ChurnParams { rate: 0.05, max_speed: params.max_speed, seed: params.seed },
+///     ChurnParams {
+///         rate: 0.05,
+///         max_speed: params.max_speed,
+///         seed: params.seed,
+///         target_population: params.num_points,
+///     },
 /// );
 /// let set = churned.init();
 /// assert_eq!(set.live_len(), 1_000);
@@ -71,27 +89,30 @@ pub struct ChurnWorkload {
     params: ChurnParams,
     rng_depart: Xoshiro256,
     rng_arrive: Xoshiro256,
-    /// Population size at `init` — the arrival process targets it as the
-    /// steady-state expectation.
-    initial_n: u32,
 }
 
 impl ChurnWorkload {
     /// # Panics
-    /// Panics if `rate` is not in `[0, 1]` or `max_speed` is negative.
+    /// Panics if `rate` is not in `[0, 1]`, `max_speed` is negative, or
+    /// `target_population` is 0 (a zero-target churn process can only
+    /// flatline — reject the configuration loudly instead).
     pub fn new(base: Box<dyn Workload>, params: ChurnParams) -> Self {
         assert!(
             (0.0..=1.0).contains(&params.rate),
             "churn rate must lie in [0, 1]"
         );
         assert!(params.max_speed >= 0.0, "max_speed must be >= 0");
+        assert!(
+            params.target_population > 0,
+            "churn target_population must be > 0 (a zero target pins arrivals \
+             to Binomial(0, rate) and the population can never recover)"
+        );
         let mut root = Xoshiro256::seeded(params.seed ^ 0x4348_5552_4E21); // "CHURN!"
         ChurnWorkload {
             base,
             params,
             rng_depart: root.fork(),
             rng_arrive: root.fork(),
-            initial_n: 0,
         }
     }
 
@@ -115,9 +136,7 @@ impl Workload for ChurnWorkload {
     }
 
     fn init(&mut self) -> MovingSet {
-        let set = self.base.init();
-        self.initial_n = set.live_len() as u32;
-        set
+        self.base.init()
     }
 
     fn plan_tick(&mut self, tick: u32, set: &MovingSet, actions: &mut TickActions) {
@@ -136,7 +155,7 @@ impl Workload for ChurnWorkload {
             }
         }
         let space = self.space();
-        for _ in 0..self.initial_n {
+        for _ in 0..self.params.target_population {
             if self.rng_arrive.bernoulli(rate) {
                 let p = Point::new(
                     self.rng_arrive.range_f32(space.x1, space.x2),
@@ -171,6 +190,7 @@ mod tests {
                 rate,
                 max_speed: params.max_speed,
                 seed: params.seed,
+                target_population: params.num_points,
             },
         )
     }
@@ -269,11 +289,54 @@ mod tests {
                         rate,
                         max_speed: params.max_speed,
                         seed: 1,
+                        target_population: params.num_points,
                     },
                 )
             })
         };
         assert!(mk(1.5).is_err());
         assert!(mk(-0.1).is_err());
+    }
+
+    #[test]
+    fn zero_target_population_is_rejected_not_flatlined() {
+        // Regression: a degenerate population used to freeze the arrival
+        // target at a live-count snapshot — with that snapshot at 0, the
+        // run silently produced no arrivals forever. The configured
+        // target is now a parameter, and a zero target is a loud error.
+        let params = WorkloadParams::default();
+        let err = std::panic::catch_unwind(|| {
+            ChurnWorkload::new(
+                Box::new(UniformWorkload::new(params)),
+                ChurnParams {
+                    rate: 0.1,
+                    max_speed: params.max_speed,
+                    seed: 1,
+                    target_population: 0,
+                },
+            )
+        });
+        assert!(err.is_err(), "target_population = 0 must panic");
+    }
+
+    #[test]
+    fn full_turnover_rate_recovers_the_population_every_tick() {
+        // Regression for the snapshot semantics: at rate = 1.0 every live
+        // object departs each tick. Because arrivals draw from the
+        // *configured* population (Binomial(target, 1.0) = target), the
+        // population fully replaces itself instead of going extinct after
+        // the first tick and flatlining.
+        let mut w = churned(1.0, 21);
+        let (set, removed, inserted) = simulate(&mut w, 5);
+        assert_eq!(set.live_len(), 2_000, "population must recover to target");
+        // Every tick removes all 2000 live rows and inserts 2000 fresh ones.
+        assert_eq!(removed, 5 * 2_000);
+        assert_eq!(inserted, 5 * 2_000);
+        // And the process keeps planning work after extinction events: the
+        // next plan still has queriers among the live (new) rows.
+        let mut a = TickActions::default();
+        w.plan_tick(5, &set, &mut a);
+        assert_eq!(a.removals.len(), set.live_len());
+        assert_eq!(a.inserts.len(), 2_000);
     }
 }

@@ -17,10 +17,14 @@
 //! Workloads are first-class citizens of the harness: [`WorkloadSpec`]
 //! parses/names them (`"uniform"`, `"gaussian:h3"`, `"churn:roadgrid"`,
 //! …) and [`workload_registry`] enumerates the full line-up, mirroring
-//! the technique registry in `sj_core::technique`.
+//! the technique registry in `sj_core::technique`. The join *shape* is an
+//! axis of its own: [`JoinSpec`] names self-joins and bipartite R ⋈ S
+//! joins (`"self"`, `"bipartite:uniformxgaussian:h3:ratio10"`), pairing
+//! two independent workloads as the query and data relations.
 
 mod churn;
 mod gaussian;
+mod join;
 mod params;
 mod roadgrid;
 mod spec;
@@ -29,8 +33,9 @@ mod uniform;
 
 pub use churn::{ChurnParams, ChurnWorkload};
 pub use gaussian::GaussianWorkload;
+pub use join::{JoinSpec, ParseJoinError};
 pub use params::{GaussianParams, ParamError, WorkloadParams};
 pub use roadgrid::RoadGridWorkload;
 pub use spec::{workload_registry, ParseWorkloadError, WorkloadKind, WorkloadSpec};
-pub use trace::{record, Trace, TraceWorkload};
+pub use trace::{record, record_bipartite, Trace, TraceWorkload};
 pub use uniform::UniformWorkload;

@@ -225,6 +225,10 @@ impl WorkloadSpec {
                     rate: ChurnParams::DEFAULT_RATE,
                     max_speed: params.max_speed,
                     seed: params.seed,
+                    // The configured population, not a live-count snapshot:
+                    // the arrival process must keep targeting it even if
+                    // churn ever drives the live count to zero.
+                    target_population: params.num_points,
                 },
             ))
         } else {

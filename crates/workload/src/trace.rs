@@ -16,6 +16,12 @@
 //! Recording verifies this assumption by checksumming the final live
 //! object positions and embedding the checksum in the trace;
 //! [`TraceWorkload`] re-derives it on replay in tests.
+//!
+//! Format v3 adds **bipartite** traces: a second, nested relation section
+//! holding the query relation R's initial state and per-tick plan
+//! ([`Trace::query_rel`], recorded by [`record_bipartite`]). A
+//! self-join trace serializes exactly as v2 — v3 bytes only appear when a
+//! query relation is present — and v1/v2 files still load.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -25,7 +31,11 @@ use sj_base::geom::{Point, Rect, Vec2};
 use sj_base::rng::mix64;
 use sj_base::table::{EntryId, MovingSet};
 
-/// Current format: v2 adds per-tick churn sections (removals + inserts).
+/// Current format: v3 adds an optional nested query-relation section
+/// (bipartite R ⋈ S traces). Only written when that section is present.
+const MAGIC_V3: &[u8; 8] = b"SJTRACE3";
+/// v2 adds per-tick churn sections (removals + inserts); still the format
+/// written for self-join traces, so v2 consumers keep working.
 const MAGIC_V2: &[u8; 8] = b"SJTRACE2";
 /// Legacy format without churn sections; still readable (a v1 trace is a
 /// v2 trace whose every tick has empty churn).
@@ -61,6 +71,12 @@ pub struct Trace {
     /// default movement model; guards against replaying a trace of a
     /// workload whose movement model was not the default.
     pub final_positions_checksum: u64,
+    /// The query relation R of a bipartite R ⋈ S trace (format v3): a
+    /// nested self-shaped trace holding R's initial state, per-tick plan
+    /// (queriers, updates, churn), and final-position checksum. `None`
+    /// for self-join traces — which therefore serialize exactly as v2.
+    /// The nested trace never nests further.
+    pub query_rel: Option<Box<Trace>>,
 }
 
 fn positions_checksum(set: &MovingSet) -> u64 {
@@ -72,47 +88,65 @@ fn positions_checksum(set: &MovingSet) -> u64 {
 }
 
 impl Trace {
-    /// Serialize to a writer (always the current v2 format).
+    /// Serialize to a writer: the v2 format for a self-join trace, v3
+    /// (one extra nested relation section) when [`Trace::query_rel`] is
+    /// present — so pre-bipartite consumers keep reading every self-join
+    /// trace byte for byte.
     pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
         let mut w = BufWriter::new(w);
-        w.write_all(MAGIC_V2)?;
-        write_f32(&mut w, self.space_side)?;
-        write_f32(&mut w, self.query_side)?;
-        write_u32(&mut w, self.init_x.len() as u32)?;
-        for col in [&self.init_x, &self.init_y, &self.init_vx, &self.init_vy] {
-            for &v in col.iter() {
-                write_f32(&mut w, v)?;
+        match &self.query_rel {
+            None => {
+                w.write_all(MAGIC_V2)?;
+                self.write_body(&mut w)?;
+            }
+            Some(r) => {
+                debug_assert!(r.query_rel.is_none(), "query relation traces never nest");
+                w.write_all(MAGIC_V3)?;
+                self.write_body(&mut w)?;
+                r.write_body(&mut w)?;
             }
         }
-        write_u32(&mut w, self.ticks.len() as u32)?;
-        for t in &self.ticks {
-            write_u32(&mut w, t.queriers.len() as u32)?;
-            for &q in &t.queriers {
-                write_u32(&mut w, q)?;
-            }
-            write_u32(&mut w, t.velocity_updates.len() as u32)?;
-            for &(id, vx, vy) in &t.velocity_updates {
-                write_u32(&mut w, id)?;
-                write_f32(&mut w, vx)?;
-                write_f32(&mut w, vy)?;
-            }
-            write_u32(&mut w, t.removals.len() as u32)?;
-            for &id in &t.removals {
-                write_u32(&mut w, id)?;
-            }
-            write_u32(&mut w, t.inserts.len() as u32)?;
-            for &(p, v) in &t.inserts {
-                write_f32(&mut w, p.x)?;
-                write_f32(&mut w, p.y)?;
-                write_f32(&mut w, v.x)?;
-                write_f32(&mut w, v.y)?;
-            }
-        }
-        write_u64(&mut w, self.final_positions_checksum)?;
         w.flush()
     }
 
-    /// Deserialize from a reader.
+    /// Everything after the magic header, in the v2 layout (one relation).
+    fn write_body<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_f32(w, self.space_side)?;
+        write_f32(w, self.query_side)?;
+        write_u32(w, self.init_x.len() as u32)?;
+        for col in [&self.init_x, &self.init_y, &self.init_vx, &self.init_vy] {
+            for &v in col.iter() {
+                write_f32(w, v)?;
+            }
+        }
+        write_u32(w, self.ticks.len() as u32)?;
+        for t in &self.ticks {
+            write_u32(w, t.queriers.len() as u32)?;
+            for &q in &t.queriers {
+                write_u32(w, q)?;
+            }
+            write_u32(w, t.velocity_updates.len() as u32)?;
+            for &(id, vx, vy) in &t.velocity_updates {
+                write_u32(w, id)?;
+                write_f32(w, vx)?;
+                write_f32(w, vy)?;
+            }
+            write_u32(w, t.removals.len() as u32)?;
+            for &id in &t.removals {
+                write_u32(w, id)?;
+            }
+            write_u32(w, t.inserts.len() as u32)?;
+            for &(p, v) in &t.inserts {
+                write_f32(w, p.x)?;
+                write_f32(w, p.y)?;
+                write_f32(w, v.x)?;
+                write_f32(w, v.y)?;
+            }
+        }
+        write_u64(w, self.final_positions_checksum)
+    }
+
+    /// Deserialize from a reader (any of the v1/v2/v3 formats).
     ///
     /// # Errors
     /// I/O errors, a bad magic header, or truncated data.
@@ -120,9 +154,10 @@ impl Trace {
         let mut r = BufReader::new(r);
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        let churn_sections = match &magic {
-            m if m == MAGIC_V2 => true,
-            m if m == MAGIC_V1 => false,
+        let (churn_sections, query_rel_section) = match &magic {
+            m if m == MAGIC_V3 => (true, true),
+            m if m == MAGIC_V2 => (true, false),
+            m if m == MAGIC_V1 => (false, false),
             _ => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -130,47 +165,56 @@ impl Trace {
                 ))
             }
         };
-        let space_side = read_f32(&mut r)?;
-        let query_side = read_f32(&mut r)?;
-        let n = read_u32(&mut r)? as usize;
+        let mut trace = Self::read_body(&mut r, churn_sections)?;
+        if query_rel_section {
+            trace.query_rel = Some(Box::new(Self::read_body(&mut r, churn_sections)?));
+        }
+        Ok(trace)
+    }
+
+    /// One relation section in the v2 layout (`query_rel` left `None`).
+    fn read_body<R: Read>(r: &mut R, churn_sections: bool) -> io::Result<Trace> {
+        let space_side = read_f32(r)?;
+        let query_side = read_f32(r)?;
+        let n = read_u32(r)? as usize;
         let mut cols: [Vec<f32>; 4] = Default::default();
         for col in cols.iter_mut() {
             col.reserve(n);
             for _ in 0..n {
-                col.push(read_f32(&mut r)?);
+                col.push(read_f32(r)?);
             }
         }
         let [init_x, init_y, init_vx, init_vy] = cols;
-        let tick_count = read_u32(&mut r)? as usize;
+        let tick_count = read_u32(r)? as usize;
         let mut ticks = Vec::with_capacity(tick_count);
         for _ in 0..tick_count {
-            let nq = read_u32(&mut r)? as usize;
+            let nq = read_u32(r)? as usize;
             let mut actions = TickActions::default();
             actions.queriers.reserve(nq);
             for _ in 0..nq {
-                actions.queriers.push(read_u32(&mut r)?);
+                actions.queriers.push(read_u32(r)?);
             }
-            let nu = read_u32(&mut r)? as usize;
+            let nu = read_u32(r)? as usize;
             actions.velocity_updates.reserve(nu);
             for _ in 0..nu {
-                let id = read_u32(&mut r)?;
-                let vx = read_f32(&mut r)?;
-                let vy = read_f32(&mut r)?;
+                let id = read_u32(r)?;
+                let vx = read_f32(r)?;
+                let vy = read_f32(r)?;
                 actions.velocity_updates.push((id, vx, vy));
             }
             if churn_sections {
-                let nr = read_u32(&mut r)? as usize;
+                let nr = read_u32(r)? as usize;
                 actions.removals.reserve(nr);
                 for _ in 0..nr {
-                    actions.removals.push(read_u32(&mut r)?);
+                    actions.removals.push(read_u32(r)?);
                 }
-                let ni = read_u32(&mut r)? as usize;
+                let ni = read_u32(r)? as usize;
                 actions.inserts.reserve(ni);
                 for _ in 0..ni {
-                    let px = read_f32(&mut r)?;
-                    let py = read_f32(&mut r)?;
-                    let vx = read_f32(&mut r)?;
-                    let vy = read_f32(&mut r)?;
+                    let px = read_f32(r)?;
+                    let py = read_f32(r)?;
+                    let vx = read_f32(r)?;
+                    let vy = read_f32(r)?;
                     actions
                         .inserts
                         .push((Point::new(px, py), Vec2::new(vx, vy)));
@@ -178,7 +222,7 @@ impl Trace {
             }
             ticks.push(actions);
         }
-        let final_positions_checksum = read_u64(&mut r)?;
+        let final_positions_checksum = read_u64(r)?;
         Ok(Trace {
             space_side,
             query_side,
@@ -188,6 +232,7 @@ impl Trace {
             init_vy,
             ticks,
             final_positions_checksum,
+            query_rel: None,
         })
     }
 
@@ -207,6 +252,21 @@ impl Trace {
 
     pub fn num_ticks(&self) -> usize {
         self.ticks.len()
+    }
+
+    /// Whether this trace records a bipartite R ⋈ S run (format v3).
+    pub fn is_bipartite(&self) -> bool {
+        self.query_rel.is_some()
+    }
+
+    /// Split a bipartite trace into its `(query relation R, data relation
+    /// S)` halves — two self-shaped traces, each replayable through
+    /// [`TraceWorkload`] and rejoinable with
+    /// `sj_base::driver::run_bipartite_join`. `None` for self-join traces.
+    pub fn split_bipartite(self) -> Option<(Trace, Trace)> {
+        let mut s = self;
+        let r = *s.query_rel.take()?;
+        Some((r, s))
     }
 }
 
@@ -241,7 +301,42 @@ pub fn record<W: Workload + ?Sized>(workload: &mut W, ticks: u32) -> Trace {
         init_vy,
         ticks: recorded,
         final_positions_checksum: positions_checksum(&set),
+        query_rel: None,
     }
+}
+
+/// Record a bipartite R ⋈ S run into a single (format v3) [`Trace`]: the
+/// data relation S fills the top-level sections, the query relation R the
+/// nested [`Trace::query_rel`] section. Both relations are planned and
+/// applied in the driver's order (S first, then R — see
+/// `sj_base::driver::run_bipartite_join`); S's planned queriers are
+/// dropped, exactly as the driver drops them, so a replay through
+/// [`Trace::split_bipartite`] reproduces the recorded run bit for bit.
+pub fn record_bipartite<R: Workload + ?Sized, S: Workload + ?Sized>(
+    query_workload: &mut R,
+    data_workload: &mut S,
+    ticks: u32,
+) -> Trace {
+    let mut s_trace = record_relation(data_workload, ticks, true);
+    let r_trace = record_relation(query_workload, ticks, false);
+    s_trace.query_rel = Some(Box::new(r_trace));
+    s_trace
+}
+
+/// [`record`] with the driver's bipartite querier policy applied: the data
+/// relation never queries.
+fn record_relation<W: Workload + ?Sized>(
+    workload: &mut W,
+    ticks: u32,
+    drop_queriers: bool,
+) -> Trace {
+    let mut trace = record(workload, ticks);
+    if drop_queriers {
+        for t in &mut trace.ticks {
+            t.queriers.clear();
+        }
+    }
+    trace
 }
 
 /// Replays a [`Trace`] through the standard [`Workload`] interface.
@@ -399,6 +494,7 @@ mod tests {
                 rate: 0.1,
                 max_speed: params.max_speed,
                 seed: params.seed,
+                target_population: params.num_points,
             },
         );
         let trace = record(&mut w, 6);
@@ -425,6 +521,95 @@ mod tests {
         }
         assert_eq!(set.live_len(), 500 + total_inserted - total_removed);
         assert_eq!(TraceWorkload::checksum_positions(&set), expected);
+    }
+
+    #[test]
+    fn self_join_traces_still_serialize_as_v2() {
+        // Format compatibility: the v3 magic only appears for bipartite
+        // traces, so every pre-existing consumer of self-join traces keeps
+        // reading them unchanged.
+        let mut w = UniformWorkload::new(small_params());
+        let trace = record(&mut w, 2);
+        assert!(!trace.is_bipartite());
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        assert_eq!(&buf[..8], MAGIC_V2);
+    }
+
+    #[test]
+    fn bipartite_traces_roundtrip_as_v3() {
+        let params = small_params();
+        let r_params = WorkloadParams {
+            num_points: 60,
+            seed: 99,
+            ..params
+        };
+        let mut r = UniformWorkload::new(r_params);
+        let mut s = UniformWorkload::new(params);
+        let trace = record_bipartite(&mut r, &mut s, 4);
+        assert!(trace.is_bipartite());
+        assert_eq!(trace.num_points(), 500, "top level holds S");
+        let rel = trace.query_rel.as_deref().unwrap();
+        assert_eq!(rel.num_points(), 60, "nested section holds R");
+        // The data relation's queriers were dropped at record time (the
+        // driver drops them too); R keeps its own.
+        assert!(trace.ticks.iter().all(|t| t.queriers.is_empty()));
+        assert!(rel.ticks.iter().any(|t| !t.queriers.is_empty()));
+
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        assert_eq!(&buf[..8], MAGIC_V3);
+        let back = Trace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn bipartite_trace_replay_reproduces_the_recorded_join() {
+        use sj_base::driver::{run_bipartite_join, DriverConfig};
+        use sj_base::index::ScanIndex;
+
+        let params = small_params();
+        let r_params = WorkloadParams {
+            num_points: 80,
+            seed: 123,
+            ..params
+        };
+        // The live run.
+        let live = {
+            let mut r = UniformWorkload::new(r_params);
+            let mut s = UniformWorkload::new(params);
+            run_bipartite_join(
+                &mut r,
+                &mut s,
+                &mut ScanIndex::new(),
+                DriverConfig::new(4, 0),
+            )
+        };
+        // Record the identical workloads, split, and replay through the
+        // same driver entry point.
+        let trace = {
+            let mut r = UniformWorkload::new(r_params);
+            let mut s = UniformWorkload::new(params);
+            record_bipartite(&mut r, &mut s, 4)
+        };
+        let (r_half, s_half) = trace.split_bipartite().unwrap();
+        let replayed = run_bipartite_join(
+            &mut TraceWorkload::new(r_half),
+            &mut TraceWorkload::new(s_half),
+            &mut ScanIndex::new(),
+            DriverConfig::new(4, 0),
+        );
+        assert!(live.result_pairs > 0);
+        assert_eq!(replayed.result_pairs, live.result_pairs);
+        assert_eq!(replayed.checksum, live.checksum);
+        assert_eq!(replayed.queries, live.queries);
+    }
+
+    #[test]
+    fn split_bipartite_is_none_for_self_traces() {
+        let mut w = UniformWorkload::new(small_params());
+        let trace = record(&mut w, 2);
+        assert!(trace.split_bipartite().is_none());
     }
 
     #[test]

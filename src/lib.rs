@@ -62,6 +62,28 @@
 //! assert!(stats.removals > 0 && stats.inserts > 0);
 //! ```
 //!
+//! ## Bipartite joins (R ⋈ S)
+//!
+//! The paper only ever joins a moving set with itself; the driver also
+//! supports the canonical two-dataset setting of the related work: an
+//! independent query relation R probing an index built over a data
+//! relation S, each driven by its own workload (churn included). The
+//! shape is registry-addressable through [`workload::JoinSpec`]
+//! (`"self"`, `"bipartite:uniformxgaussian:h3:ratio10"`), and the
+//! self-join is exactly the degenerate R = S case — same code path, same
+//! checksums:
+//!
+//! ```
+//! use spatial_joins::prelude::*;
+//!
+//! let params = WorkloadParams { num_points: 2_000, ticks: 3, ..Default::default() };
+//! let spec = JoinSpec::parse("bipartite:uniformxgaussian:h3:ratio10").unwrap();
+//! let (mut r, mut s) = spec.build_pair(params).unwrap();
+//! let mut tech = Technique::from_spec("grid:inline", params.space_side).unwrap();
+//! let stats = tech.run_bipartite(&mut *r, &mut *s, DriverConfig::new(3, 1));
+//! assert!(stats.result_pairs > 0);
+//! ```
+//!
 //! ## Parallel execution
 //!
 //! Every registry technique — both join categories — can shard its query
@@ -140,7 +162,10 @@ pub use sj_workload as workload;
 pub mod prelude {
     pub use sj_binsearch::{BinarySearchJoin, VecSearchJoin};
     pub use sj_core::batch::{BatchJoin, NaiveBatchJoin};
-    pub use sj_core::driver::{run_batch_join, run_join, DriverConfig, RunStats, Workload};
+    pub use sj_core::driver::{
+        run_batch_join, run_bipartite_batch_join, run_bipartite_join, run_join, DriverConfig,
+        RunStats, Workload,
+    };
     pub use sj_core::geom::{Point, Rect, Vec2};
     pub use sj_core::index::{ScanIndex, SpatialIndex};
     pub use sj_core::par::ExecMode;
@@ -154,7 +179,7 @@ pub mod prelude {
     pub use sj_rtree::{DynRTree, RTree};
     pub use sj_sweep::PlaneSweepJoin;
     pub use sj_workload::{
-        workload_registry, ChurnParams, ChurnWorkload, GaussianParams, GaussianWorkload,
+        workload_registry, ChurnParams, ChurnWorkload, GaussianParams, GaussianWorkload, JoinSpec,
         RoadGridWorkload, UniformWorkload, WorkloadKind, WorkloadParams, WorkloadSpec,
     };
 }

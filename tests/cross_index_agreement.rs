@@ -183,6 +183,138 @@ fn all_registry_techniques_agree_on_every_registry_workload() {
     }
 }
 
+/// The join shapes the matrix tests sweep: the paper's self-join plus two
+/// bipartite population ratios (equal relations, and the canonical small
+/// query relation at |R| = |S|/10).
+fn join_shapes() -> Vec<JoinSpec> {
+    let equal = JoinSpec::bipartite(
+        WorkloadSpec::parse("uniform").unwrap(),
+        WorkloadSpec::parse("gaussian:h3").unwrap(),
+    );
+    vec![
+        JoinSpec::SelfJoin,
+        equal,
+        equal.with_ratio(std::num::NonZeroU32::new(10).unwrap()),
+    ]
+}
+
+#[test]
+fn all_registry_techniques_agree_on_every_join_shape() {
+    // Technique x join-shape matrix: per shape, every technique — both
+    // categories — computes the identical join. For bipartite shapes the
+    // index is built over S and probed from R, so this is the
+    // load-bearing proof that no index implementation conflates the two
+    // relations (e.g. by dereferencing querier ids into its own table).
+    let params = WorkloadParams {
+        num_points: 2_000,
+        ticks: 4,
+        space_side: 8_000.0,
+        ..WorkloadParams::default()
+    };
+    for jspec in join_shapes() {
+        let mut reference = None;
+        for spec in registry() {
+            let stats = sj_bench::run_joined_spec(
+                jspec,
+                WorkloadKind::Uniform.spec(),
+                &params,
+                spec,
+                ExecMode::Sequential,
+            );
+            assert!(
+                stats.result_pairs > 0,
+                "{} found nothing on {}",
+                spec.name(),
+                jspec.name()
+            );
+            let key = (stats.result_pairs, stats.checksum, stats.queries);
+            match reference {
+                None => reference = Some(key),
+                Some(expect) => assert_eq!(
+                    key,
+                    expect,
+                    "{} computed a different join on {}",
+                    spec.name(),
+                    jspec.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn bipartite_ratio_changes_the_join_but_not_the_agreement() {
+    // The ratio axis must be a real axis: shrinking R changes the
+    // computation (fewer queriers, different pairs) while scan-equality
+    // above holds per cell. Also pins |R| scaling: at ratio 10 the query
+    // count drops to a tenth of the equal-population run's.
+    let params = WorkloadParams {
+        num_points: 2_000,
+        ticks: 4,
+        space_side: 8_000.0,
+        ..WorkloadParams::default()
+    };
+    let shapes = join_shapes();
+    let run = |jspec| {
+        sj_bench::run_joined_spec(
+            jspec,
+            WorkloadKind::Uniform.spec(),
+            &params,
+            TechniqueSpec::parse("grid:inline").unwrap(),
+            ExecMode::Sequential,
+        )
+    };
+    let self_join = run(shapes[0]);
+    let equal = run(shapes[1]);
+    let tenth = run(shapes[2]);
+    assert_ne!(self_join.checksum, equal.checksum);
+    assert_ne!(equal.checksum, tenth.checksum);
+    // Queriers are Bernoulli-sampled per row, so counts are only
+    // proportional on expectation: |R| = 2000 vs 200 at 50 % queriers over
+    // 4 ticks ≈ 4000 vs 400 queries.
+    let ratio = equal.queries as f64 / tenth.queries as f64;
+    assert!(
+        (8.0..12.0).contains(&ratio),
+        "|R| should scale queries ~10:1, got {ratio} ({} vs {})",
+        equal.queries,
+        tenth.queries
+    );
+}
+
+#[test]
+fn churn_relations_churn_independently_in_bipartite_joins() {
+    // A churn workload on one side only must keep the other relation's
+    // population frozen — and the runs must still agree across techniques
+    // (covered by the matrix; here we pin the churn accounting).
+    let params = WorkloadParams {
+        num_points: 1_500,
+        ticks: 4,
+        space_side: 8_000.0,
+        ..WorkloadParams::default()
+    };
+    let churned_s = JoinSpec::bipartite(
+        WorkloadSpec::parse("uniform").unwrap(),
+        WorkloadSpec::parse("churn:uniform").unwrap(),
+    );
+    let frozen = JoinSpec::bipartite(
+        WorkloadSpec::parse("uniform").unwrap(),
+        WorkloadSpec::parse("uniform").unwrap(),
+    );
+    let run = |jspec| {
+        sj_bench::run_joined_spec(
+            jspec,
+            WorkloadKind::Uniform.spec(),
+            &params,
+            TechniqueSpec::parse("grid:incremental").unwrap(),
+            ExecMode::Sequential,
+        )
+    };
+    let churned = run(churned_s);
+    assert!(churned.removals > 0 && churned.inserts > 0);
+    let still = run(frozen);
+    assert_eq!(still.removals + still.inserts, 0);
+}
+
 #[test]
 fn churn_changes_the_join_but_not_the_agreement() {
     // Sanity that churn:uniform is actually a different computation from

@@ -218,6 +218,56 @@ const GOLDEN_CHURN_PAIRS_SEED42: u64 = 29_767;
 const GOLDEN_CHURN_REMOVALS_SEED42: u64 = 198;
 const GOLDEN_CHURN_INSERTS_SEED42: u64 = 190;
 
+fn run_bipartite_once(exec: ExecMode) -> RunStats {
+    let params = WorkloadParams {
+        num_points: 2_000,
+        ticks: MEASURED_TICKS,
+        space_side: 8_000.0,
+        seed: 42,
+        ..WorkloadParams::default()
+    };
+    let jspec = JoinSpec::parse("bipartite:uniformxgaussian:h3:ratio10").unwrap();
+    let (mut r, mut s) = jspec.build_pair(params).unwrap();
+    let mut grid = SimpleGrid::tuned(params.space_side);
+    run_bipartite_join(
+        &mut *r,
+        &mut *s,
+        &mut grid,
+        DriverConfig::new(params.ticks, 1).with_exec(exec),
+    )
+}
+
+#[test]
+fn bipartite_golden_checksum_is_stable_across_prs() {
+    // The bipartite join adds a second relation with its own decorrelated
+    // seed stream, a querier policy (R queries, S never does), and a
+    // ratio-scaled population. Pin the absolute numbers in both exec
+    // modes so any drift — R-seed derivation, plan order, the relation a
+    // region is centred on vs. probed against — is caught on the spot.
+    let seq = run_bipartite_once(ExecMode::Sequential);
+    let par = run_bipartite_once(ExecMode::parallel(4).unwrap());
+    assert_eq!(
+        seq.checksum, GOLDEN_BIPARTITE_CHECKSUM_SEED42,
+        "sequential golden"
+    );
+    assert_eq!(
+        par.checksum, GOLDEN_BIPARTITE_CHECKSUM_SEED42,
+        "parallel golden"
+    );
+    assert_eq!(seq.result_pairs, GOLDEN_BIPARTITE_PAIRS_SEED42);
+    assert_eq!(par.result_pairs, GOLDEN_BIPARTITE_PAIRS_SEED42);
+    assert_eq!(seq.queries, GOLDEN_BIPARTITE_QUERIES_SEED42);
+    assert_eq!(par.queries, seq.queries);
+    assert_eq!(par.updates, seq.updates);
+}
+
+/// Goldens of `run_bipartite_once` (bipartite:uniformxgaussian:h3:ratio10,
+/// seed 42, 5 measured ticks after 1 warmup, grid:inline). Same re-pinning
+/// policy as the goldens above.
+const GOLDEN_BIPARTITE_CHECKSUM_SEED42: u64 = 0x19e0e6b6bb0038e7;
+const GOLDEN_BIPARTITE_PAIRS_SEED42: u64 = 3_081;
+const GOLDEN_BIPARTITE_QUERIES_SEED42: u64 = 502;
+
 #[test]
 fn checksum_is_independent_of_result_order() {
     // The R-tree and the grid enumerate results in very different orders;

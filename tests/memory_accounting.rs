@@ -1,0 +1,93 @@
+//! The footprint convention, proven registry-wide: every index technique
+//! accounts its memory as **allocated capacity** (see
+//! `SpatialIndex::memory_bytes`). Two consequences this suite pins for
+//! every index in the registry:
+//!
+//! - a build over a non-empty table leaves a non-zero footprint (the one
+//!   exception is the ground-truth scan, which owns no allocation at all
+//!   and reports 0 by design);
+//! - the footprint is monotone in the population for freshly built
+//!   instances — more points can never report *less* resident memory.
+//!
+//! Before the convention existed, implementations mixed live-`len` and
+//! capacity accounting (and one counted a liveness bitmap the others
+//! didn't), so cross-technique footprint comparisons in the `memory`
+//! harness were comparing different quantities.
+
+use spatial_joins::prelude::*;
+
+fn random_table(n: usize, seed: u64, side: f32) -> PointTable {
+    use spatial_joins::core::rng::Xoshiro256;
+    let mut rng = Xoshiro256::seeded(seed);
+    let mut t = PointTable::with_capacity(n);
+    for _ in 0..n {
+        t.push(rng.range_f32(0.0, side), rng.range_f32(0.0, side));
+    }
+    t
+}
+
+const SIDE: f32 = 6_000.0;
+
+/// Build a fresh instance of the spec's index over an `n`-point table and
+/// return its footprint. `None` for batch techniques (no index to build).
+fn footprint(spec: TechniqueSpec, n: usize) -> Option<usize> {
+    let mut tech = spec.build(SIDE);
+    let index = tech.as_index_mut()?;
+    let table = random_table(n, 7, SIDE);
+    index.build(&table);
+    Some(index.memory_bytes())
+}
+
+#[test]
+fn every_index_reports_nonzero_memory_after_build() {
+    for spec in registry() {
+        let Some(bytes) = footprint(spec, 1_000) else {
+            continue; // batch technique: no index, no footprint
+        };
+        if spec.is_reference() {
+            assert_eq!(bytes, 0, "the scan owns nothing and must report 0");
+        } else {
+            assert!(bytes > 0, "{}: zero footprint after build", spec.name());
+        }
+    }
+}
+
+#[test]
+fn memory_is_monotone_in_the_population() {
+    for spec in registry() {
+        let (Some(small), Some(large)) = (footprint(spec, 800), footprint(spec, 3_200)) else {
+            continue;
+        };
+        assert!(
+            small <= large,
+            "{}: footprint shrank with more points ({small} > {large})",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn capacity_accounting_covers_rebuilds_over_shrinking_tables() {
+    // Arenas are reused across builds and keep their high-water mark; the
+    // capacity convention must reflect that — a rebuild over a smaller
+    // table never reports more than the big build did, and (for real
+    // indexes) never drops to zero either.
+    for spec in registry() {
+        let mut tech = spec.build(SIDE);
+        let Some(index) = tech.as_index_mut() else {
+            continue;
+        };
+        index.build(&random_table(2_000, 3, SIDE));
+        let big = index.memory_bytes();
+        index.build(&random_table(200, 4, SIDE));
+        let shrunk = index.memory_bytes();
+        assert!(
+            shrunk <= big,
+            "{}: rebuild over fewer points grew the footprint",
+            spec.name()
+        );
+        if !spec.is_reference() {
+            assert!(shrunk > 0, "{}: footprint vanished on rebuild", spec.name());
+        }
+    }
+}

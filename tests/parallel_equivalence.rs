@@ -140,6 +140,69 @@ proptest! {
     }
 }
 
+proptest! {
+    // Technique registry x join shape (self + two bipartite ratios),
+    // sequential vs parallel {2, 5} — the PR 5 acceptance matrix. Like
+    // the full workload matrix above, a couple of seeds is plenty.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn equivalence_holds_for_every_technique_on_every_join_shape(
+        seed in 0u64..=u64::MAX,
+    ) {
+        let p = WorkloadParams {
+            num_points: 600,
+            ticks: 3,
+            space_side: 6_000.0,
+            seed,
+            ..WorkloadParams::default()
+        };
+        let equal = JoinSpec::bipartite(
+            WorkloadSpec::parse("uniform").unwrap(),
+            WorkloadSpec::parse("gaussian:h3").unwrap(),
+        );
+        let shapes = [
+            JoinSpec::SelfJoin,
+            equal,
+            equal.with_ratio(std::num::NonZeroU32::new(10).unwrap()),
+        ];
+        for jspec in shapes {
+            let mut reference: Option<(u64, u64)> = None;
+            for spec in registry() {
+                let run = |exec: ExecMode| {
+                    sj_bench::run_joined_spec(
+                        jspec,
+                        WorkloadKind::Uniform.spec(),
+                        &p,
+                        spec,
+                        exec,
+                    )
+                };
+                let seq = run(ExecMode::Sequential);
+                for threads in [2usize, 5] {
+                    let par = run(ExecMode::parallel(threads).unwrap());
+                    assert_bit_identical(
+                        &seq,
+                        &par,
+                        &format!("{} @{threads} on {}", spec.name(), jspec.name()),
+                    );
+                }
+                // Scan-equality per shape, across all 15 techniques.
+                match reference {
+                    None => reference = Some((seq.result_pairs, seq.checksum)),
+                    Some(expect) => assert_eq!(
+                        (seq.result_pairs, seq.checksum),
+                        expect,
+                        "{} computed a different join on {}",
+                        spec.name(),
+                        jspec.name()
+                    ),
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn spec_modifier_and_config_mode_agree() {
     // `grid:inline@par3` (exec carried by the built technique) and an
