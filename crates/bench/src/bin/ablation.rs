@@ -241,7 +241,7 @@ fn main() {
             "pointer-based (secondary index)",
             TechniqueKind::BinarySearch.spec(),
         ),
-        ("sorted SoA + SSE2 filter", TechniqueKind::VecSearch.spec()),
+        ("sorted SoA + SIMD filter", TechniqueKind::VecSearch.spec()),
     ] {
         let stats = run_workload_spec(wspec, &params, spec, exec);
         report(&opts, "ablation6", &spec.name(), &stats, None);

@@ -20,12 +20,10 @@
 
 use sj_bench::cli::CommonOpts;
 use sj_bench::report::stats_line;
+use sj_bench::run_asymmetric_cell;
 use sj_bench::table::{secs, Table};
-use sj_bench::warmup_for;
-use sj_core::driver::{DriverConfig, RunStats};
-use sj_core::par::ExecMode;
 use sj_core::technique::{TechniqueKind, TechniqueSpec};
-use sj_workload::{JoinSpec, WorkloadParams, WorkloadSpec};
+use sj_workload::{JoinSpec, WorkloadSpec};
 
 /// The swept |R|/|S| cells: `(label, r_scale, s_scale)` — each relation's
 /// population is `points / scale`, so the larger relation always runs at
@@ -36,33 +34,6 @@ const RATIOS: [(&str, u32, u32); 4] = [
     ("1", 1, 1),
     ("10", 1, 10),
 ];
-
-/// Build the two relations at explicit populations and run one cell. The
-/// seed decorrelation comes from [`JoinSpec::query_rel_params`], so the
-/// 1/K cells here are bit-identical to `run_joined_spec` with `:ratio<K>`.
-fn run_cell(
-    r_spec: WorkloadSpec,
-    s_spec: WorkloadSpec,
-    r_points: u32,
-    s_points: u32,
-    params: &WorkloadParams,
-    tech: TechniqueSpec,
-    exec: ExecMode,
-) -> RunStats {
-    let r_params = WorkloadParams {
-        num_points: r_points,
-        ..JoinSpec::bipartite(r_spec, s_spec).query_rel_params(*params)
-    };
-    let s_params = WorkloadParams {
-        num_points: s_points,
-        ..*params
-    };
-    let mut r = r_spec.build(r_params);
-    let mut s = s_spec.build(s_params);
-    let cfg = DriverConfig::new(params.ticks, warmup_for(params.ticks)).with_exec(exec);
-    tech.build(params.space_side)
-        .run_bipartite(&mut *r, &mut *s, cfg)
-}
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -124,7 +95,7 @@ fn main() {
 
         // Per-cell scan-equality gate: every technique must compute the
         // reference join bit for bit before its timing means anything.
-        let reference = run_cell(
+        let reference = run_asymmetric_cell(
             r_spec,
             s_spec,
             r_points,
@@ -139,7 +110,8 @@ fn main() {
         );
 
         for spec in &specs {
-            let stats = run_cell(r_spec, s_spec, r_points, s_points, &params, *spec, exec);
+            let stats =
+                run_asymmetric_cell(r_spec, s_spec, r_points, s_points, &params, *spec, exec);
             assert_eq!(
                 (stats.checksum, stats.result_pairs),
                 (reference.checksum, reference.result_pairs),

@@ -1,0 +1,82 @@
+//! `bench_suite` — run the pinned trajectory matrix and emit the suite
+//! document (`BENCH_<n>.json`).
+//!
+//! The matrix, seeds, populations, and tick counts are hard-coded in
+//! [`sj_bench::suite`]; this binary just runs every cell in order and
+//! assembles the schema-versioned document. Progress goes to stderr, the
+//! document to stdout (or `--out FILE`), so
+//! `cargo run --release --bin bench_suite > BENCH_7.json` is the whole
+//! snapshot workflow.
+//!
+//! Run: `cargo run -p sj-bench --release --bin bench_suite
+//! [--quick] [--out FILE] [--list]`
+//!
+//! `--quick` runs the same matrix at the CI smoke scale (fewer points and
+//! ticks); [`bench_compare`](../bench_compare.rs) will refuse to diff its
+//! timings against a full-scale baseline, so quick documents are for
+//! schema checks, not committed baselines.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use sj_bench::suite::{cell_matrix, document, run_cell};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_suite [--quick] [--out FILE] [--list]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--list" => list = true,
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
+    let cells = cell_matrix();
+    if list {
+        for spec in &cells {
+            println!("{}", spec.id());
+        }
+        return;
+    }
+
+    let started = Instant::now();
+    let mut results = Vec::with_capacity(cells.len());
+    for (i, spec) in cells.iter().enumerate() {
+        let cell_started = Instant::now();
+        let result = run_cell(spec, quick);
+        eprintln!(
+            "[{:>3}/{}] {:<55} {:>8.3}s",
+            i + 1,
+            cells.len(),
+            spec.id(),
+            cell_started.elapsed().as_secs_f64()
+        );
+        results.push(result);
+    }
+    eprintln!(
+        "suite complete: {} cells in {:.1}s ({} mode)",
+        results.len(),
+        started.elapsed().as_secs_f64(),
+        if quick { "quick" } else { "full" }
+    );
+
+    let doc = document(&results, quick);
+    match out {
+        Some(path) => std::fs::write(&path, doc).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => std::io::stdout()
+            .write_all(doc.as_bytes())
+            .expect("stdout write"),
+    }
+}

@@ -11,6 +11,7 @@
 //! Run: `cargo run -p sj-bench --release --bin table3 [--ticks N] [--csv]`
 
 use sj_bench::cli::CommonOpts;
+use sj_bench::report::JsonLine;
 use sj_bench::table::{count, Table};
 use sj_core::driver::TickActions;
 use sj_core::geom::Rect;
@@ -85,6 +86,25 @@ fn main() {
 
     let before = profile_stage(Stage::Original, &opts);
     let after = profile_stage(Stage::CpsTuned, &opts);
+
+    if opts.json {
+        // One line per profiled stage, same reader-friendly shape as the
+        // timing binaries (the counters replace the RunStats fields).
+        for (stage, s) in [("grid:original", &before), ("grid:cps-tuned", &after)] {
+            println!(
+                "{}",
+                JsonLine::new("table3")
+                    .str("technique", stage)
+                    .num("cpi", model.cpi(s))
+                    .int("instrs", s.instrs)
+                    .int("l1_misses", s.l1_misses)
+                    .int("l2_misses", s.l2_misses)
+                    .int("l3_misses", s.l3_misses)
+                    .finish()
+            );
+        }
+        return;
+    }
 
     println!("# Table 3: profiling, 50% queries and updates (simulated i7 hierarchy)");
     let mut t = Table::new(vec![

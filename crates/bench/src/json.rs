@@ -1,0 +1,511 @@
+//! A minimal JSON parser for the trajectory tooling.
+//!
+//! `bench_compare` has to read `BENCH_*.json` files back, and the
+//! container has no serde — so this is the read half of the hand-rolled
+//! pair whose write half is [`crate::report::JsonLine`]. It is a strict
+//! recursive-descent parser over the JSON grammar (objects, arrays,
+//! strings with escapes, numbers, booleans, `null`): in particular the
+//! bare `NaN`/`inf`/`Infinity` tokens some writers emit for non-finite
+//! floats are **rejected with a targeted error**, because a trajectory
+//! file poisoned by a non-finite timing must fail loudly, not parse as
+//! something else (see the ISSUE-6 satellite on non-finite `JsonLine`
+//! fields).
+//!
+//! Scope: exactly what the suite needs. No streaming, no comments, no
+//! trailing commas, objects keep insertion order in a `Vec` (duplicate
+//! keys are a parse error — the writer debug-asserts against them, the
+//! reader must not silently last-one-wins either).
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// JSON numbers are IEEE doubles; 64-bit integers that need lossless
+    /// round-trips (the join checksum) travel as hex strings instead.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered; keys are unique (enforced at parse time).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the top-level value"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number with an
+    /// exact `u64` representation (counts, tick numbers, seeds).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+/// A parse failure: byte offset plus message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    pub offset: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting bound: the suite's documents are two levels deep; anything
+/// deeper than this is hostile or corrupt, and bounding recursion keeps
+/// the parser panic-free on adversarial input.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    /// Consume `word` if it is next (used for the keyword literals).
+    fn literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than the suite schema allows"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.literal("null") => Ok(Json::Null),
+            // The poison tokens this parser exists to catch: a writer that
+            // formatted a non-finite float. Name them explicitly so the
+            // error says what went wrong upstream, not just "bad char".
+            Some(b'N' | b'I') if self.non_finite_token() => Err(self.err(
+                "non-finite number token (NaN/Infinity) — not valid JSON; \
+                 the producing run emitted a non-finite measurement",
+            )),
+            Some(b'i') if self.non_finite_token() => Err(self.err(
+                "non-finite number token (inf) — not valid JSON; \
+                 the producing run emitted a non-finite measurement",
+            )),
+            Some(b'-')
+                if self.bytes[self.pos..].starts_with(b"-inf")
+                    || self.bytes[self.pos..].starts_with(b"-Infinity")
+                    || self.bytes[self.pos..].starts_with(b"-NaN") =>
+            {
+                Err(self.err(
+                    "non-finite number token — not valid JSON; \
+                     the producing run emitted a non-finite measurement",
+                ))
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn non_finite_token(&self) -> bool {
+        let rest = &self.bytes[self.pos..];
+        rest.starts_with(b"NaN") || rest.starts_with(b"Infinity") || rest.starts_with(b"inf")
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key_at = self.pos;
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                self.pos = key_at;
+                return Err(self.err(format!("duplicate object key {key:?}")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by \u-escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                if !self.literal("\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000
+                                    + ((unit as u32 - 0xD800) << 10)
+                                    + (low as u32 - 0xDC00);
+                                char::from_u32(cp).ok_or_else(|| self.err("bad surrogate pair"))?
+                            } else if (0xDC00..0xE000).contains(&unit) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(unit as u32)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            // hex4 leaves pos past the last digit; skip the
+                            // shared `self.pos += 1` below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 is passed through verbatim; the
+                    // input is a &str so the bytes are valid.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(digits).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u16::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_at = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_at {
+            return Err(self.err("expected digits in number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_at = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_at {
+                return Err(self.err("expected digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_at = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_at {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("invalid number {text:?}")))?;
+        if !n.is_finite() {
+            // Syntactically valid but overflowing (e.g. 1e999): reject —
+            // a trajectory must never carry a non-finite value.
+            return Err(self.err(format!("number {text:?} overflows to infinity")));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn scalars_and_keywords() {
+        assert_eq!(parse("null"), Json::Null);
+        assert_eq!(parse("true"), Json::Bool(true));
+        assert_eq!(parse("false"), Json::Bool(false));
+        assert_eq!(parse("0"), Json::Num(0.0));
+        assert_eq!(parse("-12.5e2"), Json::Num(-1250.0));
+        assert_eq!(parse(r#""hi""#), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn objects_keep_order_and_arrays_nest() {
+        let v = parse(r#"{"b":1,"a":[2,{"c":null}]}"#);
+        assert_eq!(v.get("b").and_then(Json::as_f64), Some(1.0));
+        let arr = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(arr[0], Json::Num(2.0));
+        assert!(arr[1].get("c").unwrap().is_null());
+        // Insertion order preserved.
+        match &v {
+            Json::Obj(fields) => assert_eq!(fields[0].0, "b"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_output_round_trips() {
+        use crate::report::JsonLine;
+        let line = JsonLine::new("suite")
+            .str("technique", "Simple Grid \"quoted\"\n\t\\")
+            .num("x", 0.5)
+            .num("bad", f64::NAN)
+            .int("n", 123)
+            .finish();
+        let v = parse(&line);
+        assert_eq!(v.get("bench").and_then(Json::as_str), Some("suite"));
+        assert_eq!(
+            v.get("technique").and_then(Json::as_str),
+            Some("Simple Grid \"quoted\"\n\t\\")
+        );
+        assert_eq!(v.get("x").and_then(Json::as_f64), Some(0.5));
+        assert!(v.get("bad").unwrap().is_null());
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(123));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        assert_eq!(
+            parse(r#""a\u0041\n\u00e9\u20ac""#),
+            Json::Str("aA\né€".into())
+        );
+        // Surrogate pair: U+1F600.
+        assert_eq!(parse(r#""\ud83d\ude00""#), Json::Str("😀".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err()); // lone high surrogate
+        assert!(Json::parse("\"a\nb\"").is_err()); // raw control char
+    }
+
+    #[test]
+    fn non_finite_tokens_are_rejected_with_a_targeted_error() {
+        for text in [
+            "NaN",
+            "inf",
+            "-inf",
+            "Infinity",
+            "-Infinity",
+            r#"{"avg_tick_s":NaN}"#,
+            r#"{"avg_tick_s":inf}"#,
+        ] {
+            let err = Json::parse(text).unwrap_err();
+            assert!(
+                err.msg.contains("non-finite"),
+                "{text}: unexpected error {err}"
+            );
+        }
+        // Overflowing literals are equally non-finite.
+        assert!(Json::parse("1e999").unwrap_err().msg.contains("overflows"));
+    }
+
+    #[test]
+    fn malformed_documents_error_not_panic() {
+        for text in [
+            "",
+            "{",
+            "[",
+            "{\"a\"}",
+            "{\"a\":1,}",
+            "[1,]",
+            "tru",
+            "nul",
+            "\"",
+            "01x",
+            "1 2",
+            "{\"a\":1}extra",
+            "--1",
+            "1.",
+            "1e",
+            "\"\\q\"",
+            "\"\\u12\"",
+        ] {
+            assert!(Json::parse(text).is_err(), "{text:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_a_parse_error() {
+        let err = Json::parse(r#"{"a":1,"a":2}"#).unwrap_err();
+        assert!(err.msg.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(30) + &"]".repeat(30);
+        assert!(Json::parse(&ok).is_ok());
+    }
+}

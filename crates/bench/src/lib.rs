@@ -20,7 +20,10 @@ use sj_workload::{
 };
 
 pub mod cli;
+pub mod compare;
+pub mod json;
 pub mod report;
+pub mod suite;
 pub mod table;
 
 /// Drive `technique` through the workload named by `wspec` (binaries pass
@@ -90,6 +93,35 @@ pub fn run_joined_spec(
         &mut spec.build(params.space_side),
         exec,
     )
+}
+
+/// Build the two relations of an R ⋈ S join at explicit populations and
+/// drive one run — the asymmetry sweep's cell runner, shared with the
+/// trajectory suite so both pin bit-identical cells. The seed
+/// decorrelation comes from [`JoinSpec::query_rel_params`], so the 1/K
+/// cells here match `run_joined_spec` with a `:ratio<K>` spec exactly.
+pub fn run_asymmetric_cell(
+    r_spec: WorkloadSpec,
+    s_spec: WorkloadSpec,
+    r_points: u32,
+    s_points: u32,
+    params: &WorkloadParams,
+    tech: TechniqueSpec,
+    exec: ExecMode,
+) -> RunStats {
+    let r_params = WorkloadParams {
+        num_points: r_points,
+        ..JoinSpec::bipartite(r_spec, s_spec).query_rel_params(*params)
+    };
+    let s_params = WorkloadParams {
+        num_points: s_points,
+        ..*params
+    };
+    let mut r = r_spec.build(r_params);
+    let mut s = s_spec.build(s_params);
+    let cfg = DriverConfig::new(params.ticks, warmup_for(params.ticks)).with_exec(exec);
+    tech.build(params.space_side)
+        .run_bipartite(&mut *r, &mut *s, cfg)
 }
 
 /// [`run_workload`] over the Table 1 uniform workload.

@@ -5,7 +5,12 @@
 //! trajectory without parsing aligned text. Hand-rolled (the container has
 //! no serde): strings are escaped, numbers use Rust's shortest round-trip
 //! formatting, and the checksum is emitted as a hex *string* because JSON
-//! numbers cannot carry 64 bits losslessly.
+//! numbers cannot carry 64 bits losslessly. Non-finite floats have no JSON
+//! representation at all — `NaN`/`inf` tokens are invalid JSON — so
+//! [`JsonLine::num`] emits `null` for them (and debug-asserts, since a
+//! non-finite timing is always an upstream bug); the suite parser
+//! ([`crate::json`]) rejects both the bare tokens and, at the comparison
+//! layer, the `null`s.
 
 use sj_core::driver::RunStats;
 
@@ -13,6 +18,10 @@ use sj_core::driver::RunStats;
 #[derive(Debug)]
 pub struct JsonLine {
     buf: String,
+    /// Keys written so far — duplicate keys are legal JSON but parse as
+    /// last-one-wins, silently hiding a harness bug; guarded in debug.
+    #[cfg(debug_assertions)]
+    keys: Vec<String>,
 }
 
 impl JsonLine {
@@ -20,6 +29,8 @@ impl JsonLine {
     pub fn new(bench: &str) -> JsonLine {
         let mut line = JsonLine {
             buf: String::from("{"),
+            #[cfg(debug_assertions)]
+            keys: Vec::new(),
         };
         line.push_key("bench");
         line.push_string(bench);
@@ -27,6 +38,14 @@ impl JsonLine {
     }
 
     fn push_key(&mut self, key: &str) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                !self.keys.iter().any(|k| k == key),
+                "duplicate JSON key {key:?}: a reader would keep only the last value"
+            );
+            self.keys.push(key.to_string());
+        }
         if self.buf.len() > 1 {
             self.buf.push(',');
         }
@@ -59,12 +78,20 @@ impl JsonLine {
         self
     }
 
-    /// Append a float field (finite values only; the harness reports
-    /// wall-clock seconds and counts, which always are).
+    /// Append a float field. The harness reports wall-clock seconds and
+    /// counts, which are always finite — but a NaN or infinity from an
+    /// upstream bug must not poison the output: bare `NaN`/`inf` tokens
+    /// are invalid JSON (Rust's `{}` formatting would emit exactly those),
+    /// so non-finite values are emitted as `null`, which parses cleanly
+    /// and is then rejected downstream by `bench_compare` with a clear
+    /// error naming the field.
     pub fn num(mut self, key: &str, value: f64) -> JsonLine {
-        debug_assert!(value.is_finite(), "non-finite JSON number for {key}");
         self.push_key(key);
-        self.buf.push_str(&format!("{value}"));
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value}"));
+        } else {
+            self.buf.push_str("null");
+        }
         self
     }
 
@@ -166,8 +193,8 @@ mod tests {
     #[test]
     fn zero_tick_runs_emit_finite_zero_averages() {
         // A warmup-only (ticks = 0) run has no measured ticks; the
-        // averages are defined as 0.0 — `num`'s finite-number assertion
-        // would reject the NaN an unguarded empty mean produces.
+        // averages are defined as 0.0 — an unguarded empty mean would
+        // produce a NaN, which `num` would have to degrade to `null`.
         let stats = RunStats::default();
         assert!(stats.ticks.is_empty());
         let line = JsonLine::new("t").stats(&stats).finish();
@@ -175,6 +202,36 @@ mod tests {
             assert!(line.contains(&format!("\"{key}\":0")), "{line}");
         }
         assert!(!line.contains("NaN") && !line.contains("null"), "{line}");
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_null_not_invalid_json() {
+        // Rust's shortest round-trip formatting would write the bare
+        // tokens `NaN` / `inf` / `-inf` — invalid JSON that would silently
+        // poison a BENCH_*.json trajectory. The builder emits `null`
+        // instead, which any JSON parser accepts and the comparator
+        // rejects loudly (see crate::json and crate::compare tests).
+        let line = JsonLine::new("t")
+            .num("bad", f64::NAN)
+            .num("pos", f64::INFINITY)
+            .num("neg", f64::NEG_INFINITY)
+            .num("ok", 1.5)
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"bench":"t","bad":null,"pos":null,"neg":null,"ok":1.5}"#
+        );
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate JSON key")]
+    fn duplicate_keys_are_rejected_in_debug() {
+        // Duplicate keys are legal JSON but parse last-one-wins — a
+        // harness binary emitting the same field twice would silently
+        // shadow the first value. The builder catches it at write time.
+        let _ = JsonLine::new("t").num("x", 1.0).num("x", 2.0);
     }
 
     #[test]

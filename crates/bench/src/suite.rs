@@ -1,0 +1,374 @@
+//! The pinned benchmark trajectory suite (`bench_suite`).
+//!
+//! Every PR's performance claims are judged against a committed
+//! `BENCH_<n>.json` snapshot. The snapshot is only meaningful if the cells
+//! it pins are *identical* run to run — same seeds, same populations, same
+//! tick counts, same technique line-up — so this module hard-codes the
+//! matrix instead of deriving it from CLI defaults that a later PR might
+//! retune:
+//!
+//! - **table2** — the per-phase breakdown for every benchmarkable registry
+//!   technique, over uniform, Gaussian-hotspot, and churn populations
+//!   (self-join), plus a bipartite `uniform ⋈ gaussian:h3` at ratio 10 for
+//!   a core subset.
+//! - **scaling** — the query phase at 1/2/4/8 workers for a core subset
+//!   (the Tsitsigkos-style thread cells the upcoming tile-parallel mode
+//!   must beat).
+//! - **asymmetry** — the |R|/|S| ∈ {1/100, 1/10, 1, 10} bipartite cells
+//!   for a small subset.
+//!
+//! Two parameter scales share the matrix: **full** (committed baselines)
+//! and **quick** (CI smoke). A cell's identity is its `cell` string; its
+//! *comparability* additionally requires equal `ticks`/`points`/`seed`/
+//! `threads` — [`crate::compare`] refuses to diff timings across scales.
+//!
+//! The document is assembled by hand (one cell object per line, flat via
+//! [`crate::report::JsonLine`]) and read back by [`crate::json`]; schema
+//! changes must bump [`SCHEMA_VERSION`].
+
+use sj_core::driver::RunStats;
+use sj_core::par::ExecMode;
+use sj_core::technique::{registry, TechniqueSpec};
+use sj_workload::{JoinSpec, WorkloadKind, WorkloadParams, WorkloadSpec};
+
+use crate::report::JsonLine;
+use crate::{run_asymmetric_cell, run_joined_spec, run_workload_spec};
+
+/// Bump on any change to the document layout or cell record fields.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Every suite cell runs at this workload seed (the repo-wide golden
+/// seed; the determinism suite pins checksums at the same value).
+pub const SUITE_SEED: u64 = 42;
+
+/// Full-scale parameters (committed `BENCH_<n>.json` baselines).
+pub const FULL_POINTS: u32 = 20_000;
+pub const FULL_TICKS: u32 = 6;
+
+/// Quick-scale parameters (CI smoke; same matrix, smaller cells).
+pub const QUICK_POINTS: u32 = 4_000;
+pub const QUICK_TICKS: u32 = 3;
+
+/// The thread counts of the scaling cells.
+pub const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The asymmetry cells' `(r_scale, s_scale)` divisors (relation population
+/// = `points / scale`), mirroring the asymmetry binary's sweep.
+pub const ASYMMETRY_SCALES: [(u32, u32); 4] = [(100, 1), (10, 1), (1, 1), (1, 10)];
+
+/// One pinned cell: what to run and under which knobs. `threads == 0`
+/// means a sequential query phase; scaling cells set it to their worker
+/// count. Asymmetry cells carry explicit relation scales; every other
+/// cell has `scales == (1, 1)`.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    pub bench: &'static str,
+    pub technique: TechniqueSpec,
+    pub workload: WorkloadSpec,
+    pub join: JoinSpec,
+    pub threads: usize,
+    pub scales: (u32, u32),
+}
+
+impl CellSpec {
+    /// The cell's identity string — stable across parameter scales, unique
+    /// within the matrix (asserted by tests).
+    pub fn id(&self) -> String {
+        let mut id = format!("{}/{}", self.bench, self.join.name());
+        if self.join.is_self() {
+            id.push('/');
+            id.push_str(&self.workload.name());
+        }
+        if self.scales != (1, 1) {
+            id.push_str(&format!("/r{}s{}", self.scales.0, self.scales.1));
+        }
+        id.push('/');
+        id.push_str(&self.technique.name());
+        if self.threads > 0 {
+            id.push_str(&format!("/t{}", self.threads));
+        }
+        id
+    }
+}
+
+/// A completed cell: the spec, the exact parameters it ran at, and the
+/// driver's measurements.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    pub spec: CellSpec,
+    pub ticks: u32,
+    pub points: u32,
+    pub seed: u64,
+    pub stats: RunStats,
+}
+
+/// Core subset for the sweeps that would explode combinatorially over the
+/// whole registry: the tuned grids, the static R-tree, and the plane sweep
+/// cover the three technique categories (grid, tree, specialized join).
+fn core_subset() -> Vec<TechniqueSpec> {
+    ["grid:bs-tuned", "grid:inline", "rtree:str", "sweep"]
+        .iter()
+        .map(|s| TechniqueSpec::parse(s).expect("core subset specs are canonical"))
+        .collect()
+}
+
+/// The full pinned matrix, in a deterministic order.
+pub fn cell_matrix() -> Vec<CellSpec> {
+    let uniform = WorkloadKind::Uniform.spec();
+    let gaussian = WorkloadSpec::parse("gaussian:h3").expect("registry spec");
+    let churn = WorkloadSpec::parse("churn:uniform").expect("registry spec");
+    let bipartite = JoinSpec::parse("bipartite:uniformxgaussian:h3:ratio10").expect("join spec");
+
+    let mut cells = Vec::new();
+    // table2: every benchmarkable technique × the three population models.
+    for wspec in [uniform, gaussian, churn] {
+        for spec in registry().into_iter().filter(|s| s.is_benchmarkable()) {
+            cells.push(CellSpec {
+                bench: "table2",
+                technique: spec,
+                workload: wspec,
+                join: JoinSpec::SelfJoin,
+                threads: 0,
+                scales: (1, 1),
+            });
+        }
+    }
+    // table2, bipartite shape: the core subset plus the remaining tree and
+    // point-quantized techniques keep the R ⋈ S path on the trajectory.
+    for name in [
+        "grid:bs-tuned",
+        "grid:inline",
+        "rtree:str",
+        "crtree",
+        "kdtrie",
+        "sweep",
+    ] {
+        cells.push(CellSpec {
+            bench: "table2",
+            technique: TechniqueSpec::parse(name).expect("canonical spec"),
+            workload: uniform,
+            join: bipartite,
+            threads: 0,
+            scales: (1, 1),
+        });
+    }
+    // scaling: core subset × worker counts, uniform self-join.
+    for spec in core_subset() {
+        for n in SCALING_THREADS {
+            cells.push(CellSpec {
+                bench: "scaling",
+                technique: spec,
+                workload: uniform,
+                join: JoinSpec::SelfJoin,
+                threads: n,
+                scales: (1, 1),
+            });
+        }
+    }
+    // asymmetry: |R|/|S| cells over uniform ⋈ gaussian:h3.
+    let asym_join = JoinSpec::bipartite(uniform, gaussian);
+    for spec in core_subset() {
+        for scales in ASYMMETRY_SCALES {
+            cells.push(CellSpec {
+                bench: "asymmetry",
+                technique: spec,
+                workload: uniform,
+                join: asym_join,
+                threads: 0,
+                scales,
+            });
+        }
+    }
+    cells
+}
+
+/// The pinned parameters for one scale.
+pub fn suite_params(quick: bool) -> WorkloadParams {
+    WorkloadParams {
+        ticks: if quick { QUICK_TICKS } else { FULL_TICKS },
+        num_points: if quick { QUICK_POINTS } else { FULL_POINTS },
+        seed: SUITE_SEED,
+        ..WorkloadParams::default()
+    }
+}
+
+/// Run one cell at the given scale.
+pub fn run_cell(spec: &CellSpec, quick: bool) -> CellResult {
+    let params = suite_params(quick);
+    let stats = if spec.scales != (1, 1) {
+        let (r_spec, s_spec) = spec
+            .join
+            .workloads()
+            .expect("asymmetry cells are bipartite");
+        let r_points = (params.num_points / spec.scales.0).max(1);
+        let s_points = (params.num_points / spec.scales.1).max(1);
+        run_asymmetric_cell(
+            r_spec,
+            s_spec,
+            r_points,
+            s_points,
+            &params,
+            spec.technique,
+            ExecMode::Sequential,
+        )
+    } else if spec.threads > 0 {
+        let exec = ExecMode::parallel(spec.threads).expect("pinned thread counts are nonzero");
+        run_workload_spec(
+            spec.workload,
+            &params,
+            spec.technique.with_exec(exec),
+            ExecMode::Sequential,
+        )
+    } else {
+        run_joined_spec(
+            spec.join,
+            spec.workload,
+            &params,
+            spec.technique,
+            ExecMode::Sequential,
+        )
+    };
+    CellResult {
+        spec: spec.clone(),
+        ticks: params.ticks,
+        points: params.num_points,
+        seed: params.seed,
+        stats,
+    }
+}
+
+/// One flat JSON object for a completed cell (the document's `cells`
+/// elements; also what the round-trip tests feed the parser).
+pub fn cell_line(r: &CellResult) -> String {
+    JsonLine::new(r.spec.bench)
+        .str("cell", &r.spec.id())
+        .str("technique", &r.spec.technique.name())
+        .str("workload", &r.spec.workload.name())
+        .str("join", &r.spec.join.name())
+        .int("threads", r.spec.threads as u64)
+        .int("ticks", r.ticks as u64)
+        .int("points", r.points as u64)
+        .int("seed", r.seed)
+        .stats(&r.stats)
+        .finish()
+}
+
+/// Assemble the schema-versioned suite document: a small header plus one
+/// cell object per line (line-oriented so `BENCH_*.json` diffs review
+/// cell by cell).
+pub fn document(results: &[CellResult], quick: bool) -> String {
+    let mut doc = String::new();
+    doc.push_str(&format!(
+        "{{\"suite\":\"sj-bench\",\"schema_version\":{SCHEMA_VERSION},\
+         \"mode\":\"{}\",\"seed\":{SUITE_SEED},\"cells\":[\n",
+        if quick { "quick" } else { "full" }
+    ));
+    for (i, r) in results.iter().enumerate() {
+        doc.push_str(&cell_line(r));
+        if i + 1 < results.len() {
+            doc.push(',');
+        }
+        doc.push('\n');
+    }
+    doc.push_str("]}\n");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use std::collections::HashSet;
+
+    #[test]
+    fn matrix_cell_ids_are_unique_and_stable() {
+        let cells = cell_matrix();
+        assert!(cells.len() > 50, "matrix shrank to {}", cells.len());
+        let ids: HashSet<String> = cells.iter().map(CellSpec::id).collect();
+        assert_eq!(ids.len(), cells.len(), "duplicate cell ids");
+        // Spot-check the id grammar each bench family uses.
+        assert!(ids.contains("table2/self/uniform/grid:inline"));
+        assert!(ids.contains("table2/self/churn:uniform/sweep"));
+        assert!(ids.contains("table2/bipartite:uniformxgaussian:h3:ratio10/rtree:str"));
+        assert!(ids.contains("scaling/self/uniform/grid:bs-tuned/t8"));
+        assert!(ids.contains("asymmetry/bipartite:uniformxgaussian:h3/r100s1/sweep"));
+    }
+
+    #[test]
+    fn matrix_covers_the_pinned_axes() {
+        let cells = cell_matrix();
+        let benches: HashSet<&str> = cells.iter().map(|c| c.bench).collect();
+        assert_eq!(benches.len(), 3);
+        // Self + bipartite, uniform + gaussian + churn, 1/2/4/8 threads.
+        assert!(cells.iter().any(|c| !c.join.is_self()));
+        for w in ["uniform", "gaussian:h3", "churn:uniform"] {
+            assert!(
+                cells
+                    .iter()
+                    .any(|c| c.join.is_self() && c.workload.name() == w),
+                "no self cell over {w}"
+            );
+        }
+        for n in SCALING_THREADS {
+            assert!(cells.iter().any(|c| c.threads == n));
+        }
+        // Every benchmarkable registry technique appears somewhere.
+        for spec in registry().into_iter().filter(|s| s.is_benchmarkable()) {
+            assert!(
+                cells.iter().any(|c| c.technique == spec),
+                "{} missing from the matrix",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn quick_cells_run_and_the_document_parses() {
+        // Two cheap-but-distinct cells end to end through the real runner
+        // (the full matrix is exercised by the bench_suite binary and CI).
+        let cells = cell_matrix();
+        let picks: Vec<&CellSpec> = cells.iter().filter(|c| c.spec_is_cheap()).take(3).collect();
+        assert!(picks.len() >= 2);
+        let results: Vec<CellResult> = picks.iter().map(|c| run_cell(c, true)).collect();
+        for r in &results {
+            assert!(r.stats.result_pairs > 0, "{}: no pairs", r.spec.id());
+            assert_eq!(r.points, QUICK_POINTS);
+        }
+        let doc = document(&results, true);
+        let v = Json::parse(&doc).expect("suite document must be valid JSON");
+        assert_eq!(
+            v.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(v.get("mode").and_then(Json::as_str), Some("quick"));
+        let parsed_cells = v.get("cells").and_then(Json::as_array).unwrap();
+        assert_eq!(parsed_cells.len(), results.len());
+        for (cell, r) in parsed_cells.iter().zip(&results) {
+            assert_eq!(
+                cell.get("cell").and_then(Json::as_str),
+                Some(r.spec.id()).as_deref()
+            );
+            assert_eq!(
+                cell.get("checksum").and_then(Json::as_str),
+                Some(format!("{:#x}", r.stats.checksum)).as_deref()
+            );
+            assert_eq!(
+                cell.get("points").and_then(Json::as_u64),
+                Some(QUICK_POINTS as u64)
+            );
+        }
+    }
+
+    impl CellSpec {
+        /// Test helper: cells cheap enough for the unit-test tier.
+        fn spec_is_cheap(&self) -> bool {
+            self.join.is_self()
+                && self.threads == 0
+                && self.workload.name() == "uniform"
+                && matches!(
+                    self.technique.name().as_str(),
+                    "grid:inline" | "sweep" | "kdtrie"
+                )
+        }
+    }
+}

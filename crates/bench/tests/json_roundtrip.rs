@@ -1,0 +1,119 @@
+//! Every harness binary's `--json` output must round-trip through the
+//! `bench_compare` reader.
+//!
+//! The writers ([`sj_bench::report`]) and the reader ([`sj_bench::json`] /
+//! [`sj_bench::compare`]) are hand-rolled independently; this suite pins
+//! them against each other with *real* measurements — one cheap cell per
+//! registry technique, formatted in every shape the binaries emit
+//! (`table2`-style bare lines, `scaling`/`fig`-style sweep lines,
+//! `asymmetry`-style ratio lines) — rather than hand-written fixtures
+//! that would drift from the writer.
+
+use sj_bench::json::Json;
+use sj_bench::report::stats_line;
+use sj_bench::run_workload_spec;
+use sj_bench::suite::{cell_matrix, document, run_cell};
+use sj_core::driver::RunStats;
+use sj_core::par::ExecMode;
+use sj_workload::{WorkloadKind, WorkloadParams};
+
+fn cheap_params() -> WorkloadParams {
+    WorkloadParams {
+        num_points: 1_500,
+        ticks: 2,
+        seed: 42,
+        ..WorkloadParams::default()
+    }
+}
+
+/// The field checks `bench_compare`'s loader applies to a cell record,
+/// adapted to a bare harness line (no pinned-parameter fields).
+fn assert_line_round_trips(line: &str, bench: &str, technique: &str, stats: &RunStats) {
+    let v = Json::parse(line).unwrap_or_else(|e| panic!("{bench}/{technique}: {e}\n{line}"));
+    assert_eq!(v.get("bench").and_then(Json::as_str), Some(bench));
+    assert_eq!(v.get("technique").and_then(Json::as_str), Some(technique));
+    for key in ["avg_tick_s", "build_s", "query_s", "update_s"] {
+        let n = v
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{bench}/{technique}: {key} missing or non-numeric"));
+        assert!(
+            n.is_finite() && n >= 0.0,
+            "{bench}/{technique}: {key} = {n}"
+        );
+    }
+    assert_eq!(
+        v.get("pairs").and_then(Json::as_u64),
+        Some(stats.result_pairs)
+    );
+    assert_eq!(v.get("queries").and_then(Json::as_u64), Some(stats.queries));
+    let checksum = v
+        .get("checksum")
+        .and_then(Json::as_str)
+        .expect("checksum field");
+    let parsed = u64::from_str_radix(checksum.trim_start_matches("0x"), 16)
+        .unwrap_or_else(|_| panic!("{bench}/{technique}: checksum {checksum:?} is not hex"));
+    assert_eq!(parsed, stats.checksum);
+}
+
+#[test]
+fn every_registry_technique_round_trips_in_every_harness_shape() {
+    let params = cheap_params();
+    for spec in sj_core::technique::registry()
+        .into_iter()
+        .filter(|s| s.is_benchmarkable())
+    {
+        let stats = run_workload_spec(
+            WorkloadKind::Uniform.spec(),
+            &params,
+            spec,
+            ExecMode::Sequential,
+        );
+        let name = spec.name();
+        // The three line shapes the harness binaries emit.
+        let shapes: [(&str, Option<(&str, f64)>); 3] = [
+            ("table2", None),
+            ("scaling", Some(("threads", 4.0))),
+            ("asymmetry", Some(("r_over_s", 0.1))),
+        ];
+        for (bench, sweep) in shapes {
+            let line = stats_line(bench, &name, sweep, &stats);
+            assert_line_round_trips(&line, bench, &name, &stats);
+            if let Some((key, val)) = sweep {
+                let v = Json::parse(&line).unwrap();
+                assert_eq!(v.get(key).and_then(Json::as_f64), Some(val));
+            }
+        }
+    }
+}
+
+#[test]
+fn a_real_suite_document_self_compares_clean() {
+    // Two genuinely-run matrix cells through the full pipeline:
+    // run → document → bench_compare loader → self-diff.
+    use sj_bench::compare::{compare, load, DEFAULT_THRESHOLD};
+    let cells = cell_matrix();
+    let picks: Vec<_> = cells
+        .iter()
+        .filter(|c| {
+            c.join.is_self()
+                && c.threads == 0
+                && c.workload.name() == "uniform"
+                && matches!(c.technique.name().as_str(), "grid:inline" | "rtree:str")
+        })
+        .collect();
+    assert_eq!(picks.len(), 2);
+    let results: Vec<_> = picks.iter().map(|c| run_cell(c, true)).collect();
+    let doc = document(&results, true);
+    let parsed = load(&doc).unwrap_or_else(|e| panic!("loader rejected a real document: {e}"));
+    assert_eq!(parsed.mode, "quick");
+    assert_eq!(parsed.cells.len(), 2);
+    for (cell, r) in parsed.cells.iter().zip(&results) {
+        assert_eq!(cell.id, r.spec.id());
+        assert_eq!(cell.pairs, r.stats.result_pairs);
+        assert!(cell.avg_tick_s > 0.0);
+    }
+    let report = compare(&parsed, &parsed, DEFAULT_THRESHOLD, false);
+    assert!(report.passed(), "{:?}", report.findings);
+    assert!(report.failures().is_empty());
+}

@@ -12,7 +12,7 @@
 //! [`VecSearchJoin`] is this repository's extension of the same idea taken
 //! one implementation step further (in the paper's spirit): the build
 //! copies the coordinates into x-sorted SoA columns so the in-range
-//! candidates are *contiguous*, and the y-filter runs through the SSE2
+//! candidates are *contiguous*, and the y-filter runs through the SIMD
 //! kernel in [`sj_base::simd`]. Same algorithm, different implementation —
 //! the `ablation` bench measures what that is worth.
 

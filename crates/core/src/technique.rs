@@ -217,7 +217,7 @@ pub enum TechniqueKind {
     Scan,
     /// Binary Search baseline (`binsearch`), paper §2.2.
     BinarySearch,
-    /// Binary Search over sorted SoA columns with the SSE2 filter
+    /// Binary Search over sorted SoA columns with the SIMD filter
     /// (`binsearch:simd`) — this repository's extension.
     VecSearch,
     /// Simple Grid at one of the paper's cumulative improvement stages

@@ -111,6 +111,45 @@ impl CRTree {
             }
         }
     }
+
+    /// Depth-first query descent. Recursive — height is logarithmic in the
+    /// fanout — so the per-query hot path allocates nothing.
+    fn query_subtree(
+        &self,
+        ni: u32,
+        table: &PointTable,
+        region: &Rect,
+        emit: &mut dyn FnMut(EntryId),
+    ) {
+        let n = &self.nodes[ni as usize];
+        if region.contains_rect(&n.mbr) {
+            self.report_subtree(ni, emit);
+            return;
+        }
+        // Quantize the query once per node, relative to its reference
+        // MBR; children are then tested with integer compares only.
+        let q = qquery(region, &n.mbr);
+        if n.leaf {
+            let s = n.start as usize;
+            for i in s..s + n.len as usize {
+                let (qx, qy) = (self.leaf_qx[i], self.leaf_qy[i]);
+                // Integer pre-test (conservative), then exact confirm
+                // against the base table.
+                if qx >= q[0] && qx <= q[2] && qy >= q[1] && qy <= q[3] {
+                    let id = self.leaf_id[i];
+                    if region.contains_point(table.x(id), table.y(id)) {
+                        emit(id);
+                    }
+                }
+            }
+        } else {
+            for c in n.start..n.start + n.len {
+                if q_intersects(&self.child_qmbrs[c as usize], &q) {
+                    self.query_subtree(c, table, region, emit);
+                }
+            }
+        }
+    }
 }
 
 impl SpatialIndex for CRTree {
@@ -219,37 +258,7 @@ impl SpatialIndex for CRTree {
         if !region.intersects(&self.nodes[root as usize].mbr) {
             return;
         }
-        let mut stack: Vec<u32> = vec![root];
-        while let Some(ni) = stack.pop() {
-            let n = &self.nodes[ni as usize];
-            if region.contains_rect(&n.mbr) {
-                self.report_subtree(ni, emit);
-                continue;
-            }
-            // Quantize the query once per node, relative to its reference
-            // MBR; children are then tested with integer compares only.
-            let q = qquery(region, &n.mbr);
-            if n.leaf {
-                let s = n.start as usize;
-                for i in s..s + n.len as usize {
-                    let (qx, qy) = (self.leaf_qx[i], self.leaf_qy[i]);
-                    // Integer pre-test (conservative), then exact confirm
-                    // against the base table.
-                    if qx >= q[0] && qx <= q[2] && qy >= q[1] && qy <= q[3] {
-                        let id = self.leaf_id[i];
-                        if region.contains_point(table.x(id), table.y(id)) {
-                            emit(id);
-                        }
-                    }
-                }
-            } else {
-                for c in n.start..n.start + n.len {
-                    if q_intersects(&self.child_qmbrs[c as usize], &q) {
-                        stack.push(c);
-                    }
-                }
-            }
-        }
+        self.query_subtree(root, table, region, emit);
     }
 
     fn memory_bytes(&self) -> usize {

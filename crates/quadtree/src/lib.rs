@@ -164,6 +164,48 @@ impl QuadTree {
         self.nodes[ni as usize].child_base = base;
         ni
     }
+
+    /// Depth-first query descent. Recursive (depth ≤ MAX_DEPTH) so the
+    /// per-query hot path allocates nothing.
+    fn visit(
+        &self,
+        ni: u32,
+        cx: f32,
+        cy: f32,
+        h: f32,
+        region: &Rect,
+        emit: &mut dyn FnMut(EntryId),
+    ) {
+        let node_rect = Rect::new(cx - h, cy - h, cx + h, cy + h);
+        if !region.intersects(&node_rect) {
+            return;
+        }
+        let node = self.nodes[ni as usize];
+        if node.child_base == NO_CHILDREN {
+            let s = node.start as usize;
+            let e = s + node.len as usize;
+            if region.contains_rect(&node_rect) {
+                for &id in &self.leaf_id[s..e] {
+                    emit(id);
+                }
+            } else {
+                sj_base::simd::filter_range_gather_each(
+                    &self.leaf_x[s..e],
+                    &self.leaf_y[s..e],
+                    &self.leaf_id[s..e],
+                    region,
+                    emit,
+                );
+            }
+        } else {
+            let q = h * 0.5;
+            let base = node.child_base as usize;
+            self.visit(self.child_index[base], cx - q, cy - q, q, region, emit);
+            self.visit(self.child_index[base + 1], cx + q, cy - q, q, region, emit);
+            self.visit(self.child_index[base + 2], cx - q, cy + q, q, region, emit);
+            self.visit(self.child_index[base + 3], cx + q, cy + q, q, region, emit);
+        }
+    }
 }
 
 /// Stable-order in-place partition: moves elements satisfying `pred` to
@@ -204,39 +246,9 @@ impl SpatialIndex for QuadTree {
             return;
         }
         let half = self.space_side * 0.5;
-        // Explicit stack of (node, centre x, centre y, half-side).
-        let mut stack: Vec<(u32, f32, f32, f32)> = vec![(0, half, half, half)];
-        while let Some((ni, cx, cy, h)) = stack.pop() {
-            let node_rect = Rect::new(cx - h, cy - h, cx + h, cy + h);
-            if !region.intersects(&node_rect) {
-                continue;
-            }
-            let node = self.nodes[ni as usize];
-            if node.child_base == NO_CHILDREN {
-                let s = node.start as usize;
-                let e = s + node.len as usize;
-                if region.contains_rect(&node_rect) {
-                    for &id in &self.leaf_id[s..e] {
-                        emit(id);
-                    }
-                } else {
-                    sj_base::simd::filter_range_gather_each(
-                        &self.leaf_x[s..e],
-                        &self.leaf_y[s..e],
-                        &self.leaf_id[s..e],
-                        region,
-                        emit,
-                    );
-                }
-            } else {
-                let q = h * 0.5;
-                let base = node.child_base as usize;
-                stack.push((self.child_index[base], cx - q, cy - q, q));
-                stack.push((self.child_index[base + 1], cx + q, cy - q, q));
-                stack.push((self.child_index[base + 2], cx - q, cy + q, q));
-                stack.push((self.child_index[base + 3], cx + q, cy + q, q));
-            }
-        }
+        // Recursion instead of a heap-allocated stack: the query path runs
+        // once per query per tick, and depth is bounded by MAX_DEPTH.
+        self.visit(0, half, half, half, region, emit);
     }
 
     fn memory_bytes(&self) -> usize {

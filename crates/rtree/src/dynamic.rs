@@ -330,6 +330,29 @@ impl DynRTree {
             }
         }
     }
+
+    /// Depth-first query descent. Recursive — height is logarithmic in the
+    /// fanout — so the per-query hot path allocates nothing.
+    fn query_subtree(&self, ni: u32, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
+        let node = &self.nodes[ni as usize];
+        if !region.intersects(&node.mbr) {
+            return;
+        }
+        match &node.kind {
+            Kind::Leaf(es) => {
+                for &(x, y, id) in es {
+                    if region.contains_point(x, y) {
+                        emit(id);
+                    }
+                }
+            }
+            Kind::Internal(cs) => {
+                for &c in cs {
+                    self.query_subtree(c, region, emit);
+                }
+            }
+        }
+    }
 }
 
 impl SpatialIndex for DynRTree {
@@ -348,23 +371,7 @@ impl SpatialIndex for DynRTree {
         if self.len_entries() == 0 {
             return;
         }
-        let mut stack = vec![self.root];
-        while let Some(ni) = stack.pop() {
-            let node = &self.nodes[ni as usize];
-            if !region.intersects(&node.mbr) {
-                continue;
-            }
-            match &node.kind {
-                Kind::Leaf(es) => {
-                    for &(x, y, id) in es {
-                        if region.contains_point(x, y) {
-                            emit(id);
-                        }
-                    }
-                }
-                Kind::Internal(cs) => stack.extend_from_slice(cs),
-            }
-        }
+        self.query_subtree(self.root, region, emit);
     }
 
     fn memory_bytes(&self) -> usize {

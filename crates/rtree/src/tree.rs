@@ -117,6 +117,29 @@ impl RTree {
             }
         }
     }
+
+    /// Depth-first query descent. Recursive — height is logarithmic in the
+    /// fanout — so the per-query hot path allocates nothing. The caller
+    /// checked that `region` intersects this node's MBR.
+    fn query_subtree(&self, ni: u32, region: &Rect, emit: &mut dyn FnMut(EntryId)) {
+        let n = &self.nodes[ni as usize];
+        if region.contains_rect(&n.mbr) {
+            self.report_subtree(ni, emit);
+        } else if n.leaf {
+            let s = n.start as usize;
+            for i in s..s + n.len as usize {
+                if region.contains_point(self.leaf_x[i], self.leaf_y[i]) {
+                    emit(self.leaf_id[i]);
+                }
+            }
+        } else {
+            for c in n.start..n.start + n.len {
+                if region.intersects(&self.nodes[c as usize].mbr) {
+                    self.query_subtree(c, region, emit);
+                }
+            }
+        }
+    }
 }
 
 impl SpatialIndex for RTree {
@@ -214,26 +237,7 @@ impl SpatialIndex for RTree {
         if !region.intersects(&self.nodes[root as usize].mbr) {
             return;
         }
-        let mut stack: Vec<u32> = vec![root];
-        while let Some(ni) = stack.pop() {
-            let n = &self.nodes[ni as usize];
-            if region.contains_rect(&n.mbr) {
-                self.report_subtree(ni, emit);
-            } else if n.leaf {
-                let s = n.start as usize;
-                for i in s..s + n.len as usize {
-                    if region.contains_point(self.leaf_x[i], self.leaf_y[i]) {
-                        emit(self.leaf_id[i]);
-                    }
-                }
-            } else {
-                for c in n.start..n.start + n.len {
-                    if region.intersects(&self.nodes[c as usize].mbr) {
-                        stack.push(c);
-                    }
-                }
-            }
-        }
+        self.query_subtree(root, region, emit);
     }
 
     fn memory_bytes(&self) -> usize {

@@ -1,0 +1,109 @@
+//! Property-based equivalence of the SIMD filter widths.
+//!
+//! The vectorized range filters ([`spatial_joins::core::simd`]) dispatch
+//! at runtime between scalar, SSE2, and AVX2 code. Their contract is
+//! *bit-identical* output: same candidates, same order, for any column
+//! contents — including the boundary ties where `>=`-vs-`>` mistakes
+//! hide. Coordinates are drawn from a small lattice around the query
+//! edges so a large fraction of points land exactly on them.
+
+use proptest::prelude::*;
+use spatial_joins::core::simd::{filter_range, filter_range_gather, filter_range_scalar};
+use spatial_joins::prelude::*;
+
+/// The query region every case tests against; points are generated to
+/// tie with its edges often.
+const REGION: (f32, f32, f32, f32) = (100.0, 100.0, 200.0, 200.0);
+
+/// A coordinate that is frequently *exactly* on a region edge: one of the
+/// two edge values, a just-outside neighbour, or an interior/exterior
+/// filler.
+fn arb_edge_coord() -> impl Strategy<Value = f32> {
+    prop::sample::select(vec![
+        100.0f32, 200.0, 99.999, 200.001, 150.0, 0.0, 300.0, 100.0, 200.0,
+    ])
+}
+
+fn arb_cols() -> impl Strategy<Value = Vec<(f32, f32)>> {
+    // Lengths straddle the 8-lane AVX2 and 4-lane SSE2 block boundaries.
+    prop::collection::vec((arb_edge_coord(), arb_edge_coord()), 0..70)
+}
+
+proptest! {
+    #[test]
+    fn dispatched_filter_matches_scalar_on_boundary_ties(points in arb_cols()) {
+        let (xs, ys): (Vec<f32>, Vec<f32>) = points.into_iter().unzip();
+        let region = Rect::new(REGION.0, REGION.1, REGION.2, REGION.3);
+        let mut dispatched = Vec::new();
+        filter_range(&xs, &ys, &region, 40, &mut dispatched);
+        let mut scalar = Vec::new();
+        filter_range_scalar(&xs, &ys, &region, 40, &mut scalar);
+        prop_assert_eq!(dispatched, scalar);
+    }
+
+    #[test]
+    fn dispatched_gather_matches_a_naive_loop(points in arb_cols()) {
+        let (xs, ys): (Vec<f32>, Vec<f32>) = points.into_iter().unzip();
+        let ids: Vec<EntryId> = (0..xs.len()).map(|i| 3 + 2 * i as EntryId).collect();
+        let region = Rect::new(REGION.0, REGION.1, REGION.2, REGION.3);
+        let mut dispatched = Vec::new();
+        filter_range_gather(&xs, &ys, &ids, &region, &mut dispatched);
+        let mut naive = Vec::new();
+        for i in 0..xs.len() {
+            if region.contains_point(xs[i], ys[i]) {
+                naive.push(ids[i]);
+            }
+        }
+        prop_assert_eq!(dispatched, naive);
+    }
+}
+
+/// On x86_64 CPUs with AVX2, pin all three widths against each other
+/// directly (the dispatcher only ever runs one of them per CPU).
+#[cfg(target_arch = "x86_64")]
+mod widths {
+    use spatial_joins::core::simd::{
+        filter_range_gather_each_sse2, filter_range_scalar, filter_range_sse2,
+    };
+    use spatial_joins::prelude::*;
+
+    #[test]
+    fn sse2_and_avx2_agree_with_scalar_on_a_dense_tie_lattice() {
+        // Every combination of {edge, just-outside, interior} per axis,
+        // tiled past both vector widths.
+        let vals = [100.0f32, 200.0, 99.999, 200.001, 150.0];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for round in 0..3 {
+            for &x in &vals {
+                for &y in &vals {
+                    xs.push(x + round as f32 * 0.0); // same lattice each round
+                    ys.push(y);
+                }
+            }
+        }
+        let region = Rect::new(100.0, 100.0, 200.0, 200.0);
+        let mut scalar = Vec::new();
+        filter_range_scalar(&xs, &ys, &region, 0, &mut scalar);
+        let mut sse2 = Vec::new();
+        filter_range_sse2(&xs, &ys, &region, 0, &mut sse2);
+        assert_eq!(sse2, scalar);
+        let ids: Vec<EntryId> = (0..xs.len() as EntryId).collect();
+        let mut gathered = Vec::new();
+        filter_range_gather_each_sse2(&xs, &ys, &ids, &region, &mut |e| gathered.push(e));
+        assert_eq!(gathered, scalar);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            use spatial_joins::core::simd::{filter_range_avx2, filter_range_gather_each_avx2};
+            let mut avx2 = Vec::new();
+            // SAFETY: detection checked above.
+            unsafe { filter_range_avx2(&xs, &ys, &region, 0, &mut avx2) };
+            assert_eq!(avx2, scalar);
+            let mut gathered = Vec::new();
+            // SAFETY: detection checked above.
+            unsafe {
+                filter_range_gather_each_avx2(&xs, &ys, &ids, &region, &mut |e| gathered.push(e))
+            };
+            assert_eq!(gathered, scalar);
+        }
+    }
+}
