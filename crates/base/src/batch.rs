@@ -9,7 +9,7 @@
 //! so results are directly comparable with the per-query techniques.
 
 use crate::geom::Rect;
-use crate::table::{EntryId, PointTable};
+use crate::table::{entry_id, EntryId, PointTable};
 
 /// A set-at-a-time spatial join: all of a tick's range queries against
 /// the current base table in one call.
@@ -82,7 +82,7 @@ impl BatchJoin for NaiveBatchJoin {
         for &(q, region) in queries {
             for i in 0..xs.len() {
                 if live[i] && region.contains_point(xs[i], ys[i]) {
-                    out.push((q, i as EntryId));
+                    out.push((q, entry_id(i)));
                 }
             }
         }

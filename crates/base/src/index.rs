@@ -1,7 +1,7 @@
 //! The spatial-index abstraction shared by every join technique.
 
 use crate::geom::Rect;
-use crate::table::{EntryId, PointTable};
+use crate::table::{entry_id, EntryId, PointTable};
 
 /// A static secondary index over a [`PointTable`], in the paper's *static
 /// index nested loop join* category: the index is rebuilt from the base
@@ -88,7 +88,7 @@ impl SpatialIndex for ScanIndex {
         if table.all_live() {
             for i in 0..xs.len() {
                 if region.contains_point(xs[i], ys[i]) {
-                    emit(i as EntryId);
+                    emit(entry_id(i));
                 }
             }
         } else {
@@ -97,7 +97,7 @@ impl SpatialIndex for ScanIndex {
             let live = table.live_mask();
             for i in 0..xs.len() {
                 if live[i] && region.contains_point(xs[i], ys[i]) {
-                    emit(i as EntryId);
+                    emit(entry_id(i));
                 }
             }
         }

@@ -15,7 +15,7 @@
 //! tests assert it on boundary ties, NaN lanes, and random columns.
 
 use crate::geom::Rect;
-use crate::table::EntryId;
+use crate::table::{entry_id, EntryId};
 
 /// Append `base + i` for every `i` with `(xs[i], ys[i])` inside `region`
 /// (closed semantics). `xs` and `ys` must have equal lengths.
@@ -55,7 +55,7 @@ pub fn filter_range_scalar(
 ) {
     for i in 0..xs.len() {
         if region.contains_point(xs[i], ys[i]) {
-            out.push(base + i as EntryId);
+            out.push(base + entry_id(i));
         }
     }
 }
@@ -93,7 +93,7 @@ pub fn filter_range_sse2(
             let mut mask = _mm_movemask_ps(_mm_and_ps(in_x, in_y)) as u32;
             while mask != 0 {
                 let lane = mask.trailing_zeros();
-                out.push(base + (i as u32 + lane) as EntryId);
+                out.push(base + entry_id(i) + lane);
                 mask &= mask - 1;
             }
         }
@@ -101,7 +101,7 @@ pub fn filter_range_sse2(
     // Scalar tail.
     for i in blocks * 4..n {
         if region.contains_point(xs[i], ys[i]) {
-            out.push(base + i as EntryId);
+            out.push(base + entry_id(i));
         }
     }
 }
@@ -151,7 +151,7 @@ pub unsafe fn filter_range_avx2(
             let mut mask = _mm256_movemask_ps(_mm256_and_ps(in_x, in_y)) as u32;
             while mask != 0 {
                 let lane = mask.trailing_zeros();
-                out.push(base + (i as u32 + lane) as EntryId);
+                out.push(base + entry_id(i) + lane);
                 mask &= mask - 1;
             }
         }
@@ -159,7 +159,7 @@ pub unsafe fn filter_range_avx2(
     // Scalar tail (at most 7 points).
     for i in blocks * 8..n {
         if region.contains_point(xs[i], ys[i]) {
-            out.push(base + i as EntryId);
+            out.push(base + entry_id(i));
         }
     }
 }

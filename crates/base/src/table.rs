@@ -25,6 +25,36 @@ use crate::geom::{Point, Rect, Vec2};
 /// framework's `Point*`).
 pub type EntryId = u32;
 
+/// Narrow a row index to an [`EntryId`].
+///
+/// This is the single sanctioned `usize -> EntryId` conversion: every
+/// other module goes through here (enforced by sj-lint's `entry-id-cast`
+/// rule), so the debug-checked narrowing lives in exactly one place. A
+/// table can in principle outgrow `u32::MAX` rows long before the cast
+/// site notices; the `debug_assert!` turns that silent wrap into a test
+/// failure.
+#[inline]
+pub fn entry_id(index: usize) -> EntryId {
+    debug_assert!(
+        index <= EntryId::MAX as usize,
+        "row index {index} overflows EntryId"
+    );
+    index as EntryId
+}
+
+/// Unpack an [`EntryId`] stored widened in a `u64` slot (the grid
+/// layouts pack entries into 8-byte bucket slots to mirror the paper's
+/// 64-bit-pointer memory accounting). Like [`entry_id`], this keeps the
+/// sanctioned truncation in one debug-checked place.
+#[inline]
+pub fn entry_id_u64(slot: u64) -> EntryId {
+    debug_assert!(
+        slot <= EntryId::MAX as u64,
+        "packed slot {slot} is not a valid EntryId"
+    );
+    slot as EntryId
+}
+
 /// Structure-of-arrays base table of object positions.
 #[derive(Clone, Debug, Default)]
 pub struct PointTable {
@@ -48,7 +78,7 @@ impl PointTable {
 
     /// Append a (live) row and return its handle.
     pub fn push(&mut self, x: f32, y: f32) -> EntryId {
-        let id = self.xs.len() as EntryId;
+        let id = entry_id(self.xs.len());
         self.xs.push(x);
         self.ys.push(y);
         self.live.push(true);
@@ -150,7 +180,7 @@ impl PointTable {
             .zip(self.live.iter())
             .enumerate()
             .filter(|(_, (_, &live))| live)
-            .map(|(i, ((&x, &y), _))| (i as EntryId, Point::new(x, y)))
+            .map(|(i, ((&x, &y), _))| (entry_id(i), Point::new(x, y)))
     }
 
     /// Minimum bounding rectangle of all live rows (`None` when empty).
@@ -238,7 +268,7 @@ impl MovingSet {
     pub fn advance_bouncing(&mut self, space: &Rect) {
         let n = self.len();
         for i in 0..n {
-            if !self.positions.is_live(i as EntryId) {
+            if !self.positions.is_live(entry_id(i)) {
                 continue;
             }
             let mut x = self.positions.xs()[i] + self.vx[i];
@@ -261,7 +291,7 @@ impl MovingSet {
             // space side; clamp defensively so the invariant always holds.
             x = x.clamp(space.x1, space.x2);
             y = y.clamp(space.y1, space.y2);
-            self.positions.set_position(i as EntryId, x, y);
+            self.positions.set_position(entry_id(i), x, y);
         }
     }
 }

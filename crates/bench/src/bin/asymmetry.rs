@@ -56,7 +56,8 @@ fn main() {
                 eprintln!("--join self is not supported: asymmetry sweeps bipartite joins only");
                 std::process::exit(2);
             }
-            let uniform = WorkloadSpec::parse("uniform").unwrap();
+            let uniform =
+                WorkloadSpec::parse("uniform").expect("\"uniform\" is a registered workload name");
             (uniform, uniform, None)
         }
         // An explicit :ratio<K> pins the sweep to the |R|/|S| = 1/K cell.

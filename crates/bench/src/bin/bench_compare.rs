@@ -15,20 +15,13 @@
 //! Run: `cargo run -p sj-bench --release --bin bench_compare --
 //! BASELINE.json CURRENT.json [--threshold 1.5] [--schema-only]`
 
-use sj_bench::compare::{compare, load, Finding, DEFAULT_THRESHOLD};
+use sj_bench::compare::{compare, load_file, Finding, DEFAULT_THRESHOLD};
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_compare BASELINE.json CURRENT.json [--threshold RATIO] [--schema-only]"
     );
     std::process::exit(2);
-}
-
-fn read(path: &str) -> String {
-    std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(2);
-    })
 }
 
 fn main() {
@@ -57,12 +50,14 @@ fn main() {
         usage();
     }
 
-    let baseline = load(&read(&paths[0])).unwrap_or_else(|e| {
-        eprintln!("{}: {e}", paths[0]);
+    // load_file names the offending document in every rejection, so a
+    // bad snapshot is attributable when two are in play.
+    let baseline = load_file(&paths[0]).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(2);
     });
-    let current = load(&read(&paths[1])).unwrap_or_else(|e| {
-        eprintln!("{}: {e}", paths[1]);
+    let current = load_file(&paths[1]).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(2);
     });
 

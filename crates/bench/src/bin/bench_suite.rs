@@ -48,9 +48,14 @@ fn main() {
         return;
     }
 
+    // Suite progress ETA, not a measured phase: cell timings come from
+    // the driver's phase clocks.
+    // sj-lint: allow(instant-outside-driver)
     let started = Instant::now();
     let mut results = Vec::with_capacity(cells.len());
     for (i, spec) in cells.iter().enumerate() {
+        // Operator-facing progress line only.
+        // sj-lint: allow(instant-outside-driver)
         let cell_started = Instant::now();
         let result = run_cell(spec, quick);
         eprintln!(

@@ -105,6 +105,22 @@ fn str_field(obj: &Json, cell: &str, key: &str) -> Result<String, LoadError> {
         .to_string())
 }
 
+/// [`load`], with every rejection prefixed by `name` (a path or other
+/// document label). Anything reporting a load failure to a human should
+/// come through here or [`load_file`] — a bare "missing mode" with no
+/// document named is useless when two snapshots are in play.
+pub fn load_named(name: &str, text: &str) -> Result<SuiteDoc, LoadError> {
+    load(text).map_err(|e| LoadError(format!("{name}: {e}")))
+}
+
+/// Read and load a suite document from disk. IO errors and load errors
+/// both name the file.
+pub fn load_file(path: &str) -> Result<SuiteDoc, LoadError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| LoadError(format!("{path}: cannot read: {e}")))?;
+    load_named(path, &text)
+}
+
 /// Parse and schema-check one suite document.
 pub fn load(text: &str) -> Result<SuiteDoc, LoadError> {
     let v = Json::parse(text).map_err(|e| LoadError(e.to_string()))?;

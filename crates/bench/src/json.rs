@@ -68,6 +68,9 @@ impl Json {
     /// exact `u64` representation (counts, tick numbers, seeds).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            // `fract() == 0.0` is the exact integer-valuedness test; no
+            // epsilon is meaningful here.
+            // sj-lint: allow(float-eq)
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
                 Some(*n as u64)
             }
@@ -319,7 +322,10 @@ impl Parser<'_> {
                     while self.peek().is_some_and(|b| b & 0xC0 == 0x80) {
                         self.pos += 1;
                     }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is a &str, so its bytes are valid UTF-8"),
+                    );
                 }
             }
         }
@@ -372,7 +378,8 @@ impl Parser<'_> {
                 return Err(self.err("expected digits in exponent"));
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number lexemes are ASCII, a subset of valid UTF-8");
         let n: f64 = text
             .parse()
             .map_err(|_| self.err(format!("invalid number {text:?}")))?;

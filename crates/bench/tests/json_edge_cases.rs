@@ -1,0 +1,91 @@
+//! Edge-case coverage for the hand-rolled JSON reader: escaped quotes,
+//! CRLF whitespace, unicode escapes, and a generative escape/parse
+//! round-trip. The happy paths live in `json_roundtrip.rs` against real
+//! harness output; this file pins the lexical corners a writer rarely
+//! exercises.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::sample::select;
+
+use sj_bench::json::Json;
+
+#[test]
+fn escaped_quotes_and_backslashes() {
+    let v = Json::parse(r#"{"k":"a\"b\\c"}"#).expect("escaped quote parses");
+    assert_eq!(v.get("k").and_then(Json::as_str), Some("a\"b\\c"));
+}
+
+#[test]
+fn escape_menu_resolves() {
+    let v = Json::parse(r#"{"k":"\n\t\r\/\b\f"}"#).expect("all simple escapes parse");
+    assert_eq!(v.get("k").and_then(Json::as_str), Some("\n\t\r/\u{8}\u{c}"));
+}
+
+#[test]
+fn unicode_escapes_including_surrogate_pairs() {
+    // A = A, é = LATIN SMALL LETTER E WITH ACUTE, and
+    // 😀 decodes as a surrogate pair (GRINNING FACE).
+    let v = Json::parse(r#"{"k":"\u0041\u00e9\ud83d\ude00"}"#).expect("unicode escapes parse");
+    assert_eq!(v.get("k").and_then(Json::as_str), Some("A\u{e9}\u{1f600}"));
+}
+
+#[test]
+fn crlf_whitespace_between_tokens() {
+    let doc = "{\r\n  \"a\": 1,\r\n  \"b\": [true,\r\nfalse]\r\n}\r\n";
+    let v = Json::parse(doc).expect("CRLF is ordinary whitespace");
+    assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        v.get("b").and_then(Json::as_array).map(<[Json]>::len),
+        Some(2)
+    );
+}
+
+#[test]
+fn rejects_unterminated_string() {
+    assert!(Json::parse(r#"{"k":"abc"#).is_err());
+}
+
+#[test]
+fn rejects_bare_control_character_in_string() {
+    assert!(Json::parse("{\"k\":\"a\nb\"}").is_err());
+}
+
+#[test]
+fn rejects_trailing_backslash_escape() {
+    assert!(Json::parse(r#"{"k":"a\"#).is_err());
+}
+
+/// The escaping the repo's writers apply (quote, backslash, control
+/// characters); everything else passes through verbatim.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn escape_then_parse_round_trips(parts in vec(
+        select(vec![
+            "a", "\"", "\\", "\n", "\r\n", "\t", "é", "😀", "{", "}", ":", " ", "\u{1}",
+        ]),
+        0..16,
+    )) {
+        let original = parts.concat();
+        let doc = format!("{{\"k\":\"{}\"}}", escape(&original));
+        let v = Json::parse(&doc)
+            .unwrap_or_else(|e| panic!("escaped doc must parse: {e}\n{doc:?}"));
+        prop_assert_eq!(v.get("k").and_then(Json::as_str), Some(original.as_str()));
+    }
+}

@@ -10,7 +10,7 @@
 
 use sj_base::geom::Rect;
 use sj_base::index::SpatialIndex;
-use sj_base::table::{EntryId, PointTable};
+use sj_base::table::{entry_id, EntryId, PointTable};
 use sj_base::trace::{NullTracer, Tracer};
 
 use crate::config::{GridConfig, Layout, QueryAlgo, Stage};
@@ -148,9 +148,9 @@ impl SimpleGrid {
             let cell = self.cell_of(x, y);
             tr.instr(6);
             match &mut self.store {
-                Store::Original(s) => s.insert(cell, i as EntryId, tr),
-                Store::Inline(s) => s.insert(cell, i as EntryId, tr),
-                Store::InlineCoords(s) => s.insert(cell, i as EntryId, x, y, tr),
+                Store::Original(s) => s.insert(cell, entry_id(i), tr),
+                Store::Inline(s) => s.insert(cell, entry_id(i), tr),
+                Store::InlineCoords(s) => s.insert(cell, entry_id(i), x, y, tr),
             }
         }
     }

@@ -18,7 +18,7 @@
 
 use sj_base::geom::Rect;
 use sj_base::index::SpatialIndex;
-use sj_base::table::{EntryId, PointTable};
+use sj_base::table::{entry_id, entry_id_u64, EntryId, PointTable};
 
 use crate::layout_original::NULL;
 
@@ -209,7 +209,7 @@ impl IncrementalGrid {
         for i in 0..n {
             if self.prev_live[i] {
                 let cell = self.cell_of(self.prev_x[i], self.prev_y[i]);
-                self.insert(cell, i as EntryId);
+                self.insert(cell, entry_id(i));
                 self.indexed += 1;
             }
         }
@@ -278,7 +278,7 @@ impl SpatialIndex for IncrementalGrid {
         // explicit O(1) deletes (tombstoned rows never resurrect, but a
         // dead->live transition is handled as an insert for robustness).
         for i in 0..self.prev_x.len() {
-            let id = i as EntryId;
+            let id = entry_id(i);
             match (self.prev_live[i], live[i]) {
                 (true, true) => {
                     let (nx, ny) = (xs[i], ys[i]);
@@ -319,7 +319,7 @@ impl SpatialIndex for IncrementalGrid {
             self.loc_bucket.push(NULL);
             self.loc_slot.push(0);
             if live[i] {
-                self.insert(self.cell_of(xs[i], ys[i]), i as EntryId);
+                self.insert(self.cell_of(xs[i], ys[i]), entry_id(i));
                 self.indexed += 1;
             }
         }
@@ -346,7 +346,7 @@ impl SpatialIndex for IncrementalGrid {
                     let base = b as usize;
                     let len = self.buckets[base + BKT_LEN] as usize;
                     for slot in 0..len {
-                        let e = self.buckets[base + HEADER_SLOTS + slot] as EntryId;
+                        let e = entry_id_u64(self.buckets[base + HEADER_SLOTS + slot]);
                         if full || region.contains_point(table.x(e), table.y(e)) {
                             emit(e);
                         }

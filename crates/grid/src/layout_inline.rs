@@ -15,7 +15,7 @@
 //! secondary-index assumption); we implement it as an ablation.
 
 use sj_base::geom::Rect;
-use sj_base::table::{EntryId, PointTable};
+use sj_base::table::{entry_id_u64, EntryId, PointTable};
 use sj_base::trace::Tracer;
 
 use crate::addr;
@@ -116,7 +116,7 @@ impl InlineStore {
                     as u32,
             );
             for slot in 0..len {
-                emit(self.buckets[bbase + HEADER_SLOTS + slot] as EntryId);
+                emit(entry_id_u64(self.buckets[bbase + HEADER_SLOTS + slot]));
             }
             tr.instr(2 * len as u64 + 3);
             b = self.buckets[bbase + BKT_NEXT];
@@ -144,7 +144,7 @@ impl InlineStore {
                 let entry = self.buckets[bbase + HEADER_SLOTS + slot];
                 tr.read(addr::table_x(entry), addr::COORD_BYTES as u32);
                 tr.read(addr::table_y(entry), addr::COORD_BYTES as u32);
-                let e = entry as EntryId;
+                let e = entry_id_u64(entry);
                 if region.contains_point(table.x(e), table.y(e)) {
                     emit(e);
                 }
@@ -260,7 +260,7 @@ impl InlineCoordsStore {
             let len = self.buckets[bbase + BKT_LEN] as usize;
             tr.read(addr::BUCKET_BASE + b * 8, (16 + len * 16) as u32);
             for slot in 0..len {
-                emit(self.buckets[bbase + HEADER_SLOTS + 2 * slot] as EntryId);
+                emit(entry_id_u64(self.buckets[bbase + HEADER_SLOTS + 2 * slot]));
             }
             tr.instr(2 * len as u64 + 3);
             b = self.buckets[bbase + BKT_NEXT];
@@ -287,7 +287,7 @@ impl InlineCoordsStore {
             for slot in 0..len {
                 let (x, y) = unpack_xy(self.buckets[bbase + HEADER_SLOTS + 2 * slot + 1]);
                 if region.contains_point(x, y) {
-                    emit(self.buckets[bbase + HEADER_SLOTS + 2 * slot] as EntryId);
+                    emit(entry_id_u64(self.buckets[bbase + HEADER_SLOTS + 2 * slot]));
                 }
             }
             tr.instr(5 * len as u64 + 3);

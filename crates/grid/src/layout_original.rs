@@ -13,7 +13,7 @@
 //! beyond the directory, exactly the paper's §3.1 arithmetic.
 
 use sj_base::geom::Rect;
-use sj_base::table::{EntryId, PointTable};
+use sj_base::table::{entry_id_u64, EntryId, PointTable};
 use sj_base::trace::Tracer;
 
 use crate::addr;
@@ -166,7 +166,7 @@ impl OriginalStore {
                     addr::NODE_BASE + n * addr::ORIG_NODE_BYTES,
                     addr::ORIG_NODE_BYTES as u32,
                 );
-                emit(self.nodes[nbase + NODE_ENTRY] as EntryId);
+                emit(entry_id_u64(self.nodes[nbase + NODE_ENTRY]));
                 n = self.nodes[nbase + NODE_NEXT];
                 tr.instr(4);
             }
@@ -204,7 +204,7 @@ impl OriginalStore {
                 let entry = self.nodes[nbase + NODE_ENTRY];
                 tr.read(addr::table_x(entry), addr::COORD_BYTES as u32);
                 tr.read(addr::table_y(entry), addr::COORD_BYTES as u32);
-                let e = entry as EntryId;
+                let e = entry_id_u64(entry);
                 if region.contains_point(table.x(e), table.y(e)) {
                     emit(e);
                 }

@@ -1,0 +1,423 @@
+//! Explicit, auditable suppression: `lint-allow.toml` + inline markers.
+//!
+//! Deny-by-default only works if the escape hatch is narrower than the
+//! rule: a suppression here names the rule, the file, and a justification
+//! a reviewer can veto — and an allow that stops suppressing anything
+//! becomes an [`unused-allow`] diagnostic, so the allowlist can only
+//! shrink as burn-downs land (CI additionally pins the entry budget).
+//!
+//! Two mechanisms:
+//! - **`lint-allow.toml`** at the workspace root, hand-parsed (the
+//!   container has no `toml` crate) as the subset the file needs:
+//!   `[[allow]]` tables of `key = "string"` pairs with `#` comments.
+//!   Required keys: `rule`, `file`, `justification` (>= 10 chars — a
+//!   justification, not a shrug). An entry suppresses every diagnostic of
+//!   that rule in that file.
+//! - **inline markers**: `// sj-lint: allow(rule-a, rule-b) — reason`,
+//!   suppressing those rules on the marker's line and the line below it
+//!   (the usual "marker above the offending statement" shape).
+//!
+//! [`unused-allow`]: crate::rules::RULES
+
+use crate::lexer::Comment;
+use crate::rules::{is_rule, Diagnostic};
+
+/// One `[[allow]]` entry from `lint-allow.toml`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub file: String,
+    pub justification: String,
+    /// 1-based line of the entry's `[[allow]]` header, for unused-allow
+    /// diagnostics.
+    pub line: u32,
+}
+
+/// A configuration error (malformed allowlist): exit code 2 territory,
+/// distinct from rule diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parse the `lint-allow.toml` subset. Unknown keys, non-string values,
+/// duplicate keys, unknown rule names, and free-floating keys are all
+/// hard errors — a suppression file must never be half-understood.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, ConfigError> {
+    struct Partial {
+        rule: Option<String>,
+        file: Option<String>,
+        justification: Option<String>,
+        line: u32,
+    }
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<Partial> = None;
+
+    let finish = |p: Partial, entries: &mut Vec<AllowEntry>| -> Result<(), ConfigError> {
+        let at = p.line;
+        let missing = |k: &str| ConfigError(format!("lint-allow.toml:{at}: entry missing `{k}`"));
+        let entry = AllowEntry {
+            rule: p.rule.ok_or_else(|| missing("rule"))?,
+            file: p.file.ok_or_else(|| missing("file"))?,
+            justification: p.justification.ok_or_else(|| missing("justification"))?,
+            line: at,
+        };
+        if !is_rule(&entry.rule) {
+            return Err(ConfigError(format!(
+                "lint-allow.toml:{at}: unknown rule {:?} (see sj-lint --list-rules)",
+                entry.rule
+            )));
+        }
+        if entry.justification.trim().len() < 10 {
+            return Err(ConfigError(format!(
+                "lint-allow.toml:{at}: justification for {:?} is too thin — say why the site \
+                 is genuinely exempt",
+                entry.rule
+            )));
+        }
+        if entries
+            .iter()
+            .any(|e| e.rule == entry.rule && e.file == entry.file)
+        {
+            return Err(ConfigError(format!(
+                "lint-allow.toml:{at}: duplicate entry for ({}, {})",
+                entry.rule, entry.file
+            )));
+        }
+        entries.push(entry);
+        Ok(())
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(p) = current.take() {
+                finish(p, &mut entries)?;
+            }
+            current = Some(Partial {
+                rule: None,
+                file: None,
+                justification: None,
+                line: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ConfigError(format!(
+                "lint-allow.toml:{lineno}: expected `key = \"value\"`, got {line:?}"
+            )));
+        };
+        let key = key.trim();
+        let value = parse_string(value.trim()).ok_or_else(|| {
+            ConfigError(format!(
+                "lint-allow.toml:{lineno}: value for `{key}` must be a double-quoted string"
+            ))
+        })?;
+        let Some(p) = current.as_mut() else {
+            return Err(ConfigError(format!(
+                "lint-allow.toml:{lineno}: `{key}` outside an [[allow]] entry"
+            )));
+        };
+        let slot = match key {
+            "rule" => &mut p.rule,
+            "file" => &mut p.file,
+            "justification" => &mut p.justification,
+            other => {
+                return Err(ConfigError(format!(
+                    "lint-allow.toml:{lineno}: unknown key `{other}` \
+                     (allowed: rule, file, justification)"
+                )))
+            }
+        };
+        if slot.is_some() {
+            return Err(ConfigError(format!(
+                "lint-allow.toml:{lineno}: duplicate key `{key}`"
+            )));
+        }
+        *slot = Some(value);
+    }
+    if let Some(p) = current.take() {
+        finish(p, &mut entries)?;
+    }
+    Ok(entries)
+}
+
+/// A minimal TOML basic string: double quotes, `\"` and `\\` escapes.
+fn parse_string(v: &str) -> Option<String> {
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            // An unescaped quote means `"a" trailing "b"` — not a string.
+            return None;
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// An inline `// sj-lint: allow(rule, ...)` marker found in a file.
+#[derive(Clone, Debug)]
+pub struct InlineAllow {
+    pub rules: Vec<String>,
+    pub file: String,
+    pub line: u32,
+}
+
+/// Extract inline allow markers from a file's comments. Malformed or
+/// unknown-rule markers are config errors: a suppression that silently
+/// fails to parse would un-suppress on the next edit.
+pub fn inline_allows(file: &str, comments: &[Comment]) -> Result<Vec<InlineAllow>, ConfigError> {
+    let mut out = Vec::new();
+    for c in comments {
+        let t = c.text.trim();
+        let Some(rest) = t.strip_prefix("sj-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let inner = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split_once(')'))
+            .map(|(inner, _)| inner)
+            .ok_or_else(|| {
+                ConfigError(format!(
+                    "{file}:{}: malformed sj-lint marker {t:?} — expected \
+                     `sj-lint: allow(rule[, rule])`",
+                    c.start_line
+                ))
+            })?;
+        let rules: Vec<String> = inner
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            return Err(ConfigError(format!(
+                "{file}:{}: empty sj-lint allow marker",
+                c.start_line
+            )));
+        }
+        for r in &rules {
+            if !is_rule(r) {
+                return Err(ConfigError(format!(
+                    "{file}:{}: unknown rule {r:?} in sj-lint marker \
+                     (see sj-lint --list-rules)",
+                    c.start_line
+                )));
+            }
+        }
+        out.push(InlineAllow {
+            rules,
+            file: file.to_string(),
+            line: c.end_line,
+        });
+    }
+    Ok(out)
+}
+
+/// Apply both suppression layers to raw diagnostics: returns the
+/// surviving diagnostics plus an `unused-allow` diagnostic for every
+/// entry or marker that suppressed nothing.
+pub fn apply_allows(
+    raw: Vec<Diagnostic>,
+    allowlist: &[AllowEntry],
+    inline: &[InlineAllow],
+) -> Vec<Diagnostic> {
+    let mut list_used = vec![false; allowlist.len()];
+    let mut inline_used = vec![false; inline.len()];
+    let mut out = Vec::new();
+    for d in raw {
+        let mut suppressed = false;
+        for (i, e) in allowlist.iter().enumerate() {
+            if e.rule == d.rule && e.file == d.file {
+                list_used[i] = true;
+                suppressed = true;
+            }
+        }
+        for (i, m) in inline.iter().enumerate() {
+            // A marker covers its own line and the next one.
+            if m.file == d.file
+                && (m.line == d.line || m.line + 1 == d.line)
+                && m.rules.iter().any(|r| r == d.rule)
+            {
+                inline_used[i] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for (e, used) in allowlist.iter().zip(&list_used) {
+        if !used {
+            out.push(Diagnostic {
+                rule: "unused-allow",
+                file: "lint-allow.toml".to_string(),
+                line: e.line,
+                msg: format!(
+                    "allow({}, {}) no longer suppresses anything — delete it (the allowlist \
+                     can only shrink)",
+                    e.rule, e.file
+                ),
+            });
+        }
+    }
+    for (m, used) in inline.iter().zip(&inline_used) {
+        if !used {
+            out.push(Diagnostic {
+                rule: "unused-allow",
+                file: m.file.clone(),
+                line: m.line,
+                msg: format!(
+                    "inline allow({}) no longer suppresses anything — delete the marker",
+                    m.rules.join(", ")
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::{check_file, FileCtx};
+
+    const GOOD: &str = r#"
+# comment
+[[allow]]
+rule = "no-unwrap"
+file = "crates/x/src/lib.rs"
+justification = "mutex poisoning is unrecoverable here"
+
+[[allow]]
+rule = "float-eq"
+file = "crates/bench/src/json.rs"
+justification = "fract() == 0.0 is an exact integrality test"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let entries = parse_allowlist(GOOD).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "no-unwrap");
+        assert_eq!(entries[1].file, "crates/bench/src/json.rs");
+        assert_eq!(entries[0].line, 3);
+    }
+
+    #[test]
+    fn rejects_malformed_allowlists() {
+        for (snippet, needle) in [
+            ("rule = \"no-unwrap\"\n", "outside an [[allow]]"),
+            ("[[allow]]\nrule = \"no-unwrap\"\n", "missing `file`"),
+            (
+                "[[allow]]\nrule = \"nope\"\nfile = \"x\"\njustification = \"long enough ok\"\n",
+                "unknown rule",
+            ),
+            (
+                "[[allow]]\nrule = \"no-unwrap\"\nfile = \"x\"\njustification = \"meh\"\n",
+                "too thin",
+            ),
+            ("[[allow]]\nrule = no-unwrap\n", "double-quoted"),
+            ("[[allow]]\nwhat = \"x\"\n", "unknown key"),
+            (
+                "[[allow]]\nrule = \"no-unwrap\"\nrule = \"no-unwrap\"\n",
+                "duplicate key",
+            ),
+            ("garbage line\n", "expected `key = \"value\"`"),
+        ] {
+            let err = parse_allowlist(snippet).unwrap_err();
+            assert!(err.0.contains(needle), "{snippet:?} -> {err}");
+        }
+        // Duplicate (rule, file) pairs across entries.
+        let dup = "[[allow]]\nrule = \"no-unwrap\"\nfile = \"x\"\njustification = \"0123456789\"\n\
+                   [[allow]]\nrule = \"no-unwrap\"\nfile = \"x\"\njustification = \"0123456789\"\n";
+        assert!(parse_allowlist(dup)
+            .unwrap_err()
+            .0
+            .contains("duplicate entry"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(parse_string(r#""a\"b\\c""#).unwrap(), "a\"b\\c");
+        assert!(parse_string(r#""a" tail "b""#).is_none());
+        assert!(parse_string("bare").is_none());
+    }
+
+    fn diags(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        check_file(&FileCtx { rel, lexed: &lexed })
+    }
+
+    #[test]
+    fn file_allow_suppresses_and_unused_allow_fires() {
+        let src = "fn f() { x().unwrap(); }";
+        let raw = diags("crates/x/src/lib.rs", src);
+        assert_eq!(raw.len(), 1);
+        let entries = parse_allowlist(GOOD).unwrap();
+        let out = apply_allows(raw, &entries, &[]);
+        // no-unwrap suppressed; the float-eq entry is unused -> flagged.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unused-allow");
+        assert_eq!(out[0].file, "lint-allow.toml");
+        assert!(out[0].msg.contains("float-eq"));
+    }
+
+    #[test]
+    fn inline_allow_suppresses_same_and_next_line() {
+        let src =
+            "fn f() {\n    // sj-lint: allow(no-unwrap) — demo of the marker\n    x().unwrap();\n}";
+        let lexed = lex(src);
+        let raw = check_file(&FileCtx {
+            rel: "crates/x/src/lib.rs",
+            lexed: &lexed,
+        });
+        let inline = inline_allows("crates/x/src/lib.rs", &lexed.comments).unwrap();
+        assert_eq!(inline.len(), 1);
+        let out = apply_allows(raw, &[], &inline);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unused_inline_allow_fires() {
+        let src = "// sj-lint: allow(no-unwrap) — stale\nfn f() { ok(); }";
+        let lexed = lex(src);
+        let inline = inline_allows("crates/x/src/lib.rs", &lexed.comments).unwrap();
+        let out = apply_allows(Vec::new(), &[], &inline);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unused-allow");
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn malformed_inline_markers_are_config_errors() {
+        for src in [
+            "// sj-lint: allow no-unwrap\n",
+            "// sj-lint: allow()\n",
+            "// sj-lint: allow(not-a-rule)\n",
+        ] {
+            let lexed = lex(src);
+            assert!(inline_allows("f.rs", &lexed.comments).is_err(), "{src:?}");
+        }
+    }
+}

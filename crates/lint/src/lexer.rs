@@ -1,0 +1,706 @@
+//! A comment/string/raw-string-aware token scanner for Rust source.
+//!
+//! `sj-lint`'s rules are lexical — "the ident `HashMap` appears", "`as`
+//! is followed by `EntryId`" — so the container's lack of `syn` is no
+//! loss *provided* the scanner never mistakes the inside of a string
+//! literal or a comment for code. This module is that guarantee, in the
+//! hand-rolled style of `sj_bench::json`: a single forward pass that
+//! classifies every byte as code, string, char, comment, or whitespace,
+//! and emits
+//!
+//! - [`Token`]s for code (identifiers, numbers, string/char literals as
+//!   opaque units, punctuation with maximal munch for multi-char
+//!   operators), each tagged with its 1-based line;
+//! - [`Comment`]s separately, because two rule mechanisms *read*
+//!   comments: `// SAFETY:` adjacency and `// sj-lint: allow(..)`
+//!   markers.
+//!
+//! Handled syntax the rules depend on: nested block comments, string
+//! escapes (`"\""` does not end a string), raw strings `r#".."#` with
+//! any number of hashes (and raw byte strings), raw identifiers
+//! `r#ident`, char literals vs lifetimes (`'a'` vs `'a`), numeric
+//! literals with `_` separators / suffixes / exponents (and whether they
+//! are floats — the `float-eq` rule needs that), and CRLF line endings.
+//! The invariant "a token never spans a string/comment boundary" is
+//! proptested in `tests/proptests.rs`.
+
+/// What a code token is. Literal *contents* are preserved (the
+/// `expect-justification` rule reads string payloads) but never
+/// re-scanned for code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including `r#ident`, stored without `r#`).
+    Ident,
+    /// Numeric literal; `float` is true for literals with a fractional
+    /// part, an exponent, or an `f32`/`f64` suffix.
+    Num { float: bool },
+    /// String literal (plain, raw, byte, or raw byte); `text` is the
+    /// decoded-enough payload: raw payload verbatim, escaped payload with
+    /// simple escapes resolved.
+    Str,
+    /// Char or byte literal (payload not decoded; rules treat it opaquely).
+    Char,
+    /// Lifetime (`'a`, `'static`), without the quote.
+    Lifetime,
+    /// Punctuation / operator, maximal-munched (`==`, `::`, `..=`, ...).
+    Punct,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment. `text` is the payload without the `//` / `/*` markers;
+/// doc comments keep their extra `/` or `!` as the first char.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub start_line: u32,
+    pub end_line: u32,
+}
+
+/// The scanner's output: code tokens and comments, in source order.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-char operators, longest first so maximal munch is a prefix scan.
+const OPERATORS: [&str; 24] = [
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Scanner<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    /// Byte offset of `pos` into `src` (kept in lockstep by `bump` so the
+    /// operator munch below can slice `src` without re-summing widths).
+    byte_pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+/// Scan `src` into tokens and comments. Never panics: malformed input
+/// (unterminated strings or comments) is tokenized best-effort to the end
+/// of input — the lint runs over source that `rustc` already accepted, so
+/// recovery fidelity does not matter, but crashing on a fixture would.
+pub fn lex(src: &str) -> Lexed {
+    let mut s = Scanner {
+        chars: src.chars().collect(),
+        src,
+        pos: 0,
+        byte_pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    };
+    s.run();
+    s.out
+}
+
+impl Scanner<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one char, maintaining the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            self.byte_pos += c.len_utf8();
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line, false),
+                'r' if self.raw_string_ahead(1) => self.raw_string(1, line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, false);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal(line);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.raw_string(1, line);
+                }
+                'r' if self.peek(1) == Some('#') && is_ident_start(self.peek(2)) => {
+                    // Raw identifier `r#ident` (not `r#"..."` — that case is
+                    // caught by `raw_string_ahead` above).
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                '\'' => self.quote(line),
+                _ if is_ident_start(Some(c)) => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => self.punct(line),
+            }
+        }
+    }
+
+    /// Is a raw-string opener (`#`* then `"`) next, starting `ahead` chars in?
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // CRLF: the \r before the terminating \n is not comment payload.
+        if text.ends_with('\r') {
+            text.pop();
+        }
+        self.out.comments.push(Comment {
+            text,
+            start_line,
+            end_line: start_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let end_line = self.line;
+        self.out.comments.push(Comment {
+            text,
+            start_line,
+            end_line,
+        });
+    }
+
+    /// A plain (escaped) string literal; the opening quote is next.
+    fn string(&mut self, line: u32, _raw: bool) {
+        self.bump(); // opening "
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    // Consume the escaped char so `\"` cannot terminate the
+                    // literal. Resolve the cases rules might read; keep the
+                    // rest verbatim (payload fidelity is not load-bearing).
+                    match self.bump() {
+                        Some('n') => text.push('\n'),
+                        Some('t') => text.push('\t'),
+                        Some('r') => text.push('\r'),
+                        Some('\\') => text.push('\\'),
+                        Some('"') => text.push('"'),
+                        Some('\'') => text.push('\''),
+                        Some('0') => text.push('\0'),
+                        Some(other) => {
+                            text.push('\\');
+                            text.push(other);
+                        }
+                        None => break,
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// A raw string; `self.pos` is at the `r` (with `prefix_len` = 1) —
+    /// byte-raw callers have already consumed the `b`.
+    fn raw_string(&mut self, prefix_len: usize, line: u32) {
+        for _ in 0..prefix_len {
+            self.bump(); // the `r`
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening "
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // Candidate closer: need `hashes` following '#'s.
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    seen += 1;
+                    self.bump();
+                }
+                if seen == hashes {
+                    break 'outer;
+                }
+                text.push('"');
+                for _ in 0..seen {
+                    text.push('#');
+                }
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// `'` seen: lifetime or char literal. `'a` followed by a non-quote is
+    /// a lifetime; `'a'`, `'\n'`, `'\u{1F600}'` are char literals.
+    fn quote(&mut self, line: u32) {
+        if is_ident_start(self.peek(1)) && self.peek(2) != Some('\'') {
+            self.bump(); // '
+            let mut text = String::new();
+            while is_ident_continue(self.peek(0)) {
+                text.push(self.bump().unwrap_or('\0'));
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            self.char_literal(line);
+        }
+    }
+
+    fn char_literal(&mut self, line: u32) {
+        self.bump(); // opening '
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while is_ident_continue(self.peek(0)) {
+            text.push(self.bump().unwrap_or('\0'));
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            // Radix literal: digits + underscores + suffix; never a float.
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                text.push(self.bump().unwrap_or('0'));
+            }
+            self.push(TokenKind::Num { float: false }, text, line);
+            return;
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            text.push(self.bump().unwrap_or('0'));
+        }
+        // Fractional part only if a digit follows the dot: `1.0` is a float,
+        // `1..n` is a range, `1.max(2)` is a method call.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            text.push(self.bump().unwrap_or('.'));
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                text.push(self.bump().unwrap_or('0'));
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let sign = matches!(self.peek(1), Some('+' | '-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if self.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                text.push(self.bump().unwrap_or('e'));
+                if sign {
+                    text.push(self.bump().unwrap_or('+'));
+                }
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    text.push(self.bump().unwrap_or('0'));
+                }
+            }
+        }
+        // Suffix (`u32`, `f64`, `usize`, ...).
+        let mut suffix = String::new();
+        while is_ident_continue(self.peek(0)) {
+            suffix.push(self.bump().unwrap_or('0'));
+        }
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+        text.push_str(&suffix);
+        self.push(TokenKind::Num { float }, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        // Maximal munch against the operator table (all ASCII, so byte
+        // prefix tests are exact).
+        for op in OPERATORS {
+            if self.src.as_bytes()[self.byte_pos..].starts_with(op.as_bytes()) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, op.to_string(), line);
+                return;
+            }
+        }
+        let c = self.bump().unwrap_or('\0');
+        self.push(TokenKind::Punct, c.to_string(), line);
+    }
+}
+
+fn is_ident_start(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+fn is_ident_continue(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Mark which tokens live inside `#[cfg(test)]`-gated items. Returns a
+/// mask parallel to `lexed.tokens`; rules that only police non-test code
+/// skip masked tokens. Recognition is lexical: a `#[...]` attribute whose
+/// tokens include both `cfg` and `test` idents (catches `cfg(test)` and
+/// `cfg(all(test, ..))`; `cfg_attr` is a different ident and stays
+/// unmasked), followed by an item whose extent is the next balanced
+/// `{...}` block (or a terminating `;` for bodiless items).
+pub fn test_mask(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.tokens;
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Punct
+            && toks[i].text == "#"
+            && toks.get(i + 1).is_some_and(|t| t.text == "[")
+        {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut bracket_depth = 1usize;
+            let mut saw_cfg = false;
+            let mut saw_test = false;
+            while j < toks.len() && bracket_depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => bracket_depth += 1,
+                    "]" => bracket_depth -= 1,
+                    "cfg" if toks[j].kind == TokenKind::Ident => saw_cfg = true,
+                    "test" if toks[j].kind == TokenKind::Ident => saw_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_cfg && saw_test {
+                // Skip any further attributes, then mask to the end of the
+                // item: the first balanced brace block, or a `;`.
+                let mut k = j;
+                while k + 1 < toks.len() && toks[k].text == "#" && toks[k + 1].text == "[" {
+                    let mut depth = 1usize;
+                    k += 2;
+                    while k < toks.len() && depth > 0 {
+                        match toks[k].text.as_str() {
+                            "[" => depth += 1,
+                            "]" => depth -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                let mut end = k;
+                let mut brace_depth = 0usize;
+                let mut entered = false;
+                while end < toks.len() {
+                    match toks[end].text.as_str() {
+                        "{" => {
+                            brace_depth += 1;
+                            entered = true;
+                        }
+                        "}" => {
+                            brace_depth = brace_depth.saturating_sub(1);
+                            if entered && brace_depth == 0 {
+                                end += 1;
+                                break;
+                            }
+                        }
+                        ";" if !entered => {
+                            end += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    end += 1;
+                }
+                for m in mask.iter_mut().take(end.min(toks.len())).skip(i) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            let a = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block comment */
+            let b = r#"HashMap in a raw "quoted" string"#;
+            let c = real_ident;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_a_string() {
+        let src = r#"let s = "before \" HashMap after"; let t = tail;"#;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "let", "t", "tail"]);
+        let strs: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "before \" HashMap after");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_internal_quotes() {
+        let src = r###"let s = r##"a "# quote"## ; let b = after;"###;
+        let lexed = lex(src);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r##"a "# quote"##);
+        assert!(lexed.tokens.iter().any(|t| t.text == "after"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let ids = idents("fn r#try() { r#match + other }");
+        assert!(ids.contains(&"try".to_string()));
+        assert!(ids.contains(&"match".to_string()));
+        assert!(ids.contains(&"other".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_classify_floats() {
+        let lexed = lex(
+            "let a = 1; let b = 1.5; let c = 2e3; let d = 3f32; let e = 0xff; \
+                         let f = 1_000; let r = 0..10;",
+        );
+        let nums: Vec<(String, bool)> = lexed
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Num { float } => Some((t.text, float)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            nums,
+            [
+                ("1".into(), false),
+                ("1.5".into(), true),
+                ("2e3".into(), true),
+                ("3f32".into(), true),
+                ("0xff".into(), false),
+                ("1_000".into(), false),
+                ("0".into(), false),
+                ("10".into(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_munch_maximally() {
+        let texts: Vec<String> = lex("a == b != c :: d ..= e .. f")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(texts, ["==", "!=", "::", "..=", ".."]);
+    }
+
+    #[test]
+    fn crlf_line_numbers_and_comment_payloads() {
+        let src = "line_one\r\n// comment with \"HashMap\"\r\nline_three\r\n";
+        let lexed = lex(src);
+        let ids: Vec<(String, u32)> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text.clone(), t.line))
+            .collect();
+        assert_eq!(ids, [("line_one".into(), 1), ("line_three".into(), 3)]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text, " comment with \"HashMap\"");
+        assert_eq!(lexed.comments[0].start_line, 2);
+    }
+
+    #[test]
+    fn block_comments_track_end_lines() {
+        let lexed = lex("/* a\nb\nc */ after");
+        assert_eq!(lexed.comments[0].start_line, 1);
+        assert_eq!(lexed.comments[0].end_line, 3);
+        assert_eq!(lexed.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "
+            fn live() { danger(); }
+            #[cfg(test)]
+            mod tests {
+                fn covered() { masked_ident(); }
+            }
+            fn live_again() { also_danger(); }
+        ";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed);
+        let masked: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(t, m)| **m && t.kind == TokenKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"masked_ident"));
+        assert!(!masked.contains(&"danger"));
+        assert!(!masked.contains(&"also_danger"));
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_and_bodiless_item() {
+        let src = "
+            #[cfg(test)]
+            use std::collections::HashMap;
+            fn live() {}
+            #[cfg(all(test, feature = \"x\"))]
+            #[allow(dead_code)]
+            fn helper() { inner(); }
+            fn live_two() {}
+        ";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed);
+        let unmasked: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(t, m)| !**m && t.kind == TokenKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(!unmasked.contains(&"HashMap"));
+        assert!(!unmasked.contains(&"inner"));
+        assert!(unmasked.contains(&"live"));
+        assert!(unmasked.contains(&"live_two"));
+    }
+
+    #[test]
+    fn unterminated_input_does_not_panic() {
+        for src in ["\"unterminated", "/* unterminated", "r#\"unterminated", "'"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The `sj-lint` binary.
+//!
+//! ```text
+//! sj-lint [--list-rules] [--json] [--deny] [--root DIR] [FILE...]
+//! ```
+//!
+//! - `--list-rules` prints every rule with its family, summary, and the
+//!   invariant it protects, then exits 0.
+//! - `--json` emits one machine-readable JSON object per diagnostic
+//!   (`{"rule":..,"file":..,"line":..,"msg":..}`) instead of the human
+//!   `file:line: [rule] msg` lines.
+//! - `--deny` is the explicit CI spelling: diagnostics are always
+//!   denying (exit 1) — the flag exists so the workflow reads as intent,
+//!   like `-D warnings`.
+//! - `--root DIR` overrides workspace-root discovery (the nearest
+//!   ancestor whose `Cargo.toml` declares `[workspace]`).
+//! - `FILE...` restricts the scan to specific files (relative to the
+//!   root); unused-allow detection is skipped for partial scans.
+//!
+//! Exit codes: 0 clean, 1 diagnostics reported, 2 usage/IO/config error
+//! (malformed allowlist, unknown rule in a marker, unreadable file).
+
+use sj_lint::rules::RULES;
+
+fn usage() -> ! {
+    eprintln!("usage: sj-lint [--list-rules] [--json] [--deny] [--root DIR] [FILE...]");
+    std::process::exit(2);
+}
+
+/// Minimal JSON string escaping for `--json` output (the binary is
+/// dependency-free by design; this mirrors `sj_bench::report`'s writer).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn list_rules() {
+    let width = RULES.iter().map(|r| r.name.len()).max().unwrap_or(0);
+    for rule in RULES {
+        println!(
+            "{:<width$}  [{}] {}",
+            rule.name,
+            rule.family,
+            rule.summary,
+            width = width
+        );
+        println!(
+            "{:<width$}  invariant: {}",
+            "",
+            rule.invariant,
+            width = width
+        );
+    }
+}
+
+fn main() {
+    let mut json = false;
+    let mut list = false;
+    let mut root_arg: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => list = true,
+            // Diagnostics always deny; the flag is the CI-readable spelling.
+            "--deny" => {}
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(dir),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ if !arg.starts_with('-') => paths.push(arg),
+            _ => usage(),
+        }
+    }
+
+    if list {
+        list_rules();
+        return;
+    }
+
+    let root = match root_arg {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|e| {
+                eprintln!("sj-lint: cannot determine working directory: {e}");
+                std::process::exit(2);
+            });
+            sj_lint::find_root(&cwd).unwrap_or_else(|| {
+                eprintln!(
+                    "sj-lint: no workspace root found above {} (pass --root DIR)",
+                    cwd.display()
+                );
+                std::process::exit(2);
+            })
+        }
+    };
+
+    let outcome = sj_lint::lint_tree(&root, &paths).unwrap_or_else(|e| {
+        eprintln!("sj-lint: {e}");
+        std::process::exit(2);
+    });
+
+    for d in &outcome.diagnostics {
+        if json {
+            println!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"msg\":\"{}\"}}",
+                json_escape(d.rule),
+                json_escape(&d.file),
+                d.line,
+                json_escape(&d.msg)
+            );
+        } else {
+            println!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.msg);
+        }
+    }
+    if !json {
+        println!(
+            "sj-lint: {} file(s) scanned, {} diagnostic(s), {} allowlist entr{}",
+            outcome.files_scanned,
+            outcome.diagnostics.len(),
+            outcome.allow_entries,
+            if outcome.allow_entries == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        );
+    }
+    if !outcome.diagnostics.is_empty() {
+        std::process::exit(1);
+    }
+}

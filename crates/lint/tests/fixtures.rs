@@ -1,0 +1,104 @@
+//! The fixture gate: every rule ships a `bad.rs` / `good.rs` pair under
+//! `tests/fixtures/<rule>/`. `bad.rs` must trip *exactly* its rule and
+//! `good.rs` must lint clean — so each rule's firing and non-firing
+//! behaviour is pinned by example, not just by unit test.
+//!
+//! Rules are path-sensitive (e.g. `registry-techniques` only looks at
+//! `crates/bench/src/bin/`), so each fixture declares the virtual
+//! workspace path it is linted as via a first-line directive:
+//!
+//! ```text
+//! //@ path: crates/bench/src/bin/custom.rs
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use sj_lint::rules::RULES;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The virtual workspace path a fixture is linted as.
+fn virtual_path(src: &str) -> &str {
+    src.lines()
+        .next()
+        .and_then(|l| l.strip_prefix("//@ path:"))
+        .map(str::trim)
+        .expect("fixture must start with a `//@ path:` directive")
+}
+
+fn read_fixture(rule: &str, which: &str) -> String {
+    let path = fixture_root().join(rule).join(which);
+    fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+#[test]
+fn every_rule_has_a_fixture_pair() {
+    for rule in RULES {
+        let dir = fixture_root().join(rule.name);
+        assert!(
+            dir.join("bad.rs").is_file(),
+            "rule {} is missing tests/fixtures/{}/bad.rs",
+            rule.name,
+            rule.name
+        );
+        assert!(
+            dir.join("good.rs").is_file(),
+            "rule {} is missing tests/fixtures/{}/good.rs",
+            rule.name,
+            rule.name
+        );
+    }
+}
+
+#[test]
+fn no_stray_fixture_directories() {
+    let known: Vec<&str> = RULES.iter().map(|r| r.name).collect();
+    for entry in fs::read_dir(fixture_root()).expect("fixture root exists") {
+        let entry = entry.expect("fixture root is readable");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        assert!(
+            known.contains(&name.as_str()),
+            "fixture directory {name:?} does not correspond to any rule"
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_trip_exactly_their_rule() {
+    for rule in RULES {
+        let src = read_fixture(rule.name, "bad.rs");
+        let diags = sj_lint::lint_str(virtual_path(&src), &src)
+            .unwrap_or_else(|e| panic!("{}/bad.rs: config error: {e}", rule.name));
+        assert!(
+            diags.iter().any(|d| d.rule == rule.name),
+            "{}/bad.rs did not trip {}: got {diags:?}",
+            rule.name,
+            rule.name
+        );
+        for d in &diags {
+            assert_eq!(
+                d.rule, rule.name,
+                "{}/bad.rs trips an unrelated rule: {d:?}",
+                rule.name
+            );
+        }
+    }
+}
+
+#[test]
+fn good_fixtures_lint_clean() {
+    for rule in RULES {
+        let src = read_fixture(rule.name, "good.rs");
+        let diags = sj_lint::lint_str(virtual_path(&src), &src)
+            .unwrap_or_else(|e| panic!("{}/good.rs: config error: {e}", rule.name));
+        assert!(
+            diags.is_empty(),
+            "{}/good.rs is not clean: {diags:?}",
+            rule.name
+        );
+    }
+}

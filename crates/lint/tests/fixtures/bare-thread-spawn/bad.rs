@@ -1,0 +1,5 @@
+//@ path: crates/x/src/lib.rs
+pub fn fan_out() -> u32 {
+    let handle = std::thread::spawn(|| 1 + 1);
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,9 @@
+//@ path: crates/x/src/lib.rs
+pub fn fan_out() -> u32 {
+    let mut total = 0;
+    std::thread::scope(|s| {
+        let h = s.spawn(|| 1 + 1);
+        total = h.join().unwrap_or(0);
+    });
+    total
+}

@@ -1,0 +1,10 @@
+//@ path: crates/x/src/lib.rs
+use sj_base::driver::{DriverConfig, ExecMode};
+
+pub fn config(ticks: u32) -> DriverConfig {
+    DriverConfig {
+        ticks,
+        warmup: 0,
+        exec: ExecMode::Sequential,
+    }
+}

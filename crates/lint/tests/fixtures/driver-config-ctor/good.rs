@@ -1,0 +1,6 @@
+//@ path: crates/x/src/lib.rs
+use sj_base::driver::DriverConfig;
+
+pub fn config(ticks: u32) -> DriverConfig {
+    DriverConfig::new(ticks, 0)
+}

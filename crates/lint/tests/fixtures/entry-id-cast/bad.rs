@@ -1,0 +1,6 @@
+//@ path: crates/x/src/lib.rs
+use sj_base::table::EntryId;
+
+pub fn ids(n: usize) -> Vec<EntryId> {
+    (0..n).map(|i| i as EntryId).collect()
+}

@@ -1,0 +1,5 @@
+//@ path: crates/x/src/lib.rs
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first()
+        .expect("callers hand this a non-empty batch by construction")
+}

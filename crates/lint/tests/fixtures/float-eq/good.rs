@@ -1,0 +1,4 @@
+//@ path: crates/x/src/lib.rs
+pub fn is_origin(x: f64) -> bool {
+    x.abs() < 1e-12
+}

@@ -1,0 +1,10 @@
+//@ path: crates/base/src/par.rs
+use std::collections::HashMap;
+
+pub fn tally(pairs: &[(u32, u32)]) -> u64 {
+    let mut by_cell: HashMap<u32, u64> = HashMap::new();
+    for &(cell, _) in pairs {
+        *by_cell.entry(cell).or_insert(0) += 1;
+    }
+    by_cell.values().sum()
+}

@@ -1,0 +1,16 @@
+//@ path: crates/base/src/par.rs
+pub fn tally(pairs: &[(u32, u32)]) -> u64 {
+    pairs.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_maps_are_fine_in_tests() {
+        let mut by_cell: HashMap<u32, u64> = HashMap::new();
+        by_cell.insert(1, 2);
+        assert_eq!(by_cell.values().sum::<u64>(), 2);
+    }
+}

@@ -1,0 +1,7 @@
+//@ path: crates/bench/src/bin/sweep.rs
+use std::time::Instant;
+
+fn main() {
+    let started = Instant::now();
+    println!("{}", started.elapsed().as_nanos());
+}

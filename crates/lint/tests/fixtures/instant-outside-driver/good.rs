@@ -1,0 +1,8 @@
+//@ path: crates/base/src/driver.rs
+use std::time::Instant;
+
+pub fn timed_phase<F: FnOnce()>(f: F) -> std::time::Duration {
+    let started = Instant::now();
+    f();
+    started.elapsed()
+}

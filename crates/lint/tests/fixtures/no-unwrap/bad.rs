@@ -1,0 +1,4 @@
+//@ path: crates/x/src/lib.rs
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,12 @@
+//@ path: crates/x/src/lib.rs
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::head(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,6 @@
+//@ path: crates/bench/src/bin/custom.rs
+use sj_grid::UGrid;
+
+fn main() {
+    let _ = UGrid::default();
+}

@@ -1,0 +1,6 @@
+//@ path: crates/bench/src/bin/custom.rs
+fn main() {
+    for technique in sj_core::technique::registry() {
+        println!("{}", technique.name());
+    }
+}

@@ -1,0 +1,5 @@
+//@ path: crates/x/src/lib.rs
+pub fn first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,7 @@
+//@ path: crates/x/src/lib.rs
+pub fn first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees the slice is non-empty, so
+    // reading element 0 through the raw pointer is in bounds.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,8 @@
+//@ path: crates/x/src/lib.rs
+/// # Safety
+///
+/// Caller must have verified AVX2 support at runtime first.
+#[target_feature(enable = "avx2")]
+pub unsafe fn kernel(xs: &[f32]) -> f32 {
+    xs.iter().sum()
+}

@@ -1,0 +1,9 @@
+//@ path: crates/base/src/simd.rs
+/// # Safety
+///
+/// Caller must have verified AVX2 support at runtime first (the
+/// dispatch wrapper in this module does).
+#[target_feature(enable = "avx2")]
+pub unsafe fn kernel(xs: &[f32]) -> f32 {
+    xs.iter().sum()
+}

@@ -1,0 +1,5 @@
+//@ path: crates/x/src/lib.rs
+// sj-lint: allow(no-unwrap)
+pub fn double(x: u32) -> u32 {
+    x * 2
+}

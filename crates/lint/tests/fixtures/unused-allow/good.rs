@@ -1,0 +1,6 @@
+//@ path: crates/x/src/lib.rs
+pub fn head(xs: &[u32]) -> u32 {
+    // The registry guarantees a non-empty batch here.
+    // sj-lint: allow(no-unwrap)
+    *xs.first().unwrap()
+}

@@ -1,0 +1,164 @@
+//! Property tests for the lexer's boundary invariants: nothing that
+//! lives *inside* a string or comment may ever surface as a token, and
+//! nothing about line endings may move a token to a different line.
+//!
+//! Payloads are assembled from adversarial fragments (escaped quotes,
+//! comment openers, keywords, quote characters) so every generated case
+//! straddles at least one boundary the scanner must not split.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::sample::select;
+
+use sj_lint::lexer::{lex, TokenKind};
+
+/// Fragments legal inside a normal `"..."` literal: every `\` and `"`
+/// arrives as a complete escape, so concatenation stays a valid payload.
+fn string_fragments() -> impl Strategy<Value = String> {
+    vec(
+        select(vec![
+            "a", " ", "\\\"", "\\\\", "/*", "*/", "//", "fn", "unsafe", "'x'", "\\n", "}",
+        ]),
+        0..12,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+/// Fragments for block-comment payloads; `sanitize_comment` removes any
+/// `/*` / `*/` the concatenation may have formed, so nesting depth stays
+/// balanced by construction.
+fn comment_fragments() -> impl Strategy<Value = String> {
+    vec(
+        select(vec![
+            "a", " ", "\"", "'", "//", "fn", "unsafe", "*", "/", "x",
+        ]),
+        0..12,
+    )
+    .prop_map(|parts| sanitize_comment(&parts.concat()))
+}
+
+fn sanitize_comment(s: &str) -> String {
+    let mut out = s.to_string();
+    while out.contains("*/") || out.contains("/*") {
+        out = out.replace("*/", "xx").replace("/*", "xx");
+    }
+    out
+}
+
+/// Raw-string payloads: `"##` would close the `r##"..."##` literal, so
+/// it is rewritten; lone `"` and `#` are fair game.
+fn raw_fragments() -> impl Strategy<Value = String> {
+    vec(
+        select(vec!["a", " ", "\"", "#", "\"#", "\\", "fn", "//", "/*"]),
+        0..12,
+    )
+    .prop_map(|parts| {
+        let mut out = parts.concat();
+        while out.contains("\"##") {
+            out = out.replace("\"##", "\"#x");
+        }
+        out
+    })
+}
+
+proptest! {
+    #[test]
+    fn string_contents_never_become_tokens(payload in string_fragments()) {
+        let src = format!("let s = \"{payload}\";\nfn f() {{}}\n");
+        let lexed = lex(&src);
+        // Exactly one string literal, nothing read as a comment.
+        let strs = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Str).count();
+        prop_assert_eq!(strs, 1, "src: {:?}", src);
+        prop_assert!(lexed.comments.is_empty(), "src: {:?}", src);
+        // The `fn` inside the payload must not inflate the ident count:
+        // exactly one `fn` (the real one), exactly one `f`.
+        let fns = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text == "fn")
+            .count();
+        prop_assert_eq!(fns, 1, "src: {:?}", src);
+        // The statement terminator after the literal is intact.
+        let semis = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct && t.text == ";")
+            .count();
+        prop_assert_eq!(semis, 1, "src: {:?}", src);
+    }
+
+    #[test]
+    fn block_comment_contents_never_become_tokens(payload in comment_fragments()) {
+        // Spaces keep the payload's edge characters from fusing with the
+        // delimiters (`…/` + `*/` would read as a nested opener).
+        let src = format!("/* {payload} */ fn f() {{}}\n");
+        let lexed = lex(&src);
+        prop_assert_eq!(lexed.comments.len(), 1, "src: {:?}", src);
+        let kinds: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(kinds, vec!["fn", "f", "(", ")", "{", "}"], "src: {:?}", src);
+    }
+
+    #[test]
+    fn raw_string_payload_round_trips(payload in raw_fragments()) {
+        let src = format!("let s = r##\"{payload}\"##;\n");
+        let lexed = lex(&src);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        prop_assert_eq!(strs.len(), 1, "src: {:?}", src);
+        // Raw strings have no escapes, so the token text is the payload.
+        prop_assert_eq!(strs[0].text.as_str(), payload.as_str(), "src: {:?}", src);
+        prop_assert!(lexed.comments.is_empty(), "src: {:?}", src);
+    }
+
+    #[test]
+    fn crlf_and_lf_lex_identically(lines in vec(
+        select(vec![
+            "fn f() {}",
+            "// note",
+            "let x = 1;",
+            "/* c */",
+            "let s = \"a\\\"b\";",
+            "",
+        ]),
+        0..8,
+    )) {
+        let lf = lines.join("\n");
+        let crlf = lines.join("\r\n");
+        let a = lex(&lf);
+        let b = lex(&crlf);
+        prop_assert_eq!(a.tokens.len(), b.tokens.len());
+        for (ta, tb) in a.tokens.iter().zip(b.tokens.iter()) {
+            prop_assert_eq!(&ta.kind, &tb.kind);
+            prop_assert_eq!(&ta.text, &tb.text);
+            prop_assert_eq!(ta.line, tb.line, "token {:?}", ta.text);
+        }
+        prop_assert_eq!(a.comments.len(), b.comments.len());
+        for (ca, cb) in a.comments.iter().zip(b.comments.iter()) {
+            prop_assert_eq!(&ca.text, &cb.text);
+            prop_assert_eq!(ca.start_line, cb.start_line);
+            prop_assert_eq!(ca.end_line, cb.end_line);
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_balance(depth in 1usize..5, payload in comment_fragments()) {
+        // /* /* /* payload */ */ */ — one comment regardless of depth,
+        // and the code after it survives.
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push_str("/* ");
+        }
+        src.push_str(&payload);
+        for _ in 0..depth {
+            src.push_str(" */");
+        }
+        src.push_str(" fn f() {}");
+        let lexed = lex(&src);
+        prop_assert_eq!(lexed.comments.len(), 1, "src: {:?}", src);
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(texts, vec!["fn", "f", "(", ")", "{", "}"], "src: {:?}", src);
+    }
+}

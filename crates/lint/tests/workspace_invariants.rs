@@ -1,0 +1,102 @@
+//! The workspace acceptance gate, run as part of tier-1 (`cargo test -q`
+//! from the root):
+//!
+//! 1. the committed tree lints clean — any new violation fails the suite
+//!    even before CI runs the `sj-lint` binary;
+//! 2. the two canonical injections *fire*: a `HashMap` iteration added
+//!    to `crates/base/src/par.rs`, and a stripped `// SAFETY:` comment
+//!    in `crates/base/src/simd.rs`. These prove the pass actually reads
+//!    the hot files, so a future refactor cannot silently walk an empty
+//!    directory and report success.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ -> crates/ -> the workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels below the workspace root");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root {} has no Cargo.toml",
+        root.display()
+    );
+    root.to_path_buf()
+}
+
+#[test]
+fn committed_tree_lints_clean() {
+    let root = workspace_root();
+    let outcome = sj_lint::lint_tree(&root, &[]).expect("lint pass over the workspace");
+    assert!(
+        outcome.diagnostics.is_empty(),
+        "the committed tree must lint clean:\n{}",
+        outcome
+            .diagnostics
+            .iter()
+            .map(|d| format!("  {}:{}: [{}] {}", d.file, d.line, d.rule, d.msg))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Guard against the degenerate pass: the walk must actually have
+    // covered the workspace, not an empty directory.
+    assert!(
+        outcome.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        outcome.files_scanned
+    );
+}
+
+#[test]
+fn injected_hashmap_iteration_in_par_fires() {
+    let root = workspace_root();
+    let rel = "crates/base/src/par.rs";
+    let src = fs::read_to_string(root.join(rel)).expect("par.rs is part of the workspace");
+    let injected = format!(
+        "{src}\nuse std::collections::HashMap;\n\
+         pub fn merge_order(m: &HashMap<u32, u64>) -> u64 {{\n\
+         \x20   m.values().sum()\n\
+         }}\n"
+    );
+    let diags = sj_lint::lint_str(rel, &injected).expect("inline markers in par.rs are valid");
+    assert!(
+        diags.iter().any(|d| d.rule == "hash-iteration"),
+        "HashMap iteration injected into {rel} must trip hash-iteration: got {diags:?}"
+    );
+}
+
+#[test]
+fn stripped_safety_comment_in_simd_fires() {
+    let root = workspace_root();
+    let rel = "crates/base/src/simd.rs";
+    let src = fs::read_to_string(root.join(rel)).expect("simd.rs is part of the workspace");
+    assert!(
+        src.contains("// SAFETY:"),
+        "{rel} is expected to carry // SAFETY: comments"
+    );
+    let stripped = src.replace("// SAFETY:", "// (redacted)");
+    let diags = sj_lint::lint_str(rel, &stripped).expect("inline markers in simd.rs are valid");
+    assert!(
+        diags.iter().any(|d| d.rule == "safety-comment"),
+        "stripping SAFETY comments from {rel} must trip safety-comment: got {diags:?}"
+    );
+}
+
+#[test]
+fn unstripped_hot_files_are_clean_in_isolation() {
+    // The inverse direction of the two injection tests: the same files,
+    // unmodified, produce no diagnostics — so the tests above fail for
+    // the right reason.
+    let root = workspace_root();
+    for rel in ["crates/base/src/par.rs", "crates/base/src/simd.rs"] {
+        let src = fs::read_to_string(root.join(rel)).expect("hot file exists");
+        let diags = sj_lint::lint_str(rel, &src).expect("valid inline markers");
+        assert!(
+            diags.is_empty(),
+            "{rel} must be clean as committed: {diags:?}"
+        );
+    }
+}

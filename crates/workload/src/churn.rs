@@ -35,7 +35,7 @@
 use sj_base::driver::{TickActions, Workload};
 use sj_base::geom::{Point, Rect};
 use sj_base::rng::Xoshiro256;
-use sj_base::table::{EntryId, MovingSet};
+use sj_base::table::{entry_id, MovingSet};
 
 use crate::uniform::random_velocity;
 
@@ -149,7 +149,7 @@ impl Workload for ChurnWorkload {
             .retain(|&(id, _, _)| set.is_live(id));
 
         let rate = self.params.rate;
-        for id in 0..set.len() as EntryId {
+        for id in 0..entry_id(set.len()) {
             if set.is_live(id) && self.rng_depart.bernoulli(rate) {
                 actions.removals.push(id);
             }

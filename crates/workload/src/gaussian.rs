@@ -15,7 +15,7 @@
 use sj_base::driver::{TickActions, Workload};
 use sj_base::geom::{Point, Rect, Vec2};
 use sj_base::rng::{mix64, Xoshiro256};
-use sj_base::table::{EntryId, MovingSet};
+use sj_base::table::{entry_id, MovingSet};
 
 use crate::params::GaussianParams;
 
@@ -120,7 +120,7 @@ impl Workload for GaussianWorkload {
     }
 
     fn plan_tick(&mut self, _tick: u32, set: &MovingSet, actions: &mut TickActions) {
-        let n = set.len() as EntryId;
+        let n = entry_id(set.len());
         // Objects inserted from outside (a churn wrapper's arrivals) have
         // no hotspot yet: adopt them with a deterministic per-id
         // assignment, independent of every RNG stream.

@@ -15,7 +15,7 @@
 use sj_base::driver::{TickActions, Workload};
 use sj_base::geom::{Point, Rect, Vec2};
 use sj_base::rng::{mix64, Xoshiro256};
-use sj_base::table::{EntryId, MovingSet};
+use sj_base::table::{entry_id, MovingSet};
 
 use crate::params::WorkloadParams;
 
@@ -165,7 +165,7 @@ impl Workload for RoadGridWorkload {
     }
 
     fn plan_tick(&mut self, _tick: u32, set: &MovingSet, actions: &mut TickActions) {
-        let n = set.len() as EntryId;
+        let n = entry_id(set.len());
         for id in 0..n {
             if self.rng_query.bernoulli(self.params.frac_queriers) {
                 actions.queriers.push(id);
@@ -179,7 +179,7 @@ impl Workload for RoadGridWorkload {
         let side = self.params.space_side;
         self.ensure_state(set.len());
         for i in 0..set.len() {
-            let id = i as EntryId;
+            let id = entry_id(i);
             if !set.is_live(id) {
                 continue;
             }

@@ -9,7 +9,7 @@
 use sj_base::driver::{TickActions, Workload};
 use sj_base::geom::{Point, Rect, Vec2};
 use sj_base::rng::Xoshiro256;
-use sj_base::table::{EntryId, MovingSet};
+use sj_base::table::{entry_id, MovingSet};
 
 use crate::params::WorkloadParams;
 
@@ -87,7 +87,7 @@ impl Workload for UniformWorkload {
     }
 
     fn plan_tick(&mut self, _tick: u32, set: &MovingSet, actions: &mut TickActions) {
-        let n = set.len() as EntryId;
+        let n = entry_id(set.len());
         for id in 0..n {
             if self.rng_query.bernoulli(self.params.frac_queriers) {
                 actions.queriers.push(id);
@@ -129,7 +129,7 @@ mod tests {
     fn initial_speeds_respect_max() {
         let mut w = UniformWorkload::new(small_params());
         let set = w.init();
-        for i in 0..set.len() as EntryId {
+        for i in 0..entry_id(set.len()) {
             assert!(set.velocity(i).len() <= small_params().max_speed * 1.0001);
         }
     }

@@ -26,23 +26,33 @@ thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
+// SAFETY: every method delegates to `System` with its arguments passed
+// through unchanged, so `System`'s own contract discharges each
+// obligation; the counting side effect is a thread-local `Cell` bump
+// that neither allocates nor unwinds.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count();
+        // SAFETY: `layout` is forwarded verbatim to the system allocator.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         count();
+        // SAFETY: `layout` is forwarded verbatim to the system allocator.
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count();
+        // SAFETY: `ptr` came from this allocator, which is `System` plus
+        // a counter, so forwarding `(ptr, layout, new_size)` is valid.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was allocated by `System` via the methods above
+        // with this same `layout`.
         unsafe { System.dealloc(ptr, layout) }
     }
 }
