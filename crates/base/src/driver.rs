@@ -257,8 +257,12 @@ impl DriverConfig {
 /// boundaries, update application) and differ only where the paper's
 /// taxonomy says they must.
 trait TickExecutor {
-    /// Timed build phase (no-op for index-free batch techniques).
-    fn build(&mut self, table: &PointTable);
+    /// Timed build phase (no-op for index-free batch techniques). Under
+    /// [`ExecMode::Partitioned`] the per-query executor partitions the
+    /// table into tile replicas and builds one private index per tile
+    /// here — partitioning is this mode's build cost — which is why the
+    /// tick geometry (`space`, `query_side`) and the mode flow in.
+    fn build(&mut self, table: &PointTable, space: &Rect, query_side: f32, exec: ExecMode);
 
     /// Untimed per-tick bookkeeping before the query phase. Only the batch
     /// executor uses it, to assemble the tick's query set — set-at-a-time
@@ -350,7 +354,7 @@ fn drive<W: Workload + ?Sized, E: TickExecutor>(
         // Phase 1: build the static index over the previous tick's state
         // of the data relation.
         let t0 = Instant::now();
-        exec.build(&s.positions);
+        exec.build(&s.positions, &space, query_side, cfg.exec);
         let build = t0.elapsed();
 
         let (queriers, centers): (&[EntryId], &PointTable) = match r.as_ref() {
@@ -414,11 +418,40 @@ fn drive<W: Workload + ?Sized, E: TickExecutor>(
 /// space, and the index emits matches directly into the checksum fold.
 /// `Sync` because the parallel mode probes the (immutable) index from
 /// several workers at once — every index in the workspace is plain data.
-struct IndexExecutor<'a, I: SpatialIndex + Sync + ?Sized>(&'a mut I);
+///
+/// Under [`ExecMode::Partitioned`] the index itself is never built:
+/// it serves as the prototype each tile forks ([`SpatialIndex::fork`]),
+/// and `tiles` carries the per-tile forks, replicas, and querier
+/// assignments across ticks.
+struct IndexExecutor<'a, I: SpatialIndex + Sync + ?Sized> {
+    index: &'a mut I,
+    tiles: par::TileIndexPool,
+}
+
+impl<'a, I: SpatialIndex + Sync + ?Sized> IndexExecutor<'a, I> {
+    fn new(index: &'a mut I) -> Self {
+        IndexExecutor {
+            index,
+            tiles: par::TileIndexPool::default(),
+        }
+    }
+}
 
 impl<I: SpatialIndex + Sync + ?Sized> TickExecutor for IndexExecutor<'_, I> {
-    fn build(&mut self, table: &PointTable) {
-        self.0.build(table);
+    fn build(&mut self, table: &PointTable, space: &Rect, query_side: f32, exec: ExecMode) {
+        match exec {
+            ExecMode::Partitioned { tiles } => {
+                par::tiled_index_build(
+                    &*self.index,
+                    table,
+                    space,
+                    query_side,
+                    tiles,
+                    &mut self.tiles,
+                );
+            }
+            _ => self.index.build(table),
+        }
     }
 
     fn prepare(&mut self, _: &TickCtx<'_>) {}
@@ -429,7 +462,7 @@ impl<I: SpatialIndex + Sync + ?Sized> TickExecutor for IndexExecutor<'_, I> {
                 for &q in tick.queriers {
                     let region = Rect::centered_square(tick.centers.point(q), tick.query_side)
                         .clipped_to(tick.space);
-                    self.0.for_each_in(tick.data, &region, &mut |r| {
+                    self.index.for_each_in(tick.data, &region, &mut |r| {
                         *pairs += 1;
                         *checksum = fold_pair(*checksum, q, r);
                     });
@@ -437,7 +470,7 @@ impl<I: SpatialIndex + Sync + ?Sized> TickExecutor for IndexExecutor<'_, I> {
             }
             ExecMode::Parallel { threads } => {
                 let (p, c) = par::shard_index_query(
-                    &*self.0,
+                    &*self.index,
                     tick.data,
                     tick.centers,
                     tick.queriers,
@@ -448,11 +481,29 @@ impl<I: SpatialIndex + Sync + ?Sized> TickExecutor for IndexExecutor<'_, I> {
                 *pairs += p;
                 *checksum = checksum.wrapping_add(c);
             }
+            ExecMode::Partitioned { .. } => {
+                let (p, c) = par::tiled_index_query(
+                    &mut self.tiles,
+                    tick.centers,
+                    tick.queriers,
+                    tick.space,
+                    tick.query_side,
+                );
+                *pairs += p;
+                *checksum = checksum.wrapping_add(c);
+            }
         }
     }
 
     fn index_bytes(&self) -> usize {
-        self.0.memory_bytes()
+        // In tiled mode the footprint is the sum of the per-tile indexes
+        // (the prototype was never built); replication makes this the one
+        // RunStats field that is mode-structural rather than bit-identical
+        // (DESIGN.md §13).
+        match self.tiles.index_bytes() {
+            Some(bytes) => bytes,
+            None => self.index.memory_bytes(),
+        }
     }
 }
 
@@ -468,10 +519,27 @@ struct BatchExecutor<'a, J: crate::batch::BatchJoin + ?Sized> {
     /// Parallel-mode worker forks and buffers, kept across ticks so
     /// steady-state sharded joins fork and allocate nothing.
     workers: Vec<par::BatchWorker>,
+    /// Tiled-mode worker forks, replicas and query assignments, likewise
+    /// persistent. Unlike the index category the batch category has no
+    /// build phase, so partitioning happens inside the timed query phase
+    /// (it is part of the set-at-a-time join's cost).
+    tiles: par::TileBatchPool,
+}
+
+impl<J: crate::batch::BatchJoin + ?Sized> BatchExecutor<'_, J> {
+    fn new(join: &mut J) -> BatchExecutor<'_, J> {
+        BatchExecutor {
+            join,
+            queries: Vec::new(),
+            pairs_buf: Vec::new(),
+            workers: Vec::new(),
+            tiles: par::TileBatchPool::default(),
+        }
+    }
 }
 
 impl<J: crate::batch::BatchJoin + ?Sized> TickExecutor for BatchExecutor<'_, J> {
-    fn build(&mut self, _table: &PointTable) {}
+    fn build(&mut self, _table: &PointTable, _space: &Rect, _query_side: f32, _exec: ExecMode) {}
 
     fn prepare(&mut self, tick: &TickCtx<'_>) {
         self.queries.clear();
@@ -505,6 +573,20 @@ impl<J: crate::batch::BatchJoin + ?Sized> TickExecutor for BatchExecutor<'_, J> 
                 *pairs += p;
                 *checksum = checksum.wrapping_add(c);
             }
+            ExecMode::Partitioned { tiles } => {
+                let (p, c) = par::tiled_batch_join(
+                    &*self.join,
+                    tick.centers,
+                    tick.data,
+                    &self.queries,
+                    tick.space,
+                    tick.query_side,
+                    tiles,
+                    &mut self.tiles,
+                );
+                *pairs += p;
+                *checksum = checksum.wrapping_add(c);
+            }
         }
     }
 
@@ -524,7 +606,7 @@ pub fn run_join<W: Workload + ?Sized, I: SpatialIndex + Sync + ?Sized>(
     index: &mut I,
     cfg: DriverConfig,
 ) -> RunStats {
-    drive(workload, None, &mut IndexExecutor(index), cfg)
+    drive(workload, None, &mut IndexExecutor::new(index), cfg)
 }
 
 /// Drive a **bipartite** join R ⋈ S: `index` is rebuilt each tick over the
@@ -545,7 +627,7 @@ pub fn run_bipartite_join<I: SpatialIndex + Sync + ?Sized>(
     drive(
         data_workload,
         Some(query_workload),
-        &mut IndexExecutor(index),
+        &mut IndexExecutor::new(index),
         cfg,
     )
 }
@@ -562,13 +644,7 @@ pub fn run_batch_join<W: Workload + ?Sized, J: crate::batch::BatchJoin + ?Sized>
     join: &mut J,
     cfg: DriverConfig,
 ) -> RunStats {
-    let mut exec = BatchExecutor {
-        join,
-        queries: Vec::new(),
-        pairs_buf: Vec::new(),
-        workers: Vec::new(),
-    };
-    drive(workload, None, &mut exec, cfg)
+    drive(workload, None, &mut BatchExecutor::new(join), cfg)
 }
 
 /// The bipartite form of [`run_batch_join`]: the tick's whole query set —
@@ -582,13 +658,12 @@ pub fn run_bipartite_batch_join<J: crate::batch::BatchJoin + ?Sized>(
     join: &mut J,
     cfg: DriverConfig,
 ) -> RunStats {
-    let mut exec = BatchExecutor {
-        join,
-        queries: Vec::new(),
-        pairs_buf: Vec::new(),
-        workers: Vec::new(),
-    };
-    drive(data_workload, Some(query_workload), &mut exec, cfg)
+    drive(
+        data_workload,
+        Some(query_workload),
+        &mut BatchExecutor::new(join),
+        cfg,
+    )
 }
 
 #[cfg(test)]
@@ -757,21 +832,26 @@ mod tests {
             run_batch_join(&mut w, &mut crate::batch::NaiveBatchJoin, cfg)
         };
         for n in [1usize, 2, 5] {
-            let par_cfg = cfg.with_exec(ExecMode::parallel(n).unwrap());
-            let par_index = {
-                let mut w = ToyWorkload { n: 60 };
-                run_join(&mut w, &mut ScanIndex::new(), par_cfg)
-            };
-            let par_batch = {
-                let mut w = ToyWorkload { n: 60 };
-                run_batch_join(&mut w, &mut crate::batch::NaiveBatchJoin, par_cfg)
-            };
-            for (seq, par) in [(&seq_index, &par_index), (&seq_batch, &par_batch)] {
-                assert_eq!(par.result_pairs, seq.result_pairs, "threads = {n}");
-                assert_eq!(par.checksum, seq.checksum, "threads = {n}");
-                assert_eq!(par.queries, seq.queries, "threads = {n}");
-                assert_eq!(par.updates, seq.updates, "threads = {n}");
-                assert_eq!(par.ticks.len(), seq.ticks.len(), "threads = {n}");
+            for mode in [
+                ExecMode::parallel(n).unwrap(),
+                ExecMode::partitioned(n).unwrap(),
+            ] {
+                let par_cfg = cfg.with_exec(mode);
+                let par_index = {
+                    let mut w = ToyWorkload { n: 60 };
+                    run_join(&mut w, &mut ScanIndex::new(), par_cfg)
+                };
+                let par_batch = {
+                    let mut w = ToyWorkload { n: 60 };
+                    run_batch_join(&mut w, &mut crate::batch::NaiveBatchJoin, par_cfg)
+                };
+                for (seq, par) in [(&seq_index, &par_index), (&seq_batch, &par_batch)] {
+                    assert_eq!(par.result_pairs, seq.result_pairs, "mode = {mode}");
+                    assert_eq!(par.checksum, seq.checksum, "mode = {mode}");
+                    assert_eq!(par.queries, seq.queries, "mode = {mode}");
+                    assert_eq!(par.updates, seq.updates, "mode = {mode}");
+                    assert_eq!(par.ticks.len(), seq.ticks.len(), "mode = {mode}");
+                }
             }
         }
     }
@@ -946,19 +1026,29 @@ mod tests {
             run_bipartite_batch_join(&mut r, &mut s, &mut crate::batch::NaiveBatchJoin, cfg)
         };
         for n in [2usize, 5] {
-            let par_cfg = cfg.with_exec(ExecMode::parallel(n).unwrap());
-            let par_index = {
-                let (mut r, mut s) = (ToyWorkload { n: 30 }, ToyWorkload { n: 70 });
-                run_bipartite_join(&mut r, &mut s, &mut ScanIndex::new(), par_cfg)
-            };
-            let par_batch = {
-                let (mut r, mut s) = (ToyWorkload { n: 30 }, ToyWorkload { n: 70 });
-                run_bipartite_batch_join(&mut r, &mut s, &mut crate::batch::NaiveBatchJoin, par_cfg)
-            };
-            for (seq, par) in [(&seq_index, &par_index), (&seq_batch, &par_batch)] {
-                assert_eq!(par.result_pairs, seq.result_pairs, "threads = {n}");
-                assert_eq!(par.checksum, seq.checksum, "threads = {n}");
-                assert_eq!(par.queries, seq.queries, "threads = {n}");
+            for mode in [
+                ExecMode::parallel(n).unwrap(),
+                ExecMode::partitioned(n).unwrap(),
+            ] {
+                let par_cfg = cfg.with_exec(mode);
+                let par_index = {
+                    let (mut r, mut s) = (ToyWorkload { n: 30 }, ToyWorkload { n: 70 });
+                    run_bipartite_join(&mut r, &mut s, &mut ScanIndex::new(), par_cfg)
+                };
+                let par_batch = {
+                    let (mut r, mut s) = (ToyWorkload { n: 30 }, ToyWorkload { n: 70 });
+                    run_bipartite_batch_join(
+                        &mut r,
+                        &mut s,
+                        &mut crate::batch::NaiveBatchJoin,
+                        par_cfg,
+                    )
+                };
+                for (seq, par) in [(&seq_index, &par_index), (&seq_batch, &par_batch)] {
+                    assert_eq!(par.result_pairs, seq.result_pairs, "mode = {mode}");
+                    assert_eq!(par.checksum, seq.checksum, "mode = {mode}");
+                    assert_eq!(par.queries, seq.queries, "mode = {mode}");
+                }
             }
         }
     }

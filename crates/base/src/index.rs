@@ -61,6 +61,14 @@ pub trait SpatialIndex {
     /// given bucket size) is a different quantity; the grid keeps it
     /// available as `SimpleGrid::live_bytes`.
     fn memory_bytes(&self) -> usize;
+
+    /// An independent instance of this technique for a space-partitioned
+    /// tile worker (see `crate::par::tiled_index_build`): same
+    /// configuration and tuning parameters, fresh private state, nothing
+    /// shared with `self`. Mirrors [`crate::batch::BatchJoin::fork`];
+    /// implementations typically reconstruct from their stored
+    /// configuration, so forking a never-built prototype is cheap.
+    fn fork(&self) -> Box<dyn SpatialIndex + Send>;
 }
 
 /// Ground-truth "index": a full scan of the base table. Quadratic in the
@@ -107,6 +115,10 @@ impl SpatialIndex for ScanIndex {
         // The scan owns no allocation at all — the one legitimate zero
         // under the allocated-capacity convention.
         0
+    }
+
+    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+        Box::new(ScanIndex)
     }
 }
 

@@ -15,9 +15,12 @@
 //! - [`batch`] — the set-at-a-time [`batch::BatchJoin`] trait;
 //! - [`driver`] — the tick loop (build → query → update) with per-phase
 //!   timing, reproducing the Sowell et al. framework the paper builds on;
-//! - [`par`] — the parallel query phase ([`par::ExecMode`], sharded
-//!   per-query probing and strip-partitioned batch joins) the driver runs
-//!   under [`driver::DriverConfig::exec`];
+//! - [`par`] — the non-sequential query phases ([`par::ExecMode`]: sharded
+//!   per-query probing, strip-partitioned batch joins, and space-partitioned
+//!   tiled execution) the driver runs under [`driver::DriverConfig::exec`];
+//! - [`tile`] — the tiling geometry behind [`par::ExecMode::Partitioned`]:
+//!   the [`tile::TileGrid`], extent replication, and the reference-point
+//!   deduplication rule (DESIGN.md §13);
 //! - [`rng`] — self-contained deterministic xoshiro256++;
 //! - [`trace`] — memory-access tracing hooks consumed by `sj-memsim`;
 //! - [`stats`] — numeric summaries for the benchmark harness.
@@ -31,6 +34,7 @@ pub mod rng;
 pub mod simd;
 pub mod stats;
 pub mod table;
+pub mod tile;
 pub mod trace;
 
 pub use batch::{BatchJoin, NaiveBatchJoin};
@@ -41,3 +45,4 @@ pub use geom::{Point, Rect, Vec2};
 pub use index::{ScanIndex, SpatialIndex};
 pub use par::ExecMode;
 pub use table::{EntryId, MovingSet, PointTable};
+pub use tile::TileGrid;

@@ -10,7 +10,7 @@
 //! table, and the build/update phases stay sequential, so the previous-tick
 //! semantics are untouched.
 //!
-//! Two sharding strategies cover the paper's two join categories
+//! Two *query-sharding* strategies cover the paper's two join categories
 //! (DESIGN.md §8):
 //!
 //! - [`shard_index_query`] — the per-query category: the tick's querier
@@ -20,16 +20,27 @@
 //!   set is split into strips, each worker runs a full sweep over its strip
 //!   on a private fork of the technique ([`BatchJoin::fork`]).
 //!
-//! Both merge per-worker `(pairs, checksum)` partials with `+` /
+//! A third mode partitions **space** instead of the query list
+//! ([`ExecMode::Partitioned`], DESIGN.md §13): the data space is tiled
+//! ([`crate::tile::TileGrid`]), both relations are replicated into every
+//! tile their query extent overlaps, and each tile builds and probes its
+//! own private index ([`tiled_index_build`]/[`tiled_index_query`]) or runs
+//! its own batch join ([`tiled_batch_join`]) — no shared structure at all,
+//! the design of Tsitsigkos & Mamoulis. The reference-point rule (emit
+//! `(a, b)` only in `b`'s canonical tile) makes each pair surface exactly
+//! once despite the replication.
+//!
+//! All modes merge per-worker `(pairs, checksum)` partials with `+` /
 //! `wrapping_add`. The checksum fold ([`crate::driver::fold_pair`]) mixes
 //! each pair and then wrapping-adds, so it is commutative and associative —
 //! the merge is order-independent by construction, and the parallel result
-//! is **bit-identical** to the sequential one for any shard boundaries and
-//! any thread count (`tests/parallel_equivalence.rs` proves this for every
-//! registry technique).
+//! is **bit-identical** to the sequential one for any shard boundaries,
+//! thread count, or tile count (`tests/parallel_equivalence.rs` proves
+//! this three ways for every registry technique).
 //!
 //! Workers run on [`std::thread::scope`]: no runtime dependency, no
 //! detached threads, borrows of the index and table flow straight in.
+//! Every thread spawn in the workspace lives in this module.
 
 use std::num::NonZeroUsize;
 
@@ -38,6 +49,7 @@ use crate::driver::fold_pair;
 use crate::geom::Rect;
 use crate::index::SpatialIndex;
 use crate::table::{EntryId, PointTable};
+use crate::tile::{replicate_by_extent, TileGrid, TileReplica};
 
 /// How the driver executes a tick's query phase.
 ///
@@ -54,6 +66,13 @@ pub enum ExecMode {
     /// Query phase sharded over `threads` scoped workers. Results are
     /// bit-identical to [`ExecMode::Sequential`] (see module docs).
     Parallel { threads: NonZeroUsize },
+    /// Space-partitioned execution over a grid of `tiles` tiles, one
+    /// worker per tile, each owning a private index/join fork over its
+    /// replicated slice of the data ([`crate::tile`]). Results are
+    /// bit-identical to [`ExecMode::Sequential`] (see module docs);
+    /// `RunStats::index_bytes` alone is mode-structural — it reports the
+    /// summed footprint of the per-tile indexes.
+    Partitioned { tiles: NonZeroUsize },
 }
 
 impl ExecMode {
@@ -65,25 +84,44 @@ impl ExecMode {
         }
     }
 
-    /// Worker count: 1 for [`ExecMode::Sequential`].
+    /// Space-partitioned execution over `tiles` tiles; `None` if
+    /// `tiles == 0`.
+    pub const fn partitioned(tiles: usize) -> Option<ExecMode> {
+        match NonZeroUsize::new(tiles) {
+            Some(tiles) => Some(ExecMode::Partitioned { tiles }),
+            None => None,
+        }
+    }
+
+    /// Worker count: 1 for [`ExecMode::Sequential`], one per tile for
+    /// [`ExecMode::Partitioned`].
     pub const fn threads(self) -> usize {
         match self {
             ExecMode::Sequential => 1,
             ExecMode::Parallel { threads } => threads.get(),
+            ExecMode::Partitioned { tiles } => tiles.get(),
         }
     }
 
+    /// Whether the query phase runs on multiple workers (either
+    /// query-sharded or space-partitioned).
     pub const fn is_parallel(self) -> bool {
-        matches!(self, ExecMode::Parallel { .. })
+        !matches!(self, ExecMode::Sequential)
+    }
+
+    /// Whether this is the space-partitioned (tiled) mode.
+    pub const fn is_partitioned(self) -> bool {
+        matches!(self, ExecMode::Partitioned { .. })
     }
 
     /// This mode unless it is [`ExecMode::Sequential`], in which case
     /// `fallback` — the precedence rule for layered configuration (a
-    /// technique spec's `@par<N>` modifier over a CLI-wide `--threads`).
+    /// technique spec's `@par<N>`/`@tiles<N>` modifier over a CLI-wide
+    /// `--threads`/`--tiles`).
     pub const fn or(self, fallback: ExecMode) -> ExecMode {
         match self {
             ExecMode::Sequential => fallback,
-            parallel => parallel,
+            chosen => chosen,
         }
     }
 }
@@ -93,6 +131,7 @@ impl std::fmt::Display for ExecMode {
         match self {
             ExecMode::Sequential => f.write_str("sequential"),
             ExecMode::Parallel { threads } => write!(f, "parallel({threads})"),
+            ExecMode::Partitioned { tiles } => write!(f, "tiled({tiles})"),
         }
     }
 }
@@ -219,6 +258,223 @@ pub fn shard_batch_join<J: BatchJoin + ?Sized>(
     merge(shards)
 }
 
+/// One tile's worker state for the space-partitioned per-query category:
+/// a private fork of the index plus the tick's querier assignment.
+struct TileIndexWorker {
+    index: Box<dyn SpatialIndex + Send>,
+    queriers: Vec<EntryId>,
+}
+
+/// Reusable state of the space-partitioned per-query executor: the tile
+/// grid, per-tile data replicas, and per-tile index forks. Owned by the
+/// driver's index executor and kept across ticks, so steady-state tiled
+/// execution forks nothing and reuses every buffer — mirroring
+/// [`BatchWorker`] reuse in the sharded mode.
+#[derive(Default)]
+pub struct TileIndexPool {
+    grid: Option<TileGrid>,
+    replicas: Vec<TileReplica>,
+    workers: Vec<TileIndexWorker>,
+}
+
+impl TileIndexPool {
+    /// Summed [`SpatialIndex::memory_bytes`] of the per-tile indexes, or
+    /// `None` if no tiled build ever ran (the run was not partitioned).
+    /// Replication makes this mode-structural: it cannot equal the
+    /// sequential single-index footprint and is excluded from the
+    /// bit-identity contract (DESIGN.md §13).
+    pub fn index_bytes(&self) -> Option<usize> {
+        self.grid
+            .map(|_| self.workers.iter().map(|w| w.index.memory_bytes()).sum())
+    }
+}
+
+/// The space-partitioned build phase of the per-query category: tile the
+/// space, replicate the table's live rows into the tiles their query
+/// extent overlaps ([`replicate_by_extent`]), and (re)build every tile's
+/// private fork of `proto` over its replica — one scoped worker per tile,
+/// since the per-tile builds are fully independent. Runs inside the timed
+/// build phase: partitioning and tile builds are this mode's build cost.
+pub fn tiled_index_build<I: SpatialIndex + ?Sized>(
+    proto: &I,
+    table: &PointTable,
+    space: &Rect,
+    query_side: f32,
+    tiles: NonZeroUsize,
+    pool: &mut TileIndexPool,
+) {
+    let grid = TileGrid::new(space, tiles);
+    pool.grid = Some(grid);
+    while pool.workers.len() < grid.tiles() {
+        // Fork on the driver thread, first tiled build only.
+        pool.workers.push(TileIndexWorker {
+            index: proto.fork(),
+            queriers: Vec::new(),
+        });
+    }
+    pool.workers.truncate(grid.tiles());
+    replicate_by_extent(table, &grid, query_side, &mut pool.replicas);
+    std::thread::scope(|scope| {
+        for (worker, replica) in pool.workers.iter_mut().zip(pool.replicas.iter()) {
+            scope.spawn(move || worker.index.build(&replica.table));
+        }
+    });
+}
+
+/// The space-partitioned query phase of the per-query category: assign
+/// each querier to every tile its clipped region overlaps, then probe each
+/// tile's private index on its own scoped worker, keeping a `(querier,
+/// row)` hit only if the row's canonical tile is this tile (the
+/// reference-point rule — see [`crate::tile`] for the exactness proof).
+/// Emitted rows are translated back to global handles through the replica
+/// map, so the folded `(pairs, checksum)` delta is bit-identical to the
+/// sequential fold.
+pub fn tiled_index_query(
+    pool: &mut TileIndexPool,
+    centers: &PointTable,
+    queriers: &[EntryId],
+    space: &Rect,
+    query_side: f32,
+) -> (u64, u64) {
+    let grid = pool
+        .grid
+        .expect("tiled_index_query before tiled_index_build");
+    for w in &mut pool.workers {
+        w.queriers.clear();
+    }
+    for &q in queriers {
+        let region = Rect::centered_square(centers.point(q), query_side).clipped_to(space);
+        for t in grid.cover(&region) {
+            pool.workers[t].queriers.push(q);
+        }
+    }
+    let shards: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pool
+            .workers
+            .iter_mut()
+            .zip(pool.replicas.iter())
+            .enumerate()
+            .map(|(t, (worker, replica))| {
+                scope.spawn(move || {
+                    let mut pairs = 0u64;
+                    let mut checksum = 0u64;
+                    let index = &worker.index;
+                    let xs = replica.table.xs();
+                    let ys = replica.table.ys();
+                    for &q in &worker.queriers {
+                        let region =
+                            Rect::centered_square(centers.point(q), query_side).clipped_to(space);
+                        index.for_each_in(&replica.table, &region, &mut |local| {
+                            let l = local as usize;
+                            // Reference-point rule: only the canonical tile
+                            // of the matched row reports the pair.
+                            if grid.tile_of(xs[l], ys[l]) == t {
+                                pairs += 1;
+                                checksum = fold_pair(checksum, q, replica.to_global[l]);
+                            }
+                        });
+                    }
+                    (pairs, checksum)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tile worker panicked"))
+            .collect()
+    });
+    merge(shards)
+}
+
+/// One tile's worker state for the space-partitioned batch category: a
+/// private fork of the join plus the tick's query assignment and output
+/// buffer.
+struct TileBatchWorker {
+    join: Box<dyn BatchJoin + Send>,
+    queries: Vec<(EntryId, Rect)>,
+    out: Vec<(EntryId, EntryId)>,
+}
+
+/// Reusable state of the space-partitioned batch executor (see
+/// [`TileIndexPool`] for the reuse rationale).
+#[derive(Default)]
+pub struct TileBatchPool {
+    replicas: Vec<TileReplica>,
+    workers: Vec<TileBatchWorker>,
+}
+
+/// The space-partitioned query phase of the set-at-a-time category: tile
+/// the space, replicate the data relation's live rows by query extent,
+/// assign each pre-built query to every tile its region overlaps, and run
+/// each tile's batch join on a private fork ([`BatchJoin::fork`]) over its
+/// local replica — then keep only the pairs whose matched row is canonical
+/// to the tile (the reference-point rule) and fold them under global
+/// handles. Everything — partitioning included — runs inside the timed
+/// query phase, consistent with the category's set-at-a-time cost model
+/// (per-tick sorting and partitioning are the technique's own cost).
+#[allow(clippy::too_many_arguments)] // mirrors shard_batch_join plus the tile geometry
+pub fn tiled_batch_join<J: BatchJoin + ?Sized>(
+    join: &J,
+    queriers: &PointTable,
+    data: &PointTable,
+    queries: &[(EntryId, Rect)],
+    space: &Rect,
+    query_side: f32,
+    tiles: NonZeroUsize,
+    pool: &mut TileBatchPool,
+) -> (u64, u64) {
+    let grid = TileGrid::new(space, tiles);
+    while pool.workers.len() < grid.tiles() {
+        pool.workers.push(TileBatchWorker {
+            join: join.fork(),
+            queries: Vec::new(),
+            out: Vec::new(),
+        });
+    }
+    pool.workers.truncate(grid.tiles());
+    replicate_by_extent(data, &grid, query_side, &mut pool.replicas);
+    for w in &mut pool.workers {
+        w.queries.clear();
+    }
+    for &(q, region) in queries {
+        for t in grid.cover(&region) {
+            pool.workers[t].queries.push((q, region));
+        }
+    }
+    let shards: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pool
+            .workers
+            .iter_mut()
+            .zip(pool.replicas.iter())
+            .enumerate()
+            .map(|(t, (worker, replica))| {
+                scope.spawn(move || {
+                    let TileBatchWorker { join, queries, out } = worker;
+                    out.clear();
+                    join.join_two(queriers, &replica.table, queries, out);
+                    let xs = replica.table.xs();
+                    let ys = replica.table.ys();
+                    let mut pairs = 0u64;
+                    let mut checksum = 0u64;
+                    for &(q, local) in out.iter() {
+                        let l = local as usize;
+                        if grid.tile_of(xs[l], ys[l]) == t {
+                            pairs += 1;
+                            checksum = fold_pair(checksum, q, replica.to_global[l]);
+                        }
+                    }
+                    (pairs, checksum)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tile batch worker panicked"))
+            .collect()
+    });
+    merge(shards)
+}
+
 fn merge(shards: Vec<(u64, u64)>) -> (u64, u64) {
     let mut pairs = 0u64;
     let mut checksum = 0u64;
@@ -339,24 +595,170 @@ mod tests {
     }
 
     #[test]
+    fn tiled_index_query_matches_sequential_for_any_tile_count() {
+        let table = random_table(500, 9);
+        let queriers: Vec<EntryId> = (0..table.len() as EntryId).step_by(3).collect();
+        let space = Rect::space(SIDE);
+        let expect = sequential_reference(&table, &queriers, &space, 120.0);
+        for n in [1usize, 2, 3, 5, 7, 16, 100] {
+            let mut pool = TileIndexPool::default();
+            // Two ticks over one pool: buffer reuse must not leak state.
+            for tick in 0..2 {
+                tiled_index_build(
+                    &ScanIndex::new(),
+                    &table,
+                    &space,
+                    120.0,
+                    threads(n),
+                    &mut pool,
+                );
+                let got = tiled_index_query(&mut pool, &table, &queriers, &space, 120.0);
+                assert_eq!(got, expect, "tiles = {n}, tick = {tick}");
+            }
+            assert_eq!(pool.index_bytes(), Some(0), "scan forks own nothing");
+        }
+    }
+
+    #[test]
+    fn tiled_index_query_matches_sequential_with_tombstones() {
+        let mut table = random_table(300, 21);
+        for id in (0..300).step_by(7) {
+            table.remove(id);
+        }
+        let queriers: Vec<EntryId> = (0..table.len() as EntryId)
+            .filter(|&q| table.is_live(q))
+            .step_by(2)
+            .collect();
+        let space = Rect::space(SIDE);
+        let expect = sequential_reference(&table, &queriers, &space, 150.0);
+        for n in [2usize, 5, 9] {
+            let mut pool = TileIndexPool::default();
+            tiled_index_build(
+                &ScanIndex::new(),
+                &table,
+                &space,
+                150.0,
+                threads(n),
+                &mut pool,
+            );
+            let got = tiled_index_query(&mut pool, &table, &queriers, &space, 150.0);
+            assert_eq!(got, expect, "tiles = {n}");
+        }
+    }
+
+    #[test]
+    fn tiled_batch_join_matches_sequential_for_any_tile_count() {
+        let table = random_table(400, 11);
+        let space = Rect::space(SIDE);
+        let query_side = 90.0;
+        let queries: Vec<(EntryId, Rect)> = (0..table.len() as EntryId)
+            .step_by(2)
+            .map(|q| {
+                (
+                    q,
+                    Rect::centered_square(table.point(q), query_side).clipped_to(&space),
+                )
+            })
+            .collect();
+        let mut out = Vec::new();
+        NaiveBatchJoin.join(&table, &queries, &mut out);
+        let expect_pairs = out.len() as u64;
+        let expect_checksum = out.iter().fold(0u64, |c, &(q, r)| fold_pair(c, q, r));
+        let mut pool = TileBatchPool::default();
+        for n in [1usize, 2, 3, 6, 25, 64] {
+            let got = tiled_batch_join(
+                &NaiveBatchJoin,
+                &table,
+                &table,
+                &queries,
+                &space,
+                query_side,
+                threads(n),
+                &mut pool,
+            );
+            assert_eq!(got, (expect_pairs, expect_checksum), "tiles = {n}");
+        }
+    }
+
+    #[test]
+    fn empty_tiled_inputs_are_fine() {
+        let table = random_table(50, 1);
+        let space = Rect::space(SIDE);
+        let mut pool = TileIndexPool::default();
+        tiled_index_build(
+            &ScanIndex::new(),
+            &table,
+            &space,
+            50.0,
+            threads(4),
+            &mut pool,
+        );
+        assert_eq!(
+            tiled_index_query(&mut pool, &table, &[], &space, 50.0),
+            (0, 0)
+        );
+        assert_eq!(
+            tiled_batch_join(
+                &NaiveBatchJoin,
+                &table,
+                &table,
+                &[],
+                &space,
+                50.0,
+                threads(4),
+                &mut TileBatchPool::default()
+            ),
+            (0, 0)
+        );
+        // And an empty table under heavy oversharding.
+        let empty = PointTable::default();
+        let mut pool = TileIndexPool::default();
+        tiled_index_build(
+            &ScanIndex::new(),
+            &empty,
+            &space,
+            50.0,
+            threads(16),
+            &mut pool,
+        );
+        assert_eq!(
+            tiled_index_query(&mut pool, &empty, &[], &space, 50.0),
+            (0, 0)
+        );
+    }
+
+    #[test]
     fn exec_mode_constructors_and_accessors() {
         assert_eq!(ExecMode::parallel(0), None);
+        assert_eq!(ExecMode::partitioned(0), None);
         let par4 = ExecMode::parallel(4).unwrap();
         assert_eq!(par4.threads(), 4);
         assert!(par4.is_parallel());
+        assert!(!par4.is_partitioned());
+        let tiles4 = ExecMode::partitioned(4).unwrap();
+        assert_eq!(tiles4.threads(), 4, "one worker per tile");
+        assert!(tiles4.is_parallel());
+        assert!(tiles4.is_partitioned());
+        assert_ne!(par4, tiles4);
         assert_eq!(ExecMode::Sequential.threads(), 1);
         assert!(!ExecMode::Sequential.is_parallel());
+        assert!(!ExecMode::Sequential.is_partitioned());
         assert_eq!(ExecMode::default(), ExecMode::Sequential);
         assert_eq!(format!("{par4}"), "parallel(4)");
+        assert_eq!(format!("{tiles4}"), "tiled(4)");
         assert_eq!(format!("{}", ExecMode::Sequential), "sequential");
     }
 
     #[test]
-    fn or_prefers_the_parallel_mode() {
+    fn or_prefers_the_non_sequential_mode() {
         let par2 = ExecMode::parallel(2).unwrap();
         let par8 = ExecMode::parallel(8).unwrap();
+        let tiles4 = ExecMode::partitioned(4).unwrap();
         assert_eq!(ExecMode::Sequential.or(par2), par2);
+        assert_eq!(ExecMode::Sequential.or(tiles4), tiles4);
         assert_eq!(par8.or(par2), par8);
+        assert_eq!(tiles4.or(par8), tiles4, "a spec's tiles beat CLI threads");
+        assert_eq!(par8.or(tiles4), par8);
         assert_eq!(
             ExecMode::Sequential.or(ExecMode::Sequential),
             ExecMode::Sequential

@@ -86,6 +86,17 @@ impl PointTable {
         id
     }
 
+    /// Drop every row — live and dead — keeping allocated capacity. For
+    /// per-tick scratch tables (the tile replicas of [`crate::tile`]) that
+    /// are repopulated from scratch each build; a driver-owned base table
+    /// is never cleared, so the handle-stability guarantee is untouched.
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+        self.live.clear();
+        self.live_len = 0;
+    }
+
     /// Tombstone row `id`: mark it dead, freezing its coordinates in
     /// place. Surviving handles are untouched — no row ever moves.
     /// Returns whether the row was live (removing a dead row is a no-op).

@@ -1,0 +1,449 @@
+//! Space partitioning for [`crate::par::ExecMode::Partitioned`]: tile
+//! geometry, extent replication, and the reference-point rule.
+//!
+//! This module is pure geometry and bookkeeping — no threads. The
+//! thread-spawning tiled executors live in [`crate::par`] (the only module
+//! allowed to spawn; sj-lint's `bare-thread-spawn` rule enforces it).
+//!
+//! ## The scheme (DESIGN.md §13)
+//!
+//! The data space is split into an `nx × ny` grid of `N` tiles
+//! ([`TileGrid`]). Every point owns one **canonical tile** — the tile its
+//! coordinates fall in ([`TileGrid::tile_of`]) — but is **replicated** into
+//! every tile its query region (the centred square of side `query_side`,
+//! clipped to the space) overlaps ([`replicate_by_extent`]); queriers are
+//! assigned to tiles by the same extent rule. Each tile then joins its
+//! local replicas independently, which double-reports any pair whose two
+//! sides straddle a boundary. The **reference-point rule** restores
+//! exactness: tile `T` emits a pair `(a, b)` only if `b`'s canonical tile
+//! is `T`. Coverage and uniqueness both follow from one fact — the
+//! per-axis tile index is a monotone function of the coordinate — so the
+//! covered index range of a region contains the canonical tile of every
+//! point inside it:
+//!
+//! - *coverage*: `b ∈ region(a)` puts `tile_of(b)` inside
+//!   `cover(region(a))`, so querier `a` visits `tile_of(b)`, where `b` is
+//!   resident (its own region contains it); the pair is found there;
+//! - *uniqueness*: the filter accepts it in `tile_of(b)` and nowhere else.
+//!
+//! Checksums are unperturbed because each pair is emitted exactly once with
+//! its *global* ids ([`TileReplica::to_global`]) and the driver's checksum
+//! fold is a commutative wrapping sum — any partition of the pair set
+//! merges back to the sequential value bit for bit.
+
+use std::num::NonZeroUsize;
+
+use crate::geom::Rect;
+use crate::table::{entry_id, EntryId, PointTable};
+
+/// Factor `tiles` into the most nearly square `nx × ny` grid: `ny` is the
+/// largest divisor not exceeding `√tiles`, so `nx ≥ ny` and `nx·ny ==
+/// tiles` exactly (a prime count degenerates to an `n × 1` strip).
+fn grid_dims(tiles: usize) -> (usize, usize) {
+    let mut d = 1;
+    let mut k = 1;
+    while k * k <= tiles {
+        if tiles.is_multiple_of(k) {
+            d = k;
+        }
+        k += 1;
+    }
+    (tiles / d, d)
+}
+
+/// Per-axis tile index of a coordinate at `offset` from the space origin.
+/// `as usize` saturates, so negatives and NaN (a degenerate zero-width
+/// axis divides 0/0) land in tile 0 and `+inf` in the last tile — every
+/// input gets a tile, and the map stays monotone in `offset`.
+#[inline]
+fn axis_index(offset: f32, tile_len: f32, n: usize) -> usize {
+    ((offset / tile_len) as usize).min(n - 1)
+}
+
+/// An `nx × ny` tiling of the data space, row-major tile ids `0..tiles`.
+///
+/// A point exactly on an interior tile edge belongs to the higher-indexed
+/// tile (floor semantics), mirroring how [`crate::geom::Rect`]'s closed
+/// containment ties are broken everywhere else in the workspace: the
+/// assignment is a pure function of the coordinates, identical on every
+/// side of the join, which is all the reference-point rule needs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TileGrid {
+    bounds: Rect,
+    nx: usize,
+    ny: usize,
+    tile_w: f32,
+    tile_h: f32,
+}
+
+impl TileGrid {
+    /// Tile `space` into exactly `tiles` rectangles (see `grid_dims`).
+    pub fn new(space: &Rect, tiles: NonZeroUsize) -> TileGrid {
+        let (nx, ny) = grid_dims(tiles.get());
+        TileGrid {
+            bounds: *space,
+            nx,
+            ny,
+            tile_w: space.width() / nx as f32,
+            tile_h: space.height() / ny as f32,
+        }
+    }
+
+    /// Total number of tiles (`nx · ny`, exactly the requested count).
+    #[inline]
+    pub fn tiles(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// The tiled space.
+    #[inline]
+    pub fn bounds(&self) -> &Rect {
+        &self.bounds
+    }
+
+    /// Canonical tile of a point — the reference point of the dedup rule.
+    #[inline]
+    pub fn tile_of(&self, x: f32, y: f32) -> usize {
+        let ix = axis_index(x - self.bounds.x1, self.tile_w, self.nx);
+        let iy = axis_index(y - self.bounds.y1, self.tile_h, self.ny);
+        iy * self.nx + ix
+    }
+
+    /// Every tile `region` overlaps, as the rectangle of per-axis index
+    /// ranges of its corners. Because `axis_index` is monotone, this
+    /// range contains [`TileGrid::tile_of`] of every point in `region` —
+    /// the containment [`replicate_by_extent`] and querier assignment
+    /// rely on.
+    pub fn cover(&self, region: &Rect) -> TileCover {
+        let ix0 = axis_index(region.x1 - self.bounds.x1, self.tile_w, self.nx);
+        let ix1 = axis_index(region.x2 - self.bounds.x1, self.tile_w, self.nx);
+        let iy0 = axis_index(region.y1 - self.bounds.y1, self.tile_h, self.ny);
+        let iy1 = axis_index(region.y2 - self.bounds.y1, self.tile_h, self.ny);
+        TileCover {
+            nx: self.nx,
+            ix0,
+            ix1,
+            iy1,
+            ix: ix0,
+            iy: iy0,
+        }
+    }
+
+    /// Geometric bounds of tile `t` (the last row/column absorbs any
+    /// floating-point remainder so the tiles exactly cover the space).
+    pub fn tile_bounds(&self, t: usize) -> Rect {
+        let (ix, iy) = (t % self.nx, t / self.nx);
+        let x1 = self.bounds.x1 + ix as f32 * self.tile_w;
+        let y1 = self.bounds.y1 + iy as f32 * self.tile_h;
+        let x2 = if ix + 1 == self.nx {
+            self.bounds.x2
+        } else {
+            self.bounds.x1 + (ix + 1) as f32 * self.tile_w
+        };
+        let y2 = if iy + 1 == self.ny {
+            self.bounds.y2
+        } else {
+            self.bounds.y1 + (iy + 1) as f32 * self.tile_h
+        };
+        Rect::new(x1, y1, x2.max(x1), y2.max(y1))
+    }
+}
+
+/// Iterator over the row-major tile ids of a [`TileGrid::cover`] range.
+pub struct TileCover {
+    nx: usize,
+    ix0: usize,
+    ix1: usize,
+    iy1: usize,
+    ix: usize,
+    iy: usize,
+}
+
+impl Iterator for TileCover {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.iy > self.iy1 {
+            return None;
+        }
+        let t = self.iy * self.nx + self.ix;
+        if self.ix < self.ix1 {
+            self.ix += 1;
+        } else {
+            self.ix = self.ix0;
+            self.iy += 1;
+        }
+        Some(t)
+    }
+}
+
+/// One tile's local view of a relation: the replicated live rows as a
+/// fresh [`PointTable`] (so indexes and batch joins run on it unchanged)
+/// plus the local-row → global-handle map that translates emitted pairs
+/// back into driver ids. Tombstoned rows are never replicated — a row
+/// that dies simply vanishes from every replica set at the next
+/// partition, exactly as it vanishes from a sequential rebuild.
+#[derive(Debug, Default)]
+pub struct TileReplica {
+    pub table: PointTable,
+    pub to_global: Vec<EntryId>,
+}
+
+impl TileReplica {
+    /// Drop all rows, keeping allocated capacity for the next tick.
+    pub fn clear(&mut self) {
+        self.table.clear();
+        self.to_global.clear();
+    }
+
+    fn push(&mut self, x: f32, y: f32, global: EntryId) {
+        self.table.push(x, y);
+        self.to_global.push(global);
+    }
+
+    /// Global handle of local row `local`.
+    #[inline]
+    pub fn global(&self, local: EntryId) -> EntryId {
+        self.to_global[local as usize]
+    }
+}
+
+/// Partition `table`'s **live** rows into per-tile replicas: each row goes
+/// to every tile its clipped query region (centred square of side
+/// `query_side`) overlaps. `replicas` is resized to the grid and reused
+/// across ticks — steady-state partitioning allocates nothing.
+pub fn replicate_by_extent(
+    table: &PointTable,
+    grid: &TileGrid,
+    query_side: f32,
+    replicas: &mut Vec<TileReplica>,
+) {
+    replicas.resize_with(grid.tiles(), TileReplica::default);
+    for r in replicas.iter_mut() {
+        r.clear();
+    }
+    let xs = table.xs();
+    let ys = table.ys();
+    let live = table.live_mask();
+    let all_live = table.all_live();
+    for i in 0..xs.len() {
+        if !all_live && !live[i] {
+            continue;
+        }
+        let region = Rect::centered_square(crate::geom::Point::new(xs[i], ys[i]), query_side)
+            .clipped_to(grid.bounds());
+        for t in grid.cover(&region) {
+            replicas[t].push(xs[i], ys[i], entry_id(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Point;
+    use crate::rng::Xoshiro256;
+
+    fn tiles(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn grid_dims_factor_exactly_and_nearly_square() {
+        assert_eq!(grid_dims(1), (1, 1));
+        assert_eq!(grid_dims(2), (2, 1));
+        assert_eq!(grid_dims(4), (2, 2));
+        assert_eq!(grid_dims(5), (5, 1));
+        assert_eq!(grid_dims(8), (4, 2));
+        assert_eq!(grid_dims(12), (4, 3));
+        assert_eq!(grid_dims(16), (4, 4));
+        for n in 1..=64 {
+            let (nx, ny) = grid_dims(n);
+            assert_eq!(nx * ny, n, "n = {n}");
+            assert!(nx >= ny, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn tile_of_is_total_and_in_range() {
+        let g = TileGrid::new(&Rect::space(100.0), tiles(6));
+        let mut rng = Xoshiro256::seeded(3);
+        for _ in 0..1000 {
+            let (x, y) = (rng.range_f32(0.0, 100.0), rng.range_f32(0.0, 100.0));
+            assert!(g.tile_of(x, y) < g.tiles());
+        }
+        // Space corners, including the closed upper boundary.
+        assert_eq!(g.tile_of(0.0, 0.0), 0);
+        assert_eq!(g.tile_of(100.0, 100.0), g.tiles() - 1);
+    }
+
+    #[test]
+    fn edge_points_belong_to_the_higher_tile() {
+        // 2 × 2 over [0,100]²: the interior edges are x = 50 and y = 50.
+        let g = TileGrid::new(&Rect::space(100.0), tiles(4));
+        assert_eq!((g.nx(), g.ny()), (2, 2));
+        assert_eq!(g.tile_of(49.999, 10.0), 0);
+        assert_eq!(g.tile_of(50.0, 10.0), 1, "x tie goes right");
+        assert_eq!(g.tile_of(10.0, 50.0), 2, "y tie goes up");
+        assert_eq!(g.tile_of(50.0, 50.0), 3, "corner tie goes up-right");
+    }
+
+    #[test]
+    fn cover_contains_the_canonical_tile_of_every_contained_point() {
+        // The monotonicity property the reference-point proof stands on.
+        let space = Rect::space(1_000.0);
+        let mut rng = Xoshiro256::seeded(7);
+        for n in [1usize, 2, 3, 4, 5, 7, 16, 64] {
+            let g = TileGrid::new(&space, tiles(n));
+            for _ in 0..200 {
+                let c = Point::new(rng.range_f32(0.0, 1_000.0), rng.range_f32(0.0, 1_000.0));
+                let region = Rect::centered_square(c, rng.range_f32(0.0, 400.0)).clipped_to(&space);
+                let covered: Vec<usize> = g.cover(&region).collect();
+                for _ in 0..20 {
+                    let p = Point::new(
+                        rng.range_f32(region.x1, region.x2),
+                        rng.range_f32(region.y1, region.y2),
+                    );
+                    assert!(
+                        covered.contains(&g.tile_of(p.x, p.y)),
+                        "tiles = {n}, region = {region:?}, p = {p:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_of_a_straddling_region_lists_each_tile_once() {
+        let g = TileGrid::new(&Rect::space(100.0), tiles(4));
+        // Straddles both interior edges: all four tiles, each exactly once.
+        let four: Vec<usize> = g
+            .cover(&Rect::centered_square(Point::new(50.0, 50.0), 10.0))
+            .collect();
+        assert_eq!(four, vec![0, 1, 2, 3]);
+        // Straddles only the vertical edge: two tiles.
+        let two: Vec<usize> = g
+            .cover(&Rect::centered_square(Point::new(50.0, 20.0), 10.0))
+            .collect();
+        assert_eq!(two, vec![0, 1]);
+        // Interior to one tile.
+        let one: Vec<usize> = g
+            .cover(&Rect::centered_square(Point::new(20.0, 20.0), 10.0))
+            .collect();
+        assert_eq!(one, vec![0]);
+    }
+
+    #[test]
+    fn tile_bounds_partition_the_space() {
+        for n in [1usize, 2, 4, 5, 6, 16] {
+            let space = Rect::space(100.0);
+            let g = TileGrid::new(&space, tiles(n));
+            let mut area = 0.0;
+            for t in 0..g.tiles() {
+                let b = g.tile_bounds(t);
+                assert!(space.contains_rect(&b), "tiles = {n}, t = {t}");
+                assert!(b.contains_point((b.x1 + b.x2) * 0.5, (b.y1 + b.y2) * 0.5));
+                area += b.area();
+            }
+            assert!(
+                (area - space.area()).abs() < 1.0,
+                "tiles = {n}: area {area}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_tile_bounds_contain_their_points_off_the_shared_edges() {
+        // Interior points map to the tile whose rectangle holds them; on a
+        // shared edge both rectangles contain the point (closed rects) and
+        // tile_of picks the higher one deterministically.
+        let g = TileGrid::new(&Rect::space(100.0), tiles(4));
+        let mut rng = Xoshiro256::seeded(11);
+        for _ in 0..500 {
+            let (x, y) = (rng.range_f32(0.0, 100.0), rng.range_f32(0.0, 100.0));
+            let b = g.tile_bounds(g.tile_of(x, y));
+            assert!(b.contains_point(x, y), "({x}, {y}) not in {b:?}");
+        }
+    }
+
+    #[test]
+    fn replication_covers_the_home_tile_and_skips_tombstones() {
+        let space = Rect::space(100.0);
+        let g = TileGrid::new(&space, tiles(4));
+        let mut t = PointTable::default();
+        let a = t.push(20.0, 20.0); // interior to tile 0
+        let b = t.push(50.0, 50.0); // center: replicated everywhere
+        let dead = t.push(80.0, 80.0);
+        t.remove(dead);
+
+        let mut replicas = Vec::new();
+        replicate_by_extent(&t, &g, 10.0, &mut replicas);
+        assert_eq!(replicas.len(), 4);
+
+        // Every live row is resident in its canonical tile.
+        for (id, p) in t.iter() {
+            let home = g.tile_of(p.x, p.y);
+            assert!(
+                replicas[home].to_global.contains(&id),
+                "row {id} missing from home tile {home}"
+            );
+        }
+        // The straddler is in all four replica sets; the corner point in one.
+        for r in &replicas {
+            assert!(r.to_global.contains(&b));
+            assert_eq!(r.table.len(), r.to_global.len());
+            assert!(r.table.all_live(), "replicas hold live rows only");
+        }
+        assert_eq!(
+            replicas.iter().filter(|r| r.to_global.contains(&a)).count(),
+            1
+        );
+        // The tombstone is nowhere — including the tile it used to live in.
+        for r in &replicas {
+            assert!(!r.to_global.contains(&dead));
+        }
+    }
+
+    #[test]
+    fn replication_reuses_buffers_across_ticks() {
+        let space = Rect::space(100.0);
+        let g = TileGrid::new(&space, tiles(2));
+        let mut t = PointTable::default();
+        for i in 0..10 {
+            t.push(i as f32 * 10.0, 50.0);
+        }
+        let mut replicas = Vec::new();
+        replicate_by_extent(&t, &g, 8.0, &mut replicas);
+        let first: Vec<usize> = replicas.iter().map(|r| r.table.len()).collect();
+        // Repartitioning the same table must reproduce the same replica
+        // sets (no stale rows from the previous tick).
+        replicate_by_extent(&t, &g, 8.0, &mut replicas);
+        let second: Vec<usize> = replicas.iter().map(|r| r.table.len()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn oversharded_grids_leave_most_tiles_empty_but_lose_nothing() {
+        let space = Rect::space(100.0);
+        let g = TileGrid::new(&space, tiles(64));
+        let mut t = PointTable::default();
+        t.push(10.0, 10.0);
+        t.push(90.0, 90.0);
+        let mut replicas = Vec::new();
+        replicate_by_extent(&t, &g, 1.0, &mut replicas);
+        let populated = replicas.iter().filter(|r| !r.table.is_empty()).count();
+        assert!((2..=8).contains(&populated));
+        let total: usize = replicas.iter().map(|r| r.table.len()).sum();
+        assert!(total >= 2);
+    }
+}

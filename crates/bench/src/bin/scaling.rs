@@ -1,21 +1,29 @@
-//! Scaling — the query phase across thread counts, in the style of the
+//! Scaling — the query phase across worker counts, in the style of the
 //! Tsitsigkos & Mamoulis scalability figures ("Parallel In-Memory
 //! Evaluation of Spatial Joins"): every benchmarkable registry technique
-//! at 1, 2, 4 and 8 workers, reporting per-phase times and the speedup of
-//! the query phase over the single-worker run.
+//! at 1, 2, 4 and 8 workers, under **both** non-sequential execution
+//! modes raced against each other — `@par<N>` (the query set sharded over
+//! N threads probing one shared index) and `@tiles<N>` (the space cut
+//! into N tiles, each with a private fork of the technique; DESIGN.md
+//! §13).
 //!
-//! Thread count 1 runs [`ExecMode::Parallel`] with one worker — the same
-//! sharded code path, so the speedup column isolates scaling from the
-//! (tiny) constant cost of scoped-thread dispatch. Build and update
-//! phases are sequential in every configuration; only the query phase
-//! shards (DESIGN.md §8). Each run's join is asserted identical to the
-//! sequential reference — parallelism that changed the answer would be a
-//! bug, not a speedup.
+//! Worker count 1 runs the real parallel/tiled code paths with one
+//! worker, so each speedup column isolates scaling from the constant cost
+//! of dispatch (and, for tiles, of partitioning). The sweep crosses a
+//! uniform and two skewed workloads (`gaussian`, `roadgrid`) by default —
+//! skew is where the two modes diverge: sharding balances queries but
+//! shares one big index, tiling shrinks the per-worker index but
+//! inherits the hotspot imbalance. Each run's join is asserted identical
+//! to the sequential reference — parallelism that changed the answer
+//! would be a bug, not a speedup.
 //!
-//! `--threads N` narrows the sweep to that single count; `--json` emits
-//! one RunStats line per (technique, thread count) with a `threads` field.
+//! `--workload SPEC` narrows the workload sweep to that spec;
+//! `--threads N` / `--tiles N` narrows the worker-count sweep to N (the
+//! two flags are mutually exclusive and either one narrows both modes,
+//! keeping the race aligned). `--json` emits one RunStats line per
+//! (workload, technique, mode, count) with a `threads` or `tiles` field.
 //!
-//! Run: `cargo run -p sj-bench --release --bin scaling [--ticks N] [--threads N] [--workload SPEC] [--csv|--json]`
+//! Run: `cargo run -p sj-bench --release --bin scaling [--ticks N] [--threads N | --tiles N] [--workload SPEC] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
 use sj_bench::report::stats_line;
@@ -23,81 +31,117 @@ use sj_bench::run_workload_spec;
 use sj_bench::table::{secs, Table};
 use sj_core::par::ExecMode;
 use sj_core::technique::TechniqueSpec;
+use sj_workload::{WorkloadKind, WorkloadSpec, DEFAULT_HOTSPOTS};
 
 /// The swept worker counts (the Tsitsigkos figures' x-axis, truncated to
 /// counts a laptop container can honor).
-const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A non-sequential mode constructor ([`ExecMode::parallel`] or
+/// [`ExecMode::partitioned`]); `None` only for a zero count.
+type MakeMode = fn(usize) -> Option<ExecMode>;
+
+/// The two raced modes, as (column label, constructor).
+const MODES: [(&str, MakeMode); 2] = [
+    ("par", ExecMode::parallel),
+    ("tiles", ExecMode::partitioned),
+];
 
 fn main() {
     let opts = CommonOpts::parse();
     opts.require_self_join("scaling");
     let params = opts.uniform_params();
     let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
-    let wspec = opts.workload_spec();
-    let counts: Vec<usize> = match opts.threads {
+    let workloads: Vec<WorkloadSpec> = match opts.workload {
+        Some(w) => vec![w],
+        None => vec![
+            WorkloadKind::Uniform.spec(),
+            WorkloadKind::Gaussian {
+                hotspots: DEFAULT_HOTSPOTS,
+            }
+            .spec(),
+            WorkloadKind::RoadGrid.spec(),
+        ],
+    };
+    let counts: Vec<usize> = match opts.threads.or(opts.tiles) {
         Some(n) => vec![n.get()],
-        None => THREAD_COUNTS.to_vec(),
+        None => WORKER_COUNTS.to_vec(),
     };
 
-    if !opts.json {
-        println!(
-            "# Query-phase scaling, {} points, {} ticks, {} workload (query seconds per tick)",
-            params.num_points,
-            params.ticks,
-            wspec.name()
-        );
-    }
-    let mut headers = vec!["technique".to_string()];
-    headers.extend(counts.iter().map(|n| format!("query_s @{n}")));
-    headers.push("speedup".to_string());
-    let mut t = Table::new(headers);
-
-    for spec in specs {
-        // Force the reference truly sequential: a spec arriving with its own
-        // @par modifier (via --technique) would otherwise promote this run
-        // too, and the equality assert would compare parallel to itself.
-        let reference = run_workload_spec(
-            wspec,
-            &params,
-            spec.with_exec(ExecMode::Sequential),
-            ExecMode::Sequential,
-        );
-        let mut row = vec![spec.label()];
-        let mut first_query_s = None;
-        let mut last_query_s = None;
-        for &n in &counts {
-            let exec = ExecMode::parallel(n).expect("thread counts are nonzero");
-            let stats =
-                run_workload_spec(wspec, &params, spec.with_exec(exec), ExecMode::Sequential);
-            assert_eq!(
-                (stats.result_pairs, stats.checksum),
-                (reference.result_pairs, reference.checksum),
-                "{} @{n} threads computed a different join",
-                spec.name()
+    for wspec in workloads {
+        if !opts.json {
+            println!(
+                "# Query-phase scaling, {} points, {} ticks, {} workload (query seconds per tick)",
+                params.num_points,
+                params.ticks,
+                wspec.name()
             );
-            let query_s = stats.avg_query_seconds();
-            first_query_s.get_or_insert(query_s);
-            last_query_s = Some(query_s);
-            if opts.json {
-                println!(
-                    "{}",
-                    stats_line("scaling", &spec.name(), Some(("threads", n as f64)), &stats)
-                );
-            } else {
-                row.push(secs(query_s));
+        }
+        let mut headers = vec!["technique".to_string(), "mode".to_string()];
+        headers.extend(counts.iter().map(|n| format!("query_s @{n}")));
+        headers.push("speedup".to_string());
+        let mut t = Table::new(headers);
+
+        for &spec in &specs {
+            // Force the reference truly sequential: a spec arriving with
+            // its own @par/@tiles modifier (via --technique) would
+            // otherwise promote this run too, and the equality assert
+            // would compare a mode to itself.
+            let reference = run_workload_spec(
+                wspec,
+                &params,
+                spec.with_exec(ExecMode::Sequential),
+                ExecMode::Sequential,
+            );
+            for (mode_name, make_mode) in MODES {
+                let mut row = vec![spec.label(), mode_name.to_string()];
+                let mut first_query_s = None;
+                let mut last_query_s = None;
+                for &n in &counts {
+                    let exec = make_mode(n).expect("worker counts are nonzero");
+                    let stats = run_workload_spec(
+                        wspec,
+                        &params,
+                        spec.with_exec(exec),
+                        ExecMode::Sequential,
+                    );
+                    assert_eq!(
+                        (stats.result_pairs, stats.checksum),
+                        (reference.result_pairs, reference.checksum),
+                        "{} @{mode_name}{n} on {} computed a different join",
+                        spec.name(),
+                        wspec.name()
+                    );
+                    let query_s = stats.avg_query_seconds();
+                    first_query_s.get_or_insert(query_s);
+                    last_query_s = Some(query_s);
+                    if opts.json {
+                        println!(
+                            "{}",
+                            stats_line(
+                                "scaling",
+                                &spec.with_exec(exec).name(),
+                                Some((mode_name, n as f64)),
+                                &stats
+                            )
+                        );
+                    } else {
+                        row.push(secs(query_s));
+                    }
+                }
+                if !opts.json {
+                    let speedup = match (first_query_s, last_query_s) {
+                        (Some(first), Some(last)) if last > 0.0 => format!("{:.2}x", first / last),
+                        _ => "-".to_string(),
+                    };
+                    row.push(speedup);
+                    t.row(row);
+                }
             }
         }
         if !opts.json {
-            let speedup = match (first_query_s, last_query_s) {
-                (Some(first), Some(last)) if last > 0.0 => format!("{:.2}x", first / last),
-                _ => "-".to_string(),
-            };
-            row.push(speedup);
-            t.row(row);
+            println!("{}", t.render(opts.csv));
+            println!("(speedup = first column / last column; joins verified identical per run)");
         }
-    }
-    if !opts.json {
-        println!("{}", t.render(opts.csv));
-        println!("(speedup = first column / last column; joins verified identical per run)");
     }
 }

@@ -28,6 +28,11 @@ pub struct CommonOpts {
     /// zero-thread run is unrepresentable ([`ExecMode::Parallel`]); the
     /// parser rejects `--threads 0` as an [`CliError::InvalidValue`].
     pub threads: Option<NonZeroUsize>,
+    /// Space-partition tile count (`--tiles N`, [`ExecMode::Partitioned`]).
+    /// Mutually exclusive with `--threads`: the two flags name different
+    /// execution modes, so taking both would silently drop one
+    /// ([`CliError::ThreadsTilesConflict`]).
+    pub tiles: Option<NonZeroUsize>,
     /// Emit machine-readable CSV instead of aligned text.
     pub csv: bool,
     /// Emit one JSON object per technique run (see [`crate::report`]).
@@ -79,6 +84,9 @@ pub enum CliError {
     /// `--join bipartite:…` combined with `--workload`: the bipartite spec
     /// already names both relation workloads.
     JoinWorkloadConflict,
+    /// `--threads` combined with `--tiles`: each names a different
+    /// execution mode and only one can drive the run.
+    ThreadsTilesConflict,
     /// An unrecognized argument.
     UnknownFlag(String),
 }
@@ -98,6 +106,10 @@ impl std::fmt::Display for CliError {
                 "--workload cannot be combined with a bipartite --join: the join spec \
                  already names both relation workloads (bipartite:<R>x<S>)",
             ),
+            CliError::ThreadsTilesConflict => f.write_str(
+                "--threads and --tiles are mutually exclusive: sharded (@par<N>) and \
+                 space-partitioned (@tiles<N>) execution are different modes",
+            ),
             CliError::UnknownFlag(arg) => write!(f, "unknown argument: {arg} (try --help)"),
         }
     }
@@ -115,8 +127,9 @@ pub fn usage() -> String {
          --points N        number of moving objects (default 50000)\n  \
          --seed N          workload seed\n  \
          --threads N       shard the query phase over N workers (N >= 1; default sequential)\n  \
+         --tiles N         space-partition into N tiles, each with a private index (excludes --threads)\n  \
          --technique SPEC  run a single technique; SPEC one of:\n                    {}\n                    \
-         any spec accepts a parallel modifier, e.g. grid:inline@par8\n  \
+         any spec accepts an execution modifier, e.g. grid:inline@par8 or grid:inline@tiles4\n  \
          --workload SPEC   drive the run through a named workload; SPEC one of:\n                    {}\n                    \
          (gaussian:h<N> takes any hotspot count; churn: prefixes any base spec)\n  \
          --join SPEC       join shape: self (default) or bipartite:<R>x<S>[:ratio<K>]\n                    \
@@ -182,6 +195,7 @@ impl CommonOpts {
                 // NonZeroUsize's FromStr rejects "0", so an invalid thread
                 // count dies here as a CliError — no ExecMode for it exists.
                 "--threads" => opts.threads = Some(parse_num(&take("--threads")?, "--threads")?),
+                "--tiles" => opts.tiles = Some(parse_num(&take("--tiles")?, "--tiles")?),
                 "--technique" => {
                     let spec = take("--technique")?;
                     opts.technique =
@@ -208,16 +222,21 @@ impl CommonOpts {
         if opts.workload.is_some() && !opts.join_spec().is_self() {
             return Err(CliError::JoinWorkloadConflict);
         }
+        if opts.threads.is_some() && opts.tiles.is_some() {
+            return Err(CliError::ThreadsTilesConflict);
+        }
         Ok(opts)
     }
 
     /// The execution mode this invocation asks for: the `--technique`
-    /// spec's `@par<N>` modifier if present, else `--threads N`, else
-    /// sequential.
+    /// spec's `@par<N>`/`@tiles<N>` modifier if present, else
+    /// `--threads N` / `--tiles N` (the parser guarantees at most one of
+    /// the two flags), else sequential.
     pub fn exec_mode(&self) -> ExecMode {
-        let flag = match self.threads {
-            Some(threads) => ExecMode::Parallel { threads },
-            None => ExecMode::Sequential,
+        let flag = match (self.threads, self.tiles) {
+            (Some(threads), _) => ExecMode::Parallel { threads },
+            (None, Some(tiles)) => ExecMode::Partitioned { tiles },
+            (None, None) => ExecMode::Sequential,
         };
         match self.technique {
             Some(spec) => spec.exec.or(flag),
@@ -403,6 +422,41 @@ mod tests {
     }
 
     #[test]
+    fn tiles_flag_selects_the_partitioned_mode() {
+        let opts = parse(&["--tiles", "4"]).unwrap();
+        assert_eq!(opts.tiles, NonZeroUsize::new(4));
+        assert_eq!(opts.exec_mode(), ExecMode::partitioned(4).unwrap());
+        // Zero dies in the parser like --threads 0 — no runtime check left.
+        assert_eq!(
+            parse(&["--tiles", "0"]).err(),
+            Some(CliError::InvalidValue {
+                flag: "--tiles".into(),
+                value: "0".into()
+            })
+        );
+        // A spec modifier wins over the flag, and cross-mode too: the spec
+        // is the more specific request.
+        let opts = parse(&["--technique", "grid@tiles8", "--tiles", "2"]).unwrap();
+        assert_eq!(opts.exec_mode(), ExecMode::partitioned(8).unwrap());
+        let opts = parse(&["--technique", "grid@par8", "--tiles", "2"]).unwrap();
+        assert_eq!(opts.exec_mode(), ExecMode::parallel(8).unwrap());
+        let opts = parse(&["--technique", "grid@tiles8", "--threads", "2"]).unwrap();
+        assert_eq!(opts.exec_mode(), ExecMode::partitioned(8).unwrap());
+    }
+
+    #[test]
+    fn threads_and_tiles_are_mutually_exclusive() {
+        assert_eq!(
+            parse(&["--threads", "2", "--tiles", "4"]).err(),
+            Some(CliError::ThreadsTilesConflict)
+        );
+        assert_eq!(
+            parse(&["--tiles", "4", "--threads", "2"]).err(),
+            Some(CliError::ThreadsTilesConflict)
+        );
+    }
+
+    #[test]
     fn malformed_inputs_are_reported_not_fatal() {
         assert_eq!(
             parse(&["--ticks"]).err(),
@@ -437,6 +491,7 @@ mod tests {
         }
         assert!(u.contains("--list-techniques") && u.contains("--list-workloads"));
         assert!(u.contains("--join") && u.contains("bipartite:<R>x<S>"));
+        assert!(u.contains("--tiles") && u.contains("@tiles4"));
     }
 
     #[test]

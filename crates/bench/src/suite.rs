@@ -11,9 +11,14 @@
 //!   technique, over uniform, Gaussian-hotspot, and churn populations
 //!   (self-join), plus a bipartite `uniform ⋈ gaussian:h3` at ratio 10 for
 //!   a core subset.
-//! - **scaling** — the query phase at 1/2/4/8 workers for a core subset
-//!   (the Tsitsigkos-style thread cells the upcoming tile-parallel mode
-//!   must beat).
+//! - **scaling** — the query phase at 1/2/4/8 workers for a core subset:
+//!   the Tsitsigkos-style sharded (`@par`) thread cells, plus the
+//!   space-partitioned (`@tiles<N>`) cells racing them — over uniform at
+//!   every count, over the skewed `gaussian:h3` at 4 tiles (skew is where
+//!   tiling's per-tile imbalance shows), and one bipartite tiled cell.
+//!   Tiled cells carry their mode in the technique spec string
+//!   (`…@tiles4`), so they reuse the schema unchanged (`threads` stays 0
+//!   and older comparators simply see new cell ids).
 //! - **asymmetry** — the |R|/|S| ∈ {1/100, 1/10, 1, 10} bipartite cells
 //!   for a small subset.
 //!
@@ -51,6 +56,10 @@ pub const QUICK_TICKS: u32 = 3;
 
 /// The thread counts of the scaling cells.
 pub const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The tile counts of the space-partitioned scaling cells (same x-axis as
+/// [`SCALING_THREADS`], so the two modes race cell for cell).
+pub const SCALING_TILES: [usize; 4] = [1, 2, 4, 8];
 
 /// The asymmetry cells' `(r_scale, s_scale)` divisors (relation population
 /// = `points / scale`), mirroring the asymmetry binary's sweep.
@@ -165,6 +174,43 @@ pub fn cell_matrix() -> Vec<CellSpec> {
             });
         }
     }
+    // scaling, space-partitioned: the same subset × tile counts. The mode
+    // lives in the spec (`…@tilesN`), not the `threads` knob — `run_cell`
+    // promotes the spec's embedded exec, and the cell id stays unique
+    // through the technique name.
+    for spec in core_subset() {
+        for n in SCALING_TILES {
+            cells.push(CellSpec {
+                bench: "scaling",
+                technique: spec
+                    .with_exec(ExecMode::partitioned(n).expect("pinned tile counts are nonzero")),
+                workload: uniform,
+                join: JoinSpec::SelfJoin,
+                threads: 0,
+                scales: (1, 1),
+            });
+        }
+    }
+    // Tiling under skew (the hotspot tiles do most of the work) and across
+    // the bipartite join shape.
+    for name in ["grid:inline@tiles4", "rtree:str@tiles4"] {
+        cells.push(CellSpec {
+            bench: "scaling",
+            technique: TechniqueSpec::parse(name).expect("canonical spec"),
+            workload: gaussian,
+            join: JoinSpec::SelfJoin,
+            threads: 0,
+            scales: (1, 1),
+        });
+    }
+    cells.push(CellSpec {
+        bench: "table2",
+        technique: TechniqueSpec::parse("grid:inline@tiles4").expect("canonical spec"),
+        workload: uniform,
+        join: bipartite,
+        threads: 0,
+        scales: (1, 1),
+    });
     // asymmetry: |R|/|S| cells over uniform ⋈ gaussian:h3.
     let asym_join = JoinSpec::bipartite(uniform, gaussian);
     for spec in core_subset() {
@@ -291,6 +337,9 @@ mod tests {
         assert!(ids.contains("table2/self/churn:uniform/sweep"));
         assert!(ids.contains("table2/bipartite:uniformxgaussian:h3:ratio10/rtree:str"));
         assert!(ids.contains("scaling/self/uniform/grid:bs-tuned/t8"));
+        assert!(ids.contains("scaling/self/uniform/grid:bs-tuned@tiles8"));
+        assert!(ids.contains("scaling/self/gaussian:h3/grid:inline@tiles4"));
+        assert!(ids.contains("table2/bipartite:uniformxgaussian:h3:ratio10/grid:inline@tiles4"));
         assert!(ids.contains("asymmetry/bipartite:uniformxgaussian:h3/r100s1/sweep"));
     }
 
@@ -311,6 +360,18 @@ mod tests {
         }
         for n in SCALING_THREADS {
             assert!(cells.iter().any(|c| c.threads == n));
+        }
+        // Every tile count appears as a @tilesN cell, and the tiled cells
+        // never double-book the threads knob (one mode per cell).
+        for n in SCALING_TILES {
+            assert!(cells
+                .iter()
+                .any(|c| c.technique.exec == ExecMode::partitioned(n).unwrap()));
+        }
+        for c in &cells {
+            if c.technique.exec != ExecMode::Sequential {
+                assert_eq!(c.threads, 0, "{} mixes modes", c.id());
+            }
         }
         // Every benchmarkable registry technique appears somewhere.
         for spec in registry().into_iter().filter(|s| s.is_benchmarkable()) {

@@ -100,6 +100,10 @@ impl SpatialIndex for BinarySearchJoin {
         // Allocated-capacity convention (see the trait docs).
         self.sorted.capacity() * std::mem::size_of::<EntryId>()
     }
+
+    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+        Box::new(self.clone())
+    }
 }
 
 /// See the crate docs: Binary Search with sorted coordinate copies and a
@@ -165,6 +169,10 @@ impl SpatialIndex for VecSearchJoin {
         self.xs.capacity() * 4
             + self.ys.capacity() * 4
             + self.ids.capacity() * std::mem::size_of::<EntryId>()
+    }
+
+    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+        Box::new(self.clone())
     }
 }
 

@@ -17,7 +17,11 @@
 //! - [`driver`] — the tick loop (build → query → update) with per-phase
 //!   timing, reproducing the Sowell et al. framework the paper builds on;
 //! - [`par`] — the parallel query phase ([`par::ExecMode`]) selected via
-//!   [`driver::DriverConfig::exec`] or a spec's `@par<N>` modifier;
+//!   [`driver::DriverConfig::exec`] or a spec's `@par<N>` / `@tiles<N>`
+//!   modifier;
+//! - [`tile`] — the space-partitioning geometry behind `@tiles<N>`: the
+//!   [`tile::TileGrid`], extent replication, and the reference-point
+//!   dedup rule;
 //! - [`rng`] — self-contained deterministic xoshiro256++;
 //! - [`trace`] — memory-access tracing hooks consumed by `sj-memsim`;
 //! - [`stats`] — numeric summaries for the benchmark harness.
@@ -54,7 +58,7 @@
 //! assert_eq!(hits, vec![0]);
 //! ```
 
-pub use sj_base::{batch, driver, geom, index, par, rng, simd, stats, table, trace};
+pub use sj_base::{batch, driver, geom, index, par, rng, simd, stats, table, tile, trace};
 
 pub mod technique;
 

@@ -12,12 +12,14 @@
 //!
 //! A spec is a [`TechniqueKind`] (which technique) plus an [`ExecMode`]
 //! (how its query phase executes). Spec strings are `family` or
-//! `family:variant`, optionally followed by a parallel modifier `@par<N>`
-//! (e.g. `"grid:inline"`, `"rtree:str@par8"`, `"sweep@par4"`);
-//! [`TechniqueSpec::parse`] accepts them case-sensitively, and
-//! [`TechniqueSpec::name`] returns the canonical form, so specs
-//! round-trip. Every registry technique — both categories — runs under
-//! either execution mode with bit-identical [`RunStats`] counts
+//! `family:variant`, optionally followed by an execution modifier:
+//! `@par<N>` shards the query set over N threads against one shared
+//! index, `@tiles<N>` space-partitions the data into N tiles each with
+//! its own private index (e.g. `"grid:inline"`, `"rtree:str@par8"`,
+//! `"sweep@tiles4"`); [`TechniqueSpec::parse`] accepts them
+//! case-sensitively, and [`TechniqueSpec::name`] returns the canonical
+//! form, so specs round-trip. Every registry technique — both categories
+//! — runs under any execution mode with bit-identical [`RunStats`] counts
 //! (`tests/parallel_equivalence.rs`).
 
 use std::fmt;
@@ -200,7 +202,8 @@ impl fmt::Display for ParseSpecError {
         }
         write!(
             f,
-            "; any spec takes an optional parallel modifier `@par<N>`, e.g. grid:inline@par8)"
+            "; any spec takes an optional execution modifier `@par<N>` or \
+             `@tiles<N>`, e.g. grid:inline@par8 or grid:inline@tiles4)"
         )
     }
 }
@@ -347,6 +350,15 @@ impl TechniqueKind {
         }
     }
 
+    /// This kind as a space-partitioned [`TechniqueSpec`] over `tiles`
+    /// tiles, each with a private fork of the technique.
+    pub const fn tiled(self, tiles: NonZeroUsize) -> TechniqueSpec {
+        TechniqueSpec {
+            kind: self,
+            exec: ExecMode::Partitioned { tiles },
+        }
+    }
+
     /// Construct the technique with its paper-tuned parameters for a data
     /// space of side `space_side` (sequential; see [`TechniqueSpec::build`]
     /// for the exec-carrying form).
@@ -436,24 +448,28 @@ impl TechniqueSpec {
         match self.exec {
             ExecMode::Sequential => self.kind.name().to_string(),
             ExecMode::Parallel { threads } => format!("{}@par{threads}", self.kind.name()),
+            ExecMode::Partitioned { tiles } => format!("{}@tiles{tiles}", self.kind.name()),
         }
     }
 
     /// Display label matching the paper's figure legends, annotated with
-    /// the thread count when parallel.
+    /// the thread or tile count when non-sequential.
     pub fn label(&self) -> String {
         match self.exec {
             ExecMode::Sequential => self.kind.label().to_string(),
             ExecMode::Parallel { threads } => {
                 format!("{} ({threads} threads)", self.kind.label())
             }
+            ExecMode::Partitioned { tiles } => {
+                format!("{} ({tiles} tiles)", self.kind.label())
+            }
         }
     }
 
     /// Parse a spec string: a base name ([`TechniqueKind::parse`], aliases
-    /// included) optionally followed by `@par<N>` with `N ≥ 1`. `@par0`
-    /// is rejected here — [`ExecMode::Parallel`] holds a [`NonZeroUsize`],
-    /// so a zero-thread spec cannot even be constructed.
+    /// included) optionally followed by `@par<N>` or `@tiles<N>` with
+    /// `N ≥ 1`. `@par0` / `@tiles0` are rejected here — both modes hold a
+    /// [`NonZeroUsize`], so a zero-worker spec cannot even be constructed.
     pub fn parse(spec: &str) -> Result<TechniqueSpec, ParseSpecError> {
         let err = || ParseSpecError {
             spec: spec.to_string(),
@@ -461,11 +477,19 @@ impl TechniqueSpec {
         let (base, exec) = match spec.split_once('@') {
             None => (spec, ExecMode::Sequential),
             Some((base, modifier)) => {
-                let threads = modifier
-                    .strip_prefix("par")
-                    .and_then(|n| n.parse::<NonZeroUsize>().ok())
-                    .ok_or_else(err)?;
-                (base, ExecMode::Parallel { threads })
+                // `tiles` first: `t-i-l-e-s` does not start with `par`, but
+                // keeping the longer keyword first is the convention for
+                // prefix menus.
+                let exec = if let Some(n) = modifier.strip_prefix("tiles") {
+                    let tiles = n.parse::<NonZeroUsize>().map_err(|_| err())?;
+                    ExecMode::Partitioned { tiles }
+                } else if let Some(n) = modifier.strip_prefix("par") {
+                    let threads = n.parse::<NonZeroUsize>().map_err(|_| err())?;
+                    ExecMode::Parallel { threads }
+                } else {
+                    return Err(err());
+                };
+                (base, exec)
             }
         };
         let kind = TechniqueKind::parse(base).ok_or_else(err)?;
@@ -533,6 +557,10 @@ mod tests {
         ExecMode::parallel(n).unwrap()
     }
 
+    fn tiles(n: usize) -> ExecMode {
+        ExecMode::partitioned(n).unwrap()
+    }
+
     #[test]
     fn registry_covers_every_category_once() {
         let specs = registry();
@@ -574,6 +602,23 @@ mod tests {
     }
 
     #[test]
+    fn tiles_specs_round_trip_through_parse_and_name() {
+        for base in registry() {
+            for n in [1usize, 2, 5, 16] {
+                let spec = base.with_exec(tiles(n));
+                let name = spec.name();
+                assert!(name.ends_with(&format!("@tiles{n}")), "{name}");
+                assert_eq!(TechniqueSpec::parse(&name), Ok(spec), "{name}");
+            }
+        }
+        // Aliases canonicalize under the modifier too.
+        let parsed = TechniqueSpec::parse("grid@tiles4").unwrap();
+        assert_eq!(parsed.kind, TechniqueKind::Grid(Stage::CpsTuned));
+        assert_eq!(parsed.exec, tiles(4));
+        assert_eq!(parsed.name(), "grid:inline@tiles4");
+    }
+
+    #[test]
     fn malformed_par_modifiers_are_rejected() {
         for bad in [
             "grid@par0",
@@ -584,6 +629,14 @@ mod tests {
             "grid@parX",
             "@par8",
             "grid@par8@par8",
+            "grid@tiles0",
+            "grid@tiles",
+            "grid@tiles-1",
+            "grid@tilesX",
+            "grid@tile4",
+            "@tiles4",
+            "grid@tiles4@tiles4",
+            "grid@par4tiles4",
         ] {
             let err = TechniqueSpec::parse(bad).unwrap_err();
             assert_eq!(err.spec, bad);
@@ -606,6 +659,13 @@ mod tests {
         let spec = TechniqueKind::RTreeStr.par(NonZeroUsize::new(4).unwrap());
         assert_eq!(spec.label(), "R-Tree (4 threads)");
         assert_eq!(spec.name(), "rtree:str@par4");
+    }
+
+    #[test]
+    fn tiled_labels_carry_the_tile_count() {
+        let spec = TechniqueKind::RTreeStr.tiled(NonZeroUsize::new(4).unwrap());
+        assert_eq!(spec.label(), "R-Tree (4 tiles)");
+        assert_eq!(spec.name(), "rtree:str@tiles4");
     }
 
     #[test]
@@ -667,6 +727,7 @@ mod tests {
         assert!(t.as_index_mut().is_some());
         assert!(Technique::from_spec("nope", 1_000.0).is_err());
         assert!(Technique::from_spec("grid:inline@par0", 1_000.0).is_err());
+        assert!(Technique::from_spec("grid:inline@tiles0", 1_000.0).is_err());
     }
 
     #[test]

@@ -269,6 +269,10 @@ impl SpatialIndex for CRTree {
             + self.leaf_qy.capacity()
             + self.leaf_id.capacity() * std::mem::size_of::<EntryId>()
     }
+
+    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+        Box::new(CRTree::new(self.fanout))
+    }
 }
 
 #[cfg(test)]

@@ -271,6 +271,15 @@ impl SpatialIndex for SimpleGrid {
             Store::InlineCoords(s) => s.allocated_bytes(),
         }
     }
+
+    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+        // `cell_size` was derived as side / cps in `new`, so undo the
+        // division to reconstruct; the display name (which `at_stage`
+        // overrides) is carried over verbatim.
+        let mut g = SimpleGrid::new(self.cfg, self.cell_size * self.cfg.cells_per_side as f32);
+        g.name.clone_from(&self.name);
+        Box::new(g)
+    }
 }
 
 #[cfg(test)]

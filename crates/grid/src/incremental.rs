@@ -370,6 +370,16 @@ impl SpatialIndex for IncrementalGrid {
             + self.prev_y.capacity() * 4
             + self.prev_live.capacity()
     }
+
+    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+        // `cell_size` was derived as side / cps in `new`; undo the division
+        // to reconstruct with the same directory and bucket geometry.
+        Box::new(IncrementalGrid::new(
+            self.cells_per_side,
+            self.bucket_size as u32,
+            self.cell_size * self.cells_per_side as f32,
+        ))
+    }
 }
 
 #[cfg(test)]

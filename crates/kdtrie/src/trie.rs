@@ -270,6 +270,10 @@ impl SpatialIndex for LinearKdTrie {
         // Allocated-capacity convention (see the trait docs).
         self.codes.capacity() * 4 + self.ids.capacity() * std::mem::size_of::<EntryId>()
     }
+
+    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+        Box::new(LinearKdTrie::new(self.space_side))
+    }
 }
 
 #[cfg(test)]

@@ -3,3 +3,17 @@ pub fn fan_out() -> u32 {
     let handle = std::thread::spawn(|| 1 + 1);
     handle.join().unwrap_or(0)
 }
+
+// A hand-rolled tile worker pool is just as illegal as a single spawn:
+// detached per-tile threads bypass sj_base::par's scoped sharding and its
+// commutative checksum merge.
+pub fn join_tiles(tiles: Vec<u64>) -> u64 {
+    let mut handles = Vec::new();
+    for tile in tiles {
+        handles.push(std::thread::spawn(move || tile ^ 0x9e37));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or(0))
+        .fold(0, u64::wrapping_add)
+}

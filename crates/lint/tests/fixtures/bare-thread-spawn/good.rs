@@ -7,3 +7,15 @@ pub fn fan_out() -> u32 {
     });
     total
 }
+
+// Tile workers follow the same law: one scoped spawn per tile, partials
+// merged with the commutative wrapping fold — the sj_base::par idiom.
+pub fn join_tiles(tiles: &[u64]) -> u64 {
+    let mut partials = vec![0u64; tiles.len()];
+    std::thread::scope(|s| {
+        for (partial, &tile) in partials.iter_mut().zip(tiles) {
+            s.spawn(move || *partial = tile ^ 0x9e37);
+        }
+    });
+    partials.into_iter().fold(0, u64::wrapping_add)
+}

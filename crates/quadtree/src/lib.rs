@@ -259,6 +259,10 @@ impl SpatialIndex for QuadTree {
             + self.leaf_y.capacity() * 4
             + self.leaf_id.capacity() * std::mem::size_of::<EntryId>()
     }
+
+    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+        Box::new(QuadTree::new(self.space_side, self.bucket_size))
+    }
 }
 
 #[cfg(test)]

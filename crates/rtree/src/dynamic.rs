@@ -388,6 +388,10 @@ impl SpatialIndex for DynRTree {
                 })
                 .sum::<usize>()
     }
+
+    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+        Box::new(DynRTree::new(self.max_entries))
+    }
 }
 
 #[cfg(test)]

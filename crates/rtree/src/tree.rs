@@ -247,6 +247,10 @@ impl SpatialIndex for RTree {
             + self.leaf_y.capacity() * 4
             + self.leaf_id.capacity() * std::mem::size_of::<EntryId>()
     }
+
+    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+        Box::new(RTree::new(self.fanout))
+    }
 }
 
 #[cfg(test)]

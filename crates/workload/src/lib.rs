@@ -36,6 +36,8 @@ pub use gaussian::GaussianWorkload;
 pub use join::{JoinSpec, ParseJoinError};
 pub use params::{GaussianParams, ParamError, WorkloadParams};
 pub use roadgrid::RoadGridWorkload;
-pub use spec::{workload_registry, ParseWorkloadError, WorkloadKind, WorkloadSpec};
+pub use spec::{
+    workload_registry, ParseWorkloadError, WorkloadKind, WorkloadSpec, DEFAULT_HOTSPOTS,
+};
 pub use trace::{record, record_bipartite, Trace, TraceWorkload};
 pub use uniform::UniformWorkload;

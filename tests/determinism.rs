@@ -161,7 +161,20 @@ fn parallel_golden_checksum_is_stable_across_prs() {
     assert_eq!(par.updates, seq.updates);
 }
 
-/// The join checksum/pair count of `run_once(42)`, either exec mode. If a
+#[test]
+fn tiled_golden_checksum_is_stable_across_prs() {
+    // The same goldens under @tiles4: the space-partitioned path has its
+    // own merge (per-tile partials under the reference-point rule,
+    // DESIGN.md §13), so pin it to the identical absolute numbers. A
+    // tiling bug that dropped or double-emitted a boundary pair would be
+    // self-consistent between two tiled runs — the pinned constant is
+    // what catches it.
+    let tiled = run_once_with(42, ExecMode::partitioned(4).unwrap());
+    assert_eq!(tiled.checksum, GOLDEN_CHECKSUM_SEED42, "tiled golden");
+    assert_eq!(tiled.result_pairs, GOLDEN_PAIRS_SEED42);
+}
+
+/// The join checksum/pair count of `run_once(42)`, any exec mode. If a
 /// change legitimately alters the workload or the fold, re-pin both and
 /// say why in the commit; an unexplained diff is a lost determinism
 /// guarantee.
@@ -209,6 +222,13 @@ fn churn_golden_checksum_is_stable_across_prs() {
     assert_eq!(seq.inserts, GOLDEN_CHURN_INSERTS_SEED42);
     assert_eq!(par.removals, seq.removals);
     assert_eq!(par.inserts, seq.inserts);
+    // Tiled, tombstones included: a departed row must vanish from every
+    // tile replica that held a copy of it.
+    let tiled = run_churn_once(ExecMode::partitioned(4).unwrap());
+    assert_eq!(tiled.checksum, GOLDEN_CHURN_CHECKSUM_SEED42, "tiled golden");
+    assert_eq!(tiled.result_pairs, GOLDEN_CHURN_PAIRS_SEED42);
+    assert_eq!(tiled.removals, GOLDEN_CHURN_REMOVALS_SEED42);
+    assert_eq!(tiled.inserts, GOLDEN_CHURN_INSERTS_SEED42);
 }
 
 /// Goldens of `run_churn_once` (churn:uniform, seed 42, 5 measured ticks
@@ -259,6 +279,16 @@ fn bipartite_golden_checksum_is_stable_across_prs() {
     assert_eq!(seq.queries, GOLDEN_BIPARTITE_QUERIES_SEED42);
     assert_eq!(par.queries, seq.queries);
     assert_eq!(par.updates, seq.updates);
+    // And the space-partitioned path, against the same constants: R
+    // centers assign queries to tiles, S rows replicate — none of it may
+    // perturb the join.
+    let tiled = run_bipartite_once(ExecMode::partitioned(4).unwrap());
+    assert_eq!(
+        tiled.checksum, GOLDEN_BIPARTITE_CHECKSUM_SEED42,
+        "tiled golden"
+    );
+    assert_eq!(tiled.result_pairs, GOLDEN_BIPARTITE_PAIRS_SEED42);
+    assert_eq!(tiled.queries, GOLDEN_BIPARTITE_QUERIES_SEED42);
 }
 
 /// Goldens of `run_bipartite_once` (bipartite:uniformxgaussian:h3:ratio10,
