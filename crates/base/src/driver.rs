@@ -153,6 +153,9 @@ pub struct RunStats {
     pub inserts: u64,
     /// Index memory after the final build, in bytes.
     pub index_bytes: usize,
+    /// Mini-join scheduler load metrics, populated only by
+    /// [`ExecMode::Partitioned`] runs whose scheduled phases saw work.
+    pub tile_load: Option<TileLoad>,
 }
 
 impl RunStats {
@@ -197,6 +200,22 @@ impl RunStats {
     pub fn tick_summary(&self) -> Summary {
         Summary::of(&self.seconds(TickTimes::total))
     }
+}
+
+/// Load-balance metrics of the mini-join scheduler behind
+/// [`ExecMode::Partitioned`], accumulated over the run's scheduled phases
+/// (see `PoolMetrics` in [`crate::par`]). Like `index_bytes`, these are
+/// mode-structural observations, not part of the bit-identity contract —
+/// they are wall-clock ratios and vary run to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TileLoad {
+    /// Slowest populated tile's busy time ÷ mean populated-tile busy time:
+    /// the slowdown a tile-per-thread schedule would suffer from the
+    /// hotspot (1.0 = perfectly balanced tiles).
+    pub imbalance: f64,
+    /// Fraction of pool capacity (workers × scheduled wall time) spent
+    /// doing join work (1.0 = no worker ever idled).
+    pub occupancy: f64,
 }
 
 /// Fold one join pair into an order-independent checksum: mix the pair to
@@ -284,6 +303,10 @@ trait TickExecutor {
 
     /// Index memory after the final build (0 for batch techniques).
     fn index_bytes(&self) -> usize;
+
+    /// Accumulated mini-join scheduler load metrics (`None` unless the run
+    /// was partitioned and its scheduled phases saw work).
+    fn tile_load(&self) -> Option<TileLoad>;
 }
 
 /// One tick's query-phase inputs, as seen by a [`TickExecutor`]: the
@@ -410,6 +433,7 @@ fn drive<W: Workload + ?Sized, E: TickExecutor>(
         }
     }
     stats.index_bytes = exec.index_bytes();
+    stats.tile_load = exec.tile_load();
     stats
 }
 
@@ -440,13 +464,14 @@ impl<'a, I: SpatialIndex + Sync + ?Sized> IndexExecutor<'a, I> {
 impl<I: SpatialIndex + Sync + ?Sized> TickExecutor for IndexExecutor<'_, I> {
     fn build(&mut self, table: &PointTable, space: &Rect, query_side: f32, exec: ExecMode) {
         match exec {
-            ExecMode::Partitioned { tiles } => {
+            ExecMode::Partitioned { tiles, workers } => {
                 par::tiled_index_build(
                     &*self.index,
                     table,
                     space,
                     query_side,
                     tiles,
+                    workers,
                     &mut self.tiles,
                 );
             }
@@ -504,6 +529,10 @@ impl<I: SpatialIndex + Sync + ?Sized> TickExecutor for IndexExecutor<'_, I> {
             Some(bytes) => bytes,
             None => self.index.memory_bytes(),
         }
+    }
+
+    fn tile_load(&self) -> Option<TileLoad> {
+        self.tiles.tile_load()
     }
 }
 
@@ -573,7 +602,7 @@ impl<J: crate::batch::BatchJoin + ?Sized> TickExecutor for BatchExecutor<'_, J> 
                 *pairs += p;
                 *checksum = checksum.wrapping_add(c);
             }
-            ExecMode::Partitioned { tiles } => {
+            ExecMode::Partitioned { tiles, workers } => {
                 let (p, c) = par::tiled_batch_join(
                     &*self.join,
                     tick.centers,
@@ -582,6 +611,7 @@ impl<J: crate::batch::BatchJoin + ?Sized> TickExecutor for BatchExecutor<'_, J> 
                     tick.space,
                     tick.query_side,
                     tiles,
+                    workers,
                     &mut self.tiles,
                 );
                 *pairs += p;
@@ -592,6 +622,10 @@ impl<J: crate::batch::BatchJoin + ?Sized> TickExecutor for BatchExecutor<'_, J> 
 
     fn index_bytes(&self) -> usize {
         0
+    }
+
+    fn tile_load(&self) -> Option<TileLoad> {
+        self.tiles.tile_load()
     }
 }
 

@@ -67,8 +67,11 @@ pub trait SpatialIndex {
     /// configuration and tuning parameters, fresh private state, nothing
     /// shared with `self`. Mirrors [`crate::batch::BatchJoin::fork`];
     /// implementations typically reconstruct from their stored
-    /// configuration, so forking a never-built prototype is cheap.
-    fn fork(&self) -> Box<dyn SpatialIndex + Send>;
+    /// configuration, so forking a never-built prototype is cheap. `Sync`
+    /// because the pooled mini-join scheduler may probe one tile's fork
+    /// from several workers at once — like the prototype itself, forks are
+    /// plain data once built.
+    fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync>;
 }
 
 /// Ground-truth "index": a full scan of the base table. Quadratic in the
@@ -117,7 +120,7 @@ impl SpatialIndex for ScanIndex {
         0
     }
 
-    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+    fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync> {
         Box::new(ScanIndex)
     }
 }

@@ -21,35 +21,92 @@
 //!   on a private fork of the technique ([`BatchJoin::fork`]).
 //!
 //! A third mode partitions **space** instead of the query list
-//! ([`ExecMode::Partitioned`], DESIGN.md §13): the data space is tiled
+//! ([`ExecMode::Partitioned`], DESIGN.md §13–14): the data space is tiled
 //! ([`crate::tile::TileGrid`]), both relations are replicated into every
-//! tile their query extent overlaps, and each tile builds and probes its
-//! own private index ([`tiled_index_build`]/[`tiled_index_query`]) or runs
-//! its own batch join ([`tiled_batch_join`]) — no shared structure at all,
-//! the design of Tsitsigkos & Mamoulis. The reference-point rule (emit
-//! `(a, b)` only in `b`'s canonical tile) makes each pair surface exactly
-//! once despite the replication.
+//! tile their query extent overlaps, and each tile builds its own private
+//! index ([`tiled_index_build`]/[`tiled_index_query`]) or runs its own
+//! batch join ([`tiled_batch_join`]) — no shared structure at all, the
+//! design of Tsitsigkos & Mamoulis. The reference-point rule (emit `(a, b)`
+//! only in `b`'s canonical tile) makes each pair surface exactly once
+//! despite the replication.
+//!
+//! Tiled execution is scheduled in two levels (the rest of the Tsitsigkos &
+//! Mamoulis design): each tile's work list is decomposed into fixed-size
+//! **mini-joins** ([`crate::tile::MiniJoin`], [`MINI_JOIN_CHUNK`] queriers
+//! each) pushed onto a shared queue, and a pool of
+//! `min(workers, chunks)` scoped workers drains the queue through an
+//! atomic work-stealing cursor — so a hotspot tile's work spreads over the
+//! whole pool instead of bounding the tick on one thread. `@tiles<N>`
+//! alone runs one worker per tile over the same queue; `@tiles<N>@par<T>`
+//! decouples the grid from the pool ([`Tiling`], [`ExecMode::pooled`]);
+//! `@tilesauto` sizes the grid from sampled point density every build
+//! ([`crate::tile::auto_tile_count`]), re-deciding per tick under churn.
 //!
 //! All modes merge per-worker `(pairs, checksum)` partials with `+` /
 //! `wrapping_add`. The checksum fold ([`crate::driver::fold_pair`]) mixes
 //! each pair and then wrapping-adds, so it is commutative and associative —
 //! the merge is order-independent by construction, and the parallel result
 //! is **bit-identical** to the sequential one for any shard boundaries,
-//! thread count, or tile count (`tests/parallel_equivalence.rs` proves
-//! this three ways for every registry technique).
+//! thread count, tile count, or mini-join schedule
+//! (`tests/parallel_equivalence.rs` proves this four ways for every
+//! registry technique).
 //!
 //! Workers run on [`std::thread::scope`]: no runtime dependency, no
 //! detached threads, borrows of the index and table flow straight in.
-//! Every thread spawn in the workspace lives in this module.
+//! Every thread spawn in the workspace lives in this module, and so does
+//! the scheduler's wall-clock sampling (the per-mini-join busy times
+//! behind [`crate::driver::TileLoad`]) — the only `Instant::now` sites
+//! outside the driver, sanctioned by sj-lint's `instant-outside-driver`
+//! rule for the same reason the spawns are: moving the code moves the
+//! rule.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use crate::batch::BatchJoin;
-use crate::driver::fold_pair;
+use crate::driver::{fold_pair, TileLoad};
 use crate::geom::Rect;
 use crate::index::SpatialIndex;
 use crate::table::{EntryId, PointTable};
-use crate::tile::{replicate_by_extent, TileGrid, TileReplica};
+use crate::tile::{
+    chunk_mini_joins, replicate_by_extent, MiniJoin, TileGrid, TileReplica, MINI_JOIN_CHUNK,
+};
+
+/// The tile-count policy of [`ExecMode::Partitioned`]: a fixed grid, or a
+/// grid re-derived from observed point density at every build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tiling {
+    /// Exactly this many tiles, as `@tiles<N>` / `--tiles N` request.
+    Fixed(NonZeroUsize),
+    /// Derive the tile count from sampled point density at build time
+    /// ([`crate::tile::auto_tile_count`]), re-deciding every tick so the
+    /// grid tracks churn. Join results are tile-count-invariant (the
+    /// reference-point rule), so whatever count the policy picks, the run
+    /// stays bit-identical to sequential.
+    Auto,
+}
+
+impl Tiling {
+    /// The tile count for `table`: the fixed count, or the density-derived
+    /// one.
+    pub fn resolve(self, table: &PointTable, space: &Rect, query_side: f32) -> NonZeroUsize {
+        match self {
+            Tiling::Fixed(n) => n,
+            Tiling::Auto => crate::tile::auto_tile_count(table, space, query_side),
+        }
+    }
+}
+
+impl std::fmt::Display for Tiling {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tiling::Fixed(n) => write!(f, "{n}"),
+            Tiling::Auto => f.write_str("auto"),
+        }
+    }
+}
 
 /// How the driver executes a tick's query phase.
 ///
@@ -66,13 +123,18 @@ pub enum ExecMode {
     /// Query phase sharded over `threads` scoped workers. Results are
     /// bit-identical to [`ExecMode::Sequential`] (see module docs).
     Parallel { threads: NonZeroUsize },
-    /// Space-partitioned execution over a grid of `tiles` tiles, one
-    /// worker per tile, each owning a private index/join fork over its
-    /// replicated slice of the data ([`crate::tile`]). Results are
-    /// bit-identical to [`ExecMode::Sequential`] (see module docs);
-    /// `RunStats::index_bytes` alone is mode-structural — it reports the
-    /// summed footprint of the per-tile indexes.
-    Partitioned { tiles: NonZeroUsize },
+    /// Space-partitioned execution over a grid of tiles, each owning a
+    /// private index/join fork over its replicated slice of the data
+    /// ([`crate::tile`]). Each tile's work is decomposed into mini-joins
+    /// drained by a shared worker pool of `workers` threads (`None` sizes
+    /// the pool to the tile count — the plain `@tiles<N>` default).
+    /// Results are bit-identical to [`ExecMode::Sequential`] (see module
+    /// docs); `RunStats::index_bytes` alone is mode-structural — it
+    /// reports the summed footprint of the per-tile indexes.
+    Partitioned {
+        tiles: Tiling,
+        workers: Option<NonZeroUsize>,
+    },
 }
 
 impl ExecMode {
@@ -84,22 +146,65 @@ impl ExecMode {
         }
     }
 
-    /// Space-partitioned execution over `tiles` tiles; `None` if
-    /// `tiles == 0`.
+    /// Space-partitioned execution over `tiles` tiles with the default
+    /// pool (one worker per tile); `None` if `tiles == 0`.
     pub const fn partitioned(tiles: usize) -> Option<ExecMode> {
         match NonZeroUsize::new(tiles) {
-            Some(tiles) => Some(ExecMode::Partitioned { tiles }),
+            Some(tiles) => Some(ExecMode::Partitioned {
+                tiles: Tiling::Fixed(tiles),
+                workers: None,
+            }),
             None => None,
         }
     }
 
-    /// Worker count: 1 for [`ExecMode::Sequential`], one per tile for
-    /// [`ExecMode::Partitioned`].
+    /// Space-partitioned execution with a decoupled worker pool
+    /// (`@tiles<N>@par<T>`): `tiles` tiles drained by `workers` threads;
+    /// `None` if either count is zero.
+    pub const fn pooled(tiles: usize, workers: usize) -> Option<ExecMode> {
+        match (NonZeroUsize::new(tiles), NonZeroUsize::new(workers)) {
+            (Some(tiles), Some(workers)) => Some(ExecMode::Partitioned {
+                tiles: Tiling::Fixed(tiles),
+                workers: Some(workers),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Adaptive space partitioning (`@tilesauto`): the tile count is
+    /// re-derived from sampled point density at every build.
+    pub const fn adaptive() -> ExecMode {
+        ExecMode::Partitioned {
+            tiles: Tiling::Auto,
+            workers: None,
+        }
+    }
+
+    /// Adaptive space partitioning with a fixed worker pool
+    /// (`@tilesauto@par<T>`); `None` if `workers == 0`.
+    pub const fn adaptive_pooled(workers: usize) -> Option<ExecMode> {
+        match NonZeroUsize::new(workers) {
+            Some(workers) => Some(ExecMode::Partitioned {
+                tiles: Tiling::Auto,
+                workers: Some(workers),
+            }),
+            None => None,
+        }
+    }
+
+    /// Worker count: 1 for [`ExecMode::Sequential`]; for
+    /// [`ExecMode::Partitioned`] the pool size, defaulting to one worker
+    /// per tile (an adaptive grid with no explicit pool reports 1 — its
+    /// tile count only exists at build time).
     pub const fn threads(self) -> usize {
         match self {
             ExecMode::Sequential => 1,
             ExecMode::Parallel { threads } => threads.get(),
-            ExecMode::Partitioned { tiles } => tiles.get(),
+            ExecMode::Partitioned { tiles, workers } => match (workers, tiles) {
+                (Some(w), _) => w.get(),
+                (None, Tiling::Fixed(n)) => n.get(),
+                (None, Tiling::Auto) => 1,
+            },
         }
     }
 
@@ -131,7 +236,14 @@ impl std::fmt::Display for ExecMode {
         match self {
             ExecMode::Sequential => f.write_str("sequential"),
             ExecMode::Parallel { threads } => write!(f, "parallel({threads})"),
-            ExecMode::Partitioned { tiles } => write!(f, "tiled({tiles})"),
+            ExecMode::Partitioned {
+                tiles,
+                workers: None,
+            } => write!(f, "tiled({tiles})"),
+            ExecMode::Partitioned {
+                tiles,
+                workers: Some(w),
+            } => write!(f, "tiled({tiles}x{w})"),
         }
     }
 }
@@ -139,6 +251,85 @@ impl std::fmt::Display for ExecMode {
 /// Split `len` work items into at most `threads` contiguous chunks.
 fn chunk_size(len: usize, threads: NonZeroUsize) -> usize {
     len.div_ceil(threads.get()).max(1)
+}
+
+/// Worker-pool size for a scheduled tiled phase: the configured pool size
+/// (one worker per tile when unset), never more than the number of work
+/// items — idle threads are pure spawn cost — and never zero.
+fn pool_cap(workers: Option<NonZeroUsize>, tiles: usize, work_items: usize) -> usize {
+    workers
+        .map_or(tiles, NonZeroUsize::get)
+        .min(work_items)
+        .max(1)
+}
+
+/// Scheduler load accounting shared by the tile pools, surfaced as
+/// [`TileLoad`] in `RunStats`. Per-tile busy time is tallied into atomic
+/// nanosecond counters as workers drain the queue (several workers may
+/// serve one tile concurrently, hence atomics rather than per-worker
+/// slots); per-call totals accumulate across ticks so the reported ratios
+/// describe the whole run.
+#[derive(Debug, Default)]
+struct PoolMetrics {
+    /// Per-tile busy nanoseconds of the call in flight (reset by `begin`).
+    tile_busy: Vec<AtomicU64>,
+    /// Running sums over calls: slowest populated tile and mean populated
+    /// tile (seconds) — their ratio is the imbalance a tile-per-thread
+    /// schedule would suffer.
+    sum_max_tile: f64,
+    sum_mean_tile: f64,
+    /// Running sums over calls: worker busy seconds vs pool capacity
+    /// (workers × scheduled wall seconds) — their ratio is occupancy.
+    sum_busy: f64,
+    sum_cap_wall: f64,
+}
+
+impl PoolMetrics {
+    /// Start accounting one scheduled call over `tiles` tiles.
+    fn begin(&mut self, tiles: usize) {
+        self.tile_busy.clear();
+        self.tile_busy.resize_with(tiles, AtomicU64::default);
+    }
+
+    /// Record `dt` of mini-join work against `tile`.
+    fn record(&self, tile: usize, dt: Duration) {
+        self.tile_busy[tile].fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Close out one scheduled call: fold the per-tile tallies plus the
+    /// pool's busy/capacity seconds into the running sums.
+    fn finish(&mut self, busy: Duration, cap: usize, wall: Duration) {
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        let mut populated = 0u64;
+        for t in &self.tile_busy {
+            let nanos = t.load(Ordering::Relaxed);
+            if nanos > 0 {
+                max = max.max(nanos);
+                sum += nanos;
+                populated += 1;
+            }
+        }
+        if populated > 0 {
+            self.sum_max_tile += max as f64 * 1e-9;
+            self.sum_mean_tile += sum as f64 / populated as f64 * 1e-9;
+        }
+        self.sum_busy += busy.as_secs_f64();
+        self.sum_cap_wall += cap as f64 * wall.as_secs_f64();
+    }
+
+    /// The run's accumulated load metrics, or `None` before any populated
+    /// scheduled call.
+    fn tile_load(&self) -> Option<TileLoad> {
+        if self.sum_mean_tile > 0.0 && self.sum_cap_wall > 0.0 {
+            Some(TileLoad {
+                imbalance: self.sum_max_tile / self.sum_mean_tile,
+                occupancy: self.sum_busy / self.sum_cap_wall,
+            })
+        } else {
+            None
+        }
+    }
 }
 
 /// The per-query category's parallel query phase: shard `queriers` into
@@ -258,15 +449,19 @@ pub fn shard_batch_join<J: BatchJoin + ?Sized>(
     merge(shards)
 }
 
-/// One tile's worker state for the space-partitioned per-query category:
-/// a private fork of the index plus the tick's querier assignment.
+/// One tile's state for the space-partitioned per-query category: a
+/// private fork of the index plus the tick's querier assignment. Under a
+/// pooled schedule any worker may probe any tile's fork concurrently with
+/// its siblings, which is why [`SpatialIndex::fork`] returns `Sync`
+/// trait objects.
 struct TileIndexWorker {
-    index: Box<dyn SpatialIndex + Send>,
+    index: Box<dyn SpatialIndex + Send + Sync>,
     queriers: Vec<EntryId>,
 }
 
 /// Reusable state of the space-partitioned per-query executor: the tile
-/// grid, per-tile data replicas, and per-tile index forks. Owned by the
+/// grid, per-tile data replicas, per-tile index forks, the mini-join
+/// queue buffer, and the scheduler's load accounting. Owned by the
 /// driver's index executor and kept across ticks, so steady-state tiled
 /// execution forks nothing and reuses every buffer — mirroring
 /// [`BatchWorker`] reuse in the sharded mode.
@@ -275,6 +470,12 @@ pub struct TileIndexPool {
     grid: Option<TileGrid>,
     replicas: Vec<TileReplica>,
     workers: Vec<TileIndexWorker>,
+    /// The configured pool size (`@par<T>` of the spec), set at build;
+    /// `None` sizes the pool to the tile count.
+    pool_workers: Option<NonZeroUsize>,
+    /// Mini-join queue, rebuilt each query call into a reused buffer.
+    chunks: Vec<MiniJoin>,
+    metrics: PoolMetrics,
 }
 
 impl TileIndexPool {
@@ -287,24 +488,36 @@ impl TileIndexPool {
         self.grid
             .map(|_| self.workers.iter().map(|w| w.index.memory_bytes()).sum())
     }
+
+    /// Accumulated scheduler load metrics (`None` if no tiled query with
+    /// populated tiles ran).
+    pub fn tile_load(&self) -> Option<TileLoad> {
+        self.metrics.tile_load()
+    }
 }
 
 /// The space-partitioned build phase of the per-query category: tile the
-/// space, replicate the table's live rows into the tiles their query
-/// extent overlaps ([`replicate_by_extent`]), and (re)build every tile's
-/// private fork of `proto` over its replica — one scoped worker per tile,
-/// since the per-tile builds are fully independent. Runs inside the timed
-/// build phase: partitioning and tile builds are this mode's build cost.
+/// space (resolving an adaptive [`Tiling`] from the live data), replicate
+/// the table's live rows into the tiles their query extent overlaps
+/// ([`replicate_by_extent`]), and (re)build every tile's private fork of
+/// `proto` over its replica. Builds are stolen tile-at-a-time by a pool of
+/// `min(workers, tiles)` scoped threads — a tile build needs `&mut` access
+/// to its fork, so tiles (not mini-joins) are the unit here, handed out by
+/// the same atomic-cursor discipline as the query phase. Runs inside the
+/// timed build phase: partitioning and tile builds are this mode's build
+/// cost.
 pub fn tiled_index_build<I: SpatialIndex + ?Sized>(
     proto: &I,
     table: &PointTable,
     space: &Rect,
     query_side: f32,
-    tiles: NonZeroUsize,
+    tiles: Tiling,
+    workers: Option<NonZeroUsize>,
     pool: &mut TileIndexPool,
 ) {
-    let grid = TileGrid::new(space, tiles);
+    let grid = TileGrid::new(space, tiles.resolve(table, space, query_side));
     pool.grid = Some(grid);
+    pool.pool_workers = workers;
     while pool.workers.len() < grid.tiles() {
         // Fork on the driver thread, first tiled build only.
         pool.workers.push(TileIndexWorker {
@@ -314,21 +527,43 @@ pub fn tiled_index_build<I: SpatialIndex + ?Sized>(
     }
     pool.workers.truncate(grid.tiles());
     replicate_by_extent(table, &grid, query_side, &mut pool.replicas);
+    let cap = pool_cap(workers, grid.tiles(), grid.tiles());
+    // Each build mutates its tile's fork, so the work items carry `&mut`
+    // state behind per-tile mutexes: the cursor hands every index to
+    // exactly one worker, making each lock uncontended — the mutex proves
+    // exclusivity to the borrow checker rather than serializing anything.
+    let items: Vec<Mutex<(&mut TileIndexWorker, &TileReplica)>> = pool
+        .workers
+        .iter_mut()
+        .zip(pool.replicas.iter())
+        .map(Mutex::new)
+        .collect();
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for (worker, replica) in pool.workers.iter_mut().zip(pool.replicas.iter()) {
-            scope.spawn(move || worker.index.build(&replica.table));
+        for _ in 0..cap {
+            scope.spawn(|| loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(t) else { break };
+                let mut guard = item
+                    .lock()
+                    .expect("each tile is taken by exactly one worker, so no lock is poisoned");
+                let (worker, replica) = &mut *guard;
+                worker.index.build(&replica.table);
+            });
         }
     });
 }
 
 /// The space-partitioned query phase of the per-query category: assign
-/// each querier to every tile its clipped region overlaps, then probe each
-/// tile's private index on its own scoped worker, keeping a `(querier,
-/// row)` hit only if the row's canonical tile is this tile (the
-/// reference-point rule — see [`crate::tile`] for the exactness proof).
-/// Emitted rows are translated back to global handles through the replica
-/// map, so the folded `(pairs, checksum)` delta is bit-identical to the
-/// sequential fold.
+/// each querier to every tile its clipped region overlaps, decompose the
+/// per-tile lists into mini-joins ([`chunk_mini_joins`]), and drain the
+/// shared queue with a pool of scoped workers — each steals the next chunk
+/// via an atomic cursor, probes that tile's private index, and keeps a
+/// `(querier, row)` hit only if the row's canonical tile is the chunk's
+/// tile (the reference-point rule — see [`crate::tile`] for the exactness
+/// proof). Emitted rows are translated back to global handles through the
+/// replica map, so the folded `(pairs, checksum)` delta is bit-identical
+/// to the sequential fold regardless of which worker ran which chunk.
 pub fn tiled_index_query(
     pool: &mut TileIndexPool,
     centers: &PointTable,
@@ -348,70 +583,117 @@ pub fn tiled_index_query(
             pool.workers[t].queriers.push(q);
         }
     }
-    let shards: Vec<(u64, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = pool
-            .workers
-            .iter_mut()
-            .zip(pool.replicas.iter())
-            .enumerate()
-            .map(|(t, (worker, replica))| {
-                scope.spawn(move || {
+    pool.chunks.clear();
+    chunk_mini_joins(
+        pool.workers.iter().map(|w| w.queriers.len()),
+        MINI_JOIN_CHUNK,
+        &mut pool.chunks,
+    );
+    pool.metrics.begin(grid.tiles());
+    let cap = pool_cap(pool.pool_workers, grid.tiles(), pool.chunks.len());
+    let workers: &[TileIndexWorker] = &pool.workers;
+    let replicas: &[TileReplica] = &pool.replicas;
+    let chunks: &[MiniJoin] = &pool.chunks;
+    let metrics: &PoolMetrics = &pool.metrics;
+    let cursor = AtomicUsize::new(0);
+    let wall = Instant::now();
+    let shards: Vec<(u64, u64, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cap)
+            .map(|_| {
+                scope.spawn(|| {
                     let mut pairs = 0u64;
                     let mut checksum = 0u64;
-                    let index = &worker.index;
-                    let xs = replica.table.xs();
-                    let ys = replica.table.ys();
-                    for &q in &worker.queriers {
-                        let region =
-                            Rect::centered_square(centers.point(q), query_side).clipped_to(space);
-                        index.for_each_in(&replica.table, &region, &mut |local| {
-                            let l = local as usize;
-                            // Reference-point rule: only the canonical tile
-                            // of the matched row reports the pair.
-                            if grid.tile_of(xs[l], ys[l]) == t {
-                                pairs += 1;
-                                checksum = fold_pair(checksum, q, replica.to_global[l]);
-                            }
-                        });
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&MiniJoin { tile, start, end }) = chunks.get(i) else {
+                            break;
+                        };
+                        let t0 = Instant::now();
+                        let worker = &workers[tile];
+                        let replica = &replicas[tile];
+                        let xs = replica.table.xs();
+                        let ys = replica.table.ys();
+                        for &q in &worker.queriers[start..end] {
+                            let region = Rect::centered_square(centers.point(q), query_side)
+                                .clipped_to(space);
+                            worker
+                                .index
+                                .for_each_in(&replica.table, &region, &mut |local| {
+                                    let l = local as usize;
+                                    // Reference-point rule: only the canonical
+                                    // tile of the matched row reports the pair.
+                                    if grid.tile_of(xs[l], ys[l]) == tile {
+                                        pairs += 1;
+                                        checksum = fold_pair(checksum, q, replica.to_global[l]);
+                                    }
+                                });
+                        }
+                        let dt = t0.elapsed();
+                        metrics.record(tile, dt);
+                        busy += dt;
                     }
-                    (pairs, checksum)
+                    (pairs, checksum, busy)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("tile worker panicked"))
+            .map(|h| h.join().expect("mini-join worker panicked"))
             .collect()
     });
-    merge(shards)
+    let busy: Duration = shards.iter().map(|s| s.2).sum();
+    pool.metrics.finish(busy, cap, wall.elapsed());
+    merge(shards.into_iter().map(|(p, c, _)| (p, c)).collect())
 }
 
-/// One tile's worker state for the space-partitioned batch category: a
-/// private fork of the join plus the tick's query assignment and output
-/// buffer.
+/// One pool worker's state for the space-partitioned batch category: a
+/// private fork of the join plus its output buffer. Unlike the index path
+/// there is no per-tile mutable state — any worker serves any tile's
+/// chunk through its own fork, so the pool holds `cap` workers, not one
+/// per tile.
 struct TileBatchWorker {
     join: Box<dyn BatchJoin + Send>,
-    queries: Vec<(EntryId, Rect)>,
     out: Vec<(EntryId, EntryId)>,
 }
 
 /// Reusable state of the space-partitioned batch executor (see
-/// [`TileIndexPool`] for the reuse rationale).
+/// [`TileIndexPool`] for the reuse rationale): per-tile replicas and query
+/// assignments, the per-worker forks, the mini-join queue buffer, and the
+/// scheduler's load accounting.
 #[derive(Default)]
 pub struct TileBatchPool {
     replicas: Vec<TileReplica>,
+    /// Per-tile query assignments, kept apart from the workers: under a
+    /// pooled schedule any worker may serve any tile.
+    tile_queries: Vec<Vec<(EntryId, Rect)>>,
     workers: Vec<TileBatchWorker>,
+    chunks: Vec<MiniJoin>,
+    metrics: PoolMetrics,
+}
+
+impl TileBatchPool {
+    /// Accumulated scheduler load metrics (`None` if no tiled join with
+    /// populated tiles ran).
+    pub fn tile_load(&self) -> Option<TileLoad> {
+        self.metrics.tile_load()
+    }
 }
 
 /// The space-partitioned query phase of the set-at-a-time category: tile
-/// the space, replicate the data relation's live rows by query extent,
-/// assign each pre-built query to every tile its region overlaps, and run
-/// each tile's batch join on a private fork ([`BatchJoin::fork`]) over its
-/// local replica — then keep only the pairs whose matched row is canonical
-/// to the tile (the reference-point rule) and fold them under global
-/// handles. Everything — partitioning included — runs inside the timed
-/// query phase, consistent with the category's set-at-a-time cost model
-/// (per-tick sorting and partitioning are the technique's own cost).
+/// the space (resolving an adaptive [`Tiling`] from the live data — per
+/// call, i.e. per tick), replicate the data relation's live rows by query
+/// extent, assign each pre-built query to every tile its region overlaps,
+/// decompose the assignments into tile-granular mini-joins (one per
+/// populated tile; see the chunking comment in the body for why this
+/// category must not split below the tile), and drain the queue with a
+/// pool of scoped workers running each chunk's batch join on a private
+/// fork ([`BatchJoin::fork`]) over that tile's replica — then keep only
+/// the pairs whose matched row is canonical to the tile (the
+/// reference-point rule) and fold them under global handles. Everything —
+/// partitioning included — runs inside the timed query phase, consistent
+/// with the category's set-at-a-time cost model (per-tick sorting and
+/// partitioning are the technique's own cost).
 #[allow(clippy::too_many_arguments)] // mirrors shard_batch_join plus the tile geometry
 pub fn tiled_batch_join<J: BatchJoin + ?Sized>(
     join: &J,
@@ -420,59 +702,98 @@ pub fn tiled_batch_join<J: BatchJoin + ?Sized>(
     queries: &[(EntryId, Rect)],
     space: &Rect,
     query_side: f32,
-    tiles: NonZeroUsize,
+    tiles: Tiling,
+    workers: Option<NonZeroUsize>,
     pool: &mut TileBatchPool,
 ) -> (u64, u64) {
-    let grid = TileGrid::new(space, tiles);
-    while pool.workers.len() < grid.tiles() {
-        pool.workers.push(TileBatchWorker {
-            join: join.fork(),
-            queries: Vec::new(),
-            out: Vec::new(),
-        });
-    }
-    pool.workers.truncate(grid.tiles());
+    let grid = TileGrid::new(space, tiles.resolve(data, space, query_side));
     replicate_by_extent(data, &grid, query_side, &mut pool.replicas);
-    for w in &mut pool.workers {
-        w.queries.clear();
+    pool.tile_queries.resize_with(grid.tiles(), Vec::new);
+    pool.tile_queries.truncate(grid.tiles());
+    for qs in &mut pool.tile_queries {
+        qs.clear();
     }
     for &(q, region) in queries {
         for t in grid.cover(&region) {
-            pool.workers[t].queries.push((q, region));
+            pool.tile_queries[t].push((q, region));
         }
     }
-    let shards: Vec<(u64, u64)> = std::thread::scope(|scope| {
+    pool.chunks.clear();
+    // One mini-join per populated tile — NOT [`MINI_JOIN_CHUNK`]-sized
+    // query chunks like the per-query path. `join_two` pays a per-call
+    // partition/sort of the data side, so sub-tile chunks would re-pay
+    // that dominant cost once per chunk (measured 6× on `sweep@tiles1`);
+    // this category's load balance comes from oversharding tiles
+    // (`@tiles16@par4` gives 16 stealable units to 4 workers) instead.
+    chunk_mini_joins(
+        pool.tile_queries.iter().map(Vec::len),
+        usize::MAX,
+        &mut pool.chunks,
+    );
+    let cap = pool_cap(workers, grid.tiles(), pool.chunks.len());
+    while pool.workers.len() < cap {
+        pool.workers.push(TileBatchWorker {
+            join: join.fork(),
+            out: Vec::new(),
+        });
+    }
+    pool.metrics.begin(grid.tiles());
+    let replicas: &[TileReplica] = &pool.replicas;
+    let tile_queries: &[Vec<(EntryId, Rect)>] = &pool.tile_queries;
+    let chunks: &[MiniJoin] = &pool.chunks;
+    let metrics: &PoolMetrics = &pool.metrics;
+    let cursor = AtomicUsize::new(0);
+    let wall = Instant::now();
+    let shards: Vec<(u64, u64, Duration)> = std::thread::scope(|scope| {
+        let cursor = &cursor;
         let handles: Vec<_> = pool
             .workers
             .iter_mut()
-            .zip(pool.replicas.iter())
-            .enumerate()
-            .map(|(t, (worker, replica))| {
+            .take(cap)
+            .map(|worker| {
                 scope.spawn(move || {
-                    let TileBatchWorker { join, queries, out } = worker;
-                    out.clear();
-                    join.join_two(queriers, &replica.table, queries, out);
-                    let xs = replica.table.xs();
-                    let ys = replica.table.ys();
                     let mut pairs = 0u64;
                     let mut checksum = 0u64;
-                    for &(q, local) in out.iter() {
-                        let l = local as usize;
-                        if grid.tile_of(xs[l], ys[l]) == t {
-                            pairs += 1;
-                            checksum = fold_pair(checksum, q, replica.to_global[l]);
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&MiniJoin { tile, start, end }) = chunks.get(i) else {
+                            break;
+                        };
+                        let t0 = Instant::now();
+                        let replica = &replicas[tile];
+                        worker.out.clear();
+                        worker.join.join_two(
+                            queriers,
+                            &replica.table,
+                            &tile_queries[tile][start..end],
+                            &mut worker.out,
+                        );
+                        let xs = replica.table.xs();
+                        let ys = replica.table.ys();
+                        for &(q, local) in &worker.out {
+                            let l = local as usize;
+                            if grid.tile_of(xs[l], ys[l]) == tile {
+                                pairs += 1;
+                                checksum = fold_pair(checksum, q, replica.to_global[l]);
+                            }
                         }
+                        let dt = t0.elapsed();
+                        metrics.record(tile, dt);
+                        busy += dt;
                     }
-                    (pairs, checksum)
+                    (pairs, checksum, busy)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("tile batch worker panicked"))
+            .map(|h| h.join().expect("batch mini-join worker panicked"))
             .collect()
     });
-    merge(shards)
+    let busy: Duration = shards.iter().map(|s| s.2).sum();
+    pool.metrics.finish(busy, cap, wall.elapsed());
+    merge(shards.into_iter().map(|(p, c, _)| (p, c)).collect())
 }
 
 fn merge(shards: Vec<(u64, u64)>) -> (u64, u64) {
@@ -496,6 +817,10 @@ mod tests {
 
     fn threads(n: usize) -> NonZeroUsize {
         NonZeroUsize::new(n).unwrap()
+    }
+
+    fn fixed(n: usize) -> Tiling {
+        Tiling::Fixed(threads(n))
     }
 
     fn random_table(n: usize, seed: u64) -> PointTable {
@@ -609,7 +934,8 @@ mod tests {
                     &table,
                     &space,
                     120.0,
-                    threads(n),
+                    fixed(n),
+                    None,
                     &mut pool,
                 );
                 let got = tiled_index_query(&mut pool, &table, &queriers, &space, 120.0);
@@ -617,6 +943,57 @@ mod tests {
             }
             assert_eq!(pool.index_bytes(), Some(0), "scan forks own nothing");
         }
+    }
+
+    #[test]
+    fn pooled_index_query_matches_sequential_for_any_pool_size() {
+        // The same join under every (tiles, workers) shape, including
+        // pools larger than the queue and heavy oversharding.
+        let table = random_table(500, 9);
+        let queriers: Vec<EntryId> = (0..table.len() as EntryId).step_by(3).collect();
+        let space = Rect::space(SIDE);
+        let expect = sequential_reference(&table, &queriers, &space, 120.0);
+        for (tiles, workers) in [(1usize, 4usize), (4, 1), (4, 2), (5, 3), (16, 8), (64, 3)] {
+            let mut pool = TileIndexPool::default();
+            tiled_index_build(
+                &ScanIndex::new(),
+                &table,
+                &space,
+                120.0,
+                fixed(tiles),
+                Some(threads(workers)),
+                &mut pool,
+            );
+            let got = tiled_index_query(&mut pool, &table, &queriers, &space, 120.0);
+            assert_eq!(got, expect, "tiles = {tiles}, workers = {workers}");
+            let load = pool.tile_load().expect("populated run records load");
+            assert!(load.imbalance >= 1.0, "max tile cannot beat the mean");
+            assert!(load.occupancy > 0.0 && load.occupancy <= 1.0);
+        }
+    }
+
+    #[test]
+    fn adaptive_tiling_matches_sequential_and_sizes_from_the_data() {
+        let table = random_table(500, 9);
+        let queriers: Vec<EntryId> = (0..table.len() as EntryId).step_by(3).collect();
+        let space = Rect::space(SIDE);
+        let expect = sequential_reference(&table, &queriers, &space, 120.0);
+        let mut pool = TileIndexPool::default();
+        tiled_index_build(
+            &ScanIndex::new(),
+            &table,
+            &space,
+            120.0,
+            Tiling::Auto,
+            Some(threads(2)),
+            &mut pool,
+        );
+        let got = tiled_index_query(&mut pool, &table, &queriers, &space, 120.0);
+        assert_eq!(got, expect);
+        assert_eq!(
+            Tiling::Auto.resolve(&table, &space, 120.0),
+            crate::tile::auto_tile_count(&table, &space, 120.0)
+        );
     }
 
     #[test]
@@ -638,7 +1015,8 @@ mod tests {
                 &table,
                 &space,
                 150.0,
-                threads(n),
+                fixed(n),
+                Some(threads(2)),
                 &mut pool,
             );
             let got = tiled_index_query(&mut pool, &table, &queriers, &space, 150.0);
@@ -673,11 +1051,46 @@ mod tests {
                 &queries,
                 &space,
                 query_side,
-                threads(n),
+                fixed(n),
+                None,
                 &mut pool,
             );
             assert_eq!(got, (expect_pairs, expect_checksum), "tiles = {n}");
         }
+        // The same pool again under decoupled worker counts and the
+        // adaptive policy: reuse across shapes must not leak state.
+        for (tiles, workers) in [(4usize, 2usize), (16, 8), (64, 2)] {
+            let got = tiled_batch_join(
+                &NaiveBatchJoin,
+                &table,
+                &table,
+                &queries,
+                &space,
+                query_side,
+                fixed(tiles),
+                Some(threads(workers)),
+                &mut pool,
+            );
+            assert_eq!(
+                got,
+                (expect_pairs, expect_checksum),
+                "tiles = {tiles}, workers = {workers}"
+            );
+        }
+        let got = tiled_batch_join(
+            &NaiveBatchJoin,
+            &table,
+            &table,
+            &queries,
+            &space,
+            query_side,
+            Tiling::Auto,
+            Some(threads(3)),
+            &mut pool,
+        );
+        assert_eq!(got, (expect_pairs, expect_checksum), "adaptive tiling");
+        let load = pool.tile_load().expect("populated joins record load");
+        assert!(load.imbalance >= 1.0);
     }
 
     #[test]
@@ -690,13 +1103,15 @@ mod tests {
             &table,
             &space,
             50.0,
-            threads(4),
+            fixed(4),
+            None,
             &mut pool,
         );
         assert_eq!(
             tiled_index_query(&mut pool, &table, &[], &space, 50.0),
             (0, 0)
         );
+        assert_eq!(pool.tile_load(), None, "no populated tile, no load");
         assert_eq!(
             tiled_batch_join(
                 &NaiveBatchJoin,
@@ -705,7 +1120,8 @@ mod tests {
                 &[],
                 &space,
                 50.0,
-                threads(4),
+                fixed(4),
+                Some(threads(2)),
                 &mut TileBatchPool::default()
             ),
             (0, 0)
@@ -718,7 +1134,8 @@ mod tests {
             &empty,
             &space,
             50.0,
-            threads(16),
+            fixed(16),
+            Some(threads(8)),
             &mut pool,
         );
         assert_eq!(
@@ -731,21 +1148,37 @@ mod tests {
     fn exec_mode_constructors_and_accessors() {
         assert_eq!(ExecMode::parallel(0), None);
         assert_eq!(ExecMode::partitioned(0), None);
+        assert_eq!(ExecMode::pooled(0, 2), None);
+        assert_eq!(ExecMode::pooled(4, 0), None);
+        assert_eq!(ExecMode::adaptive_pooled(0), None);
         let par4 = ExecMode::parallel(4).unwrap();
         assert_eq!(par4.threads(), 4);
         assert!(par4.is_parallel());
         assert!(!par4.is_partitioned());
         let tiles4 = ExecMode::partitioned(4).unwrap();
-        assert_eq!(tiles4.threads(), 4, "one worker per tile");
+        assert_eq!(tiles4.threads(), 4, "one worker per tile by default");
         assert!(tiles4.is_parallel());
         assert!(tiles4.is_partitioned());
         assert_ne!(par4, tiles4);
+        let pool = ExecMode::pooled(16, 2).unwrap();
+        assert_eq!(pool.threads(), 2, "the pool size, not the tile count");
+        assert!(pool.is_partitioned());
+        assert_ne!(pool, ExecMode::partitioned(16).unwrap());
+        assert_eq!(ExecMode::adaptive().threads(), 1);
+        assert!(ExecMode::adaptive().is_partitioned());
+        assert_eq!(ExecMode::adaptive_pooled(8).unwrap().threads(), 8);
         assert_eq!(ExecMode::Sequential.threads(), 1);
         assert!(!ExecMode::Sequential.is_parallel());
         assert!(!ExecMode::Sequential.is_partitioned());
         assert_eq!(ExecMode::default(), ExecMode::Sequential);
         assert_eq!(format!("{par4}"), "parallel(4)");
         assert_eq!(format!("{tiles4}"), "tiled(4)");
+        assert_eq!(format!("{pool}"), "tiled(16x2)");
+        assert_eq!(format!("{}", ExecMode::adaptive()), "tiled(auto)");
+        assert_eq!(
+            format!("{}", ExecMode::adaptive_pooled(2).unwrap()),
+            "tiled(autox2)"
+        );
         assert_eq!(format!("{}", ExecMode::Sequential), "sequential");
     }
 
@@ -754,11 +1187,13 @@ mod tests {
         let par2 = ExecMode::parallel(2).unwrap();
         let par8 = ExecMode::parallel(8).unwrap();
         let tiles4 = ExecMode::partitioned(4).unwrap();
+        let pooled = ExecMode::pooled(4, 2).unwrap();
         assert_eq!(ExecMode::Sequential.or(par2), par2);
         assert_eq!(ExecMode::Sequential.or(tiles4), tiles4);
         assert_eq!(par8.or(par2), par8);
         assert_eq!(tiles4.or(par8), tiles4, "a spec's tiles beat CLI threads");
         assert_eq!(par8.or(tiles4), par8);
+        assert_eq!(pooled.or(par8), pooled, "a pooled spec beats CLI threads");
         assert_eq!(
             ExecMode::Sequential.or(ExecMode::Sequential),
             ExecMode::Sequential

@@ -248,6 +248,120 @@ pub fn replicate_by_extent(
     }
 }
 
+/// Queriers per mini-join chunk. Small enough that a hotspot tile's work
+/// splits into many schedulable pieces, large enough that the shared
+/// cursor's `fetch_add` is noise next to the probes it buys.
+pub const MINI_JOIN_CHUNK: usize = 64;
+
+/// One unit of schedulable query work: queriers `start..end` of tile
+/// `tile`'s assignment list. The pooled executors in [`crate::par`] push
+/// these onto a shared queue and let any worker drain any tile — which is
+/// sound because the reference-point rule makes every chunk's `(pairs,
+/// checksum)` partial independent of which thread computes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MiniJoin {
+    pub tile: usize,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Decompose per-tile work-list lengths into [`MiniJoin`]s of at most
+/// `chunk` queriers each, appended to `out` (callers clear and reuse the
+/// buffer across ticks). Empty tiles contribute no chunks, so the queue
+/// length — not the tile count — bounds useful worker parallelism.
+pub fn chunk_mini_joins<I>(lens: I, chunk: usize, out: &mut Vec<MiniJoin>)
+where
+    I: IntoIterator<Item = usize>,
+{
+    let chunk = chunk.max(1);
+    for (tile, len) in lens.into_iter().enumerate() {
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            out.push(MiniJoin { tile, start, end });
+            start = end;
+        }
+    }
+}
+
+/// Target live rows per tile of the adaptive (`@tilesauto`) policy.
+pub const AUTO_TARGET_PER_TILE: usize = 2048;
+
+/// Upper bound of the adaptive tile count (matches the largest grid the
+/// fixed-count tests exercise; beyond it replication overhead dominates).
+pub const AUTO_MAX_TILES: usize = 64;
+
+/// Sample budget of the density histogram: rows are visited at a stride
+/// chosen so at most this many contribute.
+const AUTO_SAMPLE: usize = 4096;
+
+/// Histogram resolution per axis (8 × 8 bins).
+const AUTO_BINS: usize = 8;
+
+/// Hotspot threshold: if the fullest bin holds at least this many times
+/// the mean bin, the distribution is skewed enough that finer
+/// tiles pay for themselves (more mini-joins to steal from the hotspot).
+const AUTO_SKEW_THRESHOLD: f64 = 4.0;
+
+/// Pick a tile count from the observed data: `live / 2048` as the base
+/// (clamped to `1..=64`), doubled when a strided-sample density histogram
+/// shows a hotspot, and capped so no tile axis is narrower than the query
+/// extent (tiles thinner than a query replicate nearly every row into
+/// several tiles, which costs more than the parallelism returns).
+///
+/// The policy is deterministic — strided sampling, no RNG — and the result
+/// only sizes the grid: the reference-point rule makes join results
+/// tile-count-invariant, so adaptive runs stay bit-identical to sequential
+/// whatever count this picks.
+pub fn auto_tile_count(table: &PointTable, space: &Rect, query_side: f32) -> NonZeroUsize {
+    let mut count = (table.live_len() / AUTO_TARGET_PER_TILE).clamp(1, AUTO_MAX_TILES);
+    if sampled_skew(table, space) >= AUTO_SKEW_THRESHOLD {
+        count = (count * 2).min(AUTO_MAX_TILES);
+    }
+    let min_side = space.width().min(space.height());
+    let axis_cap = ((min_side / query_side.max(1e-6)) as usize).clamp(1, AUTO_BINS);
+    let cap = (axis_cap * axis_cap).min(AUTO_MAX_TILES);
+    NonZeroUsize::new(count.min(cap).max(1)).expect("clamped to at least one tile")
+}
+
+/// Ratio of the fullest histogram bin to the mean bin, from a strided
+/// sample of the live rows binned into an 8 × 8 grid over `space`. The
+/// mean is over **all** bins, not just occupied ones: empty bins become
+/// idle tiles, which is precisely the imbalance the metric must see —
+/// all mass in one corner bin is the most skewed case of all, and a
+/// mean-over-occupied denominator would read it as perfectly uniform.
+/// `1.0` when the table is empty.
+fn sampled_skew(table: &PointTable, space: &Rect) -> f64 {
+    let n = table.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let stride = n.div_ceil(AUTO_SAMPLE).max(1);
+    let (xs, ys) = (table.xs(), table.ys());
+    let live = table.live_mask();
+    let all_live = table.all_live();
+    let (w, h) = (space.width().max(1e-6), space.height().max(1e-6));
+    let mut bins = [0u32; AUTO_BINS * AUTO_BINS];
+    for i in (0..n).step_by(stride) {
+        if !all_live && !live[i] {
+            continue;
+        }
+        let bx = (((xs[i] - space.x1) / w * AUTO_BINS as f32) as usize).min(AUTO_BINS - 1);
+        let by = (((ys[i] - space.y1) / h * AUTO_BINS as f32) as usize).min(AUTO_BINS - 1);
+        bins[by * AUTO_BINS + bx] += 1;
+    }
+    let mut max = 0u32;
+    let mut sum = 0u64;
+    for &b in &bins {
+        max = max.max(b);
+        sum += u64::from(b);
+    }
+    if sum == 0 {
+        return 1.0;
+    }
+    f64::from(max) / (sum as f64 / bins.len() as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +544,113 @@ mod tests {
         replicate_by_extent(&t, &g, 8.0, &mut replicas);
         let second: Vec<usize> = replicas.iter().map(|r| r.table.len()).collect();
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn mini_join_chunks_cover_every_querier_exactly_once() {
+        let mut out = Vec::new();
+        chunk_mini_joins([130usize, 0, 64, 1], 64, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                MiniJoin {
+                    tile: 0,
+                    start: 0,
+                    end: 64
+                },
+                MiniJoin {
+                    tile: 0,
+                    start: 64,
+                    end: 128
+                },
+                MiniJoin {
+                    tile: 0,
+                    start: 128,
+                    end: 130
+                },
+                MiniJoin {
+                    tile: 2,
+                    start: 0,
+                    end: 64
+                },
+                MiniJoin {
+                    tile: 3,
+                    start: 0,
+                    end: 1
+                },
+            ]
+        );
+        // The empty tile contributes no chunk; totals reconstruct the lens.
+        let mut per_tile = [0usize; 4];
+        for m in &out {
+            per_tile[m.tile] += m.end - m.start;
+        }
+        assert_eq!(per_tile, [130, 0, 64, 1]);
+    }
+
+    #[test]
+    fn mini_join_chunking_tolerates_a_zero_chunk_size() {
+        let mut out = Vec::new();
+        chunk_mini_joins([3usize], 0, &mut out);
+        assert_eq!(out.len(), 3, "degenerate chunk size falls back to 1");
+    }
+
+    #[test]
+    fn auto_tile_count_tracks_the_live_population() {
+        let space = Rect::space(100_000.0);
+        let mut t = PointTable::default();
+        assert_eq!(auto_tile_count(&t, &space, 10.0).get(), 1, "empty table");
+        let mut rng = Xoshiro256::seeded(5);
+        for _ in 0..AUTO_TARGET_PER_TILE * 8 {
+            t.push(rng.range_f32(0.0, 100_000.0), rng.range_f32(0.0, 100_000.0));
+        }
+        let n = auto_tile_count(&t, &space, 10.0).get();
+        assert_eq!(n, 8, "uniform 8×target rows → 8 tiles, no skew doubling");
+        // Tombstoning half the rows halves the live count and the grid.
+        for i in 0..t.len() {
+            if i % 2 == 0 {
+                t.remove(entry_id(i));
+            }
+        }
+        assert_eq!(auto_tile_count(&t, &space, 10.0).get(), 4);
+    }
+
+    #[test]
+    fn auto_tile_count_doubles_under_skew_and_respects_the_cap() {
+        let space = Rect::space(100_000.0);
+        let mut rng = Xoshiro256::seeded(9);
+        // All mass in one corner bin: maximal skew.
+        let mut t = PointTable::default();
+        for _ in 0..AUTO_TARGET_PER_TILE * 8 {
+            t.push(rng.range_f32(0.0, 1_000.0), rng.range_f32(0.0, 1_000.0));
+        }
+        assert_eq!(
+            auto_tile_count(&t, &space, 10.0).get(),
+            16,
+            "hotspot doubles the uniform count"
+        );
+        // The cap binds: even a huge skewed table stays at AUTO_MAX_TILES.
+        let mut big = PointTable::default();
+        for _ in 0..AUTO_TARGET_PER_TILE * 80 {
+            big.push(rng.range_f32(0.0, 1_000.0), rng.range_f32(0.0, 1_000.0));
+        }
+        assert_eq!(auto_tile_count(&big, &space, 10.0).get(), AUTO_MAX_TILES);
+    }
+
+    #[test]
+    fn auto_tile_count_never_makes_tiles_narrower_than_the_query() {
+        // Space 100 wide, queries 30 wide: at most 3 tiles per axis → 9
+        // total (then squared-cap rounding keeps it ≤ 9), regardless of
+        // how many rows there are.
+        let space = Rect::space(100.0);
+        let mut rng = Xoshiro256::seeded(13);
+        let mut t = PointTable::default();
+        for _ in 0..AUTO_TARGET_PER_TILE * 32 {
+            t.push(rng.range_f32(0.0, 100.0), rng.range_f32(0.0, 100.0));
+        }
+        assert!(auto_tile_count(&t, &space, 30.0).get() <= 9);
+        // A degenerate zero query side must not divide by zero.
+        assert!(auto_tile_count(&t, &space, 0.0).get() >= 1);
     }
 
     #[test]

@@ -1,35 +1,44 @@
 //! Scaling — the query phase across worker counts, in the style of the
 //! Tsitsigkos & Mamoulis scalability figures ("Parallel In-Memory
 //! Evaluation of Spatial Joins"): every benchmarkable registry technique
-//! at 1, 2, 4 and 8 workers, under **both** non-sequential execution
-//! modes raced against each other — `@par<N>` (the query set sharded over
-//! N threads probing one shared index) and `@tiles<N>` (the space cut
-//! into N tiles, each with a private fork of the technique; DESIGN.md
-//! §13).
+//! at 1, 2, 4 and 8 workers, under the non-sequential execution modes
+//! raced against each other — `@par<N>` (the query set sharded over N
+//! threads probing one shared index), `@tiles<N>` (the space cut into N
+//! tiles, each with a private fork of the technique; DESIGN.md §13),
+//! `@tiles<4N>@par<N>` (4× oversharded tiles drained by a shared worker
+//! pool of N — the mini-join scheduler, DESIGN.md §14) and
+//! `@tilesauto@par<N>` (density-sized tiling over the same pool).
 //!
 //! Worker count 1 runs the real parallel/tiled code paths with one
 //! worker, so each speedup column isolates scaling from the constant cost
 //! of dispatch (and, for tiles, of partitioning). The sweep crosses a
 //! uniform and two skewed workloads (`gaussian`, `roadgrid`) by default —
-//! skew is where the two modes diverge: sharding balances queries but
-//! shares one big index, tiling shrinks the per-worker index but
-//! inherits the hotspot imbalance. Each run's join is asserted identical
-//! to the sequential reference — parallelism that changed the answer
-//! would be a bug, not a speedup.
+//! skew is where the modes diverge: sharding balances queries but shares
+//! one big index, tile-per-thread shrinks the per-worker index but
+//! inherits the hotspot imbalance, and the pooled modes keep the small
+//! indexes while re-balancing the hotspot dynamically. The tiled rows
+//! also report the load-balance evidence: `imbalance` (slowest-tile time
+//! ÷ mean-tile time, 1.0 = perfectly even) and `occupancy` (fraction of
+//! pool capacity spent doing mini-joins), both at the row's highest
+//! worker count. Each run's join is asserted identical to the sequential
+//! reference — parallelism that changed the answer would be a bug, not a
+//! speedup.
 //!
 //! `--workload SPEC` narrows the workload sweep to that spec;
-//! `--threads N` / `--tiles N` narrows the worker-count sweep to N (the
-//! two flags are mutually exclusive and either one narrows both modes,
-//! keeping the race aligned). `--json` emits one RunStats line per
-//! (workload, technique, mode, count) with a `threads` or `tiles` field.
+//! `--threads N` (or a fixed `--tiles N` when `--threads` is absent)
+//! narrows the worker-count sweep to N, keeping the race aligned. A fixed
+//! `--tiles N` also pins the tile count of the `tiles` and `pool` rows.
+//! `--json` emits one RunStats line per (workload, technique, mode,
+//! count) with the swept count under the mode's key and, for tiled runs,
+//! `imbalance`/`occupancy` fields.
 //!
-//! Run: `cargo run -p sj-bench --release --bin scaling [--ticks N] [--threads N | --tiles N] [--workload SPEC] [--csv|--json]`
+//! Run: `cargo run -p sj-bench --release --bin scaling [--ticks N] [--threads N] [--tiles N|auto] [--workload SPEC] [--csv|--json]`
 
 use sj_bench::cli::CommonOpts;
-use sj_bench::report::stats_line;
+use sj_bench::report::JsonLine;
 use sj_bench::run_workload_spec;
 use sj_bench::table::{secs, Table};
-use sj_core::par::ExecMode;
+use sj_core::par::{ExecMode, Tiling};
 use sj_core::technique::TechniqueSpec;
 use sj_workload::{WorkloadKind, WorkloadSpec, DEFAULT_HOTSPOTS};
 
@@ -37,15 +46,30 @@ use sj_workload::{WorkloadKind, WorkloadSpec, DEFAULT_HOTSPOTS};
 /// counts a laptop container can honor).
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-/// A non-sequential mode constructor ([`ExecMode::parallel`] or
-/// [`ExecMode::partitioned`]); `None` only for a zero count.
-type MakeMode = fn(usize) -> Option<ExecMode>;
+/// Oversharding factor for the `pool` row when `--tiles` doesn't pin a
+/// tile count: 4 tiles per worker gives the work-stealing cursor enough
+/// mini-join granularity to smooth a hotspot without drowning the run in
+/// partitioning overhead.
+const POOL_OVERSHARD: usize = 4;
 
-/// The two raced modes, as (column label, constructor).
-const MODES: [(&str, MakeMode); 2] = [
-    ("par", ExecMode::parallel),
-    ("tiles", ExecMode::partitioned),
-];
+/// The raced mode rows, as column labels. The mode itself is built per
+/// (row, worker count) by [`mode_for`] — the pooled rows need the pinned
+/// tile count, not just the swept worker count.
+const MODES: [&str; 4] = ["par", "tiles", "pool", "auto"];
+
+/// The [`ExecMode`] for one (row, worker count) cell. `fixed_tiles` is a
+/// `--tiles N` pin: it sizes the `tiles` and `pool` rows' tile grids
+/// independently of the swept worker count.
+fn mode_for(mode: &str, n: usize, fixed_tiles: Option<usize>) -> ExecMode {
+    let mode = match mode {
+        "par" => ExecMode::parallel(n),
+        "tiles" => ExecMode::partitioned(fixed_tiles.unwrap_or(n)),
+        "pool" => ExecMode::pooled(fixed_tiles.unwrap_or(POOL_OVERSHARD * n), n),
+        "auto" => ExecMode::adaptive_pooled(n),
+        other => unreachable!("unknown scaling mode row {other}"),
+    };
+    mode.expect("worker counts are nonzero")
+}
 
 fn main() {
     let opts = CommonOpts::parse();
@@ -63,8 +87,12 @@ fn main() {
             WorkloadKind::RoadGrid.spec(),
         ],
     };
-    let counts: Vec<usize> = match opts.threads.or(opts.tiles) {
-        Some(n) => vec![n.get()],
+    let fixed_tiles = opts.tiles.and_then(|t| match t {
+        Tiling::Fixed(n) => Some(n.get()),
+        Tiling::Auto => None,
+    });
+    let counts: Vec<usize> = match opts.threads.map(|n| n.get()).or(fixed_tiles) {
+        Some(n) => vec![n],
         None => WORKER_COUNTS.to_vec(),
     };
 
@@ -80,6 +108,8 @@ fn main() {
         let mut headers = vec!["technique".to_string(), "mode".to_string()];
         headers.extend(counts.iter().map(|n| format!("query_s @{n}")));
         headers.push("speedup".to_string());
+        headers.push("imbalance".to_string());
+        headers.push("occupancy".to_string());
         let mut t = Table::new(headers);
 
         for &spec in &specs {
@@ -93,12 +123,13 @@ fn main() {
                 spec.with_exec(ExecMode::Sequential),
                 ExecMode::Sequential,
             );
-            for (mode_name, make_mode) in MODES {
+            for mode_name in MODES {
                 let mut row = vec![spec.label(), mode_name.to_string()];
                 let mut first_query_s = None;
                 let mut last_query_s = None;
+                let mut last_load = None;
                 for &n in &counts {
-                    let exec = make_mode(n).expect("worker counts are nonzero");
+                    let exec = mode_for(mode_name, n, fixed_tiles);
                     let stats = run_workload_spec(
                         wspec,
                         &params,
@@ -108,23 +139,25 @@ fn main() {
                     assert_eq!(
                         (stats.result_pairs, stats.checksum),
                         (reference.result_pairs, reference.checksum),
-                        "{} @{mode_name}{n} on {} computed a different join",
+                        "{} under {exec} on {} computed a different join",
                         spec.name(),
                         wspec.name()
                     );
                     let query_s = stats.avg_query_seconds();
                     first_query_s.get_or_insert(query_s);
                     last_query_s = Some(query_s);
+                    last_load = stats.tile_load;
                     if opts.json {
-                        println!(
-                            "{}",
-                            stats_line(
-                                "scaling",
-                                &spec.with_exec(exec).name(),
-                                Some((mode_name, n as f64)),
-                                &stats
-                            )
-                        );
+                        let mut line = JsonLine::new("scaling")
+                            .str("technique", &spec.with_exec(exec).name())
+                            .num(mode_name, n as f64)
+                            .stats(&stats);
+                        if let Some(load) = stats.tile_load {
+                            line = line
+                                .num("imbalance", load.imbalance)
+                                .num("occupancy", load.occupancy);
+                        }
+                        println!("{}", line.finish());
                     } else {
                         row.push(secs(query_s));
                     }
@@ -135,13 +168,26 @@ fn main() {
                         _ => "-".to_string(),
                     };
                     row.push(speedup);
+                    match last_load {
+                        Some(load) => {
+                            row.push(format!("{:.2}", load.imbalance));
+                            row.push(format!("{:.0}%", load.occupancy * 100.0));
+                        }
+                        None => {
+                            row.push("-".to_string());
+                            row.push("-".to_string());
+                        }
+                    }
                     t.row(row);
                 }
             }
         }
         if !opts.json {
             println!("{}", t.render(opts.csv));
-            println!("(speedup = first column / last column; joins verified identical per run)");
+            println!(
+                "(speedup = first column / last column; imbalance/occupancy from the last \
+                 column's tiled run; joins verified identical per run)"
+            );
         }
     }
 }

@@ -8,7 +8,7 @@
 
 use std::num::NonZeroUsize;
 
-use sj_core::par::ExecMode;
+use sj_core::par::{ExecMode, Tiling};
 use sj_core::technique::{registry, ParseSpecError, TechniqueSpec};
 use sj_workload::{
     workload_registry, GaussianParams, JoinSpec, ParseJoinError, ParseWorkloadError, WorkloadKind,
@@ -28,11 +28,11 @@ pub struct CommonOpts {
     /// zero-thread run is unrepresentable ([`ExecMode::Parallel`]); the
     /// parser rejects `--threads 0` as an [`CliError::InvalidValue`].
     pub threads: Option<NonZeroUsize>,
-    /// Space-partition tile count (`--tiles N`, [`ExecMode::Partitioned`]).
-    /// Mutually exclusive with `--threads`: the two flags name different
-    /// execution modes, so taking both would silently drop one
-    /// ([`CliError::ThreadsTilesConflict`]).
-    pub tiles: Option<NonZeroUsize>,
+    /// Space-partition tiling (`--tiles N` or `--tiles auto`,
+    /// [`ExecMode::Partitioned`]). Composes with `--threads`, which then
+    /// sizes the shared mini-join worker pool instead of selecting sharded
+    /// execution: `--tiles 4 --threads 2` is `@tiles4@par2`.
+    pub tiles: Option<Tiling>,
     /// Emit machine-readable CSV instead of aligned text.
     pub csv: bool,
     /// Emit one JSON object per technique run (see [`crate::report`]).
@@ -84,9 +84,6 @@ pub enum CliError {
     /// `--join bipartite:…` combined with `--workload`: the bipartite spec
     /// already names both relation workloads.
     JoinWorkloadConflict,
-    /// `--threads` combined with `--tiles`: each names a different
-    /// execution mode and only one can drive the run.
-    ThreadsTilesConflict,
     /// An unrecognized argument.
     UnknownFlag(String),
 }
@@ -106,10 +103,6 @@ impl std::fmt::Display for CliError {
                 "--workload cannot be combined with a bipartite --join: the join spec \
                  already names both relation workloads (bipartite:<R>x<S>)",
             ),
-            CliError::ThreadsTilesConflict => f.write_str(
-                "--threads and --tiles are mutually exclusive: sharded (@par<N>) and \
-                 space-partitioned (@tiles<N>) execution are different modes",
-            ),
             CliError::UnknownFlag(arg) => write!(f, "unknown argument: {arg} (try --help)"),
         }
     }
@@ -126,10 +119,11 @@ pub fn usage() -> String {
          --ticks N         measured ticks per config (default {QUICK_TICKS}; --paper for Table 1 counts)\n  \
          --points N        number of moving objects (default 50000)\n  \
          --seed N          workload seed\n  \
-         --threads N       shard the query phase over N workers (N >= 1; default sequential)\n  \
-         --tiles N         space-partition into N tiles, each with a private index (excludes --threads)\n  \
+         --threads N       shard the query phase over N workers; with --tiles, sizes the tile worker pool\n  \
+         --tiles N|auto    space-partition into N tiles (auto: density-sized), each with a private index\n  \
          --technique SPEC  run a single technique; SPEC one of:\n                    {}\n                    \
-         any spec accepts an execution modifier, e.g. grid:inline@par8 or grid:inline@tiles4\n  \
+         any spec accepts an execution modifier, e.g. grid:inline@par8, grid:inline@tiles4,\n                    \
+         grid:inline@tiles4@par2, or grid:inline@tilesauto\n  \
          --workload SPEC   drive the run through a named workload; SPEC one of:\n                    {}\n                    \
          (gaussian:h<N> takes any hotspot count; churn: prefixes any base spec)\n  \
          --join SPEC       join shape: self (default) or bipartite:<R>x<S>[:ratio<K>]\n                    \
@@ -195,7 +189,14 @@ impl CommonOpts {
                 // NonZeroUsize's FromStr rejects "0", so an invalid thread
                 // count dies here as a CliError — no ExecMode for it exists.
                 "--threads" => opts.threads = Some(parse_num(&take("--threads")?, "--threads")?),
-                "--tiles" => opts.tiles = Some(parse_num(&take("--tiles")?, "--tiles")?),
+                "--tiles" => {
+                    let v = take("--tiles")?;
+                    opts.tiles = Some(if v == "auto" {
+                        Tiling::Auto
+                    } else {
+                        Tiling::Fixed(parse_num(&v, "--tiles")?)
+                    });
+                }
                 "--technique" => {
                     let spec = take("--technique")?;
                     opts.technique =
@@ -222,20 +223,18 @@ impl CommonOpts {
         if opts.workload.is_some() && !opts.join_spec().is_self() {
             return Err(CliError::JoinWorkloadConflict);
         }
-        if opts.threads.is_some() && opts.tiles.is_some() {
-            return Err(CliError::ThreadsTilesConflict);
-        }
         Ok(opts)
     }
 
     /// The execution mode this invocation asks for: the `--technique`
-    /// spec's `@par<N>`/`@tiles<N>` modifier if present, else
-    /// `--threads N` / `--tiles N` (the parser guarantees at most one of
-    /// the two flags), else sequential.
+    /// spec's `@par<N>`/`@tiles<N>` modifier if present, else the flags.
+    /// `--tiles` selects partitioned execution; alongside it `--threads`
+    /// sizes the mini-join worker pool, and alone it selects sharded
+    /// execution. With neither flag, sequential.
     pub fn exec_mode(&self) -> ExecMode {
-        let flag = match (self.threads, self.tiles) {
-            (Some(threads), _) => ExecMode::Parallel { threads },
-            (None, Some(tiles)) => ExecMode::Partitioned { tiles },
+        let flag = match (self.tiles, self.threads) {
+            (Some(tiles), workers) => ExecMode::Partitioned { tiles, workers },
+            (None, Some(threads)) => ExecMode::Parallel { threads },
             (None, None) => ExecMode::Sequential,
         };
         match self.technique {
@@ -424,8 +423,11 @@ mod tests {
     #[test]
     fn tiles_flag_selects_the_partitioned_mode() {
         let opts = parse(&["--tiles", "4"]).unwrap();
-        assert_eq!(opts.tiles, NonZeroUsize::new(4));
+        assert_eq!(opts.tiles, NonZeroUsize::new(4).map(Tiling::Fixed));
         assert_eq!(opts.exec_mode(), ExecMode::partitioned(4).unwrap());
+        let opts = parse(&["--tiles", "auto"]).unwrap();
+        assert_eq!(opts.tiles, Some(Tiling::Auto));
+        assert_eq!(opts.exec_mode(), ExecMode::adaptive());
         // Zero dies in the parser like --threads 0 — no runtime check left.
         assert_eq!(
             parse(&["--tiles", "0"]).err(),
@@ -445,14 +447,30 @@ mod tests {
     }
 
     #[test]
-    fn threads_and_tiles_are_mutually_exclusive() {
+    fn tiles_and_threads_compose_into_a_pooled_mode() {
+        // Formerly mutually exclusive; with the shared worker pool the
+        // combination is the pooled mode, in either flag order.
+        let opts = parse(&["--tiles", "4", "--threads", "2"]).unwrap();
+        assert_eq!(opts.exec_mode(), ExecMode::pooled(4, 2).unwrap());
+        let opts = parse(&["--threads", "2", "--tiles", "4"]).unwrap();
+        assert_eq!(opts.exec_mode(), ExecMode::pooled(4, 2).unwrap());
+        // Adaptive tiling takes a pool size the same way.
+        let opts = parse(&["--tiles", "auto", "--threads", "2"]).unwrap();
+        assert_eq!(opts.exec_mode(), ExecMode::adaptive_pooled(2).unwrap());
+        // Both flags still reject zero individually.
         assert_eq!(
-            parse(&["--threads", "2", "--tiles", "4"]).err(),
-            Some(CliError::ThreadsTilesConflict)
+            parse(&["--tiles", "0", "--threads", "2"]).err(),
+            Some(CliError::InvalidValue {
+                flag: "--tiles".into(),
+                value: "0".into()
+            })
         );
         assert_eq!(
-            parse(&["--tiles", "4", "--threads", "2"]).err(),
-            Some(CliError::ThreadsTilesConflict)
+            parse(&["--tiles", "4", "--threads", "0"]).err(),
+            Some(CliError::InvalidValue {
+                flag: "--threads".into(),
+                value: "0".into()
+            })
         );
     }
 
@@ -492,6 +510,7 @@ mod tests {
         assert!(u.contains("--list-techniques") && u.contains("--list-workloads"));
         assert!(u.contains("--join") && u.contains("bipartite:<R>x<S>"));
         assert!(u.contains("--tiles") && u.contains("@tiles4"));
+        assert!(u.contains("@tiles4@par2") && u.contains("@tilesauto"));
     }
 
     #[test]

@@ -339,6 +339,7 @@ mod tests {
                     removals: 0,
                     inserts: 0,
                     index_bytes: 1 << 16,
+                    tile_load: None,
                 },
             })
             .collect();

@@ -177,6 +177,7 @@ mod tests {
             removals: 2,
             inserts: 1,
             index_bytes: 1024,
+            tile_load: None,
         };
         let line = JsonLine::new("t").stats(&stats).finish();
         assert!(line.contains(r#""pairs":42"#), "{line}");

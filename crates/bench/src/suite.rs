@@ -16,9 +16,13 @@
 //!   space-partitioned (`@tiles<N>`) cells racing them — over uniform at
 //!   every count, over the skewed `gaussian:h3` at 4 tiles (skew is where
 //!   tiling's per-tile imbalance shows), and one bipartite tiled cell.
-//!   Tiled cells carry their mode in the technique spec string
-//!   (`…@tiles4`), so they reuse the schema unchanged (`threads` stays 0
-//!   and older comparators simply see new cell ids).
+//!   Since PR 9 the race has a third lane: pooled cells
+//!   (`@tiles16@par<N>` — an oversharded grid drained by a shared
+//!   mini-join worker pool, DESIGN.md §14) at the same worker counts,
+//!   adaptive cells (`@tilesauto`), and pooled-vs-tiled skew cells at 8
+//!   workers. Tiled/pooled cells carry their mode in the technique spec
+//!   string, so they reuse the schema unchanged (`threads` stays 0 and
+//!   older comparators simply see new cell ids).
 //! - **asymmetry** — the |R|/|S| ∈ {1/100, 1/10, 1, 10} bipartite cells
 //!   for a small subset.
 //!
@@ -211,6 +215,60 @@ pub fn cell_matrix() -> Vec<CellSpec> {
         threads: 0,
         scales: (1, 1),
     });
+    // scaling, pooled: the same subset with a 16-tile oversharded grid
+    // drained by worker pools at the scaling counts — racing the @tilesN
+    // lane above, where the tile count *is* the worker count.
+    for spec in core_subset() {
+        for n in SCALING_TILES {
+            cells.push(CellSpec {
+                bench: "scaling",
+                technique: spec
+                    .with_exec(ExecMode::pooled(16, n).expect("pinned pool shapes are nonzero")),
+                workload: uniform,
+                join: JoinSpec::SelfJoin,
+                threads: 0,
+                scales: (1, 1),
+            });
+        }
+    }
+    // scaling, adaptive: the density-sized tiling, sequential pool.
+    for spec in core_subset() {
+        cells.push(CellSpec {
+            bench: "scaling",
+            technique: spec.with_exec(ExecMode::adaptive()),
+            workload: uniform,
+            join: JoinSpec::SelfJoin,
+            threads: 0,
+            scales: (1, 1),
+        });
+    }
+    // Pooled and adaptive under skew at full pool width — the load-balance
+    // story this PR exists for: the hotspot tile's mini-joins spread over
+    // all 8 workers instead of bounding the tick.
+    for name in [
+        "grid:inline@tiles16@par8",
+        "rtree:str@tiles16@par8",
+        "grid:inline@tilesauto@par8",
+        "rtree:str@tilesauto@par8",
+    ] {
+        cells.push(CellSpec {
+            bench: "scaling",
+            technique: TechniqueSpec::parse(name).expect("canonical spec"),
+            workload: gaussian,
+            join: JoinSpec::SelfJoin,
+            threads: 0,
+            scales: (1, 1),
+        });
+    }
+    // One pooled bipartite cell keeps the R ⋈ S path in the pooled lane.
+    cells.push(CellSpec {
+        bench: "table2",
+        technique: TechniqueSpec::parse("grid:inline@tiles4@par2").expect("canonical spec"),
+        workload: uniform,
+        join: bipartite,
+        threads: 0,
+        scales: (1, 1),
+    });
     // asymmetry: |R|/|S| cells over uniform ⋈ gaussian:h3.
     let asym_join = JoinSpec::bipartite(uniform, gaussian);
     for spec in core_subset() {
@@ -340,6 +398,12 @@ mod tests {
         assert!(ids.contains("scaling/self/uniform/grid:bs-tuned@tiles8"));
         assert!(ids.contains("scaling/self/gaussian:h3/grid:inline@tiles4"));
         assert!(ids.contains("table2/bipartite:uniformxgaussian:h3:ratio10/grid:inline@tiles4"));
+        assert!(ids.contains("scaling/self/uniform/grid:bs-tuned@tiles16@par8"));
+        assert!(ids.contains("scaling/self/uniform/sweep@tilesauto"));
+        assert!(ids.contains("scaling/self/gaussian:h3/rtree:str@tilesauto@par8"));
+        assert!(
+            ids.contains("table2/bipartite:uniformxgaussian:h3:ratio10/grid:inline@tiles4@par2")
+        );
         assert!(ids.contains("asymmetry/bipartite:uniformxgaussian:h3/r100s1/sweep"));
     }
 
@@ -361,13 +425,20 @@ mod tests {
         for n in SCALING_THREADS {
             assert!(cells.iter().any(|c| c.threads == n));
         }
-        // Every tile count appears as a @tilesN cell, and the tiled cells
-        // never double-book the threads knob (one mode per cell).
+        // Every tile count appears as a @tilesN cell, every scaling count
+        // as a pooled @tiles16@parN cell, and the tiled cells never
+        // double-book the threads knob (one mode per cell).
         for n in SCALING_TILES {
             assert!(cells
                 .iter()
                 .any(|c| c.technique.exec == ExecMode::partitioned(n).unwrap()));
+            assert!(cells
+                .iter()
+                .any(|c| c.technique.exec == ExecMode::pooled(16, n).unwrap()));
         }
+        assert!(cells
+            .iter()
+            .any(|c| c.technique.exec == ExecMode::adaptive()));
         for c in &cells {
             if c.technique.exec != ExecMode::Sequential {
                 assert_eq!(c.threads, 0, "{} mixes modes", c.id());

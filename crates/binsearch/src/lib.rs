@@ -101,7 +101,7 @@ impl SpatialIndex for BinarySearchJoin {
         self.sorted.capacity() * std::mem::size_of::<EntryId>()
     }
 
-    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+    fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync> {
         Box::new(self.clone())
     }
 }
@@ -171,7 +171,7 @@ impl SpatialIndex for VecSearchJoin {
             + self.ids.capacity() * std::mem::size_of::<EntryId>()
     }
 
-    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+    fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync> {
         Box::new(self.clone())
     }
 }

@@ -31,7 +31,7 @@ use sj_base::driver::{
     Workload,
 };
 use sj_base::index::{ScanIndex, SpatialIndex};
-use sj_base::par::ExecMode;
+use sj_base::par::{ExecMode, Tiling};
 use sj_binsearch::{BinarySearchJoin, VecSearchJoin};
 use sj_crtree::CRTree;
 use sj_grid::{IncrementalGrid, SimpleGrid, Stage};
@@ -202,8 +202,9 @@ impl fmt::Display for ParseSpecError {
         }
         write!(
             f,
-            "; any spec takes an optional execution modifier `@par<N>` or \
-             `@tiles<N>`, e.g. grid:inline@par8 or grid:inline@tiles4)"
+            "; any spec takes an optional execution modifier `@par<N>`, `@tiles<N>`, \
+             `@tilesauto`, or a composed `@tiles<N|auto>@par<T>`, e.g. grid:inline@par8, \
+             grid:inline@tiles4, or grid:inline@tiles4@par2)"
         )
     }
 }
@@ -351,11 +352,15 @@ impl TechniqueKind {
     }
 
     /// This kind as a space-partitioned [`TechniqueSpec`] over `tiles`
-    /// tiles, each with a private fork of the technique.
+    /// tiles, each with a private fork of the technique (the default pool:
+    /// one worker per tile).
     pub const fn tiled(self, tiles: NonZeroUsize) -> TechniqueSpec {
         TechniqueSpec {
             kind: self,
-            exec: ExecMode::Partitioned { tiles },
+            exec: ExecMode::Partitioned {
+                tiles: Tiling::Fixed(tiles),
+                workers: None,
+            },
         }
     }
 
@@ -448,7 +453,15 @@ impl TechniqueSpec {
         match self.exec {
             ExecMode::Sequential => self.kind.name().to_string(),
             ExecMode::Parallel { threads } => format!("{}@par{threads}", self.kind.name()),
-            ExecMode::Partitioned { tiles } => format!("{}@tiles{tiles}", self.kind.name()),
+            ExecMode::Partitioned { tiles, workers } => {
+                // `Tiling` displays as the count or `auto`, so the name is
+                // `@tiles4` / `@tilesauto`, plus `@par<T>` for a pool.
+                let mut name = format!("{}@tiles{tiles}", self.kind.name());
+                if let Some(w) = workers {
+                    name.push_str(&format!("@par{w}"));
+                }
+                name
+            }
         }
     }
 
@@ -460,15 +473,24 @@ impl TechniqueSpec {
             ExecMode::Parallel { threads } => {
                 format!("{} ({threads} threads)", self.kind.label())
             }
-            ExecMode::Partitioned { tiles } => {
-                format!("{} ({tiles} tiles)", self.kind.label())
+            ExecMode::Partitioned { tiles, workers } => {
+                let tiles = match tiles {
+                    Tiling::Fixed(n) => format!("{n} tiles"),
+                    Tiling::Auto => "auto tiles".to_string(),
+                };
+                match workers {
+                    None => format!("{} ({tiles})", self.kind.label()),
+                    Some(w) => format!("{} ({tiles}, {w} workers)", self.kind.label()),
+                }
             }
         }
     }
 
     /// Parse a spec string: a base name ([`TechniqueKind::parse`], aliases
-    /// included) optionally followed by `@par<N>` or `@tiles<N>` with
-    /// `N ≥ 1`. `@par0` / `@tiles0` are rejected here — both modes hold a
+    /// included) optionally followed by `@par<N>`, `@tiles<N>`,
+    /// `@tilesauto`, or the composed `@tiles<N|auto>@par<T>` (canonical
+    /// order: tiles before par) with `N, T ≥ 1`. `@par0` / `@tiles0` /
+    /// `@tiles4@par0` are rejected here — every mode holds a
     /// [`NonZeroUsize`], so a zero-worker spec cannot even be constructed.
     pub fn parse(spec: &str) -> Result<TechniqueSpec, ParseSpecError> {
         let err = || ParseSpecError {
@@ -480,9 +502,23 @@ impl TechniqueSpec {
                 // `tiles` first: `t-i-l-e-s` does not start with `par`, but
                 // keeping the longer keyword first is the convention for
                 // prefix menus.
-                let exec = if let Some(n) = modifier.strip_prefix("tiles") {
-                    let tiles = n.parse::<NonZeroUsize>().map_err(|_| err())?;
-                    ExecMode::Partitioned { tiles }
+                let exec = if let Some(rest) = modifier.strip_prefix("tiles") {
+                    let (tiles_str, workers) = match rest.split_once('@') {
+                        None => (rest, None),
+                        Some((tiles_str, pool)) => {
+                            let w = pool.strip_prefix("par").ok_or_else(err)?;
+                            (
+                                tiles_str,
+                                Some(w.parse::<NonZeroUsize>().map_err(|_| err())?),
+                            )
+                        }
+                    };
+                    let tiles = if tiles_str == "auto" {
+                        Tiling::Auto
+                    } else {
+                        Tiling::Fixed(tiles_str.parse::<NonZeroUsize>().map_err(|_| err())?)
+                    };
+                    ExecMode::Partitioned { tiles, workers }
                 } else if let Some(n) = modifier.strip_prefix("par") {
                     let threads = n.parse::<NonZeroUsize>().map_err(|_| err())?;
                     ExecMode::Parallel { threads }
@@ -619,6 +655,38 @@ mod tests {
     }
 
     #[test]
+    fn pooled_specs_round_trip_through_parse_and_name() {
+        for base in registry() {
+            for (t, w) in [(1usize, 1usize), (4, 2), (16, 8), (64, 3)] {
+                let spec = base.with_exec(ExecMode::pooled(t, w).unwrap());
+                let name = spec.name();
+                assert!(name.ends_with(&format!("@tiles{t}@par{w}")), "{name}");
+                assert_eq!(TechniqueSpec::parse(&name), Ok(spec), "{name}");
+            }
+        }
+        let parsed = TechniqueSpec::parse("grid@tiles16@par2").unwrap();
+        assert_eq!(parsed.kind, TechniqueKind::Grid(Stage::CpsTuned));
+        assert_eq!(parsed.exec, ExecMode::pooled(16, 2).unwrap());
+        assert_eq!(parsed.name(), "grid:inline@tiles16@par2");
+    }
+
+    #[test]
+    fn adaptive_specs_round_trip_through_parse_and_name() {
+        for base in registry() {
+            let auto = base.with_exec(ExecMode::adaptive());
+            assert!(auto.name().ends_with("@tilesauto"), "{}", auto.name());
+            assert_eq!(TechniqueSpec::parse(&auto.name()), Ok(auto));
+            let pooled = base.with_exec(ExecMode::adaptive_pooled(8).unwrap());
+            assert!(
+                pooled.name().ends_with("@tilesauto@par8"),
+                "{}",
+                pooled.name()
+            );
+            assert_eq!(TechniqueSpec::parse(&pooled.name()), Ok(pooled));
+        }
+    }
+
+    #[test]
     fn malformed_par_modifiers_are_rejected() {
         for bad in [
             "grid@par0",
@@ -637,6 +705,11 @@ mod tests {
             "@tiles4",
             "grid@tiles4@tiles4",
             "grid@par4tiles4",
+            "grid@tilesauto@tiles2",
+            "grid@tilesauto4",
+            "grid@tiles4@par0",
+            "grid@tilesauto@par",
+            "grid@par4@tiles4",
         ] {
             let err = TechniqueSpec::parse(bad).unwrap_err();
             assert_eq!(err.spec, bad);
@@ -666,6 +739,22 @@ mod tests {
         let spec = TechniqueKind::RTreeStr.tiled(NonZeroUsize::new(4).unwrap());
         assert_eq!(spec.label(), "R-Tree (4 tiles)");
         assert_eq!(spec.name(), "rtree:str@tiles4");
+    }
+
+    #[test]
+    fn pooled_and_adaptive_labels_carry_both_counts() {
+        let spec = TechniqueKind::RTreeStr
+            .spec()
+            .with_exec(ExecMode::pooled(4, 2).unwrap());
+        assert_eq!(spec.label(), "R-Tree (4 tiles, 2 workers)");
+        let auto = TechniqueKind::RTreeStr
+            .spec()
+            .with_exec(ExecMode::adaptive());
+        assert_eq!(auto.label(), "R-Tree (auto tiles)");
+        let auto_pool = TechniqueKind::RTreeStr
+            .spec()
+            .with_exec(ExecMode::adaptive_pooled(2).unwrap());
+        assert_eq!(auto_pool.label(), "R-Tree (auto tiles, 2 workers)");
     }
 
     #[test]

@@ -270,7 +270,7 @@ impl SpatialIndex for CRTree {
             + self.leaf_id.capacity() * std::mem::size_of::<EntryId>()
     }
 
-    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+    fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync> {
         Box::new(CRTree::new(self.fanout))
     }
 }

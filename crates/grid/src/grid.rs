@@ -272,7 +272,7 @@ impl SpatialIndex for SimpleGrid {
         }
     }
 
-    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+    fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync> {
         // `cell_size` was derived as side / cps in `new`, so undo the
         // division to reconstruct; the display name (which `at_stage`
         // overrides) is carried over verbatim.

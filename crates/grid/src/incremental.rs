@@ -371,7 +371,7 @@ impl SpatialIndex for IncrementalGrid {
             + self.prev_live.capacity()
     }
 
-    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+    fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync> {
         // `cell_size` was derived as side / cps in `new`; undo the division
         // to reconstruct with the same directory and bucket geometry.
         Box::new(IncrementalGrid::new(

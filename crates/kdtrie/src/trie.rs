@@ -271,7 +271,7 @@ impl SpatialIndex for LinearKdTrie {
         self.codes.capacity() * 4 + self.ids.capacity() * std::mem::size_of::<EntryId>()
     }
 
-    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+    fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync> {
         Box::new(LinearKdTrie::new(self.space_side))
     }
 }

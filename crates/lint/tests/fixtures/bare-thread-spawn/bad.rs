@@ -17,3 +17,28 @@ pub fn join_tiles(tiles: Vec<u64>) -> u64 {
         .map(|h| h.join().unwrap_or(0))
         .fold(0, u64::wrapping_add)
 }
+
+// Detached "pool" workers are the same violation dressed up as a queue
+// drain: per-worker std::thread::spawn escapes the scope discipline the
+// mini-join scheduler gets from thread::scope.
+pub fn drain_pool(chunks: std::sync::Arc<Vec<u64>>, workers: usize) -> u64 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cursor = std::sync::Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let (chunks, cursor) = (chunks.clone(), cursor.clone());
+        handles.push(std::thread::spawn(move || {
+            let mut partial = 0u64;
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&c) = chunks.get(i) else { break };
+                partial = partial.wrapping_add(c ^ 0x9e37);
+            }
+            partial
+        }));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or(0))
+        .fold(0, u64::wrapping_add)
+}

@@ -19,3 +19,23 @@ pub fn join_tiles(tiles: &[u64]) -> u64 {
     });
     partials.into_iter().fold(0, u64::wrapping_add)
 }
+
+// The pooled mini-join shape is scoped too: a fixed pool of workers
+// races an atomic cursor over a shared chunk queue, partials merged with
+// the same commutative fold — the sj_base::par scheduler idiom.
+pub fn drain_pool(chunks: &[u64], workers: usize) -> u64 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cursor = AtomicUsize::new(0);
+    let mut partials = vec![0u64; workers];
+    std::thread::scope(|s| {
+        let cursor = &cursor;
+        for partial in partials.iter_mut() {
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&c) = chunks.get(i) else { break };
+                *partial = partial.wrapping_add(c ^ 0x9e37);
+            });
+        }
+    });
+    partials.into_iter().fold(0, u64::wrapping_add)
+}

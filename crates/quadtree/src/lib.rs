@@ -260,7 +260,7 @@ impl SpatialIndex for QuadTree {
             + self.leaf_id.capacity() * std::mem::size_of::<EntryId>()
     }
 
-    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+    fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync> {
         Box::new(QuadTree::new(self.space_side, self.bucket_size))
     }
 }

@@ -389,7 +389,7 @@ impl SpatialIndex for DynRTree {
                 .sum::<usize>()
     }
 
-    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+    fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync> {
         Box::new(DynRTree::new(self.max_entries))
     }
 }

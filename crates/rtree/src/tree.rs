@@ -248,7 +248,7 @@ impl SpatialIndex for RTree {
             + self.leaf_id.capacity() * std::mem::size_of::<EntryId>()
     }
 
-    fn fork(&self) -> Box<dyn SpatialIndex + Send> {
+    fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync> {
         Box::new(RTree::new(self.fanout))
     }
 }

@@ -174,6 +174,22 @@ fn tiled_golden_checksum_is_stable_across_prs() {
     assert_eq!(tiled.result_pairs, GOLDEN_PAIRS_SEED42);
 }
 
+#[test]
+fn pooled_golden_checksum_is_stable_across_prs() {
+    // The pooled scheduler (DESIGN.md §14) adds a third merge discipline:
+    // mini-join partials folded per worker, workers racing an atomic
+    // cursor over the queue. Which worker drains which chunk is the one
+    // genuinely nondeterministic thing in the repo — the commutative merge
+    // is why the numbers still may not move. Pin @tiles4@par2 and the
+    // adaptive tiling to the same absolute constants.
+    let pooled = run_once_with(42, ExecMode::pooled(4, 2).unwrap());
+    assert_eq!(pooled.checksum, GOLDEN_CHECKSUM_SEED42, "pooled golden");
+    assert_eq!(pooled.result_pairs, GOLDEN_PAIRS_SEED42);
+    let auto = run_once_with(42, ExecMode::adaptive_pooled(2).unwrap());
+    assert_eq!(auto.checksum, GOLDEN_CHECKSUM_SEED42, "adaptive golden");
+    assert_eq!(auto.result_pairs, GOLDEN_PAIRS_SEED42);
+}
+
 /// The join checksum/pair count of `run_once(42)`, any exec mode. If a
 /// change legitimately alters the workload or the fold, re-pin both and
 /// say why in the commit; an unexplained diff is a lost determinism

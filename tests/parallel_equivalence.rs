@@ -1,20 +1,25 @@
 //! The non-sequential execution modes' contract, proven registry-wide
-//! and **three ways**: for *every* technique in the registry — both join
+//! and **four ways**: for *every* technique in the registry — both join
 //! categories, every grid stage, the quadratic reference — every tested
-//! thread count `@par<N>` AND every tested tile count `@tiles<N>`, the
-//! run's `RunStats` are **bit-identical** to the sequential run on the
-//! same workload seed: pair count, checksum, query/update totals, and the
+//! thread count `@par<N>`, every tested tile count `@tiles<N>`, AND
+//! every tested pooled shape `@tiles<N>@par<T>` (the mini-join scheduler,
+//! DESIGN.md §14, including the adaptive `@tilesauto` tiling), the run's
+//! `RunStats` are **bit-identical** to the sequential run on the same
+//! workload seed: pair count, checksum, query/update totals, and the
 //! per-phase tick record. Before this harness existed, only the grid was
 //! ever exercised in parallel (through the old feature-gated facade); now
-//! a technique cannot enter the registry without both its parallel and
-//! its space-partitioned path being proven equivalent.
+//! a technique cannot enter the registry without its parallel, its
+//! space-partitioned, and its pooled path all being proven equivalent.
 //!
 //! Thread counts include 1 (the sharded code path with a single worker),
 //! non-powers-of-two (3, 7 — uneven chunk boundaries), and counts
 //! exceeding the querier count on small workloads (empty tail shards).
 //! Tile counts include 1 (a single tile owning the whole space), a prime
 //! (5 → 5×1 strip grid), and 16, which overshards small populations so
-//! many tiles hold nothing.
+//! many tiles hold nothing. Pool shapes include more workers than tiles
+//! (4×8 — workers idle once the queue drains), fewer (16×3 — every
+//! worker drains many tiles' mini-joins), and an oversharded pool on a
+//! tiny population (16 tiles × 8 workers over 6 points).
 //!
 //! One deliberate carve-out: `index_bytes` is compared for `@par<N>`
 //! (same single index) but **not** for `@tiles<N>` — the tiled footprint
@@ -27,6 +32,8 @@ use spatial_joins::prelude::*;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 7];
 const TILE_COUNTS: [usize; 4] = [1, 2, 5, 16];
+/// Pooled `(tiles, workers)` shapes: worker-starved, worker-rich, uneven.
+const POOL_SHAPES: [(usize, usize); 3] = [(4, 8), (5, 2), (16, 3)];
 
 fn params(seed: u64, num_points: u32) -> WorkloadParams {
     WorkloadParams {
@@ -67,9 +74,10 @@ fn assert_bit_identical(seq: &RunStats, par: &RunStats, ctx: &str) {
     assert_eq!(par.index_bytes, seq.index_bytes, "{ctx}: index footprint");
 }
 
-/// Run `spec` under sequential, every tested `@par<N>`, and every tested
-/// `@tiles<N>`, asserting the three-way equivalence.
-fn check_three_way<F: Fn(ExecMode) -> RunStats>(run: F, ctx: &str) -> RunStats {
+/// Run `spec` under sequential, every tested `@par<N>`, every tested
+/// `@tiles<N>`, and every tested `@tiles<N>@par<T>` pool shape (plus the
+/// adaptive tiling, pooled and not), asserting the four-way equivalence.
+fn check_four_way<F: Fn(ExecMode) -> RunStats>(run: F, ctx: &str) -> RunStats {
     let seq = run(ExecMode::Sequential);
     for threads in THREAD_COUNTS {
         let par = run(ExecMode::parallel(threads).unwrap());
@@ -79,13 +87,21 @@ fn check_three_way<F: Fn(ExecMode) -> RunStats>(run: F, ctx: &str) -> RunStats {
         let tiled = run(ExecMode::partitioned(tiles).unwrap());
         assert_join_identical(&seq, &tiled, &format!("{ctx} @tiles{tiles}"));
     }
+    for (tiles, workers) in POOL_SHAPES {
+        let pooled = run(ExecMode::pooled(tiles, workers).unwrap());
+        assert_join_identical(&seq, &pooled, &format!("{ctx} @tiles{tiles}@par{workers}"));
+    }
+    let auto = run(ExecMode::adaptive());
+    assert_join_identical(&seq, &auto, &format!("{ctx} @tilesauto"));
+    let auto_pooled = run(ExecMode::adaptive_pooled(2).unwrap());
+    assert_join_identical(&seq, &auto_pooled, &format!("{ctx} @tilesauto@par2"));
     seq
 }
 
 fn check_registry_equivalence(seed: u64, num_points: u32) {
     let p = params(seed, num_points);
     for spec in registry() {
-        check_three_way(|exec| run(spec, p, exec), &spec.name());
+        check_four_way(|exec| run(spec, p, exec), &spec.name());
     }
 }
 
@@ -120,6 +136,14 @@ proptest! {
                     &format!("{} @tiles{tiles} (tiny)", spec.name()),
                 );
             }
+            // An oversharded pool on 6 points: nearly every mini-join is
+            // empty and most workers never win the cursor race.
+            let pooled = run(spec, p, ExecMode::pooled(16, 8).unwrap());
+            assert_join_identical(
+                &seq,
+                &pooled,
+                &format!("{} @tiles16@par8 (tiny)", spec.name()),
+            );
         }
     }
 }
@@ -175,6 +199,23 @@ proptest! {
                         &format!("{} @tiles{tiles} on {}", spec.name(), wspec.name()),
                     );
                 }
+                // Pooled and adaptive under the same matrix — churn is
+                // again the hard case: the adaptive policy re-decides the
+                // tile count from the live population every tick, so the
+                // grid itself can change mid-run without moving a bit of
+                // the answer.
+                let pooled = run(ExecMode::pooled(5, 2).unwrap());
+                assert_join_identical(
+                    &seq,
+                    &pooled,
+                    &format!("{} @tiles5@par2 on {}", spec.name(), wspec.name()),
+                );
+                let auto = run(ExecMode::adaptive_pooled(2).unwrap());
+                assert_join_identical(
+                    &seq,
+                    &auto,
+                    &format!("{} @tilesauto@par2 on {}", spec.name(), wspec.name()),
+                );
                 match reference {
                     None => reference = Some((seq.result_pairs, seq.checksum)),
                     Some(expect) => assert_eq!(
@@ -246,6 +287,14 @@ proptest! {
                         &format!("{} @tiles{tiles} on {}", spec.name(), jspec.name()),
                     );
                 }
+                // Bipartite pooled runs: the query relation is chunked
+                // into mini-joins independently of the data relation.
+                let pooled = run(ExecMode::pooled(4, 2).unwrap());
+                assert_join_identical(
+                    &seq,
+                    &pooled,
+                    &format!("{} @tiles4@par2 on {}", spec.name(), jspec.name()),
+                );
                 // Scan-equality per shape, across all 15 techniques.
                 match reference {
                     None => reference = Some((seq.result_pairs, seq.checksum)),
@@ -299,6 +348,26 @@ fn spec_modifier_and_config_mode_agree() {
     assert_join_identical(&seq, &tiled_via_spec, "grid:inline@tiles3 via spec");
     // The two tiled routes share everything including the footprint.
     assert_eq!(tiled_via_cfg.index_bytes, tiled_via_spec.index_bytes);
+    // And the composed pooled modifier: @tiles4@par2 via spec vs config.
+    let pooled_via_cfg = run(
+        TechniqueSpec::parse("grid:inline").unwrap(),
+        p,
+        ExecMode::pooled(4, 2).unwrap(),
+    );
+    let pooled_via_spec = run(
+        TechniqueSpec::parse("grid:inline@tiles4@par2").unwrap(),
+        p,
+        ExecMode::Sequential,
+    );
+    assert_join_identical(&seq, &pooled_via_cfg, "grid:inline pooled via config");
+    assert_join_identical(&seq, &pooled_via_spec, "grid:inline@tiles4@par2 via spec");
+    assert_eq!(pooled_via_cfg.index_bytes, pooled_via_spec.index_bytes);
+    let auto_via_spec = run(
+        TechniqueSpec::parse("grid:inline@tilesauto").unwrap(),
+        p,
+        ExecMode::Sequential,
+    );
+    assert_join_identical(&seq, &auto_via_spec, "grid:inline@tilesauto via spec");
 }
 
 #[test]
@@ -332,4 +401,16 @@ fn batch_partitioning_is_equivalent_on_the_gaussian_workload() {
         let tiled = mk(ExecMode::partitioned(tiles).unwrap());
         assert_join_identical(&seq, &tiled, &format!("sweep @tiles{tiles} (gaussian)"));
     }
+    // The pooled scheduler is built for exactly this shape: hotspot tiles
+    // hold most of the queriers, and the pool re-balances them.
+    for (tiles, workers) in POOL_SHAPES {
+        let pooled = mk(ExecMode::pooled(tiles, workers).unwrap());
+        assert_join_identical(
+            &seq,
+            &pooled,
+            &format!("sweep @tiles{tiles}@par{workers} (gaussian)"),
+        );
+    }
+    let auto = mk(ExecMode::adaptive_pooled(3).unwrap());
+    assert_join_identical(&seq, &auto, "sweep @tilesauto@par3 (gaussian)");
 }

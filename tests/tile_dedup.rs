@@ -14,7 +14,9 @@
 use std::num::NonZeroUsize;
 
 use proptest::prelude::*;
-use spatial_joins::core::tile::{replicate_by_extent, TileGrid, TileReplica};
+use spatial_joins::core::driver::fold_pair;
+use spatial_joins::core::par::{tiled_index_build, tiled_index_query, TileIndexPool, Tiling};
+use spatial_joins::core::tile::{replicate_by_extent, TileGrid, TileReplica, MINI_JOIN_CHUNK};
 use spatial_joins::prelude::*;
 
 /// Side of the test space; a 2 × 2 grid puts the interior edges at 50,
@@ -186,6 +188,55 @@ fn a_row_that_dies_vanishes_from_every_replica_set() {
 }
 
 #[test]
+fn a_hotspot_tile_split_across_chunk_seams_loses_and_doubles_nothing() {
+    // The mini-join scheduler's coverage contract: a tile whose querier
+    // list outgrows MINI_JOIN_CHUNK is split into several chunks drained
+    // by different workers, and pairs must still come out exactly once —
+    // including pairs whose two queriers sit either side of a chunk seam
+    // and pairs that straddle the x = 50 tile edge (so the reference-point
+    // rule and the chunk decomposition are exercised together).
+    let mut t = PointTable::default();
+    // A dense block deep inside tile 0 of the 2 × 2 grid…
+    for i in 0..120u32 {
+        t.push(1.0 + (i % 40) as f32 * 1.1, 1.0 + (i / 40) as f32 * 1.1);
+    }
+    // …plus edge-hugging pairs either side of x = 50.
+    for i in 0..10u32 {
+        t.push(49.5, 2.0 + i as f32 * 4.0);
+        t.push(50.5, 2.0 + i as f32 * 4.0);
+    }
+    let query_side = 5.0;
+    // Precondition: tile 0's querier list (its 130 residents all query
+    // their own tile) spans at least three mini-joins.
+    assert!(
+        t.len() > 2 * MINI_JOIN_CHUNK,
+        "hotspot must straddle chunk seams"
+    );
+
+    let expect = sequential_pairs(&t, query_side);
+    let expect_checksum = expect
+        .iter()
+        .fold(0u64, |acc, &(a, b)| fold_pair(acc, a, b));
+    let queriers: Vec<EntryId> = t.iter().map(|(id, _)| id).collect();
+    let proto = SimpleGrid::tuned(SIDE);
+    for workers in [1usize, 2, 3] {
+        let mut pool = TileIndexPool::default();
+        tiled_index_build(
+            &proto,
+            &t,
+            &space(),
+            query_side,
+            Tiling::Fixed(NonZeroUsize::new(4).unwrap()),
+            NonZeroUsize::new(workers),
+            &mut pool,
+        );
+        let (pairs, checksum) = tiled_index_query(&mut pool, &t, &queriers, &space(), query_side);
+        assert_eq!(pairs, expect.len() as u64, "pool of {workers}");
+        assert_eq!(checksum, expect_checksum, "pool of {workers}");
+    }
+}
+
+#[test]
 fn tiled_churn_run_matches_sequential_through_the_driver() {
     // End to end: the same churn workload (rows die and arrive every
     // tick) joined sequentially and under @tiles4 / @tiles5 must be bit
@@ -214,6 +265,21 @@ fn tiled_churn_run_matches_sequential_through_the_driver() {
         assert_eq!(tiled.result_pairs, seq.result_pairs, "@tiles{tiles}");
         assert_eq!(tiled.removals, seq.removals, "@tiles{tiles}");
         assert_eq!(tiled.inserts, seq.inserts, "@tiles{tiles}");
+    }
+    // The same churn run through the pooled scheduler and the adaptive
+    // tiling, which re-decides the grid from the live population every
+    // tick while rows die and arrive.
+    let pooled_modes = [
+        ("@tiles4@par2", ExecMode::pooled(4, 2).unwrap()),
+        ("@tiles5@par3", ExecMode::pooled(5, 3).unwrap()),
+        ("@tilesauto@par2", ExecMode::adaptive_pooled(2).unwrap()),
+    ];
+    for (name, exec) in pooled_modes {
+        let pooled = run(exec);
+        assert_eq!(pooled.checksum, seq.checksum, "{name}");
+        assert_eq!(pooled.result_pairs, seq.result_pairs, "{name}");
+        assert_eq!(pooled.removals, seq.removals, "{name}");
+        assert_eq!(pooled.inserts, seq.inserts, "{name}");
     }
 }
 
