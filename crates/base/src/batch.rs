@@ -9,7 +9,7 @@
 //! so results are directly comparable with the per-query techniques.
 
 use crate::geom::Rect;
-use crate::table::{entry_id, EntryId, PointTable};
+use crate::table::{entry_id, EntryId, ExtentTable, PointTable};
 
 /// A set-at-a-time spatial join: all of a tick's range queries against
 /// the current base table in one call.
@@ -53,6 +53,32 @@ pub trait BatchJoin {
         self.join(data, queries, out);
     }
 
+    /// Whether this technique implements the **intersects** predicate
+    /// over extent entries (see
+    /// [`crate::index::SpatialIndex::supports_intersect`] — the same
+    /// predicate axis, batch category). Implementations returning `true`
+    /// must override [`BatchJoin::join_extents`].
+    fn supports_intersect(&self) -> bool {
+        false
+    }
+
+    /// The intersection-join entry point: append every `(querier, data
+    /// row)` pair whose rectangles intersect (closed semantics) to `out`,
+    /// in no particular order. `queries` carries `(querier id, query
+    /// rectangle)` — in the driver's rect self-join the rectangle *is*
+    /// the querier's own extent. Querier ids are opaque, exactly as in
+    /// [`BatchJoin::join`]. Only called when
+    /// [`BatchJoin::supports_intersect`] is `true`; the default panics so
+    /// a missing override cannot silently return empty joins.
+    fn join_extents(
+        &mut self,
+        _data: &ExtentTable,
+        _queries: &[(EntryId, Rect)],
+        _out: &mut Vec<(EntryId, EntryId)>,
+    ) {
+        panic!("{}: no intersects-predicate support", self.name());
+    }
+
     /// An independent instance of this technique for a parallel worker
     /// (see [`crate::par::shard_batch_join`]): same algorithm, private
     /// scratch state. Implementations are typically `Clone`, so this is
@@ -82,6 +108,33 @@ impl BatchJoin for NaiveBatchJoin {
         for &(q, region) in queries {
             for i in 0..xs.len() {
                 if live[i] && region.contains_point(xs[i], ys[i]) {
+                    out.push((q, entry_id(i)));
+                }
+            }
+        }
+    }
+
+    fn supports_intersect(&self) -> bool {
+        true
+    }
+
+    fn join_extents(
+        &mut self,
+        data: &ExtentTable,
+        queries: &[(EntryId, Rect)],
+        out: &mut Vec<(EntryId, EntryId)>,
+    ) {
+        let (x1s, y1s) = (data.x1s(), data.y1s());
+        let (x2s, y2s) = (data.x2s(), data.y2s());
+        let live = data.live_mask();
+        for &(q, region) in queries {
+            for i in 0..x1s.len() {
+                if live[i]
+                    && region.x1 <= x2s[i]
+                    && x1s[i] <= region.x2
+                    && region.y1 <= y2s[i]
+                    && y1s[i] <= region.y2
+                {
                     out.push((q, entry_id(i)));
                 }
             }
@@ -158,6 +211,36 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extent_join_finds_overlaps_including_touching_edges() {
+        let mut t = ExtentTable::default();
+        t.push(Rect::new(0.0, 0.0, 2.0, 2.0));
+        t.push(Rect::new(4.0, 4.0, 6.0, 6.0));
+        t.push(Rect::new(10.0, 10.0, 12.0, 12.0));
+        let queries = vec![
+            // Touches rect 0 at the corner (2,2) and overlaps rect 1.
+            (7u32, Rect::new(2.0, 2.0, 5.0, 5.0)),
+            (8u32, Rect::new(11.0, 11.0, 20.0, 20.0)),
+        ];
+        let mut out = Vec::new();
+        assert!(NaiveBatchJoin.supports_intersect());
+        NaiveBatchJoin.join_extents(&t, &queries, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![(7, 0), (7, 1), (8, 2)]);
+    }
+
+    #[test]
+    fn extent_join_excludes_dead_rows() {
+        let mut t = ExtentTable::default();
+        t.push(Rect::new(0.0, 0.0, 2.0, 2.0));
+        t.push(Rect::new(1.0, 1.0, 3.0, 3.0));
+        t.remove(0);
+        let queries = vec![(5u32, Rect::new(0.0, 0.0, 10.0, 10.0))];
+        let mut out = Vec::new();
+        NaiveBatchJoin.join_extents(&t, &queries, &mut out);
+        assert_eq!(out, vec![(5, 1)]);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use crate::index::SpatialIndex;
 use crate::par::{self, ExecMode};
 use crate::rng::mix64;
 use crate::stats::Summary;
-use crate::table::{EntryId, MovingSet, PointTable};
+use crate::table::{EntryId, ExtentTable, MovingExtentSet, MovingSet, PointTable};
 
 /// What a workload wants to happen in one tick: who queries, which objects
 /// receive which new velocities, and — for workloads with population churn
@@ -114,6 +114,75 @@ pub trait Workload {
     /// The default is linear motion bouncing off the space boundary; the
     /// Gaussian workload overrides it with hotspot-attracted motion.
     fn advance(&mut self, set: &mut MovingSet) {
+        let space = self.space();
+        set.advance_bouncing(&space);
+    }
+}
+
+/// What an extent workload wants to happen in one tick — the `intersects`
+/// counterpart of [`TickActions`]. Same canonical update-phase order, same
+/// tombstone semantics; arrivals carry a full rectangle instead of a
+/// position.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExtentTickActions {
+    pub queriers: Vec<EntryId>,
+    /// `(object, new_vx, new_vy)` — applied at the end of the tick.
+    pub velocity_updates: Vec<(EntryId, f32, f32)>,
+    /// Objects leaving this tick, applied as tombstones
+    /// ([`MovingExtentSet::remove`]): handles never shift.
+    pub removals: Vec<EntryId>,
+    /// `(rectangle, velocity)` of objects entering this tick, appended
+    /// after movement so an arrival first becomes visible — at exactly its
+    /// spawn extent — to the next tick's build/query phases.
+    pub inserts: Vec<(Rect, Vec2)>,
+}
+
+impl ExtentTickActions {
+    pub fn clear(&mut self) {
+        self.queriers.clear();
+        self.velocity_updates.clear();
+        self.removals.clear();
+        self.inserts.clear();
+    }
+
+    /// Apply this plan to `set` in the driver's canonical update-phase
+    /// order — velocity updates, departures, one step of movement via
+    /// `workload`'s model, then arrivals — mirroring [`TickActions::apply`]
+    /// (the order is load-bearing for replayed checksums).
+    pub fn apply<W: ExtentWorkload + ?Sized>(&self, set: &mut MovingExtentSet, workload: &mut W) {
+        for &(id, vx, vy) in &self.velocity_updates {
+            set.set_velocity(id, Vec2::new(vx, vy));
+        }
+        for &id in &self.removals {
+            set.remove(id);
+        }
+        workload.advance(set);
+        for &(r, v) in &self.inserts {
+            set.push(r, v);
+        }
+    }
+}
+
+/// A moving-rectangle workload — the `intersects` counterpart of
+/// [`Workload`]. There is no `query_side`: in the intersection self-join a
+/// querier's query region *is* its own rectangle, so the geometry travels
+/// with the data.
+pub trait ExtentWorkload {
+    /// The data space every rectangle stays inside.
+    fn space(&self) -> Rect;
+
+    /// Create the initial object population.
+    fn init(&mut self) -> MovingExtentSet;
+
+    /// Decide this tick's queriers, velocity updates, and churn. Must not
+    /// mutate `set` (the driver applies the plan in the timed update
+    /// phase); planned queriers must be live rows.
+    fn plan_tick(&mut self, tick: u32, set: &MovingExtentSet, actions: &mut ExtentTickActions);
+
+    /// Advance all objects one tick of movement (after updates applied).
+    /// The default is linear motion with the rectangle bouncing off the
+    /// space boundary, size preserved.
+    fn advance(&mut self, set: &mut MovingExtentSet) {
         let space = self.space();
         set.advance_bouncing(&space);
     }
@@ -700,6 +769,315 @@ pub fn run_bipartite_batch_join<J: crate::batch::BatchJoin + ?Sized>(
     )
 }
 
+/// The per-category hooks of the intersection-join tick loop
+/// ([`drive_extents`]) — the `intersects` counterpart of [`TickExecutor`],
+/// with the same two implementations (per-query index, set-at-a-time
+/// batch). The query geometry travels with the data (a querier's region is
+/// its own rectangle), so the context is just the table and the queriers.
+trait ExtentTickExecutor {
+    /// Timed build phase over the previous tick's extents.
+    fn build(&mut self, table: &ExtentTable, space: &Rect, exec: ExecMode);
+
+    /// Untimed pre-query bookkeeping (the batch executor materializes the
+    /// tick's query set here, exactly like the point loop).
+    fn prepare(&mut self, table: &ExtentTable, queriers: &[EntryId]);
+
+    /// Timed query phase: every querier's rectangle against the table,
+    /// folded via [`fold_pair`].
+    fn query(
+        &mut self,
+        table: &ExtentTable,
+        queriers: &[EntryId],
+        space: &Rect,
+        exec: ExecMode,
+        pairs: &mut u64,
+        checksum: &mut u64,
+    );
+
+    /// Index memory after the final build (0 for batch techniques).
+    fn index_bytes(&self) -> usize;
+
+    /// Accumulated scheduler load metrics (`None` unless partitioned).
+    fn tile_load(&self) -> Option<TileLoad>;
+}
+
+/// The intersection join's tick loop — [`drive`]'s shape (plan → timed
+/// build → timed query → timed update, warmup accounting identical) over
+/// an extent relation joining with itself. No bipartite form: the paper's
+/// setting and the two-layer literature both evaluate the self-join, and
+/// the point loop already covers the R ⋈ S machinery.
+fn drive_extents<W: ExtentWorkload + ?Sized, E: ExtentTickExecutor>(
+    workload: &mut W,
+    exec: &mut E,
+    cfg: DriverConfig,
+) -> RunStats {
+    let mut set = workload.init();
+    let space = workload.space();
+
+    let mut stats = RunStats::default();
+    let mut actions = ExtentTickActions::default();
+
+    let total_ticks = cfg.warmup + cfg.ticks;
+    for tick in 0..total_ticks {
+        let measured = tick >= cfg.warmup;
+        actions.clear();
+        workload.plan_tick(tick, &set, &mut actions);
+
+        // Phase 1: build over the previous tick's extents.
+        let t0 = Instant::now();
+        exec.build(&set.extents, &space, cfg.exec);
+        let build = t0.elapsed();
+
+        exec.prepare(&set.extents, &actions.queriers);
+
+        // Phase 2: queries, folded straight into the running checksum.
+        let t0 = Instant::now();
+        let mut pairs = 0u64;
+        let mut checksum = stats.checksum;
+        exec.query(
+            &set.extents,
+            &actions.queriers,
+            &space,
+            cfg.exec,
+            &mut pairs,
+            &mut checksum,
+        );
+        let query = t0.elapsed();
+        let queries = actions.queriers.len() as u64;
+
+        // Phase 3: updates in the canonical order (see
+        // [`ExtentTickActions::apply`]), all timed.
+        let t0 = Instant::now();
+        actions.apply(&mut set, workload);
+        let update = t0.elapsed();
+
+        if measured {
+            stats.ticks.push(TickTimes {
+                build,
+                query,
+                update,
+            });
+            stats.result_pairs += pairs;
+            stats.checksum = checksum;
+            stats.queries += queries;
+            stats.updates += actions.velocity_updates.len() as u64;
+            stats.removals += actions.removals.len() as u64;
+            stats.inserts += actions.inserts.len() as u64;
+        }
+    }
+    stats.index_bytes = exec.index_bytes();
+    stats.tile_load = exec.tile_load();
+    stats
+}
+
+/// Executor for the intersection join's per-query category. Mirrors
+/// [`IndexExecutor`]: sequential probes, sharded probes, or per-tile forks
+/// over extent replicas, all folding through [`fold_pair`].
+struct ExtentIndexExecutor<'a, I: SpatialIndex + Sync + ?Sized> {
+    index: &'a mut I,
+    tiles: par::TileExtentIndexPool,
+}
+
+impl<'a, I: SpatialIndex + Sync + ?Sized> ExtentIndexExecutor<'a, I> {
+    fn new(index: &'a mut I) -> Self {
+        assert!(
+            index.supports_intersect(),
+            "{}: no intersects-predicate support",
+            index.name()
+        );
+        ExtentIndexExecutor {
+            index,
+            tiles: par::TileExtentIndexPool::default(),
+        }
+    }
+}
+
+impl<I: SpatialIndex + Sync + ?Sized> ExtentTickExecutor for ExtentIndexExecutor<'_, I> {
+    fn build(&mut self, table: &ExtentTable, space: &Rect, exec: ExecMode) {
+        match exec {
+            ExecMode::Partitioned { tiles, workers } => {
+                par::tiled_extent_index_build(
+                    &*self.index,
+                    table,
+                    space,
+                    tiles,
+                    workers,
+                    &mut self.tiles,
+                );
+            }
+            _ => self.index.build_extents(table),
+        }
+    }
+
+    fn prepare(&mut self, _table: &ExtentTable, _queriers: &[EntryId]) {}
+
+    fn query(
+        &mut self,
+        table: &ExtentTable,
+        queriers: &[EntryId],
+        _space: &Rect,
+        exec: ExecMode,
+        pairs: &mut u64,
+        checksum: &mut u64,
+    ) {
+        match exec {
+            ExecMode::Sequential => {
+                for &q in queriers {
+                    let region = table.rect(q);
+                    self.index.for_each_intersecting(table, &region, &mut |r| {
+                        *pairs += 1;
+                        *checksum = fold_pair(*checksum, q, r);
+                    });
+                }
+            }
+            ExecMode::Parallel { threads } => {
+                let (p, c) = par::shard_extent_index_query(&*self.index, table, queriers, threads);
+                *pairs += p;
+                *checksum = checksum.wrapping_add(c);
+            }
+            ExecMode::Partitioned { .. } => {
+                let (p, c) = par::tiled_extent_index_query(&mut self.tiles, table, queriers);
+                *pairs += p;
+                *checksum = checksum.wrapping_add(c);
+            }
+        }
+    }
+
+    fn index_bytes(&self) -> usize {
+        match self.tiles.index_bytes() {
+            Some(bytes) => bytes,
+            None => self.index.memory_bytes(),
+        }
+    }
+
+    fn tile_load(&self) -> Option<TileLoad> {
+        self.tiles.tile_load()
+    }
+}
+
+/// Executor for the intersection join's set-at-a-time category. Mirrors
+/// [`BatchExecutor`]: the tick's query set — one `(querier, rect)` per
+/// planned querier — is assembled untimed and handed to
+/// [`crate::batch::BatchJoin::join_extents`] in one call (or sharded /
+/// tiled through [`crate::par`]).
+struct ExtentBatchExecutor<'a, J: crate::batch::BatchJoin + ?Sized> {
+    join: &'a mut J,
+    queries: Vec<(EntryId, Rect)>,
+    pairs_buf: Vec<(EntryId, EntryId)>,
+    workers: Vec<par::BatchWorker>,
+    tiles: par::TileExtentBatchPool,
+}
+
+impl<J: crate::batch::BatchJoin + ?Sized> ExtentBatchExecutor<'_, J> {
+    fn new(join: &mut J) -> ExtentBatchExecutor<'_, J> {
+        assert!(
+            join.supports_intersect(),
+            "{}: no intersects-predicate support",
+            join.name()
+        );
+        ExtentBatchExecutor {
+            join,
+            queries: Vec::new(),
+            pairs_buf: Vec::new(),
+            workers: Vec::new(),
+            tiles: par::TileExtentBatchPool::default(),
+        }
+    }
+}
+
+impl<J: crate::batch::BatchJoin + ?Sized> ExtentTickExecutor for ExtentBatchExecutor<'_, J> {
+    fn build(&mut self, _table: &ExtentTable, _space: &Rect, _exec: ExecMode) {}
+
+    fn prepare(&mut self, table: &ExtentTable, queriers: &[EntryId]) {
+        self.queries.clear();
+        for &q in queriers {
+            self.queries.push((q, table.rect(q)));
+        }
+    }
+
+    fn query(
+        &mut self,
+        table: &ExtentTable,
+        _queriers: &[EntryId],
+        space: &Rect,
+        exec: ExecMode,
+        pairs: &mut u64,
+        checksum: &mut u64,
+    ) {
+        match exec {
+            ExecMode::Sequential => {
+                self.pairs_buf.clear();
+                self.join
+                    .join_extents(table, &self.queries, &mut self.pairs_buf);
+                *pairs += self.pairs_buf.len() as u64;
+                for &(q, r) in &self.pairs_buf {
+                    *checksum = fold_pair(*checksum, q, r);
+                }
+            }
+            ExecMode::Parallel { threads } => {
+                let (p, c) = par::shard_extent_batch_join(
+                    &*self.join,
+                    table,
+                    &self.queries,
+                    threads,
+                    &mut self.workers,
+                );
+                *pairs += p;
+                *checksum = checksum.wrapping_add(c);
+            }
+            ExecMode::Partitioned { tiles, workers } => {
+                let (p, c) = par::tiled_extent_batch_join(
+                    &*self.join,
+                    table,
+                    &self.queries,
+                    space,
+                    tiles,
+                    workers,
+                    &mut self.tiles,
+                );
+                *pairs += p;
+                *checksum = checksum.wrapping_add(c);
+            }
+        }
+    }
+
+    fn index_bytes(&self) -> usize {
+        0
+    }
+
+    fn tile_load(&self) -> Option<TileLoad> {
+        self.tiles.tile_load()
+    }
+}
+
+/// Drive `index` through an intersection self-join over `workload`'s
+/// moving rectangles: each tick rebuilds the index over the previous
+/// tick's extents ([`SpatialIndex::build_extents`]) and every planned
+/// querier reports the rows intersecting its own rectangle
+/// ([`SpatialIndex::for_each_intersecting`], closed semantics — a querier
+/// always finds itself). Panics up front if the index does not implement
+/// the predicate ([`SpatialIndex::supports_intersect`]). All [`ExecMode`]s
+/// are bit-identical, exactly as in [`run_join`].
+pub fn run_intersect_join<W: ExtentWorkload + ?Sized, I: SpatialIndex + Sync + ?Sized>(
+    workload: &mut W,
+    index: &mut I,
+    cfg: DriverConfig,
+) -> RunStats {
+    drive_extents(workload, &mut ExtentIndexExecutor::new(index), cfg)
+}
+
+/// Drive a set-at-a-time technique through the intersection self-join of
+/// [`run_intersect_join`]: the tick's whole query set goes to
+/// [`crate::batch::BatchJoin::join_extents`] in one call. Panics up front
+/// if the technique does not implement the predicate.
+pub fn run_intersect_batch_join<W: ExtentWorkload + ?Sized, J: crate::batch::BatchJoin + ?Sized>(
+    workload: &mut W,
+    join: &mut J,
+    cfg: DriverConfig,
+) -> RunStats {
+    drive_extents(workload, &mut ExtentBatchExecutor::new(join), cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1107,6 +1485,166 @@ mod tests {
         let summary = stats.tick_summary();
         assert_eq!(summary.n, 0);
         assert_eq!(summary.mean, 0.0);
+    }
+
+    /// A deterministic toy extent workload: n fixed rectangles on a
+    /// diagonal, everybody queries every tick, nobody updates.
+    struct ToyExtents {
+        n: u32,
+    }
+
+    impl ExtentWorkload for ToyExtents {
+        fn space(&self) -> Rect {
+            Rect::space(1000.0)
+        }
+        fn init(&mut self) -> MovingExtentSet {
+            let mut set = MovingExtentSet::default();
+            for i in 0..self.n {
+                let t = (i as f32 * 37.0) % 900.0;
+                let u = (t * 7.0) % 900.0;
+                set.push(Rect::new(t, u, t + 60.0, u + 60.0), Vec2::new(1.0, -1.0));
+            }
+            set
+        }
+        fn plan_tick(
+            &mut self,
+            _tick: u32,
+            set: &MovingExtentSet,
+            actions: &mut ExtentTickActions,
+        ) {
+            actions
+                .queriers
+                .extend((0..set.extents.len() as EntryId).filter(|&q| set.is_live(q)));
+        }
+    }
+
+    #[test]
+    fn intersect_join_finds_self_pairs_and_is_deterministic() {
+        let run = || {
+            let mut w = ToyExtents { n: 40 };
+            run_intersect_join(&mut w, &mut ScanIndex::new(), DriverConfig::new(4, 1))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.ticks.len(), 4);
+        assert_eq!(a.queries, 4 * 40);
+        // A rect always intersects itself: at least one pair per query.
+        assert!(a.result_pairs >= a.queries, "pairs = {}", a.result_pairs);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.result_pairs, b.result_pairs);
+    }
+
+    #[test]
+    fn intersect_batch_driver_matches_per_query_driver() {
+        let cfg = DriverConfig::new(4, 1);
+        let per_query = {
+            let mut w = ToyExtents { n: 40 };
+            run_intersect_join(&mut w, &mut ScanIndex::new(), cfg)
+        };
+        let batch = {
+            let mut w = ToyExtents { n: 40 };
+            run_intersect_batch_join(&mut w, &mut crate::batch::NaiveBatchJoin, cfg)
+        };
+        assert_eq!(batch.result_pairs, per_query.result_pairs);
+        assert_eq!(batch.checksum, per_query.checksum);
+        assert_eq!(batch.queries, per_query.queries);
+    }
+
+    #[test]
+    fn intersect_parallel_exec_matches_sequential_for_both_categories() {
+        let cfg = DriverConfig::new(3, 1);
+        let seq_index = {
+            let mut w = ToyExtents { n: 60 };
+            run_intersect_join(&mut w, &mut ScanIndex::new(), cfg)
+        };
+        let seq_batch = {
+            let mut w = ToyExtents { n: 60 };
+            run_intersect_batch_join(&mut w, &mut crate::batch::NaiveBatchJoin, cfg)
+        };
+        assert_eq!(seq_batch.checksum, seq_index.checksum);
+        for n in [1usize, 2, 5] {
+            for mode in [
+                ExecMode::parallel(n).unwrap(),
+                ExecMode::partitioned(n).unwrap(),
+                ExecMode::pooled(4 * n, n).unwrap(),
+            ] {
+                let par_cfg = cfg.with_exec(mode);
+                let par_index = {
+                    let mut w = ToyExtents { n: 60 };
+                    run_intersect_join(&mut w, &mut ScanIndex::new(), par_cfg)
+                };
+                let par_batch = {
+                    let mut w = ToyExtents { n: 60 };
+                    run_intersect_batch_join(&mut w, &mut crate::batch::NaiveBatchJoin, par_cfg)
+                };
+                for (seq, par) in [(&seq_index, &par_index), (&seq_batch, &par_batch)] {
+                    assert_eq!(par.result_pairs, seq.result_pairs, "mode = {mode}");
+                    assert_eq!(par.checksum, seq.checksum, "mode = {mode}");
+                    assert_eq!(par.queries, seq.queries, "mode = {mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extent_churn_is_applied_end_of_tick_and_counted() {
+        // Tick 0: object 1 departs and one arrives overlapping object 0.
+        // Previous-tick semantics: both invisible to tick 0's queries.
+        struct ChurnExtents;
+        impl ExtentWorkload for ChurnExtents {
+            fn space(&self) -> Rect {
+                Rect::space(100.0)
+            }
+            fn init(&mut self) -> MovingExtentSet {
+                let mut s = MovingExtentSet::default();
+                s.push(Rect::new(40.0, 40.0, 50.0, 50.0), Vec2::default());
+                s.push(Rect::new(45.0, 45.0, 55.0, 55.0), Vec2::default());
+                s
+            }
+            fn plan_tick(&mut self, tick: u32, set: &MovingExtentSet, a: &mut ExtentTickActions) {
+                a.queriers
+                    .extend((0..set.extents.len() as EntryId).filter(|&q| set.is_live(q)));
+                if tick == 0 {
+                    a.removals.push(1);
+                    a.inserts
+                        .push((Rect::new(48.0, 40.0, 58.0, 50.0), Vec2::default()));
+                }
+            }
+        }
+        let stats = run_intersect_join(
+            &mut ChurnExtents,
+            &mut ScanIndex::new(),
+            DriverConfig::new(2, 0),
+        );
+        // Tick 0: queriers {0, 1}, both pairs both ways + self-pairs = 4.
+        // Tick 1: queriers {0, 2} (slot 2 is the arrival; handles never
+        // shift); rect 2 overlaps rect 0 → again 4 pairs.
+        assert_eq!(stats.result_pairs, 8);
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.removals, 1);
+        assert_eq!(stats.inserts, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no intersects-predicate support")]
+    fn intersect_join_refuses_point_only_indexes() {
+        // A point-only index must be rejected before the first tick, not
+        // silently produce empty joins.
+        struct PointOnly;
+        impl SpatialIndex for PointOnly {
+            fn name(&self) -> &str {
+                "point-only"
+            }
+            fn build(&mut self, _: &PointTable) {}
+            fn for_each_in(&self, _: &PointTable, _: &Rect, _: &mut dyn FnMut(EntryId)) {}
+            fn memory_bytes(&self) -> usize {
+                0
+            }
+            fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync> {
+                Box::new(PointOnly)
+            }
+        }
+        let mut w = ToyExtents { n: 4 };
+        let _ = run_intersect_join(&mut w, &mut PointOnly, DriverConfig::new(1, 0));
     }
 
     #[test]

@@ -87,6 +87,23 @@ impl Rect {
         Rect { x1, y1, x2, y2 }
     }
 
+    /// Fallible constructor for rectangles built from **untrusted input**
+    /// (CLI arguments, trace files, parsed text): `None` unless
+    /// `x1 <= x2 && y1 <= y2`, which also rejects any NaN coordinate
+    /// (NaN fails every comparison). [`Rect::new`] only checks the
+    /// invariant in debug builds — fine for the workload generators,
+    /// which construct well-formed regions by arithmetic, but a release
+    /// binary fed a malformed rect from outside must refuse it here
+    /// rather than silently produce an empty-range region.
+    #[inline]
+    pub fn try_new(x1: f32, y1: f32, x2: f32, y2: f32) -> Option<Self> {
+        if x1 <= x2 && y1 <= y2 {
+            Some(Rect { x1, y1, x2, y2 })
+        } else {
+            None
+        }
+    }
+
     /// The square query region of side `side` centred at `c` — how the
     /// workload turns a querier's position into its range query.
     #[inline]
@@ -181,6 +198,25 @@ impl Rect {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_new_accepts_exactly_the_well_formed_rects() {
+        assert_eq!(
+            Rect::try_new(0.0, 1.0, 2.0, 3.0),
+            Some(Rect::new(0.0, 1.0, 2.0, 3.0))
+        );
+        // Degenerate (zero-area) rects are well-formed.
+        assert_eq!(
+            Rect::try_new(5.0, 5.0, 5.0, 5.0),
+            Some(Rect::at_point(5.0, 5.0))
+        );
+        assert_eq!(Rect::try_new(2.0, 0.0, 1.0, 3.0), None, "x inverted");
+        assert_eq!(Rect::try_new(0.0, 3.0, 1.0, 2.0), None, "y inverted");
+        assert_eq!(Rect::try_new(f32::NAN, 0.0, 1.0, 1.0), None);
+        assert_eq!(Rect::try_new(0.0, 0.0, f32::NAN, 1.0), None);
+        assert_eq!(Rect::try_new(0.0, f32::NAN, 1.0, 1.0), None);
+        assert_eq!(Rect::try_new(0.0, 0.0, 1.0, f32::NAN), None);
+    }
 
     #[test]
     fn centered_square_has_requested_side() {

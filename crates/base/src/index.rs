@@ -1,7 +1,7 @@
 //! The spatial-index abstraction shared by every join technique.
 
 use crate::geom::Rect;
-use crate::table::{entry_id, EntryId, PointTable};
+use crate::table::{entry_id, EntryId, ExtentTable, PointTable};
 
 /// A static secondary index over a [`PointTable`], in the paper's *static
 /// index nested loop join* category: the index is rebuilt from the base
@@ -62,6 +62,40 @@ pub trait SpatialIndex {
     /// available as `SimpleGrid::live_bytes`.
     fn memory_bytes(&self) -> usize;
 
+    /// Whether this index implements the **intersects** predicate over
+    /// extent entries — the second axis of the join predicate
+    /// (`within-range` over points | `intersects` over rectangles). The
+    /// default is `false`: point-only techniques need no change, and the
+    /// driver refuses to route an intersection join through them. An
+    /// implementation returning `true` must override both
+    /// [`SpatialIndex::build_extents`] and
+    /// [`SpatialIndex::for_each_intersecting`].
+    fn supports_intersect(&self) -> bool {
+        false
+    }
+
+    /// Rebuild the index from an extent base table — the `intersects`
+    /// counterpart of [`SpatialIndex::build`]. Only called when
+    /// [`SpatialIndex::supports_intersect`] is `true`; the default
+    /// panics so a missing override cannot silently return empty joins.
+    fn build_extents(&mut self, _table: &ExtentTable) {
+        panic!("{}: no intersects-predicate support", self.name());
+    }
+
+    /// Intersection query: call `emit` with the handle of every live row
+    /// whose rectangle intersects `region` (closed semantics — touching
+    /// edges do intersect), in no particular order. `table` is the table
+    /// passed to the most recent [`SpatialIndex::build_extents`]. Only
+    /// called when [`SpatialIndex::supports_intersect`] is `true`.
+    fn for_each_intersecting(
+        &self,
+        _table: &ExtentTable,
+        _region: &Rect,
+        _emit: &mut dyn FnMut(EntryId),
+    ) {
+        panic!("{}: no intersects-predicate support", self.name());
+    }
+
     /// An independent instance of this technique for a space-partitioned
     /// tile worker (see `crate::par::tiled_index_build`): same
     /// configuration and tuning parameters, fresh private state, nothing
@@ -108,6 +142,47 @@ impl SpatialIndex for ScanIndex {
             let live = table.live_mask();
             for i in 0..xs.len() {
                 if live[i] && region.contains_point(xs[i], ys[i]) {
+                    emit(entry_id(i));
+                }
+            }
+        }
+    }
+
+    fn supports_intersect(&self) -> bool {
+        true
+    }
+
+    fn build_extents(&mut self, _table: &ExtentTable) {}
+
+    fn for_each_intersecting(
+        &self,
+        table: &ExtentTable,
+        region: &Rect,
+        emit: &mut dyn FnMut(EntryId),
+    ) {
+        if table.all_live() {
+            // Churn-free tables go through the SIMD overlap kernel — the
+            // extent counterpart of the point scan's column filter.
+            crate::simd::filter_overlap_each(
+                table.x1s(),
+                table.y1s(),
+                table.x2s(),
+                table.y2s(),
+                region,
+                0,
+                emit,
+            );
+        } else {
+            let (x1s, y1s) = (table.x1s(), table.y1s());
+            let (x2s, y2s) = (table.x2s(), table.y2s());
+            let live = table.live_mask();
+            for i in 0..x1s.len() {
+                if live[i]
+                    && region.x1 <= x2s[i]
+                    && x1s[i] <= region.x2
+                    && region.y1 <= y2s[i]
+                    && y1s[i] <= region.y2
+                {
                     emit(entry_id(i));
                 }
             }
@@ -173,6 +248,48 @@ mod tests {
         let mut out = Vec::new();
         idx.query(&t, &Rect::new(0.0, 0.0, 20.0, 20.0), &mut out);
         assert_eq!(out, vec![0, 2, 3]);
+    }
+
+    fn sample_extents() -> ExtentTable {
+        let mut t = ExtentTable::default();
+        for (x1, y1, x2, y2) in [
+            (0.0, 0.0, 2.0, 2.0),
+            (4.0, 4.0, 6.0, 6.0),
+            (10.0, 10.0, 12.0, 12.0),
+            (5.0, 20.0, 7.0, 22.0),
+        ] {
+            t.push(Rect::new(x1, y1, x2, y2));
+        }
+        t
+    }
+
+    #[test]
+    fn scan_intersects_finds_exactly_the_overlapping_rects() {
+        let t = sample_extents();
+        let idx = ScanIndex::new();
+        let mut out = Vec::new();
+        idx.for_each_intersecting(&t, &Rect::new(5.0, 5.0, 11.0, 11.0), &mut |e| out.push(e));
+        assert_eq!(out, vec![1, 2]);
+        // Touching edges intersect: the query corner meets rect 0's corner.
+        out.clear();
+        idx.for_each_intersecting(&t, &Rect::new(2.0, 2.0, 3.0, 3.0), &mut |e| out.push(e));
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn scan_intersects_skips_dead_rows() {
+        let mut t = sample_extents();
+        t.remove(1);
+        let idx = ScanIndex::new();
+        let mut out = Vec::new();
+        idx.for_each_intersecting(&t, &Rect::new(0.0, 0.0, 30.0, 30.0), &mut |e| out.push(e));
+        assert_eq!(out, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn scan_advertises_intersect_support() {
+        assert!(ScanIndex::new().supports_intersect());
+        assert!(ScanIndex::new().fork().supports_intersect());
     }
 
     #[test]

@@ -39,10 +39,11 @@ pub mod trace;
 
 pub use batch::{BatchJoin, NaiveBatchJoin};
 pub use driver::{
-    run_batch_join, run_join, DriverConfig, RunStats, TickActions, TickTimes, Workload,
+    run_batch_join, run_intersect_batch_join, run_intersect_join, run_join, DriverConfig,
+    ExtentTickActions, ExtentWorkload, RunStats, TickActions, TickTimes, Workload,
 };
 pub use geom::{Point, Rect, Vec2};
 pub use index::{ScanIndex, SpatialIndex};
 pub use par::ExecMode;
-pub use table::{EntryId, MovingSet, PointTable};
+pub use table::{EntryId, ExtentTable, MovingExtentSet, MovingSet, PointTable, Table};
 pub use tile::TileGrid;

@@ -69,9 +69,10 @@ use crate::batch::BatchJoin;
 use crate::driver::{fold_pair, TileLoad};
 use crate::geom::Rect;
 use crate::index::SpatialIndex;
-use crate::table::{EntryId, PointTable};
+use crate::table::{entry_id, EntryId, ExtentTable, PointTable};
 use crate::tile::{
-    chunk_mini_joins, replicate_by_extent, MiniJoin, TileGrid, TileReplica, MINI_JOIN_CHUNK,
+    chunk_mini_joins, replicate_by_extent, replicate_extents, ExtentReplica, MiniJoin, TileGrid,
+    TileReplica, MINI_JOIN_CHUNK,
 };
 
 /// The tile-count policy of [`ExecMode::Partitioned`]: a fixed grid, or a
@@ -95,6 +96,17 @@ impl Tiling {
         match self {
             Tiling::Fixed(n) => n,
             Tiling::Auto => crate::tile::auto_tile_count(table, space, query_side),
+        }
+    }
+
+    /// The tile count for an extent relation: the fixed count, or the
+    /// population-derived one ([`crate::tile::auto_tile_count_extents`] —
+    /// extents need no `query_side`, their rectangles are the query
+    /// regions).
+    pub fn resolve_extents(self, table: &ExtentTable) -> NonZeroUsize {
+        match self {
+            Tiling::Fixed(n) => n,
+            Tiling::Auto => crate::tile::auto_tile_count_extents(table),
         }
     }
 }
@@ -796,6 +808,406 @@ pub fn tiled_batch_join<J: BatchJoin + ?Sized>(
     merge(shards.into_iter().map(|(p, c, _)| (p, c)).collect())
 }
 
+/// The intersection join's sharded per-query phase — the `intersects`
+/// counterpart of [`shard_index_query`]. The tick's querier list is split
+/// into contiguous chunks; each worker probes the shared index for the
+/// rectangles intersecting each querier's **own extent** (the rect
+/// self-join's query region, no clipping needed: the workload keeps every
+/// rect inside the space). Same `(pairs, checksum)` delta semantics.
+pub fn shard_extent_index_query<I: SpatialIndex + Sync + ?Sized>(
+    index: &I,
+    table: &ExtentTable,
+    queriers: &[EntryId],
+    threads: NonZeroUsize,
+) -> (u64, u64) {
+    let chunk = chunk_size(queriers.len(), threads);
+    let shards: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queriers
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut pairs = 0u64;
+                    let mut checksum = 0u64;
+                    for &q in shard {
+                        let region = table.rect(q);
+                        index.for_each_intersecting(table, &region, &mut |r| {
+                            pairs += 1;
+                            checksum = fold_pair(checksum, q, r);
+                        });
+                    }
+                    (pairs, checksum)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("extent query shard panicked"))
+            .collect()
+    });
+    merge(shards)
+}
+
+/// The intersection join's sharded batch phase — the `intersects`
+/// counterpart of [`shard_batch_join`]: the query set is split into
+/// strips, each joined via [`BatchJoin::join_extents`] on a private fork.
+/// Same worker reuse and delta semantics.
+pub fn shard_extent_batch_join<J: BatchJoin + ?Sized>(
+    join: &J,
+    data: &ExtentTable,
+    queries: &[(EntryId, Rect)],
+    threads: NonZeroUsize,
+    workers: &mut Vec<BatchWorker>,
+) -> (u64, u64) {
+    let chunk = chunk_size(queries.len(), threads);
+    let strips = queries.chunks(chunk);
+    while workers.len() < strips.len() {
+        workers.push(BatchWorker {
+            join: join.fork(),
+            out: Vec::new(),
+        });
+    }
+    let shards: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = strips
+            .zip(workers.iter_mut())
+            .map(|(strip, worker)| {
+                scope.spawn(move || {
+                    worker.out.clear();
+                    worker.join.join_extents(data, strip, &mut worker.out);
+                    let mut checksum = 0u64;
+                    for &(q, r) in &worker.out {
+                        checksum = fold_pair(checksum, q, r);
+                    }
+                    (worker.out.len() as u64, checksum)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("extent batch strip panicked"))
+            .collect()
+    });
+    merge(shards)
+}
+
+/// One tile's state for the space-partitioned intersection join, per-query
+/// category: a private index fork plus the tick's querier assignment.
+struct TileExtentIndexWorker {
+    index: Box<dyn SpatialIndex + Send + Sync>,
+    queriers: Vec<EntryId>,
+}
+
+/// Reusable state of the space-partitioned intersection executor, per-query
+/// category — the `intersects` counterpart of [`TileIndexPool`], holding
+/// [`ExtentReplica`]s instead of point replicas.
+#[derive(Default)]
+pub struct TileExtentIndexPool {
+    grid: Option<TileGrid>,
+    replicas: Vec<ExtentReplica>,
+    workers: Vec<TileExtentIndexWorker>,
+    pool_workers: Option<NonZeroUsize>,
+    chunks: Vec<MiniJoin>,
+    metrics: PoolMetrics,
+}
+
+impl TileExtentIndexPool {
+    /// Summed [`SpatialIndex::memory_bytes`] of the per-tile indexes, or
+    /// `None` if no tiled build ever ran (see [`TileIndexPool::index_bytes`]).
+    pub fn index_bytes(&self) -> Option<usize> {
+        self.grid
+            .map(|_| self.workers.iter().map(|w| w.index.memory_bytes()).sum())
+    }
+
+    /// Accumulated scheduler load metrics (`None` if no tiled query with
+    /// populated tiles ran).
+    pub fn tile_load(&self) -> Option<TileLoad> {
+        self.metrics.tile_load()
+    }
+}
+
+/// The space-partitioned build phase of the intersection join's per-query
+/// category: tile the space, replicate each live rectangle into every tile
+/// it overlaps ([`replicate_extents`]), and (re)build every tile's private
+/// fork over its replica via [`SpatialIndex::build_extents`]. Mirrors
+/// [`tiled_index_build`] (same tile-at-a-time stealing, same reuse).
+pub fn tiled_extent_index_build<I: SpatialIndex + ?Sized>(
+    proto: &I,
+    table: &ExtentTable,
+    space: &Rect,
+    tiles: Tiling,
+    workers: Option<NonZeroUsize>,
+    pool: &mut TileExtentIndexPool,
+) {
+    let grid = TileGrid::new(space, tiles.resolve_extents(table));
+    pool.grid = Some(grid);
+    pool.pool_workers = workers;
+    while pool.workers.len() < grid.tiles() {
+        pool.workers.push(TileExtentIndexWorker {
+            index: proto.fork(),
+            queriers: Vec::new(),
+        });
+    }
+    pool.workers.truncate(grid.tiles());
+    replicate_extents(table, &grid, &mut pool.replicas);
+    let cap = pool_cap(workers, grid.tiles(), grid.tiles());
+    let items: Vec<Mutex<(&mut TileExtentIndexWorker, &ExtentReplica)>> = pool
+        .workers
+        .iter_mut()
+        .zip(pool.replicas.iter())
+        .map(Mutex::new)
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..cap {
+            scope.spawn(|| loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(t) else { break };
+                let mut guard = item
+                    .lock()
+                    .expect("each tile is taken by exactly one worker, so no lock is poisoned");
+                let (worker, replica) = &mut *guard;
+                worker.index.build_extents(&replica.table);
+            });
+        }
+    });
+}
+
+/// The space-partitioned query phase of the intersection join's per-query
+/// category. Each querier visits every tile its rectangle overlaps and
+/// probes that tile's private index; a `(q, r)` hit survives only in the
+/// tile holding the **intersection's reference point** — the lower-left
+/// corner `(max(q.x1, r.x1), max(q.y1, r.y1))` of `q ∩ r`, the rect
+/// generalization of the point rule (see [`crate::tile::ExtentReplica`]
+/// for the coverage/uniqueness argument). Same mini-join scheduling,
+/// load accounting, and bit-identical `(pairs, checksum)` contract as
+/// [`tiled_index_query`].
+pub fn tiled_extent_index_query(
+    pool: &mut TileExtentIndexPool,
+    table: &ExtentTable,
+    queriers: &[EntryId],
+) -> (u64, u64) {
+    let grid = pool
+        .grid
+        .expect("tiled_extent_index_query before tiled_extent_index_build");
+    for w in &mut pool.workers {
+        w.queriers.clear();
+    }
+    for &q in queriers {
+        let region = table.rect(q);
+        for t in grid.cover(&region) {
+            pool.workers[t].queriers.push(q);
+        }
+    }
+    pool.chunks.clear();
+    chunk_mini_joins(
+        pool.workers.iter().map(|w| w.queriers.len()),
+        MINI_JOIN_CHUNK,
+        &mut pool.chunks,
+    );
+    pool.metrics.begin(grid.tiles());
+    let cap = pool_cap(pool.pool_workers, grid.tiles(), pool.chunks.len());
+    let workers: &[TileExtentIndexWorker] = &pool.workers;
+    let replicas: &[ExtentReplica] = &pool.replicas;
+    let chunks: &[MiniJoin] = &pool.chunks;
+    let metrics: &PoolMetrics = &pool.metrics;
+    let cursor = AtomicUsize::new(0);
+    let wall = Instant::now();
+    let shards: Vec<(u64, u64, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cap)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut pairs = 0u64;
+                    let mut checksum = 0u64;
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&MiniJoin { tile, start, end }) = chunks.get(i) else {
+                            break;
+                        };
+                        let t0 = Instant::now();
+                        let worker = &workers[tile];
+                        let replica = &replicas[tile];
+                        let x1s = replica.table.x1s();
+                        let y1s = replica.table.y1s();
+                        for &q in &worker.queriers[start..end] {
+                            let region = table.rect(q);
+                            worker.index.for_each_intersecting(
+                                &replica.table,
+                                &region,
+                                &mut |local| {
+                                    let l = local as usize;
+                                    // Reference-point rule for extents:
+                                    // only the tile holding the pairwise
+                                    // intersection's lower-left corner
+                                    // reports the pair.
+                                    let px = region.x1.max(x1s[l]);
+                                    let py = region.y1.max(y1s[l]);
+                                    if grid.tile_of(px, py) == tile {
+                                        pairs += 1;
+                                        checksum = fold_pair(checksum, q, replica.to_global[l]);
+                                    }
+                                },
+                            );
+                        }
+                        let dt = t0.elapsed();
+                        metrics.record(tile, dt);
+                        busy += dt;
+                    }
+                    (pairs, checksum, busy)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("extent mini-join worker panicked"))
+            .collect()
+    });
+    let busy: Duration = shards.iter().map(|s| s.2).sum();
+    pool.metrics.finish(busy, cap, wall.elapsed());
+    merge(shards.into_iter().map(|(p, c, _)| (p, c)).collect())
+}
+
+/// Reusable state of the space-partitioned intersection executor, batch
+/// category — the `intersects` counterpart of [`TileBatchPool`].
+///
+/// Query assignments are stored per tile as `(local index, rect)` with the
+/// matching global querier id in `tile_qids`: [`BatchJoin::join_extents`]
+/// passes querier ids through opaquely, so handing it the *local* index
+/// lets the emitted `(qi, row)` pair recover the query rectangle (needed
+/// by the reference-point filter) with one slice lookup before translating
+/// `qi` back to the global id.
+#[derive(Default)]
+pub struct TileExtentBatchPool {
+    replicas: Vec<ExtentReplica>,
+    tile_queries: Vec<Vec<(EntryId, Rect)>>,
+    tile_qids: Vec<Vec<EntryId>>,
+    workers: Vec<TileBatchWorker>,
+    chunks: Vec<MiniJoin>,
+    metrics: PoolMetrics,
+}
+
+impl TileExtentBatchPool {
+    /// Accumulated scheduler load metrics (`None` if no tiled join with
+    /// populated tiles ran).
+    pub fn tile_load(&self) -> Option<TileLoad> {
+        self.metrics.tile_load()
+    }
+}
+
+/// The space-partitioned query phase of the intersection join's batch
+/// category: replicate the data rectangles by their own extents, assign
+/// each query to every tile its rectangle overlaps, run each populated
+/// tile's [`BatchJoin::join_extents`] on a pooled private fork, and keep
+/// only the pairs whose intersection reference point is canonical to the
+/// tile. Tile-granular chunks for the same per-call-partition-cost reason
+/// as [`tiled_batch_join`]; everything runs inside the timed query phase.
+pub fn tiled_extent_batch_join<J: BatchJoin + ?Sized>(
+    join: &J,
+    data: &ExtentTable,
+    queries: &[(EntryId, Rect)],
+    space: &Rect,
+    tiles: Tiling,
+    workers: Option<NonZeroUsize>,
+    pool: &mut TileExtentBatchPool,
+) -> (u64, u64) {
+    let grid = TileGrid::new(space, tiles.resolve_extents(data));
+    replicate_extents(data, &grid, &mut pool.replicas);
+    pool.tile_queries.resize_with(grid.tiles(), Vec::new);
+    pool.tile_queries.truncate(grid.tiles());
+    pool.tile_qids.resize_with(grid.tiles(), Vec::new);
+    pool.tile_qids.truncate(grid.tiles());
+    for (qs, ids) in pool.tile_queries.iter_mut().zip(&mut pool.tile_qids) {
+        qs.clear();
+        ids.clear();
+    }
+    for &(q, region) in queries {
+        for t in grid.cover(&region) {
+            let local = entry_id(pool.tile_qids[t].len());
+            pool.tile_qids[t].push(q);
+            pool.tile_queries[t].push((local, region));
+        }
+    }
+    pool.chunks.clear();
+    // Tile-granular chunks, as in `tiled_batch_join` — and a correctness
+    // requirement here: the local query indices above are positions in the
+    // tile's *full* list, so every chunk must start at 0.
+    chunk_mini_joins(
+        pool.tile_queries.iter().map(Vec::len),
+        usize::MAX,
+        &mut pool.chunks,
+    );
+    let cap = pool_cap(workers, grid.tiles(), pool.chunks.len());
+    while pool.workers.len() < cap {
+        pool.workers.push(TileBatchWorker {
+            join: join.fork(),
+            out: Vec::new(),
+        });
+    }
+    pool.metrics.begin(grid.tiles());
+    let replicas: &[ExtentReplica] = &pool.replicas;
+    let tile_queries: &[Vec<(EntryId, Rect)>] = &pool.tile_queries;
+    let tile_qids: &[Vec<EntryId>] = &pool.tile_qids;
+    let chunks: &[MiniJoin] = &pool.chunks;
+    let metrics: &PoolMetrics = &pool.metrics;
+    let cursor = AtomicUsize::new(0);
+    let wall = Instant::now();
+    let shards: Vec<(u64, u64, Duration)> = std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let handles: Vec<_> = pool
+            .workers
+            .iter_mut()
+            .take(cap)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut pairs = 0u64;
+                    let mut checksum = 0u64;
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&MiniJoin { tile, start, end }) = chunks.get(i) else {
+                            break;
+                        };
+                        let t0 = Instant::now();
+                        let replica = &replicas[tile];
+                        worker.out.clear();
+                        worker.join.join_extents(
+                            &replica.table,
+                            &tile_queries[tile][start..end],
+                            &mut worker.out,
+                        );
+                        let x1s = replica.table.x1s();
+                        let y1s = replica.table.y1s();
+                        for &(qi, local) in &worker.out {
+                            let l = local as usize;
+                            let qrect = tile_queries[tile][qi as usize].1;
+                            let px = qrect.x1.max(x1s[l]);
+                            let py = qrect.y1.max(y1s[l]);
+                            if grid.tile_of(px, py) == tile {
+                                pairs += 1;
+                                checksum = fold_pair(
+                                    checksum,
+                                    tile_qids[tile][qi as usize],
+                                    replica.to_global[l],
+                                );
+                            }
+                        }
+                        let dt = t0.elapsed();
+                        metrics.record(tile, dt);
+                        busy += dt;
+                    }
+                    (pairs, checksum, busy)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("extent batch mini-join worker panicked"))
+            .collect()
+    });
+    let busy: Duration = shards.iter().map(|s| s.2).sum();
+    pool.metrics.finish(busy, cap, wall.elapsed());
+    merge(shards.into_iter().map(|(p, c, _)| (p, c)).collect())
+}
+
 fn merge(shards: Vec<(u64, u64)>) -> (u64, u64) {
     let mut pairs = 0u64;
     let mut checksum = 0u64;
@@ -1142,6 +1554,230 @@ mod tests {
             tiled_index_query(&mut pool, &empty, &[], &space, 50.0),
             (0, 0)
         );
+    }
+
+    fn random_extents(n: usize, seed: u64) -> ExtentTable {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut t = ExtentTable::default();
+        for _ in 0..n {
+            let x = rng.range_f32(0.0, SIDE - 60.0);
+            let y = rng.range_f32(0.0, SIDE - 60.0);
+            let w = rng.range_f32(0.0, 60.0);
+            let h = rng.range_f32(0.0, 60.0);
+            t.push(Rect::new(x, y, x + w, y + h));
+        }
+        t
+    }
+
+    fn sequential_extent_reference(table: &ExtentTable, queriers: &[EntryId]) -> (u64, u64) {
+        let idx = ScanIndex::new();
+        let mut pairs = 0u64;
+        let mut checksum = 0u64;
+        for &q in queriers {
+            let region = table.rect(q);
+            idx.for_each_intersecting(table, &region, &mut |r| {
+                pairs += 1;
+                checksum = fold_pair(checksum, q, r);
+            });
+        }
+        (pairs, checksum)
+    }
+
+    #[test]
+    fn sharded_extent_query_matches_sequential_for_any_thread_count() {
+        let mut table = random_extents(400, 17);
+        for id in (0..400).step_by(9) {
+            table.remove(id);
+        }
+        let queriers: Vec<EntryId> = (0..table.len() as EntryId)
+            .filter(|&q| table.is_live(q))
+            .step_by(2)
+            .collect();
+        let expect = sequential_extent_reference(&table, &queriers);
+        assert!(expect.0 > 0, "the fixture must produce intersections");
+        let idx = ScanIndex::new();
+        for n in [1, 2, 3, 7, 64] {
+            let got = shard_extent_index_query(&idx, &table, &queriers, threads(n));
+            assert_eq!(got, expect, "threads = {n}");
+        }
+    }
+
+    #[test]
+    fn sharded_extent_batch_join_matches_sequential_for_any_thread_count() {
+        let table = random_extents(300, 19);
+        let queries: Vec<(EntryId, Rect)> = (0..table.len() as EntryId)
+            .step_by(2)
+            .map(|q| (q, table.rect(q)))
+            .collect();
+        let mut out = Vec::new();
+        NaiveBatchJoin.join_extents(&table, &queries, &mut out);
+        let expect_pairs = out.len() as u64;
+        let expect_checksum = out.iter().fold(0u64, |c, &(q, r)| fold_pair(c, q, r));
+        let mut workers = Vec::new();
+        for n in [1, 2, 3, 7, 64] {
+            let got = shard_extent_batch_join(
+                &NaiveBatchJoin,
+                &table,
+                &queries,
+                threads(n),
+                &mut workers,
+            );
+            assert_eq!(got, (expect_pairs, expect_checksum), "threads = {n}");
+        }
+    }
+
+    #[test]
+    fn tiled_extent_query_matches_sequential_for_any_tile_count() {
+        let mut table = random_extents(400, 23);
+        for id in (0..400).step_by(11) {
+            table.remove(id);
+        }
+        let queriers: Vec<EntryId> = (0..table.len() as EntryId)
+            .filter(|&q| table.is_live(q))
+            .collect();
+        let expect = sequential_extent_reference(&table, &queriers);
+        let space = Rect::space(SIDE);
+        for n in [1usize, 2, 3, 5, 7, 16, 64] {
+            let mut pool = TileExtentIndexPool::default();
+            // Two ticks over one pool: buffer reuse must not leak state.
+            for tick in 0..2 {
+                tiled_extent_index_build(
+                    &ScanIndex::new(),
+                    &table,
+                    &space,
+                    fixed(n),
+                    None,
+                    &mut pool,
+                );
+                let got = tiled_extent_index_query(&mut pool, &table, &queriers);
+                assert_eq!(got, expect, "tiles = {n}, tick = {tick}");
+            }
+            assert_eq!(pool.index_bytes(), Some(0), "scan forks own nothing");
+        }
+        // Decoupled pools and the adaptive policy over one reused pool.
+        let mut pool = TileExtentIndexPool::default();
+        for (tiles, workers) in [(4usize, 2usize), (16, 8), (64, 3)] {
+            tiled_extent_index_build(
+                &ScanIndex::new(),
+                &table,
+                &space,
+                fixed(tiles),
+                Some(threads(workers)),
+                &mut pool,
+            );
+            let got = tiled_extent_index_query(&mut pool, &table, &queriers);
+            assert_eq!(got, expect, "tiles = {tiles}, workers = {workers}");
+        }
+        tiled_extent_index_build(
+            &ScanIndex::new(),
+            &table,
+            &space,
+            Tiling::Auto,
+            None,
+            &mut pool,
+        );
+        assert_eq!(
+            tiled_extent_index_query(&mut pool, &table, &queriers),
+            expect,
+            "adaptive tiling"
+        );
+        let load = pool.tile_load().expect("populated run records load");
+        assert!(load.imbalance >= 1.0);
+        assert!(load.occupancy > 0.0 && load.occupancy <= 1.0);
+    }
+
+    #[test]
+    fn tiled_extent_batch_join_matches_sequential_for_any_tile_count() {
+        let mut table = random_extents(300, 29);
+        for id in (0..300).step_by(13) {
+            table.remove(id);
+        }
+        let queries: Vec<(EntryId, Rect)> = (0..table.len() as EntryId)
+            .filter(|&q| table.is_live(q))
+            .map(|q| (q, table.rect(q)))
+            .collect();
+        let mut out = Vec::new();
+        NaiveBatchJoin.join_extents(&table, &queries, &mut out);
+        let expect_pairs = out.len() as u64;
+        let expect_checksum = out.iter().fold(0u64, |c, &(q, r)| fold_pair(c, q, r));
+        let space = Rect::space(SIDE);
+        let mut pool = TileExtentBatchPool::default();
+        for n in [1usize, 2, 3, 6, 25, 64] {
+            let got = tiled_extent_batch_join(
+                &NaiveBatchJoin,
+                &table,
+                &queries,
+                &space,
+                fixed(n),
+                None,
+                &mut pool,
+            );
+            assert_eq!(got, (expect_pairs, expect_checksum), "tiles = {n}");
+        }
+        for (tiles, workers) in [(4usize, 2usize), (16, 8), (64, 2)] {
+            let got = tiled_extent_batch_join(
+                &NaiveBatchJoin,
+                &table,
+                &queries,
+                &space,
+                fixed(tiles),
+                Some(threads(workers)),
+                &mut pool,
+            );
+            assert_eq!(
+                got,
+                (expect_pairs, expect_checksum),
+                "tiles = {tiles}, workers = {workers}"
+            );
+        }
+        let got = tiled_extent_batch_join(
+            &NaiveBatchJoin,
+            &table,
+            &queries,
+            &space,
+            Tiling::Auto,
+            Some(threads(3)),
+            &mut pool,
+        );
+        assert_eq!(got, (expect_pairs, expect_checksum), "adaptive tiling");
+        let load = pool.tile_load().expect("populated joins record load");
+        assert!(load.imbalance >= 1.0);
+    }
+
+    #[test]
+    fn empty_extent_inputs_are_fine() {
+        let table = random_extents(50, 1);
+        let space = Rect::space(SIDE);
+        let idx = ScanIndex::new();
+        assert_eq!(
+            shard_extent_index_query(&idx, &table, &[], threads(4)),
+            (0, 0)
+        );
+        assert_eq!(
+            shard_extent_batch_join(&NaiveBatchJoin, &table, &[], threads(4), &mut Vec::new()),
+            (0, 0)
+        );
+        let mut pool = TileExtentIndexPool::default();
+        tiled_extent_index_build(&idx, &table, &space, fixed(4), None, &mut pool);
+        assert_eq!(tiled_extent_index_query(&mut pool, &table, &[]), (0, 0));
+        assert_eq!(pool.tile_load(), None, "no populated tile, no load");
+        assert_eq!(
+            tiled_extent_batch_join(
+                &NaiveBatchJoin,
+                &table,
+                &[],
+                &space,
+                fixed(4),
+                Some(threads(2)),
+                &mut TileExtentBatchPool::default()
+            ),
+            (0, 0)
+        );
+        // And an empty extent table under oversharding.
+        let empty = ExtentTable::default();
+        let mut pool = TileExtentIndexPool::default();
+        tiled_extent_index_build(&idx, &empty, &space, fixed(16), Some(threads(8)), &mut pool);
+        assert_eq!(tiled_extent_index_query(&mut pool, &empty, &[]), (0, 0));
     }
 
     #[test]

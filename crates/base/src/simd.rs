@@ -299,6 +299,199 @@ pub unsafe fn filter_range_gather_each_avx2<F: FnMut(EntryId) + ?Sized>(
     }
 }
 
+/// Scalar rect-overlap lane test, spelled exactly like
+/// [`Rect::intersects`] so the vector widths below have a one-line oracle:
+/// closed semantics, touching edges overlap, any NaN coordinate fails.
+#[inline]
+fn overlaps(x1: f32, y1: f32, x2: f32, y2: f32, region: &Rect) -> bool {
+    region.x1 <= x2 && x1 <= region.x2 && region.y1 <= y2 && y1 <= region.y2
+}
+
+/// Vectorized extent-overlap filter over structure-of-arrays rectangle
+/// columns (the [`crate::table::ExtentTable`] layout): call `emit` with
+/// `base + i` for every row `i` whose rectangle intersects `region`
+/// (closed semantics — touching edges do intersect), in index order.
+/// Dispatches AVX2 → SSE2 → scalar exactly like [`filter_range`]; all
+/// widths are bit-identical on touching-edge ties because every lane
+/// compare is the same ordered-quiet `>= / <=` as the scalar
+/// [`Rect::intersects`].
+///
+/// # Panics
+/// Panics if the four columns have different lengths.
+pub fn filter_overlap_each<F: FnMut(EntryId) + ?Sized>(
+    x1s: &[f32],
+    y1s: &[f32],
+    x2s: &[f32],
+    y2s: &[f32],
+    region: &Rect,
+    base: EntryId,
+    emit: &mut F,
+) {
+    assert!(
+        x1s.len() == y1s.len() && x1s.len() == x2s.len() && x1s.len() == y2s.len(),
+        "extent columns must have equal length"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified on this CPU.
+            unsafe { filter_overlap_each_avx2(x1s, y1s, x2s, y2s, region, base, emit) }
+        } else {
+            filter_overlap_each_sse2(x1s, y1s, x2s, y2s, region, base, emit);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        filter_overlap_each_scalar(x1s, y1s, x2s, y2s, region, base, emit);
+    }
+}
+
+/// Portable width of [`filter_overlap_each`]; public so tests and non-x86
+/// builds share it — and so the proptests can use it as the oracle for
+/// the vector widths.
+pub fn filter_overlap_each_scalar<F: FnMut(EntryId) + ?Sized>(
+    x1s: &[f32],
+    y1s: &[f32],
+    x2s: &[f32],
+    y2s: &[f32],
+    region: &Rect,
+    base: EntryId,
+    emit: &mut F,
+) {
+    for i in 0..x1s.len() {
+        if overlaps(x1s[i], y1s[i], x2s[i], y2s[i], region) {
+            emit(base + entry_id(i));
+        }
+    }
+}
+
+/// SSE2 width of [`filter_overlap_each`]: 4 overlap tests per iteration.
+/// The lane predicate is `x1 <= q.x2 ∧ x2 >= q.x1 ∧ y1 <= q.y2 ∧
+/// y2 >= q.y1` — the same four ordered-quiet compares as the scalar
+/// [`Rect::intersects`], so NaN lanes are rejected identically.
+#[cfg(target_arch = "x86_64")]
+pub fn filter_overlap_each_sse2<F: FnMut(EntryId) + ?Sized>(
+    x1s: &[f32],
+    y1s: &[f32],
+    x2s: &[f32],
+    y2s: &[f32],
+    region: &Rect,
+    base: EntryId,
+    emit: &mut F,
+) {
+    use std::arch::x86_64::{
+        _mm_and_ps, _mm_cmpge_ps, _mm_cmple_ps, _mm_loadu_ps, _mm_movemask_ps, _mm_set1_ps,
+    };
+
+    let n = x1s.len();
+    let blocks = n / 4;
+    // SAFETY: SSE2 is part of the x86_64 baseline; loads are unaligned
+    // (`loadu`) and stay within the columns because `i + 4 <= blocks * 4
+    // <= n`.
+    unsafe {
+        let qx1 = _mm_set1_ps(region.x1);
+        let qx2 = _mm_set1_ps(region.x2);
+        let qy1 = _mm_set1_ps(region.y1);
+        let qy2 = _mm_set1_ps(region.y2);
+        for b in 0..blocks {
+            let i = b * 4;
+            let vx1 = _mm_loadu_ps(x1s.as_ptr().add(i));
+            let vy1 = _mm_loadu_ps(y1s.as_ptr().add(i));
+            let vx2 = _mm_loadu_ps(x2s.as_ptr().add(i));
+            let vy2 = _mm_loadu_ps(y2s.as_ptr().add(i));
+            let in_x = _mm_and_ps(_mm_cmple_ps(vx1, qx2), _mm_cmpge_ps(vx2, qx1));
+            let in_y = _mm_and_ps(_mm_cmple_ps(vy1, qy2), _mm_cmpge_ps(vy2, qy1));
+            let mut mask = _mm_movemask_ps(_mm_and_ps(in_x, in_y)) as u32;
+            while mask != 0 {
+                let lane = mask.trailing_zeros();
+                emit(base + entry_id(i) + lane);
+                mask &= mask - 1;
+            }
+        }
+    }
+    // Scalar tail.
+    for i in blocks * 4..n {
+        if overlaps(x1s[i], y1s[i], x2s[i], y2s[i], region) {
+            emit(base + entry_id(i));
+        }
+    }
+}
+
+/// AVX2 width of [`filter_overlap_each`]: 8 overlap tests per iteration
+/// via the `_CMP_GE_OQ` / `_CMP_LE_OQ` predicates (ordered, quiet, false
+/// on NaN — see [`filter_range_avx2`]).
+///
+/// # Safety
+/// The CPU must support AVX2 (`is_x86_feature_detected!("avx2")`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn filter_overlap_each_avx2<F: FnMut(EntryId) + ?Sized>(
+    x1s: &[f32],
+    y1s: &[f32],
+    x2s: &[f32],
+    y2s: &[f32],
+    region: &Rect,
+    base: EntryId,
+    emit: &mut F,
+) {
+    use std::arch::x86_64::{
+        _mm256_and_ps, _mm256_cmp_ps, _mm256_loadu_ps, _mm256_movemask_ps, _mm256_set1_ps,
+        _CMP_GE_OQ, _CMP_LE_OQ,
+    };
+
+    let n = x1s.len();
+    let blocks = n / 8;
+    // SAFETY: caller verified AVX2; unaligned loads bounded by
+    // `blocks * 8 <= n`.
+    unsafe {
+        let qx1 = _mm256_set1_ps(region.x1);
+        let qx2 = _mm256_set1_ps(region.x2);
+        let qy1 = _mm256_set1_ps(region.y1);
+        let qy2 = _mm256_set1_ps(region.y2);
+        for b in 0..blocks {
+            let i = b * 8;
+            let vx1 = _mm256_loadu_ps(x1s.as_ptr().add(i));
+            let vy1 = _mm256_loadu_ps(y1s.as_ptr().add(i));
+            let vx2 = _mm256_loadu_ps(x2s.as_ptr().add(i));
+            let vy2 = _mm256_loadu_ps(y2s.as_ptr().add(i));
+            let in_x = _mm256_and_ps(
+                _mm256_cmp_ps::<_CMP_LE_OQ>(vx1, qx2),
+                _mm256_cmp_ps::<_CMP_GE_OQ>(vx2, qx1),
+            );
+            let in_y = _mm256_and_ps(
+                _mm256_cmp_ps::<_CMP_LE_OQ>(vy1, qy2),
+                _mm256_cmp_ps::<_CMP_GE_OQ>(vy2, qy1),
+            );
+            let mut mask = _mm256_movemask_ps(_mm256_and_ps(in_x, in_y)) as u32;
+            while mask != 0 {
+                let lane = mask.trailing_zeros();
+                emit(base + entry_id(i) + lane);
+                mask &= mask - 1;
+            }
+        }
+    }
+    // Scalar tail (at most 7 rectangles).
+    for i in blocks * 8..n {
+        if overlaps(x1s[i], y1s[i], x2s[i], y2s[i], region) {
+            emit(base + entry_id(i));
+        }
+    }
+}
+
+/// [`filter_overlap_each`] collecting into a `Vec` (test and bench
+/// convenience, mirroring [`filter_range`]).
+pub fn filter_overlap(
+    x1s: &[f32],
+    y1s: &[f32],
+    x2s: &[f32],
+    y2s: &[f32],
+    region: &Rect,
+    base: EntryId,
+    out: &mut Vec<EntryId>,
+) {
+    filter_overlap_each(x1s, y1s, x2s, y2s, region, base, &mut |e| out.push(e));
+}
+
 /// [`filter_range_gather_each`] collecting into a `Vec` (test and bench
 /// convenience).
 pub fn filter_range_gather(
@@ -468,6 +661,152 @@ mod tests {
     fn mismatched_columns_panic() {
         let mut out = Vec::new();
         filter_range(&[1.0], &[], &Rect::new(0.0, 0.0, 1.0, 1.0), 0, &mut out);
+    }
+
+    /// Random well-formed rect columns (x1 <= x2, y1 <= y2).
+    fn random_rect_cols(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut cols = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..n {
+            let x1 = rng.range_f32(0.0, 950.0);
+            let y1 = rng.range_f32(0.0, 950.0);
+            cols.0.push(x1);
+            cols.1.push(y1);
+            cols.2.push(x1 + rng.range_f32(0.0, 50.0));
+            cols.3.push(y1 + rng.range_f32(0.0, 50.0));
+        }
+        cols
+    }
+
+    /// Rectangles exactly touching every edge/corner of `[100,200]²`, plus
+    /// just-outside near-misses, degenerate zero-area rects, and NaN
+    /// lanes — the ties where `<=`/`<` (or a non-quiet compare) would
+    /// diverge across widths.
+    fn boundary_rect_cols() -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut cols = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let mut push = |x1: f32, y1: f32, x2: f32, y2: f32| {
+            cols.0.push(x1);
+            cols.1.push(y1);
+            cols.2.push(x2);
+            cols.3.push(y2);
+        };
+        push(50.0, 50.0, 100.0, 100.0); // corner touch
+        push(200.0, 200.0, 250.0, 250.0); // opposite corner touch
+        push(50.0, 120.0, 100.0, 130.0); // left edge touch
+        push(200.0, 120.0, 250.0, 130.0); // right edge touch
+        push(120.0, 50.0, 130.0, 100.0); // bottom edge touch
+        push(120.0, 200.0, 130.0, 250.0); // top edge touch
+        push(50.0, 120.0, 99.999, 130.0); // near miss left
+        push(200.001, 120.0, 250.0, 130.0); // near miss right
+        push(150.0, 150.0, 150.0, 150.0); // zero-area inside
+        push(100.0, 100.0, 100.0, 100.0); // zero-area on the corner
+        push(99.999, 99.999, 99.999, 99.999); // zero-area just outside
+        push(f32::NAN, 120.0, 130.0, 130.0); // NaN lanes never match
+        push(120.0, f32::NAN, 130.0, 130.0);
+        push(120.0, 120.0, f32::NAN, 130.0);
+        push(120.0, 120.0, 130.0, f32::NAN);
+        push(0.0, 0.0, 300.0, 300.0); // strictly containing the query
+        cols
+    }
+
+    #[test]
+    fn overlap_filter_matches_rect_intersects_on_boundaries() {
+        let region = Rect::new(100.0, 100.0, 200.0, 200.0);
+        let (x1s, y1s, x2s, y2s) = boundary_rect_cols();
+        let mut got = Vec::new();
+        filter_overlap(&x1s, &y1s, &x2s, &y2s, &region, 0, &mut got);
+        let mut expect = Vec::new();
+        for i in 0..x1s.len() {
+            // NaN lanes cannot construct a Rect (debug assert), so use the
+            // raw closed-overlap conjunction as the oracle — identical to
+            // Rect::intersects on well-formed rows.
+            if region.x1 <= x2s[i]
+                && x1s[i] <= region.x2
+                && region.y1 <= y2s[i]
+                && y1s[i] <= region.y2
+            {
+                expect.push(i as EntryId);
+            }
+        }
+        assert_eq!(got, expect);
+        // Touching edges/corners and degenerate rects all match; near
+        // misses and NaN lanes never do.
+        assert_eq!(expect, vec![0, 1, 2, 3, 4, 5, 8, 9, 15]);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn overlap_widths_are_bit_identical_on_random_columns() {
+        // 1_013 exercises both vector tails (see the range-filter test).
+        for seed in 1..=8u64 {
+            let (x1s, y1s, x2s, y2s) = random_rect_cols(1_013, seed);
+            let region = Rect::new(111.0, 222.0, 666.5, 888.25);
+            let mut scalar = Vec::new();
+            filter_overlap_each_scalar(&x1s, &y1s, &x2s, &y2s, &region, 5, &mut |e| scalar.push(e));
+            let mut sse2 = Vec::new();
+            filter_overlap_each_sse2(&x1s, &y1s, &x2s, &y2s, &region, 5, &mut |e| sse2.push(e));
+            assert_eq!(sse2, scalar, "seed {seed}");
+            if std::arch::is_x86_feature_detected!("avx2") {
+                let mut avx2 = Vec::new();
+                // SAFETY: detection checked above.
+                unsafe {
+                    filter_overlap_each_avx2(&x1s, &y1s, &x2s, &y2s, &region, 5, &mut |e| {
+                        avx2.push(e)
+                    })
+                };
+                assert_eq!(avx2, scalar, "seed {seed}");
+            }
+            assert!(!scalar.is_empty(), "seed {seed}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn overlap_widths_are_bit_identical_on_boundary_ties() {
+        let region = Rect::new(100.0, 100.0, 200.0, 200.0);
+        let (x1s, y1s, x2s, y2s) = boundary_rect_cols();
+        let mut scalar = Vec::new();
+        filter_overlap_each_scalar(&x1s, &y1s, &x2s, &y2s, &region, 0, &mut |e| scalar.push(e));
+        let mut sse2 = Vec::new();
+        filter_overlap_each_sse2(&x1s, &y1s, &x2s, &y2s, &region, 0, &mut |e| sse2.push(e));
+        assert_eq!(sse2, scalar);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let mut avx2 = Vec::new();
+            // SAFETY: detection checked above.
+            unsafe {
+                filter_overlap_each_avx2(&x1s, &y1s, &x2s, &y2s, &region, 0, &mut |e| avx2.push(e))
+            };
+            assert_eq!(avx2, scalar);
+        }
+    }
+
+    #[test]
+    fn overlap_filter_applies_base_offset_and_handles_empty_input() {
+        let region = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let mut out = Vec::new();
+        filter_overlap(&[], &[], &[], &[], &region, 0, &mut out);
+        assert!(out.is_empty());
+        let x1s = vec![5.0; 9];
+        let y1s = vec![5.0; 9];
+        let x2s = vec![6.0; 9];
+        let y2s = vec![6.0; 9];
+        filter_overlap(&x1s, &y1s, &x2s, &y2s, &region, 100, &mut out);
+        assert_eq!(out, (100..109).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_extent_columns_panic() {
+        let mut out = Vec::new();
+        filter_overlap(
+            &[1.0],
+            &[1.0],
+            &[],
+            &[1.0],
+            &Rect::new(0.0, 0.0, 1.0, 1.0),
+            0,
+            &mut out,
+        );
     }
 
     #[test]

@@ -55,6 +55,57 @@ pub fn entry_id_u64(slot: u64) -> EntryId {
     slot as EntryId
 }
 
+/// The storage contract shared by every base table in the workspace —
+/// point entries ([`PointTable`]) and extent entries ([`ExtentTable`])
+/// alike. One [`EntryId`] scheme, one tombstone discipline:
+///
+/// - rows are append-only and **never compact or reuse slots** — a
+///   surviving handle resolves to the same row forever;
+/// - removal is a tombstone ([`Table::remove`]): the row is marked dead,
+///   its geometry frozen in place, and indexes/scans must skip it
+///   ([`Table::live_mask`]);
+/// - [`Table::clear`] is reserved for per-tick scratch tables (tile
+///   replicas) that are repopulated from scratch — a driver-owned base
+///   table is never cleared.
+///
+/// The driver's tick actions, the tiled executors' replica handling, and
+/// the checksum comparability argument (DESIGN.md §9) all depend only on
+/// this contract, which is why they apply uniformly to both entry shapes.
+pub trait Table {
+    /// Total number of row slots, dead rows included — the exclusive
+    /// upper bound of valid [`EntryId`]s.
+    fn len(&self) -> usize;
+
+    /// Number of live rows (`len()` minus tombstones).
+    fn live_len(&self) -> usize;
+
+    /// Whether row `id` is live (not tombstoned).
+    fn is_live(&self, id: EntryId) -> bool;
+
+    /// The raw tombstone mask, indexed by row.
+    fn live_mask(&self) -> &[bool];
+
+    /// Tombstone row `id`; returns whether it was live (removing a dead
+    /// row is a no-op). Surviving handles are untouched.
+    fn remove(&mut self, id: EntryId) -> bool;
+
+    /// Drop every row — live and dead — keeping allocated capacity.
+    fn clear(&mut self);
+
+    /// Minimum bounding rectangle of all live rows (`None` when empty).
+    fn bounds(&self) -> Option<Rect>;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether no row has ever been removed — the fast path for scans
+    /// that skip per-row liveness checks on churn-free workloads.
+    fn all_live(&self) -> bool {
+        self.live_len() == self.len()
+    }
+}
+
 /// Structure-of-arrays base table of object positions.
 #[derive(Clone, Debug, Default)]
 pub struct PointTable {
@@ -206,6 +257,205 @@ impl PointTable {
     }
 }
 
+impl Table for PointTable {
+    fn len(&self) -> usize {
+        PointTable::len(self)
+    }
+    fn live_len(&self) -> usize {
+        PointTable::live_len(self)
+    }
+    fn is_live(&self, id: EntryId) -> bool {
+        PointTable::is_live(self, id)
+    }
+    fn live_mask(&self) -> &[bool] {
+        PointTable::live_mask(self)
+    }
+    fn remove(&mut self, id: EntryId) -> bool {
+        PointTable::remove(self, id)
+    }
+    fn clear(&mut self) {
+        PointTable::clear(self)
+    }
+    fn bounds(&self) -> Option<Rect> {
+        PointTable::bounds(self)
+    }
+}
+
+/// Structure-of-arrays base table of axis-aligned rectangle entries — the
+/// extent-shaped sibling of [`PointTable`], with the identical
+/// handle-stability and tombstone contract (see [`Table`]). Four
+/// coordinate columns instead of two, so an intersection filter reads
+/// `x1/x2/y1/y2` as contiguous lanes exactly like the point filter reads
+/// `x/y` (the SIMD overlap kernel in [`crate::simd`] depends on this
+/// layout).
+#[derive(Clone, Debug, Default)]
+pub struct ExtentTable {
+    x1s: Vec<f32>,
+    y1s: Vec<f32>,
+    x2s: Vec<f32>,
+    y2s: Vec<f32>,
+    /// Tombstone mask, exactly as in [`PointTable`].
+    live: Vec<bool>,
+    live_len: usize,
+}
+
+impl ExtentTable {
+    pub fn with_capacity(n: usize) -> Self {
+        ExtentTable {
+            x1s: Vec::with_capacity(n),
+            y1s: Vec::with_capacity(n),
+            x2s: Vec::with_capacity(n),
+            y2s: Vec::with_capacity(n),
+            live: Vec::with_capacity(n),
+            live_len: 0,
+        }
+    }
+
+    /// Append a (live) rectangle row and return its handle.
+    pub fn push(&mut self, r: Rect) -> EntryId {
+        let id = entry_id(self.x1s.len());
+        self.x1s.push(r.x1);
+        self.y1s.push(r.y1);
+        self.x2s.push(r.x2);
+        self.y2s.push(r.y2);
+        self.live.push(true);
+        self.live_len += 1;
+        id
+    }
+
+    /// See [`Table::clear`].
+    pub fn clear(&mut self) {
+        self.x1s.clear();
+        self.y1s.clear();
+        self.x2s.clear();
+        self.y2s.clear();
+        self.live.clear();
+        self.live_len = 0;
+    }
+
+    /// See [`Table::remove`].
+    pub fn remove(&mut self, id: EntryId) -> bool {
+        let slot = &mut self.live[id as usize];
+        let was_live = *slot;
+        if was_live {
+            *slot = false;
+            self.live_len -= 1;
+        }
+        was_live
+    }
+
+    #[inline]
+    pub fn is_live(&self, id: EntryId) -> bool {
+        self.live[id as usize]
+    }
+
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.live_len
+    }
+
+    #[inline]
+    pub fn all_live(&self) -> bool {
+        self.live_len == self.x1s.len()
+    }
+
+    #[inline]
+    pub fn live_mask(&self) -> &[bool] {
+        &self.live
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.x1s.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x1s.is_empty()
+    }
+
+    /// The rectangle of row `id`.
+    #[inline]
+    pub fn rect(&self, id: EntryId) -> Rect {
+        let i = id as usize;
+        Rect::new(self.x1s[i], self.y1s[i], self.x2s[i], self.y2s[i])
+    }
+
+    #[inline]
+    pub fn set_rect(&mut self, id: EntryId, r: Rect) {
+        let i = id as usize;
+        self.x1s[i] = r.x1;
+        self.y1s[i] = r.y1;
+        self.x2s[i] = r.x2;
+        self.y2s[i] = r.y2;
+    }
+
+    /// Raw coordinate columns, for bulk loads and the SIMD overlap filter.
+    #[inline]
+    pub fn x1s(&self) -> &[f32] {
+        &self.x1s
+    }
+
+    #[inline]
+    pub fn y1s(&self) -> &[f32] {
+        &self.y1s
+    }
+
+    #[inline]
+    pub fn x2s(&self) -> &[f32] {
+        &self.x2s
+    }
+
+    #[inline]
+    pub fn y2s(&self) -> &[f32] {
+        &self.y2s
+    }
+
+    /// Iterate the **live** rows.
+    pub fn iter(&self) -> impl Iterator<Item = (EntryId, Rect)> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|&(_, &live)| live)
+            .map(|(i, _)| (entry_id(i), ExtentTable::rect(self, entry_id(i))))
+    }
+
+    /// Minimum bounding rectangle of all live rows (`None` when empty).
+    pub fn bounds(&self) -> Option<Rect> {
+        let mut it = self.iter();
+        let (_, first) = it.next()?;
+        let mut r = first;
+        for (_, e) in it {
+            r = r.union(&e);
+        }
+        Some(r)
+    }
+}
+
+impl Table for ExtentTable {
+    fn len(&self) -> usize {
+        ExtentTable::len(self)
+    }
+    fn live_len(&self) -> usize {
+        ExtentTable::live_len(self)
+    }
+    fn is_live(&self, id: EntryId) -> bool {
+        ExtentTable::is_live(self, id)
+    }
+    fn live_mask(&self) -> &[bool] {
+        ExtentTable::live_mask(self)
+    }
+    fn remove(&mut self, id: EntryId) -> bool {
+        ExtentTable::remove(self, id)
+    }
+    fn clear(&mut self) {
+        ExtentTable::clear(self)
+    }
+    fn bounds(&self) -> Option<Rect> {
+        ExtentTable::bounds(self)
+    }
+}
+
 /// The full moving-object state: positions plus per-object velocities.
 /// Velocities live outside [`PointTable`] because no index ever reads them —
 /// only the workload's movement model does.
@@ -303,6 +553,115 @@ impl MovingSet {
             x = x.clamp(space.x1, space.x2);
             y = y.clamp(space.y1, space.y2);
             self.positions.set_position(entry_id(i), x, y);
+        }
+    }
+}
+
+/// The moving-rectangle state: extents plus per-object velocities — the
+/// extent analogue of [`MovingSet`]. A velocity translates the whole
+/// rectangle; sizes never change after insertion.
+#[derive(Clone, Debug, Default)]
+pub struct MovingExtentSet {
+    pub extents: ExtentTable,
+    pub vx: Vec<f32>,
+    pub vy: Vec<f32>,
+}
+
+impl MovingExtentSet {
+    pub fn with_capacity(n: usize) -> Self {
+        MovingExtentSet {
+            extents: ExtentTable::with_capacity(n),
+            vx: Vec::with_capacity(n),
+            vy: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn push(&mut self, r: Rect, v: Vec2) -> EntryId {
+        let id = self.extents.push(r);
+        self.vx.push(v.x);
+        self.vy.push(v.y);
+        id
+    }
+
+    /// Total number of row slots, dead rows included (see
+    /// [`ExtentTable::len`]).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.extents.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.extents.is_empty()
+    }
+
+    /// Tombstone object `id` (see [`ExtentTable::remove`]); its rectangle
+    /// and velocity freeze, its handle is never reused. Returns whether
+    /// it was live.
+    pub fn remove(&mut self, id: EntryId) -> bool {
+        self.extents.remove(id)
+    }
+
+    #[inline]
+    pub fn is_live(&self, id: EntryId) -> bool {
+        self.extents.is_live(id)
+    }
+
+    /// Number of live objects.
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.extents.live_len()
+    }
+
+    #[inline]
+    pub fn velocity(&self, id: EntryId) -> Vec2 {
+        Vec2::new(self.vx[id as usize], self.vy[id as usize])
+    }
+
+    #[inline]
+    pub fn set_velocity(&mut self, id: EntryId, v: Vec2) {
+        self.vx[id as usize] = v.x;
+        self.vy[id as usize] = v.y;
+    }
+
+    /// Advance every rectangle one tick of linear motion, reflecting the
+    /// lower-left corner off the size-reduced interval
+    /// `[space.x1, space.x2 - width]` (ditto for y) so the **whole**
+    /// rectangle bounces inside `space` with its size intact — the extent
+    /// analogue of [`MovingSet::advance_bouncing`]. A rectangle wider or
+    /// taller than the space pins to the low corner (it cannot fit).
+    pub fn advance_bouncing(&mut self, space: &Rect) {
+        let n = self.len();
+        for i in 0..n {
+            let id = entry_id(i);
+            if !self.extents.is_live(id) {
+                continue;
+            }
+            let r = self.extents.rect(id);
+            let (w, h) = (r.width(), r.height());
+            let hix = (space.x2 - w).max(space.x1);
+            let hiy = (space.y2 - h).max(space.y1);
+            let mut x = r.x1 + self.vx[i];
+            let mut y = r.y1 + self.vy[i];
+            if x < space.x1 {
+                x = space.x1 + (space.x1 - x);
+                self.vx[i] = -self.vx[i];
+            } else if x > hix {
+                x = hix - (x - hix);
+                self.vx[i] = -self.vx[i];
+            }
+            if y < space.y1 {
+                y = space.y1 + (space.y1 - y);
+                self.vy[i] = -self.vy[i];
+            } else if y > hiy {
+                y = hiy - (y - hiy);
+                self.vy[i] = -self.vy[i];
+            }
+            // A reflection can only escape the reduced interval if speed
+            // exceeds its length; clamp defensively, as the point set does.
+            x = x.clamp(space.x1, hix);
+            y = y.clamp(space.y1, hiy);
+            self.extents.set_rect(id, Rect::new(x, y, x + w, y + h));
         }
     }
 }
@@ -415,5 +774,100 @@ mod tests {
             let p = s.positions.point(0);
             assert!(space.contains_point(p.x, p.y), "escaped at {p:?}");
         }
+    }
+
+    #[test]
+    fn extent_table_mirrors_the_point_table_contract() {
+        let mut t = ExtentTable::default();
+        let a = t.push(Rect::new(0.0, 0.0, 2.0, 2.0));
+        let b = t.push(Rect::new(5.0, 5.0, 9.0, 8.0));
+        let c = t.push(Rect::new(1.0, 1.0, 3.0, 3.0));
+        assert_eq!(t.len(), 3);
+        assert!(t.all_live());
+        assert_eq!(t.rect(b), Rect::new(5.0, 5.0, 9.0, 8.0));
+        assert!(t.remove(b));
+        assert!(!t.remove(b), "second removal is a no-op");
+        assert_eq!(t.len(), 3, "slots never compact");
+        assert_eq!(t.live_len(), 2);
+        assert!(t.is_live(a) && !t.is_live(b) && t.is_live(c));
+        // The dead row's rectangle is frozen, not poisoned.
+        assert_eq!(t.rect(b), Rect::new(5.0, 5.0, 9.0, 8.0));
+        // Live-only iteration and bounds skip the tombstone.
+        let ids: Vec<EntryId> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, c]);
+        assert_eq!(t.bounds(), Some(Rect::new(0.0, 0.0, 3.0, 3.0)));
+        // Handles are never reused after a removal.
+        let d = t.push(Rect::at_point(7.0, 7.0));
+        assert_eq!(d, 3);
+        assert_eq!(t.live_len(), 3);
+    }
+
+    #[test]
+    fn extent_table_set_rect_updates_all_four_columns() {
+        let mut t = ExtentTable::default();
+        let a = t.push(Rect::new(0.0, 0.0, 1.0, 1.0));
+        t.set_rect(a, Rect::new(4.0, 5.0, 6.0, 7.0));
+        assert_eq!(t.rect(a), Rect::new(4.0, 5.0, 6.0, 7.0));
+        assert_eq!(
+            (t.x1s()[0], t.y1s()[0], t.x2s()[0], t.y2s()[0]),
+            (4.0, 5.0, 6.0, 7.0)
+        );
+    }
+
+    #[test]
+    fn both_tables_satisfy_the_shared_table_trait() {
+        fn contract<T: Table>(t: &mut T, id: EntryId) {
+            assert_eq!(t.len(), 2);
+            assert!(t.all_live());
+            assert!(t.remove(id));
+            assert_eq!(t.live_len(), 1);
+            assert!(!t.all_live());
+            assert!(!t.is_live(id));
+            assert_eq!(t.live_mask().len(), 2);
+            assert!(t.bounds().is_some());
+            t.clear();
+            assert!(t.is_empty());
+            assert_eq!(t.bounds(), None);
+        }
+        let mut p = PointTable::default();
+        p.push(1.0, 2.0);
+        let id = p.push(3.0, 4.0);
+        contract(&mut p, id);
+        let mut e = ExtentTable::default();
+        e.push(Rect::new(0.0, 0.0, 1.0, 1.0));
+        let id = e.push(Rect::new(2.0, 2.0, 3.0, 3.0));
+        contract(&mut e, id);
+    }
+
+    #[test]
+    fn extent_advance_preserves_size_and_bounces() {
+        let space = Rect::space(100.0);
+        let mut s = MovingExtentSet::default();
+        // x: 1 - 3 = -2 -> reflect to 2; y reduced interval is
+        // [0, 100 - 4] = [0, 96]: 95 + 3 = 98 -> reflect to 94.
+        s.push(Rect::new(1.0, 95.0, 3.0, 99.0), Vec2::new(-3.0, 3.0));
+        s.advance_bouncing(&space);
+        assert_eq!(s.extents.rect(0), Rect::new(2.0, 94.0, 4.0, 98.0));
+        assert_eq!(s.velocity(0), Vec2::new(3.0, -3.0));
+    }
+
+    #[test]
+    fn extent_advance_skips_dead_objects_and_stays_inside() {
+        let space = Rect::space(50.0);
+        let mut s = MovingExtentSet::default();
+        let a = s.push(Rect::new(10.0, 10.0, 14.0, 12.0), Vec2::new(13.0, -17.0));
+        let b = s.push(Rect::new(20.0, 20.0, 21.0, 21.0), Vec2::new(1.0, 1.0));
+        s.remove(a);
+        for _ in 0..500 {
+            s.advance_bouncing(&space);
+            let r = s.extents.rect(b);
+            assert!(space.contains_rect(&r), "escaped at {r:?}");
+            assert_eq!((r.width(), r.height()), (1.0, 1.0), "size drifted");
+        }
+        assert_eq!(
+            s.extents.rect(a),
+            Rect::new(10.0, 10.0, 14.0, 12.0),
+            "frozen"
+        );
     }
 }

@@ -34,7 +34,7 @@
 use std::num::NonZeroUsize;
 
 use crate::geom::Rect;
-use crate::table::{entry_id, EntryId, PointTable};
+use crate::table::{entry_id, EntryId, ExtentTable, PointTable};
 
 /// Factor `tiles` into the most nearly square `nx × ny` grid: `ny` is the
 /// largest divisor not exceeding `√tiles`, so `nx ≥ ny` and `nx·ny ==
@@ -248,6 +248,65 @@ pub fn replicate_by_extent(
     }
 }
 
+/// One tile's local view of an **extent** relation — the `intersects`
+/// counterpart of [`TileReplica`]. A rectangle is replicated into every
+/// tile of [`TileGrid::cover`] of the rectangle itself (its extent *is*
+/// its query region in the rect self-join), and the reference-point rule
+/// generalizes: a pair `(q, r)` is emitted only by the tile containing
+/// the lower-left corner of the pairwise intersection,
+/// `(max(q.x1, r.x1), max(q.y1, r.y1))`. Because `axis_index` is
+/// monotone, `axis_index(max(a, b)) = max(axis_index(a), axis_index(b))`,
+/// so that corner's tile lies in both rectangles' covers — both replicas
+/// are resident there (coverage), and no other tile passes the filter
+/// (uniqueness).
+#[derive(Debug, Default)]
+pub struct ExtentReplica {
+    pub table: ExtentTable,
+    pub to_global: Vec<EntryId>,
+}
+
+impl ExtentReplica {
+    /// Drop all rows, keeping allocated capacity for the next tick.
+    pub fn clear(&mut self) {
+        self.table.clear();
+        self.to_global.clear();
+    }
+
+    fn push(&mut self, rect: Rect, global: EntryId) {
+        self.table.push(rect);
+        self.to_global.push(global);
+    }
+
+    /// Global handle of local row `local`.
+    #[inline]
+    pub fn global(&self, local: EntryId) -> EntryId {
+        self.to_global[local as usize]
+    }
+}
+
+/// Partition `table`'s **live** rectangles into per-tile replicas: each
+/// rect goes to every tile it overlaps. `replicas` is resized to the grid
+/// and reused across ticks, mirroring [`replicate_by_extent`].
+pub fn replicate_extents(table: &ExtentTable, grid: &TileGrid, replicas: &mut Vec<ExtentReplica>) {
+    replicas.resize_with(grid.tiles(), ExtentReplica::default);
+    for r in replicas.iter_mut() {
+        r.clear();
+    }
+    let (x1s, y1s) = (table.x1s(), table.y1s());
+    let (x2s, y2s) = (table.x2s(), table.y2s());
+    let live = table.live_mask();
+    let all_live = table.all_live();
+    for i in 0..x1s.len() {
+        if !all_live && !live[i] {
+            continue;
+        }
+        let rect = Rect::new(x1s[i], y1s[i], x2s[i], y2s[i]);
+        for t in grid.cover(&rect) {
+            replicas[t].push(rect, entry_id(i));
+        }
+    }
+}
+
 /// Queriers per mini-join chunk. Small enough that a hotspot tile's work
 /// splits into many schedulable pieces, large enough that the shared
 /// cursor's `fetch_add` is noise next to the probes it buys.
@@ -322,6 +381,17 @@ pub fn auto_tile_count(table: &PointTable, space: &Rect, query_side: f32) -> Non
     let axis_cap = ((min_side / query_side.max(1e-6)) as usize).clamp(1, AUTO_BINS);
     let cap = (axis_cap * axis_cap).min(AUTO_MAX_TILES);
     NonZeroUsize::new(count.min(cap).max(1)).expect("clamped to at least one tile")
+}
+
+/// Adaptive tile count for an extent relation: the plain population rule
+/// (`live / 2048`, clamped to `1..=64`) without the skew/width heuristics
+/// of [`auto_tile_count`] — extents carry their own query region, so
+/// there is no `query_side` to cap the axis with, and the population term
+/// alone keeps adaptive runs deterministic and bit-identical (the
+/// reference-point rule makes results tile-count-invariant).
+pub fn auto_tile_count_extents(table: &ExtentTable) -> NonZeroUsize {
+    let count = (table.live_len() / AUTO_TARGET_PER_TILE).clamp(1, AUTO_MAX_TILES);
+    NonZeroUsize::new(count).expect("clamped to at least one tile")
 }
 
 /// Ratio of the fullest histogram bin to the mean bin, from a strided
@@ -651,6 +721,98 @@ mod tests {
         assert!(auto_tile_count(&t, &space, 30.0).get() <= 9);
         // A degenerate zero query side must not divide by zero.
         assert!(auto_tile_count(&t, &space, 0.0).get() >= 1);
+    }
+
+    #[test]
+    fn extent_replication_covers_every_overlapped_tile_and_skips_tombstones() {
+        let space = Rect::space(100.0);
+        let g = TileGrid::new(&space, tiles(4));
+        let mut t = ExtentTable::default();
+        let a = t.push(Rect::new(10.0, 10.0, 20.0, 20.0)); // interior to tile 0
+        let b = t.push(Rect::new(45.0, 45.0, 55.0, 55.0)); // straddles all four
+        let c = t.push(Rect::new(60.0, 10.0, 90.0, 20.0)); // interior to tile 1
+        let dead = t.push(Rect::new(70.0, 70.0, 80.0, 80.0));
+        t.remove(dead);
+
+        let mut replicas = Vec::new();
+        replicate_extents(&t, &g, &mut replicas);
+        assert_eq!(replicas.len(), 4);
+
+        let holding = |id: EntryId| {
+            replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.to_global.contains(&id))
+                .map(|(t, _)| t)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(holding(a), vec![0]);
+        assert_eq!(holding(b), vec![0, 1, 2, 3]);
+        assert_eq!(holding(c), vec![1]);
+        assert!(holding(dead).is_empty());
+        for r in &replicas {
+            assert_eq!(r.table.len(), r.to_global.len());
+            assert!(r.table.all_live(), "replicas hold live rows only");
+        }
+        // Replicated rows keep their full geometry.
+        let local = replicas[3].to_global.iter().position(|&g| g == b).unwrap();
+        assert_eq!(
+            replicas[3].table.rect(entry_id(local)),
+            Rect::new(45.0, 45.0, 55.0, 55.0)
+        );
+    }
+
+    #[test]
+    fn intersection_reference_point_lands_in_both_covers() {
+        // The generalization the extent tiled executors stand on: for any
+        // intersecting pair, the tile of (max(x1), max(y1)) is in both
+        // rects' covers.
+        let space = Rect::space(1_000.0);
+        let mut rng = Xoshiro256::seeded(21);
+        for n in [1usize, 2, 4, 5, 7, 16, 64] {
+            let g = TileGrid::new(&space, tiles(n));
+            for _ in 0..300 {
+                let (ax, ay) = (rng.range_f32(0.0, 950.0), rng.range_f32(0.0, 950.0));
+                let a = Rect::new(
+                    ax,
+                    ay,
+                    ax + rng.range_f32(0.0, 50.0),
+                    ay + rng.range_f32(0.0, 50.0),
+                );
+                let (bx, by) = (rng.range_f32(0.0, 950.0), rng.range_f32(0.0, 950.0));
+                let b = Rect::new(
+                    bx,
+                    by,
+                    bx + rng.range_f32(0.0, 50.0),
+                    by + rng.range_f32(0.0, 50.0),
+                );
+                if !a.intersects(&b) {
+                    continue;
+                }
+                let home = g.tile_of(a.x1.max(b.x1), a.y1.max(b.y1));
+                let ca: Vec<usize> = g.cover(&a).collect();
+                let cb: Vec<usize> = g.cover(&b).collect();
+                assert!(ca.contains(&home), "tiles = {n}, a = {a:?}, b = {b:?}");
+                assert!(cb.contains(&home), "tiles = {n}, a = {a:?}, b = {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn extent_auto_tile_count_tracks_the_live_population() {
+        let mut t = ExtentTable::default();
+        assert_eq!(auto_tile_count_extents(&t).get(), 1, "empty table");
+        for i in 0..AUTO_TARGET_PER_TILE * 8 {
+            let x = (i % 1000) as f32;
+            t.push(Rect::new(x, x, x + 1.0, x + 1.0));
+        }
+        assert_eq!(auto_tile_count_extents(&t).get(), 8);
+        for i in 0..t.len() {
+            if i % 2 == 0 {
+                t.remove(entry_id(i));
+            }
+        }
+        assert_eq!(auto_tile_count_extents(&t).get(), 4);
     }
 
     #[test]

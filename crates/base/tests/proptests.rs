@@ -3,11 +3,31 @@
 use proptest::prelude::*;
 use sj_base::geom::{Point, Rect, Vec2};
 use sj_base::rng::Xoshiro256;
+use sj_base::simd::{filter_overlap, filter_overlap_each_scalar};
 use sj_base::table::MovingSet;
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
     (0.0f32..1000.0, 0.0f32..1000.0, 0.0f32..500.0, 0.0f32..500.0)
         .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+/// A coordinate drawn from a small lattice so that rectangle edges tie
+/// *exactly* with each other a large fraction of the time — the `>=`
+/// vs `>` mistakes only show on equal bits.
+fn arb_lattice_coord() -> impl Strategy<Value = f32> {
+    prop::sample::select(vec![0.0f32, 50.0, 100.0, 150.0, 200.0, 99.999, 100.001])
+}
+
+/// A rectangle on the tie lattice; zero-extent sides are frequent (the
+/// lattice reuses values), so degenerate line/point rects appear often.
+fn arb_tie_rect() -> impl Strategy<Value = Rect> {
+    (
+        arb_lattice_coord(),
+        arb_lattice_coord(),
+        arb_lattice_coord(),
+        arb_lattice_coord(),
+    )
+        .prop_map(|(a, b, c, d)| Rect::new(a.min(c), b.min(d), a.max(c), b.max(d)))
 }
 
 proptest! {
@@ -142,6 +162,90 @@ proptest! {
         ] {
             prop_assert!(r.contains_point(px, py), "boundary point ({px},{py}) not in {r:?}");
         }
+    }
+
+    // --- Predicate oracles: closed-interval semantics, tie lattice -------
+
+    #[test]
+    fn intersects_matches_the_interval_oracle(a in arb_tie_rect(), b in arb_tie_rect()) {
+        // The intersects predicate is exactly the conjunction of two
+        // closed-interval overlap tests — the scalar oracle every index
+        // and the SIMD overlap kernel must reproduce, ties included.
+        let expect = a.x1 <= b.x2 && b.x1 <= a.x2 && a.y1 <= b.y2 && b.y1 <= a.y2;
+        prop_assert_eq!(a.intersects(&b), expect, "{:?} vs {:?}", a, b);
+        prop_assert_eq!(b.intersects(&a), expect);
+    }
+
+    #[test]
+    fn contains_rect_matches_the_interval_oracle(a in arb_tie_rect(), b in arb_tie_rect()) {
+        let expect = a.x1 <= b.x1 && b.x2 <= a.x2 && a.y1 <= b.y1 && b.y2 <= a.y2;
+        prop_assert_eq!(a.contains_rect(&b), expect, "{:?} vs {:?}", a, b);
+        // Containment is intersection strengthened, even for zero-area b.
+        if expect {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn contains_point_matches_the_degenerate_intersection(
+        r in arb_tie_rect(),
+        px in arb_lattice_coord(),
+        py in arb_lattice_coord(),
+    ) {
+        // The two predicate axes agree where they overlap: a point is
+        // within-range exactly when its zero-area rect intersects.
+        let degenerate = Rect::new(px, py, px, py);
+        prop_assert_eq!(r.contains_point(px, py), r.intersects(&degenerate));
+        prop_assert_eq!(r.contains_point(px, py), r.contains_rect(&degenerate));
+    }
+
+    #[test]
+    fn try_new_accepts_exactly_the_ordered_finite_corners(
+        x1 in prop::sample::select(vec![0.0f32, 1.0, 5.0, f32::NAN]),
+        y1 in prop::sample::select(vec![0.0f32, 2.0, 7.0, f32::NAN]),
+        w in -3.0f32..3.0,
+        h in -3.0f32..3.0,
+    ) {
+        let (x2, y2) = (x1 + w, y1 + h);
+        match Rect::try_new(x1, y1, x2, y2) {
+            Some(r) => {
+                // Accepted ⟺ both axes ordered (NaN fails every
+                // comparison, so any NaN corner is rejected).
+                prop_assert!(x1 <= x2 && y1 <= y2);
+                prop_assert_eq!((r.x1, r.y1, r.x2, r.y2), (x1, y1, x2, y2));
+                prop_assert!(r.intersects(&r), "every valid rect self-intersects");
+            }
+            None => prop_assert!(!(x1 <= x2 && y1 <= y2)),
+        }
+    }
+
+    // --- SIMD overlap kernel vs the scalar oracle ------------------------
+
+    #[test]
+    fn simd_overlap_filter_matches_the_intersects_oracle(
+        rects in prop::collection::vec(arb_tie_rect(), 0..70),
+        region in arb_tie_rect(),
+    ) {
+        // Column lengths straddle the 8-lane AVX2 and 4-lane SSE2 block
+        // boundaries; rows tie with the region edges constantly and many
+        // are degenerate. The dispatched kernel, the scalar kernel, and
+        // Rect::intersects must agree bit for bit — same rows, same order.
+        let x1s: Vec<f32> = rects.iter().map(|r| r.x1).collect();
+        let y1s: Vec<f32> = rects.iter().map(|r| r.y1).collect();
+        let x2s: Vec<f32> = rects.iter().map(|r| r.x2).collect();
+        let y2s: Vec<f32> = rects.iter().map(|r| r.y2).collect();
+        let mut dispatched = Vec::new();
+        filter_overlap(&x1s, &y1s, &x2s, &y2s, &region, 40, &mut dispatched);
+        let mut scalar = Vec::new();
+        filter_overlap_each_scalar(&x1s, &y1s, &x2s, &y2s, &region, 40, &mut |e| scalar.push(e));
+        let oracle: Vec<u32> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&region))
+            .map(|(i, _)| 40 + i as u32)
+            .collect();
+        prop_assert_eq!(&dispatched, &oracle);
+        prop_assert_eq!(&scalar, &oracle);
     }
 
     // --- Edge cases: negative-velocity reflection in MovingSet -----------

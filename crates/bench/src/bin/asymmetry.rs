@@ -62,6 +62,13 @@ fn main() {
         }
         // An explicit :ratio<K> pins the sweep to the |R|/|S| = 1/K cell.
         JoinSpec::Bipartite { r, s, ratio } => (r, s, (ratio.get() != 1).then_some(ratio.get())),
+        JoinSpec::Intersect => {
+            eprintln!(
+                "--join intersect:rects is not supported by asymmetry: the sweep is \
+                 over bipartite point joins (use table2 for the intersection join)"
+            );
+            std::process::exit(2);
+        }
     };
     let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
 

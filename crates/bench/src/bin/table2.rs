@@ -15,7 +15,10 @@
 //! `churn:*` specs add arrival/departure cost to the update column.
 //! `--join SPEC` swaps the join shape: `bipartite:<R>x<S>[:ratio<K>]`
 //! breaks the table down for an R ⋈ S join over two independent
-//! relations instead of the paper's self-join.
+//! relations instead of the paper's self-join, and `intersect:rects`
+//! runs the intersection self-join over moving rectangles — the table
+//! then restricts itself to the intersects-capable techniques (grid
+//! stages and the two-layer partitioning join).
 //!
 //! Run: `cargo run -p sj-bench --release --bin table2 [--ticks N] [--workload SPEC] [--csv|--json]`
 
@@ -23,14 +26,17 @@ use sj_bench::cli::CommonOpts;
 use sj_bench::report::stats_line;
 use sj_bench::run_joined_spec;
 use sj_bench::table::{secs, Table};
-use sj_core::technique::TechniqueSpec;
 
 fn main() {
     let opts = CommonOpts::parse();
+    opts.require_intersect_support();
     let params = opts.uniform_params();
-    let specs = opts.techniques(TechniqueSpec::is_benchmarkable);
     let wspec = opts.workload_spec();
     let jspec = opts.join_spec();
+    // Under an intersection join only the intersects-capable techniques
+    // can run (an explicit --technique is vetted above).
+    let specs = opts
+        .techniques(|s| s.is_benchmarkable() && (!jspec.is_intersect() || s.supports_intersects()));
     let exec = opts.exec_mode();
 
     if !opts.json {

@@ -47,12 +47,14 @@ pub struct CommonOpts {
     /// one workload family reject the flag; the rest default to `uniform`.
     pub workload: Option<WorkloadSpec>,
     /// Drive the run through a named join shape (`--join SPEC`): `self`
-    /// (default, the paper's setting) or `bipartite:<R>x<S>[:ratio<K>]`,
+    /// (default, the paper's setting), `bipartite:<R>x<S>[:ratio<K>]`,
     /// which joins an independent query relation R against the data
-    /// relation S. For bipartite specs the relation workloads come from
-    /// the spec itself and `--workload` is rejected (one configuration
-    /// source per axis). Binaries whose sweep is intrinsically
-    /// self-joined reject non-`self` specs.
+    /// relation S, or `intersect:rects` — the intersection self-join over
+    /// moving rectangles under the **intersects** predicate. For the
+    /// non-self specs the workloads come from the spec itself and
+    /// `--workload` is rejected (one configuration source per axis).
+    /// Binaries whose sweep is intrinsically self-joined reject
+    /// non-`self` specs.
     pub join: Option<JoinSpec>,
     /// `--list-techniques`: print the technique registry's canonical spec
     /// strings (one per line) and exit 0.
@@ -81,8 +83,9 @@ pub enum CliError {
     UnknownWorkload(ParseWorkloadError),
     /// `--join` named a spec outside the join grammar.
     UnknownJoin(ParseJoinError),
-    /// `--join bipartite:…` combined with `--workload`: the bipartite spec
-    /// already names both relation workloads.
+    /// A non-self `--join` combined with `--workload`: a bipartite spec
+    /// already names both relation workloads, and an intersect spec names
+    /// its own extent workload.
     JoinWorkloadConflict,
     /// An unrecognized argument.
     UnknownFlag(String),
@@ -100,8 +103,8 @@ impl std::fmt::Display for CliError {
             CliError::UnknownWorkload(e) => write!(f, "{e}"),
             CliError::UnknownJoin(e) => write!(f, "{e}"),
             CliError::JoinWorkloadConflict => f.write_str(
-                "--workload cannot be combined with a bipartite --join: the join spec \
-                 already names both relation workloads (bipartite:<R>x<S>)",
+                "--workload cannot be combined with a non-self --join: the join spec \
+                 already names its workloads (bipartite:<R>x<S>, intersect:rects)",
             ),
             CliError::UnknownFlag(arg) => write!(f, "unknown argument: {arg} (try --help)"),
         }
@@ -126,8 +129,9 @@ pub fn usage() -> String {
          grid:inline@tiles4@par2, or grid:inline@tilesauto\n  \
          --workload SPEC   drive the run through a named workload; SPEC one of:\n                    {}\n                    \
          (gaussian:h<N> takes any hotspot count; churn: prefixes any base spec)\n  \
-         --join SPEC       join shape: self (default) or bipartite:<R>x<S>[:ratio<K>]\n                    \
-         (R/S are workload specs; ratio<K> shrinks the query relation to 1/K)\n  \
+         --join SPEC       join shape: self (default), bipartite:<R>x<S>[:ratio<K>], or intersect:rects\n                    \
+         (R/S are workload specs; ratio<K> shrinks the query relation to 1/K;\n                    \
+         intersect:rects runs the intersection self-join over moving rectangles)\n  \
          --list-techniques print the technique registry spec strings and exit\n  \
          --list-workloads  print the workload registry spec strings and exit\n  \
          --csv             machine-readable CSV output\n  \
@@ -282,8 +286,34 @@ impl CommonOpts {
             if !j.is_self() {
                 eprintln!(
                     "--join {} is not supported by {bin}: its sweep is tied to a \
-                     single self-joined population (use table2 or asymmetry)",
+                     single self-joined point population (use table2, or asymmetry \
+                     for bipartite joins)",
                     j.name()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Exit with a usage error when an intersection `--join` names a
+    /// `--technique` outside the predicate's implementors — the run would
+    /// otherwise die on the executor's assert. Call at the top of `main`
+    /// in binaries that accept intersection joins (table2); without an
+    /// explicit `--technique` the default filter handles the restriction.
+    pub fn require_intersect_support(&self) {
+        if let (true, Some(spec)) = (self.join_spec().is_intersect(), self.technique) {
+            if !spec.supports_intersects() {
+                let capable: Vec<String> = registry()
+                    .into_iter()
+                    .filter(|s| s.supports_intersects())
+                    .map(|s| s.name())
+                    .collect();
+                eprintln!(
+                    "--technique {} does not implement the intersects predicate required \
+                     by --join {}; intersects-capable specs: {}",
+                    spec.name(),
+                    self.join_spec().name(),
+                    capable.join(", ")
                 );
                 std::process::exit(2);
             }
@@ -509,6 +539,7 @@ mod tests {
         }
         assert!(u.contains("--list-techniques") && u.contains("--list-workloads"));
         assert!(u.contains("--join") && u.contains("bipartite:<R>x<S>"));
+        assert!(u.contains("intersect:rects"));
         assert!(u.contains("--tiles") && u.contains("@tiles4"));
         assert!(u.contains("@tiles4@par2") && u.contains("@tilesauto"));
     }
@@ -567,6 +598,24 @@ mod tests {
         );
         // --workload remains fine with the (default or explicit) self join.
         assert!(parse(&["--join", "self", "--workload", "uniform"]).is_ok());
+    }
+
+    #[test]
+    fn intersect_join_parses_and_rejects_a_workload_flag() {
+        let opts = parse(&["--join", "intersect:rects"]).unwrap();
+        let spec = opts.join.unwrap();
+        assert!(spec.is_intersect() && !spec.is_self());
+        assert_eq!(spec.name(), "intersect:rects");
+        // The intersect spec names its own extent workload; a simultaneous
+        // --workload would be a second configuration source.
+        assert_eq!(
+            parse(&["--join", "intersect:rects", "--workload", "uniform"]).err(),
+            Some(CliError::JoinWorkloadConflict)
+        );
+        match parse(&["--join", "intersect:spheres"]) {
+            Err(CliError::UnknownJoin(e)) => assert_eq!(e.spec, "intersect:spheres"),
+            other => panic!("expected UnknownJoin, got {other:?}"),
+        }
     }
 
     #[test]

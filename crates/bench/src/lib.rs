@@ -57,9 +57,14 @@ pub fn run_workload_spec(
 
 /// Drive `technique` through the join shape named by `jspec` (binaries
 /// pass [`cli::CommonOpts::join_spec`]): the self-join over `wspec` for
-/// [`JoinSpec::SelfJoin`], or — for a bipartite spec — an R ⋈ S run over
-/// the spec's own relation workloads built from the shared `params`
-/// (`wspec` is then unused; the CLI layer rejects the combination).
+/// [`JoinSpec::SelfJoin`], an R ⋈ S run over a bipartite spec's own
+/// relation workloads built from the shared `params`, or — for
+/// [`JoinSpec::Intersect`] — an intersection join over the spec's extent
+/// workload under the **intersects** predicate (the technique must
+/// implement it; the CLI layer filters on
+/// [`TechniqueSpec::supports_intersects`]). For the non-self shapes the
+/// workloads come from the join spec and `wspec` is unused; the CLI layer
+/// rejects the combination.
 pub fn run_joined(
     jspec: JoinSpec,
     wspec: WorkloadSpec,
@@ -67,6 +72,11 @@ pub fn run_joined(
     technique: &mut Technique,
     exec: ExecMode,
 ) -> RunStats {
+    if let Some(mut extents) = jspec.build_extents(*params) {
+        params.validate().expect("invalid workload parameters");
+        let cfg = DriverConfig::new(params.ticks, warmup_for(params.ticks)).with_exec(exec);
+        return technique.run_intersect(&mut *extents, cfg);
+    }
     match jspec.build_pair(*params) {
         None => run_workload(wspec, params, technique, exec),
         Some((mut r, mut s)) => {
@@ -302,6 +312,42 @@ mod tests {
         assert_eq!(gridded.queries, reference.queries);
         // And the bipartite join is a genuinely different computation.
         assert_ne!(reference.checksum, direct.checksum);
+    }
+
+    #[test]
+    fn joined_runner_dispatches_the_intersect_shape() {
+        use sj_workload::JoinSpec;
+        let params = quick_params();
+        let wspec = WorkloadKind::Uniform.spec();
+        // The quadratic scan is the ground truth for the intersects
+        // predicate too; every intersects-capable technique (and every
+        // execution mode) must agree with it bit for bit.
+        let reference = run_joined_spec(
+            JoinSpec::Intersect,
+            wspec,
+            &params,
+            TechniqueKind::Scan.spec(),
+            SEQ,
+        );
+        assert!(reference.result_pairs > 0);
+        for name in [
+            "grid:inline",
+            "twolayer",
+            "grid:inline@tiles4",
+            "twolayer@par2",
+        ] {
+            let spec = TechniqueSpec::parse(name).unwrap();
+            let r = run_joined_spec(JoinSpec::Intersect, wspec, &params, spec, SEQ);
+            assert_eq!(
+                (r.checksum, r.result_pairs),
+                (reference.checksum, reference.result_pairs),
+                "{name}"
+            );
+        }
+        // And the intersection join is a genuinely different computation
+        // from the point self-join over the same parameters.
+        let point = run_workload_spec(wspec, &params, TechniqueKind::Scan.spec(), SEQ);
+        assert_ne!(reference.checksum, point.checksum);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! - **table2** — the per-phase breakdown for every benchmarkable registry
 //!   technique, over uniform, Gaussian-hotspot, and churn populations
 //!   (self-join), plus a bipartite `uniform ⋈ gaussian:h3` at ratio 10 for
-//!   a core subset.
+//!   a core subset, plus four intersection-join (`intersect:rects`) cells
+//!   over the intersects-capable lane — the two-layer partitioning join
+//!   and the tuned grid, sequentially and under `@tiles4`/`@par2`.
 //! - **scaling** — the query phase at 1/2/4/8 workers for a core subset:
 //!   the Tsitsigkos-style sharded (`@par`) thread cells, plus the
 //!   space-partitioned (`@tiles<N>`) cells racing them — over uniform at
@@ -269,6 +271,26 @@ pub fn cell_matrix() -> Vec<CellSpec> {
         threads: 0,
         scales: (1, 1),
     });
+    // table2, intersection join: the intersects-predicate lane — the
+    // two-layer partitioning join raced against the tuned grid's extent
+    // store, sequentially and under the partitioned/sharded modes (which
+    // must stay bit-identical; the determinism tests pin that, the suite
+    // pins the timings).
+    for name in [
+        "twolayer",
+        "grid:inline",
+        "grid:inline@tiles4",
+        "twolayer@par2",
+    ] {
+        cells.push(CellSpec {
+            bench: "table2",
+            technique: TechniqueSpec::parse(name).expect("canonical spec"),
+            workload: uniform,
+            join: JoinSpec::Intersect,
+            threads: 0,
+            scales: (1, 1),
+        });
+    }
     // asymmetry: |R|/|S| cells over uniform ⋈ gaussian:h3.
     let asym_join = JoinSpec::bipartite(uniform, gaussian);
     for spec in core_subset() {
@@ -405,6 +427,9 @@ mod tests {
             ids.contains("table2/bipartite:uniformxgaussian:h3:ratio10/grid:inline@tiles4@par2")
         );
         assert!(ids.contains("asymmetry/bipartite:uniformxgaussian:h3/r100s1/sweep"));
+        assert!(ids.contains("table2/intersect:rects/twolayer"));
+        assert!(ids.contains("table2/intersect:rects/grid:inline@tiles4"));
+        assert!(ids.contains("table2/intersect:rects/twolayer@par2"));
     }
 
     #[test]
@@ -412,8 +437,14 @@ mod tests {
         let cells = cell_matrix();
         let benches: HashSet<&str> = cells.iter().map(|c| c.bench).collect();
         assert_eq!(benches.len(), 3);
-        // Self + bipartite, uniform + gaussian + churn, 1/2/4/8 threads.
+        // Self + bipartite + intersect, uniform + gaussian + churn,
+        // 1/2/4/8 threads.
         assert!(cells.iter().any(|c| !c.join.is_self()));
+        assert!(cells.iter().any(|c| c.join.is_intersect()));
+        // Every intersect cell names an intersects-capable technique.
+        for c in cells.iter().filter(|c| c.join.is_intersect()) {
+            assert!(c.technique.supports_intersects(), "{}", c.id());
+        }
         for w in ["uniform", "gaussian:h3", "churn:uniform"] {
             assert!(
                 cells

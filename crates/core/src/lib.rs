@@ -64,11 +64,12 @@ pub mod technique;
 
 pub use batch::{BatchJoin, NaiveBatchJoin};
 pub use driver::{
-    run_batch_join, run_bipartite_batch_join, run_bipartite_join, run_join, DriverConfig, RunStats,
+    run_batch_join, run_bipartite_batch_join, run_bipartite_join, run_intersect_batch_join,
+    run_intersect_join, run_join, DriverConfig, ExtentTickActions, ExtentWorkload, RunStats,
     TickActions, TickTimes, Workload,
 };
 pub use geom::{Point, Rect, Vec2};
 pub use index::{ScanIndex, SpatialIndex};
 pub use par::ExecMode;
-pub use table::{EntryId, MovingSet, PointTable};
+pub use table::{EntryId, ExtentTable, MovingExtentSet, MovingSet, PointTable, Table};
 pub use technique::{registry, ParseSpecError, Technique, TechniqueKind, TechniqueSpec};

@@ -27,8 +27,8 @@ use std::num::NonZeroUsize;
 
 use sj_base::batch::BatchJoin;
 use sj_base::driver::{
-    run_batch_join, run_bipartite_batch_join, run_bipartite_join, run_join, DriverConfig, RunStats,
-    Workload,
+    run_batch_join, run_bipartite_batch_join, run_bipartite_join, run_intersect_batch_join,
+    run_intersect_join, run_join, DriverConfig, ExtentWorkload, RunStats, Workload,
 };
 use sj_base::index::{ScanIndex, SpatialIndex};
 use sj_base::par::{ExecMode, Tiling};
@@ -39,6 +39,7 @@ use sj_kdtrie::LinearKdTrie;
 use sj_quadtree::QuadTree;
 use sj_rtree::{DynRTree, RTree};
 use sj_sweep::PlaneSweepJoin;
+use sj_twolayer::TwoLayerJoin;
 
 /// The two join categories behind [`Technique`].
 enum Impl {
@@ -139,6 +140,34 @@ impl Technique {
             Impl::Batch(j) => {
                 run_bipartite_batch_join(query_workload, data_workload, j.as_mut(), cfg)
             }
+        }
+    }
+
+    /// Drive this technique through an **intersection join** over extent
+    /// entries: every tick, each planned querier's own rectangle is
+    /// joined against the whole extent table under the closed
+    /// rectangle-overlap predicate (see DESIGN.md §15). Same category
+    /// dispatch and exec-mode promotion as [`Technique::run`]. Panics
+    /// before the first tick unless [`Technique::supports_intersect`].
+    pub fn run_intersect<W: ExtentWorkload + ?Sized>(
+        &mut self,
+        workload: &mut W,
+        cfg: DriverConfig,
+    ) -> RunStats {
+        let cfg = cfg.with_exec(cfg.exec.or(self.exec));
+        match &mut self.imp {
+            Impl::Index(i) => run_intersect_join(workload, i.as_mut(), cfg),
+            Impl::Batch(j) => run_intersect_batch_join(workload, j.as_mut(), cfg),
+        }
+    }
+
+    /// Whether this technique implements the intersects predicate over
+    /// extent entries (either category; see
+    /// [`sj_base::index::SpatialIndex::supports_intersect`]).
+    pub fn supports_intersect(&self) -> bool {
+        match &self.imp {
+            Impl::Index(i) => i.supports_intersect(),
+            Impl::Batch(j) => j.supports_intersect(),
         }
     }
 
@@ -243,6 +272,12 @@ pub enum TechniqueKind {
     /// Index-free forward plane sweep (`sweep`) — the specialized join
     /// category; builds a batch [`Technique`].
     Sweep,
+    /// Two-layer space-oriented partitioning join (`twolayer`,
+    /// arXiv:2307.09256) — a batch technique for extent entries that
+    /// emits every intersecting pair exactly once with zero
+    /// deduplication; also answers point within-range joins via
+    /// degenerate rectangles.
+    TwoLayer,
 }
 
 /// Every technique in the workspace, in presentation order: the ground
@@ -266,6 +301,7 @@ pub fn registry() -> Vec<TechniqueSpec> {
         TechniqueKind::QuadTree,
         TechniqueKind::VecSearch,
         TechniqueKind::Sweep,
+        TechniqueKind::TwoLayer,
     ]);
     v.into_iter().map(TechniqueKind::spec).collect()
 }
@@ -289,6 +325,7 @@ impl TechniqueKind {
             TechniqueKind::QuadTree => "quadtree",
             TechniqueKind::KdTrie => "kdtrie",
             TechniqueKind::Sweep => "sweep",
+            TechniqueKind::TwoLayer => "twolayer",
         }
     }
 
@@ -307,6 +344,7 @@ impl TechniqueKind {
             TechniqueKind::QuadTree => "Quadtree",
             TechniqueKind::KdTrie => "Linearized KD-Trie",
             TechniqueKind::Sweep => "Plane Sweep",
+            TechniqueKind::TwoLayer => "Two-Layer Partitioning",
         }
     }
 
@@ -331,6 +369,7 @@ impl TechniqueKind {
             "quadtree" => TechniqueKind::QuadTree,
             "kdtrie" => TechniqueKind::KdTrie,
             "sweep" => TechniqueKind::Sweep,
+            "twolayer" => TechniqueKind::TwoLayer,
             _ => return None,
         })
     }
@@ -386,13 +425,26 @@ impl TechniqueKind {
             }
             TechniqueKind::KdTrie => Technique::index(Box::new(LinearKdTrie::new(space_side))),
             TechniqueKind::Sweep => Technique::batch(Box::new(PlaneSweepJoin::new())),
+            TechniqueKind::TwoLayer => Technique::batch(Box::new(TwoLayerJoin::new())),
         }
     }
 
     /// Whether this kind builds a batch (set-at-a-time) technique rather
     /// than an index.
     pub const fn is_batch(self) -> bool {
-        matches!(self, TechniqueKind::Sweep)
+        matches!(self, TechniqueKind::Sweep | TechniqueKind::TwoLayer)
+    }
+
+    /// Whether this kind implements the **intersects** predicate over
+    /// extent entries: the ground-truth scan, the Simple Grid stages
+    /// (reference-corner extent store), and the two-layer partitioning
+    /// join. The rest of the line-up is point-only; the intersection
+    /// harness filters on this.
+    pub const fn supports_intersects(self) -> bool {
+        matches!(
+            self,
+            TechniqueKind::Scan | TechniqueKind::Grid(_) | TechniqueKind::TwoLayer
+        )
     }
 
     /// Whether this kind is the quadratic ground-truth reference —
@@ -560,6 +612,9 @@ impl TechniqueSpec {
     pub const fn in_figure2(self) -> bool {
         self.kind.in_figure2()
     }
+    pub const fn supports_intersects(self) -> bool {
+        self.kind.supports_intersects()
+    }
     pub const fn grid_stage(self) -> Option<Stage> {
         self.kind.grid_stage()
     }
@@ -600,11 +655,14 @@ mod tests {
     #[test]
     fn registry_covers_every_category_once() {
         let specs = registry();
-        assert_eq!(specs.len(), 15);
-        assert_eq!(specs.iter().filter(|s| s.is_batch()).count(), 1);
+        assert_eq!(specs.len(), 16);
+        assert_eq!(specs.iter().filter(|s| s.is_batch()).count(), 2);
         assert_eq!(specs.iter().filter(|s| s.is_reference()).count(), 1);
         assert_eq!(specs.iter().filter(|s| s.in_figure2()).count(), 5);
         assert_eq!(specs.iter().filter(|s| s.grid_stage().is_some()).count(), 5);
+        // The intersects predicate: the reference scan, all five grid
+        // stages, and the two-layer join.
+        assert_eq!(specs.iter().filter(|s| s.supports_intersects()).count(), 7);
         assert!(specs.iter().all(|s| s.exec == ExecMode::Sequential));
     }
 
@@ -878,6 +936,70 @@ mod tests {
                         (stats.result_pairs, stats.checksum),
                         expect,
                         "{} ({exec}) computed a different bipartite join",
+                        spec.name()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_support_is_consistent_between_spec_and_technique() {
+        for spec in registry() {
+            let tech = spec.build(1_000.0);
+            assert_eq!(
+                tech.supports_intersect(),
+                spec.supports_intersects(),
+                "{}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn intersect_techniques_agree_across_exec_modes() {
+        use sj_base::driver::ExtentTickActions;
+        use sj_base::geom::{Rect, Vec2};
+        use sj_base::table::MovingExtentSet;
+
+        // Deterministic drifting rectangles; every live entry queries its
+        // own extent each tick (the driver's rect self-join).
+        struct ToyRects;
+        impl ExtentWorkload for ToyRects {
+            fn space(&self) -> Rect {
+                Rect::space(100.0)
+            }
+            fn init(&mut self) -> MovingExtentSet {
+                let mut s = MovingExtentSet::default();
+                for i in 0..40u32 {
+                    let t = (i as f32 * 7.3) % 85.0;
+                    let u = (t * 3.1 + 11.0) % 85.0;
+                    s.push(Rect::new(t, u, t + 9.0, u + 9.0), Vec2::new(1.0, -0.5));
+                }
+                s
+            }
+            fn plan_tick(&mut self, _t: u32, set: &MovingExtentSet, a: &mut ExtentTickActions) {
+                a.queriers
+                    .extend((0..set.len() as u32).filter(|&i| set.is_live(i)));
+            }
+        }
+
+        let cfg = DriverConfig::new(2, 0);
+        let mut reference = None;
+        for spec in registry() {
+            if !spec.supports_intersects() {
+                continue;
+            }
+            for exec in [ExecMode::Sequential, par(3), tiles(4)] {
+                let mut tech = spec.with_exec(exec).build(100.0);
+                let stats = tech.run_intersect(&mut ToyRects, cfg);
+                assert!(stats.result_pairs > 0, "{}", spec.name());
+                match reference {
+                    None => reference = Some((stats.result_pairs, stats.checksum)),
+                    Some(expect) => assert_eq!(
+                        (stats.result_pairs, stats.checksum),
+                        expect,
+                        "{} ({exec}) computed a different intersection join",
                         spec.name()
                     ),
                 }

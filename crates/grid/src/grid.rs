@@ -10,7 +10,7 @@
 
 use sj_base::geom::Rect;
 use sj_base::index::SpatialIndex;
-use sj_base::table::{entry_id, EntryId, PointTable};
+use sj_base::table::{entry_id, EntryId, ExtentTable, PointTable};
 use sj_base::trace::{NullTracer, Tracer};
 
 use crate::config::{GridConfig, Layout, QueryAlgo, Stage};
@@ -46,6 +46,16 @@ pub struct SimpleGrid {
     cell_size: f32,
     store: Store,
     name: String,
+    /// Extent store for the `intersects` predicate: each rectangle sits in
+    /// the cell of its **reference corner** (lower-left `(x1, y1)`), so no
+    /// rect is stored twice. Queries compensate by expanding their search
+    /// range down/left by the largest extent seen at build
+    /// (`ext_max_w`/`ext_max_h`) — any rect overlapping the query must
+    /// have its reference corner inside that expanded range. Empty unless
+    /// [`SpatialIndex::build_extents`] ran.
+    ext_cells: Vec<Vec<EntryId>>,
+    ext_max_w: f32,
+    ext_max_h: f32,
 }
 
 impl SimpleGrid {
@@ -71,6 +81,9 @@ impl SimpleGrid {
             cell_size: space_side / cfg.cells_per_side as f32,
             store,
             name,
+            ext_cells: Vec::new(),
+            ext_max_w: 0.0,
+            ext_max_h: 0.0,
         }
     }
 
@@ -261,15 +274,84 @@ impl SpatialIndex for SimpleGrid {
         self.for_each_traced(table, region, emit, &mut NullTracer);
     }
 
+    fn supports_intersect(&self) -> bool {
+        true
+    }
+
+    fn build_extents(&mut self, table: &ExtentTable) {
+        let ncells = (self.cps() * self.cps()) as usize;
+        self.ext_cells.resize_with(ncells, Vec::new);
+        self.ext_cells.truncate(ncells);
+        for c in &mut self.ext_cells {
+            c.clear();
+        }
+        self.ext_max_w = 0.0;
+        self.ext_max_h = 0.0;
+        let (x1s, y1s) = (table.x1s(), table.y1s());
+        let (x2s, y2s) = (table.x2s(), table.y2s());
+        let live = table.live_mask();
+        let all_live = table.all_live();
+        for i in 0..x1s.len() {
+            if !all_live && !live[i] {
+                continue;
+            }
+            self.ext_max_w = self.ext_max_w.max(x2s[i] - x1s[i]);
+            self.ext_max_h = self.ext_max_h.max(y2s[i] - y1s[i]);
+            let cell = self.cell_of(x1s[i], y1s[i]);
+            self.ext_cells[cell].push(entry_id(i));
+        }
+    }
+
+    fn for_each_intersecting(
+        &self,
+        table: &ExtentTable,
+        region: &Rect,
+        emit: &mut dyn FnMut(EntryId),
+    ) {
+        // Any rect intersecting `region` has x1 ∈ [region.x1 − max_w,
+        // region.x2] (ditto y), so its reference corner lies in the cells
+        // covering that expanded range; candidates are then tested exactly
+        // against the full geometry.
+        let cx1 = self.cell_coord((region.x1 - self.ext_max_w).max(0.0));
+        let cx2 = self.cell_coord(region.x2.max(0.0));
+        let cy1 = self.cell_coord((region.y1 - self.ext_max_h).max(0.0));
+        let cy2 = self.cell_coord(region.y2.max(0.0));
+        let (x1s, y1s) = (table.x1s(), table.y1s());
+        let (x2s, y2s) = (table.x2s(), table.y2s());
+        for cy in cy1..=cy2 {
+            for cx in cx1..=cx2 {
+                let cell = (cy * self.cps() + cx) as usize;
+                for &id in &self.ext_cells[cell] {
+                    let i = id as usize;
+                    if region.x1 <= x2s[i]
+                        && x1s[i] <= region.x2
+                        && region.y1 <= y2s[i]
+                        && y1s[i] <= region.y2
+                    {
+                        emit(id);
+                    }
+                }
+            }
+        }
+    }
+
     fn memory_bytes(&self) -> usize {
         // Allocated-capacity convention (see the trait docs); the paper's
         // live-structure arithmetic stays available as
-        // [`SimpleGrid::live_bytes`].
-        match &self.store {
+        // [`SimpleGrid::live_bytes`]. The extent directory counts only
+        // when an extent build populated it.
+        let ext: usize = self.ext_cells.capacity() * std::mem::size_of::<Vec<EntryId>>()
+            + self
+                .ext_cells
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<EntryId>())
+                .sum::<usize>();
+        let store = match &self.store {
             Store::Original(s) => s.allocated_bytes(),
             Store::Inline(s) => s.allocated_bytes(),
             Store::InlineCoords(s) => s.allocated_bytes(),
-        }
+        };
+        store + ext
     }
 
     fn fork(&self) -> Box<dyn SpatialIndex + Send + Sync> {
@@ -463,6 +545,101 @@ mod tests {
             );
             assert_eq!(sorted_query(&g, &t, &r).len(), t.live_len());
         }
+    }
+
+    fn random_extents(n: usize, seed: u64) -> ExtentTable {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut t = ExtentTable::default();
+        for _ in 0..n {
+            let x = rng.range_f32(0.0, SIDE - 80.0);
+            let y = rng.range_f32(0.0, SIDE - 80.0);
+            let w = rng.range_f32(0.0, 80.0);
+            let h = rng.range_f32(0.0, 80.0);
+            t.push(Rect::new(x, y, x + w, y + h));
+        }
+        t
+    }
+
+    fn sorted_intersecting(idx: &dyn SpatialIndex, t: &ExtentTable, r: &Rect) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        idx.for_each_intersecting(t, r, &mut |e| out.push(e));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn every_stage_agrees_with_full_scan_on_intersections() {
+        let mut t = random_extents(1_500, 101);
+        for id in (0..1_500).step_by(5) {
+            t.remove(id);
+        }
+        let mut scan = ScanIndex::new();
+        scan.build_extents(&t);
+        let mut rng = Xoshiro256::seeded(17);
+        for mut g in all_stage_grids() {
+            assert!(g.supports_intersect(), "{}", g.name());
+            g.build_extents(&t);
+            for _ in 0..40 {
+                let x = rng.range_f32(0.0, SIDE - 100.0);
+                let y = rng.range_f32(0.0, SIDE - 100.0);
+                let r = Rect::new(
+                    x,
+                    y,
+                    x + rng.range_f32(0.0, 100.0),
+                    y + rng.range_f32(0.0, 100.0),
+                );
+                assert_eq!(
+                    sorted_intersecting(&g, &t, &r),
+                    sorted_intersecting(&scan, &t, &r),
+                    "grid {} disagrees with scan on {r:?}",
+                    g.name()
+                );
+            }
+            // Touching-edge query: rect 0's exact corner.
+            let r0 = t.rect(t.iter().next().unwrap().0);
+            let touch = Rect::new(r0.x2, r0.y2, r0.x2 + 1.0, r0.y2 + 1.0);
+            assert_eq!(
+                sorted_intersecting(&g, &t, &touch),
+                sorted_intersecting(&scan, &t, &touch),
+                "{} touching-edge tie",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn extent_rebuild_replaces_old_contents_and_tracks_max_extent() {
+        // Build over big rects, then rebuild over small ones: the stale
+        // max-extent expansion and the old cell lists must both be gone.
+        let mut big = ExtentTable::default();
+        big.push(Rect::new(0.0, 0.0, 900.0, 900.0));
+        let mut small = ExtentTable::default();
+        small.push(Rect::new(10.0, 10.0, 20.0, 20.0));
+        small.push(Rect::new(500.0, 500.0, 510.0, 510.0));
+        let mut g = SimpleGrid::tuned(SIDE);
+        g.build_extents(&big);
+        g.build_extents(&small);
+        assert_eq!(
+            sorted_intersecting(&g, &small, &Rect::space(SIDE)),
+            vec![0, 1]
+        );
+        assert_eq!(
+            sorted_intersecting(&g, &small, &Rect::new(0.0, 0.0, 5.0, 5.0)),
+            Vec::<EntryId>::new()
+        );
+    }
+
+    #[test]
+    fn fork_of_an_extent_grid_supports_the_predicate() {
+        let t = random_extents(200, 7);
+        let g = SimpleGrid::tuned(SIDE);
+        let mut f = g.fork();
+        assert!(f.supports_intersect());
+        f.build_extents(&t);
+        assert_eq!(
+            sorted_intersecting(f.as_ref(), &t, &Rect::space(SIDE)).len(),
+            t.live_len()
+        );
     }
 
     #[test]

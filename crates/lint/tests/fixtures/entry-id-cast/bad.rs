@@ -1,6 +1,12 @@
 //@ path: crates/x/src/lib.rs
-use sj_base::table::EntryId;
+use sj_base::table::{EntryId, ExtentTable};
 
 pub fn ids(n: usize) -> Vec<EntryId> {
     (0..n).map(|i| i as EntryId).collect()
+}
+
+// An extent-table loop is just as wrong: the cast skips the checked
+// conversion, so a table past u32::MAX rows would silently truncate.
+pub fn extent_ids(table: &ExtentTable) -> Vec<EntryId> {
+    (0..table.len()).map(|i| i as EntryId).collect()
 }

@@ -1,6 +1,12 @@
 //@ path: crates/x/src/lib.rs
-use sj_base::table::{entry_id, EntryId};
+use sj_base::table::{entry_id, EntryId, ExtentTable};
 
 pub fn ids(n: usize) -> Vec<EntryId> {
     (0..n).map(entry_id).collect()
+}
+
+// Extent rows go through the same sanctioned helper: partitioning a
+// rect table per cell never mints a handle by casting a row index.
+pub fn extent_ids(table: &ExtentTable) -> Vec<EntryId> {
+    (0..table.len()).map(entry_id).collect()
 }

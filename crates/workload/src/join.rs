@@ -21,7 +21,14 @@
 //!   the **first** `x` in the remainder — unambiguous because no workload
 //!   spec string contains one — and `ratio<K>` (default 1) shrinks the
 //!   query relation to `|R| = max(1, num_points / K)` while S keeps the
-//!   configured population, giving the canonical small-R / large-S shape.
+//!   configured population, giving the canonical small-R / large-S shape;
+//! - `intersect:rects` — the **intersects-predicate** self-join over
+//!   extent entries: rectangles instead of points, a querier's query
+//!   region is its own extent, and matches are closed rectangle
+//!   overlaps. Driven by [`crate::RectsWorkload`] through
+//!   [`sj_base::driver::ExtentWorkload`] (`rects` is currently the only
+//!   extent workload). Only techniques advertising
+//!   `supports_intersects()` can run it.
 //!
 //! Both relations are built over the same space/speed/query parameters;
 //! R's seed is decorrelated from S's ([`mix64`] of the base seed), so
@@ -31,7 +38,7 @@
 use std::fmt;
 use std::num::NonZeroU32;
 
-use sj_base::driver::Workload;
+use sj_base::driver::{ExtentWorkload, Workload};
 use sj_base::rng::mix64;
 
 use crate::params::WorkloadParams;
@@ -56,6 +63,11 @@ pub enum JoinSpec {
         s: WorkloadSpec,
         ratio: NonZeroU32,
     },
+    /// The intersects-predicate self-join over extent entries
+    /// (`intersect:rects`): the uniform moving-rectangle workload, each
+    /// planned querier joined against the whole table under closed
+    /// rectangle overlap.
+    Intersect,
 }
 
 /// Error from [`JoinSpec::parse`]: the offending spec plus (via `Display`)
@@ -69,10 +81,11 @@ impl fmt::Display for ParseJoinError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown join spec {:?} (expected `self` or \
+            "unknown join spec {:?} (expected `self`, \
              `bipartite:<R-workload>x<S-workload>[:ratio<K>]`, e.g. \
-             bipartite:uniformxgaussian:h3:ratio10; workload specs as in \
-             --list-workloads)",
+             bipartite:uniformxgaussian:h3:ratio10, with workload specs as \
+             in --list-workloads; or `intersect:rects`, the \
+             intersects-predicate extent self-join)",
             self.spec
         )
     }
@@ -96,6 +109,7 @@ impl JoinSpec {
         match self {
             JoinSpec::SelfJoin => JoinSpec::SelfJoin,
             JoinSpec::Bipartite { r, s, .. } => JoinSpec::Bipartite { r, s, ratio },
+            JoinSpec::Intersect => JoinSpec::Intersect,
         }
     }
 
@@ -104,6 +118,7 @@ impl JoinSpec {
     pub fn name(&self) -> String {
         match self {
             JoinSpec::SelfJoin => "self".to_string(),
+            JoinSpec::Intersect => "intersect:rects".to_string(),
             JoinSpec::Bipartite { r, s, ratio } => {
                 if ratio.get() == 1 {
                     format!("bipartite:{}x{}", r.name(), s.name())
@@ -118,6 +133,7 @@ impl JoinSpec {
     pub fn label(&self) -> String {
         match self {
             JoinSpec::SelfJoin => "Self-join".to_string(),
+            JoinSpec::Intersect => "Intersection self-join (rects)".to_string(),
             JoinSpec::Bipartite { r, s, ratio } => {
                 if ratio.get() == 1 {
                     format!("{} ⋈ {}", r.label(), s.label())
@@ -135,6 +151,14 @@ impl JoinSpec {
         };
         if spec == "self" {
             return Ok(JoinSpec::SelfJoin);
+        }
+        if let Some(extent) = spec.strip_prefix("intersect:") {
+            // `rects` is the only extent workload so far; the prefix form
+            // keeps the grammar open for more.
+            return match extent {
+                "rects" => Ok(JoinSpec::Intersect),
+                _ => Err(err()),
+            };
         }
         let rest = spec.strip_prefix("bipartite:").ok_or_else(err)?;
         // Optional trailing `:ratio<K>`. Workload names never contain the
@@ -159,11 +183,19 @@ impl JoinSpec {
         matches!(self, JoinSpec::SelfJoin)
     }
 
-    /// The R and S workload specs of a bipartite join (`None` for `self`,
-    /// whose single workload is configured elsewhere, e.g. `--workload`).
+    /// Whether this is the intersects-predicate extent join: it runs
+    /// through `sj_base::driver::run_intersect_join` /
+    /// `run_intersect_batch_join` and only techniques implementing the
+    /// predicate can execute it.
+    pub const fn is_intersect(&self) -> bool {
+        matches!(self, JoinSpec::Intersect)
+    }
+
+    /// The R and S workload specs of a bipartite join (`None` for `self`
+    /// and `intersect:*`, whose single workload is configured elsewhere).
     pub fn workloads(&self) -> Option<(WorkloadSpec, WorkloadSpec)> {
         match self {
-            JoinSpec::SelfJoin => None,
+            JoinSpec::SelfJoin | JoinSpec::Intersect => None,
             JoinSpec::Bipartite { r, s, .. } => Some((*r, *s)),
         }
     }
@@ -171,8 +203,17 @@ impl JoinSpec {
     /// Whether either relation's workload churns its population.
     pub fn has_churn(&self) -> bool {
         match self {
-            JoinSpec::SelfJoin => false,
+            JoinSpec::SelfJoin | JoinSpec::Intersect => false,
             JoinSpec::Bipartite { r, s, .. } => r.has_churn() || s.has_churn(),
+        }
+    }
+
+    /// Construct the extent workload of an `intersect:*` join over
+    /// `params`. `None` for the point-predicate shapes.
+    pub fn build_extents(&self, params: WorkloadParams) -> Option<Box<dyn ExtentWorkload>> {
+        match self {
+            JoinSpec::Intersect => Some(Box::new(crate::rects::RectsWorkload::new(params))),
+            _ => None,
         }
     }
 
@@ -180,8 +221,8 @@ impl JoinSpec {
     /// population divided by the ratio and the seed decorrelated from S's.
     pub fn query_rel_params(&self, base: WorkloadParams) -> WorkloadParams {
         let ratio = match self {
-            JoinSpec::SelfJoin => 1,
             JoinSpec::Bipartite { ratio, .. } => ratio.get(),
+            JoinSpec::SelfJoin | JoinSpec::Intersect => 1,
         };
         WorkloadParams {
             num_points: (base.num_points / ratio).max(1),
@@ -268,6 +309,37 @@ mod tests {
     }
 
     #[test]
+    fn intersect_spec_round_trips() {
+        let s = JoinSpec::parse("intersect:rects").unwrap();
+        assert_eq!(s, JoinSpec::Intersect);
+        assert!(s.is_intersect());
+        assert!(!s.is_self());
+        assert_eq!(s.name(), "intersect:rects");
+        assert_eq!(JoinSpec::parse(&s.name()), Ok(s));
+        assert_eq!(s.workloads(), None);
+        assert!(!s.has_churn());
+        assert_eq!(s.build_pair(WorkloadParams::default()).map(|_| ()), None);
+    }
+
+    #[test]
+    fn intersect_spec_builds_the_rect_workload() {
+        use sj_base::driver::ExtentTickActions;
+        let params = WorkloadParams {
+            num_points: 300,
+            space_side: 5_000.0,
+            ..WorkloadParams::default()
+        };
+        let mut w = JoinSpec::Intersect.build_extents(params).unwrap();
+        let set = w.init();
+        assert_eq!(set.len(), 300);
+        let mut a = ExtentTickActions::default();
+        w.plan_tick(0, &set, &mut a);
+        assert!(!a.queriers.is_empty());
+        // Point-predicate shapes have no extent workload.
+        assert!(JoinSpec::SelfJoin.build_extents(params).is_none());
+    }
+
+    #[test]
     fn malformed_specs_are_rejected() {
         for bad in [
             "",
@@ -282,6 +354,10 @@ mod tests {
             "bipartite:uniformxuniform:ratioX",
             "bipartite:nopexuniform",
             "ratio10",
+            "intersect",
+            "intersect:",
+            "intersect:points",
+            "intersect:rectsx",
         ] {
             let err = JoinSpec::parse(bad).unwrap_err();
             assert_eq!(err.spec, bad);

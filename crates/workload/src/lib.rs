@@ -26,6 +26,7 @@ mod churn;
 mod gaussian;
 mod join;
 mod params;
+mod rects;
 mod roadgrid;
 mod spec;
 pub mod trace;
@@ -35,9 +36,13 @@ pub use churn::{ChurnParams, ChurnWorkload};
 pub use gaussian::GaussianWorkload;
 pub use join::{JoinSpec, ParseJoinError};
 pub use params::{GaussianParams, ParamError, WorkloadParams};
+pub use rects::RectsWorkload;
 pub use roadgrid::RoadGridWorkload;
 pub use spec::{
     workload_registry, ParseWorkloadError, WorkloadKind, WorkloadSpec, DEFAULT_HOTSPOTS,
 };
-pub use trace::{record, record_bipartite, Trace, TraceWorkload};
+pub use trace::{
+    record, record_bipartite, record_extents, ExtentTrace, ExtentTraceWorkload, Trace,
+    TraceWorkload,
+};
 pub use uniform::UniformWorkload;

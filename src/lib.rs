@@ -17,6 +17,7 @@
 //! | [`crtree`] | cache-conscious CR-tree with quantized relative MBRs |
 //! | [`kdtrie`] | linearized KD-trie over radix-sorted interleaved codes |
 //! | [`binsearch`] | the Binary Search baseline |
+//! | [`twolayer`] | the two-layer partitioning intersection join (per-cell A/B/C/D classes, no dedup) |
 //! | [`memsim`] | simulated cache hierarchy for the Table 3 profile |
 //!
 //! ## Quickstart: the technique registry
@@ -81,6 +82,30 @@
 //! let (mut r, mut s) = spec.build_pair(params).unwrap();
 //! let mut tech = Technique::from_spec("grid:inline", params.space_side).unwrap();
 //! let stats = tech.run_bipartite(&mut *r, &mut *s, DriverConfig::new(3, 1));
+//! assert!(stats.result_pairs > 0);
+//! ```
+//!
+//! ## Intersection joins over extents
+//!
+//! Entries can be rectangles, not just points: [`core::ExtentTable`]
+//! stores them in the same tombstoned SoA layout as [`core::PointTable`],
+//! and the **intersects** predicate (closed boundaries — touching edges
+//! match) is a second join axis next to the paper's within-range
+//! predicate. `JoinSpec::parse("intersect:rects")` names the moving-
+//! rectangle workload, and the techniques that implement the predicate —
+//! the scan, every Simple Grid stage, and the `twolayer` partitioning
+//! join (arXiv:2307.09256: per-cell A/B/C/D corner classes, each
+//! intersecting pair emitted exactly once with zero deduplication) —
+//! agree bit for bit, under every execution mode:
+//!
+//! ```
+//! use spatial_joins::prelude::*;
+//!
+//! let params = WorkloadParams { num_points: 2_000, ticks: 3, ..Default::default() };
+//! let mut rects = JoinSpec::parse("intersect:rects").unwrap()
+//!     .build_extents(params).unwrap();
+//! let mut tech = Technique::from_spec("twolayer", params.space_side).unwrap();
+//! let stats = tech.run_intersect(&mut *rects, DriverConfig::new(3, 1));
 //! assert!(stats.result_pairs > 0);
 //! ```
 //!
@@ -155,6 +180,7 @@ pub use sj_memsim as memsim;
 pub use sj_quadtree as quadtree;
 pub use sj_rtree as rtree;
 pub use sj_sweep as sweep;
+pub use sj_twolayer as twolayer;
 pub use sj_workload as workload;
 
 /// The common imports for applications: the registry, every index, the
@@ -163,13 +189,14 @@ pub mod prelude {
     pub use sj_binsearch::{BinarySearchJoin, VecSearchJoin};
     pub use sj_core::batch::{BatchJoin, NaiveBatchJoin};
     pub use sj_core::driver::{
-        run_batch_join, run_bipartite_batch_join, run_bipartite_join, run_join, DriverConfig,
-        RunStats, Workload,
+        run_batch_join, run_bipartite_batch_join, run_bipartite_join, run_intersect_batch_join,
+        run_intersect_join, run_join, DriverConfig, ExtentTickActions, ExtentWorkload, RunStats,
+        Workload,
     };
     pub use sj_core::geom::{Point, Rect, Vec2};
     pub use sj_core::index::{ScanIndex, SpatialIndex};
     pub use sj_core::par::ExecMode;
-    pub use sj_core::table::{EntryId, MovingSet, PointTable};
+    pub use sj_core::table::{EntryId, ExtentTable, MovingExtentSet, MovingSet, PointTable, Table};
     pub use sj_core::technique::{registry, Technique, TechniqueKind, TechniqueSpec};
     pub use sj_crtree::CRTree;
     pub use sj_grid::{GridConfig, IncrementalGrid, Layout, QueryAlgo, SimpleGrid, Stage};
@@ -178,8 +205,10 @@ pub mod prelude {
     pub use sj_quadtree::QuadTree;
     pub use sj_rtree::{DynRTree, RTree};
     pub use sj_sweep::PlaneSweepJoin;
+    pub use sj_twolayer::TwoLayerJoin;
     pub use sj_workload::{
         workload_registry, ChurnParams, ChurnWorkload, GaussianParams, GaussianWorkload, JoinSpec,
-        RoadGridWorkload, UniformWorkload, WorkloadKind, WorkloadParams, WorkloadSpec,
+        RectsWorkload, RoadGridWorkload, UniformWorkload, WorkloadKind, WorkloadParams,
+        WorkloadSpec,
     };
 }
